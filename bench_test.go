@@ -1,0 +1,257 @@
+// Benchmarks, one per table and figure of the paper's evaluation
+// section. Each reports the paper's metric as a custom benchmark unit
+// (modeled MB/s, speedup, ratio, cycle shares) alongside wall-clock
+// time of the model itself. cmd/lzssbench prints the same experiments
+// as full paper-style tables with paper-vs-measured columns.
+package lzssfpga
+
+import (
+	"fmt"
+	"testing"
+
+	"lzssfpga/internal/core"
+	"lzssfpga/internal/estimator"
+	"lzssfpga/internal/fpga"
+	"lzssfpga/internal/testbench"
+	"lzssfpga/internal/workload"
+)
+
+// benchCorpus sizes: large enough for stable trends, small enough that
+// the full suite runs in minutes.
+const (
+	benchLarge = 2 << 20
+	benchSmall = 1 << 20
+)
+
+// BenchmarkTable1 reproduces the performance evaluation: hardware vs
+// software speed and the 15-20x speedup on Wiki and X2E data.
+func BenchmarkTable1(b *testing.B) {
+	board := testbench.ML507()
+	for i := 0; i < b.N; i++ {
+		rows, err := testbench.TableI(board, benchLarge, benchSmall)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(rows[0].HWMBps, "hwMB/s")
+			b.ReportMetric(rows[0].SWMBps, "swMB/s")
+			b.ReportMetric(rows[0].Speedup, "speedup")
+			b.ReportMetric(rows[0].Ratio, "ratio")
+		}
+	}
+}
+
+// BenchmarkTable2 reproduces the FPGA utilization table.
+func BenchmarkTable2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, dev, err := fpga.TableII()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(float64(rows[0].LUTs), "LUTs@15bit")
+			b.ReportMetric(100*float64(rows[0].LUTs)/float64(dev.LUTs), "LUT%")
+			b.ReportMetric(float64(rows[0].Blocks36), "RAMB36@15bit")
+		}
+	}
+}
+
+// BenchmarkTable3 reproduces the optimization ablation.
+func BenchmarkTable3(b *testing.B) {
+	data := workload.Wiki(benchSmall, 1)
+	for i := 0; i < b.N; i++ {
+		rows, err := estimator.TableIII(data)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(rows[0].MBps4K, "origMB/s@4K")
+			b.ReportMetric(rows[len(rows)-1].MBps4K, "allOffMB/s@4K")
+			b.ReportMetric(rows[0].MBps4K/rows[len(rows)-1].MBps4K, "gain")
+		}
+	}
+	b.SetBytes(int64(len(data)) * 10) // 5 variants x 2 windows
+}
+
+// BenchmarkFig2 reproduces compressed-size vs dictionary/hash geometry.
+func BenchmarkFig2(b *testing.B) {
+	data := workload.Wiki(benchSmall, 1)
+	for i := 0; i < b.N; i++ {
+		series, err := estimator.Fig2(data)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			last := series[len(series)-1].Points
+			b.ReportMetric(last[len(last)-1].Ratio(), "ratio@15bit16K")
+			b.ReportMetric(series[0].Points[0].Ratio(), "ratio@9bit1K")
+		}
+	}
+	b.SetBytes(int64(len(data)) * int64(len(estimator.Fig2Hashes)*len(estimator.Fig2Windows)))
+}
+
+// BenchmarkFig3 reproduces throughput vs dictionary/hash geometry.
+func BenchmarkFig3(b *testing.B) {
+	data := workload.Wiki(benchSmall, 1)
+	for i := 0; i < b.N; i++ {
+		series, err := estimator.Fig3(data)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(series[len(series)-1].Points[1].MBps, "MB/s@15bit4K")
+			b.ReportMetric(series[0].Points[1].MBps, "MB/s@9bit4K")
+		}
+	}
+	b.SetBytes(int64(len(data)) * int64(len(estimator.Fig2Hashes)*len(estimator.Fig3Windows)))
+}
+
+// BenchmarkFig4 reproduces the min/max compression-level trade-off.
+func BenchmarkFig4(b *testing.B) {
+	data := workload.Wiki(benchSmall, 1)
+	for i := 0; i < b.N; i++ {
+		series, err := estimator.Fig4(data)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			for _, s := range series {
+				if s.Label == "15 bits;min" {
+					b.ReportMetric(s.Points[2].MBps, "minMB/s@4K")
+				}
+				if s.Label == "15 bits;max" {
+					b.ReportMetric(s.Points[2].MBps, "maxMB/s@4K")
+				}
+			}
+		}
+	}
+	b.SetBytes(int64(len(data)) * 20)
+}
+
+// BenchmarkFig5 reproduces the cycle state distribution (32 KB
+// dictionary, 15-bit hash).
+func BenchmarkFig5(b *testing.B) {
+	data := workload.Wiki(benchLarge, 1)
+	cfg := core.DefaultConfig()
+	cfg.Match.Window = 32768
+	comp, err := core.New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(data)))
+	for i := 0; i < b.N; i++ {
+		res, err := comp.Compress(data)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(100*res.Stats.Share(core.StateMatch), "match%")
+			b.ReportMetric(100*res.Stats.Share(core.StateHashUpdate), "update%")
+			b.ReportMetric(100*res.Stats.Share(core.StateOutput), "output%")
+			b.ReportMetric(100*res.Stats.Share(core.StateWait), "wait%")
+		}
+	}
+}
+
+// BenchmarkDecompressor measures the modeled hardware decompressor (the
+// reconfiguration use case of related work [10]).
+func BenchmarkDecompressor(b *testing.B) {
+	data := workload.Bitstream(benchSmall, 1)
+	cmds, err := CompressCommands(data, LevelParams(LevelMax, 32768, 15))
+	if err != nil {
+		b.Fatal(err)
+	}
+	dec := core.DefaultDecompressor()
+	b.SetBytes(int64(len(data)))
+	for i := 0; i < b.N; i++ {
+		res, err := dec.Run(cmds)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(res.Stats.BytesPerCycle(), "B/cycle")
+			b.ReportMetric(res.Stats.ThroughputMBps(1e8), "MB/s-model")
+		}
+	}
+}
+
+// BenchmarkAblationGenerationBits quantifies the design choice DESIGN.md
+// calls out: generation bits trade one BRAM bit per entry for rotation
+// frequency. Reported as cycles/byte at each k.
+func BenchmarkAblationGenerationBits(b *testing.B) {
+	data := workload.Wiki(benchSmall, 1)
+	for _, k := range []uint{0, 1, 2, 4, 6} {
+		cfg := core.DefaultConfig()
+		cfg.GenerationBits = k
+		comp, err := core.New(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("k=%d", k), func(b *testing.B) {
+			b.SetBytes(int64(len(data)))
+			for i := 0; i < b.N; i++ {
+				res, err := comp.Compress(data)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if i == 0 {
+					b.ReportMetric(res.Stats.CyclesPerByte(), "cyc/B")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationHeadSplit quantifies the M-way split: rotation cost
+// divides by M at a cost of M block RAM instances.
+func BenchmarkAblationHeadSplit(b *testing.B) {
+	data := workload.Wiki(benchSmall, 1)
+	for _, m := range []int{1, 2, 4, 8} {
+		cfg := core.DefaultConfig()
+		cfg.HeadSplit = m
+		cfg.GenerationBits = 1 // rotate often so the split matters
+		comp, err := core.New(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("M=%d", m), func(b *testing.B) {
+			b.SetBytes(int64(len(data)))
+			for i := 0; i < b.N; i++ {
+				res, err := comp.Compress(data)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if i == 0 {
+					b.ReportMetric(res.Stats.CyclesPerByte(), "cyc/B")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationInsertLimit quantifies the hash-update policy: full
+// insertion improves the ratio but costs one cycle per match byte.
+func BenchmarkAblationInsertLimit(b *testing.B) {
+	data := workload.Wiki(benchSmall, 1)
+	for _, lim := range []int{4, 32, 258} {
+		cfg := core.DefaultConfig()
+		cfg.Match.InsertLimit = lim
+		comp, err := core.New(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("limit=%d", lim), func(b *testing.B) {
+			b.SetBytes(int64(len(data)))
+			for i := 0; i < b.N; i++ {
+				res, err := comp.Compress(data)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if i == 0 {
+					b.ReportMetric(res.Stats.CyclesPerByte(), "cyc/B")
+					b.ReportMetric(res.Stats.Ratio(), "ratio")
+				}
+			}
+		})
+	}
+}

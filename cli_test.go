@@ -1,0 +1,134 @@
+package lzssfpga
+
+import (
+	"bytes"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"lzssfpga/internal/workload"
+)
+
+// CLI end-to-end tests: build each command once, then exercise the
+// workflows a user runs.
+
+var (
+	cliOnce sync.Once
+	cliDir  string
+	cliErr  error
+)
+
+func cliBin(t *testing.T, name string) string {
+	t.Helper()
+	cliOnce.Do(func() {
+		cliDir, cliErr = os.MkdirTemp("", "lzssfpga-cli")
+		if cliErr != nil {
+			return
+		}
+		for _, tool := range []string{"lzsszip", "lzestim", "lzssbench", "lzlog"} {
+			cmd := exec.Command("go", "build", "-o", filepath.Join(cliDir, tool), "./cmd/"+tool)
+			cmd.Env = os.Environ()
+			if out, err := cmd.CombinedOutput(); err != nil {
+				cliErr = err
+				t.Logf("build %s: %s", tool, out)
+				return
+			}
+		}
+	})
+	if cliErr != nil {
+		t.Fatalf("building CLIs: %v", cliErr)
+	}
+	return filepath.Join(cliDir, name)
+}
+
+func runCLI(t *testing.T, name string, args ...string) string {
+	t.Helper()
+	cmd := exec.Command(cliBin(t, name), args...)
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("%s %v: %v\n%s", name, args, err, out)
+	}
+	return string(out)
+}
+
+func TestCLIZipRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	src := filepath.Join(dir, "input.bin")
+	data := workload.Wiki(150_000, 200)
+	if err := os.WriteFile(src, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out := runCLI(t, "lzsszip", "-c", "-best", src)
+	if !strings.Contains(out, "ratio") {
+		t.Fatalf("compress output: %s", out)
+	}
+	out = runCLI(t, "lzsszip", "-t", src+".zz")
+	if !strings.Contains(out, "OK") {
+		t.Fatalf("test output: %s", out)
+	}
+	restored := filepath.Join(dir, "restored.bin")
+	runCLI(t, "lzsszip", "-d", "-o", restored, src+".zz")
+	got, err := os.ReadFile(restored)
+	if err != nil || !bytes.Equal(got, data) {
+		t.Fatalf("restored file differs: %v", err)
+	}
+}
+
+func TestCLIZipGzipMode(t *testing.T) {
+	dir := t.TempDir()
+	src := filepath.Join(dir, "trace.bin")
+	data := workload.CAN(80_000, 201)
+	os.WriteFile(src, data, 0o644)
+	runCLI(t, "lzsszip", "-c", "-gz", src)
+	out := runCLI(t, "lzsszip", "-t", src+".gz")
+	if !strings.Contains(out, "OK") {
+		t.Fatalf("gzip test: %s", out)
+	}
+	restored := filepath.Join(dir, "restored")
+	runCLI(t, "lzsszip", "-d", "-o", restored, src+".gz")
+	got, _ := os.ReadFile(restored)
+	if !bytes.Equal(got, data) {
+		t.Fatal("gzip round trip differs")
+	}
+}
+
+func TestCLIEstim(t *testing.T) {
+	out := runCLI(t, "lzestim", "-mb", "1", "-corpus", "x2e")
+	for _, want := range []string{"throughput:", "block RAM plan:", "fits XC5VFX70T"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("lzestim missing %q:\n%s", want, out)
+		}
+	}
+	out = runCLI(t, "lzestim", "-mb", "1", "-sweep", "hash", "-values", "9,12,15")
+	if strings.Count(out, "\n") < 4 {
+		t.Fatalf("sweep output too short:\n%s", out)
+	}
+}
+
+func TestCLIBench(t *testing.T) {
+	out := runCLI(t, "lzssbench", "-exp", "fig5", "-mb", "1")
+	if !strings.Contains(out, "Finding match") || !strings.Contains(out, "paper reference") {
+		t.Fatalf("lzssbench fig5:\n%s", out)
+	}
+}
+
+func TestCLILogWorkflow(t *testing.T) {
+	dir := t.TempDir()
+	trace := filepath.Join(dir, "trace.lzlog")
+	out := runCLI(t, "lzlog", "record", "-out", trace, "-mb", "1")
+	if !strings.Contains(out, "recorded") {
+		t.Fatalf("record: %s", out)
+	}
+	out = runCLI(t, "lzlog", "dump", "-in", trace, "-max", "2")
+	if !strings.Contains(out, "records total") {
+		t.Fatalf("dump: %s", out)
+	}
+	runCLI(t, "lzlog", "index", "-in", trace)
+	out = runCLI(t, "lzlog", "range", "-in", trace+".lzsx", "-off", "1000", "-len", "32")
+	if !strings.Contains(out, "inflated") {
+		t.Fatalf("range: %s", out)
+	}
+}

@@ -1,0 +1,288 @@
+// Command lzestim is the design-space estimation tool the paper ships
+// alongside the hardware ([17], "Compression performance analyzer"): it
+// compresses a reference data sample under a given configuration — or a
+// series of configurations — and reports compression ratio, modeled
+// throughput, the clock-cycle distribution, and the block RAM / logic
+// budget on a chosen Virtex-5 device.
+//
+// Single-point report:
+//
+//	lzestim -corpus wiki -mb 8 -window 4096 -hash 15
+//
+// Parameter series (the paper's C# front-end "iterating an arbitrary
+// parameter over a given range"):
+//
+//	lzestim -corpus wiki -sweep window -values 1024,2048,4096,8192,16384
+//	lzestim -file trace.bin -sweep hash -values 9,11,13,15
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"lzssfpga/internal/analysis"
+	"lzssfpga/internal/core"
+	"lzssfpga/internal/estimator"
+	"lzssfpga/internal/fpga"
+	"lzssfpga/internal/stream"
+	"lzssfpga/internal/workload"
+)
+
+var (
+	corpus   = flag.String("corpus", "wiki", "reference sample: wiki, x2e, random, zeros (ignored with -file)")
+	file     = flag.String("file", "", "compress this file instead of a generated corpus")
+	mb       = flag.Int("mb", 4, "generated corpus size in MiB")
+	seed     = flag.Int64("seed", 1, "corpus generator seed")
+	window   = flag.Int("window", 4096, "dictionary size in bytes (power of two)")
+	hashBits = flag.Uint("hash", 15, "hash bit count")
+	chain    = flag.Int("chain", 4, "matching iteration limit (max chain)")
+	nice     = flag.Int("nice", 8, "stop searching at this match length")
+	insert   = flag.Int("insert", 4, "full hash update for matches up to this length")
+	genBits  = flag.Uint("gen", 6, "generation bits (k)")
+	split    = flag.Int("split", 4, "head table division factor (M)")
+	bus      = flag.Int("bus", 4, "data bus width in bytes (1, 2 or 4)")
+	prefetch = flag.Bool("prefetch", true, "enable hash prefetching")
+	level    = flag.String("level", "", "preset: min or max (overrides chain/nice/insert)")
+	clockMHz = flag.Float64("clock", 100, "compressor clock in MHz")
+	device   = flag.String("device", "XC5VFX70T", "target FPGA device")
+	sweepArg = flag.String("sweep", "", "sweep parameter: window, hash, chain or gen")
+	values   = flag.String("values", "", "comma-separated sweep values")
+	vcdPath  = flag.String("vcd", "", "dump the FSM schedule as a VCD waveform to this file")
+	vcdLimit = flag.Int64("vcdlimit", 200000, "trace at most this many cycles (0 = all)")
+	explore  = flag.Bool("explore", false, "evaluate the full design grid and print the Pareto frontier")
+	engines  = flag.Int("engines", 0, "print an array-scaling table up to N engines (0 = off)")
+	profile  = flag.Bool("profile", false, "print a match length/distance profile of the stream")
+	csvOut   = flag.Bool("csv", false, "with -explore: emit CSV instead of a table")
+)
+
+func main() {
+	flag.Parse()
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "lzestim:", err)
+		os.Exit(1)
+	}
+}
+
+func buildConfig() (core.Config, error) {
+	cfg := core.DefaultConfig()
+	cfg.Match.Window = *window
+	cfg.Match.HashBits = *hashBits
+	cfg.Match.MaxChain = *chain
+	cfg.Match.Nice = *nice
+	cfg.Match.InsertLimit = *insert
+	cfg.GenerationBits = *genBits
+	cfg.HeadSplit = *split
+	cfg.DataBusBytes = *bus
+	cfg.HashPrefetch = *prefetch
+	cfg.ClockHz = *clockMHz * 1e6
+	if *level != "" {
+		if err := estimator.ApplyLevel(&cfg, *level); err != nil {
+			return cfg, err
+		}
+	}
+	err := cfg.Validate()
+	return cfg, err
+}
+
+func loadData() ([]byte, error) {
+	if *file != "" {
+		return os.ReadFile(*file)
+	}
+	gen, err := workload.ByName(*corpus)
+	if err != nil {
+		return nil, err
+	}
+	return gen(*mb<<20, *seed), nil
+}
+
+func run() error {
+	data, err := loadData()
+	if err != nil {
+		return err
+	}
+	if len(data) == 0 {
+		return fmt.Errorf("empty input")
+	}
+	if *explore {
+		return runExplore(data)
+	}
+	if *engines > 0 {
+		return runScaling(data)
+	}
+	if *sweepArg != "" {
+		return runSweep(data)
+	}
+	cfg, err := buildConfig()
+	if err != nil {
+		return err
+	}
+	return report(cfg, data)
+}
+
+func report(cfg core.Config, data []byte) error {
+	if *vcdPath != "" {
+		if err := dumpVCD(cfg, data); err != nil {
+			return err
+		}
+	}
+	p, err := estimator.Evaluate(cfg, data)
+	if err != nil {
+		return err
+	}
+	dev, err := fpga.DeviceByName(*device)
+	if err != nil {
+		return err
+	}
+	est, err := fpga.EstimateConfig(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("configuration: %d B dictionary, %d-bit hash, chain %d, nice %d, insert %d, k=%d, M=%d, %d-bit bus, prefetch=%v\n",
+		cfg.Match.Window, cfg.Match.HashBits, cfg.Match.MaxChain, cfg.Match.Nice,
+		cfg.Match.InsertLimit, cfg.GenerationBits, cfg.HeadSplit, 8*cfg.DataBusBytes, cfg.HashPrefetch)
+	fmt.Printf("input: %d bytes\n\n", len(data))
+	fmt.Printf("compressed size:    %d bytes (ratio %.3f)\n", p.CompressedBytes, p.Ratio())
+	if *profile {
+		comp, err := core.New(cfg)
+		if err != nil {
+			return err
+		}
+		res, err := comp.Compress(data)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("\nstream profile:\n%s", analysis.Analyze(res.Commands).Render())
+	}
+	fmt.Printf("throughput:         %.1f MB/s at %.0f MHz (%.3f cycles/byte)\n",
+		p.MBps, cfg.ClockHz/1e6, p.CyclesPerByte)
+	fmt.Printf("\ncycle distribution:\n%s\n", p.Stats.Summary())
+	fmt.Println("block RAM plan:")
+	fmt.Printf("  %-12s %8s %6s %6s %8s %8s\n", "memory", "depth", "width", "insts", "RAMB36", "Kbits")
+	for _, m := range est.Memories {
+		fmt.Printf("  %-12s %8d %6d %6d %8d %8.1f\n", m.Name, m.Depth, m.Width, m.Count, m.Blocks36, m.Kbits)
+	}
+	fmt.Printf("\nresources on %s:\n", dev.Name)
+	fmt.Printf("  LUTs      %6d (%.1f%%)  [LZSS %d + Huffman %d]\n",
+		est.LUTs(), 100*est.UtilizationLUT(dev), est.LZSSLUTs, est.HuffmanLUTs)
+	fmt.Printf("  registers %6d (%.1f%%)\n", est.Registers, 100*float64(est.Registers)/float64(dev.Regs))
+	fmt.Printf("  RAMB36    %6d (%.1f%%)\n", est.Blocks36, 100*est.UtilizationBRAM(dev))
+	if est.Fits(dev) {
+		fmt.Printf("  fits %s (f_max %.1f MHz post-route)\n", dev.Name, dev.ClockMHz)
+	} else {
+		fmt.Printf("  DOES NOT FIT %s\n", dev.Name)
+	}
+	return nil
+}
+
+func runSweep(data []byte) error {
+	if *values == "" {
+		return fmt.Errorf("-sweep requires -values")
+	}
+	var vals []int
+	for _, f := range strings.Split(*values, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil {
+			return fmt.Errorf("bad sweep value %q: %v", f, err)
+		}
+		vals = append(vals, v)
+	}
+	cfgs := make([]core.Config, 0, len(vals))
+	for _, v := range vals {
+		cfg, err := buildConfig()
+		if err != nil {
+			return err
+		}
+		switch *sweepArg {
+		case "window":
+			cfg.Match.Window = v
+		case "hash":
+			cfg.Match.HashBits = uint(v)
+			cfg.Match.Hash = nil // re-derive for the new table size
+		case "chain":
+			cfg.Match.MaxChain = v
+		case "gen":
+			cfg.GenerationBits = uint(v)
+		default:
+			return fmt.Errorf("unknown sweep parameter %q", *sweepArg)
+		}
+		if err := cfg.Validate(); err != nil {
+			return fmt.Errorf("value %d: %v", v, err)
+		}
+		cfgs = append(cfgs, cfg)
+	}
+	points, err := estimator.EvaluateAll(cfgs, data)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-10s %12s %10s %10s %10s %8s\n", *sweepArg, "compressed", "ratio", "MB/s", "cyc/B", "RAMB36")
+	for i, p := range points {
+		fmt.Printf("%-10d %12d %10.3f %10.1f %10.3f %8d\n",
+			vals[i], p.CompressedBytes, p.Ratio(), p.MBps, p.CyclesPerByte, p.Blocks36)
+	}
+	return nil
+}
+
+func dumpVCD(cfg core.Config, data []byte) error {
+	comp, err := core.New(cfg)
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(*vcdPath)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	tr := core.NewVCDTracer(f, *vcdLimit)
+	if _, err := comp.CompressTraced(data,
+		&stream.InstantSource{Total: len(data)}, stream.InstantSink{}, tr); err != nil {
+		return err
+	}
+	if err := tr.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("FSM waveform written to %s (open with GTKWave)\n\n", *vcdPath)
+	return nil
+}
+
+func runExplore(data []byte) error {
+	grid := estimator.DefaultGrid()
+	points, err := estimator.Explore(data, grid)
+	if err != nil {
+		return err
+	}
+	front := estimator.ParetoFront(points)
+	if *csvOut {
+		fmt.Print(estimator.RenderPoints(points, true))
+		return nil
+	}
+	fmt.Printf("explored %d design points; %d on the (ratio, MB/s, BRAM) Pareto frontier:\n\n", len(points), len(front))
+	fmt.Print(estimator.RenderPoints(front, false))
+	return nil
+}
+
+func runScaling(data []byte) error {
+	cfg, err := buildConfig()
+	if err != nil {
+		return err
+	}
+	var counts []int
+	for n := 1; n <= *engines; n *= 2 {
+		counts = append(counts, n)
+	}
+	rows, err := core.ScalingTable(cfg, data, counts)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-8s %10s %8s %12s\n", "engines", "MB/s", "RAMB36", "bottleneck")
+	for _, r := range rows {
+		b := "engines"
+		if r.LinkLimited {
+			b = "DMA link"
+		}
+		fmt.Printf("%-8d %10.1f %8d %12s\n", r.Engines, r.MBps, r.Blocks36, b)
+	}
+	return nil
+}

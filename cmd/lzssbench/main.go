@@ -1,0 +1,39 @@
+// Command lzssbench regenerates every table and figure of the paper's
+// evaluation section and prints them side by side with the paper's
+// reported values. The experiment logic lives in internal/experiments.
+//
+// Usage:
+//
+//	lzssbench [-exp all|table1|table2|table3|fig2|fig3|fig4|fig5] [-mb N] [-seed S]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"lzssfpga/internal/experiments"
+)
+
+var (
+	exp  = flag.String("exp", "all", "experiment: all, table1, table2, table3, fig2, fig3, fig4, fig5")
+	mb   = flag.Int("mb", 4, "corpus fragment size in MiB for the figures")
+	seed = flag.Int64("seed", 1, "corpus generator seed")
+)
+
+func main() {
+	flag.Parse()
+	p := experiments.Params{Bytes: *mb << 20, Seed: *seed}
+	var out string
+	var err error
+	if *exp == "all" {
+		out, err = experiments.All(p)
+	} else {
+		out, err = experiments.Run(*exp, p)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lzssbench:", err)
+		os.Exit(1)
+	}
+	fmt.Print(out)
+}

@@ -1,0 +1,165 @@
+// Command lzsszip compresses and decompresses files with the library's
+// software LZSS + fixed-Huffman pipeline. Output is a standard ZLib
+// (RFC 1950) stream, so `lzsszip -c file` produces data any zlib
+// implementation can inflate, and `lzsszip -d` accepts streams produced
+// by any zlib implementation (stored, fixed and dynamic blocks).
+//
+// Usage:
+//
+//	lzsszip -c [-level min|default|max] [-window N] [-o out] file
+//	lzsszip -d [-o out] file.zz
+//	lzsszip -t file.zz            # integrity test
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"lzssfpga"
+)
+
+var (
+	compress   = flag.Bool("c", false, "compress")
+	decompress = flag.Bool("d", false, "decompress")
+	test       = flag.Bool("t", false, "test integrity of a compressed file")
+	out        = flag.String("o", "", "output path (default: input + .zz / stripped)")
+	levelArg   = flag.String("level", "min", "compression level: min, default, max")
+	window     = flag.Int("window", 32768, "dictionary size (power of two, <= 32768)")
+	hashBits   = flag.Uint("hash", 15, "hash bit count")
+	best       = flag.Bool("best", false, "pick stored/fixed/dynamic per block (smaller output)")
+	parallel   = flag.Int("p", 0, "compress with N workers, pigz-style (0 = serial)")
+	gz         = flag.Bool("gz", false, "use the gzip (.gz) container instead of zlib")
+)
+
+func main() {
+	flag.Parse()
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "lzsszip:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	modes := 0
+	for _, m := range []bool{*compress, *decompress, *test} {
+		if m {
+			modes++
+		}
+	}
+	if modes != 1 || flag.NArg() != 1 {
+		return fmt.Errorf("usage: lzsszip -c|-d|-t [options] <file>")
+	}
+	in := flag.Arg(0)
+	data, err := os.ReadFile(in)
+	if err != nil {
+		return err
+	}
+	switch {
+	case *compress:
+		return doCompress(in, data)
+	case *decompress:
+		return doDecompress(in, data)
+	default:
+		return doTest(in, data)
+	}
+}
+
+func levelParams() (lzssfpga.Params, error) {
+	var lvl lzssfpga.Level
+	switch *levelArg {
+	case "min":
+		lvl = lzssfpga.LevelMin
+	case "default":
+		lvl = lzssfpga.LevelDefault
+	case "max":
+		lvl = lzssfpga.LevelMax
+	default:
+		return lzssfpga.Params{}, fmt.Errorf("unknown level %q", *levelArg)
+	}
+	return lzssfpga.LevelParams(lvl, *window, *hashBits), nil
+}
+
+func doCompress(in string, data []byte) error {
+	p, err := levelParams()
+	if err != nil {
+		return err
+	}
+	var z []byte
+	switch {
+	case *gz:
+		z, err = lzssfpga.GzipCompress(data, p, filepath.Base(in))
+	case *parallel > 0:
+		z, err = lzssfpga.CompressParallel(data, p, 0, *parallel)
+	case *best:
+		z, err = lzssfpga.CompressBest(data, p)
+	default:
+		z, err = lzssfpga.Compress(data, p)
+	}
+	if err != nil {
+		return err
+	}
+	// Verify before writing: decompress and compare.
+	var back []byte
+	if *gz {
+		back, _, err = lzssfpga.GzipDecompress(z)
+	} else {
+		back, err = lzssfpga.Decompress(z)
+	}
+	if err != nil || len(back) != len(data) {
+		return fmt.Errorf("self-check failed: %v", err)
+	}
+	dst := *out
+	if dst == "" {
+		if *gz {
+			dst = in + ".gz"
+		} else {
+			dst = in + ".zz"
+		}
+	}
+	if err := os.WriteFile(dst, z, 0o644); err != nil {
+		return err
+	}
+	ratio := float64(len(data)) / float64(len(z))
+	fmt.Printf("%s: %d -> %d bytes (ratio %.3f) -> %s\n", in, len(data), len(z), ratio, dst)
+	return nil
+}
+
+func doDecompress(in string, data []byte) error {
+	raw, err := decodeAny(data)
+	if err != nil {
+		return err
+	}
+	dst := *out
+	if dst == "" {
+		dst = strings.TrimSuffix(strings.TrimSuffix(in, ".zz"), ".gz")
+		if dst == in {
+			dst = in + ".out"
+		}
+	}
+	if err := os.WriteFile(dst, raw, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("%s: %d -> %d bytes -> %s\n", in, len(data), len(raw), dst)
+	return nil
+}
+
+func doTest(in string, data []byte) error {
+	raw, err := decodeAny(data)
+	if err != nil {
+		return fmt.Errorf("%s: CORRUPT: %v", in, err)
+	}
+	fmt.Printf("%s: OK (%d bytes, checksum verified)\n", in, len(raw))
+	return nil
+}
+
+// decodeAny sniffs the container: gzip magic or zlib.
+func decodeAny(data []byte) ([]byte, error) {
+	if len(data) >= 2 && data[0] == 0x1F && data[1] == 0x8B {
+		raw, _, err := lzssfpga.GzipDecompress(data)
+		return raw, err
+	}
+	return lzssfpga.Decompress(data)
+}

@@ -1,0 +1,101 @@
+package lzssfpga_test
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"strings"
+
+	"lzssfpga"
+)
+
+func ExampleCompress() {
+	data := []byte(strings.Repeat("log line: sensor nominal; ", 100))
+	z, err := lzssfpga.Compress(data, lzssfpga.HWSpeedParams())
+	if err != nil {
+		panic(err)
+	}
+	back, err := lzssfpga.Decompress(z)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(bytes.Equal(back, data), len(z) < len(data))
+	// Output: true true
+}
+
+func ExampleCompressCommands() {
+	// The paper's §III example: "snowy snow" → six literals and one
+	// copy of 4 bytes from distance 6.
+	cmds, err := lzssfpga.CompressCommands([]byte("snowy snow"), lzssfpga.HWSpeedParams())
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(len(cmds), cmds[len(cmds)-1])
+	// Output: 7 copy(d=6,l=4)
+}
+
+func ExampleSimulateHardware() {
+	data := bytes.Repeat([]byte("abcdefgh"), 4096)
+	res, err := lzssfpga.SimulateHardware(data, lzssfpga.DefaultHWConfig())
+	if err != nil {
+		panic(err)
+	}
+	// Highly periodic data compresses in long matches: well under the
+	// paper's 2-cycles/byte average.
+	fmt.Println(res.Stats.CyclesPerByte() < 2.0)
+	// Output: true
+}
+
+func ExampleNewWriter() {
+	var buf bytes.Buffer
+	w, err := lzssfpga.NewWriter(&buf, lzssfpga.HWSpeedParams())
+	if err != nil {
+		panic(err)
+	}
+	io.WriteString(w, "streams can be written ")
+	io.WriteString(w, "in as many chunks as needed")
+	w.Close()
+
+	r, err := lzssfpga.NewReader(&buf)
+	if err != nil {
+		panic(err)
+	}
+	out, _ := io.ReadAll(r)
+	fmt.Println(string(out))
+	// Output: streams can be written in as many chunks as needed
+}
+
+func ExampleEstimateResources() {
+	est, err := lzssfpga.EstimateResources(lzssfpga.DefaultHWConfig())
+	if err != nil {
+		panic(err)
+	}
+	// The paper's observation: the logic cost is a few percent of the
+	// Virtex-5; the memories dominate the budget.
+	fmt.Println(est.LUTs() > 2000, est.LUTs() < 3000, est.Blocks36 > 0)
+	// Output: true true true
+}
+
+func ExampleCompressBest() {
+	// Data dominated by high literals: the dynamic-Huffman path beats
+	// the hardware's fixed table.
+	data := bytes.Repeat([]byte{200, 201, 202, 203}, 8192)
+	fixed, _ := lzssfpga.Compress(data, lzssfpga.HWSpeedParams())
+	best, _ := lzssfpga.CompressBest(data, lzssfpga.HWSpeedParams())
+	fmt.Println(len(best) < len(fixed))
+	// Output: true
+}
+
+func ExampleCompressParallel() {
+	data := bytes.Repeat([]byte("parallel segments "), 100_000)
+	z, err := lzssfpga.CompressParallel(data, lzssfpga.HWSpeedParams(), 0, 0)
+	if err != nil {
+		panic(err)
+	}
+	out, err := lzssfpga.Decompress(z)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(bytes.Equal(out, data))
+	// Output: true
+}

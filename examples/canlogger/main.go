@@ -1,0 +1,105 @@
+// Canlogger plays the paper's motivating scenario: an embedded logging
+// system compressing a high-bandwidth, highly redundant CAN bus stream
+// in real time. A synthetic automotive log is streamed through the
+// hardware model over a DMA channel, and the report shows whether the
+// design keeps up with the bus and how much storage it saves.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"lzssfpga/internal/core"
+	"lzssfpga/internal/stream"
+	"lzssfpga/internal/workload"
+)
+
+func main() {
+	const logBytes = 8 << 20
+	data := workload.CAN(logBytes, 42)
+	fmt.Printf("CAN log: %d MiB of frame records (16 B each)\n", logBytes>>20)
+
+	cfg := core.DefaultConfig()
+	comp, err := core.New(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The logger's DMA delivers 32-bit words at the compressor clock
+	// after a descriptor-setup delay — the ML-507 arrangement.
+	src := &stream.PacedSource{Total: len(data), Latency: 5000, BytesPerCycle: 4}
+	res, err := comp.CompressStream(data, src, &stream.PacedSink{BytesPerCycle: 4})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	s := res.Stats
+	mbps := s.ThroughputMBps(cfg.ClockHz)
+	fmt.Printf("\ncompressor: %d B dictionary, %d-bit hash at %.0f MHz\n",
+		cfg.Match.Window, cfg.Match.HashBits, cfg.ClockHz/1e6)
+	fmt.Printf("throughput: %.1f MB/s (%.3f cycles/byte)\n", mbps, s.CyclesPerByte())
+	fmt.Printf("compressed: %d -> %d bytes (ratio %.2f)\n",
+		s.InputBytes, s.OutputBytes, s.Ratio())
+	fmt.Printf("\n%s\n", s.Summary())
+
+	// A 1 Mbit/s classic CAN bus peaks near 0.125 MB/s of payload; even
+	// a logger aggregating dozens of busses stays far below the
+	// compressor's throughput.
+	const busMBps = 0.125
+	fmt.Printf("headroom: one compressor sustains ~%.0f saturated 1 Mbit/s CAN busses\n", mbps/busMBps)
+	fmt.Printf("storage saved on a 24h trace: %.1f%%\n", 100*(1-1/s.Ratio()))
+
+	aggregate()
+	defend()
+}
+
+// aggregate shows the scale-out path: a logger aggregating dozens of
+// busses tiles more engines until the DMA link saturates.
+func aggregate() {
+	fmt.Println("\n--- scale-out: tiling engines for a multi-bus logger ---")
+	data := workload.CAN(4<<20, 43)
+	rows, err := core.ScalingTable(core.DefaultConfig(), data, []int{1, 2, 4, 8})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, r := range rows {
+		limit := "engine-limited"
+		if r.LinkLimited {
+			limit = "DMA-link-limited"
+		}
+		fmt.Printf("  %2d engines: %6.1f MB/s aggregate, %3d RAMB36 (%s)\n",
+			r.Engines, r.MBps, r.Blocks36, limit)
+	}
+}
+
+// defend shows the run-time knob: hostile traffic (deep chains, short
+// matches) would sink a deep-search configuration; the controller backs
+// the matching-iteration limit off to hold the line rate.
+func defend() {
+	fmt.Println("\n--- run-time control: defending the line rate ---")
+	cfg := core.DefaultConfig()
+	cfg.Match.MaxChain = 128
+	cfg.Match.Nice = 258
+	comp, err := core.New(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	hostile := make([]byte, 2<<20)
+	for i := 0; i < len(hostile); i += 8 {
+		copy(hostile[i:], "HDR__")
+		for j := i + 5; j < i+8 && j < len(hostile); j++ {
+			hostile[j] = byte((i * 2654435761) >> uint(j%24))
+		}
+	}
+	fixed, err := comp.Compress(hostile)
+	if err != nil {
+		log.Fatal(err)
+	}
+	adaptive, err := comp.CompressAdaptive(hostile, core.DefaultAdaptive(45))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  fixed deep search: %5.1f MB/s\n", fixed.Stats.ThroughputMBps(cfg.ClockHz))
+	fmt.Printf("  adaptive:          %5.1f MB/s (%d control decisions)\n",
+		adaptive.Stats.ThroughputMBps(cfg.ClockHz), len(adaptive.Trajectory))
+}

@@ -1,0 +1,54 @@
+// Designspace walks the trade-off the paper's evaluation section maps:
+// dictionary size and hash width against compression ratio, modeled
+// throughput and block RAM cost — the decision a designer makes before
+// committing FPGA resources.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"lzssfpga/internal/core"
+	"lzssfpga/internal/estimator"
+	"lzssfpga/internal/fpga"
+	"lzssfpga/internal/workload"
+)
+
+func main() {
+	data := workload.Wiki(2<<20, 7)
+	fmt.Println("design-space sweep over a 2 MiB Wiki-like sample")
+	fmt.Printf("\n%-10s %-6s %10s %10s %8s %10s %9s\n",
+		"dict", "hash", "ratio", "MB/s", "RAMB36", "LUTs", "fits?")
+
+	best := struct {
+		score float64
+		desc  string
+	}{}
+	for _, w := range []int{1024, 4096, 16384, 32768} {
+		for _, h := range []uint{9, 12, 15} {
+			cfg := core.DefaultConfig()
+			cfg.Match.Window = w
+			cfg.Match.HashBits = h
+			p, err := estimator.Evaluate(cfg, data)
+			if err != nil {
+				log.Fatal(err)
+			}
+			est, err := fpga.EstimateConfig(cfg)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fits := "yes"
+			if !est.Fits(fpga.XC5VFX70T) {
+				fits = "NO"
+			}
+			fmt.Printf("%-10d %-6d %10.3f %10.1f %8d %10d %9s\n",
+				w, h, p.Ratio(), p.MBps, est.Blocks36, est.LUTs(), fits)
+			// A simple figure of merit: throughput x ratio per block RAM.
+			if score := p.MBps * p.Ratio() / float64(est.Blocks36); score > best.score {
+				best.score = score
+				best.desc = fmt.Sprintf("%d B dictionary / %d-bit hash", w, h)
+			}
+		}
+	}
+	fmt.Printf("\nbest (MB/s x ratio) per RAMB36: %s\n", best.desc)
+}

@@ -1,0 +1,3 @@
+module lzssfpga
+
+go 1.22

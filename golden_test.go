@@ -1,0 +1,50 @@
+package lzssfpga
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"testing"
+
+	"lzssfpga/internal/workload"
+)
+
+// Golden digests pin the exact output bytes of the compression paths
+// for fixed corpora. The format is deterministic by design (no
+// timestamps, no map iteration, no randomness), so any digest change
+// means either an intentional format/matcher change — update the table
+// and say so in the commit — or an accidental regression.
+func TestGoldenOutputs(t *testing.T) {
+	type golden struct {
+		name string
+		gen  workload.Generator
+		n    int
+		best bool
+		size int
+		sha8 string
+	}
+	cases := []golden{
+		{"wiki", workload.Wiki, 200000, false, 116363, "ec664ae3ea6ba8c0"},
+		{"wiki", workload.Wiki, 200000, true, 88190, "e0aef3e7ae37fb69"},
+		{"can", workload.CAN, 200000, false, 123695, "39720c0aa492adea"},
+		{"can", workload.CAN, 200000, true, 107392, "f3a123d4368b80a9"},
+	}
+	for _, c := range cases {
+		data := c.gen(c.n, 1)
+		var z []byte
+		var err error
+		if c.best {
+			z, err = CompressBest(data, HWSpeedParams())
+		} else {
+			z, err = Compress(data, HWSpeedParams())
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum := sha256.Sum256(z)
+		got := hex.EncodeToString(sum[:8])
+		if len(z) != c.size || got != c.sha8 {
+			t.Errorf("%s (best=%v): len=%d sha=%s, golden len=%d sha=%s",
+				c.name, c.best, len(z), got, c.size, c.sha8)
+		}
+	}
+}

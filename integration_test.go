@@ -1,0 +1,191 @@
+package lzssfpga
+
+import (
+	"bytes"
+	"compress/zlib"
+	"io"
+	"math/rand"
+	"testing"
+
+	"lzssfpga/internal/core"
+	"lzssfpga/internal/deflate"
+	"lzssfpga/internal/lzss"
+	"lzssfpga/internal/token"
+	"lzssfpga/internal/workload"
+)
+
+// randomConfig draws a valid hardware configuration.
+func randomConfig(rng *rand.Rand) core.Config {
+	cfg := core.DefaultConfig()
+	windows := []int{1024, 2048, 4096, 8192, 16384, 32768}
+	cfg.Match.Window = windows[rng.Intn(len(windows))]
+	cfg.Match.HashBits = uint(8 + rng.Intn(8))
+	cfg.Match.MaxChain = 1 + rng.Intn(64)
+	cfg.Match.Nice = 3 + rng.Intn(256)
+	cfg.Match.InsertLimit = 3 + rng.Intn(64)
+	cfg.GenerationBits = uint(1 + rng.Intn(6)) // >=1: exact-equality domain
+	splits := []int{1, 2, 4, 8}
+	cfg.HeadSplit = splits[rng.Intn(len(splits))]
+	buses := []int{1, 2, 4}
+	cfg.DataBusBytes = buses[rng.Intn(len(buses))]
+	cfg.HashPrefetch = rng.Intn(2) == 0
+	return cfg
+}
+
+func randomCorpus(rng *rand.Rand, n int) []byte {
+	gens := []workload.Generator{workload.Wiki, workload.CAN, workload.Bitstream, workload.Random, workload.Zeros}
+	return gens[rng.Intn(len(gens))](n, rng.Int63())
+}
+
+// TestIntegrationRandomConfigs is the repo's fuzz-grade differential
+// check: for arbitrary configurations and corpora, the hardware model,
+// the software reference, the Deflate encoder, our inflater, the
+// streaming reader and the stdlib must all agree.
+func TestIntegrationRandomConfigs(t *testing.T) {
+	rng := rand.New(rand.NewSource(777))
+	trials := 25
+	if testing.Short() {
+		trials = 6
+	}
+	for trial := 0; trial < trials; trial++ {
+		cfg := randomConfig(rng)
+		data := randomCorpus(rng, 20_000+rng.Intn(60_000))
+
+		hw, err := SimulateHardware(data, cfg)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		swCmds, _, err := lzss.Compress(data, cfg.Match)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if !token.Equal(hw.Commands, swCmds) {
+			t.Fatalf("trial %d (cfg %+v): hw/sw diverge at %d",
+				trial, cfg.Match, token.FirstDiff(hw.Commands, swCmds))
+		}
+		// Four independent decoders over the hardware stream.
+		own, err := Decompress(hw.Zlib)
+		if err != nil || !bytes.Equal(own, data) {
+			t.Fatalf("trial %d: own inflater: %v", trial, err)
+		}
+		zr, err := zlib.NewReader(bytes.NewReader(hw.Zlib))
+		if err != nil {
+			t.Fatalf("trial %d: stdlib header: %v", trial, err)
+		}
+		std, err := io.ReadAll(zr)
+		if err != nil || !bytes.Equal(std, data) {
+			t.Fatalf("trial %d: stdlib: %v", trial, err)
+		}
+		sr, err := NewReader(bytes.NewReader(hw.Zlib))
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		streamed, err := io.ReadAll(sr)
+		if (err != nil && err != io.EOF) || !bytes.Equal(streamed, data) {
+			t.Fatalf("trial %d: streaming reader: %v", trial, err)
+		}
+		dres, err := core.Decompressor{Window: token.MaxDistance, BusBytes: 4, InputBitsPerCycle: 32, ClockHz: 1e8}.Run(hw.Commands)
+		if err != nil || !bytes.Equal(dres.Data, data) {
+			t.Fatalf("trial %d: hardware decompressor: %v", trial, err)
+		}
+	}
+}
+
+// TestIntegrationFormatsAgree checks the three encoders against each
+// other: same commands, three block formats, one output.
+func TestIntegrationFormatsAgree(t *testing.T) {
+	rng := rand.New(rand.NewSource(778))
+	for trial := 0; trial < 10; trial++ {
+		data := randomCorpus(rng, 30_000)
+		cmds, _, err := lzss.Compress(data, HWSpeedParams())
+		if err != nil {
+			t.Fatal(err)
+		}
+		fixed, err := deflate.FixedDeflate(cmds)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dyn, err := deflate.DynamicDeflate(cmds)
+		if err != nil {
+			t.Fatal(err)
+		}
+		best, err := deflate.BestDeflate(cmds, data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, body := range [][]byte{fixed, dyn, best} {
+			out, err := deflate.Inflate(body)
+			if err != nil || !bytes.Equal(out, data) {
+				t.Fatalf("trial %d format %d: %v", trial, i, err)
+			}
+		}
+		if len(best) > len(fixed) || len(best) > len(dyn) {
+			t.Fatalf("trial %d: best (%d) worse than fixed (%d) or dynamic (%d)",
+				trial, len(best), len(fixed), len(dyn))
+		}
+	}
+}
+
+// TestIntegrationStreamingMatchesOneShot: the streaming writer's LZSS
+// stage must produce byte-identical output to the one-shot path when
+// the block boundaries align (single block).
+func TestIntegrationStreamingMatchesOneShot(t *testing.T) {
+	data := workload.CAN(60_000, 41)
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, HWSpeedParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Write(data)
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	out, err := Decompress(buf.Bytes())
+	if err != nil || !bytes.Equal(out, data) {
+		t.Fatalf("streaming stream invalid: %v", err)
+	}
+	// Command-level equivalence.
+	sc, err := lzss.NewStreamCompressor(HWSpeedParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	streamed := append(sc.Write(data), sc.Close()...)
+	oneShot, _, err := lzss.Compress(data, HWSpeedParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !token.Equal(streamed, oneShot) {
+		t.Fatal("streaming and one-shot LZSS diverge")
+	}
+}
+
+// TestIntegrationRatioOrdering: across the stack, the expected quality
+// ordering must hold on compressible data.
+func TestIntegrationRatioOrdering(t *testing.T) {
+	data := workload.Wiki(400_000, 42)
+	sizeOf := func(b []byte, err error) int {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return len(b)
+	}
+	fixedMin := sizeOf(Compress(data, HWSpeedParams()))
+	bestMin := sizeOf(CompressBest(data, HWSpeedParams()))
+	bestMax := sizeOf(CompressBest(data, LevelParams(LevelMax, 32768, 15)))
+	var stdBuf bytes.Buffer
+	zw, _ := zlib.NewWriterLevel(&stdBuf, zlib.BestCompression)
+	zw.Write(data)
+	zw.Close()
+	if !(bestMin <= fixedMin) {
+		t.Fatalf("best(min) %d > fixed(min) %d", bestMin, fixedMin)
+	}
+	if !(bestMax < bestMin) {
+		t.Fatalf("best(max) %d not smaller than best(min) %d", bestMax, bestMin)
+	}
+	// Our max level with dynamic blocks should be within ~15% of
+	// stdlib's best (stdlib splits blocks adaptively, we don't).
+	if float64(bestMax) > 1.15*float64(stdBuf.Len()) {
+		t.Fatalf("best(max) %d too far from stdlib-9 %d", bestMax, stdBuf.Len())
+	}
+}

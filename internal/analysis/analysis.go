@@ -1,0 +1,201 @@
+// Package analysis profiles LZSS command streams — the match-length and
+// distance statistics the paper's companion analyzer visualizes and the
+// quantities its design-space arguments turn on (how far matches reach
+// decides the dictionary size; how long they run decides the insert
+// limit; how often they fail decides the prefetch win).
+package analysis
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"lzssfpga/internal/deflate"
+	"lzssfpga/internal/token"
+)
+
+// Profile summarizes one command stream.
+type Profile struct {
+	// Commands, Literals, Matches count the stream's composition.
+	Commands int
+	Literals int
+	Matches  int
+	// SrcBytes covered and MatchedBytes of them via copies.
+	SrcBytes     int
+	MatchedBytes int
+	// EncodedBits under the fixed Huffman table.
+	EncodedBits int
+	// LengthHist buckets match lengths: 3-4, 5-8, 9-16, ..., 129-258.
+	LengthHist [7]int
+	// DistHist buckets distances by power of two: <=64, <=128, ...,
+	// <=32768.
+	DistHist [10]int
+	// MaxDistance and MaxLength observed.
+	MaxDistance int
+	MaxLength   int
+	// LitEntropy is the Shannon entropy (bits/byte) of the literal
+	// bytes — how much a dynamic literal table could still recover.
+	LitEntropy float64
+}
+
+// lengthBucket maps a match length to its histogram slot.
+func lengthBucket(l int) int {
+	switch {
+	case l <= 4:
+		return 0
+	case l <= 8:
+		return 1
+	case l <= 16:
+		return 2
+	case l <= 32:
+		return 3
+	case l <= 64:
+		return 4
+	case l <= 128:
+		return 5
+	default:
+		return 6
+	}
+}
+
+// distBucket maps a distance to its histogram slot (<=64 · 2^i).
+func distBucket(d int) int {
+	for i := 0; i < 9; i++ {
+		if d <= 64<<i {
+			return i
+		}
+	}
+	return 9
+}
+
+// lengthBucketLabel names slot i.
+func lengthBucketLabel(i int) string {
+	labels := [7]string{"3-4", "5-8", "9-16", "17-32", "33-64", "65-128", "129-258"}
+	return labels[i]
+}
+
+// Analyze builds the profile of cmds.
+func Analyze(cmds []token.Command) Profile {
+	var p Profile
+	var litFreq [256]int
+	p.Commands = len(cmds)
+	for _, c := range cmds {
+		p.EncodedBits += deflate.CommandBits(c)
+		if c.K == token.Literal {
+			p.Literals++
+			p.SrcBytes++
+			litFreq[c.Lit]++
+			continue
+		}
+		p.Matches++
+		p.SrcBytes += c.Length
+		p.MatchedBytes += c.Length
+		p.LengthHist[lengthBucket(c.Length)]++
+		p.DistHist[distBucket(c.Distance)]++
+		if c.Distance > p.MaxDistance {
+			p.MaxDistance = c.Distance
+		}
+		if c.Length > p.MaxLength {
+			p.MaxLength = c.Length
+		}
+	}
+	if p.Literals > 0 {
+		for _, f := range litFreq {
+			if f == 0 {
+				continue
+			}
+			q := float64(f) / float64(p.Literals)
+			p.LitEntropy -= q * math.Log2(q)
+		}
+	}
+	return p
+}
+
+// MatchCoverage is the fraction of source bytes covered by copies.
+func (p Profile) MatchCoverage() float64 {
+	if p.SrcBytes == 0 {
+		return 0
+	}
+	return float64(p.MatchedBytes) / float64(p.SrcBytes)
+}
+
+// AvgMatchLen is the mean copy length.
+func (p Profile) AvgMatchLen() float64 {
+	if p.Matches == 0 {
+		return 0
+	}
+	return float64(p.MatchedBytes) / float64(p.Matches)
+}
+
+// BitsPerByte is the fixed-table encoding density.
+func (p Profile) BitsPerByte() float64 {
+	if p.SrcBytes == 0 {
+		return 0
+	}
+	return float64(p.EncodedBits) / float64(p.SrcBytes)
+}
+
+// DictUtilization returns, per distance bucket, the cumulative fraction
+// of matches reachable with a dictionary of that size — the evidence
+// behind "increasing the dictionary size improves the compression
+// ratio ... more significant for larger hash sizes" (Fig 2).
+func (p Profile) DictUtilization() []float64 {
+	out := make([]float64, len(p.DistHist))
+	if p.Matches == 0 {
+		return out
+	}
+	run := 0
+	for i, n := range p.DistHist {
+		run += n
+		out[i] = float64(run) / float64(p.Matches)
+	}
+	return out
+}
+
+// Render prints the profile as the analyzer tool's report.
+func (p Profile) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "commands %d: %d literals, %d matches (%.1f%% of bytes matched, avg len %.1f)\n",
+		p.Commands, p.Literals, p.Matches, 100*p.MatchCoverage(), p.AvgMatchLen())
+	fmt.Fprintf(&b, "fixed-table density %.2f bits/byte; literal entropy %.2f bits\n",
+		p.BitsPerByte(), p.LitEntropy)
+	b.WriteString("match lengths:\n")
+	for i, n := range p.LengthHist {
+		fmt.Fprintf(&b, "  %-8s %8d %s\n", lengthBucketLabel(i), n, bar(n, p.Matches))
+	}
+	b.WriteString("match distances (cumulative dictionary reach):\n")
+	util := p.DictUtilization()
+	for i, n := range p.DistHist {
+		fmt.Fprintf(&b, "  <=%-6d %8d  %5.1f%% %s\n", 64<<i, n, 100*util[i], bar(n, p.Matches))
+	}
+	return b.String()
+}
+
+func bar(n, total int) string {
+	if total == 0 {
+		return ""
+	}
+	return strings.Repeat("#", int(40*float64(n)/float64(total)+0.5))
+}
+
+// Compare renders several named profiles side by side on the headline
+// metrics, sorted by match coverage.
+func Compare(names []string, profiles []Profile) string {
+	type row struct {
+		name string
+		p    Profile
+	}
+	rows := make([]row, len(names))
+	for i := range names {
+		rows[i] = row{names[i], profiles[i]}
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].p.MatchCoverage() > rows[j].p.MatchCoverage() })
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-12s %10s %10s %10s %10s\n", "corpus", "matched%", "avg len", "bits/B", "lit H")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-12s %9.1f%% %10.1f %10.2f %10.2f\n",
+			r.name, 100*r.p.MatchCoverage(), r.p.AvgMatchLen(), r.p.BitsPerByte(), r.p.LitEntropy)
+	}
+	return b.String()
+}

@@ -1,0 +1,149 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+
+	"lzssfpga/internal/lzss"
+	"lzssfpga/internal/token"
+	"lzssfpga/internal/workload"
+)
+
+func TestAnalyzeHandConstructed(t *testing.T) {
+	cmds := []token.Command{
+		token.Lit('a'), token.Lit('b'),
+		token.Copy(2, 4),    // bucket 3-4, dist <=64
+		token.Copy(100, 20), // bucket 17-32, dist <=128
+		token.Copy(5000, 258),
+	}
+	p := Analyze(cmds)
+	if p.Commands != 5 || p.Literals != 2 || p.Matches != 3 {
+		t.Fatalf("composition: %+v", p)
+	}
+	if p.SrcBytes != 2+4+20+258 {
+		t.Fatalf("SrcBytes %d", p.SrcBytes)
+	}
+	if p.MatchedBytes != 282 {
+		t.Fatalf("MatchedBytes %d", p.MatchedBytes)
+	}
+	if p.LengthHist[0] != 1 || p.LengthHist[3] != 1 || p.LengthHist[6] != 1 {
+		t.Fatalf("length hist %v", p.LengthHist)
+	}
+	if p.DistHist[0] != 1 || p.DistHist[1] != 1 {
+		t.Fatalf("dist hist %v", p.DistHist)
+	}
+	if p.MaxDistance != 5000 || p.MaxLength != 258 {
+		t.Fatalf("maxima %d %d", p.MaxDistance, p.MaxLength)
+	}
+	// Two equiprobable literal values: entropy exactly 1 bit.
+	if p.LitEntropy < 0.999 || p.LitEntropy > 1.001 {
+		t.Fatalf("entropy %f, want 1", p.LitEntropy)
+	}
+}
+
+func TestAnalyzeEmpty(t *testing.T) {
+	p := Analyze(nil)
+	if p.MatchCoverage() != 0 || p.AvgMatchLen() != 0 || p.BitsPerByte() != 0 {
+		t.Fatal("zero stream must give zero metrics")
+	}
+}
+
+func TestDictUtilizationCumulative(t *testing.T) {
+	data := workload.Wiki(500_000, 130)
+	cmds, _, err := lzss.Compress(data, lzss.LevelParams(lzss.LevelMax, 32768, 15))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := Analyze(cmds)
+	util := p.DictUtilization()
+	prev := 0.0
+	for i, u := range util {
+		if u < prev {
+			t.Fatalf("utilization not cumulative at bucket %d", i)
+		}
+		prev = u
+	}
+	if util[len(util)-1] < 0.999 {
+		t.Fatalf("last bucket covers %.3f, want 1", util[len(util)-1])
+	}
+	// Fig 2's premise: a meaningful share of matches needs > 1 KiB of
+	// reach on wiki text at max level.
+	if util[4] > 0.995 { // <=1024
+		t.Fatalf("all matches within 1K (%.3f) — long-range redundancy missing", util[4])
+	}
+}
+
+func TestEncodedBitsMatchStream(t *testing.T) {
+	data := workload.CAN(200_000, 131)
+	cmds, _, err := lzss.Compress(data, lzss.HWSpeedParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := Analyze(cmds)
+	if p.SrcBytes != len(data) {
+		t.Fatalf("SrcBytes %d != %d", p.SrcBytes, len(data))
+	}
+	// bits/byte must be < 8 for compressible data and consistent with
+	// the actual compressed size (header/trailer aside).
+	if p.BitsPerByte() >= 8 {
+		t.Fatalf("bits/byte %.2f on compressible data", p.BitsPerByte())
+	}
+}
+
+func TestRenderAndCompare(t *testing.T) {
+	corpora := map[string][]byte{
+		"wiki": workload.Wiki(100_000, 132),
+		"can":  workload.CAN(100_000, 132),
+		"rand": workload.Random(50_000, 132),
+	}
+	var names []string
+	var profiles []Profile
+	for name, data := range corpora {
+		cmds, _, err := lzss.Compress(data, lzss.HWSpeedParams())
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := Analyze(cmds)
+		names = append(names, name)
+		profiles = append(profiles, p)
+		out := p.Render()
+		for _, want := range []string{"match lengths:", "match distances", "bits/byte"} {
+			if !strings.Contains(out, want) {
+				t.Fatalf("%s render missing %q:\n%s", name, want, out)
+			}
+		}
+	}
+	cmp := Compare(names, profiles)
+	for _, name := range names {
+		if !strings.Contains(cmp, name) {
+			t.Fatalf("compare missing %s:\n%s", name, cmp)
+		}
+	}
+	// Random must sort last (lowest coverage).
+	if !strings.HasSuffix(strings.TrimSpace(cmp), strings.TrimSpace(lastLine(cmp))) {
+		t.Fatal("sanity")
+	}
+	if !strings.Contains(lastLine(cmp), "rand") {
+		t.Fatalf("random corpus should have the lowest match coverage:\n%s", cmp)
+	}
+}
+
+func lastLine(s string) string {
+	lines := strings.Split(strings.TrimSpace(s), "\n")
+	return lines[len(lines)-1]
+}
+
+func TestBucketBoundaries(t *testing.T) {
+	if lengthBucket(3) != 0 || lengthBucket(4) != 0 || lengthBucket(5) != 1 {
+		t.Fatal("length bucket boundary at 4/5 wrong")
+	}
+	if lengthBucket(258) != 6 || lengthBucket(129) != 6 || lengthBucket(128) != 5 {
+		t.Fatal("length bucket boundary at 128/129 wrong")
+	}
+	if distBucket(64) != 0 || distBucket(65) != 1 {
+		t.Fatal("dist bucket boundary at 64/65 wrong")
+	}
+	if distBucket(32768) != 9 {
+		t.Fatal("max distance bucket wrong")
+	}
+}

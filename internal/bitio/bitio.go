@@ -1,0 +1,251 @@
+// Package bitio implements bit-granular I/O in the LSB-first bit order
+// used by the Deflate format (RFC 1951).
+//
+// Within each output byte, bits are filled starting at the least
+// significant position. Multi-bit fields written with Writer.WriteBits
+// are emitted least-significant-bit first, which matches how Deflate
+// stores "extra bits" and block headers. Huffman codes in Deflate are
+// the one exception: they are stored most-significant-bit first, so the
+// Writer provides WriteBitsRev for them.
+package bitio
+
+import (
+	"errors"
+	"io"
+)
+
+// Writer accumulates bits and writes completed bytes to an underlying
+// io.Writer. The zero value is not usable; call NewWriter.
+type Writer struct {
+	w    io.Writer
+	acc  uint64 // pending bits, LSB-first
+	nAcc uint   // number of valid bits in acc (always < 8 after flushAcc)
+	buf  []byte // batch buffer to limit Write calls
+	err  error
+	// BitsWritten counts every bit accepted, including padding emitted
+	// by AlignByte. It is exact even after an error.
+	bitsWritten int64
+}
+
+// NewWriter returns a Writer emitting to w.
+func NewWriter(w io.Writer) *Writer {
+	return &Writer{w: w, buf: make([]byte, 0, 4096)}
+}
+
+// Reset discards all pending state and retargets the Writer at w.
+func (bw *Writer) Reset(w io.Writer) {
+	bw.w = w
+	bw.acc = 0
+	bw.nAcc = 0
+	bw.buf = bw.buf[:0]
+	bw.err = nil
+	bw.bitsWritten = 0
+}
+
+// Err returns the first error encountered while writing, if any.
+func (bw *Writer) Err() error { return bw.err }
+
+// BitsWritten reports the total number of bits accepted so far.
+func (bw *Writer) BitsWritten() int64 { return bw.bitsWritten }
+
+// WriteBits writes the n least-significant bits of v, LSB first.
+// n must be in [0, 32].
+func (bw *Writer) WriteBits(v uint32, n uint) {
+	if n > 32 {
+		panic("bitio: WriteBits count > 32")
+	}
+	if bw.err != nil {
+		return
+	}
+	if n < 32 {
+		v &= (1 << n) - 1
+	}
+	bw.acc |= uint64(v) << bw.nAcc
+	bw.nAcc += n
+	bw.bitsWritten += int64(n)
+	for bw.nAcc >= 8 {
+		bw.buf = append(bw.buf, byte(bw.acc))
+		bw.acc >>= 8
+		bw.nAcc -= 8
+		if len(bw.buf) >= cap(bw.buf) {
+			bw.flushBuf()
+		}
+	}
+}
+
+// WriteBitsRev writes the n least-significant bits of v with the most
+// significant of those bits first. This is the storage order of Huffman
+// codes in Deflate. n must be in [0, 32].
+func (bw *Writer) WriteBitsRev(v uint32, n uint) {
+	bw.WriteBits(Reverse(v, n), n)
+}
+
+// WriteBool writes a single bit.
+func (bw *Writer) WriteBool(b bool) {
+	if b {
+		bw.WriteBits(1, 1)
+	} else {
+		bw.WriteBits(0, 1)
+	}
+}
+
+// AlignByte pads with zero bits up to the next byte boundary. It is a
+// no-op when already aligned.
+func (bw *Writer) AlignByte() {
+	if rem := bw.nAcc % 8; rem != 0 {
+		bw.WriteBits(0, 8-rem)
+	}
+}
+
+// WriteBytes byte-aligns the stream and then writes p verbatim.
+func (bw *Writer) WriteBytes(p []byte) {
+	bw.AlignByte()
+	if bw.err != nil {
+		return
+	}
+	bw.bitsWritten += int64(len(p)) * 8
+	bw.buf = append(bw.buf, p...)
+	if len(bw.buf) >= cap(bw.buf) {
+		bw.flushBuf()
+	}
+}
+
+func (bw *Writer) flushBuf() {
+	if bw.err != nil || len(bw.buf) == 0 {
+		bw.buf = bw.buf[:0]
+		return
+	}
+	_, err := bw.w.Write(bw.buf)
+	if err != nil {
+		bw.err = err
+	}
+	bw.buf = bw.buf[:0]
+}
+
+// Flush byte-aligns the stream (padding with zeros) and pushes all
+// buffered bytes to the underlying writer. It returns the first error
+// encountered by the Writer.
+func (bw *Writer) Flush() error {
+	bw.AlignByte()
+	bw.flushBuf()
+	return bw.err
+}
+
+// Reverse returns the n low bits of v in reversed order.
+func Reverse(v uint32, n uint) uint32 {
+	var r uint32
+	for i := uint(0); i < n; i++ {
+		r = r<<1 | (v & 1)
+		v >>= 1
+	}
+	return r
+}
+
+// ErrUnexpectedEOF is returned by Reader when the source runs out in the
+// middle of a requested field.
+var ErrUnexpectedEOF = errors.New("bitio: unexpected end of bit stream")
+
+// Reader extracts bit fields, LSB-first, from an io.Reader.
+type Reader struct {
+	r    io.Reader
+	acc  uint64
+	nAcc uint
+	buf  []byte
+	pos  int
+	n    int
+	err  error
+	// bitsRead counts every consumed bit including alignment padding.
+	bitsRead int64
+}
+
+// NewReader returns a Reader consuming from r.
+func NewReader(r io.Reader) *Reader {
+	return &Reader{r: r, buf: make([]byte, 4096)}
+}
+
+// Reset discards state and retargets the Reader at r.
+func (br *Reader) Reset(r io.Reader) {
+	br.r = r
+	br.acc, br.nAcc = 0, 0
+	br.pos, br.n = 0, 0
+	br.err = nil
+	br.bitsRead = 0
+}
+
+// BitsRead reports the total number of bits consumed so far.
+func (br *Reader) BitsRead() int64 { return br.bitsRead }
+
+func (br *Reader) fill() {
+	for br.nAcc <= 56 {
+		if br.pos >= br.n {
+			if br.err != nil {
+				return
+			}
+			n, err := br.r.Read(br.buf)
+			br.pos, br.n = 0, n
+			if err != nil {
+				br.err = err
+				if n == 0 {
+					return
+				}
+			}
+			if n == 0 {
+				return
+			}
+		}
+		br.acc |= uint64(br.buf[br.pos]) << br.nAcc
+		br.pos++
+		br.nAcc += 8
+	}
+}
+
+// ReadBits reads n bits (n in [0,32]) and returns them LSB-first.
+func (br *Reader) ReadBits(n uint) (uint32, error) {
+	if n > 32 {
+		panic("bitio: ReadBits count > 32")
+	}
+	if br.nAcc < n {
+		br.fill()
+		if br.nAcc < n {
+			if br.err == nil || br.err == io.EOF {
+				return 0, ErrUnexpectedEOF
+			}
+			return 0, br.err
+		}
+	}
+	v := uint32(br.acc & ((1 << n) - 1))
+	if n == 32 {
+		v = uint32(br.acc)
+	}
+	br.acc >>= n
+	br.nAcc -= n
+	br.bitsRead += int64(n)
+	return v, nil
+}
+
+// ReadBool reads a single bit.
+func (br *Reader) ReadBool() (bool, error) {
+	v, err := br.ReadBits(1)
+	return v == 1, err
+}
+
+// AlignByte discards bits up to the next byte boundary.
+func (br *Reader) AlignByte() {
+	rem := br.nAcc % 8
+	br.acc >>= rem
+	br.nAcc -= rem
+	br.bitsRead += int64(rem)
+}
+
+// ReadBytes byte-aligns the stream and reads exactly len(p) bytes into p.
+func (br *Reader) ReadBytes(p []byte) error {
+	br.AlignByte()
+	for i := range p {
+		v, err := br.ReadBits(8)
+		if err != nil {
+			return err
+		}
+		p[i] = byte(v)
+	}
+	return nil
+}

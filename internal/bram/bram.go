@@ -1,0 +1,193 @@
+// Package bram models the independently addressable dual-port block
+// RAMs of a Virtex-5 FPGA — the resource the paper's whole architecture
+// is built around. A BRAM has two ports; each port can perform one
+// read or one write per clock cycle (true dual port), reads are
+// synchronous (data appears the next cycle), and the package computes
+// how many physical RAMB36 primitives a given geometry consumes.
+package bram
+
+import (
+	"fmt"
+)
+
+// Port identifiers of a dual-port memory.
+const (
+	PortA = 0
+	PortB = 1
+)
+
+// BRAM is a dual-port memory of depth words × width bits (width ≤ 64).
+type BRAM struct {
+	name  string
+	depth int
+	width uint
+	data  []uint64
+	mask  uint64
+
+	// Per-cycle port bookkeeping: ops counts accesses in the current
+	// cycle and trips the conflict check; totals accumulate for stats.
+	ops    [2]int
+	reads  [2]int64
+	writes [2]int64
+	// pending synchronous read data per port (valid after Tick).
+	pending [2]uint64
+	valid   [2]bool
+	out     [2]uint64
+}
+
+// New builds a BRAM. Width must be in [1,64]; depth positive.
+func New(name string, depth int, width uint) (*BRAM, error) {
+	if depth <= 0 {
+		return nil, fmt.Errorf("bram %s: depth %d", name, depth)
+	}
+	if width < 1 || width > 64 {
+		return nil, fmt.Errorf("bram %s: width %d out of [1,64]", name, width)
+	}
+	mask := ^uint64(0)
+	if width < 64 {
+		mask = 1<<width - 1
+	}
+	return &BRAM{name: name, depth: depth, width: width, data: make([]uint64, depth), mask: mask}, nil
+}
+
+// Name returns the instance name.
+func (b *BRAM) Name() string { return b.name }
+
+// Depth returns the word count.
+func (b *BRAM) Depth() int { return b.depth }
+
+// Width returns the word width in bits.
+func (b *BRAM) Width() uint { return b.width }
+
+func (b *BRAM) use(port int) {
+	if port != PortA && port != PortB {
+		panic(fmt.Sprintf("bram %s: invalid port %d", b.name, port))
+	}
+	b.ops[port]++
+	if b.ops[port] > 1 {
+		panic(fmt.Sprintf("bram %s: port %d used twice in one cycle", b.name, port))
+	}
+}
+
+func (b *BRAM) checkAddr(addr int) {
+	if addr < 0 || addr >= b.depth {
+		panic(fmt.Sprintf("bram %s: address %d out of [0,%d)", b.name, addr, b.depth))
+	}
+}
+
+// Read issues a synchronous read on port; the value is observable via
+// Out(port) after the next Tick.
+func (b *BRAM) Read(port, addr int) {
+	b.use(port)
+	b.checkAddr(addr)
+	b.reads[port]++
+	b.pending[port] = b.data[addr]
+	b.valid[port] = true
+}
+
+// Write stores value (masked to width) at addr through port.
+func (b *BRAM) Write(port, addr int, value uint64) {
+	b.use(port)
+	b.checkAddr(addr)
+	b.writes[port]++
+	b.data[addr] = value & b.mask
+}
+
+// Out returns the data latched by the most recent completed Read on
+// port (i.e. a Read followed by a Tick).
+func (b *BRAM) Out(port int) uint64 { return b.out[port] }
+
+// Peek reads combinationally, bypassing ports — for checking and
+// debugging only, never for modeled datapaths.
+func (b *BRAM) Peek(addr int) uint64 {
+	b.checkAddr(addr)
+	return b.data[addr]
+}
+
+// Poke writes directly, bypassing ports — for test setup only.
+func (b *BRAM) Poke(addr int, value uint64) {
+	b.checkAddr(addr)
+	b.data[addr] = value & b.mask
+}
+
+// Tick advances one clock: read data becomes visible, port-usage
+// counters reset.
+func (b *BRAM) Tick() {
+	for p := 0; p < 2; p++ {
+		if b.valid[p] {
+			b.out[p] = b.pending[p]
+			b.valid[p] = false
+		}
+		b.ops[p] = 0
+	}
+}
+
+// Accesses reports the total reads and writes per port.
+func (b *BRAM) Accesses() (reads, writes [2]int64) { return b.reads, b.writes }
+
+// Clear zeroes the contents (contents only; counters survive).
+func (b *BRAM) Clear() {
+	for i := range b.data {
+		b.data[i] = 0
+	}
+}
+
+// --- physical primitive accounting ---
+
+// ramb36Aspects lists the depth×width configurations of one Virtex-5
+// RAMB36 primitive (36 Kb true-dual-port block, UG190 table 4-4).
+var ramb36Aspects = [][2]int{
+	{32768, 1}, {16384, 2}, {8192, 4}, {4096, 9}, {2048, 18}, {1024, 36},
+}
+
+// Blocks36 returns the number of RAMB36 primitives needed to implement
+// a depth×width memory, choosing the best aspect ratio (the packing an
+// FPGA toolchain performs).
+func Blocks36(depth int, width uint) int {
+	if depth <= 0 || width == 0 {
+		return 0
+	}
+	best := 0
+	for _, a := range ramb36Aspects {
+		d, w := a[0], a[1]
+		n := ceilDiv(depth, d) * ceilDiv(int(width), w)
+		if best == 0 || n < best {
+			best = n
+		}
+	}
+	return best
+}
+
+// Blocks36Of returns the primitive count for an instantiated BRAM.
+func Blocks36Of(b *BRAM) int { return Blocks36(b.depth, b.width) }
+
+// KbitsOf returns the raw storage of the memory in kilobits, the
+// quantity Fig-style BRAM budgets are discussed in.
+func KbitsOf(depth int, width uint) float64 {
+	return float64(depth) * float64(width) / 1024
+}
+
+func ceilDiv(a, b int) int { return (a + b - 1) / b }
+
+// ramb18Aspects lists the configurations of a RAMB18 half-block.
+var ramb18Aspects = [][2]int{
+	{16384, 1}, {8192, 2}, {4096, 4}, {2048, 9}, {1024, 18},
+}
+
+// Blocks18 returns how many RAMB18 half-primitives a depth×width memory
+// needs — small tables often fit a half block, halving the budget
+// Blocks36 would report.
+func Blocks18(depth int, width uint) int {
+	if depth <= 0 || width == 0 {
+		return 0
+	}
+	best := 0
+	for _, a := range ramb18Aspects {
+		d, w := a[0], a[1]
+		n := ceilDiv(depth, d) * ceilDiv(int(width), w)
+		if best == 0 || n < best {
+			best = n
+		}
+	}
+	return best
+}

@@ -1,0 +1,207 @@
+package bram
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func mustNew(t *testing.T, name string, depth int, width uint) *BRAM {
+	t.Helper()
+	b, err := New(name, depth, width)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New("x", 0, 8); err == nil {
+		t.Error("zero depth accepted")
+	}
+	if _, err := New("x", 16, 0); err == nil {
+		t.Error("zero width accepted")
+	}
+	if _, err := New("x", 16, 65); err == nil {
+		t.Error("width 65 accepted")
+	}
+	b := mustNew(t, "ok", 16, 64)
+	if b.Depth() != 16 || b.Width() != 64 || b.Name() != "ok" {
+		t.Error("accessors wrong")
+	}
+}
+
+func TestSynchronousReadLatency(t *testing.T) {
+	b := mustNew(t, "m", 16, 8)
+	b.Poke(3, 0xAB)
+	b.Read(PortA, 3)
+	// Before Tick the read data must not be visible.
+	if b.Out(PortA) == 0xAB {
+		t.Fatal("read data visible combinationally")
+	}
+	b.Tick()
+	if b.Out(PortA) != 0xAB {
+		t.Fatalf("Out = %x, want ab", b.Out(PortA))
+	}
+	// Out holds its value across idle cycles.
+	b.Tick()
+	if b.Out(PortA) != 0xAB {
+		t.Fatal("Out not held")
+	}
+}
+
+func TestDualPortSameCycle(t *testing.T) {
+	b := mustNew(t, "m", 16, 16)
+	b.Poke(1, 0x1111)
+	// Port A reads while port B writes elsewhere — legal on dual-port.
+	b.Read(PortA, 1)
+	b.Write(PortB, 2, 0x2222)
+	b.Tick()
+	if b.Out(PortA) != 0x1111 {
+		t.Fatal("port A read failed")
+	}
+	if b.Peek(2) != 0x2222 {
+		t.Fatal("port B write failed")
+	}
+}
+
+func TestPortConflictPanics(t *testing.T) {
+	b := mustNew(t, "m", 16, 8)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double use of one port in a cycle must panic")
+		}
+	}()
+	b.Read(PortA, 0)
+	b.Read(PortA, 1)
+}
+
+func TestWidthMasking(t *testing.T) {
+	b := mustNew(t, "m", 4, 5)
+	b.Write(PortA, 0, 0xFF)
+	b.Tick()
+	if b.Peek(0) != 0x1F {
+		t.Fatalf("got %x, want 1f (5-bit mask)", b.Peek(0))
+	}
+}
+
+func TestAddrOutOfRangePanics(t *testing.T) {
+	b := mustNew(t, "m", 4, 8)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range address must panic")
+		}
+	}()
+	b.Read(PortA, 4)
+}
+
+func TestAccessCounters(t *testing.T) {
+	b := mustNew(t, "m", 8, 8)
+	b.Read(PortA, 0)
+	b.Tick()
+	b.Write(PortB, 1, 9)
+	b.Tick()
+	b.Read(PortB, 1)
+	b.Tick()
+	r, w := b.Accesses()
+	if r[PortA] != 1 || r[PortB] != 1 || w[PortB] != 1 || w[PortA] != 0 {
+		t.Fatalf("counters r=%v w=%v", r, w)
+	}
+}
+
+func TestClear(t *testing.T) {
+	b := mustNew(t, "m", 4, 8)
+	b.Poke(2, 7)
+	b.Clear()
+	if b.Peek(2) != 0 {
+		t.Fatal("Clear did not zero")
+	}
+}
+
+func TestBlocks36KnownGeometries(t *testing.T) {
+	cases := []struct {
+		depth int
+		width uint
+		want  int
+	}{
+		{1024, 36, 1},
+		{1024, 32, 1},
+		{2048, 18, 1},
+		{32768, 1, 1},
+		{4096, 9, 1},
+		{4096, 18, 2},
+		{8192, 32, 8},
+		{512, 8, 1},     // under-uses one primitive
+		{32768, 17, 16}, // 15-bit-hash head table: 8 deep x 2 wide in 4096x9 aspect
+		{0, 8, 0},
+		{16, 0, 0},
+	}
+	for _, c := range cases {
+		if got := Blocks36(c.depth, c.width); got != c.want {
+			t.Errorf("Blocks36(%d,%d) = %d, want %d", c.depth, c.width, got, c.want)
+		}
+	}
+}
+
+func TestBlocks36Monotone(t *testing.T) {
+	f := func(d uint16, w uint8) bool {
+		depth := int(d)%16384 + 1
+		width := uint(w)%36 + 1
+		n := Blocks36(depth, width)
+		if n < 1 {
+			return false
+		}
+		// Capacity must cover the request.
+		return float64(n)*36*1024 >= float64(depth)*float64(width)*0.999/8 // generous: aspect-limited packing can waste, but never undershoot raw bits/8? keep sanity loose
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBlocks36OfAndKbits(t *testing.T) {
+	b := mustNew(t, "m", 1024, 36)
+	if Blocks36Of(b) != 1 {
+		t.Fatal("1K×36 must be one RAMB36")
+	}
+	if KbitsOf(1024, 36) != 36 {
+		t.Fatalf("KbitsOf = %v", KbitsOf(1024, 36))
+	}
+}
+
+func TestReadWriteSamePortSameCyclePanics(t *testing.T) {
+	b := mustNew(t, "m", 8, 8)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("read+write on one port in one cycle must panic")
+		}
+	}()
+	b.Read(PortA, 0)
+	b.Write(PortA, 1, 1)
+}
+
+func TestBlocks18(t *testing.T) {
+	cases := []struct {
+		depth int
+		width uint
+		want  int
+	}{
+		{1024, 18, 1},
+		{512, 8, 1},
+		{2048, 18, 2},
+		{16384, 1, 1},
+		{0, 8, 0},
+	}
+	for _, c := range cases {
+		if got := Blocks18(c.depth, c.width); got != c.want {
+			t.Errorf("Blocks18(%d,%d) = %d, want %d", c.depth, c.width, got, c.want)
+		}
+	}
+	// A memory never needs more than 2x the half-blocks of full blocks.
+	for _, g := range [][2]int{{1024, 32}, {4096, 12}, {32768, 17}} {
+		b36 := Blocks36(g[0], uint(g[1]))
+		b18 := Blocks18(g[0], uint(g[1]))
+		if b18 > 2*b36 {
+			t.Errorf("geometry %v: %d half-blocks vs %d full", g, b18, b36)
+		}
+	}
+}

@@ -1,0 +1,79 @@
+package checksum
+
+import (
+	"hash/adler32"
+	"hash/crc32"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestAdlerMatchesStdlib(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range []int{0, 1, 17, 5551, 5552, 5553, 100000} {
+		data := make([]byte, n)
+		rng.Read(data)
+		if got, want := Adler32Sum(data), adler32.Checksum(data); got != want {
+			t.Fatalf("n=%d: adler %08x, want %08x", n, got, want)
+		}
+	}
+}
+
+func TestAdlerIncrementalAndCount(t *testing.T) {
+	data := []byte("incremental adler over several writes")
+	h := NewAdler32()
+	total := 0
+	for i := 0; i < len(data); i += 7 {
+		end := i + 7
+		if end > len(data) {
+			end = len(data)
+		}
+		n, err := h.Write(data[i:end])
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += n
+	}
+	if total != len(data) {
+		t.Fatalf("Write reported %d bytes, want %d", total, len(data))
+	}
+	if h.Sum32() != adler32.Checksum(data) {
+		t.Fatal("incremental checksum differs")
+	}
+}
+
+func TestCRCMatchesStdlib(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, n := range []int{0, 1, 64, 65536} {
+		data := make([]byte, n)
+		rng.Read(data)
+		if got, want := CRC32(data), crc32.ChecksumIEEE(data); got != want {
+			t.Fatalf("n=%d: crc %08x, want %08x", n, got, want)
+		}
+	}
+}
+
+func TestQuickBoth(t *testing.T) {
+	f := func(data []byte) bool {
+		return Adler32Sum(data) == adler32.Checksum(data) &&
+			CRC32(data) == crc32.ChecksumIEEE(data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCRC32UpdateIncremental(t *testing.T) {
+	data := []byte("incremental crc with explicit continuation")
+	c := uint32(0)
+	for i := 0; i < len(data); i += 3 {
+		end := i + 3
+		if end > len(data) {
+			end = len(data)
+		}
+		c = CRC32Update(c, data[i:end])
+	}
+	if c != crc32.ChecksumIEEE(data) {
+		t.Fatal("incremental crc differs")
+	}
+}

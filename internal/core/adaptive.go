@@ -1,0 +1,123 @@
+package core
+
+import (
+	"fmt"
+
+	"lzssfpga/internal/deflate"
+	"lzssfpga/internal/stream"
+)
+
+// Adaptive exercises the paper's run-time parameter interface ("Run-time
+// parameters (e.g. matching iteration limit) can also be changed"): a
+// controller watches the recent cycles-per-byte and adjusts the
+// matching iteration limit so a real-time logger holds a target
+// throughput on hostile data and spends the spare cycles on better
+// compression when the data is easy.
+type Adaptive struct {
+	// TargetMBps is the throughput floor to defend at cfg.ClockHz.
+	TargetMBps float64
+	// Interval is how many input bytes pass between control decisions.
+	Interval int
+	// MinChain/MaxChain bound the matching-iteration-limit actuator.
+	MinChain, MaxChain int
+}
+
+// DefaultAdaptive defends the paper's ~49 MB/s headline with chain
+// limits spanning the min..max compression levels.
+func DefaultAdaptive(targetMBps float64) Adaptive {
+	return Adaptive{TargetMBps: targetMBps, Interval: 64 << 10, MinChain: 1, MaxChain: 128}
+}
+
+// Validate checks the controller parameters.
+func (a Adaptive) Validate() error {
+	if a.TargetMBps <= 0 {
+		return fmt.Errorf("core: adaptive target %v MB/s", a.TargetMBps)
+	}
+	if a.Interval < 4096 {
+		return fmt.Errorf("core: adaptive interval %d below 4096 bytes", a.Interval)
+	}
+	if a.MinChain < 1 || a.MaxChain < a.MinChain {
+		return fmt.Errorf("core: adaptive chain bounds [%d,%d]", a.MinChain, a.MaxChain)
+	}
+	return nil
+}
+
+// ChainSample records one control decision.
+type ChainSample struct {
+	// Pos is the input position of the decision.
+	Pos int64
+	// CyclesPerByte observed over the last interval.
+	CyclesPerByte float64
+	// Chain is the matching iteration limit chosen for the next
+	// interval.
+	Chain int
+}
+
+// AdaptiveResult extends Result with the controller trajectory.
+type AdaptiveResult struct {
+	Result
+	// Trajectory is the sequence of control decisions.
+	Trajectory []ChainSample
+}
+
+// CompressAdaptive runs the model with the run-time controller active.
+// The emitted stream remains a valid LZSS/zlib stream; it simply mixes
+// effort levels, so it no longer matches a fixed-parameter software run
+// (the differential tests use fixed parameters).
+func (c *Compressor) CompressAdaptive(data []byte, a Adaptive) (*AdaptiveResult, error) {
+	if err := a.Validate(); err != nil {
+		return nil, err
+	}
+	r := &run{
+		cfg:    c.cfg,
+		src:    data,
+		source: &stream.InstantSource{Total: len(data)},
+		sink:   stream.InstantSink{},
+	}
+	if err := r.init(); err != nil {
+		return nil, err
+	}
+	// The controller's target in cycle density: clock / (MB/s · 1e6).
+	targetCPB := c.cfg.ClockHz / (a.TargetMBps * 1e6)
+	var (
+		trajectory []ChainSample
+		lastPos    int64
+		lastCycle  int64
+	)
+	r.control = func() {
+		if r.pos-lastPos < int64(a.Interval) {
+			return
+		}
+		cpb := float64(r.cycle-lastCycle) / float64(r.pos-lastPos)
+		lastPos, lastCycle = r.pos, r.cycle
+		chain := r.cfg.Match.MaxChain
+		switch {
+		case cpb > targetCPB*1.05 && chain > a.MinChain:
+			// Falling behind: halve the search effort.
+			chain /= 2
+			if chain < a.MinChain {
+				chain = a.MinChain
+			}
+		case cpb < targetCPB*0.90 && chain < a.MaxChain:
+			// Headroom: search a little deeper for ratio.
+			chain += chain/2 + 1
+			if chain > a.MaxChain {
+				chain = a.MaxChain
+			}
+		default:
+			return
+		}
+		r.cfg.Match.MaxChain = chain
+		trajectory = append(trajectory, ChainSample{Pos: r.pos, CyclesPerByte: cpb, Chain: chain})
+	}
+	r.execute()
+	zl, err := deflate.ZlibCompress(r.cmds, data, c.cfg.Match.Window)
+	if err != nil {
+		return nil, err
+	}
+	r.stats.OutputBytes = int64(len(zl))
+	return &AdaptiveResult{
+		Result:     Result{Commands: r.cmds, Zlib: zl, Stats: r.stats},
+		Trajectory: trajectory,
+	}, nil
+}

@@ -1,0 +1,122 @@
+package core
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"lzssfpga/internal/token"
+	"lzssfpga/internal/workload"
+)
+
+func TestAdaptiveValidate(t *testing.T) {
+	good := DefaultAdaptive(49)
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Adaptive{
+		{TargetMBps: 0, Interval: 65536, MinChain: 1, MaxChain: 8},
+		{TargetMBps: 49, Interval: 100, MinChain: 1, MaxChain: 8},
+		{TargetMBps: 49, Interval: 65536, MinChain: 0, MaxChain: 8},
+		{TargetMBps: 49, Interval: 65536, MinChain: 9, MaxChain: 8},
+	}
+	for i, a := range bad {
+		if err := a.Validate(); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestAdaptiveHoldsThroughputOnHostileData(t *testing.T) {
+	// Deep chains on highly repetitive small-alphabet data would sink a
+	// fixed deep-search config; the controller must back off and keep
+	// the run near the target.
+	cfg := DefaultConfig()
+	cfg.Match.MaxChain = 128 // start at maximum effort
+	cfg.Match.Nice = 258
+	cfg.Match.InsertLimit = 258
+	// Adversarial mix: constant record headers create very deep hash
+	// chains, random tails keep every match short of Nice, so a fixed
+	// deep search walks the full chain at every attempt.
+	rng := rand.New(rand.NewSource(61))
+	data := make([]byte, 2<<20)
+	for i := 0; i < len(data); i += 8 {
+		copy(data[i:], "HDR__")
+		for j := i + 5; j < i+8 && j < len(data); j++ {
+			data[j] = byte(rng.Intn(256))
+		}
+	}
+	comp := mustNew(t, cfg)
+	fixed, err := comp.Compress(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	adaptive, err := comp.CompressAdaptive(data, DefaultAdaptive(45))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fixedMBps := fixed.Stats.ThroughputMBps(cfg.ClockHz)
+	adaptMBps := adaptive.Stats.ThroughputMBps(cfg.ClockHz)
+	if adaptMBps <= fixedMBps {
+		t.Fatalf("controller did not help: %.1f vs fixed %.1f MB/s", adaptMBps, fixedMBps)
+	}
+	if adaptMBps < 30 {
+		t.Fatalf("adaptive run only %.1f MB/s against a 45 MB/s target", adaptMBps)
+	}
+	if len(adaptive.Trajectory) == 0 {
+		t.Fatal("no control decisions recorded")
+	}
+	// The controller must have reduced the chain limit at least once.
+	reduced := false
+	for _, s := range adaptive.Trajectory {
+		if s.Chain < 128 {
+			reduced = true
+			break
+		}
+	}
+	if !reduced {
+		t.Fatal("chain limit never reduced on hostile data")
+	}
+}
+
+func TestAdaptiveRaisesEffortOnEasyData(t *testing.T) {
+	// Zeros compress at far above any target: the controller should
+	// push the chain limit up for ratio.
+	cfg := DefaultConfig() // starts at chain 4
+	data := workload.Zeros(2<<20, 0)
+	adaptive, err := mustNew(t, cfg).CompressAdaptive(data, DefaultAdaptive(45))
+	if err != nil {
+		t.Fatal(err)
+	}
+	raised := false
+	for _, s := range adaptive.Trajectory {
+		if s.Chain > 4 {
+			raised = true
+			break
+		}
+	}
+	if !raised {
+		t.Fatal("chain limit never raised with massive headroom")
+	}
+}
+
+func TestAdaptiveOutputStillValid(t *testing.T) {
+	data := workload.Wiki(1<<20, 60)
+	adaptive, err := mustNew(t, DefaultConfig()).CompressAdaptive(data, DefaultAdaptive(60))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := token.Expand(adaptive.Commands)
+	if err != nil || !bytes.Equal(out, data) {
+		t.Fatalf("adaptive stream does not reproduce input: %v", err)
+	}
+	if err := token.ValidateStream(adaptive.Commands, DefaultConfig().Match.Window); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAdaptiveRejectsBadController(t *testing.T) {
+	if _, err := mustNew(t, DefaultConfig()).CompressAdaptive([]byte("x"), Adaptive{}); err == nil {
+		t.Fatal("zero controller accepted")
+	}
+}

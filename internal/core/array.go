@@ -1,0 +1,158 @@
+package core
+
+import (
+	"fmt"
+
+	"lzssfpga/internal/token"
+)
+
+// Array models tiling several compressor engines onto one FPGA — the
+// natural scale-out the paper's Table II invites (each engine uses
+// ~5.8 % of the Virtex-5's logic, so the fabric has room for many).
+// Input blocks are dispatched round-robin; every engine keeps its own
+// dictionary, so blocks compress independently (the same trade
+// ParallelCompress makes in software), and the shared DMA link bounds
+// the aggregate bandwidth.
+type Array struct {
+	// Engine is the per-engine configuration.
+	Engine Config
+	// Engines is the instance count.
+	Engines int
+	// BlockBytes is the dispatch granularity.
+	BlockBytes int
+	// LinkBytesPerCycle caps the shared input DMA (4 = 32-bit LocalLink).
+	LinkBytesPerCycle float64
+}
+
+// DefaultArray tiles n default engines fed by one 32-bit LocalLink.
+func DefaultArray(n int) Array {
+	return Array{Engine: DefaultConfig(), Engines: n, BlockBytes: 256 << 10, LinkBytesPerCycle: 4}
+}
+
+// Validate checks the array parameters.
+func (a Array) Validate() error {
+	if err := a.Engine.Validate(); err != nil {
+		return err
+	}
+	if a.Engines < 1 || a.Engines > 64 {
+		return fmt.Errorf("core: engine count %d out of [1,64]", a.Engines)
+	}
+	if a.BlockBytes < 4096 {
+		return fmt.Errorf("core: dispatch block %d below 4096", a.BlockBytes)
+	}
+	if a.LinkBytesPerCycle <= 0 {
+		return fmt.Errorf("core: link bandwidth %v", a.LinkBytesPerCycle)
+	}
+	return nil
+}
+
+// ArrayResult aggregates an array run.
+type ArrayResult struct {
+	// Commands per block, in input order (each block is an independent
+	// LZSS stream).
+	Blocks [][]token.Command
+	// EngineCycles is the busy time of each engine.
+	EngineCycles []int64
+	// TotalCycles is the modeled makespan: engines run concurrently,
+	// but the shared link serializes input delivery.
+	TotalCycles int64
+	// InputBytes / CompressedBytes aggregate the run.
+	InputBytes      int64
+	CompressedBytes int64
+	// LinkLimited reports whether the shared DMA, not the engines, set
+	// the makespan.
+	LinkLimited bool
+}
+
+// ThroughputMBps is the aggregate modeled speed at the engine clock.
+func (r *ArrayResult) ThroughputMBps(clockHz float64) float64 {
+	if r.TotalCycles == 0 {
+		return 0
+	}
+	return float64(r.InputBytes) * clockHz / float64(r.TotalCycles) / 1e6
+}
+
+// Run compresses data through the array model.
+func (a Array) Run(data []byte) (*ArrayResult, error) {
+	if err := a.Validate(); err != nil {
+		return nil, err
+	}
+	nBlocks := (len(data) + a.BlockBytes - 1) / a.BlockBytes
+	if nBlocks == 0 {
+		nBlocks = 1
+	}
+	res := &ArrayResult{
+		Blocks:       make([][]token.Command, nBlocks),
+		EngineCycles: make([]int64, a.Engines),
+		InputBytes:   int64(len(data)),
+	}
+	comp, err := New(a.Engine)
+	if err != nil {
+		return nil, err
+	}
+	var compressed int64
+	for i := 0; i < nBlocks; i++ {
+		lo := i * a.BlockBytes
+		hi := lo + a.BlockBytes
+		if hi > len(data) {
+			hi = len(data)
+		}
+		r, err := comp.Compress(data[lo:hi])
+		if err != nil {
+			return nil, err
+		}
+		res.Blocks[i] = r.Commands
+		res.EngineCycles[i%a.Engines] += r.Stats.TotalCycles()
+		compressed += r.Stats.OutputBytes
+	}
+	res.CompressedBytes = compressed
+	// Makespan: the busiest engine, or the link if it is slower.
+	var busiest int64
+	for _, c := range res.EngineCycles {
+		if c > busiest {
+			busiest = c
+		}
+	}
+	linkCycles := int64(float64(len(data)) / a.LinkBytesPerCycle)
+	res.TotalCycles = busiest
+	if linkCycles > busiest {
+		res.TotalCycles = linkCycles
+		res.LinkLimited = true
+	}
+	return res, nil
+}
+
+// ScalingRow is one line of an engines-vs-throughput table.
+type ScalingRow struct {
+	Engines     int
+	MBps        float64
+	LinkLimited bool
+	Blocks36    int
+}
+
+// ScalingTable evaluates the array at several engine counts — the
+// design-space question "how far does tiling scale before the DMA link
+// saturates?"
+func ScalingTable(engine Config, data []byte, counts []int) ([]ScalingRow, error) {
+	comp, err := New(engine)
+	if err != nil {
+		return nil, err
+	}
+	perEngine := comp.TotalBlocks36()
+	rows := make([]ScalingRow, 0, len(counts))
+	for _, n := range counts {
+		a := DefaultArray(n)
+		a.Engine = engine
+		r, err := a.Run(data)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, ScalingRow{
+			Engines:     n,
+			MBps:        r.ThroughputMBps(engine.ClockHz),
+			LinkLimited: r.LinkLimited,
+			Blocks36:    n * perEngine,
+		})
+	}
+	return rows, nil
+}

@@ -1,0 +1,108 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"lzssfpga/internal/token"
+	"lzssfpga/internal/workload"
+)
+
+func TestArrayValidate(t *testing.T) {
+	good := DefaultArray(4)
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Array{
+		{Engine: DefaultConfig(), Engines: 0, BlockBytes: 65536, LinkBytesPerCycle: 4},
+		{Engine: DefaultConfig(), Engines: 100, BlockBytes: 65536, LinkBytesPerCycle: 4},
+		{Engine: DefaultConfig(), Engines: 2, BlockBytes: 100, LinkBytesPerCycle: 4},
+		{Engine: DefaultConfig(), Engines: 2, BlockBytes: 65536, LinkBytesPerCycle: 0},
+	}
+	for i, a := range bad {
+		if err := a.Validate(); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestArrayOutputValid(t *testing.T) {
+	data := workload.Wiki(2<<20, 110)
+	res, err := DefaultArray(4).Run(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Block streams concatenate back into the input.
+	var out []byte
+	for _, blk := range res.Blocks {
+		b, err := token.Expand(blk)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, b...)
+	}
+	if !bytes.Equal(out, data) {
+		t.Fatal("array output does not reproduce input")
+	}
+}
+
+func TestArrayScalesUntilLinkSaturates(t *testing.T) {
+	data := workload.Wiki(4<<20, 111)
+	rows, err := ScalingTable(DefaultConfig(), data, []int{1, 2, 4, 8, 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Monotone non-decreasing throughput.
+	for i := 1; i < len(rows); i++ {
+		if rows[i].MBps < rows[i-1].MBps*0.999 {
+			t.Fatalf("throughput fell from %.1f to %.1f at %d engines",
+				rows[i-1].MBps, rows[i].MBps, rows[i].Engines)
+		}
+	}
+	// One engine runs at ~50 MB/s; the 400 MB/s link allows ~8x.
+	if rows[0].MBps < 35 || rows[0].MBps > 70 {
+		t.Fatalf("single engine %.1f MB/s implausible", rows[0].MBps)
+	}
+	last := rows[len(rows)-1]
+	if !last.LinkLimited {
+		t.Fatal("16 engines on a 400 MB/s link must be link-limited")
+	}
+	if last.MBps < 350 || last.MBps > 410 {
+		t.Fatalf("saturated aggregate %.1f MB/s, want ~400 (link limit)", last.MBps)
+	}
+	// Early points must not be link-limited.
+	if rows[0].LinkLimited || rows[1].LinkLimited {
+		t.Fatal("1-2 engines cannot saturate the link")
+	}
+	// BRAM cost scales linearly with engines.
+	if last.Blocks36 != 16*rows[0].Blocks36 {
+		t.Fatalf("BRAM %d not 16x single-engine %d", last.Blocks36, rows[0].Blocks36)
+	}
+}
+
+func TestArraySpeedupNearLinear(t *testing.T) {
+	data := workload.CAN(4<<20, 112)
+	r1, err := DefaultArray(1).Run(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r4, err := DefaultArray(4).Run(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	speedup := float64(r1.TotalCycles) / float64(r4.TotalCycles)
+	if speedup < 3.2 || speedup > 4.01 {
+		t.Fatalf("4-engine speedup %.2fx, want near 4x below link saturation", speedup)
+	}
+}
+
+func TestArrayTinyInput(t *testing.T) {
+	res, err := DefaultArray(4).Run([]byte("tiny"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := token.Expand(res.Blocks[0])
+	if err != nil || string(out) != "tiny" {
+		t.Fatalf("tiny input failed: %v", err)
+	}
+}

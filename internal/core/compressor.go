@@ -1,0 +1,361 @@
+package core
+
+import (
+	"fmt"
+
+	"lzssfpga/internal/deflate"
+	"lzssfpga/internal/stream"
+	"lzssfpga/internal/token"
+)
+
+// Compressor is the cycle-accurate model of the hardware LZSS
+// compressor plus its pipelined fixed-table Huffman encoder.
+type Compressor struct {
+	cfg Config
+}
+
+// New validates cfg and returns a Compressor.
+func New(cfg Config) (*Compressor, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Compressor{cfg: cfg}, nil
+}
+
+// Config returns the validated configuration.
+func (c *Compressor) Config() Config { return c.cfg }
+
+// Memories lists the five dual-port memories of the design and their
+// block RAM cost.
+func (c *Compressor) Memories() []MemoryInfo { return memories(c.cfg) }
+
+// TotalBlocks36 sums the RAMB36 primitives over all memories.
+func (c *Compressor) TotalBlocks36() int {
+	t := 0
+	for _, m := range c.Memories() {
+		t += m.Blocks36
+	}
+	return t
+}
+
+// Result is the outcome of one compression run.
+type Result struct {
+	// Commands is the LZSS command stream (identical to the software
+	// reference with the same parameters).
+	Commands []token.Command
+	// Zlib is the complete RFC 1950 stream the Huffman stage emits.
+	Zlib []byte
+	// Stats is the cycle ledger.
+	Stats CycleStats
+}
+
+// Compress runs the model with an instant source and sink (pure
+// algorithm-speed study, as in Figs 2-5).
+func (c *Compressor) Compress(src []byte) (*Result, error) {
+	return c.CompressStream(src, &stream.InstantSource{Total: len(src)}, stream.InstantSink{})
+}
+
+// CompressStream runs the model with explicit source/sink pacing (the
+// testbench wires DMA models here).
+func (c *Compressor) CompressStream(src []byte, source stream.Source, sink stream.Sink) (*Result, error) {
+	return c.CompressTraced(src, source, sink, nil)
+}
+
+// CompressTraced is CompressStream with an FSM activity tracer (e.g. a
+// VCDTracer) observing every modeled cycle burst.
+func (c *Compressor) CompressTraced(src []byte, source stream.Source, sink stream.Sink, tracer Tracer) (*Result, error) {
+	if source.Len() != len(src) {
+		return nil, fmt.Errorf("core: source length %d != data length %d", source.Len(), len(src))
+	}
+	r := &run{
+		cfg:    c.cfg,
+		src:    src,
+		source: source,
+		sink:   sink,
+		tracer: tracer,
+	}
+	if err := r.init(); err != nil {
+		return nil, err
+	}
+	r.execute()
+	zl, err := deflate.ZlibCompress(r.cmds, src, c.cfg.Match.Window)
+	if err != nil {
+		return nil, err
+	}
+	r.stats.OutputBytes = int64(len(zl))
+	return &Result{Commands: r.cmds, Zlib: zl, Stats: r.stats}, nil
+}
+
+// run holds the mutable state of one modeled compression pass.
+type run struct {
+	cfg    Config
+	src    []byte
+	source stream.Source
+	sink   stream.Sink
+
+	head *headTable
+	next *nextTable
+
+	cmds  []token.Command
+	stats CycleStats
+
+	cycle         int64 // current clock cycle
+	pos           int64 // next source byte to process
+	outBits       int64 // Huffman output bits produced so far
+	prefetchValid bool  // hash for current pos already computed
+	tracer        Tracer
+	// control, when set, runs after every attempt and may adjust the
+	// run-time parameters (the adaptive controller's hook).
+	control func()
+}
+
+func (r *run) init() error {
+	h, err := newHeadTable(r.cfg.Match.HashBits, r.cfg.GenerationBits, r.cfg.Match.Window, r.cfg.HeadSplit)
+	if err != nil {
+		return err
+	}
+	n, err := newNextTable(r.cfg.Match.Window)
+	if err != nil {
+		return err
+	}
+	r.head = h
+	r.next = n
+	r.cmds = make([]token.Command, 0, len(r.src)/3+16)
+	r.stats.InputBytes = int64(len(r.src))
+	r.outBits = 3 + 16 // deflate block header + zlib header bytes
+	return nil
+}
+
+// charge advances the clock by n cycles in state st.
+func (r *run) charge(st State, n int64) {
+	if r.tracer != nil && n > 0 {
+		r.tracer.Event(r.cycle, st, n, r.pos)
+	}
+	r.stats.Cycles[st] += n
+	r.cycle += n
+}
+
+func (r *run) hashAt(pos int64) uint32 {
+	return r.cfg.Match.Hash(r.src[pos], r.src[pos+1], r.src[pos+2])
+}
+
+// waitForFill stalls (StateFetch) until the background filler has
+// brought the lookahead buffer up to `need` source bytes. The filler
+// writes DataBusBytes per cycle through the second BRAM ports and is
+// bounded by what the source has delivered.
+func (r *run) waitForFill(need int64) {
+	bus := int64(r.cfg.DataBusBytes)
+	filled := func(cy int64) int64 {
+		f := bus * cy // filler write bandwidth since reset
+		if avail := int64(r.source.AvailableAt(cy)); avail < f {
+			f = avail
+		}
+		if cap := r.pos + int64(r.cfg.LookaheadSize); cap < f {
+			f = cap
+		}
+		return f
+	}
+	if filled(r.cycle) >= need {
+		return
+	}
+	// Exponential probe then binary search for the earliest cycle with
+	// enough data (AvailableAt is monotone).
+	lo, hi := r.cycle, r.cycle+1
+	for filled(hi) < need {
+		step := hi - lo
+		hi += step * 2
+		if hi-r.cycle > int64(1)<<40 {
+			panic("core: source never delivers enough data")
+		}
+	}
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if filled(mid) >= need {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	stall := hi - r.cycle
+	r.stats.SourceStallCycles += stall
+	r.charge(StateFetch, stall)
+}
+
+// findMatch mirrors lzss.Matcher.FindMatch over the hardware tables and
+// charges the comparer cycles: the first iteration covers 1..bus bytes
+// (dictionary word alignment), each further iteration a full bus word.
+func (r *run) findMatch(pos int64) (length, distance int) {
+	h := r.hashAt(pos)
+	headAbs, headOK := r.head.Lookup(h, pos)
+	// Head and next are updated in the same cycle the head is read
+	// (paper §IV): the current string becomes the newest chain member.
+	r.head.Insert(h, pos)
+	r.next.Link(pos, headAbs, headOK)
+
+	maxLen := int64(len(r.src)) - pos
+	if maxLen > token.MaxMatch {
+		maxLen = token.MaxMatch
+	}
+	window := int64(r.cfg.Match.Window)
+	bus := int64(r.cfg.DataBusBytes)
+
+	bestLen, bestDist := int64(0), int64(0)
+	cand, ok := headAbs, headOK
+	for chain := 0; chain < r.cfg.Match.MaxChain && ok && pos-cand < window; chain++ {
+		r.stats.ChainSteps++
+		// Compare src[cand:] with src[pos:]; examined includes the
+		// mismatching byte when there is one.
+		n := int64(0)
+		for n < maxLen && r.src[cand+n] == r.src[pos+n] {
+			n++
+		}
+		examined := n
+		if n < maxLen {
+			examined++
+		}
+		firstChunk := bus - cand&(bus-1)
+		cycles := int64(1)
+		if examined > firstChunk {
+			cycles += (examined - firstChunk + bus - 1) / bus
+		}
+		r.charge(StateMatch, cycles)
+		if n > bestLen {
+			bestLen, bestDist = n, pos-cand
+			if bestLen >= int64(r.cfg.Match.Nice) || bestLen == maxLen {
+				break
+			}
+		}
+		cand, ok = r.next.Follow(cand)
+	}
+	if bestLen < token.MinMatch {
+		return 0, 0
+	}
+	return int(bestLen), int(bestDist)
+}
+
+// emit produces one command through the Huffman stage and models the
+// output handshake: 1 cycle, plus stalls if the sink cannot absorb the
+// packed words yet. During this cycle the prefetch FSM computes the
+// hash at lookahead offset 1.
+func (r *run) emit(cmd token.Command) {
+	r.cmds = append(r.cmds, cmd)
+	r.outBits += int64(deflate.CommandBits(cmd))
+	r.charge(StateOutput, 1)
+	outBytes := int(r.outBits+7) / 8
+	if r.sink.CapacityAt(r.cycle) < outBytes {
+		stall := int64(0)
+		for r.sink.CapacityAt(r.cycle+stall) < outBytes {
+			stall++
+			if stall > int64(1)<<40 {
+				panic("core: sink never drains")
+			}
+		}
+		r.stats.SinkStallCycles += stall
+		r.charge(StateOutput, stall)
+	}
+}
+
+// rotate runs a head-table rotation if the upcoming attempt could
+// insert positions beyond the current virtual-buffer epoch. An attempt
+// inserts at most up to pos+MaxMatch-1 (the last byte of a maximal
+// short match).
+func (r *run) rotate() {
+	for r.head.RotationDue(r.pos + token.MaxMatch) {
+		r.head.Rotate()
+		r.charge(StateRotate, r.cfg.RotationCycles())
+		r.stats.Rotations++
+	}
+}
+
+// execute is the main FSM loop — one iteration per match attempt.
+func (r *run) execute() {
+	n := int64(len(r.src))
+	for r.pos < n {
+		if n-r.pos < token.MinMatch {
+			// Tail: too few bytes to hash; flush as literals.
+			for ; r.pos < n; r.pos++ {
+				r.waitForFill(r.pos + 1)
+				r.charge(StateWait, 1)
+				r.emit(token.Lit(r.src[r.pos]))
+				r.stats.Literals++
+			}
+			break
+		}
+		r.stats.Attempts++
+
+		// Initial wait state: lookahead must hold min(262, remaining)
+		// bytes and the hash of the front must be ready. The prefetch
+		// FSM makes this state skippable after a 1-byte advance.
+		need := r.pos + matchStartThreshold
+		if need > n {
+			need = n
+		}
+		r.waitForFill(need)
+		if r.prefetchValid {
+			r.stats.PrefetchHits++
+		} else {
+			r.charge(StateWait, 1)
+		}
+		r.prefetchValid = false
+
+		// A rotation pass must complete before this attempt's inserts
+		// (probe at pos, update loop up to pos+length-1) would overflow
+		// the head-entry offset width.
+		r.rotate()
+
+		// Match preparation: head read, head/next update (1 cycle,
+		// counted as part of finding the match), then the compare loop.
+		r.charge(StateMatch, 1)
+		length, dist := r.findMatch(r.pos)
+
+		if length >= token.MinMatch {
+			r.emit(token.Copy(dist, length))
+			r.stats.Matches++
+			r.stats.MatchedBytes += int64(length)
+			// Full hash-table update for short matches only: one cycle
+			// per inserted byte.
+			end := r.pos + int64(length)
+			if length <= r.cfg.Match.InsertLimit {
+				for i := r.pos + 1; i < end && i+token.MinMatch <= n; i++ {
+					h := r.hashAt(i)
+					prevAbs, prevOK := r.head.Lookup(h, i)
+					r.head.Insert(h, i)
+					r.next.Link(i, prevAbs, prevOK)
+					r.charge(StateHashUpdate, 1)
+				}
+			}
+			r.pos = end
+		} else {
+			r.emit(token.Lit(r.src[r.pos]))
+			r.stats.Literals++
+			r.pos++
+			// The prefetch FSM had this hash ready: next attempt skips
+			// the wait state.
+			if r.cfg.HashPrefetch && n-r.pos >= token.MinMatch {
+				r.prefetchValid = true
+			}
+		}
+		if r.control != nil {
+			r.control()
+		}
+	}
+}
+
+// CompressWords consumes the input as 32-bit words in the configured
+// byte order — the hardware's actual input interface ("The compressor
+// consumes 32-bit words (LSBF/MSBF format can be selected)"). byteLen
+// gives the significant byte count of the final word.
+func (c *Compressor) CompressWords(words []uint32, byteLen int) (*Result, error) {
+	data, err := stream.UnpackWords(words, byteLen, c.cfg.ByteOrder)
+	if err != nil {
+		return nil, err
+	}
+	return c.Compress(data)
+}
+
+// OutputWords reports how many packed 32-bit words the Huffman stage's
+// word packer produced for the given stats ("produces a stream of
+// packed 32-bit words", paper §IV) — the unit the output DMA moves.
+func OutputWords(s *CycleStats) int64 {
+	return (s.OutputBytes + 3) / 4
+}

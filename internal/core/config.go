@@ -1,0 +1,136 @@
+// Package core is the paper's primary contribution rendered as a
+// cycle-accurate Go model: the LZSS compressor built from a main finite
+// state machine, five independently addressable dual-port block RAMs
+// (lookahead buffer, dictionary, hash cache, head table, next table),
+// a background filling FSM, a hash-prefetch FSM, a 32-bit-wide string
+// comparer, and a pipelined fixed-table Huffman encoder.
+//
+// The model plays the role of the authors' own C++ estimator: it
+// produces the identical command stream a software LZSS with the same
+// parameters produces (verified in tests), and it accounts every clock
+// cycle the hardware would spend, split into the state categories of
+// the paper's Fig 5.
+package core
+
+import (
+	"fmt"
+
+	"lzssfpga/internal/lzss"
+	"lzssfpga/internal/stream"
+)
+
+// Config collects the compile-time generics and run-time parameters of
+// the hardware design (paper §IV: "Dictionary size, hash bit count,
+// exact hash function, generation bit count, and the head table
+// division factor can be customized during compile-time. Run-time
+// parameters (e.g. matching iteration limit) can also be changed.")
+type Config struct {
+	// Match holds the algorithmic parameters shared with the software
+	// reference (window, hash bits, chain limit, nice, insert limit).
+	// Lazy matching is rejected: the hardware FSM is greedy.
+	Match lzss.Params
+
+	// GenerationBits is the number of extra age bits per head-table
+	// entry (the paper's k). Rotation happens every
+	// Window·(2^k − 1) bytes for k ≥ 1 and every Window bytes for k = 0.
+	GenerationBits uint
+
+	// HeadSplit is M, the number of sub-memories the head table is
+	// divided into; rotation runs M-way parallel and costs 2^H/M cycles.
+	HeadSplit int
+
+	// DataBusBytes is the width of the lookahead/dictionary data ports:
+	// 4 in the presented design, 1 for the "[11]-style 8-bit bus"
+	// ablation of Table III.
+	DataBusBytes int
+
+	// HashPrefetch enables the side FSM that precomputes the hash at
+	// lookahead offset 1, cutting the no-match path from 3 to 2 cycles.
+	HashPrefetch bool
+
+	// LookaheadSize is the lookahead ring capacity in bytes (512 in the
+	// paper); matching starts once min(262, remaining) bytes are there.
+	LookaheadSize int
+
+	// ByteOrder is the input word format option (LSBF/MSBF).
+	ByteOrder stream.ByteOrder
+
+	// ClockHz converts cycles into seconds for throughput reporting.
+	// The paper's design runs at 100 MHz (112.8 MHz post-route max).
+	ClockHz float64
+}
+
+// Derived architectural constants.
+const (
+	// matchStartThreshold is how many lookahead bytes must be present
+	// before matching starts: a maximal 258-byte match plus one 32-bit
+	// bus word of slack (paper §IV: "at least 262 bytes").
+	matchStartThreshold = 262
+)
+
+// DefaultConfig returns the speed-optimized configuration of Table I:
+// 4 KB dictionary, 15-bit hash, 32-bit buses, prefetch on, 100 MHz.
+func DefaultConfig() Config {
+	return Config{
+		Match:          lzss.HWSpeedParams(),
+		GenerationBits: 6,
+		HeadSplit:      4,
+		DataBusBytes:   4,
+		HashPrefetch:   true,
+		LookaheadSize:  512,
+		ByteOrder:      stream.LSBFirst,
+		ClockHz:        100e6,
+	}
+}
+
+// Validate checks the configuration and fills derived defaults in
+// c.Match.
+func (c *Config) Validate() error {
+	if err := c.Match.Validate(); err != nil {
+		return err
+	}
+	if c.Match.Lazy {
+		return fmt.Errorf("core: the hardware FSM is greedy; lazy matching is a software-only feature")
+	}
+	if c.GenerationBits > 8 {
+		return fmt.Errorf("core: generation bits %d out of [0,8]", c.GenerationBits)
+	}
+	if c.HeadSplit < 1 || c.HeadSplit&(c.HeadSplit-1) != 0 {
+		return fmt.Errorf("core: head split %d must be a positive power of two", c.HeadSplit)
+	}
+	if int(1)<<c.Match.HashBits < c.HeadSplit {
+		return fmt.Errorf("core: head split %d exceeds head table size 2^%d", c.HeadSplit, c.Match.HashBits)
+	}
+	if c.DataBusBytes != 1 && c.DataBusBytes != 2 && c.DataBusBytes != 4 {
+		return fmt.Errorf("core: data bus %d bytes not in {1,2,4}", c.DataBusBytes)
+	}
+	if c.LookaheadSize < matchStartThreshold {
+		return fmt.Errorf("core: lookahead %d smaller than the %d-byte match threshold", c.LookaheadSize, matchStartThreshold)
+	}
+	if c.LookaheadSize&(c.LookaheadSize-1) != 0 {
+		return fmt.Errorf("core: lookahead %d must be a power of two", c.LookaheadSize)
+	}
+	if c.ClockHz <= 0 {
+		return fmt.Errorf("core: clock %v Hz", c.ClockHz)
+	}
+	return nil
+}
+
+// RotationPeriod returns the number of processed bytes between head
+// table rotations: Window·(2^k − 1) − 262 for k ≥ 1, i.e. k = 1 rotates
+// every ~Window bytes as the paper states (the 262-byte slack keeps
+// every in-window entry alive across a rotation; see headTable.Rotate).
+// k = 0 degrades to the plain ZLib scheme (k = 1 storage and period).
+func (c Config) RotationPeriod() int64 {
+	k := c.GenerationBits
+	if k == 0 {
+		k = 1
+	}
+	return int64(c.Match.Window)*(int64(1)<<k-1) - matchStartThreshold
+}
+
+// RotationCycles returns the cost of one rotation pass: each of the M
+// sub-memories rewrites its 2^H/M entries one per cycle, in parallel.
+func (c Config) RotationCycles() int64 {
+	return int64(1) << c.Match.HashBits / int64(c.HeadSplit)
+}

@@ -1,0 +1,562 @@
+package core
+
+import (
+	"bytes"
+	"compress/zlib"
+	"io"
+	"testing"
+	"testing/quick"
+
+	"lzssfpga/internal/lzss"
+	"lzssfpga/internal/stream"
+	"lzssfpga/internal/token"
+	"lzssfpga/internal/workload"
+)
+
+func mustNew(t *testing.T, cfg Config) *Compressor {
+	t.Helper()
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestConfigValidation(t *testing.T) {
+	good := DefaultConfig()
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	mutations := []func(*Config){
+		func(c *Config) { c.Match.Lazy = true },
+		func(c *Config) { c.GenerationBits = 9 },
+		func(c *Config) { c.HeadSplit = 3 },
+		func(c *Config) { c.HeadSplit = 0 },
+		func(c *Config) { c.HeadSplit = 1 << 20 },
+		func(c *Config) { c.DataBusBytes = 3 },
+		func(c *Config) { c.LookaheadSize = 128 },
+		func(c *Config) { c.LookaheadSize = 300 },
+		func(c *Config) { c.ClockHz = 0 },
+		func(c *Config) { c.Match.Window = 999 },
+	}
+	for i, mut := range mutations {
+		cfg := DefaultConfig()
+		mut(&cfg)
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("mutation %d accepted", i)
+		}
+	}
+}
+
+func TestRotationPeriod(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Match.Window = 4096
+	cfg.GenerationBits = 1
+	if got := cfg.RotationPeriod(); got != 4096-262 {
+		t.Fatalf("k=1 period %d, want ~4096 (paper: 'if k is 1, rotation happens every D bytes')", got)
+	}
+	cfg.GenerationBits = 4
+	if got := cfg.RotationPeriod(); got != 4096*15-262 {
+		t.Fatalf("k=4 period %d, want %d", got, 4096*15-262)
+	}
+	cfg.GenerationBits = 0
+	if got := cfg.RotationPeriod(); got != 4096-262 {
+		t.Fatalf("k=0 period %d, want %d", got, 4096-262)
+	}
+}
+
+func TestRotationCycles(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Match.HashBits = 15
+	cfg.HeadSplit = 4
+	if got := cfg.RotationCycles(); got != 8192 {
+		t.Fatalf("rotation cycles %d, want 8192 (2^15/4)", got)
+	}
+	cfg.HeadSplit = 1
+	if got := cfg.RotationCycles(); got != 32768 {
+		t.Fatalf("unsplit rotation cycles %d, want 32768", got)
+	}
+}
+
+// The paper's correctness methodology: the hardware output must equal
+// the software reference model command-for-command.
+func TestDifferentialAgainstSoftwareReference(t *testing.T) {
+	corpora := map[string][]byte{
+		"wiki":   workload.Wiki(300_000, 21),
+		"x2e":    workload.CAN(300_000, 21),
+		"random": workload.Random(100_000, 21),
+		"zeros":  workload.Zeros(50_000, 0),
+	}
+	configs := []Config{DefaultConfig()}
+	{
+		c := DefaultConfig()
+		c.Match.Window = 32768
+		c.Match.HashBits = 15
+		configs = append(configs, c)
+	}
+	{
+		c := DefaultConfig()
+		c.Match.Window = 1024
+		c.Match.HashBits = 9
+		c.Match.MaxChain = 64
+		c.Match.Nice = 258
+		c.Match.InsertLimit = 32
+		c.GenerationBits = 1
+		c.HeadSplit = 1
+		configs = append(configs, c)
+	}
+	{
+		c := DefaultConfig()
+		c.HashPrefetch = false
+		c.DataBusBytes = 1
+		c.GenerationBits = 2
+		configs = append(configs, c)
+	}
+	for ci, cfg := range configs {
+		comp := mustNew(t, cfg)
+		for name, data := range corpora {
+			res, err := comp.Compress(data)
+			if err != nil {
+				t.Fatal(err)
+			}
+			swCmds, _, err := lzss.Compress(data, cfg.Match)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !token.Equal(res.Commands, swCmds) {
+				i := token.FirstDiff(res.Commands, swCmds)
+				var hw, sw token.Command
+				if i < len(res.Commands) {
+					hw = res.Commands[i]
+				}
+				if i < len(swCmds) {
+					sw = swCmds[i]
+				}
+				t.Fatalf("config %d corpus %s: first divergence at cmd %d: hw=%v sw=%v", ci, name, i, hw, sw)
+			}
+			// And the zlib stream must reproduce the input via stdlib.
+			zr, err := zlib.NewReader(bytes.NewReader(res.Zlib))
+			if err != nil {
+				t.Fatalf("config %d corpus %s: %v", ci, name, err)
+			}
+			out, err := io.ReadAll(zr)
+			if err != nil || !bytes.Equal(out, data) {
+				t.Fatalf("config %d corpus %s: zlib round trip failed: %v", ci, name, err)
+			}
+		}
+	}
+}
+
+func TestQuickDifferential(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Match.Window = 1024
+	cfg.Match.HashBits = 9
+	comp := mustNew(t, cfg)
+	f := func(data []byte, mod uint8) bool {
+		m := int(mod%6) + 2
+		for i := range data {
+			data[i] = byte(int(data[i]) % m)
+		}
+		res, err := comp.Compress(data)
+		if err != nil {
+			return false
+		}
+		swCmds, _, err := lzss.Compress(data, cfg.Match)
+		if err != nil {
+			return false
+		}
+		return token.Equal(res.Commands, swCmds)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCyclesPerByteNearPaper(t *testing.T) {
+	// Paper: "an average performance of 2 clock cycles per byte" with
+	// the speed-optimized settings; 49 MB/s at 100 MHz on Wiki.
+	data := workload.Wiki(2_000_000, 3)
+	comp := mustNew(t, DefaultConfig())
+	res, err := comp.Compress(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cpb := res.Stats.CyclesPerByte()
+	if cpb < 1.2 || cpb > 3.2 {
+		t.Fatalf("cycles/byte = %.3f, paper reports ~2.0", cpb)
+	}
+	mbps := res.Stats.ThroughputMBps(100e6)
+	if mbps < 30 || mbps > 85 {
+		t.Fatalf("throughput %.1f MB/s at 100 MHz, paper reports ~49", mbps)
+	}
+}
+
+func TestFig5StateDistributionShape(t *testing.T) {
+	// Fig 5 (32KB dict, 15-bit hash, Wiki): finding match dominates
+	// (68.5%), output and hash update are each ~11%, waiting ~8%,
+	// rotation and fetch are negligible.
+	cfg := DefaultConfig()
+	cfg.Match.Window = 32768
+	data := workload.Wiki(2_000_000, 5)
+	res, err := mustNew(t, cfg).Compress(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := &res.Stats
+	match := s.Share(StateMatch)
+	if match < 0.45 || match > 0.85 {
+		t.Fatalf("match share %.2f, paper ~0.685", match)
+	}
+	for _, st := range []State{StateOutput, StateHashUpdate, StateWait} {
+		if sh := s.Share(st); sh >= match {
+			t.Fatalf("%v share %.2f >= match share %.2f", st, sh, match)
+		}
+	}
+	if rot := s.Share(StateRotate); rot > 0.05 {
+		t.Fatalf("rotation share %.3f, paper 0.3%%", rot)
+	}
+	if f := s.Share(StateFetch); f > 0.05 {
+		t.Fatalf("fetch share %.3f, paper 0.2%%", f)
+	}
+	total := 0.0
+	for st := 0; st < NumStates; st++ {
+		total += s.Share(State(st))
+	}
+	if total < 0.999 || total > 1.001 {
+		t.Fatalf("shares sum to %v", total)
+	}
+}
+
+func TestPrefetchSavesCycles(t *testing.T) {
+	// Table III row C: disabling hash prefetching costs throughput
+	// (49.0 → 45.2 MB/s at 4KB window).
+	data := workload.Wiki(1_000_000, 9)
+	on := DefaultConfig()
+	off := DefaultConfig()
+	off.HashPrefetch = false
+	rOn, err := mustNew(t, on).Compress(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rOff, err := mustNew(t, off).Compress(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rOn.Stats.PrefetchHits == 0 {
+		t.Fatal("prefetch never hit")
+	}
+	if rOff.Stats.PrefetchHits != 0 {
+		t.Fatal("prefetch hits counted while disabled")
+	}
+	if rOn.Stats.TotalCycles() >= rOff.Stats.TotalCycles() {
+		t.Fatalf("prefetch on %d cycles >= off %d", rOn.Stats.TotalCycles(), rOff.Stats.TotalCycles())
+	}
+	// Commands must be identical — prefetch is timing-only.
+	if !token.Equal(rOn.Commands, rOff.Commands) {
+		t.Fatal("prefetch changed the output stream")
+	}
+}
+
+func TestWideBusSavesCycles(t *testing.T) {
+	// Table III row B: an 8-bit data bus (as in [11]) drops throughput
+	// from 49.0 to 30.3 MB/s at 4KB window.
+	data := workload.Wiki(1_000_000, 9)
+	wide := DefaultConfig()
+	narrow := DefaultConfig()
+	narrow.DataBusBytes = 1
+	rw, err := mustNew(t, wide).Compress(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rn, err := mustNew(t, narrow).Compress(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := float64(rn.Stats.TotalCycles()) / float64(rw.Stats.TotalCycles())
+	if ratio < 1.15 || ratio > 4 {
+		t.Fatalf("8-bit bus cycle ratio %.2f, paper implies ~1.6", ratio)
+	}
+	if !token.Equal(rw.Commands, rn.Commands) {
+		t.Fatal("bus width changed the output stream")
+	}
+}
+
+func TestGenerationBitsReduceRotation(t *testing.T) {
+	// Table III row D: zero generation bits slash throughput,
+	// especially at small windows.
+	data := workload.Wiki(1_000_000, 9)
+	gen4 := DefaultConfig()
+	gen0 := DefaultConfig()
+	gen0.GenerationBits = 0
+	r4, err := mustNew(t, gen4).Compress(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r0, err := mustNew(t, gen0).Compress(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r0.Stats.Rotations <= r4.Stats.Rotations {
+		t.Fatalf("k=0 rotations %d <= k=4 rotations %d", r0.Stats.Rotations, r4.Stats.Rotations)
+	}
+	if r0.Stats.Cycles[StateRotate] <= r4.Stats.Cycles[StateRotate] {
+		t.Fatal("k=0 must spend more cycles rotating")
+	}
+	if r0.Stats.TotalCycles() <= r4.Stats.TotalCycles() {
+		t.Fatal("k=0 must be slower overall")
+	}
+}
+
+func TestHeadSplitSpeedsRotation(t *testing.T) {
+	data := workload.Wiki(500_000, 9)
+	m4 := DefaultConfig()
+	m1 := DefaultConfig()
+	m1.HeadSplit = 1
+	r4, err := mustNew(t, m4).Compress(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, err := mustNew(t, m1).Compress(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Stats.Cycles[StateRotate] != 4*r4.Stats.Cycles[StateRotate] {
+		t.Fatalf("M=1 rotate cycles %d, want 4x of M=4's %d", r1.Stats.Cycles[StateRotate], r4.Stats.Cycles[StateRotate])
+	}
+}
+
+func TestRotationCountMatchesPeriod(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Match.Window = 4096
+	cfg.GenerationBits = 2 // period 3*4096
+	data := workload.Wiki(100_000, 1)
+	res, err := mustNew(t, cfg).Compress(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := int64(100_000) / cfg.RotationPeriod()
+	if d := res.Stats.Rotations - want; d < -1 || d > 1 {
+		t.Fatalf("rotations %d, want %d +- 1", res.Stats.Rotations, want)
+	}
+}
+
+func TestSinkBackpressureStalls(t *testing.T) {
+	data := workload.Wiki(200_000, 2)
+	comp := mustNew(t, DefaultConfig())
+	free, err := comp.Compress(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A sink slower than the compressed output rate must cause stalls.
+	slow, err := comp.CompressStream(data,
+		&stream.InstantSource{Total: len(data)},
+		&stream.PacedSink{BytesPerCycle: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if slow.Stats.SinkStallCycles == 0 {
+		t.Fatal("no sink stalls recorded")
+	}
+	if slow.Stats.TotalCycles() <= free.Stats.TotalCycles() {
+		t.Fatal("backpressure did not slow the run")
+	}
+	if !token.Equal(slow.Commands, free.Commands) {
+		t.Fatal("backpressure changed the stream")
+	}
+}
+
+func TestSourceStarvationStalls(t *testing.T) {
+	data := workload.Wiki(200_000, 2)
+	comp := mustNew(t, DefaultConfig())
+	free, err := comp.Compress(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	starved, err := comp.CompressStream(data,
+		&stream.PacedSource{Total: len(data), Latency: 1000, BytesPerCycle: 0.2},
+		stream.InstantSink{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if starved.Stats.SourceStallCycles == 0 {
+		t.Fatal("no source stalls recorded")
+	}
+	if starved.Stats.TotalCycles() <= free.Stats.TotalCycles() {
+		t.Fatal("starvation did not slow the run")
+	}
+	if !token.Equal(starved.Commands, free.Commands) {
+		t.Fatal("starvation changed the stream")
+	}
+}
+
+func TestCompressStreamLengthMismatch(t *testing.T) {
+	comp := mustNew(t, DefaultConfig())
+	_, err := comp.CompressStream([]byte("abc"), &stream.InstantSource{Total: 5}, stream.InstantSink{})
+	if err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+}
+
+func TestEmptyAndTinyInputs(t *testing.T) {
+	comp := mustNew(t, DefaultConfig())
+	for _, src := range [][]byte{{}, {1}, {1, 2}, {9, 9, 9}} {
+		res, err := comp.Compress(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, err := token.Expand(res.Commands)
+		if err != nil || !bytes.Equal(out, src) {
+			t.Fatalf("tiny input %v: round trip failed", src)
+		}
+	}
+}
+
+func TestMemoriesInventory(t *testing.T) {
+	comp := mustNew(t, DefaultConfig())
+	mems := comp.Memories()
+	if len(mems) != 5 {
+		t.Fatalf("the design has 5 memories (Fig 1), got %d", len(mems))
+	}
+	names := map[string]bool{}
+	for _, m := range mems {
+		names[m.Name] = true
+		if m.Blocks36 < 1 {
+			t.Errorf("%s: zero block RAMs", m.Name)
+		}
+	}
+	for _, want := range []string{"lookahead", "dictionary", "hash cache", "head", "next"} {
+		if !names[want] {
+			t.Errorf("missing memory %q", want)
+		}
+	}
+	if comp.TotalBlocks36() < 5 {
+		t.Fatal("total block count too small")
+	}
+}
+
+func TestBRAMScalesWithHashBits(t *testing.T) {
+	// Table II context: "increasing hash size raises the memory
+	// requirements exponentially (head table requires 2^H(log2 D + G)
+	// bits)".
+	small := DefaultConfig()
+	small.Match.HashBits = 9
+	big := DefaultConfig()
+	big.Match.HashBits = 15
+	if mustNew(t, big).TotalBlocks36() <= mustNew(t, small).TotalBlocks36() {
+		t.Fatal("15-bit hash must cost more BRAM than 9-bit")
+	}
+}
+
+func TestStatsLedgerConsistency(t *testing.T) {
+	data := workload.CAN(300_000, 8)
+	res, err := mustNew(t, DefaultConfig()).Compress(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := &res.Stats
+	if s.Literals+s.MatchedBytes != s.InputBytes {
+		t.Fatalf("coverage: %d lits + %d matched != %d input", s.Literals, s.MatchedBytes, s.InputBytes)
+	}
+	if s.Matches+s.Literals != int64(len(res.Commands)) {
+		t.Fatal("command count mismatch")
+	}
+	if s.OutputBytes != int64(len(res.Zlib)) {
+		t.Fatal("output byte count mismatch")
+	}
+	if s.PrefetchHits > s.Attempts {
+		t.Fatal("more prefetch hits than attempts")
+	}
+	if s.Cycles[StateOutput] < int64(len(res.Commands)) {
+		t.Fatal("output state must cost at least 1 cycle per command")
+	}
+}
+
+func TestStatsAddAndSummary(t *testing.T) {
+	data := workload.Wiki(100_000, 4)
+	res, err := mustNew(t, DefaultConfig()).Compress(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var acc CycleStats
+	acc.Add(&res.Stats)
+	acc.Add(&res.Stats)
+	if acc.TotalCycles() != 2*res.Stats.TotalCycles() {
+		t.Fatal("Add broken")
+	}
+	if acc.InputBytes != 2*res.Stats.InputBytes {
+		t.Fatal("Add broken for bytes")
+	}
+	sum := res.Stats.Summary()
+	for st := State(0); st < State(NumStates); st++ {
+		if !bytes.Contains([]byte(sum), []byte(st.String())) {
+			t.Fatalf("summary missing state %v", st)
+		}
+	}
+}
+
+func TestStateString(t *testing.T) {
+	if StateMatch.String() != "Finding match" {
+		t.Fatal("state name wrong")
+	}
+	if State(99).String() == "" {
+		t.Fatal("out-of-range state must still render")
+	}
+}
+
+func BenchmarkHWModelWiki(b *testing.B) {
+	data := workload.Wiki(1<<20, 7)
+	comp, err := New(DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(data)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := comp.Compress(data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestCompressWordsBothOrders(t *testing.T) {
+	data := workload.Wiki(10_000, 40)
+	for _, order := range []stream.ByteOrder{stream.LSBFirst, stream.MSBFirst} {
+		cfg := DefaultConfig()
+		cfg.ByteOrder = order
+		comp := mustNew(t, cfg)
+		words := stream.PackWords(data, order)
+		res, err := comp.CompressWords(words, len(data))
+		if err != nil {
+			t.Fatalf("%v: %v", order, err)
+		}
+		direct, err := comp.Compress(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !token.Equal(res.Commands, direct.Commands) {
+			t.Fatalf("%v: word interface changed the stream", order)
+		}
+	}
+}
+
+func TestCompressWordsRejectsBadLength(t *testing.T) {
+	comp := mustNew(t, DefaultConfig())
+	if _, err := comp.CompressWords([]uint32{1, 2}, 9); err == nil {
+		t.Fatal("inconsistent byte length accepted")
+	}
+}
+
+func TestOutputWords(t *testing.T) {
+	data := workload.Wiki(100_000, 300)
+	res, err := mustNew(t, DefaultConfig()).Compress(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := OutputWords(&res.Stats)
+	if w != (res.Stats.OutputBytes+3)/4 {
+		t.Fatal("word packing arithmetic wrong")
+	}
+	if w*4 < res.Stats.OutputBytes {
+		t.Fatal("words do not cover the output")
+	}
+}

@@ -1,0 +1,196 @@
+package core
+
+import (
+	"fmt"
+
+	"lzssfpga/internal/bram"
+	"lzssfpga/internal/deflate"
+	"lzssfpga/internal/token"
+)
+
+// Decompressor is the cycle-accurate model of a hardware LZSS/Deflate
+// decompressor — the companion the paper's related work ([10], run-time
+// FPGA reconfiguration) motivates: decompression hardware is simpler
+// and faster than compression hardware because there is no searching,
+// only a Huffman decoder feeding a copy engine over a dual-port window
+// block RAM.
+//
+// Datapath model: a pipelined fixed/dynamic Huffman decoder delivers
+// one command per cycle; the copy engine writes literals at one per
+// cycle and match bytes at up to BusBytes per cycle (limited by the
+// copy distance: an overlapping copy can only replicate the bytes
+// already written, so a distance-d copy moves min(d, BusBytes) bytes
+// per cycle). Both stages overlap, so a command costs
+// max(1, copyCycles) cycles.
+type Decompressor struct {
+	// Window is the history size the window BRAM holds. Streams whose
+	// copy distances exceed it cannot be decompressed (the
+	// reconfiguration use case sizes this to the compressor's window).
+	Window int
+	// BusBytes is the window port width (4 = 32-bit, as the paper's
+	// compressor uses).
+	BusBytes int
+	// InputBitsPerCycle is the Huffman decoder's refill bandwidth (the
+	// barrel shifter's input port; 32 for a word-wide stream).
+	InputBitsPerCycle int
+	// ClockHz for throughput reporting.
+	ClockHz float64
+}
+
+// DefaultDecompressor matches the compressor defaults: 32 KB window
+// (any Deflate stream), 32-bit ports, 100 MHz.
+func DefaultDecompressor() Decompressor {
+	return Decompressor{Window: token.MaxDistance, BusBytes: 4, InputBitsPerCycle: 32, ClockHz: 100e6}
+}
+
+// Validate checks the geometry.
+func (d Decompressor) Validate() error {
+	if d.Window < 1024 || d.Window > token.MaxDistance || d.Window&(d.Window-1) != 0 {
+		return fmt.Errorf("core: decompressor window %d must be a power of two in [1024,%d]", d.Window, token.MaxDistance)
+	}
+	if d.BusBytes != 1 && d.BusBytes != 2 && d.BusBytes != 4 {
+		return fmt.Errorf("core: decompressor bus %d bytes not in {1,2,4}", d.BusBytes)
+	}
+	if d.InputBitsPerCycle < 1 || d.InputBitsPerCycle > 64 {
+		return fmt.Errorf("core: decompressor input %d bits/cycle out of [1,64]", d.InputBitsPerCycle)
+	}
+	if d.ClockHz <= 0 {
+		return fmt.Errorf("core: decompressor clock %v Hz", d.ClockHz)
+	}
+	return nil
+}
+
+// DecompStats is the cycle ledger of a decompression run.
+type DecompStats struct {
+	// Cycles total.
+	Cycles int64
+	// InputBytes (compressed) and OutputBytes (decompressed).
+	InputBytes  int64
+	OutputBytes int64
+	// Literals and Matches processed.
+	Literals int64
+	Matches  int64
+	// CopyCycles spent moving match bytes.
+	CopyCycles int64
+	// DecodeBits consumed by the Huffman stage and the cycles its
+	// refill port needs; when the stream is dense (stored-like) the
+	// input side, not the copy engine, limits throughput.
+	DecodeBits   int64
+	InputCycles  int64
+	InputLimited bool
+}
+
+// BytesPerCycle is the headline decompressor metric.
+func (s DecompStats) BytesPerCycle() float64 {
+	if s.Cycles == 0 {
+		return 0
+	}
+	return float64(s.OutputBytes) / float64(s.Cycles)
+}
+
+// ThroughputMBps is the modeled output rate at the given clock.
+func (s DecompStats) ThroughputMBps(clockHz float64) float64 {
+	if s.Cycles == 0 {
+		return 0
+	}
+	return float64(s.OutputBytes) / float64(s.Cycles) * clockHz / 1e6
+}
+
+// DecompResult carries the output and statistics.
+type DecompResult struct {
+	Data  []byte
+	Stats DecompStats
+}
+
+// Run replays a command stream through the modeled datapath. The
+// output bytes are produced through an actual ring-buffer window (a
+// bram.BRAM), so wrap-around addressing is exercised, not assumed.
+func (d Decompressor) Run(cmds []token.Command) (*DecompResult, error) {
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	win, err := bram.New("window", d.Window, 8)
+	if err != nil {
+		return nil, err
+	}
+	mask := d.Window - 1
+	out := make([]byte, 0, token.StreamLen(cmds))
+	st := DecompStats{}
+	computeCycles := int64(0)
+	wpos := 0
+	push := func(b byte) {
+		win.Poke(wpos&mask, uint64(b))
+		wpos++
+		out = append(out, b)
+	}
+	for i, c := range cmds {
+		switch c.K {
+		case token.Literal:
+			st.Literals++
+			computeCycles++ // decode and write overlap: 1 cycle/literal
+			st.DecodeBits += int64(deflate.CommandBits(c))
+			push(c.Lit)
+		case token.Match:
+			if err := c.Validate(); err != nil {
+				return nil, fmt.Errorf("core: cmd %d: %v", i, err)
+			}
+			if c.Distance > d.Window {
+				return nil, fmt.Errorf("core: cmd %d: distance %d exceeds window %d", i, c.Distance, d.Window)
+			}
+			if c.Distance > wpos {
+				return nil, fmt.Errorf("core: cmd %d: distance %d exceeds produced %d", i, c.Distance, wpos)
+			}
+			st.Matches++
+			// Copy through the window ring, byte-accurate.
+			src := wpos - c.Distance
+			for j := 0; j < c.Length; j++ {
+				push(byte(win.Peek((src + j) & mask)))
+			}
+			// Cycle cost: min(distance, bus) bytes per cycle, and the
+			// decode cycle hides under the first copy cycle.
+			per := d.BusBytes
+			if c.Distance < per {
+				per = c.Distance
+			}
+			cycles := int64((c.Length + per - 1) / per)
+			st.CopyCycles += cycles
+			computeCycles += cycles
+			st.DecodeBits += int64(deflate.CommandBits(c))
+		default:
+			return nil, fmt.Errorf("core: cmd %d: unknown kind", i)
+		}
+	}
+	st.OutputBytes = int64(len(out))
+	// The two pipeline stages overlap: the slower one sets the pace.
+	st.InputCycles = (st.DecodeBits + int64(d.InputBitsPerCycle) - 1) / int64(d.InputBitsPerCycle)
+	st.Cycles = computeCycles
+	if st.InputCycles > st.Cycles {
+		st.Cycles = st.InputCycles
+		st.InputLimited = true
+	}
+	return &DecompResult{Data: out, Stats: st}, nil
+}
+
+// RunZlib decompresses a complete zlib stream through the model:
+// container parsing and Huffman decode are functional, the copy engine
+// is cycle-modeled. InputBytes reflects the compressed size.
+func (d Decompressor) RunZlib(z []byte) (*DecompResult, error) {
+	if len(z) < 6 {
+		return nil, fmt.Errorf("core: zlib stream too short")
+	}
+	// Reuse the container checks of the deflate package, then re-parse
+	// the body into commands for the copy engine.
+	if _, err := deflate.ZlibDecompress(z); err != nil {
+		return nil, err
+	}
+	cmds, err := deflate.ParseCommands(z[2 : len(z)-4])
+	if err != nil {
+		return nil, err
+	}
+	res, err := d.Run(cmds)
+	if err != nil {
+		return nil, err
+	}
+	res.Stats.InputBytes = int64(len(z))
+	return res, nil
+}

@@ -1,0 +1,292 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"lzssfpga/internal/deflate"
+	"lzssfpga/internal/lzss"
+	"lzssfpga/internal/token"
+	"lzssfpga/internal/workload"
+)
+
+func TestDecompressorValidate(t *testing.T) {
+	good := DefaultDecompressor()
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Decompressor{
+		{Window: 1000, BusBytes: 4, ClockHz: 1e8},
+		{Window: 65536, BusBytes: 4, ClockHz: 1e8},
+		{Window: 4096, BusBytes: 3, ClockHz: 1e8},
+		{Window: 4096, BusBytes: 4, ClockHz: 0},
+	}
+	for i, d := range bad {
+		if err := d.Validate(); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestDecompressorMatchesExpand(t *testing.T) {
+	data := workload.Wiki(200_000, 23)
+	cmds, _, err := lzss.Compress(data, lzss.HWSpeedParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := DefaultDecompressor().Run(cmds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(res.Data, data) {
+		t.Fatal("decompressor output differs from original")
+	}
+	want, err := token.Expand(cmds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(res.Data, want) {
+		t.Fatal("decompressor output differs from Expand")
+	}
+}
+
+func TestDecompressorWindowWrap(t *testing.T) {
+	// Output far larger than the window: the ring must wrap many times
+	// while matches keep resolving correctly.
+	d := Decompressor{Window: 1024, BusBytes: 4, InputBitsPerCycle: 32, ClockHz: 1e8}
+	p := lzss.Params{Window: 1024, HashBits: 10, MaxChain: 16, Nice: 64, InsertLimit: 8}
+	data := workload.CAN(100_000, 24)
+	cmds, _, err := lzss.Compress(data, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := d.Run(cmds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(res.Data, data) {
+		t.Fatal("wrap-around decompression failed")
+	}
+}
+
+func TestDecompressorRejectsWideDistance(t *testing.T) {
+	d := Decompressor{Window: 1024, BusBytes: 4, InputBitsPerCycle: 32, ClockHz: 1e8}
+	cmds := make([]token.Command, 0, 2001)
+	for i := 0; i < 2000; i++ {
+		cmds = append(cmds, token.Lit(byte(i)))
+	}
+	cmds = append(cmds, token.Copy(2000, 5))
+	if _, err := d.Run(cmds); err == nil {
+		t.Fatal("distance beyond window accepted")
+	}
+}
+
+func TestDecompressorRejectsFutureReference(t *testing.T) {
+	cmds := []token.Command{token.Lit('a'), token.Copy(5, 3)}
+	if _, err := DefaultDecompressor().Run(cmds); err == nil {
+		t.Fatal("reference beyond produced accepted")
+	}
+}
+
+func TestDecompressorCycleModel(t *testing.T) {
+	d := DefaultDecompressor()
+	// Literals: 1 cycle each.
+	lits := []token.Command{token.Lit(1), token.Lit(2), token.Lit(3)}
+	res, err := d.Run(lits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Cycles != 3 {
+		t.Fatalf("3 literals cost %d cycles, want 3", res.Stats.Cycles)
+	}
+	// A far match moves BusBytes per cycle.
+	far := append(append([]token.Command{}, lits...),
+		token.Lit(4), token.Copy(4, 16))
+	res, err = d.Run(far)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Stats.Cycles; got != 4+4 { // 4 literals + 16/4 copy cycles
+		t.Fatalf("far copy: %d cycles, want 8", got)
+	}
+	// An overlapping distance-1 run replicates 1 byte per cycle.
+	rle := []token.Command{token.Lit('x'), token.Copy(1, 16)}
+	res, err = d.Run(rle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Stats.Cycles; got != 1+16 {
+		t.Fatalf("RLE copy: %d cycles, want 17", got)
+	}
+}
+
+func TestDecompressorFasterThanCompressor(t *testing.T) {
+	// The reason [10] uses decompression for reconfiguration: no
+	// searching. On the same data the decompressor must beat the
+	// compressor's cycles/byte.
+	data := workload.Wiki(300_000, 25)
+	comp := mustNew(t, DefaultConfig())
+	cres, err := comp.Compress(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dres, err := DefaultDecompressor().Run(cres.Commands)
+	if err != nil {
+		t.Fatal(err)
+	}
+	compCPB := cres.Stats.CyclesPerByte()
+	decCPB := float64(dres.Stats.Cycles) / float64(dres.Stats.OutputBytes)
+	if decCPB >= compCPB {
+		t.Fatalf("decompression %.3f c/B not faster than compression %.3f", decCPB, compCPB)
+	}
+	if mbps := dres.Stats.ThroughputMBps(1e8); mbps < 60 {
+		t.Fatalf("decompression only %.1f MB/s at 100 MHz", mbps)
+	}
+}
+
+func TestDecompressorRunZlib(t *testing.T) {
+	data := workload.CAN(150_000, 26)
+	cmds, _, err := lzss.Compress(data, lzss.HWSpeedParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	z, err := deflate.ZlibCompress(cmds, data, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := DefaultDecompressor().RunZlib(z)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(res.Data, data) {
+		t.Fatal("zlib decompression mismatch")
+	}
+	if res.Stats.InputBytes != int64(len(z)) {
+		t.Fatalf("input bytes %d, want %d", res.Stats.InputBytes, len(z))
+	}
+	// Corrupt stream must be rejected.
+	z[len(z)-1] ^= 1
+	if _, err := DefaultDecompressor().RunZlib(z); err == nil {
+		t.Fatal("corrupt zlib accepted")
+	}
+}
+
+func TestParseCommandsMatchesInflate(t *testing.T) {
+	// Property promised by deflate.ParseCommands, exercised here over
+	// all three block types via the zlib path.
+	data := workload.Wiki(100_000, 27)
+	cmds, _, err := lzss.Compress(data, lzss.HWSpeedParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fixed, err := deflate.FixedDeflate(cmds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dyn, err := deflate.DynamicDeflate(cmds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stored, err := deflate.StoredDeflate(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, body := range [][]byte{fixed, dyn, stored} {
+		parsed, err := deflate.ParseCommands(body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, err := token.Expand(parsed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		inflated, err := deflate.Inflate(body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(out, inflated) {
+			t.Fatal("Expand(ParseCommands) != Inflate")
+		}
+	}
+}
+
+func TestQuickDecompressorEqualsExpand(t *testing.T) {
+	p := lzss.Params{Window: 1024, HashBits: 10, MaxChain: 8, Nice: 32, InsertLimit: 8}
+	d := Decompressor{Window: 1024, BusBytes: 4, InputBitsPerCycle: 32, ClockHz: 1e8}
+	f := func(data []byte, mod uint8) bool {
+		m := int(mod%5) + 2
+		for i := range data {
+			data[i] = byte(int(data[i]) % m)
+		}
+		cmds, _, err := lzss.Compress(data, p)
+		if err != nil {
+			return false
+		}
+		res, err := d.Run(cmds)
+		return err == nil && bytes.Equal(res.Data, data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkDecompressorModel(b *testing.B) {
+	data := workload.Wiki(1<<20, 28)
+	cmds, _, err := lzss.Compress(data, lzss.HWSpeedParams())
+	if err != nil {
+		b.Fatal(err)
+	}
+	d := DefaultDecompressor()
+	b.SetBytes(int64(len(data)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := d.Run(cmds); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestDecompressorInputSide(t *testing.T) {
+	// A literal-dense stream at a starved refill port becomes
+	// input-limited; at a 32-bit port the copy engine dominates.
+	var cmds []token.Command
+	for i := 0; i < 10000; i++ {
+		cmds = append(cmds, token.Lit(byte(i*31)))
+	}
+	wide := DefaultDecompressor()
+	rw, err := wide.Run(cmds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rw.Stats.InputLimited {
+		t.Fatal("32-bit refill should not limit a literal stream")
+	}
+	narrow := DefaultDecompressor()
+	narrow.InputBitsPerCycle = 4
+	rn, err := narrow.Run(cmds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rn.Stats.InputLimited {
+		t.Fatal("4-bit refill must be the bottleneck on literals")
+	}
+	if rn.Stats.Cycles <= rw.Stats.Cycles {
+		t.Fatal("starved input did not slow the run")
+	}
+	if rn.Stats.DecodeBits != rw.Stats.DecodeBits {
+		t.Fatal("decode bits depend only on the stream")
+	}
+}
+
+func TestDecompressorValidateInputBits(t *testing.T) {
+	d := DefaultDecompressor()
+	d.InputBitsPerCycle = 0
+	if err := d.Validate(); err == nil {
+		t.Fatal("zero input bandwidth accepted")
+	}
+	d.InputBitsPerCycle = 65
+	if err := d.Validate(); err == nil {
+		t.Fatal("overwide input accepted")
+	}
+}

@@ -1,0 +1,8 @@
+package core
+
+import "testing/quick"
+
+// quickCheck wraps testing/quick with a bounded trial count.
+func quickCheck(f interface{}, max int) error {
+	return quick.Check(f, &quick.Config{MaxCount: max})
+}

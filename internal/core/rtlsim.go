@@ -1,0 +1,369 @@
+package core
+
+import (
+	"fmt"
+
+	"lzssfpga/internal/bram"
+	"lzssfpga/internal/deflate"
+	"lzssfpga/internal/token"
+)
+
+// RTLSim is a second, independent rendering of the architecture: a
+// cycle-stepped simulation in which every memory access goes through a
+// bram.BRAM port and every clock edge is an explicit Tick. Where the
+// event-level model (Compressor) *accounts* cycles, RTLSim *spends*
+// them one at a time, with the dual-port discipline enforced by the
+// BRAM primitive itself (a port used twice in a cycle panics).
+//
+// The two models must agree exactly — same command stream, same
+// per-state cycle ledger — which the tests assert. What RTLSim adds is
+// the proof that the modeled schedule is actually *implementable* on
+// dual-port block RAMs:
+//
+//   - the filler writes the lookahead, dictionary and hash cache through
+//     their B ports while the FSM reads the A ports, every single cycle;
+//   - match preparation reads head[sub] port A and writes it on port B
+//     in the same cycle (the paper's "head and next tables are updated
+//     in this cycle");
+//   - every comparer iteration reads one dictionary word and one
+//     lookahead word in the same cycle;
+//   - the rotation sweep does a read-modify-write per sub-memory per
+//     cycle, all M sub-memories in parallel.
+type RTLSim struct {
+	cfg Config
+
+	look   *bram.BRAM // lookahead ring, 32-bit words
+	dict   *bram.BRAM // dictionary ring, 32-bit words
+	hcache *bram.BRAM // hash cache, one entry per lookahead byte
+	head   *headTable
+	next   *nextTable
+
+	src     []byte
+	fillPos int64 // bytes staged into the rings so far
+	pos     int64
+
+	cmds    []token.Command
+	stats   CycleStats
+	cycle   int64
+	outBits int64
+
+	prefetchValid bool
+}
+
+// NewRTLSim builds the simulation for a validated configuration.
+func NewRTLSim(cfg Config, src []byte) (*RTLSim, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	look, err := bram.New("lookahead", cfg.LookaheadSize/4, 32)
+	if err != nil {
+		return nil, err
+	}
+	dict, err := bram.New("dictionary", cfg.Match.Window/4, 32)
+	if err != nil {
+		return nil, err
+	}
+	hc, err := bram.New("hashcache", cfg.LookaheadSize, cfg.Match.HashBits)
+	if err != nil {
+		return nil, err
+	}
+	head, err := newHeadTable(cfg.Match.HashBits, cfg.GenerationBits, cfg.Match.Window, cfg.HeadSplit)
+	if err != nil {
+		return nil, err
+	}
+	next, err := newNextTable(cfg.Match.Window)
+	if err != nil {
+		return nil, err
+	}
+	return &RTLSim{
+		cfg: cfg, look: look, dict: dict, hcache: hc, head: head, next: next,
+		src: src,
+	}, nil
+}
+
+// tick advances the clock edge on every memory and charges the cycle to
+// the given state.
+func (s *RTLSim) tick(st State) {
+	s.look.Tick()
+	s.dict.Tick()
+	s.hcache.Tick()
+	s.next.mem.Tick()
+	for _, h := range s.head.subs {
+		h.Tick()
+	}
+	s.stats.Cycles[st]++
+	s.cycle++
+}
+
+// fill is the background filler process: each cycle it stages up to one
+// bus word into the lookahead and dictionary rings through their B
+// ports and records the hash of each completed byte offset into the
+// hash cache. It consumes no FSM cycles — it rides along every tick.
+func (s *RTLSim) fill() {
+	if s.fillPos >= int64(len(s.src)) {
+		return
+	}
+	// Lookahead capacity: the ring holds bytes [pos, pos+LookaheadSize).
+	if s.fillPos-s.pos >= int64(s.cfg.LookaheadSize) {
+		return
+	}
+	bus := int64(s.cfg.DataBusBytes)
+	end := s.fillPos + bus
+	if end > int64(len(s.src)) {
+		end = int64(len(s.src))
+	}
+	// Assemble the word and write it through the B ports.
+	var word uint64
+	for i := s.fillPos; i < end; i++ {
+		word |= uint64(s.src[i]) << (8 * uint(i-s.fillPos))
+	}
+	lookDepth := int64(s.cfg.LookaheadSize / 4)
+	dictDepth := int64(s.cfg.Match.Window / 4)
+	s.look.Write(bram.PortB, int((s.fillPos/4)%lookDepth), word)
+	s.dict.Write(bram.PortB, int((s.fillPos/4)%dictDepth), word)
+	// Hash-cache entry for one completed offset (one write port).
+	if h := s.fillPos - int64(token.MinMatch) + 1; h >= 0 && h+int64(token.MinMatch) <= int64(len(s.src)) {
+		s.hcache.Write(bram.PortB, int(h)%s.cfg.LookaheadSize, uint64(s.hashAt(h)))
+	}
+	s.fillPos = end
+}
+
+func (s *RTLSim) hashAt(pos int64) uint32 {
+	return s.cfg.Match.Hash(s.src[pos], s.src[pos+1], s.src[pos+2])
+}
+
+// Run executes the simulation to completion.
+func (s *RTLSim) Run() (*Result, error) {
+	n := int64(len(s.src))
+	s.stats.InputBytes = n
+	s.outBits = 3 + 16
+	s.cmds = make([]token.Command, 0, n/3+16)
+	for s.pos < n {
+		if n-s.pos < token.MinMatch {
+			for ; s.pos < n; s.pos++ {
+				s.waitForData(s.pos + 1)
+				s.fill()
+				s.tick(StateWait)
+				s.emit(token.Lit(s.src[s.pos]))
+				s.stats.Literals++
+			}
+			break
+		}
+		s.stats.Attempts++
+
+		need := s.pos + matchStartThreshold
+		if need > n {
+			need = n
+		}
+		s.waitForData(need)
+		if s.prefetchValid {
+			s.stats.PrefetchHits++
+		} else {
+			// Initial wait state: route the cached hash to the head
+			// address (hash cache port A read).
+			s.hcache.Read(bram.PortA, int(s.pos)%s.cfg.LookaheadSize)
+			s.fill()
+			s.tick(StateWait)
+		}
+		s.prefetchValid = false
+
+		s.rotate()
+
+		length, dist := s.findMatch()
+
+		if length >= token.MinMatch {
+			s.emit(token.Copy(dist, length))
+			s.stats.Matches++
+			s.stats.MatchedBytes += int64(length)
+			end := s.pos + int64(length)
+			if length <= s.cfg.Match.InsertLimit {
+				for i := s.pos + 1; i < end && i+token.MinMatch <= n; i++ {
+					// One update iteration per cycle: head read (A) +
+					// head write (B) + next write (A).
+					h := s.hashAt(i)
+					s.headPortRead(h)
+					prevAbs, prevOK := s.head.Lookup(h, i)
+					s.headPortWrite(h)
+					s.head.Insert(h, i)
+					s.next.mem.Write(bram.PortA, int(i&(int64(s.cfg.Match.Window)-1)), 0)
+					s.next.Link(i, prevAbs, prevOK)
+					s.fill()
+					s.tick(StateHashUpdate)
+				}
+			}
+			s.pos = end
+		} else {
+			s.emit(token.Lit(s.src[s.pos]))
+			s.stats.Literals++
+			s.pos++
+			if s.cfg.HashPrefetch && n-s.pos >= token.MinMatch {
+				s.prefetchValid = true
+			}
+		}
+	}
+	zl, err := deflate.ZlibCompress(s.cmds, s.src, s.cfg.Match.Window)
+	if err != nil {
+		return nil, err
+	}
+	s.stats.OutputBytes = int64(len(zl))
+	return &Result{Commands: s.cmds, Zlib: zl, Stats: s.stats}, nil
+}
+
+// waitForData idles (fetch stalls) until the filler has staged `need`
+// bytes — spending real cycles during which only the filler runs.
+func (s *RTLSim) waitForData(need int64) {
+	for s.fillPos < need {
+		before := s.fillPos
+		s.fill()
+		s.tick(StateFetch)
+		s.stats.SourceStallCycles++
+		if s.fillPos == before && s.fillPos-s.pos >= int64(s.cfg.LookaheadSize) {
+			panic("rtl: filler deadlock")
+		}
+	}
+}
+
+// headPortRead/Write drive the sub-memory ports so the BRAM primitive
+// checks the schedule; the functional value flows through headTable.
+func (s *RTLSim) headPortRead(bucket uint32) {
+	sub, addr := s.head.loc(bucket)
+	s.head.subs[sub].Read(bram.PortA, addr)
+}
+
+func (s *RTLSim) headPortWrite(bucket uint32) {
+	sub, addr := s.head.loc(bucket)
+	s.head.subs[sub].Write(bram.PortB, addr, 0)
+}
+
+// findMatch is the match-preparation cycle plus the compare loop, all
+// port-scheduled.
+func (s *RTLSim) findMatch() (length, distance int) {
+	h := s.hashAt(s.pos)
+	// Match preparation cycle: head read + head/next update.
+	s.headPortRead(h)
+	headAbs, headOK := s.head.Lookup(h, s.pos)
+	s.headPortWrite(h)
+	s.head.Insert(h, s.pos)
+	s.next.mem.Write(bram.PortA, int(s.pos&(int64(s.cfg.Match.Window)-1)), 0)
+	s.next.Link(s.pos, headAbs, headOK)
+	s.fill()
+	s.tick(StateMatch)
+
+	maxLen := int64(len(s.src)) - s.pos
+	if maxLen > token.MaxMatch {
+		maxLen = token.MaxMatch
+	}
+	window := int64(s.cfg.Match.Window)
+	bus := int64(s.cfg.DataBusBytes)
+	lookDepth := s.cfg.LookaheadSize / 4
+	dictDepth := s.cfg.Match.Window / 4
+
+	bestLen, bestDist := int64(0), int64(0)
+	cand, ok := headAbs, headOK
+	for chain := 0; chain < s.cfg.Match.MaxChain && ok && s.pos-cand < window; chain++ {
+		s.stats.ChainSteps++
+		nMatch := int64(0)
+		for nMatch < maxLen && s.src[cand+nMatch] == s.src[s.pos+nMatch] {
+			nMatch++
+		}
+		examined := nMatch
+		if nMatch < maxLen {
+			examined++
+		}
+		// Comparer iterations: each cycle reads one dictionary word
+		// (port A) and one lookahead word (port A); the next-table read
+		// for the following candidate shares the first cycle (port B).
+		firstChunk := bus - cand&(bus-1)
+		iters := int64(1)
+		if examined > firstChunk {
+			iters += (examined - firstChunk + bus - 1) / bus
+		}
+		for it := int64(0); it < iters; it++ {
+			s.dict.Read(bram.PortA, int((cand/4+it)%int64(dictDepth)))
+			s.look.Read(bram.PortA, int((s.pos/4+it)%int64(lookDepth)))
+			if it == 0 {
+				s.next.mem.Read(bram.PortB, int(cand&(window-1)))
+			}
+			s.fill()
+			s.tick(StateMatch)
+		}
+		if nMatch > bestLen {
+			bestLen, bestDist = nMatch, s.pos-cand
+			if bestLen >= int64(s.cfg.Match.Nice) || bestLen == maxLen {
+				break
+			}
+		}
+		cand, ok = s.next.Follow(cand)
+	}
+	if bestLen < token.MinMatch {
+		return 0, 0
+	}
+	return int(bestLen), int(bestDist)
+}
+
+// emit is the output cycle (the sink is assumed ready: RTLSim validates
+// the compute schedule, not I/O pacing).
+func (s *RTLSim) emit(cmd token.Command) {
+	s.cmds = append(s.cmds, cmd)
+	s.outBits += int64(deflate.CommandBits(cmd))
+	s.fill()
+	s.tick(StateOutput)
+}
+
+// rotate performs due rotation sweeps: every cycle, all M sub-memories
+// do one read-modify-write in lockstep.
+func (s *RTLSim) rotate() {
+	for s.head.RotationDue(s.pos + token.MaxMatch) {
+		sweeps := s.cfg.RotationCycles()
+		entriesPerSub := int((int64(1) << s.cfg.Match.HashBits) / int64(s.cfg.HeadSplit))
+		for c := int64(0); c < sweeps; c++ {
+			addr := int(c) % entriesPerSub
+			for _, sub := range s.head.subs {
+				sub.Read(bram.PortA, addr)
+				sub.Write(bram.PortB, addr, sub.Peek(addr))
+			}
+			s.fill()
+			s.tick(StateRotate)
+		}
+		s.head.Rotate()
+		s.stats.Rotations++
+	}
+}
+
+// RTLCheck runs both models over src and verifies they agree exactly.
+// It returns the RTL result.
+func RTLCheck(cfg Config, src []byte) (*Result, error) {
+	sim, err := NewRTLSim(cfg, src)
+	if err != nil {
+		return nil, err
+	}
+	rtl, err := sim.Run()
+	if err != nil {
+		return nil, err
+	}
+	comp, err := New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	ev, err := comp.Compress(src)
+	if err != nil {
+		return nil, err
+	}
+	if !token.Equal(rtl.Commands, ev.Commands) {
+		return nil, fmt.Errorf("core: RTL and event models diverge at command %d",
+			token.FirstDiff(rtl.Commands, ev.Commands))
+	}
+	for st := 0; st < NumStates; st++ {
+		// Fetch stalls differ by construction (the event model uses an
+		// instant source here, the RTL filler needs real cycles for the
+		// first words), so compare the compute states only.
+		if State(st) == StateFetch {
+			continue
+		}
+		if rtl.Stats.Cycles[st] != ev.Stats.Cycles[st] {
+			return nil, fmt.Errorf("core: %v cycles differ: rtl %d vs event %d",
+				State(st), rtl.Stats.Cycles[st], ev.Stats.Cycles[st])
+		}
+	}
+	return rtl, nil
+}

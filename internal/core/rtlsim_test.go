@@ -1,0 +1,126 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"lzssfpga/internal/token"
+	"lzssfpga/internal/workload"
+)
+
+// TestRTLAgreesWithEventModel is the headline cross-validation: the
+// port-disciplined cycle-stepped simulation and the event-level model
+// must produce the identical command stream AND the identical per-state
+// cycle ledger. Any port conflict inside RTLSim panics in bram.
+func TestRTLAgreesWithEventModel(t *testing.T) {
+	configs := []Config{DefaultConfig()}
+	{
+		c := DefaultConfig()
+		c.Match.Window = 32768
+		c.GenerationBits = 1 // frequent rotations
+		c.HeadSplit = 8
+		configs = append(configs, c)
+	}
+	{
+		c := DefaultConfig()
+		c.DataBusBytes = 1
+		c.HashPrefetch = false
+		c.Match.Window = 1024
+		c.Match.HashBits = 9
+		c.Match.MaxChain = 32
+		c.Match.Nice = 258
+		c.Match.InsertLimit = 16
+		configs = append(configs, c)
+	}
+	corpora := map[string][]byte{
+		"wiki":   workload.Wiki(120_000, 50),
+		"can":    workload.CAN(120_000, 50),
+		"random": workload.Random(40_000, 50),
+		"zeros":  workload.Zeros(30_000, 0),
+	}
+	for ci, cfg := range configs {
+		for name, data := range corpora {
+			res, err := RTLCheck(cfg, data)
+			if err != nil {
+				t.Fatalf("config %d corpus %s: %v", ci, name, err)
+			}
+			out, err := token.Expand(res.Commands)
+			if err != nil || !bytes.Equal(out, data) {
+				t.Fatalf("config %d corpus %s: RTL output invalid: %v", ci, name, err)
+			}
+		}
+	}
+}
+
+func TestRTLTinyInputs(t *testing.T) {
+	for _, src := range [][]byte{{}, {1}, {1, 2}, {7, 7, 7}, []byte("snowy snow")} {
+		res, err := RTLCheck(DefaultConfig(), src)
+		if err != nil {
+			t.Fatalf("%v: %v", src, err)
+		}
+		out, err := token.Expand(res.Commands)
+		if err != nil || !bytes.Equal(out, src) {
+			t.Fatalf("%v: round trip failed", src)
+		}
+	}
+}
+
+func TestRTLFillStartupCost(t *testing.T) {
+	// The filler needs matchStartThreshold/bus cycles before the first
+	// attempt can start; those show up as fetch stalls.
+	data := workload.Wiki(10_000, 51)
+	sim, err := NewRTLSim(DefaultConfig(), data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sim.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantMin := int64(matchStartThreshold/4 - 1)
+	if res.Stats.Cycles[StateFetch] < wantMin {
+		t.Fatalf("fetch stalls %d below the %d-cycle fill startup", res.Stats.Cycles[StateFetch], wantMin)
+	}
+}
+
+func TestRTLRejectsBadConfig(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Match.Window = 12345
+	if _, err := NewRTLSim(cfg, []byte("x")); err == nil {
+		t.Fatal("invalid config accepted")
+	}
+}
+
+func BenchmarkRTLSim(b *testing.B) {
+	data := workload.Wiki(1<<18, 52)
+	cfg := DefaultConfig()
+	b.SetBytes(int64(len(data)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sim, err := NewRTLSim(cfg, data)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := sim.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestQuickRTLAgreement(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Match.Window = 1024
+	cfg.Match.HashBits = 9
+	cfg.GenerationBits = 1
+	f := func(data []byte, mod uint8) bool {
+		m := int(mod%5) + 2
+		for i := range data {
+			data[i] = byte(int(data[i]) % m)
+		}
+		_, err := RTLCheck(cfg, data)
+		return err == nil
+	}
+	if err := quickCheck(f, 60); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,155 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+)
+
+// State enumerates the cycle-accounting categories of the paper's
+// Fig 5.
+type State int
+
+// The categories, in the order Fig 5 lists them.
+const (
+	// StateWait — "Waiting for data": the FSM sits in the initial wait
+	// state (head-table read latency when the prefetched hash is not
+	// useful, i.e. after a match skipped several bytes).
+	StateWait State = iota
+	// StateOutput — "Producing output": emitting the D/L pair (and, in
+	// parallel, prefetching the next hash); includes sink stalls.
+	StateOutput
+	// StateHashUpdate — "Updating hash table": inserting every byte of
+	// a short match, one cycle per byte.
+	StateHashUpdate
+	// StateRotate — "Rotating hash": the M-way parallel head rotation.
+	StateRotate
+	// StateFetch — "Fetching data": stalls waiting for the source (DMA)
+	// to deliver bytes into the lookahead buffer.
+	StateFetch
+	// StateMatch — "Finding match": match preparation plus the
+	// dictionary/lookahead compare iterations.
+	StateMatch
+	numStates
+)
+
+var stateNames = [numStates]string{
+	"Waiting for data",
+	"Producing output",
+	"Updating hash table",
+	"Rotating hash",
+	"Fetching data",
+	"Finding match",
+}
+
+// String names the state as Fig 5 does.
+func (s State) String() string {
+	if s < 0 || s >= numStates {
+		return fmt.Sprintf("State(%d)", int(s))
+	}
+	return stateNames[s]
+}
+
+// NumStates is the number of accounting categories.
+const NumStates = int(numStates)
+
+// CycleStats is the per-run cycle and event ledger.
+type CycleStats struct {
+	// Cycles spent per state category.
+	Cycles [NumStates]int64
+	// InputBytes consumed and OutputBytes produced (zlib stream).
+	InputBytes  int64
+	OutputBytes int64
+	// Attempts is the number of match attempts (main FSM passes).
+	Attempts int64
+	// PrefetchHits counts attempts entered through the prefetched hash,
+	// skipping the wait state.
+	PrefetchHits int64
+	// Matches and Literals emitted.
+	Matches  int64
+	Literals int64
+	// MatchedBytes is the sum of emitted match lengths.
+	MatchedBytes int64
+	// ChainSteps is the number of candidate strings compared.
+	ChainSteps int64
+	// Rotations counts head-table rotation passes.
+	Rotations int64
+	// SinkStallCycles counts output cycles lost to sink backpressure
+	// (included in Cycles[StateOutput]).
+	SinkStallCycles int64
+	// SourceStallCycles counts cycles lost waiting for input data
+	// (included in Cycles[StateFetch]).
+	SourceStallCycles int64
+}
+
+// TotalCycles sums all categories.
+func (s *CycleStats) TotalCycles() int64 {
+	var t int64
+	for _, c := range s.Cycles {
+		t += c
+	}
+	return t
+}
+
+// CyclesPerByte is the headline efficiency metric (the paper achieves
+// an average of ~2).
+func (s *CycleStats) CyclesPerByte() float64 {
+	if s.InputBytes == 0 {
+		return 0
+	}
+	return float64(s.TotalCycles()) / float64(s.InputBytes)
+}
+
+// ThroughputMBps converts the run into MB/s at the given clock
+// (decimal MB, as the paper reports).
+func (s *CycleStats) ThroughputMBps(clockHz float64) float64 {
+	t := s.TotalCycles()
+	if t == 0 {
+		return 0
+	}
+	return float64(s.InputBytes) * clockHz / float64(t) / 1e6
+}
+
+// Ratio is input/output size.
+func (s *CycleStats) Ratio() float64 {
+	if s.OutputBytes == 0 {
+		return 0
+	}
+	return float64(s.InputBytes) / float64(s.OutputBytes)
+}
+
+// Share returns the fraction of cycles spent in state st.
+func (s *CycleStats) Share(st State) float64 {
+	t := s.TotalCycles()
+	if t == 0 {
+		return 0
+	}
+	return float64(s.Cycles[st]) / float64(t)
+}
+
+// Add accumulates other into s (for multi-block runs).
+func (s *CycleStats) Add(other *CycleStats) {
+	for i := range s.Cycles {
+		s.Cycles[i] += other.Cycles[i]
+	}
+	s.InputBytes += other.InputBytes
+	s.OutputBytes += other.OutputBytes
+	s.Attempts += other.Attempts
+	s.PrefetchHits += other.PrefetchHits
+	s.Matches += other.Matches
+	s.Literals += other.Literals
+	s.MatchedBytes += other.MatchedBytes
+	s.ChainSteps += other.ChainSteps
+	s.Rotations += other.Rotations
+	s.SinkStallCycles += other.SinkStallCycles
+	s.SourceStallCycles += other.SourceStallCycles
+}
+
+// Summary renders a Fig 5-style state distribution report.
+func (s *CycleStats) Summary() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "cycles total %d (%.3f cycles/byte)\n", s.TotalCycles(), s.CyclesPerByte())
+	for st := State(0); st < numStates; st++ {
+		fmt.Fprintf(&b, "  %-20s %12d  (%.1f%%)\n", st.String(), s.Cycles[st], 100*s.Share(st))
+	}
+	return b.String()
+}

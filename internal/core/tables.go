@@ -1,0 +1,235 @@
+package core
+
+import (
+	"fmt"
+	"math/bits"
+
+	"lzssfpga/internal/bram"
+)
+
+// headTable is the hash head table: for every hash value, the position
+// of the most recent string with that hash. It implements the paper's
+// two head-table optimizations:
+//
+//   - every entry carries G extra generation bits, as if the dictionary
+//     were 2^G times bigger, so rotation happens 2^G times more rarely;
+//   - the table is split into M sub-memories of one block RAM each, so
+//     a rotation pass rewrites M entries per cycle and costs 2^H/M
+//     cycles instead of 2^H.
+//
+// Entries store offsets into a virtual buffer of Window·2^G bytes that
+// slides forward at every rotation (epochBase), exactly as ZLib's
+// 2·W scheme generalized to 2^G·W. A separate valid bitmap stands in
+// for the hardware's reserved NIL encoding. Because rotation re-bases
+// or invalidates every entry before the write pointer could wrap, the
+// epochBase+offset reconstruction in Lookup is exact, and the table
+// returns precisely the candidates a full-precision (software) head
+// table would — checked at every lookup against a shadow array.
+type headTable struct {
+	subs      []*bram.BRAM // M sub-memories
+	valid     []bool
+	lastPos   []int64 // shadow absolute positions: used ONLY to verify the invariant, never to answer lookups
+	hashBits  uint
+	window    int64
+	virtual   int64 // Window · 2^max(G,1): the virtual buffer size
+	epochBase int64 // absolute position of virtual-buffer offset 0
+	splitLog  uint
+	reads     int64
+	writes    int64
+}
+
+func newHeadTable(hashBits, genBits uint, window, split int) (*headTable, error) {
+	size := 1 << hashBits
+	// Entries hold an offset into the virtual buffer. G = 0 degrades to
+	// the plain ZLib scheme (a 2·Window buffer rotated every Window
+	// bytes) — the baseline the Table III ablation prices.
+	storeBits := genBits
+	if storeBits == 0 {
+		storeBits = 1
+	}
+	entryWidth := uint(bits.TrailingZeros(uint(window))) + storeBits
+	subs := make([]*bram.BRAM, split)
+	for i := range subs {
+		b, err := bram.New(fmt.Sprintf("head[%d]", i), size/split, entryWidth)
+		if err != nil {
+			return nil, err
+		}
+		subs[i] = b
+	}
+	return &headTable{
+		subs:     subs,
+		valid:    make([]bool, size),
+		lastPos:  make([]int64, size),
+		hashBits: hashBits,
+		window:   int64(window),
+		virtual:  int64(window) << storeBits,
+		splitLog: uint(bits.TrailingZeros(uint(split))),
+	}, nil
+}
+
+// loc maps a hash bucket onto (sub-memory, address): interleaved so the
+// M rotation engines sweep disjoint address ranges in lockstep.
+func (h *headTable) loc(bucket uint32) (sub, addr int) {
+	m := len(h.subs)
+	return int(bucket) & (m - 1), int(bucket) >> h.splitLog
+}
+
+// RotationDue reports whether an insert at position reach can no longer
+// be expressed as an offset inside the current virtual-buffer epoch, so
+// a rotation pass must run first.
+func (h *headTable) RotationDue(reach int64) bool {
+	return reach-h.epochBase >= h.virtual
+}
+
+// Lookup returns the absolute position of the newest string with the
+// given hash. ok is false for empty entries and for entries pointing
+// outside the dictionary (the paper's "the real dictionary size is
+// still used to detect whether a record points outside" check).
+func (h *headTable) Lookup(bucket uint32, pos int64) (abs int64, ok bool) {
+	h.reads++
+	if !h.valid[bucket] {
+		return 0, false
+	}
+	sub, addr := h.loc(bucket)
+	abs = h.epochBase + int64(h.subs[sub].Peek(addr))
+	if d := pos - abs; d < 1 || d >= h.window {
+		return 0, false
+	}
+	if shadow := h.lastPos[bucket]; shadow != abs {
+		panic(fmt.Sprintf("core: head table aliasing at bucket %d: epoch-relative %d vs true %d (rotation invariant violated)", bucket, abs, shadow))
+	}
+	return abs, true
+}
+
+// Insert records pos as the newest string for bucket. The caller must
+// rotate whenever RotationDue says so; otherwise the offset would not
+// fit the entry width — exactly the constraint real hardware has.
+func (h *headTable) Insert(bucket uint32, pos int64) {
+	h.writes++
+	e := pos - h.epochBase
+	if e < 0 || e >= h.virtual {
+		panic(fmt.Sprintf("core: head insert at %d outside epoch [%d,%d) - rotation overdue", pos, h.epochBase, h.epochBase+h.virtual))
+	}
+	sub, addr := h.loc(bucket)
+	h.subs[sub].Poke(addr, uint64(e))
+	h.valid[bucket] = true
+	h.lastPos[bucket] = pos
+}
+
+// rotationSlack is how much of the virtual buffer rotation leaves
+// unused: the rotation trigger fires up to one maximal match (≤258
+// bytes, padded to a bus word) before the epoch is actually full, and
+// keeping this margin guarantees no still-reachable (in-window) entry
+// is ever invalidated. ZLib solves the same problem from the other side
+// by capping match distances at W−262 (MAX_DIST); we keep full-window
+// matching and shorten the rotation stride instead.
+const rotationSlack = 262
+
+// Rotate slides the virtual buffer up by (virtual − window − slack)
+// bytes: at least the last window of entries is re-based, everything
+// older is invalidated. The hardware performs this as a parallel
+// rewrite of all M sub-memories (2^H/M cycles); here only the contents
+// are modeled and the FSM charges the cycles.
+func (h *headTable) Rotate() {
+	shift := h.virtual - h.window - rotationSlack
+	h.epochBase += shift
+	for b := range h.valid {
+		if !h.valid[b] {
+			continue
+		}
+		sub, addr := h.loc(uint32(b))
+		e := int64(h.subs[sub].Peek(addr))
+		if e >= shift {
+			h.subs[sub].Poke(addr, uint64(e-shift))
+		} else {
+			h.valid[b] = false
+		}
+	}
+}
+
+// Accesses returns total lookups and inserts.
+func (h *headTable) Accesses() (reads, writes int64) { return h.reads, h.writes }
+
+// nextTable is the per-dictionary-offset chain table. Entries hold the
+// *relative* offset to the previous string with the same hash — the
+// paper's first rotation-elimination improvement ("requires 1 extra
+// adder ... but eliminates the need to rotate the next table").
+// Relative offset 0 encodes end-of-chain; offsets ≥ Window cannot be
+// represented and also terminate the chain, which coincides with the
+// window check a full-precision chain walk performs.
+type nextTable struct {
+	mem    *bram.BRAM
+	window int64
+	reads  int64
+	writes int64
+}
+
+func newNextTable(window int) (*nextTable, error) {
+	width := uint(bits.TrailingZeros(uint(window)))
+	mem, err := bram.New("next", window, width)
+	if err != nil {
+		return nil, err
+	}
+	return &nextTable{mem: mem, window: int64(window)}, nil
+}
+
+// Link records that the previous string with pos's hash is prevAbs
+// (prevOK false for none). Distances outside the window degrade to
+// end-of-chain.
+func (n *nextTable) Link(pos, prevAbs int64, prevOK bool) {
+	n.writes++
+	rel := int64(0)
+	if prevOK {
+		d := pos - prevAbs
+		if d >= 1 && d < n.window {
+			rel = d
+		}
+	}
+	n.mem.Poke(int(pos&(n.window-1)), uint64(rel))
+}
+
+// Follow returns the previous chain member before candAbs.
+func (n *nextTable) Follow(candAbs int64) (prevAbs int64, ok bool) {
+	n.reads++
+	rel := int64(n.mem.Peek(int(candAbs & (n.window - 1))))
+	if rel == 0 {
+		return 0, false
+	}
+	return candAbs - rel, true
+}
+
+// Accesses returns total follows and links.
+func (n *nextTable) Accesses() (reads, writes int64) { return n.reads, n.writes }
+
+// MemoryInfo describes one of the design's block RAM structures for
+// resource reporting.
+type MemoryInfo struct {
+	Name     string
+	Depth    int
+	Width    uint
+	Count    int // instances (e.g. M head sub-memories)
+	Blocks36 int // total RAMB36 primitives
+	Kbits    float64
+}
+
+// memories enumerates the five independently addressable memories of
+// Fig 1 for a given configuration.
+func memories(cfg Config) []MemoryInfo {
+	wBits := cfg.Match.WindowBits()
+	headDepth := (1 << cfg.Match.HashBits) / cfg.HeadSplit
+	headWidth := wBits + cfg.GenerationBits
+	mk := func(name string, depth int, width uint, count int) MemoryInfo {
+		return MemoryInfo{
+			Name: name, Depth: depth, Width: width, Count: count,
+			Blocks36: count * bram.Blocks36(depth, width),
+			Kbits:    float64(count) * bram.KbitsOf(depth, width),
+		}
+	}
+	return []MemoryInfo{
+		mk("lookahead", cfg.LookaheadSize/4, 32, 1),
+		mk("dictionary", cfg.Match.Window/4, 32, 1),
+		mk("hash cache", cfg.LookaheadSize, cfg.Match.HashBits, 1),
+		mk("head", headDepth, headWidth, cfg.HeadSplit),
+		mk("next", cfg.Match.Window, wBits, 1),
+	}
+}

@@ -1,0 +1,74 @@
+package core
+
+import (
+	"io"
+
+	"lzssfpga/internal/vcd"
+)
+
+// Tracer observes the modeled FSM's activity. Event is invoked for
+// every contiguous burst of cycles spent in one state, in clock order.
+type Tracer interface {
+	Event(startCycle int64, st State, cycles int64, pos int64)
+}
+
+// VCDTracer renders the FSM schedule as a VCD waveform: the state
+// register, the input stream position, and a per-state one-hot strobe —
+// loadable in GTKWave next to a simulation of the real RTL.
+type VCDTracer struct {
+	w      *vcd.Writer
+	state  *vcd.Var
+	pos    *vcd.Var
+	strobe [NumStates]*vcd.Var
+	limit  int64
+}
+
+// NewVCDTracer writes a waveform to w. limitCycles caps the traced
+// window (0 = unlimited); VCD grows by roughly one line per state
+// change, so cap long runs.
+func NewVCDTracer(w io.Writer, limitCycles int64) *VCDTracer {
+	vw := vcd.NewWriter(w, "lzss_compressor", "10ns")
+	t := &VCDTracer{w: vw, limit: limitCycles}
+	t.state = vw.DeclareVar("fsm_state", 3)
+	t.pos = vw.DeclareVar("stream_pos", 32)
+	for st := 0; st < NumStates; st++ {
+		name := "st_" + sanitize(State(st).String())
+		t.strobe[st] = vw.DeclareVar(name, 1)
+	}
+	vw.EndHeader()
+	return t
+}
+
+func sanitize(s string) string {
+	out := make([]byte, 0, len(s))
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c == ' ':
+			c = '_'
+		case c >= 'A' && c <= 'Z':
+			c += 'a' - 'A'
+		}
+		out = append(out, c)
+	}
+	return string(out)
+}
+
+// Event implements Tracer.
+func (t *VCDTracer) Event(startCycle int64, st State, cycles int64, pos int64) {
+	if t.limit > 0 && startCycle > t.limit {
+		return
+	}
+	t.w.Set(startCycle, t.state, uint64(st))
+	t.w.Set(startCycle, t.pos, uint64(pos))
+	for s := 0; s < NumStates; s++ {
+		v := uint64(0)
+		if State(s) == st {
+			v = 1
+		}
+		t.w.Set(startCycle, t.strobe[s], v)
+	}
+}
+
+// Close flushes the waveform.
+func (t *VCDTracer) Close() error { return t.w.Close() }

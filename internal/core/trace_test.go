@@ -1,0 +1,106 @@
+package core
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"lzssfpga/internal/stream"
+	"lzssfpga/internal/token"
+	"lzssfpga/internal/workload"
+)
+
+// recordingTracer captures events for inspection.
+type recordingTracer struct {
+	starts []int64
+	states []State
+	spans  []int64
+}
+
+func (r *recordingTracer) Event(start int64, st State, cycles, pos int64) {
+	r.starts = append(r.starts, start)
+	r.states = append(r.states, st)
+	r.spans = append(r.spans, cycles)
+}
+
+func TestTracerSeesEveryCycle(t *testing.T) {
+	data := workload.Wiki(20_000, 30)
+	comp := mustNew(t, DefaultConfig())
+	rec := &recordingTracer{}
+	res, err := comp.CompressTraced(data, &stream.InstantSource{Total: len(data)}, stream.InstantSink{}, rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var traced int64
+	prevEnd := int64(0)
+	for i := range rec.starts {
+		if rec.starts[i] != prevEnd {
+			t.Fatalf("event %d: gap or overlap (start %d, previous end %d)", i, rec.starts[i], prevEnd)
+		}
+		prevEnd = rec.starts[i] + rec.spans[i]
+		traced += rec.spans[i]
+	}
+	if traced != res.Stats.TotalCycles() {
+		t.Fatalf("traced %d cycles, ledger says %d", traced, res.Stats.TotalCycles())
+	}
+}
+
+func TestTracedRunIdenticalToUntraced(t *testing.T) {
+	data := workload.CAN(50_000, 31)
+	comp := mustNew(t, DefaultConfig())
+	plain, err := comp.Compress(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	traced, err := comp.CompressTraced(data, &stream.InstantSource{Total: len(data)}, stream.InstantSink{}, &recordingTracer{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !token.Equal(plain.Commands, traced.Commands) {
+		t.Fatal("tracing changed the stream")
+	}
+	if plain.Stats.TotalCycles() != traced.Stats.TotalCycles() {
+		t.Fatal("tracing changed the cycle count")
+	}
+}
+
+func TestVCDTracerProducesWaveform(t *testing.T) {
+	data := workload.Wiki(5_000, 32)
+	comp := mustNew(t, DefaultConfig())
+	var buf bytes.Buffer
+	tr := NewVCDTracer(&buf, 0)
+	if _, err := comp.CompressTraced(data, &stream.InstantSource{Total: len(data)}, stream.InstantSink{}, tr); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"$var wire 3", "fsm_state", "stream_pos",
+		"st_finding_match", "st_producing_output",
+		"$enddefinitions",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("waveform missing %q", want)
+		}
+	}
+	if strings.Count(out, "#") < 100 {
+		t.Fatal("suspiciously few timestamped changes")
+	}
+}
+
+func TestVCDTracerLimit(t *testing.T) {
+	data := workload.Wiki(50_000, 33)
+	comp := mustNew(t, DefaultConfig())
+	var unlimited, limited bytes.Buffer
+	tu := NewVCDTracer(&unlimited, 0)
+	comp.CompressTraced(data, &stream.InstantSource{Total: len(data)}, stream.InstantSink{}, tu)
+	tu.Close()
+	tl := NewVCDTracer(&limited, 500)
+	comp.CompressTraced(data, &stream.InstantSource{Total: len(data)}, stream.InstantSink{}, tl)
+	tl.Close()
+	if limited.Len() >= unlimited.Len()/10 {
+		t.Fatalf("limit ineffective: %d vs %d bytes", limited.Len(), unlimited.Len())
+	}
+}

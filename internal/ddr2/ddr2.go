@@ -1,0 +1,183 @@
+// Package ddr2 models the ML-507's DDR2 SODIMM and the DMA engine that
+// streams staged data between it and the compressor — the part of the
+// paper's testbench that determines whether the memory system can feed
+// a 50 MB/s compressor (it can, by a wide margin; the tests quantify
+// it).
+//
+// The model is burst-accurate for sequential DMA traffic: row
+// activations (tRCD) and precharges (tRP) on row crossings, CAS latency
+// on the first access, periodic refresh (tRFC every tREFI), and
+// double-data-rate bursts on the data bus.
+package ddr2
+
+import (
+	"fmt"
+)
+
+// Timing holds the device parameters, all in memory-clock cycles unless
+// noted. Defaults follow a DDR2-400 (5-5-5) part on a 200 MHz memory
+// clock — the ML-507 arrangement.
+type Timing struct {
+	// ClockHz is the memory clock (data rate is 2x).
+	ClockHz float64
+	// BusBytes is the data bus width in bytes (8 = 64-bit SODIMM).
+	BusBytes int
+	// BurstLen is the DRAM burst length in beats (4 or 8).
+	BurstLen int
+	// CL is the CAS latency; TRCD activate-to-read; TRP precharge.
+	CL, TRCD, TRP int
+	// TRFC is the refresh cycle time; TREFI the refresh interval.
+	TRFC, TREFI int
+	// RowBytes is the page size per row activation.
+	RowBytes int
+}
+
+// ML507 returns the board's memory system: 64-bit DDR2-400 at 200 MHz.
+func ML507() Timing {
+	return Timing{
+		ClockHz:  200e6,
+		BusBytes: 8,
+		BurstLen: 4,
+		CL:       5, TRCD: 5, TRP: 5,
+		TRFC:     26,   // 127.5 ns at 200 MHz
+		TREFI:    1560, // 7.8 µs
+		RowBytes: 8192,
+	}
+}
+
+// Validate checks the parameters.
+func (t Timing) Validate() error {
+	if t.ClockHz <= 0 {
+		return fmt.Errorf("ddr2: clock %v", t.ClockHz)
+	}
+	if t.BusBytes <= 0 || t.BurstLen != 4 && t.BurstLen != 8 {
+		return fmt.Errorf("ddr2: bus %d bytes, burst %d beats", t.BusBytes, t.BurstLen)
+	}
+	if t.CL <= 0 || t.TRCD <= 0 || t.TRP <= 0 || t.TRFC <= 0 || t.TREFI <= 0 {
+		return fmt.Errorf("ddr2: non-positive timing parameter")
+	}
+	if t.RowBytes <= 0 || t.RowBytes%t.BurstBytes() != 0 {
+		return fmt.Errorf("ddr2: row %d bytes not a multiple of burst %d", t.RowBytes, t.BurstBytes())
+	}
+	return nil
+}
+
+// BurstBytes is the data moved per burst.
+func (t Timing) BurstBytes() int { return t.BusBytes * t.BurstLen }
+
+// burstCycles is the bus occupancy of one burst: BurstLen beats at
+// double data rate.
+func (t Timing) burstCycles() int { return t.BurstLen / 2 }
+
+// SequentialReadCycles returns the memory-clock cycles to stream n
+// bytes starting at addr with back-to-back bursts: the exact loop a DMA
+// read channel performs. Row crossings pay tRP+tRCD, the first access
+// pays tRCD+CL, and refreshes steal tRFC every tREFI.
+func (t Timing) SequentialReadCycles(addr, n int) int64 {
+	if n <= 0 {
+		return 0
+	}
+	bb := t.BurstBytes()
+	cycles := int64(t.TRCD + t.CL) // open the first row, first CAS
+	row := addr / t.RowBytes
+	// Align the first burst.
+	pos := addr
+	end := addr + n
+	sinceRefresh := int64(0)
+	for pos < end {
+		if r := pos / t.RowBytes; r != row {
+			row = r
+			cycles += int64(t.TRP + t.TRCD)
+		}
+		c := int64(t.burstCycles())
+		cycles += c
+		sinceRefresh += c
+		if sinceRefresh >= int64(t.TREFI) {
+			cycles += int64(t.TRFC)
+			sinceRefresh = 0
+		}
+		pos += bb - pos%bb
+	}
+	return cycles
+}
+
+// SustainedBandwidth returns the steady-state sequential throughput in
+// bytes per second, accounting for row-crossing and refresh overhead.
+func (t Timing) SustainedBandwidth() float64 {
+	// Cycles to stream one full row plus its activation.
+	burstsPerRow := t.RowBytes / t.BurstBytes()
+	rowCycles := float64(t.TRP+t.TRCD) + float64(burstsPerRow*t.burstCycles())
+	// Refresh steals TRFC out of every TREFI.
+	refreshShare := 1 - float64(t.TRFC)/float64(t.TREFI)
+	return float64(t.RowBytes) / rowCycles * t.ClockHz * refreshShare
+}
+
+// PeakBandwidth is the raw data-bus limit (bytes per second).
+func (t Timing) PeakBandwidth() float64 {
+	return float64(t.BusBytes) * 2 * t.ClockHz
+}
+
+// Efficiency is sustained/peak.
+func (t Timing) Efficiency() float64 { return t.SustainedBandwidth() / t.PeakBandwidth() }
+
+// DMAChannel couples the memory model to a consumer running at a
+// different clock: the paper's LocalLink DMA moving data between DDR2
+// and the 100 MHz compressor. It implements stream.Source semantics.
+type DMAChannel struct {
+	Mem Timing
+	// SetupCycles is the descriptor programming cost in consumer-clock
+	// cycles before the first byte moves.
+	SetupCycles int64
+	// ConsumerClockHz is the clock the AvailableAt cycle counts tick at.
+	ConsumerClockHz float64
+	// LinkBytesPerCycle caps the link side (LocalLink 32-bit = 4).
+	LinkBytesPerCycle float64
+	// Total bytes this transfer delivers.
+	Total int
+	// StartAddr in DRAM, for row alignment.
+	StartAddr int
+}
+
+// Validate checks the channel.
+func (c *DMAChannel) Validate() error {
+	if err := c.Mem.Validate(); err != nil {
+		return err
+	}
+	if c.ConsumerClockHz <= 0 || c.LinkBytesPerCycle <= 0 {
+		return fmt.Errorf("ddr2: consumer clock %v, link %v", c.ConsumerClockHz, c.LinkBytesPerCycle)
+	}
+	if c.SetupCycles < 0 || c.Total < 0 {
+		return fmt.Errorf("ddr2: negative setup or total")
+	}
+	return nil
+}
+
+// EffectiveBytesPerCycle is the sustained delivery rate in bytes per
+// consumer cycle: the slower of the memory system and the link.
+func (c *DMAChannel) EffectiveBytesPerCycle() float64 {
+	memRate := c.Mem.SustainedBandwidth() / c.ConsumerClockHz
+	if memRate < c.LinkBytesPerCycle {
+		return memRate
+	}
+	return c.LinkBytesPerCycle
+}
+
+// Len implements stream.Source.
+func (c *DMAChannel) Len() int { return c.Total }
+
+// AvailableAt implements stream.Source: bytes delivered by the given
+// consumer-clock cycle. The exact burst schedule is approximated by the
+// sustained rate after the setup latency plus the first-access latency;
+// the approximation error is bounded by one burst.
+func (c *DMAChannel) AvailableAt(cycle int64) int {
+	firstAccess := int64(float64(c.Mem.TRCD+c.Mem.CL) * c.ConsumerClockHz / c.Mem.ClockHz)
+	start := c.SetupCycles + firstAccess
+	if cycle <= start {
+		return 0
+	}
+	n := int(float64(cycle-start) * c.EffectiveBytesPerCycle())
+	if n > c.Total {
+		return c.Total
+	}
+	return n
+}

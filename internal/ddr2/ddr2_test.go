@@ -1,0 +1,156 @@
+package ddr2
+
+import (
+	"testing"
+	"testing/quick"
+
+	"lzssfpga/internal/stream"
+)
+
+func TestML507Validates(t *testing.T) {
+	if err := ML507().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateRejectsBroken(t *testing.T) {
+	muts := []func(*Timing){
+		func(x *Timing) { x.ClockHz = 0 },
+		func(x *Timing) { x.BurstLen = 3 },
+		func(x *Timing) { x.BusBytes = 0 },
+		func(x *Timing) { x.CL = 0 },
+		func(x *Timing) { x.TREFI = 0 },
+		func(x *Timing) { x.RowBytes = 100 },
+	}
+	for i, m := range muts {
+		tm := ML507()
+		m(&tm)
+		if err := tm.Validate(); err == nil {
+			t.Errorf("mutation %d accepted", i)
+		}
+	}
+}
+
+func TestPeakBandwidth(t *testing.T) {
+	// 64-bit DDR2 at 200 MHz: 8 B x 2 x 200e6 = 3.2 GB/s.
+	if got := ML507().PeakBandwidth(); got != 3.2e9 {
+		t.Fatalf("peak %v, want 3.2e9", got)
+	}
+}
+
+func TestSustainedBelowPeakButHigh(t *testing.T) {
+	tm := ML507()
+	s, p := tm.SustainedBandwidth(), tm.PeakBandwidth()
+	if s >= p {
+		t.Fatalf("sustained %v not below peak %v", s, p)
+	}
+	if tm.Efficiency() < 0.80 {
+		t.Fatalf("sequential efficiency %.2f implausibly low", tm.Efficiency())
+	}
+}
+
+func TestSequentialReadCycleAccounting(t *testing.T) {
+	tm := ML507()
+	// One burst: tRCD + CL + burst beats.
+	one := tm.SequentialReadCycles(0, 1)
+	if want := int64(tm.TRCD + tm.CL + tm.burstCycles()); one != want {
+		t.Fatalf("single burst: %d cycles, want %d", one, want)
+	}
+	// A full row costs no extra activation; the row after does.
+	row := tm.SequentialReadCycles(0, tm.RowBytes)
+	twoRows := tm.SequentialReadCycles(0, 2*tm.RowBytes)
+	extra := twoRows - 2*(row-int64(tm.TRCD+tm.CL)) - int64(tm.TRCD+tm.CL)
+	if extra < int64(tm.TRP) {
+		t.Fatalf("row crossing did not pay precharge+activate (extra %d)", extra)
+	}
+}
+
+func TestSequentialReadMonotone(t *testing.T) {
+	tm := ML507()
+	f := func(a uint16, n uint16) bool {
+		addr := int(a)
+		n1, n2 := int(n), int(n)+64
+		return tm.SequentialReadCycles(addr, n1) <= tm.SequentialReadCycles(addr, n2)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRefreshOverheadVisible(t *testing.T) {
+	tm := ML507()
+	noRefresh := tm
+	noRefresh.TREFI = 1 << 30
+	n := 10 << 20
+	with := tm.SequentialReadCycles(0, n)
+	without := noRefresh.SequentialReadCycles(0, n)
+	if with <= without {
+		t.Fatal("refresh cost not accounted")
+	}
+	overhead := float64(with-without) / float64(without)
+	if overhead < 0.005 || overhead > 0.05 {
+		t.Fatalf("refresh overhead %.3f outside the ~1.7%% DDR2 norm", overhead)
+	}
+}
+
+func TestDMAChannelFeedsCompressor(t *testing.T) {
+	// The paper's point: DDR2 over a 32-bit LocalLink at 100 MHz
+	// delivers 400 MB/s — an order of magnitude above the compressor's
+	// ~25 MB/s consumption (50 MB/s at 2 cycles/byte is 0.5 B/cycle).
+	ch := &DMAChannel{
+		Mem:               ML507(),
+		SetupCycles:       5000,
+		ConsumerClockHz:   100e6,
+		LinkBytesPerCycle: 4,
+		Total:             1 << 20,
+	}
+	if err := ch.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	rate := ch.EffectiveBytesPerCycle()
+	if rate != 4 {
+		t.Fatalf("link must be the bottleneck at %v B/cycle, DDR2 is faster", rate)
+	}
+	// stream.Source contract.
+	var src stream.Source = ch
+	if src.Len() != 1<<20 {
+		t.Fatal("Len wrong")
+	}
+	if src.AvailableAt(0) != 0 || src.AvailableAt(ch.SetupCycles) != 0 {
+		t.Fatal("bytes before setup completed")
+	}
+	full := src.AvailableAt(1 << 30)
+	if full != 1<<20 {
+		t.Fatalf("never delivers everything: %d", full)
+	}
+	// Monotone.
+	prev := 0
+	for c := int64(0); c < 300000; c += 997 {
+		n := src.AvailableAt(c)
+		if n < prev {
+			t.Fatalf("not monotone at %d", c)
+		}
+		prev = n
+	}
+}
+
+func TestDMAChannelMemoryBottleneck(t *testing.T) {
+	// A deliberately slow memory must cap the rate below the link.
+	slow := ML507()
+	slow.ClockHz = 1e6 // 1 MHz memory
+	ch := &DMAChannel{Mem: slow, ConsumerClockHz: 100e6, LinkBytesPerCycle: 4, Total: 1000}
+	if rate := ch.EffectiveBytesPerCycle(); rate >= 4 {
+		t.Fatalf("slow memory should bottleneck, got %v B/cycle", rate)
+	}
+}
+
+func TestDMAChannelValidate(t *testing.T) {
+	bad := &DMAChannel{Mem: ML507(), ConsumerClockHz: 0, LinkBytesPerCycle: 4}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("zero consumer clock accepted")
+	}
+	bad2 := &DMAChannel{Mem: ML507(), ConsumerClockHz: 1e8, LinkBytesPerCycle: 4, Total: -1}
+	if err := bad2.Validate(); err == nil {
+		t.Fatal("negative total accepted")
+	}
+}

@@ -1,0 +1,13 @@
+package deflate
+
+import "lzssfpga/internal/checksum"
+
+// Adler32 is the zlib container checksum, provided by the shared
+// checksum package.
+type Adler32 = checksum.Adler32
+
+// NewAdler32 returns the checksum in its initial state (value 1).
+func NewAdler32() *Adler32 { return checksum.NewAdler32() }
+
+// AdlerChecksum is a convenience one-shot over data.
+func AdlerChecksum(data []byte) uint32 { return checksum.Adler32Sum(data) }

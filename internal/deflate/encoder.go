@@ -1,0 +1,254 @@
+package deflate
+
+import (
+	"bytes"
+	"fmt"
+	"math/bits"
+
+	"lzssfpga/internal/bitio"
+	"lzssfpga/internal/lzss"
+	"lzssfpga/internal/token"
+)
+
+// Encoder turns LZSS command streams into Deflate bit streams. It
+// mirrors the paper's pipelined fixed-table Huffman stage: because the
+// table is fixed, encoding is a pure per-command lookup and the stage
+// never stalls the LZSS FSM.
+type Encoder struct {
+	bw       *bitio.Writer
+	litCodes []uint16
+	litLens  []uint8
+	dstCodes []uint16
+	dstLens  []uint8
+}
+
+// NewEncoder returns an encoder emitting to bw using the fixed tables.
+func NewEncoder(bw *bitio.Writer) *Encoder {
+	ll := fixedLitLenLengths()
+	dl := fixedDistLengths()
+	return &Encoder{
+		bw:       bw,
+		litCodes: canonicalCodes(ll),
+		litLens:  ll,
+		dstCodes: canonicalCodes(dl),
+		dstLens:  dl,
+	}
+}
+
+// BeginBlock writes the block header. final marks BFINAL; the block
+// type is always fixed-Huffman (BTYPE=01).
+func (e *Encoder) BeginBlock(final bool) {
+	e.bw.WriteBool(final)
+	e.bw.WriteBits(0b01, 2)
+}
+
+// Encode writes one LZSS command as Huffman symbols.
+func (e *Encoder) Encode(c token.Command) error {
+	switch c.K {
+	case token.Literal:
+		e.putSym(int(c.Lit))
+		return nil
+	case token.Match:
+		if err := c.Validate(); err != nil {
+			return err
+		}
+		lc := lenCodeFor(c.Length)
+		e.putSym(int(lc.sym))
+		if lc.extra > 0 {
+			e.bw.WriteBits(uint32(c.Length)-uint32(lc.base), uint(lc.extra))
+		}
+		dc := distCodeFor(c.Distance)
+		e.bw.WriteBitsRev(uint32(e.dstCodes[dc.sym]), uint(e.dstLens[dc.sym]))
+		if dc.extra > 0 {
+			e.bw.WriteBits(uint32(c.Distance)-uint32(dc.base), uint(dc.extra))
+		}
+		return nil
+	default:
+		return fmt.Errorf("deflate: unknown command kind %d", c.K)
+	}
+}
+
+// EndBlock writes the end-of-block symbol (256).
+func (e *Encoder) EndBlock() { e.putSym(endOfBlock) }
+
+func (e *Encoder) putSym(sym int) {
+	e.bw.WriteBitsRev(uint32(e.litCodes[sym]), uint(e.litLens[sym]))
+}
+
+// CommandBits returns the encoded size of c in bits under the fixed
+// tables — the cost model the estimator uses for output-size figures.
+func CommandBits(c token.Command) int {
+	if c.K == token.Literal {
+		if c.Lit < 144 {
+			return 8
+		}
+		return 9
+	}
+	lc := lenCodeFor(c.Length)
+	dc := distCodeFor(c.Distance)
+	n := int(fixedLitLenLengths()[lc.sym]) // 7 or 8
+	return n + int(lc.extra) + 5 + int(dc.extra)
+}
+
+// FixedDeflate encodes cmds as a single final fixed-Huffman block and
+// returns the raw Deflate stream.
+func FixedDeflate(cmds []token.Command) ([]byte, error) {
+	var buf bytes.Buffer
+	bw := bitio.NewWriter(&buf)
+	e := NewEncoder(bw)
+	e.BeginBlock(true)
+	for _, c := range cmds {
+		if err := e.Encode(c); err != nil {
+			return nil, err
+		}
+	}
+	e.EndBlock()
+	if err := bw.Flush(); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// StoredDeflate encodes src as stored (uncompressed) blocks — the
+// fallback for incompressible data. Each stored block holds at most
+// 65535 bytes.
+func StoredDeflate(src []byte) ([]byte, error) {
+	var buf bytes.Buffer
+	bw := bitio.NewWriter(&buf)
+	rest := src
+	for {
+		chunk := rest
+		if len(chunk) > 65535 {
+			chunk = chunk[:65535]
+		}
+		rest = rest[len(chunk):]
+		final := len(rest) == 0
+		bw.WriteBool(final)
+		bw.WriteBits(0b00, 2)
+		bw.AlignByte()
+		n := uint32(len(chunk))
+		bw.WriteBits(n, 16)
+		bw.WriteBits(^n&0xFFFF, 16)
+		bw.WriteBytes(chunk)
+		if final {
+			break
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// ZlibHeader returns the two-byte RFC 1950 header for the given window
+// size (power of two, 256..32768).
+func ZlibHeader(window int) ([2]byte, error) {
+	if window < 256 || window > 32768 || window&(window-1) != 0 {
+		return [2]byte{}, fmt.Errorf("deflate: zlib window %d must be a power of two in [256,32768]", window)
+	}
+	cinfo := uint(bits.TrailingZeros(uint(window))) - 8
+	cmf := byte(cinfo<<4 | 8) // CM=8 (deflate)
+	flg := byte(0)            // FLEVEL=0 (fastest), FDICT=0
+	rem := (uint32(cmf)*256 + uint32(flg)) % 31
+	if rem != 0 {
+		flg += byte(31 - rem)
+	}
+	return [2]byte{cmf, flg}, nil
+}
+
+// ZlibWrap builds a complete RFC 1950 stream around a raw Deflate body.
+// src is the original (uncompressed) data, needed for the Adler-32
+// trailer.
+func ZlibWrap(deflateBody, src []byte, window int) ([]byte, error) {
+	hdr, err := ZlibHeader(window)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]byte, 0, len(deflateBody)+6)
+	out = append(out, hdr[0], hdr[1])
+	out = append(out, deflateBody...)
+	sum := AdlerChecksum(src)
+	out = append(out, byte(sum>>24), byte(sum>>16), byte(sum>>8), byte(sum))
+	return out, nil
+}
+
+// ZlibCompress is the end-to-end path the hardware implements: an LZSS
+// command stream Huffman-coded with the fixed table inside a ZLib
+// container. src must be the bytes cmds expand to.
+func ZlibCompress(cmds []token.Command, src []byte, window int) ([]byte, error) {
+	body, err := FixedDeflate(cmds)
+	if err != nil {
+		return nil, err
+	}
+	return ZlibWrap(body, src, window)
+}
+
+// ZlibCompressDict is ZlibCompress with a preset dictionary: the header
+// carries the FDICT flag and the dictionary's Adler-32 as DICTID
+// (RFC 1950 §2.2), so any zlib implementation given the same dictionary
+// can decode the stream.
+func ZlibCompressDict(data, dict []byte, p lzss.Params) ([]byte, error) {
+	cmds, _, err := lzss.CompressWithDict(dict, data, p)
+	if err != nil {
+		return nil, err
+	}
+	body, err := FixedDeflate(cmds)
+	if err != nil {
+		return nil, err
+	}
+	hdr, err := ZlibHeader(p.Window)
+	if err != nil {
+		return nil, err
+	}
+	cmf, flg := hdr[0], hdr[1]&^0x20|0x20 // set FDICT
+	// Recompute FCHECK for the new FLG.
+	flg &^= 0x1F
+	if rem := (uint32(cmf)*256 + uint32(flg)) % 31; rem != 0 {
+		flg += byte(31 - rem)
+	}
+	dictID := AdlerChecksum(dict)
+	out := make([]byte, 0, len(body)+10)
+	out = append(out, cmf, flg,
+		byte(dictID>>24), byte(dictID>>16), byte(dictID>>8), byte(dictID))
+	out = append(out, body...)
+	sum := AdlerChecksum(data)
+	return append(out, byte(sum>>24), byte(sum>>16), byte(sum>>8), byte(sum)), nil
+}
+
+// ZlibDecompressDict decodes a preset-dictionary zlib stream, verifying
+// DICTID against the supplied dictionary.
+func ZlibDecompressDict(data, dict []byte) ([]byte, error) {
+	if len(data) < 10 {
+		return nil, fmt.Errorf("%w: dictionary zlib stream too short", ErrCorrupt)
+	}
+	cmf, flg := data[0], data[1]
+	if cmf&0x0F != 8 || (uint32(cmf)*256+uint32(flg))%31 != 0 {
+		return nil, fmt.Errorf("%w: zlib header", ErrCorrupt)
+	}
+	if flg&0x20 == 0 {
+		return nil, fmt.Errorf("%w: stream has no preset dictionary", ErrCorrupt)
+	}
+	dictID := uint32(data[2])<<24 | uint32(data[3])<<16 | uint32(data[4])<<8 | uint32(data[5])
+	if got := AdlerChecksum(dict); got != dictID {
+		return nil, fmt.Errorf("%w: DICTID %08x does not match dictionary %08x", ErrCorrupt, dictID, got)
+	}
+	body := data[6 : len(data)-4]
+	hist := dict
+	if len(hist) > 32768 {
+		hist = hist[len(hist)-32768:]
+	}
+	cmds, err := ParseCommandsWithHistory(body, len(hist))
+	if err != nil {
+		return nil, err
+	}
+	out, err := token.ExpandWithHistory(hist, cmds)
+	if err != nil {
+		return nil, err
+	}
+	tr := data[len(data)-4:]
+	want := uint32(tr[0])<<24 | uint32(tr[1])<<16 | uint32(tr[2])<<8 | uint32(tr[3])
+	if got := AdlerChecksum(out); got != want {
+		return nil, fmt.Errorf("%w: adler32 %08x != %08x", ErrCorrupt, got, want)
+	}
+	return out, nil
+}

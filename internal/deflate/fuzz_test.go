@@ -1,0 +1,67 @@
+package deflate
+
+import (
+	"bytes"
+	"compress/flate"
+	"io"
+	"testing"
+
+	"lzssfpga/internal/lzss"
+)
+
+// Native fuzz targets (run as seed-corpus tests under `go test`, and as
+// mutation fuzzers under `go test -fuzz=...`).
+
+// FuzzInflate feeds arbitrary bytes to every decoder entry point: they
+// must reject or decode, never panic.
+func FuzzInflate(f *testing.F) {
+	seed, _ := FixedDeflate(nil)
+	f.Add(seed)
+	f.Add([]byte{})
+	f.Add([]byte{0x01, 0x00, 0x00, 0xFF, 0xFF})
+	f.Add([]byte{0x78, 0x01, 0x03, 0x00, 0x00, 0x00, 0x00, 0x01})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		Inflate(data)        //nolint:errcheck
+		ParseCommands(data)  //nolint:errcheck
+		ZlibDecompress(data) //nolint:errcheck
+		GzipDecompress(data) //nolint:errcheck
+		r := NewStreamInflater(bytes.NewReader(data))
+		io.Copy(io.Discard, io.LimitReader(r, 1<<20)) //nolint:errcheck
+	})
+}
+
+// FuzzRoundTrip compresses arbitrary data through the full pipeline and
+// requires exact reproduction, with stdlib agreement.
+func FuzzRoundTrip(f *testing.F) {
+	f.Add([]byte("snowy snow"), uint8(0))
+	f.Add([]byte{}, uint8(1))
+	f.Add(bytes.Repeat([]byte{0xAA, 0xBB}, 300), uint8(2))
+	f.Fuzz(func(t *testing.T, data []byte, mode uint8) {
+		p := lzss.HWSpeedParams()
+		cmds, _, err := lzss.Compress(data, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var body []byte
+		switch mode % 3 {
+		case 0:
+			body, err = FixedDeflate(cmds)
+		case 1:
+			body, err = DynamicDeflate(cmds)
+		default:
+			body, err = BestDeflate(cmds, data)
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, err := Inflate(body)
+		if err != nil || !bytes.Equal(out, data) {
+			t.Fatalf("own inflater round trip failed: %v", err)
+		}
+		sr := flate.NewReader(bytes.NewReader(body))
+		sout, err := io.ReadAll(sr)
+		if err != nil || !bytes.Equal(sout, data) {
+			t.Fatalf("stdlib round trip failed: %v", err)
+		}
+	})
+}

@@ -1,0 +1,19 @@
+package deflate
+
+import (
+	"bytes"
+	"compress/zlib"
+	"io"
+
+	"lzssfpga/internal/bitio"
+)
+
+func newBitWriter(buf *bytes.Buffer) *bitio.Writer { return bitio.NewWriter(buf) }
+
+func zlibNewReaderDict(r io.Reader, dict []byte) (io.ReadCloser, error) {
+	return zlib.NewReaderDict(r, dict)
+}
+
+func zlibNewWriterDict(w io.Writer, dict []byte) (*zlib.Writer, error) {
+	return zlib.NewWriterLevelDict(w, zlib.BestSpeed, dict)
+}

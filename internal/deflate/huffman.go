@@ -1,0 +1,180 @@
+package deflate
+
+import (
+	"container/heap"
+	"sort"
+)
+
+// Length-limited Huffman code construction for the dynamic-Huffman
+// encoder (the compression-ratio upgrade path the paper names in §IV:
+// "the cost for the high performance is less efficient compression
+// compared to the dynamic huffman coders").
+//
+// buildCodeLengths assigns optimal prefix-code lengths to the symbols
+// with nonzero frequency, subject to maxLen, using the standard
+// two-queue Huffman construction followed by zlib-style overflow
+// adjustment when the tree exceeds the depth limit.
+
+type huffNode struct {
+	freq  int64
+	depth int32 // tie-breaker: prefer shallow trees, like zlib
+	sym   int32 // >= 0 for leaves, -1 for internal
+	left  int32
+	right int32
+}
+
+type huffHeap struct {
+	nodes []huffNode
+	order []int32
+}
+
+func (h *huffHeap) Len() int { return len(h.order) }
+func (h *huffHeap) Less(i, j int) bool {
+	a, b := h.nodes[h.order[i]], h.nodes[h.order[j]]
+	if a.freq != b.freq {
+		return a.freq < b.freq
+	}
+	return a.depth < b.depth
+}
+func (h *huffHeap) Swap(i, j int)      { h.order[i], h.order[j] = h.order[j], h.order[i] }
+func (h *huffHeap) Push(x interface{}) { h.order = append(h.order, x.(int32)) }
+func (h *huffHeap) Pop() interface{} {
+	old := h.order
+	n := len(old)
+	x := old[n-1]
+	h.order = old[:n-1]
+	return x
+}
+
+// buildCodeLengths returns a length per symbol (0 for unused). At least
+// one symbol must have freq > 0. If only one symbol is used it gets
+// length 1 (Deflate requires complete-enough codes for the decoder; a
+// single 1-bit code is what zlib emits too).
+func buildCodeLengths(freqs []int64, maxLen int) []uint8 {
+	lengths := make([]uint8, len(freqs))
+	nodes := make([]huffNode, 0, 2*len(freqs))
+	h := &huffHeap{nodes: nil}
+	for sym, f := range freqs {
+		if f > 0 {
+			nodes = append(nodes, huffNode{freq: f, sym: int32(sym), left: -1, right: -1})
+		}
+	}
+	switch len(nodes) {
+	case 0:
+		return lengths
+	case 1:
+		lengths[nodes[0].sym] = 1
+		return lengths
+	}
+	h.nodes = nodes
+	h.order = make([]int32, len(nodes))
+	for i := range h.order {
+		h.order[i] = int32(i)
+	}
+	heap.Init(h)
+	for h.Len() > 1 {
+		a := heap.Pop(h).(int32)
+		b := heap.Pop(h).(int32)
+		na, nb := h.nodes[a], h.nodes[b]
+		depth := na.depth
+		if nb.depth > depth {
+			depth = nb.depth
+		}
+		h.nodes = append(h.nodes, huffNode{
+			freq: na.freq + nb.freq, depth: depth + 1, sym: -1, left: a, right: b,
+		})
+		heap.Push(h, int32(len(h.nodes)-1))
+	}
+	root := h.order[0]
+	assignDepths(h.nodes, root, 0, lengths)
+	if over := maxDepth(lengths); over > maxLen {
+		limitLengths(freqs, lengths, maxLen)
+	}
+	return lengths
+}
+
+func assignDepths(nodes []huffNode, idx int32, depth uint8, lengths []uint8) {
+	n := nodes[idx]
+	if n.sym >= 0 {
+		lengths[n.sym] = depth
+		return
+	}
+	assignDepths(nodes, n.left, depth+1, lengths)
+	assignDepths(nodes, n.right, depth+1, lengths)
+}
+
+func maxDepth(lengths []uint8) int {
+	m := 0
+	for _, l := range lengths {
+		if int(l) > m {
+			m = int(l)
+		}
+	}
+	return m
+}
+
+// limitLengths rebuilds an over-deep code as a valid length-limited
+// one: clamp to maxLen, then restore the Kraft equality by deepening
+// the least-frequent shallow leaves (the classic zlib bl_count repair),
+// finally re-canonicalizing so lengths are monotone in frequency.
+func limitLengths(freqs []int64, lengths []uint8, maxLen int) {
+	type symFreq struct {
+		sym  int
+		freq int64
+	}
+	var used []symFreq
+	for sym, l := range lengths {
+		if l > 0 {
+			used = append(used, symFreq{sym, freqs[sym]})
+		}
+	}
+	// Sort by descending frequency: most frequent gets shortest code.
+	sort.Slice(used, func(i, j int) bool {
+		if used[i].freq != used[j].freq {
+			return used[i].freq > used[j].freq
+		}
+		return used[i].sym < used[j].sym
+	})
+	// Start from the clamped histogram.
+	blCount := make([]int, maxLen+1)
+	for _, l := range lengths {
+		if l == 0 {
+			continue
+		}
+		if int(l) > maxLen {
+			l = uint8(maxLen)
+		}
+		blCount[l]++
+	}
+	// Repair the Kraft equality (zlib's bl_count overflow fix): while
+	// oversubscribed, turn one leaf at the deepest non-max level into
+	// an internal node whose children absorb it and one max-depth leaf.
+	// Each step lowers the Kraft sum (scaled by 2^maxLen) by exactly 1,
+	// so the loop terminates precisely at a complete code — clamping
+	// can only oversubscribe, never undersubscribe.
+	kraft := func() int64 {
+		var k int64
+		for l := 1; l <= maxLen; l++ {
+			k += int64(blCount[l]) << uint(maxLen-l)
+		}
+		return k
+	}
+	full := int64(1) << uint(maxLen)
+	for kraft() > full {
+		bits := maxLen - 1
+		for bits > 0 && blCount[bits] == 0 {
+			bits--
+		}
+		blCount[bits]--
+		blCount[bits+1] += 2
+		blCount[maxLen]--
+	}
+	// Assign lengths: shortest codes to most frequent symbols.
+	i := 0
+	for l := 1; l <= maxLen; l++ {
+		for n := 0; n < blCount[l]; n++ {
+			lengths[used[i].sym] = uint8(l)
+			i++
+		}
+	}
+}

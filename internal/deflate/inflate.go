@@ -1,0 +1,317 @@
+package deflate
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+
+	"lzssfpga/internal/bitio"
+)
+
+// The inflater is implemented independently of the encoder (canonical
+// decode via per-length counts, the "puff" algorithm) so that a bug in
+// the encoder's table construction cannot cancel out in round-trip
+// tests.
+
+// ErrCorrupt reports a malformed Deflate or ZLib stream.
+var ErrCorrupt = errors.New("deflate: corrupt stream")
+
+// huffDec decodes canonical Huffman codes bit by bit.
+type huffDec struct {
+	counts [maxCodeLen + 1]int
+	syms   []int
+}
+
+func newHuffDec(lengths []uint8) (*huffDec, error) {
+	h := &huffDec{}
+	for _, l := range lengths {
+		if l > maxCodeLen {
+			return nil, fmt.Errorf("%w: code length %d", ErrCorrupt, l)
+		}
+		h.counts[l]++
+	}
+	if h.counts[0] == len(lengths) {
+		return nil, fmt.Errorf("%w: empty code", ErrCorrupt)
+	}
+	// Over-subscription check.
+	left := 1
+	for l := 1; l <= maxCodeLen; l++ {
+		left <<= 1
+		left -= h.counts[l]
+		if left < 0 {
+			return nil, fmt.Errorf("%w: over-subscribed code", ErrCorrupt)
+		}
+	}
+	var offs [maxCodeLen + 1]int
+	for l := 1; l < maxCodeLen; l++ {
+		offs[l+1] = offs[l] + h.counts[l]
+	}
+	h.syms = make([]int, len(lengths))
+	for sym, l := range lengths {
+		if l != 0 {
+			h.syms[offs[l]] = sym
+			offs[l]++
+		}
+	}
+	return h, nil
+}
+
+func (h *huffDec) decode(br *bitio.Reader) (int, error) {
+	code, first, index := 0, 0, 0
+	for l := 1; l <= maxCodeLen; l++ {
+		b, err := br.ReadBits(1)
+		if err != nil {
+			return 0, err
+		}
+		code |= int(b)
+		count := h.counts[l]
+		if code-first < count {
+			return h.syms[index+code-first], nil
+		}
+		index += count
+		first = (first + count) << 1
+		code <<= 1
+	}
+	return 0, fmt.Errorf("%w: invalid Huffman code", ErrCorrupt)
+}
+
+var (
+	fixedLitDec  *huffDec
+	fixedDistDec *huffDec
+)
+
+func init() {
+	var err error
+	fixedLitDec, err = newHuffDec(fixedLitLenLengths())
+	if err != nil {
+		panic(err)
+	}
+	fixedDistDec, err = newHuffDec(fixedDistLengths())
+	if err != nil {
+		panic(err)
+	}
+}
+
+// codeLengthOrder is the permuted order in which dynamic-block code
+// length code lengths are stored (RFC 1951 §3.2.7).
+var codeLengthOrder = [19]int{16, 17, 18, 0, 8, 7, 9, 6, 10, 5, 11, 4, 12, 3, 13, 2, 14, 1, 15}
+
+// Inflate decodes a complete raw Deflate stream.
+func Inflate(data []byte) ([]byte, error) {
+	br := bitio.NewReader(bytes.NewReader(data))
+	var out []byte
+	for {
+		final, err := br.ReadBool()
+		if err != nil {
+			return nil, err
+		}
+		btype, err := br.ReadBits(2)
+		if err != nil {
+			return nil, err
+		}
+		switch btype {
+		case 0:
+			out, err = inflateStored(br, out)
+		case 1:
+			out, err = inflateCompressed(br, out, fixedLitDec, fixedDistDec)
+		case 2:
+			var lit, dist *huffDec
+			lit, dist, err = readDynamicHeader(br)
+			if err == nil {
+				out, err = inflateCompressed(br, out, lit, dist)
+			}
+		default:
+			return nil, fmt.Errorf("%w: reserved block type", ErrCorrupt)
+		}
+		if err != nil {
+			return nil, err
+		}
+		if final {
+			return out, nil
+		}
+	}
+}
+
+func inflateStored(br *bitio.Reader, out []byte) ([]byte, error) {
+	br.AlignByte()
+	n, err := br.ReadBits(16)
+	if err != nil {
+		return nil, err
+	}
+	nlen, err := br.ReadBits(16)
+	if err != nil {
+		return nil, err
+	}
+	if n != ^nlen&0xFFFF {
+		return nil, fmt.Errorf("%w: stored length check", ErrCorrupt)
+	}
+	chunk := make([]byte, n)
+	if err := br.ReadBytes(chunk); err != nil {
+		return nil, err
+	}
+	return append(out, chunk...), nil
+}
+
+func inflateCompressed(br *bitio.Reader, out []byte, lit, dist *huffDec) ([]byte, error) {
+	for {
+		sym, err := lit.decode(br)
+		if err != nil {
+			return nil, err
+		}
+		switch {
+		case sym < 256:
+			out = append(out, byte(sym))
+		case sym == endOfBlock:
+			return out, nil
+		case sym <= maxLitLen:
+			i := sym - 257
+			length := int(lengthBase[i])
+			if lengthExtra[i] > 0 {
+				e, err := br.ReadBits(uint(lengthExtra[i]))
+				if err != nil {
+					return nil, err
+				}
+				length += int(e)
+			}
+			dsym, err := dist.decode(br)
+			if err != nil {
+				return nil, err
+			}
+			if dsym >= numDistSym {
+				return nil, fmt.Errorf("%w: distance symbol %d", ErrCorrupt, dsym)
+			}
+			d := int(distBase[dsym])
+			if distExtra[dsym] > 0 {
+				e, err := br.ReadBits(uint(distExtra[dsym]))
+				if err != nil {
+					return nil, err
+				}
+				d += int(e)
+			}
+			if d > len(out) {
+				return nil, fmt.Errorf("%w: distance %d exceeds output %d", ErrCorrupt, d, len(out))
+			}
+			src := len(out) - d
+			for j := 0; j < length; j++ {
+				out = append(out, out[src+j])
+			}
+		default:
+			return nil, fmt.Errorf("%w: literal/length symbol %d", ErrCorrupt, sym)
+		}
+	}
+}
+
+func readDynamicHeader(br *bitio.Reader) (lit, dist *huffDec, err error) {
+	hlit, err := br.ReadBits(5)
+	if err != nil {
+		return nil, nil, err
+	}
+	hdist, err := br.ReadBits(5)
+	if err != nil {
+		return nil, nil, err
+	}
+	hclen, err := br.ReadBits(4)
+	if err != nil {
+		return nil, nil, err
+	}
+	nLit, nDist, nCl := int(hlit)+257, int(hdist)+1, int(hclen)+4
+	if nLit > 286 || nDist > numDistSym {
+		return nil, nil, fmt.Errorf("%w: dynamic header counts", ErrCorrupt)
+	}
+	clLens := make([]uint8, 19)
+	for i := 0; i < nCl; i++ {
+		v, err := br.ReadBits(3)
+		if err != nil {
+			return nil, nil, err
+		}
+		clLens[codeLengthOrder[i]] = uint8(v)
+	}
+	clDec, err := newHuffDec(clLens)
+	if err != nil {
+		return nil, nil, err
+	}
+	lens := make([]uint8, nLit+nDist)
+	for i := 0; i < len(lens); {
+		sym, err := clDec.decode(br)
+		if err != nil {
+			return nil, nil, err
+		}
+		switch {
+		case sym < 16:
+			lens[i] = uint8(sym)
+			i++
+		case sym == 16:
+			if i == 0 {
+				return nil, nil, fmt.Errorf("%w: repeat with no previous length", ErrCorrupt)
+			}
+			n, err := br.ReadBits(2)
+			if err != nil {
+				return nil, nil, err
+			}
+			prev := lens[i-1]
+			for j := 0; j < int(n)+3; j++ {
+				if i >= len(lens) {
+					return nil, nil, fmt.Errorf("%w: repeat overflow", ErrCorrupt)
+				}
+				lens[i] = prev
+				i++
+			}
+		case sym == 17, sym == 18:
+			bitsN, base := uint(3), 3
+			if sym == 18 {
+				bitsN, base = 7, 11
+			}
+			n, err := br.ReadBits(bitsN)
+			if err != nil {
+				return nil, nil, err
+			}
+			for j := 0; j < int(n)+base; j++ {
+				if i >= len(lens) {
+					return nil, nil, fmt.Errorf("%w: zero-repeat overflow", ErrCorrupt)
+				}
+				lens[i] = 0
+				i++
+			}
+		default:
+			return nil, nil, fmt.Errorf("%w: code length symbol %d", ErrCorrupt, sym)
+		}
+	}
+	lit, err = newHuffDec(lens[:nLit])
+	if err != nil {
+		return nil, nil, err
+	}
+	dist, err = newHuffDec(lens[nLit:])
+	if err != nil {
+		return nil, nil, err
+	}
+	return lit, dist, nil
+}
+
+// ZlibDecompress parses an RFC 1950 container, inflates the body and
+// verifies the Adler-32 trailer.
+func ZlibDecompress(data []byte) ([]byte, error) {
+	if len(data) < 6 {
+		return nil, fmt.Errorf("%w: zlib stream too short", ErrCorrupt)
+	}
+	cmf, flg := data[0], data[1]
+	if cmf&0x0F != 8 {
+		return nil, fmt.Errorf("%w: compression method %d", ErrCorrupt, cmf&0x0F)
+	}
+	if (uint32(cmf)*256+uint32(flg))%31 != 0 {
+		return nil, fmt.Errorf("%w: zlib header check", ErrCorrupt)
+	}
+	if flg&0x20 != 0 {
+		return nil, fmt.Errorf("%w: preset dictionary unsupported", ErrCorrupt)
+	}
+	body := data[2 : len(data)-4]
+	out, err := Inflate(body)
+	if err != nil {
+		return nil, err
+	}
+	tr := data[len(data)-4:]
+	want := uint32(tr[0])<<24 | uint32(tr[1])<<16 | uint32(tr[2])<<8 | uint32(tr[3])
+	if got := AdlerChecksum(out); got != want {
+		return nil, fmt.Errorf("%w: adler32 %08x != %08x", ErrCorrupt, got, want)
+	}
+	return out, nil
+}

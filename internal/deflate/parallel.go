@@ -1,0 +1,123 @@
+package deflate
+
+import (
+	"bytes"
+	"runtime"
+	"sync"
+
+	"lzssfpga/internal/lzss"
+)
+
+// ParallelCompress compresses data into a standard zlib stream using
+// independent worker goroutines, pigz-style: the input is cut into
+// segments, each segment is LZSS-matched and Huffman-coded as its own
+// Deflate block(s) with a fresh dictionary, and the blocks are
+// concatenated in order. The output is deterministic — identical for
+// any worker count — and decodable by any inflater; the price of the
+// parallelism is that matches cannot cross segment boundaries.
+//
+// segment is the cut size (0 selects 256 KiB, a good ratio/parallelism
+// balance); workers defaults to GOMAXPROCS.
+func ParallelCompress(data []byte, p lzss.Params, segment, workers int) ([]byte, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if segment <= 0 {
+		segment = 256 << 10
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	nSeg := (len(data) + segment - 1) / segment
+	if nSeg == 0 {
+		nSeg = 1
+	}
+	bodies := make([][]byte, nSeg)
+	errs := make([]error, nSeg)
+
+	var wg sync.WaitGroup
+	jobs := make(chan int)
+	if workers > nSeg {
+		workers = nSeg
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				lo := i * segment
+				hi := lo + segment
+				if hi > len(data) {
+					hi = len(data)
+				}
+				bodies[i], errs[i] = compressSegment(data[lo:hi], p, i == nSeg-1)
+			}
+		}()
+	}
+	for i := 0; i < nSeg; i++ {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	var out bytes.Buffer
+	hdr, err := ZlibHeader(p.Window)
+	if err != nil {
+		return nil, err
+	}
+	out.Write(hdr[:])
+	for _, b := range bodies {
+		out.Write(b)
+	}
+	sum := AdlerChecksum(data)
+	out.Write([]byte{byte(sum >> 24), byte(sum >> 16), byte(sum >> 8), byte(sum)})
+	return out.Bytes(), nil
+}
+
+// compressSegment produces byte-aligned Deflate blocks for one segment.
+// Alignment matters: segments are encoded independently and then
+// concatenated, so each must end on a byte boundary. A zero-length
+// stored block provides the alignment padding (and carries the BFINAL
+// flag on the last segment) — the classic Z_FULL_FLUSH framing.
+func compressSegment(seg []byte, p lzss.Params, final bool) ([]byte, error) {
+	cmds, _, err := lzss.Compress(seg, p)
+	if err != nil {
+		return nil, err
+	}
+	plan := planDynamic(cmds)
+	dynBits := plan.headerBits() + plan.bodyBits(cmds)
+	fixBits := 7
+	for _, c := range cmds {
+		fixBits += CommandBits(c)
+	}
+	var buf bytes.Buffer
+	bw := newSegWriter(&buf)
+	if dynBits < fixBits {
+		if err := plan.emit(bw, cmds, false); err != nil {
+			return nil, err
+		}
+	} else {
+		e := NewEncoder(bw)
+		e.BeginBlock(false)
+		for _, c := range cmds {
+			if err := e.Encode(c); err != nil {
+				return nil, err
+			}
+		}
+		e.EndBlock()
+	}
+	// Alignment / final marker: an empty stored block.
+	bw.WriteBool(final)
+	bw.WriteBits(0b00, 2)
+	bw.AlignByte()
+	bw.WriteBits(0, 16)
+	bw.WriteBits(0xFFFF, 16)
+	if err := bw.Flush(); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}

@@ -1,0 +1,10 @@
+package deflate
+
+import (
+	"bytes"
+
+	"lzssfpga/internal/bitio"
+)
+
+// newSegWriter isolates the bitio dependency for the parallel path.
+func newSegWriter(buf *bytes.Buffer) *bitio.Writer { return bitio.NewWriter(buf) }

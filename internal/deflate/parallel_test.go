@@ -1,0 +1,107 @@
+package deflate
+
+import (
+	"bytes"
+	"compress/zlib"
+	"io"
+	"testing"
+
+	"lzssfpga/internal/lzss"
+	"lzssfpga/internal/workload"
+)
+
+func TestParallelCompressRoundTrip(t *testing.T) {
+	data := workload.Wiki(2<<20, 70)
+	p := lzss.HWSpeedParams()
+	z, err := ParallelCompress(data, p, 256<<10, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Our decoder.
+	out, err := ZlibDecompress(z)
+	if err != nil || !bytes.Equal(out, data) {
+		t.Fatalf("own decoder: %v", err)
+	}
+	// Stdlib.
+	zr, err := zlib.NewReader(bytes.NewReader(z))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sout, err := io.ReadAll(zr)
+	if err != nil || !bytes.Equal(sout, data) {
+		t.Fatalf("stdlib: %v", err)
+	}
+}
+
+func TestParallelDeterministicAcrossWorkers(t *testing.T) {
+	data := workload.CAN(1<<20, 71)
+	p := lzss.HWSpeedParams()
+	ref, err := ParallelCompress(data, p, 128<<10, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 3, 8, 16} {
+		got, err := ParallelCompress(data, p, 128<<10, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, ref) {
+			t.Fatalf("workers=%d: output differs from single-worker", workers)
+		}
+	}
+}
+
+func TestParallelEdgeSizes(t *testing.T) {
+	p := lzss.HWSpeedParams()
+	for _, n := range []int{0, 1, 100, 256 << 10, 256<<10 + 1, 300_001} {
+		data := workload.Wiki(n, int64(n))
+		z, err := ParallelCompress(data, p, 256<<10, 4)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		out, err := ZlibDecompress(z)
+		if err != nil || !bytes.Equal(out, data) {
+			t.Fatalf("n=%d: round trip failed: %v", n, err)
+		}
+	}
+}
+
+func TestParallelRatioCloseToSerial(t *testing.T) {
+	// Independent segments lose cross-boundary matches; the damage must
+	// stay small at 256 KiB segments.
+	data := workload.Wiki(2<<20, 72)
+	p := lzss.HWSpeedParams()
+	par, err := ParallelCompress(data, p, 256<<10, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmds, _, err := lzss.Compress(data, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial, err := ZlibCompress(cmds, data, p.Window)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if float64(len(par)) > 1.05*float64(len(serial)) {
+		t.Fatalf("parallel %d more than 5%% worse than serial %d", len(par), len(serial))
+	}
+}
+
+func TestParallelRejectsBadParams(t *testing.T) {
+	if _, err := ParallelCompress([]byte("x"), lzss.Params{Window: 3}, 0, 0); err == nil {
+		t.Fatal("bad params accepted")
+	}
+}
+
+func BenchmarkParallelCompress(b *testing.B) {
+	data := workload.Wiki(4<<20, 73)
+	p := lzss.HWSpeedParams()
+	b.SetBytes(int64(len(data)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := ParallelCompress(data, p, 256<<10, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,111 @@
+package deflate
+
+import (
+	"bytes"
+	"compress/flate"
+	"io"
+	"testing"
+
+	"lzssfpga/internal/lzss"
+	"lzssfpga/internal/workload"
+)
+
+func TestSplitDeflateRoundTrip(t *testing.T) {
+	for _, corpus := range []string{"wiki", "mixed", "random", "zeros"} {
+		gen, err := workload.ByName(corpus)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data := gen(300_000, 120)
+		cmds, _, err := lzss.Compress(data, lzss.HWSpeedParams())
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, err := SplitDeflate(cmds)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, err := Inflate(body)
+		if err != nil || !bytes.Equal(out, data) {
+			t.Fatalf("%s: own inflater: %v", corpus, err)
+		}
+		r := flate.NewReader(bytes.NewReader(body))
+		sout, err := io.ReadAll(r)
+		if err != nil || !bytes.Equal(sout, data) {
+			t.Fatalf("%s: stdlib: %v", corpus, err)
+		}
+	}
+}
+
+func TestSplitBeatsSingleTableOnMixedData(t *testing.T) {
+	data := workload.Mixed(1<<20, 121)
+	cmds, _, err := lzss.Compress(data, lzss.HWSpeedParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	single, err := DynamicDeflate(cmds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	split, err := SplitDeflate(cmds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(split) >= len(single) {
+		t.Fatalf("split %d not smaller than single-table %d on mixed data", len(split), len(single))
+	}
+}
+
+func TestSplitConvergesOnHomogeneousData(t *testing.T) {
+	// Uniform statistics: merging should collapse to few blocks and the
+	// result must not be meaningfully worse than one dynamic block.
+	data := workload.Wiki(1<<20, 122)
+	cmds, _, err := lzss.Compress(data, lzss.HWSpeedParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	single, err := DynamicDeflate(cmds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	split, err := SplitDeflate(cmds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if float64(len(split)) > 1.01*float64(len(single)) {
+		t.Fatalf("split %d more than 1%% worse than single %d on homogeneous data", len(split), len(single))
+	}
+}
+
+func TestSplitEmptyAndTiny(t *testing.T) {
+	for _, data := range [][]byte{{}, {1}, []byte("tiny input")} {
+		cmds, _, err := lzss.Compress(data, lzss.HWSpeedParams())
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, err := SplitDeflate(cmds)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, err := Inflate(body)
+		if err != nil || !bytes.Equal(out, data) {
+			t.Fatalf("%q: %v", data, err)
+		}
+	}
+}
+
+func TestZlibCompressSplitContainer(t *testing.T) {
+	data := workload.Mixed(200_000, 123)
+	cmds, _, err := lzss.Compress(data, lzss.HWSpeedParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	z, err := ZlibCompressSplit(cmds, data, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := ZlibDecompress(z)
+	if err != nil || !bytes.Equal(out, data) {
+		t.Fatalf("container round trip: %v", err)
+	}
+}

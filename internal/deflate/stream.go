@@ -1,0 +1,420 @@
+package deflate
+
+import (
+	"fmt"
+	"io"
+
+	"lzssfpga/internal/bitio"
+	"lzssfpga/internal/lzss"
+	"lzssfpga/internal/token"
+)
+
+// Writer is a streaming zlib compressor: an incremental LZSS stage
+// (lzss.StreamCompressor) feeding per-block Huffman encoding. Each
+// block is emitted as fixed or dynamic, whichever is smaller for its
+// symbol statistics; Close finishes the stream with the final block and
+// the Adler-32 trailer. Output is standard RFC 1950.
+type Writer struct {
+	w       io.Writer
+	bw      *bitio.Writer
+	sc      *lzss.StreamCompressor
+	adler   *Adler32
+	pending []token.Command
+	window  int
+	closed  bool
+	err     error
+}
+
+// blockCommands is how many LZSS commands accumulate before a block is
+// cut: large enough for stable per-block statistics, small enough to
+// bound latency and memory.
+const blockCommands = 32768
+
+// NewWriter starts a zlib stream on w with matching parameters p.
+func NewWriter(w io.Writer, p lzss.Params) (*Writer, error) {
+	sc, err := lzss.NewStreamCompressor(p)
+	if err != nil {
+		return nil, err
+	}
+	hdr, err := ZlibHeader(p.Window)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := w.Write(hdr[:]); err != nil {
+		return nil, err
+	}
+	return &Writer{
+		w:      w,
+		bw:     bitio.NewWriter(w),
+		sc:     sc,
+		adler:  NewAdler32(),
+		window: p.Window,
+	}, nil
+}
+
+// Write implements io.Writer.
+func (zw *Writer) Write(p []byte) (int, error) {
+	if zw.err != nil {
+		return 0, zw.err
+	}
+	if zw.closed {
+		return 0, fmt.Errorf("deflate: write after Close")
+	}
+	zw.adler.Write(p)
+	zw.pending = append(zw.pending, zw.sc.Write(p)...)
+	for len(zw.pending) >= blockCommands {
+		if err := zw.emitBlock(zw.pending[:blockCommands], false); err != nil {
+			return 0, err
+		}
+		zw.pending = zw.pending[blockCommands:]
+	}
+	return len(p), nil
+}
+
+// emitBlock writes one block, choosing the cheaper of fixed/dynamic.
+func (zw *Writer) emitBlock(cmds []token.Command, final bool) error {
+	plan := planDynamic(cmds)
+	dynBits := plan.headerBits() + plan.bodyBits(cmds)
+	fixBits := 7 // end-of-block
+	for _, c := range cmds {
+		fixBits += CommandBits(c)
+	}
+	if dynBits < fixBits {
+		if err := plan.emit(zw.bw, cmds, final); err != nil {
+			zw.err = err
+			return err
+		}
+	} else {
+		e := NewEncoder(zw.bw)
+		e.BeginBlock(final)
+		for _, c := range cmds {
+			if err := e.Encode(c); err != nil {
+				zw.err = err
+				return err
+			}
+		}
+		e.EndBlock()
+	}
+	if err := zw.bw.Err(); err != nil {
+		zw.err = err
+	}
+	return zw.err
+}
+
+// Flush emits everything written so far as complete, byte-aligned
+// Deflate blocks (ZLib's Z_SYNC_FLUSH): the LZSS stage processes its
+// buffered tail, the pending commands become a block, and an empty
+// stored block re-aligns the bit stream so a reader sees all data
+// without waiting for Close. Compression at the flush point degrades
+// slightly, as with any sync flush.
+func (zw *Writer) Flush() error {
+	if zw.err != nil {
+		return zw.err
+	}
+	if zw.closed {
+		return fmt.Errorf("deflate: flush after Close")
+	}
+	zw.pending = append(zw.pending, zw.sc.Flush()...)
+	if len(zw.pending) > 0 {
+		if err := zw.emitBlock(zw.pending, false); err != nil {
+			return err
+		}
+		zw.pending = zw.pending[:0]
+	}
+	// Empty stored block: byte alignment + a visible flush marker.
+	zw.bw.WriteBool(false)
+	zw.bw.WriteBits(0b00, 2)
+	zw.bw.AlignByte()
+	zw.bw.WriteBits(0, 16)
+	zw.bw.WriteBits(0xFFFF, 16)
+	if err := zw.bw.Flush(); err != nil {
+		zw.err = err
+	}
+	return zw.err
+}
+
+// Close flushes the final block and the Adler-32 trailer.
+func (zw *Writer) Close() error {
+	if zw.err != nil {
+		return zw.err
+	}
+	if zw.closed {
+		return nil
+	}
+	zw.closed = true
+	zw.pending = append(zw.pending, zw.sc.Close()...)
+	// Emit everything left as the final block (an empty final block is
+	// legal and needed for empty streams).
+	if err := zw.emitBlock(zw.pending, true); err != nil {
+		return err
+	}
+	zw.pending = nil
+	if err := zw.bw.Flush(); err != nil {
+		zw.err = err
+		return err
+	}
+	sum := zw.adler.Sum32()
+	_, err := zw.w.Write([]byte{byte(sum >> 24), byte(sum >> 16), byte(sum >> 8), byte(sum)})
+	zw.err = err
+	return err
+}
+
+// StreamInflater is an incremental raw-Deflate decoder implementing
+// io.Reader. It keeps the 32 KB history window needed to resolve
+// back-references across Read calls.
+type StreamInflater struct {
+	br   *bitio.Reader
+	hist [32768]byte
+	hpos int
+	hlen int
+
+	lit, dist *huffDec
+	inBlock   bool
+	stored    int  // remaining stored-block bytes (when storedMode)
+	storedMod bool // current block is stored
+	finalBlk  bool
+	done      bool
+
+	// In-flight copy when a match straddles a Read boundary.
+	copyLen  int
+	copyDist int
+
+	err error
+}
+
+// NewStreamInflater decodes the raw Deflate stream from r.
+func NewStreamInflater(r io.Reader) *StreamInflater {
+	return &StreamInflater{br: bitio.NewReader(r)}
+}
+
+func (d *StreamInflater) record(b byte) {
+	d.hist[d.hpos] = b
+	d.hpos = (d.hpos + 1) & 32767
+	if d.hlen < 32768 {
+		d.hlen++
+	}
+}
+
+// Read implements io.Reader.
+func (d *StreamInflater) Read(p []byte) (int, error) {
+	if d.err != nil {
+		return 0, d.err
+	}
+	n := 0
+	for n < len(p) {
+		if d.copyLen > 0 {
+			src := (d.hpos - d.copyDist + 65536) & 32767
+			b := d.hist[src]
+			d.record(b)
+			p[n] = b
+			n++
+			d.copyLen--
+			continue
+		}
+		if d.done {
+			d.err = io.EOF
+			if n > 0 {
+				return n, nil
+			}
+			return 0, io.EOF
+		}
+		if !d.inBlock {
+			if err := d.beginBlock(); err != nil {
+				d.err = err
+				return n, err
+			}
+			continue
+		}
+		if d.storedMod {
+			if d.stored == 0 {
+				d.endBlock()
+				continue
+			}
+			v, err := d.br.ReadBits(8)
+			if err != nil {
+				d.err = err
+				return n, err
+			}
+			b := byte(v)
+			d.record(b)
+			p[n] = b
+			n++
+			d.stored--
+			continue
+		}
+		sym, err := d.lit.decode(d.br)
+		if err != nil {
+			d.err = err
+			return n, err
+		}
+		switch {
+		case sym < 256:
+			b := byte(sym)
+			d.record(b)
+			p[n] = b
+			n++
+		case sym == endOfBlock:
+			d.endBlock()
+		case sym <= maxLitLen:
+			if err := d.startCopy(sym); err != nil {
+				d.err = err
+				return n, err
+			}
+		default:
+			d.err = fmt.Errorf("%w: literal/length symbol %d", ErrCorrupt, sym)
+			return n, d.err
+		}
+	}
+	return n, nil
+}
+
+func (d *StreamInflater) beginBlock() error {
+	final, err := d.br.ReadBool()
+	if err != nil {
+		return err
+	}
+	btype, err := d.br.ReadBits(2)
+	if err != nil {
+		return err
+	}
+	d.finalBlk = final
+	d.inBlock = true
+	d.storedMod = false
+	switch btype {
+	case 0:
+		d.br.AlignByte()
+		ln, err := d.br.ReadBits(16)
+		if err != nil {
+			return err
+		}
+		nlen, err := d.br.ReadBits(16)
+		if err != nil {
+			return err
+		}
+		if ln != ^nlen&0xFFFF {
+			return fmt.Errorf("%w: stored length check", ErrCorrupt)
+		}
+		d.storedMod = true
+		d.stored = int(ln)
+	case 1:
+		d.lit, d.dist = fixedLitDec, fixedDistDec
+	case 2:
+		lit, dist, err := readDynamicHeader(d.br)
+		if err != nil {
+			return err
+		}
+		d.lit, d.dist = lit, dist
+	default:
+		return fmt.Errorf("%w: reserved block type", ErrCorrupt)
+	}
+	return nil
+}
+
+func (d *StreamInflater) endBlock() {
+	d.inBlock = false
+	if d.finalBlk {
+		d.done = true
+	}
+}
+
+func (d *StreamInflater) startCopy(sym int) error {
+	i := sym - 257
+	length := int(lengthBase[i])
+	if lengthExtra[i] > 0 {
+		e, err := d.br.ReadBits(uint(lengthExtra[i]))
+		if err != nil {
+			return err
+		}
+		length += int(e)
+	}
+	dsym, err := d.dist.decode(d.br)
+	if err != nil {
+		return err
+	}
+	if dsym >= numDistSym {
+		return fmt.Errorf("%w: distance symbol %d", ErrCorrupt, dsym)
+	}
+	dist := int(distBase[dsym])
+	if distExtra[dsym] > 0 {
+		e, err := d.br.ReadBits(uint(distExtra[dsym]))
+		if err != nil {
+			return err
+		}
+		dist += int(e)
+	}
+	if dist > d.hlen {
+		return fmt.Errorf("%w: distance %d exceeds history %d", ErrCorrupt, dist, d.hlen)
+	}
+	d.copyLen, d.copyDist = length, dist
+	return nil
+}
+
+// Reader is the streaming zlib (RFC 1950) decompressor: header check,
+// incremental inflate, Adler-32 verification at end of stream.
+type Reader struct {
+	d     *StreamInflater
+	adler *Adler32
+	eof   bool
+	err   error
+}
+
+// NewReader parses the zlib header from r and returns a streaming
+// decompressor for the body.
+func NewReader(r io.Reader) (*Reader, error) {
+	d := NewStreamInflater(r)
+	cmf, err := d.br.ReadBits(8)
+	if err != nil {
+		return nil, err
+	}
+	flg, err := d.br.ReadBits(8)
+	if err != nil {
+		return nil, err
+	}
+	if cmf&0x0F != 8 {
+		return nil, fmt.Errorf("%w: compression method %d", ErrCorrupt, cmf&0x0F)
+	}
+	if (cmf*256+flg)%31 != 0 {
+		return nil, fmt.Errorf("%w: zlib header check", ErrCorrupt)
+	}
+	if flg&0x20 != 0 {
+		return nil, fmt.Errorf("%w: preset dictionary unsupported", ErrCorrupt)
+	}
+	return &Reader{d: d, adler: NewAdler32()}, nil
+}
+
+// Read implements io.Reader; on clean EOF the Adler-32 trailer has been
+// verified.
+func (zr *Reader) Read(p []byte) (int, error) {
+	if zr.err != nil {
+		return 0, zr.err
+	}
+	n, err := zr.d.Read(p)
+	zr.adler.Write(p[:n])
+	if err == io.EOF && !zr.eof {
+		zr.eof = true
+		if terr := zr.checkTrailer(); terr != nil {
+			zr.err = terr
+			return n, terr
+		}
+	}
+	if err != nil {
+		zr.err = err
+	}
+	return n, err
+}
+
+func (zr *Reader) checkTrailer() error {
+	zr.d.br.AlignByte()
+	var want uint32
+	for i := 0; i < 4; i++ {
+		v, err := zr.d.br.ReadBits(8)
+		if err != nil {
+			return fmt.Errorf("%w: truncated adler trailer", ErrCorrupt)
+		}
+		want = want<<8 | v
+	}
+	if got := zr.adler.Sum32(); got != want {
+		return fmt.Errorf("%w: adler32 %08x != %08x", ErrCorrupt, got, want)
+	}
+	return nil
+}

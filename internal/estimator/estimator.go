@@ -1,0 +1,283 @@
+// Package estimator reimplements the paper's design-space-exploration
+// tool [17]: it runs the cycle-accurate hardware model over parameter
+// series and reports compression ratio, throughput, cycle distribution
+// and block RAM cost — the machinery behind Figs 2-5 and Table III.
+package estimator
+
+import (
+	"fmt"
+	"strings"
+
+	"lzssfpga/internal/core"
+	"lzssfpga/internal/token"
+)
+
+// Point is one evaluated design point.
+type Point struct {
+	// Window and HashBits identify the geometry.
+	Window   int
+	HashBits uint
+	// Level is the run-time parameter preset ("min", "max" or "").
+	Level string
+	// InputBytes / CompressedBytes give the ratio.
+	InputBytes      int64
+	CompressedBytes int64
+	// MBps is the modeled throughput at the configured clock.
+	MBps float64
+	// CyclesPerByte is the cycle density.
+	CyclesPerByte float64
+	// Blocks36 is the block RAM cost.
+	Blocks36 int
+	// Stats is the full cycle ledger.
+	Stats core.CycleStats
+}
+
+// Ratio returns input/compressed.
+func (p Point) Ratio() float64 {
+	if p.CompressedBytes == 0 {
+		return 0
+	}
+	return float64(p.InputBytes) / float64(p.CompressedBytes)
+}
+
+// Evaluate runs one configuration over data.
+func Evaluate(cfg core.Config, data []byte) (Point, error) {
+	comp, err := core.New(cfg)
+	if err != nil {
+		return Point{}, err
+	}
+	res, err := comp.Compress(data)
+	if err != nil {
+		return Point{}, err
+	}
+	return Point{
+		Window:          cfg.Match.Window,
+		HashBits:        cfg.Match.HashBits,
+		InputBytes:      res.Stats.InputBytes,
+		CompressedBytes: res.Stats.OutputBytes,
+		MBps:            res.Stats.ThroughputMBps(cfg.ClockHz),
+		CyclesPerByte:   res.Stats.CyclesPerByte(),
+		Blocks36:        comp.TotalBlocks36(),
+		Stats:           res.Stats,
+	}, nil
+}
+
+// ApplyLevel sets the run-time matching parameters for the paper's
+// "min" and "max" compression levels (Fig 4): min is the Table I
+// speed setting; max raises the matching-iteration limit, searches to
+// the full match length and updates the hash table for every byte.
+func ApplyLevel(cfg *core.Config, level string) error {
+	switch level {
+	case "", "min":
+		cfg.Match.MaxChain = 4
+		cfg.Match.Nice = 8
+		cfg.Match.InsertLimit = 4
+	case "max":
+		cfg.Match.MaxChain = 128
+		cfg.Match.Nice = token.MaxMatch
+		cfg.Match.InsertLimit = token.MaxMatch
+	default:
+		return fmt.Errorf("estimator: unknown level %q (want min or max)", level)
+	}
+	return nil
+}
+
+// Series is one labeled curve of a figure.
+type Series struct {
+	Label  string
+	X      []int // dictionary sizes
+	Points []Point
+}
+
+// sweep evaluates cfg over the given dictionary sizes, running the
+// independent design points in parallel (EvaluateAll).
+func sweep(base core.Config, windows []int, data []byte) (Series, error) {
+	cfgs := make([]core.Config, len(windows))
+	for i, w := range windows {
+		cfgs[i] = base
+		cfgs[i].Match.Window = w
+	}
+	points, err := EvaluateAll(cfgs, data)
+	if err != nil {
+		return Series{}, err
+	}
+	return Series{X: windows, Points: points}, nil
+}
+
+// Fig2Windows / Fig3Windows / Fig2Hashes are the axes the paper sweeps.
+var (
+	Fig2Windows = []int{1024, 2048, 4096, 8192, 16384}
+	Fig3Windows = []int{2048, 4096, 8192, 16384}
+	Fig2Hashes  = []uint{9, 11, 13, 15}
+)
+
+// Fig2 reproduces "Compressed size of a 100MB Wiki fragment" —
+// compressed size vs dictionary size, one series per hash bit count.
+func Fig2(data []byte) ([]Series, error) {
+	out := make([]Series, 0, len(Fig2Hashes))
+	for _, h := range Fig2Hashes {
+		cfg := core.DefaultConfig()
+		cfg.Match.HashBits = h
+		s, err := sweep(cfg, Fig2Windows, data)
+		if err != nil {
+			return nil, err
+		}
+		s.Label = fmt.Sprintf("%d bits", h)
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+// Fig3 reproduces "Compression speed (MB/s)" — throughput vs dictionary
+// size, one series per hash bit count.
+func Fig3(data []byte) ([]Series, error) {
+	out := make([]Series, 0, len(Fig2Hashes))
+	for _, h := range Fig2Hashes {
+		cfg := core.DefaultConfig()
+		cfg.Match.HashBits = h
+		s, err := sweep(cfg, Fig3Windows, data)
+		if err != nil {
+			return nil, err
+		}
+		s.Label = fmt.Sprintf("%d bits", h)
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+// Fig4 reproduces "Compressed size and speed for min/max compression
+// levels and 2 hash size options": four series (9/15 bits × min/max)
+// over the Fig 2 dictionary range.
+func Fig4(data []byte) ([]Series, error) {
+	var out []Series
+	for _, h := range []uint{9, 15} {
+		for _, level := range []string{"min", "max"} {
+			cfg := core.DefaultConfig()
+			cfg.Match.HashBits = h
+			if err := ApplyLevel(&cfg, level); err != nil {
+				return nil, err
+			}
+			s, err := sweep(cfg, Fig2Windows, data)
+			if err != nil {
+				return nil, err
+			}
+			s.Label = fmt.Sprintf("%d bits;%s", h, level)
+			for i := range s.Points {
+				s.Points[i].Level = level
+			}
+			out = append(out, s)
+		}
+	}
+	return out, nil
+}
+
+// AblationRow is one configuration of Table III, evaluated at the two
+// window sizes the paper uses.
+type AblationRow struct {
+	Name   string
+	MBps4K float64
+	MBps32 float64
+}
+
+// TableIII reproduces "Compression speed without optimizations": the
+// presented design, then each of the three optimizations disabled in
+// turn, then all of them disabled.
+func TableIII(data []byte) ([]AblationRow, error) {
+	variants := []struct {
+		name string
+		mut  func(*core.Config)
+	}{
+		{"A) Original (15-bit hash; 32-bit data)", func(c *core.Config) {}},
+		{"B) 8-bit data bus as in [11]", func(c *core.Config) { c.DataBusBytes = 1 }},
+		{"C) Disabled hash prefetching", func(c *core.Config) { c.HashPrefetch = false }},
+		{"D) Reduced generation bits to 0", func(c *core.Config) { c.GenerationBits = 0 }},
+		{"Disabled all 3 optimizations over [11]", func(c *core.Config) {
+			c.DataBusBytes = 1
+			c.HashPrefetch = false
+			c.GenerationBits = 0
+			c.HeadSplit = 1 // [11] has no M-way split rotation either
+		}},
+	}
+	windows := []int{4096, 32768}
+	cfgs := make([]core.Config, 0, len(variants)*len(windows))
+	for _, v := range variants {
+		for _, w := range windows {
+			cfg := core.DefaultConfig()
+			cfg.Match.Window = w
+			v.mut(&cfg)
+			cfgs = append(cfgs, cfg)
+		}
+	}
+	points, err := EvaluateAll(cfgs, data)
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]AblationRow, 0, len(variants))
+	for i, v := range variants {
+		rows = append(rows, AblationRow{
+			Name:   v.name,
+			MBps4K: points[2*i].MBps,
+			MBps32: points[2*i+1].MBps,
+		})
+	}
+	return rows, nil
+}
+
+// --- report rendering ---
+
+func fmtSize(n int) string {
+	switch {
+	case n >= 1<<20 && n%(1<<20) == 0:
+		return fmt.Sprintf("%dM", n>>20)
+	case n >= 1024 && n%1024 == 0:
+		return fmt.Sprintf("%dK", n>>10)
+	default:
+		return fmt.Sprintf("%d", n)
+	}
+}
+
+// RenderSizeTable prints a Fig 2/4-style compressed-size grid.
+func RenderSizeTable(title string, series []Series) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n%-14s", title, "dictionary:")
+	for _, w := range series[0].X {
+		fmt.Fprintf(&b, "%10s", fmtSize(w))
+	}
+	b.WriteByte('\n')
+	for _, s := range series {
+		fmt.Fprintf(&b, "%-14s", s.Label)
+		for _, p := range s.Points {
+			fmt.Fprintf(&b, "%9.2fM", float64(p.CompressedBytes)/1e6)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// RenderSpeedTable prints a Fig 3/4-style throughput grid.
+func RenderSpeedTable(title string, series []Series) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n%-14s", title, "dictionary:")
+	for _, w := range series[0].X {
+		fmt.Fprintf(&b, "%10s", fmtSize(w))
+	}
+	b.WriteByte('\n')
+	for _, s := range series {
+		fmt.Fprintf(&b, "%-14s", s.Label)
+		for _, p := range s.Points {
+			fmt.Fprintf(&b, "%10.1f", p.MBps)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// RenderTableIII prints the ablation table.
+func RenderTableIII(rows []AblationRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-42s %12s %12s\n", "Configuration / window size", "4KB", "32KB")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-42s %7.1f MB/s %7.1f MB/s\n", r.Name, r.MBps4K, r.MBps32)
+	}
+	return b.String()
+}

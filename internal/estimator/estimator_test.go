@@ -1,0 +1,327 @@
+package estimator
+
+import (
+	"strings"
+	"testing"
+
+	"lzssfpga/internal/core"
+	"lzssfpga/internal/workload"
+)
+
+// One shared corpus: the figures run 20+ model passes, so keep it small
+// but large enough for the trends to be stable.
+var figDataCache []byte
+
+func figData(t *testing.T) []byte {
+	t.Helper()
+	if figDataCache == nil {
+		figDataCache = workload.Wiki(1<<20, 17)
+	}
+	return figDataCache
+}
+
+func TestEvaluateBasics(t *testing.T) {
+	p, err := Evaluate(core.DefaultConfig(), figData(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Ratio() < 1.2 {
+		t.Fatalf("ratio %.2f too low on wiki", p.Ratio())
+	}
+	if p.MBps <= 0 || p.CyclesPerByte <= 0 || p.Blocks36 <= 0 {
+		t.Fatalf("implausible point: %+v", p)
+	}
+	if p.Window != 4096 || p.HashBits != 15 {
+		t.Fatal("geometry not recorded")
+	}
+}
+
+func TestEvaluateRejectsBadConfig(t *testing.T) {
+	cfg := core.DefaultConfig()
+	cfg.Match.MaxChain = 0
+	if _, err := Evaluate(cfg, []byte("x")); err == nil {
+		t.Fatal("invalid config accepted")
+	}
+}
+
+func TestApplyLevel(t *testing.T) {
+	cfg := core.DefaultConfig()
+	if err := ApplyLevel(&cfg, "max"); err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Match.MaxChain <= 4 || cfg.Match.Nice != 258 {
+		t.Fatalf("max level not applied: %+v", cfg.Match)
+	}
+	if err := ApplyLevel(&cfg, "bogus"); err == nil {
+		t.Fatal("unknown level accepted")
+	}
+	if err := ApplyLevel(&cfg, ""); err != nil {
+		t.Fatal("empty level should mean min")
+	}
+}
+
+func TestFig2Shape(t *testing.T) {
+	series, err := Fig2(figData(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series) != len(Fig2Hashes) {
+		t.Fatalf("want %d series", len(Fig2Hashes))
+	}
+	for _, s := range series {
+		// Paper: "increasing the dictionary size improves the
+		// compression ratio" — compressed size must not grow.
+		for i := 1; i < len(s.Points); i++ {
+			if s.Points[i].CompressedBytes > s.Points[i-1].CompressedBytes {
+				t.Errorf("series %s: size grew from %dK to %dK dictionary",
+					s.Label, s.X[i-1]>>10, s.X[i]>>10)
+			}
+		}
+	}
+	// "The improvement is more significant for larger hash sizes":
+	// the 15-bit curve must drop more (absolutely) than the 9-bit one.
+	drop := func(s Series) int64 {
+		return s.Points[0].CompressedBytes - s.Points[len(s.Points)-1].CompressedBytes
+	}
+	if drop(series[len(series)-1]) <= drop(series[0]) {
+		t.Errorf("15-bit improvement %d not larger than 9-bit %d",
+			drop(series[len(series)-1]), drop(series[0]))
+	}
+}
+
+func TestFig3Shape(t *testing.T) {
+	series, err := Fig3(figData(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Paper: larger hash ⇒ faster (fewer collisions); at equal windows
+	// the 15-bit series must beat the 9-bit one.
+	s9, s15 := series[0], series[len(series)-1]
+	for i := range s9.Points {
+		if s15.Points[i].MBps <= s9.Points[i].MBps {
+			t.Errorf("window %dK: 15-bit %.1f MB/s not faster than 9-bit %.1f",
+				s9.X[i]>>10, s15.Points[i].MBps, s9.Points[i].MBps)
+		}
+	}
+	// Paper: "increasing the dictionary size slightly slows down the
+	// compression" — at 15 bits the 16K window is slower than the 2K.
+	pts := s15.Points
+	if pts[len(pts)-1].MBps >= pts[0].MBps {
+		t.Errorf("15-bit: 16K window %.1f MB/s not slower than 2K %.1f",
+			pts[len(pts)-1].MBps, pts[0].MBps)
+	}
+}
+
+func TestFig4Shape(t *testing.T) {
+	series, err := Fig4(figData(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series) != 4 {
+		t.Fatalf("want 4 series (9/15 bits x min/max), got %d", len(series))
+	}
+	bySeries := map[string]Series{}
+	for _, s := range series {
+		bySeries[s.Label] = s
+	}
+	min15, max15 := bySeries["15 bits;min"], bySeries["15 bits;max"]
+	last := len(min15.Points) - 1
+	// Max level compresses better...
+	if max15.Points[last].CompressedBytes >= min15.Points[last].CompressedBytes {
+		t.Error("max level must compress better than min")
+	}
+	// ...but is much slower (paper: "20% better at a cost of 82%
+	// performance decrease").
+	slowdown := 1 - max15.Points[last].MBps/min15.Points[last].MBps
+	if slowdown < 0.4 {
+		t.Errorf("max level only %.0f%% slower; paper reports ~82%%", 100*slowdown)
+	}
+	improvement := 1 - float64(max15.Points[last].CompressedBytes)/float64(min15.Points[last].CompressedBytes)
+	if improvement < 0.05 {
+		t.Errorf("max level only improves size by %.1f%%; paper reports ~20%%", 100*improvement)
+	}
+}
+
+func TestTableIIIShape(t *testing.T) {
+	rows, err := TableIII(figData(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("Table III has 5 rows, got %d", len(rows))
+	}
+	orig := rows[0]
+	// Every ablation must cost throughput at 4KB.
+	for _, r := range rows[1:] {
+		if r.MBps4K >= orig.MBps4K {
+			t.Errorf("%s: %.1f MB/s not slower than original %.1f at 4KB", r.Name, r.MBps4K, orig.MBps4K)
+		}
+	}
+	// All-off must be the slowest of the ablations at 4KB.
+	allOff := rows[len(rows)-1]
+	for _, r := range rows[:len(rows)-1] {
+		if allOff.MBps4K >= r.MBps4K {
+			t.Errorf("all-off %.1f MB/s not slower than %s %.1f", allOff.MBps4K, r.Name, r.MBps4K)
+		}
+	}
+	// Paper: generation bits matter more for small windows — the k=0
+	// relative loss at 4KB exceeds that at 32KB.
+	genRow := rows[3]
+	loss4 := 1 - genRow.MBps4K/orig.MBps4K
+	loss32 := 1 - genRow.MBps32/orig.MBps32
+	if loss4 <= loss32 {
+		t.Errorf("k=0 loss at 4KB (%.2f) not bigger than at 32KB (%.2f)", loss4, loss32)
+	}
+	// Paper: overall speedup of the optimizations is 2.2x-4.8x.
+	gain4 := orig.MBps4K / allOff.MBps4K
+	gain32 := orig.MBps32 / allOff.MBps32
+	if gain4 < 1.5 || gain4 > 8 || gain32 < 1.2 || gain32 > 8 {
+		t.Errorf("optimization gains %.1fx/%.1fx outside the paper's 2.2-4.8x neighbourhood", gain4, gain32)
+	}
+}
+
+func TestRenderers(t *testing.T) {
+	series, err := Fig3(workload.Wiki(200_000, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sizeTab := RenderSizeTable("fig", series)
+	speedTab := RenderSpeedTable("fig", series)
+	for _, out := range []string{sizeTab, speedTab} {
+		if !strings.Contains(out, "2K") || !strings.Contains(out, "16K") {
+			t.Fatalf("rendered table missing window labels:\n%s", out)
+		}
+		if !strings.Contains(out, "9 bits") {
+			t.Fatalf("rendered table missing series label:\n%s", out)
+		}
+	}
+	rows, err := TableIII(workload.Wiki(200_000, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab := RenderTableIII(rows)
+	if !strings.Contains(tab, "8-bit data bus") || !strings.Contains(tab, "MB/s") {
+		t.Fatalf("Table III rendering incomplete:\n%s", tab)
+	}
+}
+
+func TestFmtSize(t *testing.T) {
+	cases := map[int]string{1024: "1K", 16384: "16K", 1 << 20: "1M", 999: "999"}
+	for in, want := range cases {
+		if got := fmtSize(in); got != want {
+			t.Errorf("fmtSize(%d) = %s, want %s", in, got, want)
+		}
+	}
+}
+
+func TestEvaluateAllMatchesSequential(t *testing.T) {
+	data := workload.Wiki(300_000, 19)
+	var cfgs []core.Config
+	for _, w := range []int{1024, 4096, 16384} {
+		for _, h := range []uint{9, 15} {
+			cfg := core.DefaultConfig()
+			cfg.Match.Window = w
+			cfg.Match.HashBits = h
+			cfgs = append(cfgs, cfg)
+		}
+	}
+	par, err := EvaluateAll(cfgs, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	old := Parallelism
+	Parallelism = 1
+	defer func() { Parallelism = old }()
+	seq, err := EvaluateAll(cfgs, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range cfgs {
+		if par[i].CompressedBytes != seq[i].CompressedBytes ||
+			par[i].Stats.TotalCycles() != seq[i].Stats.TotalCycles() {
+			t.Fatalf("point %d: parallel and sequential runs differ", i)
+		}
+	}
+}
+
+func TestEvaluateAllPropagatesError(t *testing.T) {
+	good := core.DefaultConfig()
+	bad := core.DefaultConfig()
+	bad.Match.Window = 999
+	if _, err := EvaluateAll([]core.Config{good, bad, good}, []byte("xy")); err == nil {
+		t.Fatal("bad config not reported")
+	}
+}
+
+func TestEvaluateAllEmpty(t *testing.T) {
+	pts, err := EvaluateAll(nil, []byte("x"))
+	if err != nil || len(pts) != 0 {
+		t.Fatalf("empty input: %v %d", err, len(pts))
+	}
+}
+
+func TestExploreAndPareto(t *testing.T) {
+	data := workload.Wiki(300_000, 22)
+	grid := GridSpec{Windows: []int{1024, 4096, 16384}, HashBits: []uint{9, 15}, Levels: []string{"min", "max"}}
+	points, err := Explore(data, grid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != grid.Size() {
+		t.Fatalf("got %d points, want %d", len(points), grid.Size())
+	}
+	front := ParetoFront(points)
+	if len(front) == 0 || len(front) > len(points) {
+		t.Fatalf("front size %d implausible", len(front))
+	}
+	// No point on the front may dominate another front member.
+	for i, p := range front {
+		for j, q := range front {
+			if i != j && dominates(p, q) {
+				t.Fatalf("front member %d dominates member %d", i, j)
+			}
+		}
+	}
+	// Every non-front point must be dominated by some front member.
+	onFront := func(p Point) bool {
+		for _, q := range front {
+			if q == p {
+				return true
+			}
+		}
+		return false
+	}
+	for _, p := range points {
+		if onFront(p) {
+			continue
+		}
+		dominated := false
+		for _, q := range front {
+			if dominates(q, p) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			t.Fatalf("off-front point (%d,%d,%s) not dominated", p.Window, p.HashBits, p.Level)
+		}
+	}
+	// Front is sorted by descending throughput.
+	for i := 1; i < len(front); i++ {
+		if front[i].MBps > front[i-1].MBps {
+			t.Fatal("front not sorted by MB/s")
+		}
+	}
+}
+
+func TestRenderPoints(t *testing.T) {
+	p := Point{Window: 4096, HashBits: 15, Level: "min", InputBytes: 100, CompressedBytes: 50, MBps: 49.5, CyclesPerByte: 2.0, Blocks36: 21}
+	tab := RenderPoints([]Point{p}, false)
+	if !strings.Contains(tab, "4096") || !strings.Contains(tab, "49.5") {
+		t.Fatalf("table rendering wrong:\n%s", tab)
+	}
+	csv := RenderPoints([]Point{p}, true)
+	if !strings.Contains(csv, "window,hash_bits") || !strings.Contains(csv, "4096,15,min,2.0000,49.50") {
+		t.Fatalf("csv rendering wrong:\n%s", csv)
+	}
+}

@@ -1,0 +1,111 @@
+package estimator
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"lzssfpga/internal/core"
+)
+
+// GridSpec spans the design space the explorer enumerates.
+type GridSpec struct {
+	Windows  []int
+	HashBits []uint
+	Levels   []string
+}
+
+// DefaultGrid covers the ranges the paper's evaluation sweeps.
+func DefaultGrid() GridSpec {
+	return GridSpec{
+		Windows:  []int{1024, 2048, 4096, 8192, 16384, 32768},
+		HashBits: []uint{9, 11, 13, 15},
+		Levels:   []string{"min", "max"},
+	}
+}
+
+// Size is the number of design points in the grid.
+func (g GridSpec) Size() int { return len(g.Windows) * len(g.HashBits) * len(g.Levels) }
+
+// Explore evaluates every grid point (in parallel) over data.
+func Explore(data []byte, grid GridSpec) ([]Point, error) {
+	cfgs := make([]core.Config, 0, grid.Size())
+	var levels []string
+	for _, w := range grid.Windows {
+		for _, h := range grid.HashBits {
+			for _, lvl := range grid.Levels {
+				cfg := core.DefaultConfig()
+				cfg.Match.Window = w
+				cfg.Match.HashBits = h
+				if err := ApplyLevel(&cfg, lvl); err != nil {
+					return nil, err
+				}
+				cfgs = append(cfgs, cfg)
+				levels = append(levels, lvl)
+			}
+		}
+	}
+	points, err := EvaluateAll(cfgs, data)
+	if err != nil {
+		return nil, err
+	}
+	for i := range points {
+		points[i].Level = levels[i]
+	}
+	return points, nil
+}
+
+// dominates reports whether a is at least as good as b on every
+// objective (ratio ↑, throughput ↑, block RAM ↓) and strictly better on
+// at least one.
+func dominates(a, b Point) bool {
+	ge := a.Ratio() >= b.Ratio() && a.MBps >= b.MBps && a.Blocks36 <= b.Blocks36
+	gt := a.Ratio() > b.Ratio() || a.MBps > b.MBps || a.Blocks36 < b.Blocks36
+	return ge && gt
+}
+
+// ParetoFront filters the points down to the non-dominated set — the
+// configurations a designer would actually choose among — sorted by
+// descending throughput.
+func ParetoFront(points []Point) []Point {
+	var front []Point
+	for i, p := range points {
+		dominated := false
+		for j, q := range points {
+			if i != j && dominates(q, p) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			front = append(front, p)
+		}
+	}
+	sort.Slice(front, func(i, j int) bool {
+		if front[i].MBps != front[j].MBps {
+			return front[i].MBps > front[j].MBps
+		}
+		return front[i].Ratio() > front[j].Ratio()
+	})
+	return front
+}
+
+// RenderPoints prints points as an aligned table (or CSV).
+func RenderPoints(points []Point, csv bool) string {
+	var b strings.Builder
+	if csv {
+		b.WriteString("window,hash_bits,level,ratio,mbps,cycles_per_byte,ramb36\n")
+		for _, p := range points {
+			fmt.Fprintf(&b, "%d,%d,%s,%.4f,%.2f,%.4f,%d\n",
+				p.Window, p.HashBits, p.Level, p.Ratio(), p.MBps, p.CyclesPerByte, p.Blocks36)
+		}
+		return b.String()
+	}
+	fmt.Fprintf(&b, "%-8s %-6s %-6s %8s %8s %8s %8s\n",
+		"window", "hash", "level", "ratio", "MB/s", "cyc/B", "RAMB36")
+	for _, p := range points {
+		fmt.Fprintf(&b, "%-8d %-6d %-6s %8.3f %8.1f %8.3f %8d\n",
+			p.Window, p.HashBits, p.Level, p.Ratio(), p.MBps, p.CyclesPerByte, p.Blocks36)
+	}
+	return b.String()
+}

@@ -1,0 +1,51 @@
+package estimator
+
+import (
+	"runtime"
+	"sync"
+
+	"lzssfpga/internal/core"
+)
+
+// Parallelism bounds how many design points are evaluated concurrently.
+// Each evaluation is an independent model run over the same (shared,
+// read-only) corpus, so the sweep scales close to linearly with cores.
+var Parallelism = runtime.GOMAXPROCS(0)
+
+// EvaluateAll runs every configuration over data concurrently and
+// returns the points in input order. The first error wins; remaining
+// work is still drained (model runs have no side effects to cancel).
+func EvaluateAll(cfgs []core.Config, data []byte) ([]Point, error) {
+	points := make([]Point, len(cfgs))
+	errs := make([]error, len(cfgs))
+
+	workers := Parallelism
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > len(cfgs) {
+		workers = len(cfgs)
+	}
+	var wg sync.WaitGroup
+	jobs := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				points[i], errs[i] = Evaluate(cfgs[i], data)
+			}
+		}()
+	}
+	for i := range cfgs {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return points, nil
+}

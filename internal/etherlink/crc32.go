@@ -1,0 +1,19 @@
+// Package etherlink models the front half of the paper's testbench: the
+// PC sends the data block to the board over Ethernet, where it is
+// staged into DDR2 before compression. The paper excludes this transfer
+// from the compression timing; the model makes that explicit by
+// reporting staging time separately, and it implements the wire-level
+// details (frame segmentation, FCS) so the staging path is a real
+// substrate rather than a stopwatch.
+package etherlink
+
+import "lzssfpga/internal/checksum"
+
+// CRC32 returns the IEEE CRC-32 of data, as carried in the Ethernet FCS.
+func CRC32(data []byte) uint32 { return checksum.CRC32(data) }
+
+// CRC32Update continues a running checksum (crc from a previous call,
+// or 0 to start).
+func CRC32Update(crc uint32, data []byte) uint32 {
+	return checksum.CRC32Update(crc, data)
+}

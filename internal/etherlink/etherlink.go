@@ -1,0 +1,143 @@
+package etherlink
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+)
+
+// Frame carries one Ethernet II frame of the staging transfer. Payload
+// excludes the 4-byte FCS, which is computed over header+payload.
+type Frame struct {
+	Seq     uint32 // transfer sequence number (first payload word)
+	Payload []byte
+	FCS     uint32
+}
+
+// Framing constants (Ethernet II, no VLAN).
+const (
+	MTU           = 1500
+	headerBytes   = 14 // dst MAC + src MAC + ethertype
+	seqBytes      = 4  // our transfer protocol's sequence word
+	fcsBytes      = 4
+	interFrameGap = 12 // bytes of idle the MAC must leave
+	preambleBytes = 8
+	// MaxChunk is the usable data per frame.
+	MaxChunk = MTU - seqBytes
+)
+
+// Segment splits a data block into frames, each carrying a sequence
+// number and up to MaxChunk bytes, with a correct FCS.
+func Segment(data []byte) []Frame {
+	n := (len(data) + MaxChunk - 1) / MaxChunk
+	if n == 0 {
+		n = 1
+	}
+	frames := make([]Frame, 0, n)
+	for i := 0; i < n; i++ {
+		lo := i * MaxChunk
+		hi := lo + MaxChunk
+		if hi > len(data) {
+			hi = len(data)
+		}
+		f := Frame{Seq: uint32(i), Payload: data[lo:hi]}
+		f.FCS = f.computeFCS()
+		frames = append(frames, f)
+	}
+	return frames
+}
+
+// computeFCS covers the synthetic header (zero MACs, ethertype 0x88B5
+// local-experimental), the sequence word and the payload.
+func (f Frame) computeFCS() uint32 {
+	var hdr [headerBytes + seqBytes]byte
+	hdr[12], hdr[13] = 0x88, 0xB5
+	binary.BigEndian.PutUint32(hdr[headerBytes:], f.Seq)
+	crc := CRC32Update(0, hdr[:])
+	return CRC32Update(crc, f.Payload)
+}
+
+// Verify checks the FCS.
+func (f Frame) Verify() bool { return f.computeFCS() == f.FCS }
+
+// WireBytes is the frame's cost on the wire including preamble, header,
+// FCS and inter-frame gap.
+func (f Frame) WireBytes() int {
+	return preambleBytes + headerBytes + seqBytes + len(f.Payload) + fcsBytes + interFrameGap
+}
+
+// Reassemble validates and reorders frames back into a data block of
+// the announced size (the testbench protocol sends the block length
+// ahead of the frames, so truncated transfers are detectable).
+func Reassemble(frames []Frame, total int) ([]byte, error) {
+	want := (total + MaxChunk - 1) / MaxChunk
+	if total == 0 {
+		want = 0
+		if len(frames) == 1 && len(frames[0].Payload) == 0 {
+			want = 1 // a lone empty frame is how Segment encodes zero bytes
+		}
+	}
+	if len(frames) != want {
+		return nil, fmt.Errorf("etherlink: got %d frames, expected %d for %d bytes", len(frames), want, total)
+	}
+	if len(frames) == 0 {
+		return nil, nil
+	}
+	ordered := make([]*Frame, len(frames))
+	for i := range frames {
+		f := &frames[i]
+		if !f.Verify() {
+			return nil, fmt.Errorf("etherlink: frame %d: FCS mismatch", f.Seq)
+		}
+		if int(f.Seq) >= len(frames) {
+			return nil, fmt.Errorf("etherlink: frame sequence %d out of range", f.Seq)
+		}
+		if ordered[f.Seq] != nil {
+			return nil, fmt.Errorf("etherlink: duplicate frame %d", f.Seq)
+		}
+		ordered[f.Seq] = f
+	}
+	var buf bytes.Buffer
+	for i, f := range ordered {
+		if f == nil {
+			return nil, fmt.Errorf("etherlink: missing frame %d", i)
+		}
+		buf.Write(f.Payload)
+	}
+	if buf.Len() != total {
+		return nil, fmt.Errorf("etherlink: reassembled %d bytes, announced %d", buf.Len(), total)
+	}
+	return buf.Bytes(), nil
+}
+
+// Link models the staging network: a point-to-point Ethernet at the
+// given line rate feeding the board.
+type Link struct {
+	// BitsPerSecond is the line rate (1 GbE on the ML-507).
+	BitsPerSecond float64
+}
+
+// ML507Link is the board's tri-speed MAC at gigabit.
+func ML507Link() Link { return Link{BitsPerSecond: 1e9} }
+
+// TransferSeconds is the wall-clock time to move data (wire overhead
+// included) — the component the paper excludes from compression time.
+func (l Link) TransferSeconds(data []byte) float64 {
+	if l.BitsPerSecond <= 0 {
+		return 0
+	}
+	total := 0
+	for _, f := range Segment(data) {
+		total += f.WireBytes()
+	}
+	return float64(total*8) / l.BitsPerSecond
+}
+
+// EffectiveMBps is the goodput after framing overhead.
+func (l Link) EffectiveMBps(data []byte) float64 {
+	s := l.TransferSeconds(data)
+	if s == 0 {
+		return 0
+	}
+	return float64(len(data)) / s / 1e6
+}

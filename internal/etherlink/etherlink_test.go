@@ -1,0 +1,137 @@
+package etherlink
+
+import (
+	"bytes"
+	"hash/crc32"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestCRC32MatchesStdlib(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range []int{0, 1, 7, 64, 1500, 65536} {
+		data := make([]byte, n)
+		rng.Read(data)
+		if got, want := CRC32(data), crc32.ChecksumIEEE(data); got != want {
+			t.Fatalf("n=%d: crc %08x, want %08x", n, got, want)
+		}
+	}
+}
+
+func TestCRC32UpdateIncremental(t *testing.T) {
+	data := []byte("incremental crc over ethernet frame payloads")
+	c := uint32(0)
+	for i := 0; i < len(data); i += 5 {
+		end := i + 5
+		if end > len(data) {
+			end = len(data)
+		}
+		c = CRC32Update(c, data[i:end])
+	}
+	if c != crc32.ChecksumIEEE(data) {
+		t.Fatal("incremental crc differs")
+	}
+}
+
+func TestQuickCRC32(t *testing.T) {
+	f := func(data []byte) bool {
+		return CRC32(data) == crc32.ChecksumIEEE(data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSegmentReassemble(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, n := range []int{0, 1, MaxChunk - 1, MaxChunk, MaxChunk + 1, 10 * MaxChunk, 123457} {
+		data := make([]byte, n)
+		rng.Read(data)
+		frames := Segment(data)
+		out, err := Reassemble(frames, n)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if !bytes.Equal(out, data) {
+			t.Fatalf("n=%d: reassembly mismatch", n)
+		}
+	}
+}
+
+func TestReassembleOutOfOrder(t *testing.T) {
+	data := make([]byte, 5*MaxChunk)
+	rand.New(rand.NewSource(3)).Read(data)
+	frames := Segment(data)
+	// Shuffle.
+	rng := rand.New(rand.NewSource(4))
+	rng.Shuffle(len(frames), func(i, j int) { frames[i], frames[j] = frames[j], frames[i] })
+	out, err := Reassemble(frames, len(data))
+	if err != nil || !bytes.Equal(out, data) {
+		t.Fatalf("out-of-order reassembly failed: %v", err)
+	}
+}
+
+func TestReassembleDetectsCorruption(t *testing.T) {
+	data := make([]byte, 3*MaxChunk)
+	rand.New(rand.NewSource(5)).Read(data)
+	frames := Segment(data)
+	frames[1].Payload = append([]byte(nil), frames[1].Payload...)
+	frames[1].Payload[10] ^= 1
+	if _, err := Reassemble(frames, len(data)); err == nil {
+		t.Fatal("corrupt payload not detected by FCS")
+	}
+}
+
+func TestReassembleDetectsLossAndDuplicates(t *testing.T) {
+	data := make([]byte, 4*MaxChunk)
+	rand.New(rand.NewSource(6)).Read(data)
+	frames := Segment(data)
+	if _, err := Reassemble(frames[:3], len(data)); err == nil {
+		t.Fatal("missing frame not detected")
+	}
+	dup := append(frames[:0:0], frames...)
+	dup[3] = dup[2]
+	if _, err := Reassemble(dup, len(data)); err == nil {
+		t.Fatal("duplicate frame not detected")
+	}
+}
+
+func TestFrameSizing(t *testing.T) {
+	frames := Segment(make([]byte, 2*MaxChunk))
+	for _, f := range frames {
+		if len(f.Payload) > MaxChunk {
+			t.Fatalf("payload %d exceeds MTU budget", len(f.Payload))
+		}
+		if f.WireBytes() <= len(f.Payload) {
+			t.Fatal("wire overhead missing")
+		}
+	}
+}
+
+func TestLinkTiming(t *testing.T) {
+	l := ML507Link()
+	data := make([]byte, 10<<20)
+	s := l.TransferSeconds(data)
+	// 10 MiB over gigabit with framing: ~0.086-0.095 s.
+	if s < 0.080 || s > 0.12 {
+		t.Fatalf("10 MiB at 1 GbE modeled as %.3f s", s)
+	}
+	good := l.EffectiveMBps(data)
+	if good < 100 || good >= 125 {
+		t.Fatalf("goodput %.1f MB/s outside (100, 125)", good)
+	}
+	if (Link{}).TransferSeconds(data) != 0 {
+		t.Fatal("zero-rate link should report 0")
+	}
+}
+
+func TestQuickSegmentRoundTrip(t *testing.T) {
+	f := func(data []byte) bool {
+		out, err := Reassemble(Segment(data), len(data))
+		return err == nil && bytes.Equal(out, data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

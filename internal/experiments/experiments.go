@@ -1,0 +1,263 @@
+// Package experiments renders every table and figure of the paper's
+// evaluation section as a formatted report with the paper's reference
+// values inline. cmd/lzssbench is a thin flag-parsing shell over this
+// package; tests drive it directly.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"lzssfpga/internal/analysis"
+	"lzssfpga/internal/core"
+	"lzssfpga/internal/estimator"
+	"lzssfpga/internal/fpga"
+	"lzssfpga/internal/lzss"
+	"lzssfpga/internal/swmodel"
+	"lzssfpga/internal/testbench"
+	"lzssfpga/internal/workload"
+)
+
+// Params selects corpus sizing for the experiments.
+type Params struct {
+	// Bytes is the Wiki/X2E fragment size for figure experiments.
+	Bytes int
+	// Seed feeds the corpus generators.
+	Seed int64
+}
+
+// Names lists the experiment identifiers in paper order.
+var Names = []string{"table1", "table2", "table3", "fig2", "fig3", "fig4", "fig5"}
+
+// Run dispatches one experiment by name and returns its report.
+func Run(name string, p Params) (string, error) {
+	switch name {
+	case "table1":
+		return Table1(p)
+	case "table2":
+		return Table2()
+	case "table3":
+		return Table3(p)
+	case "fig2":
+		return Fig2(p)
+	case "fig3":
+		return Fig3(p)
+	case "fig4":
+		return Fig4(p)
+	case "fig5":
+		return Fig5(p)
+	case "corpus":
+		return CorpusTable(p)
+	case "decomp":
+		return DecompTable(p)
+	default:
+		return "", fmt.Errorf("experiments: unknown experiment %q", name)
+	}
+}
+
+func header(b *strings.Builder, title, paper string) {
+	fmt.Fprintf(b, "\n=== %s ===\n", title)
+	fmt.Fprintf(b, "paper reference: %s\n\n", paper)
+}
+
+func (p Params) wiki() []byte { return workload.Wiki(p.Bytes, p.Seed) }
+
+// Table1 renders the performance evaluation.
+func Table1(p Params) (string, error) {
+	var b strings.Builder
+	header(&b, "TABLE I — PERFORMANCE EVALUATION",
+		"HW ~49 MB/s, SW ~2.5-3.2 MB/s, speedup 15.5-20x, ratio 1.68-1.70")
+	rows, err := testbench.TableI(testbench.ML507(), p.Bytes, p.Bytes/2)
+	if err != nil {
+		return "", err
+	}
+	fmt.Fprintf(&b, "%-14s %10s %10s %9s %8s\n", "Data sample", "SW (MB/s)", "HW (MB/s)", "Speedup", "Ratio")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-14s %10.2f %10.1f %8.1fx %8.2f\n", r.Corpus, r.SWMBps, r.HWMBps, r.Speedup, r.Ratio)
+	}
+	b.WriteString("\n(fragment sizes scaled from the paper's 50/10 MB)\n")
+	return b.String(), nil
+}
+
+// Table2 renders the FPGA utilization table.
+func Table2() (string, error) {
+	var b strings.Builder
+	header(&b, "TABLE II — FPGA UTILIZATION",
+		"LUTs ~5.2%+0.6% of XC5VFX70T (~2600), nearly constant across configs")
+	rows, dev, err := fpga.TableII()
+	if err != nil {
+		return "", err
+	}
+	fmt.Fprintf(&b, "%-10s %-15s %8s %10s %8s %10s\n", "Hash size", "Dictionary", "LUTs", "Registers", "RAMB36", "f_max MHz")
+	for _, r := range rows {
+		cfg := core.DefaultConfig()
+		cfg.Match.HashBits = uint(r.HashBits)
+		cfg.Match.Window = r.Window
+		fmax, err := fpga.EstimateFmax(cfg)
+		if err != nil {
+			return "", err
+		}
+		fmt.Fprintf(&b, "%-10s %-15s %8d %10d %8d %10.1f\n",
+			fmt.Sprintf("%d bits", r.HashBits), fmt.Sprintf("%d KB", r.Window>>10), r.LUTs, r.Regs, r.Blocks36, fmax)
+	}
+	fmt.Fprintf(&b, "%-10s %-15s %8d %10d %8d   (available in %s)\n", "", "", dev.LUTs, dev.Regs, dev.RAMB36, dev.Name)
+	return b.String(), nil
+}
+
+// Table3 renders the optimization ablation.
+func Table3(p Params) (string, error) {
+	var b strings.Builder
+	header(&b, "TABLE III — SPEED WITHOUT OPTIMIZATIONS (Wiki fragment)",
+		"A 49.0/46.2, B 30.3/25.9, C 45.2/45.0, D n.a./33.8, all-off 10.2/21.2 MB/s (4KB/32KB)")
+	rows, err := estimator.TableIII(p.wiki())
+	if err != nil {
+		return "", err
+	}
+	b.WriteString(estimator.RenderTableIII(rows))
+	return b.String(), nil
+}
+
+// Fig2 renders compressed size vs geometry.
+func Fig2(p Params) (string, error) {
+	var b strings.Builder
+	header(&b, "FIG 2 — COMPRESSED SIZE vs DICTIONARY (Wiki fragment)",
+		"size shrinks with dictionary; improvement larger for bigger hash")
+	series, err := estimator.Fig2(p.wiki())
+	if err != nil {
+		return "", err
+	}
+	b.WriteString(estimator.RenderSizeTable(fmt.Sprintf("compressed size of a %d-byte Wiki fragment", p.Bytes), series))
+	return b.String(), nil
+}
+
+// Fig3 renders throughput vs geometry.
+func Fig3(p Params) (string, error) {
+	var b strings.Builder
+	header(&b, "FIG 3 — COMPRESSION SPEED vs DICTIONARY (Wiki fragment)",
+		"speed rises with hash bits, dips slightly with dictionary size")
+	series, err := estimator.Fig3(p.wiki())
+	if err != nil {
+		return "", err
+	}
+	b.WriteString(estimator.RenderSpeedTable("compression speed (MB/s)", series))
+	return b.String(), nil
+}
+
+// Fig4 renders the min/max level trade-off.
+func Fig4(p Params) (string, error) {
+	var b strings.Builder
+	header(&b, "FIG 4 — MIN/MAX COMPRESSION LEVELS (Wiki fragment)",
+		"max level ~20% smaller output at up to ~82% lower speed")
+	series, err := estimator.Fig4(p.wiki())
+	if err != nil {
+		return "", err
+	}
+	b.WriteString(estimator.RenderSizeTable("compressed size", series))
+	b.WriteString("\n")
+	b.WriteString(estimator.RenderSpeedTable("compression speed (MB/s)", series))
+	return b.String(), nil
+}
+
+// Fig5 renders the cycle state distribution with an ASCII bar chart.
+func Fig5(p Params) (string, error) {
+	var b strings.Builder
+	header(&b, "FIG 5 — TIME SPENT ON DIFFERENT OPERATIONS (32KB dict, 15-bit hash)",
+		"match 68.5%, update 11.6%, output 11.0%, wait 8.4%, rotate 0.3%, fetch 0.2%")
+	cfg := core.DefaultConfig()
+	cfg.Match.Window = 32768
+	comp, err := core.New(cfg)
+	if err != nil {
+		return "", err
+	}
+	res, err := comp.Compress(p.wiki())
+	if err != nil {
+		return "", err
+	}
+	b.WriteString(res.Stats.Summary())
+	b.WriteString("\n")
+	for st := core.State(0); st < core.State(core.NumStates); st++ {
+		n := int(res.Stats.Share(st)*60 + 0.5)
+		fmt.Fprintf(&b, "  %-20s |%s\n", st, strings.Repeat("#", n))
+	}
+	return b.String(), nil
+}
+
+// All runs every experiment and concatenates the reports.
+func All(p Params) (string, error) {
+	var b strings.Builder
+	for _, name := range Names {
+		s, err := Run(name, p)
+		if err != nil {
+			return "", err
+		}
+		b.WriteString(s)
+	}
+	return b.String(), nil
+}
+
+// CorpusTable is an extension report (not a paper experiment): the
+// default configuration across every built-in corpus, with the match
+// profile the design-space arguments turn on.
+func CorpusTable(p Params) (string, error) {
+	var b strings.Builder
+	header(&b, "EXTENSION — CORPUS COMPARISON (default config)",
+		"not in the paper; profiles the built-in corpora")
+	names := []string{"wiki", "x2e", "bitstream", "mixed", "random", "zeros"}
+	fmt.Fprintf(&b, "%-10s %10s %10s %10s %10s\n", "corpus", "ratio", "MB/s", "cyc/B", "matched%")
+	var profNames []string
+	var profs []analysis.Profile
+	for _, name := range names {
+		gen, err := workload.ByName(name)
+		if err != nil {
+			return "", err
+		}
+		data := gen(p.Bytes, p.Seed)
+		cfg := core.DefaultConfig()
+		comp, err := core.New(cfg)
+		if err != nil {
+			return "", err
+		}
+		res, err := comp.Compress(data)
+		if err != nil {
+			return "", err
+		}
+		prof := analysis.Analyze(res.Commands)
+		fmt.Fprintf(&b, "%-10s %10.3f %10.1f %10.3f %9.1f%%\n",
+			name, res.Stats.Ratio(), res.Stats.ThroughputMBps(cfg.ClockHz),
+			res.Stats.CyclesPerByte(), 100*prof.MatchCoverage())
+		profNames = append(profNames, name)
+		profs = append(profs, prof)
+	}
+	b.WriteString("\nstream profiles:\n")
+	b.WriteString(analysis.Compare(profNames, profs))
+	return b.String(), nil
+}
+
+// DecompTable is an extension report: hardware vs software
+// decompression (the related-work [10] reconfiguration argument in
+// numbers).
+func DecompTable(p Params) (string, error) {
+	var b strings.Builder
+	header(&b, "EXTENSION — DECOMPRESSION: HARDWARE vs SOFTWARE",
+		"not in the paper; quantifies related work [10]'s premise")
+	data := workload.Bitstream(p.Bytes, p.Seed)
+	cmds, stats, err := lzss.Compress(data, lzss.LevelParams(lzss.LevelMax, 32768, 15))
+	if err != nil {
+		return "", err
+	}
+	dec := core.DefaultDecompressor()
+	res, err := dec.Run(cmds)
+	if err != nil {
+		return "", err
+	}
+	hwMBps := res.Stats.ThroughputMBps(dec.ClockHz)
+	swMBps := swmodel.InflateThroughputMBps(swmodel.PPC440(), swmodel.DefaultInflateWeights(),
+		stats.Literals, stats.Matches, stats.MatchedBytes)
+	fmt.Fprintf(&b, "corpus: %d-byte synthetic bitstream, compressed at max level\n\n", p.Bytes)
+	fmt.Fprintf(&b, "%-28s %10s\n", "path", "MB/s out")
+	fmt.Fprintf(&b, "%-28s %10.1f\n", "HW decompressor @100MHz", hwMBps)
+	fmt.Fprintf(&b, "%-28s %10.1f\n", "SW inflate on PPC440", swMBps)
+	fmt.Fprintf(&b, "%-28s %9.1fx\n", "speedup", hwMBps/swMBps)
+	fmt.Fprintf(&b, "\n(the compression gap is ~17x; decompression narrows it — searching is\nexactly the work hardware accelerates most, and decompression has none —\nyet the absolute rate is ~6x the compressor's, which is what run-time\nreconfiguration cares about)\n")
+	return b.String(), nil
+}

@@ -1,0 +1,116 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+var small = Params{Bytes: 400_000, Seed: 1}
+
+func TestRunDispatch(t *testing.T) {
+	for _, name := range Names {
+		out, err := Run(name, small)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !strings.Contains(out, "paper reference:") {
+			t.Fatalf("%s: missing paper reference line", name)
+		}
+	}
+	if _, err := Run("table9", small); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
+
+func TestTable1Content(t *testing.T) {
+	out, err := Table1(small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"Wiki", "X2E", "Speedup", "Ratio"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+	// Four data rows.
+	if n := strings.Count(out, "x "); n < 1 {
+		// speedups end with "x"; count lines instead
+	}
+	if strings.Count(out, "MB") < 4 {
+		t.Fatalf("expected 4 corpus rows:\n%s", out)
+	}
+}
+
+func TestTable2Content(t *testing.T) {
+	out, err := Table2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"15 bits", "10 bits", "7 bits", "XC5VFX70T", "f_max"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestTable3Content(t *testing.T) {
+	out, err := Table3(small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"Original", "8-bit data bus", "prefetching", "generation bits", "Disabled all 3"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q", want)
+		}
+	}
+}
+
+func TestFigContents(t *testing.T) {
+	f2, err := Fig2(small)
+	if err != nil || !strings.Contains(f2, "dictionary:") {
+		t.Fatalf("fig2: %v\n%s", err, f2)
+	}
+	f5, err := Fig5(small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(f5, "Finding match") || !strings.Contains(f5, "#") {
+		t.Fatalf("fig5 missing bars:\n%s", f5)
+	}
+}
+
+func TestAllConcatenates(t *testing.T) {
+	out, err := All(Params{Bytes: 200_000, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"TABLE I ", "TABLE II ", "TABLE III ", "FIG 2 ", "FIG 3 ", "FIG 4 ", "FIG 5 "} {
+		if !strings.Contains(out, name) {
+			t.Fatalf("All() missing %q", name)
+		}
+	}
+}
+
+func TestCorpusTable(t *testing.T) {
+	out, err := CorpusTable(Params{Bytes: 200_000, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"wiki", "x2e", "bitstream", "mixed", "random", "zeros", "stream profiles:"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestDecompTable(t *testing.T) {
+	out, err := DecompTable(Params{Bytes: 300_000, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"HW decompressor", "SW inflate", "speedup"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q:\n%s", want, out)
+		}
+	}
+}

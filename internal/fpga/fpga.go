@@ -1,0 +1,216 @@
+// Package fpga models the FPGA resource consumption of the compressor —
+// the quantities Table II of the paper reports (LUTs and registers of
+// the LZSS core plus the fixed-table Huffman encoder on a Virtex-5
+// XC5VFX70T) and the block RAM budgets the estimator tool prints.
+//
+// The paper's observation is structural: the *logic* cost is nearly
+// independent of the dictionary and hash sizes (only address widths and
+// comparators grow, by a handful of LUTs per extra bit), while the
+// *memory* cost grows linearly with the dictionary and exponentially
+// with the hash bit count. The model encodes those scaling laws with
+// coefficients anchored on the paper's ≈5.2%+0.6% LUT utilization.
+package fpga
+
+import (
+	"fmt"
+
+	"lzssfpga/internal/core"
+)
+
+// Device describes the programmable resources of an FPGA part.
+type Device struct {
+	Name     string
+	LUTs     int
+	Regs     int
+	RAMB36   int
+	ClockMHz float64 // the design's post-route f_max on this device
+}
+
+// XC5VFX70T is the ML-507 board's part, the paper's test system.
+var XC5VFX70T = Device{Name: "XC5VFX70T", LUTs: 44800, Regs: 44800, RAMB36: 148, ClockMHz: 112.87}
+
+// Devices lists parts the estimator can target.
+var Devices = []Device{
+	XC5VFX70T,
+	{Name: "XC5VLX50T", LUTs: 28800, Regs: 28800, RAMB36: 60, ClockMHz: 110},
+	{Name: "XC5VLX110T", LUTs: 69120, Regs: 69120, RAMB36: 148, ClockMHz: 112},
+	{Name: "XC5VSX95T", LUTs: 58880, Regs: 58880, RAMB36: 244, ClockMHz: 111},
+}
+
+// DeviceByName finds a device.
+func DeviceByName(name string) (Device, error) {
+	for _, d := range Devices {
+		if d.Name == name {
+			return d, nil
+		}
+	}
+	return Device{}, fmt.Errorf("fpga: unknown device %q", name)
+}
+
+// Estimate is the synthesized-resource prediction for one configuration.
+type Estimate struct {
+	// LZSSLUTs / HuffmanLUTs split the lookup-table cost by stage.
+	LZSSLUTs    int
+	HuffmanLUTs int
+	// Registers over both stages.
+	Registers int
+	// Blocks36 is the RAMB36 primitive count over the five memories.
+	Blocks36 int
+	// Memories is the per-memory breakdown (from the core model).
+	Memories []core.MemoryInfo
+}
+
+// LUTs returns the total lookup-table count.
+func (e Estimate) LUTs() int { return e.LZSSLUTs + e.HuffmanLUTs }
+
+// UtilizationLUT returns the fraction of the device's LUTs used.
+func (e Estimate) UtilizationLUT(d Device) float64 { return float64(e.LUTs()) / float64(d.LUTs) }
+
+// UtilizationBRAM returns the fraction of the device's RAMB36 used.
+func (e Estimate) UtilizationBRAM(d Device) float64 {
+	return float64(e.Blocks36) / float64(d.RAMB36)
+}
+
+// Fits reports whether the design fits the device.
+func (e Estimate) Fits(d Device) bool {
+	return e.LUTs() <= d.LUTs && e.Registers <= d.Regs && e.Blocks36 <= d.RAMB36
+}
+
+// Logic-cost coefficients. Anchors: the paper reports ≈5.2% of the
+// XC5VFX70T's LUTs for the LZSS core (≈2330) and ≈0.6% (≈270) for the
+// fixed-table Huffman stage, "almost the same for all reasonable
+// dictionary sizes and hash sizes".
+const (
+	lzssBaseLUTs = 1210 // main FSM, filler FSM, prefetch FSM, control
+	comparerLUTs = 70   // per byte lane of the comparer datapath
+	perAddrBit   = 22   // address registers/muxes/adders per width bit
+	perHashBit   = 14   // hash function + head addressing per hash bit
+	splitLUTs    = 26   // per head sub-memory: rotation engine slice
+	huffmanLUTs  = 268  // fixed-table encoder + 32-bit packer
+
+	lzssBaseRegs = 900
+	perAddrReg   = 16
+	perHashReg   = 9
+	comparerRegs = 38
+	splitRegs    = 18
+	huffmanRegs  = 196
+)
+
+// EstimateConfig predicts the resources of a validated configuration.
+func EstimateConfig(cfg core.Config) (Estimate, error) {
+	if err := cfg.Validate(); err != nil {
+		return Estimate{}, err
+	}
+	comp, err := core.New(cfg)
+	if err != nil {
+		return Estimate{}, err
+	}
+	wBits := int(cfg.Match.WindowBits())
+	hBits := int(cfg.Match.HashBits)
+	gBits := int(cfg.GenerationBits)
+
+	lzss := lzssBaseLUTs +
+		comparerLUTs*cfg.DataBusBytes +
+		perAddrBit*(wBits+gBits) +
+		perHashBit*hBits +
+		splitLUTs*cfg.HeadSplit
+	if cfg.HashPrefetch {
+		lzss += 88 // the prefetch side FSM
+	}
+	regs := lzssBaseRegs +
+		comparerRegs*cfg.DataBusBytes +
+		perAddrReg*(wBits+gBits) +
+		perHashReg*hBits +
+		splitRegs*cfg.HeadSplit +
+		huffmanRegs
+
+	mems := comp.Memories()
+	return Estimate{
+		LZSSLUTs:    lzss,
+		HuffmanLUTs: huffmanLUTs,
+		Registers:   regs,
+		Blocks36:    comp.TotalBlocks36(),
+		Memories:    mems,
+	}, nil
+}
+
+// TableIIRow is one line of the paper's Table II.
+type TableIIRow struct {
+	HashBits int
+	Window   int
+	LUTs     int
+	Regs     int
+	Blocks36 int
+}
+
+// TableII reproduces the utilization table: the three configurations
+// the paper lists plus the device capacity line.
+func TableII() ([]TableIIRow, Device, error) {
+	configs := []struct {
+		hash   uint
+		window int
+	}{
+		{15, 32768},
+		{10, 8192},
+		{7, 4096},
+	}
+	rows := make([]TableIIRow, 0, len(configs))
+	for _, c := range configs {
+		cfg := core.DefaultConfig()
+		cfg.Match.HashBits = c.hash
+		cfg.Match.Window = c.window
+		est, err := EstimateConfig(cfg)
+		if err != nil {
+			return nil, Device{}, err
+		}
+		rows = append(rows, TableIIRow{
+			HashBits: int(c.hash),
+			Window:   c.window,
+			LUTs:     est.LUTs(),
+			Regs:     est.Registers,
+			Blocks36: est.Blocks36,
+		})
+	}
+	return rows, XC5VFX70T, nil
+}
+
+// Timing-model coefficients: the critical path runs through the
+// comparer (per-lane mux + compare tree), the hash arithmetic and the
+// head-table addressing. Anchored on the paper's post-route report of
+// 112.87 MHz for the default configuration.
+const (
+	fmaxBaseMHz     = 130.62
+	fmaxPerLane     = 3.2  // per comparer byte lane beyond the first
+	fmaxPerHashBit  = 0.45 // hash function depth
+	fmaxPerAddrBit  = 0.3  // address compare beyond 10 bits
+	fmaxPrefetchMux = 0.8  // prefetch bypass muxing
+)
+
+// EstimateFmax predicts the post-route maximum clock (MHz) of a
+// configuration. The paper reports 112.87 MHz for its speed-optimized
+// design and runs it at 100 MHz; configurations whose estimate falls
+// below the intended clock do not close timing.
+func EstimateFmax(cfg core.Config) (float64, error) {
+	if err := cfg.Validate(); err != nil {
+		return 0, err
+	}
+	f := fmaxBaseMHz
+	f -= fmaxPerLane * float64(cfg.DataBusBytes-1)
+	f -= fmaxPerHashBit * float64(cfg.Match.HashBits)
+	if w := int(cfg.Match.WindowBits()); w > 10 {
+		f -= fmaxPerAddrBit * float64(w-10)
+	}
+	if cfg.HashPrefetch {
+		f -= fmaxPrefetchMux
+	}
+	return f, nil
+}
+
+// ClosesTiming reports whether the configuration meets its own clock.
+func ClosesTiming(cfg core.Config) (bool, error) {
+	fmax, err := EstimateFmax(cfg)
+	if err != nil {
+		return false, err
+	}
+	return fmax*1e6 >= cfg.ClockHz, nil
+}

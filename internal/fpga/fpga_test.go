@@ -1,0 +1,192 @@
+package fpga
+
+import (
+	"testing"
+
+	"lzssfpga/internal/core"
+)
+
+func TestDeviceByName(t *testing.T) {
+	d, err := DeviceByName("XC5VFX70T")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.LUTs != 44800 || d.RAMB36 != 148 {
+		t.Fatalf("ML-507 part data wrong: %+v", d)
+	}
+	if _, err := DeviceByName("XC7Z020"); err == nil {
+		t.Fatal("unknown device accepted")
+	}
+}
+
+func TestEstimateRejectsBadConfig(t *testing.T) {
+	cfg := core.DefaultConfig()
+	cfg.Match.Window = 999
+	if _, err := EstimateConfig(cfg); err == nil {
+		t.Fatal("invalid config accepted")
+	}
+}
+
+func TestTableIIShape(t *testing.T) {
+	rows, dev, err := TableII()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("Table II has 3 configuration rows, got %d", len(rows))
+	}
+	// Paper: "FPGA utilization in terms of lookup tables remains
+	// insignificant and almost the same (5.2+0.6% of the Virtex5 FPGA)
+	// for all reasonable dictionary sizes and hash sizes."
+	for _, r := range rows {
+		util := float64(r.LUTs) / float64(dev.LUTs)
+		if util < 0.03 || util > 0.09 {
+			t.Fatalf("config (H=%d,W=%d): LUT utilization %.1f%%, paper ~5.8%%", r.HashBits, r.Window, 100*util)
+		}
+		if r.Regs <= 0 || r.Regs > r.LUTs {
+			t.Fatalf("registers %d implausible vs %d LUTs", r.Regs, r.LUTs)
+		}
+	}
+	// "Almost the same": max/min LUT spread within 20%.
+	minL, maxL := rows[0].LUTs, rows[0].LUTs
+	for _, r := range rows {
+		if r.LUTs < minL {
+			minL = r.LUTs
+		}
+		if r.LUTs > maxL {
+			maxL = r.LUTs
+		}
+	}
+	if float64(maxL)/float64(minL) > 1.2 {
+		t.Fatalf("LUT spread %d..%d too wide for 'almost the same'", minL, maxL)
+	}
+	// BRAM, in contrast, must differ strongly (2^H scaling).
+	if rows[0].Blocks36 <= rows[2].Blocks36 {
+		t.Fatalf("15-bit/32K config must use far more BRAM than 7-bit/4K: %d vs %d", rows[0].Blocks36, rows[2].Blocks36)
+	}
+}
+
+func TestEstimateScalingLaws(t *testing.T) {
+	base := core.DefaultConfig()
+	eBase, err := EstimateConfig(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Wider bus costs more comparer logic.
+	narrow := core.DefaultConfig()
+	narrow.DataBusBytes = 1
+	eNarrow, err := EstimateConfig(narrow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eNarrow.LUTs() >= eBase.LUTs() {
+		t.Fatal("8-bit bus should use fewer LUTs than 32-bit")
+	}
+	// Prefetch FSM costs logic.
+	noPf := core.DefaultConfig()
+	noPf.HashPrefetch = false
+	eNoPf, err := EstimateConfig(noPf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eNoPf.LZSSLUTs >= eBase.LZSSLUTs {
+		t.Fatal("prefetch FSM must cost LUTs")
+	}
+	// More hash bits cost a little logic and a lot of BRAM.
+	bigHash := core.DefaultConfig()
+	bigHash.Match.HashBits = 17
+	eBig, err := EstimateConfig(bigHash)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eBig.Blocks36 <= eBase.Blocks36 {
+		t.Fatal("hash bits must grow BRAM")
+	}
+	if float64(eBig.LZSSLUTs) > 1.1*float64(eBase.LZSSLUTs) {
+		t.Fatal("hash bits must grow logic only marginally")
+	}
+}
+
+func TestFitsAndUtilization(t *testing.T) {
+	est, err := EstimateConfig(core.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !est.Fits(XC5VFX70T) {
+		t.Fatal("the paper's design must fit the ML-507 part")
+	}
+	if u := est.UtilizationLUT(XC5VFX70T); u <= 0 || u >= 1 {
+		t.Fatalf("LUT utilization %v out of (0,1)", u)
+	}
+	if u := est.UtilizationBRAM(XC5VFX70T); u <= 0 || u >= 1 {
+		t.Fatalf("BRAM utilization %v out of (0,1)", u)
+	}
+	tiny := Device{Name: "tiny", LUTs: 10, Regs: 10, RAMB36: 1}
+	if est.Fits(tiny) {
+		t.Fatal("design cannot fit a 10-LUT device")
+	}
+}
+
+func TestHugeHashExhaustsBRAM(t *testing.T) {
+	cfg := core.DefaultConfig()
+	cfg.Match.HashBits = 20
+	cfg.Match.Window = 32768
+	est, err := EstimateConfig(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.Fits(XC5VFX70T) {
+		t.Fatalf("20-bit hash (%d RAMB36) should not fit 148 blocks", est.Blocks36)
+	}
+}
+
+func TestMemoriesBreakdownConsistent(t *testing.T) {
+	est, err := EstimateConfig(core.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := 0
+	for _, m := range est.Memories {
+		sum += m.Blocks36
+	}
+	if sum != est.Blocks36 {
+		t.Fatalf("memory breakdown sums to %d, estimate says %d", sum, est.Blocks36)
+	}
+}
+
+func TestFmaxMatchesPaperPostRoute(t *testing.T) {
+	// Paper §V: "post-route analysis reported a maximum clock frequency
+	// of 112.87 MHz" for the Table I configuration.
+	got, err := EstimateFmax(core.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got < 112.5 || got > 113.3 {
+		t.Fatalf("fmax %.2f MHz, paper reports 112.87", got)
+	}
+	ok, err := ClosesTiming(core.DefaultConfig())
+	if err != nil || !ok {
+		t.Fatalf("the paper's design must close timing at 100 MHz: %v", err)
+	}
+}
+
+func TestFmaxScalingDirections(t *testing.T) {
+	base, _ := EstimateFmax(core.DefaultConfig())
+	narrow := core.DefaultConfig()
+	narrow.DataBusBytes = 1
+	fNarrow, _ := EstimateFmax(narrow)
+	if fNarrow <= base {
+		t.Fatal("narrower comparer must close faster")
+	}
+	smallHash := core.DefaultConfig()
+	smallHash.Match.HashBits = 9
+	fSmall, _ := EstimateFmax(smallHash)
+	if fSmall <= base {
+		t.Fatal("smaller hash must close faster")
+	}
+	fast := core.DefaultConfig()
+	fast.ClockHz = 200e6
+	if ok, _ := ClosesTiming(fast); ok {
+		t.Fatal("200 MHz cannot close on this fabric")
+	}
+}

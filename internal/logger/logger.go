@@ -1,0 +1,168 @@
+// Package logger implements the embedded logging system the paper's
+// introduction motivates: "keeping a log of inter-node communications"
+// from several bus channels, multiplexed into one stream and compressed
+// in real time so "the size and bandwidth requirements for the
+// underlying storage media" relax.
+//
+// Records from N channels are framed with a compact binary header
+// (channel id, delta timestamp, length) and pushed through the
+// streaming zlib compressor. The frame format is deliberately
+// repetitive — periodic traffic produces near-identical header+payload
+// sequences, which is exactly what the LZSS stage feeds on.
+package logger
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"lzssfpga/internal/deflate"
+	"lzssfpga/internal/lzss"
+)
+
+// Record is one logged event.
+type Record struct {
+	// Channel identifies the source bus (0..255).
+	Channel uint8
+	// Timestamp in microseconds, monotone per log.
+	Timestamp uint64
+	// Payload is the raw event data (up to 64 KiB).
+	Payload []byte
+}
+
+// header layout: u8 channel | uvarint time-delta | uvarint length.
+func appendRecord(buf []byte, rec Record, prevTS uint64) ([]byte, error) {
+	if rec.Timestamp < prevTS {
+		return nil, fmt.Errorf("logger: timestamp regression (%d after %d)", rec.Timestamp, prevTS)
+	}
+	if len(rec.Payload) > 1<<16 {
+		return nil, fmt.Errorf("logger: payload %d exceeds 64 KiB", len(rec.Payload))
+	}
+	buf = append(buf, rec.Channel)
+	buf = binary.AppendUvarint(buf, rec.Timestamp-prevTS)
+	buf = binary.AppendUvarint(buf, uint64(len(rec.Payload)))
+	return append(buf, rec.Payload...), nil
+}
+
+// Logger multiplexes records into a compressed log stream.
+type Logger struct {
+	zw      *deflate.Writer
+	scratch []byte
+	prevTS  int64 // -1 before the first record
+	// Raw counts for the compression report.
+	rawBytes int64
+	records  int64
+	closed   bool
+}
+
+// New starts a compressed log on w.
+func New(w io.Writer, p lzss.Params) (*Logger, error) {
+	zw, err := deflate.NewWriter(w, p)
+	if err != nil {
+		return nil, err
+	}
+	return &Logger{zw: zw, prevTS: -1}, nil
+}
+
+// Log appends one record.
+func (l *Logger) Log(rec Record) error {
+	if l.closed {
+		return fmt.Errorf("logger: log after Close")
+	}
+	prev := uint64(0)
+	if l.prevTS >= 0 {
+		prev = uint64(l.prevTS)
+	}
+	buf, err := appendRecord(l.scratch[:0], rec, prev)
+	if err != nil {
+		return err
+	}
+	l.scratch = buf[:0]
+	if _, err := l.zw.Write(buf); err != nil {
+		return err
+	}
+	l.prevTS = int64(rec.Timestamp)
+	l.rawBytes += int64(len(buf))
+	l.records++
+	return nil
+}
+
+// Close finishes the compressed stream.
+func (l *Logger) Close() error {
+	if l.closed {
+		return nil
+	}
+	l.closed = true
+	return l.zw.Close()
+}
+
+// RawBytes is the multiplexed (uncompressed) log volume so far.
+func (l *Logger) RawBytes() int64 { return l.rawBytes }
+
+// Records is the number of logged events.
+func (l *Logger) Records() int64 { return l.records }
+
+// ReadLog decompresses and demultiplexes a complete log stream.
+func ReadLog(r io.Reader) ([]Record, error) {
+	zr, err := deflate.NewReader(r)
+	if err != nil {
+		return nil, err
+	}
+	raw, err := io.ReadAll(zr)
+	if err != nil && err != io.EOF {
+		return nil, err
+	}
+	var recs []Record
+	ts := uint64(0)
+	for pos := 0; pos < len(raw); {
+		ch := raw[pos]
+		pos++
+		delta, n := binary.Uvarint(raw[pos:])
+		if n <= 0 {
+			return nil, fmt.Errorf("logger: corrupt time delta at offset %d", pos)
+		}
+		pos += n
+		ln, n := binary.Uvarint(raw[pos:])
+		if n <= 0 {
+			return nil, fmt.Errorf("logger: corrupt length at offset %d", pos)
+		}
+		pos += n
+		if ln > 1<<16 || pos+int(ln) > len(raw) {
+			return nil, fmt.Errorf("logger: payload length %d overruns stream", ln)
+		}
+		ts += delta
+		recs = append(recs, Record{
+			Channel:   ch,
+			Timestamp: ts,
+			Payload:   append([]byte(nil), raw[pos:pos+int(ln)]...),
+		})
+		pos += int(ln)
+	}
+	return recs, nil
+}
+
+// newRawWriter exposes the underlying compressed-stream writer for
+// tests that need to craft invalid record streams.
+func newRawWriter(w io.Writer) (*deflate.Writer, error) {
+	return deflate.NewWriter(w, lzss.HWSpeedParams())
+}
+
+// FilterRange returns the records in [from, to] microseconds on the
+// given channel (channel < 0 matches all) — the retrieval query a
+// trace viewer issues.
+func FilterRange(recs []Record, channel int, from, to uint64) []Record {
+	var out []Record
+	for _, r := range recs {
+		if r.Timestamp < from {
+			continue
+		}
+		if r.Timestamp > to {
+			break // timestamps are monotone
+		}
+		if channel >= 0 && int(r.Channel) != channel {
+			continue
+		}
+		out = append(out, r)
+	}
+	return out
+}

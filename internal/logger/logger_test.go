@@ -1,0 +1,206 @@
+package logger
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math/rand"
+	"testing"
+
+	"lzssfpga/internal/lzss"
+)
+
+func params() lzss.Params { return lzss.HWSpeedParams() }
+
+func makeRecords(rng *rand.Rand, n int) []Record {
+	// Periodic multi-channel traffic: a few channels with typical
+	// payload templates, like a vehicle logger aggregating CAN busses.
+	templates := map[uint8][]byte{
+		0: []byte("engine rpm=0000 temp=00"),
+		1: []byte{0x10, 0x22, 0x00, 0x00, 0xFF, 0x01},
+		2: []byte("gps 49.4401N 7.7491E alt=236"),
+		3: {},
+	}
+	recs := make([]Record, 0, n)
+	ts := uint64(1000)
+	for i := 0; i < n; i++ {
+		ch := uint8(rng.Intn(4))
+		payload := append([]byte(nil), templates[ch]...)
+		if len(payload) > 2 {
+			payload[rng.Intn(len(payload))] = byte('0' + rng.Intn(10))
+		}
+		recs = append(recs, Record{Channel: ch, Timestamp: ts, Payload: payload})
+		ts += uint64(rng.Intn(5000))
+	}
+	return recs
+}
+
+func TestLogRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	recs := makeRecords(rng, 5000)
+	var buf bytes.Buffer
+	l, err := New(&buf, params())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range recs {
+		if err := l.Log(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if l.Records() != int64(len(recs)) {
+		t.Fatalf("Records = %d", l.Records())
+	}
+	got, err := ReadLog(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(recs) {
+		t.Fatalf("decoded %d records, want %d", len(got), len(recs))
+	}
+	for i := range recs {
+		if got[i].Channel != recs[i].Channel ||
+			got[i].Timestamp != recs[i].Timestamp ||
+			!bytes.Equal(got[i].Payload, recs[i].Payload) {
+			t.Fatalf("record %d mismatch: %+v vs %+v", i, got[i], recs[i])
+		}
+	}
+}
+
+func TestLogCompresses(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	recs := makeRecords(rng, 20000)
+	var buf bytes.Buffer
+	l, err := New(&buf, params())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range recs {
+		if err := l.Log(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	l.Close()
+	ratio := float64(l.RawBytes()) / float64(buf.Len())
+	if ratio < 2 {
+		t.Fatalf("periodic log only compressed %.2fx", ratio)
+	}
+}
+
+func TestLogRejectsRegression(t *testing.T) {
+	var buf bytes.Buffer
+	l, err := New(&buf, params())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Log(Record{Channel: 0, Timestamp: 100}); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Log(Record{Channel: 0, Timestamp: 99}); err == nil {
+		t.Fatal("timestamp regression accepted")
+	}
+}
+
+func TestLogRejectsHugePayload(t *testing.T) {
+	var buf bytes.Buffer
+	l, _ := New(&buf, params())
+	if err := l.Log(Record{Payload: make([]byte, 1<<16+1)}); err == nil {
+		t.Fatal("oversized payload accepted")
+	}
+}
+
+func TestLogAfterClose(t *testing.T) {
+	var buf bytes.Buffer
+	l, _ := New(&buf, params())
+	l.Log(Record{Timestamp: 1})
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Log(Record{Timestamp: 2}); err == nil {
+		t.Fatal("log after close accepted")
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal("double close must be nil")
+	}
+}
+
+func TestEmptyLog(t *testing.T) {
+	var buf bytes.Buffer
+	l, _ := New(&buf, params())
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := ReadLog(&buf)
+	if err != nil || len(recs) != 0 {
+		t.Fatalf("empty log: %v, %d records", err, len(recs))
+	}
+}
+
+func TestReadLogRejectsCorrupt(t *testing.T) {
+	// Valid zlib wrapping a corrupt record stream: truncated payload.
+	var raw []byte
+	raw = append(raw, 5)                            // channel
+	raw = binary.AppendUvarint(raw, 10)             // delta
+	raw = binary.AppendUvarint(raw, 100)            // length 100...
+	raw = append(raw, []byte("only 9 byte")[:9]...) // ...but 9 bytes
+	var buf bytes.Buffer
+	// Compress the corrupt payload through the normal writer.
+	l := mustWriter(t, &buf)
+	l.Write(raw)
+	l.Close()
+	if _, err := ReadLog(&buf); err == nil {
+		t.Fatal("overrunning payload accepted")
+	}
+}
+
+// mustWriter builds a raw streaming writer for corrupt-stream tests.
+func mustWriter(t *testing.T, buf *bytes.Buffer) interface {
+	Write([]byte) (int, error)
+	Close() error
+} {
+	t.Helper()
+	l, err := newRawWriter(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l
+}
+
+func TestTimestampDeltasCompact(t *testing.T) {
+	// Small deltas must encode in few bytes: 1000 records 1 µs apart
+	// with empty payloads should multiplex to ~3 bytes per record.
+	var buf bytes.Buffer
+	l, _ := New(&buf, params())
+	for i := 0; i < 1000; i++ {
+		if err := l.Log(Record{Channel: 1, Timestamp: uint64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	l.Close()
+	if perRec := float64(l.RawBytes()) / 1000; perRec > 3.5 {
+		t.Fatalf("%.1f raw bytes per empty record — headers not compact", perRec)
+	}
+}
+
+func TestFilterRange(t *testing.T) {
+	recs := []Record{
+		{Channel: 1, Timestamp: 100},
+		{Channel: 2, Timestamp: 200},
+		{Channel: 1, Timestamp: 300},
+		{Channel: 1, Timestamp: 400},
+	}
+	got := FilterRange(recs, 1, 150, 350)
+	if len(got) != 1 || got[0].Timestamp != 300 {
+		t.Fatalf("filter: %+v", got)
+	}
+	all := FilterRange(recs, -1, 0, 1000)
+	if len(all) != 4 {
+		t.Fatalf("all-channel filter got %d", len(all))
+	}
+	none := FilterRange(recs, 9, 0, 1000)
+	if len(none) != 0 {
+		t.Fatal("ghost channel matched")
+	}
+}

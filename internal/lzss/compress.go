@@ -1,0 +1,130 @@
+package lzss
+
+import (
+	"lzssfpga/internal/token"
+)
+
+// tooFar is zlib's lazy-matching heuristic: a bare MinMatch-length match
+// further back than this costs more bits than three literals on average,
+// so the slow path discards it.
+const tooFar = 4096
+
+// Compress runs the LZSS stage over src and returns the command stream.
+// Greedy (deflate_fast-style) matching is used unless p.Lazy is set.
+// The returned Stats are the operation counts of the run.
+func Compress(src []byte, p Params) ([]token.Command, *Stats, error) {
+	stats := &Stats{InputBytes: int64(len(src))}
+	m, err := NewMatcher(src, p, stats)
+	if err != nil {
+		return nil, nil, err
+	}
+	var cmds []token.Command
+	if p.Lazy {
+		cmds = compressLazy(m, src)
+	} else {
+		cmds = compressGreedy(m, src)
+	}
+	return cmds, stats, nil
+}
+
+func emitLit(cmds []token.Command, s *Stats, b byte) []token.Command {
+	s.Literals++
+	return append(cmds, token.Lit(b))
+}
+
+func emitCopy(cmds []token.Command, s *Stats, dist, length int) []token.Command {
+	s.Matches++
+	s.MatchedBytes += int64(length)
+	return append(cmds, token.Copy(dist, length))
+}
+
+// compressGreedy is the matching policy the hardware implements: take
+// the longest match at the current position or emit one literal.
+func compressGreedy(m *Matcher, src []byte) []token.Command {
+	cmds := make([]token.Command, 0, len(src)/3+16)
+	pos := 0
+	for pos < len(src) {
+		if len(src)-pos < token.MinMatch {
+			// Too little left to hash; flush as literals.
+			for ; pos < len(src); pos++ {
+				cmds = emitLit(cmds, m.stats, src[pos])
+			}
+			break
+		}
+		length, dist := m.FindMatch(pos)
+		if length >= token.MinMatch {
+			cmds = emitCopy(cmds, m.stats, dist, length)
+			// Full hash-table update only for short matches — the
+			// hardware decides this on match length (paper §IV); long
+			// matches skip insertion to keep the 1 cycle/byte update
+			// cost bounded.
+			end := pos + length
+			if length <= m.p.InsertLimit {
+				for i := pos + 1; i < end && i+token.MinMatch <= len(src); i++ {
+					m.Insert(i)
+				}
+			}
+			pos = end
+		} else {
+			cmds = emitLit(cmds, m.stats, src[pos])
+			pos++
+		}
+	}
+	return cmds
+}
+
+// compressLazy is zlib's deflate_slow policy: hold each match back one
+// byte to see whether a longer one starts at the next position.
+func compressLazy(m *Matcher, src []byte) []token.Command {
+	cmds := make([]token.Command, 0, len(src)/3+16)
+	pos := 0
+	havePrev := false
+	prevLen, prevDist := 0, 0
+	for pos < len(src) {
+		curLen, curDist := 0, 0
+		if len(src)-pos >= token.MinMatch {
+			if prevLen < m.p.MaxLazy {
+				m.stats.LazyEvals++
+				curLen, curDist = m.FindMatch(pos)
+				// Discard marginal matches that are far away: the
+				// encoded distance would cost more than the literals.
+				if curLen == token.MinMatch && curDist > tooFar {
+					curLen, curDist = 0, 0
+				}
+			} else {
+				// Previous match is already "long enough"; keep the
+				// chains warm but skip the search.
+				m.Insert(pos)
+			}
+		}
+		if havePrev && prevLen >= token.MinMatch && curLen <= prevLen {
+			// The deferred match starting at pos-1 wins.
+			cmds = emitCopy(cmds, m.stats, prevDist, prevLen)
+			end := pos - 1 + prevLen
+			if prevLen <= m.p.InsertLimit {
+				for i := pos + 1; i < end && i+token.MinMatch <= len(src); i++ {
+					m.Insert(i)
+				}
+			}
+			pos = end
+			havePrev, prevLen, prevDist = false, 0, 0
+			continue
+		}
+		if havePrev {
+			cmds = emitLit(cmds, m.stats, src[pos-1])
+		}
+		havePrev, prevLen, prevDist = true, curLen, curDist
+		pos++
+	}
+	if havePrev {
+		// The loop-exit argument guarantees the pending byte has no
+		// viable match (a deferred match is always resolved in-loop).
+		cmds = emitLit(cmds, m.stats, src[len(src)-1])
+	}
+	return cmds
+}
+
+// Decompress replays a command stream back into the original bytes.
+func Decompress(cmds []token.Command) ([]byte, error) {
+	return token.Expand(cmds)
+}

@@ -1,0 +1,70 @@
+package lzss
+
+import (
+	"lzssfpga/internal/token"
+)
+
+// CompressWithDict compresses data with a preset dictionary: the
+// matcher is pre-loaded with dict as if it had just been processed, so
+// early matches can reach back into it. For an embedded logger whose
+// records share boilerplate (the paper's motivating workload), a preset
+// dictionary recovers the ratio that short blocks otherwise lose while
+// the window warms up.
+//
+// Distances in the returned commands may exceed the number of produced
+// bytes — they reach into the dictionary; replay them with
+// token.ExpandWithHistory(dict, cmds).
+func CompressWithDict(dict, data []byte, p Params) ([]token.Command, *Stats, error) {
+	if err := p.Validate(); err != nil {
+		return nil, nil, err
+	}
+	if len(dict) == 0 {
+		return Compress(data, p)
+	}
+	// Only the last window-1 bytes of the dictionary are reachable.
+	if max := p.Window - 1; len(dict) > max {
+		dict = dict[len(dict)-max:]
+	}
+	buf := make([]byte, 0, len(dict)+len(data))
+	buf = append(buf, dict...)
+	buf = append(buf, data...)
+
+	stats := &Stats{InputBytes: int64(len(data))}
+	m, err := NewMatcher(buf, p, stats)
+	if err != nil {
+		return nil, nil, err
+	}
+	// Warm the chains with every dictionary position (zlib's
+	// deflateSetDictionary does exactly this).
+	for i := 0; i+token.MinMatch <= len(dict); i++ {
+		m.Insert(i)
+	}
+	// Greedy matching over the data region only. This mirrors
+	// compressGreedy but with a shifted origin.
+	cmds := make([]token.Command, 0, len(data)/3+16)
+	pos := len(dict)
+	n := len(buf)
+	for pos < n {
+		if n-pos < token.MinMatch {
+			for ; pos < n; pos++ {
+				cmds = emitLit(cmds, stats, buf[pos])
+			}
+			break
+		}
+		length, dist := m.FindMatch(pos)
+		if length >= token.MinMatch {
+			cmds = emitCopy(cmds, stats, dist, length)
+			end := pos + length
+			if length <= p.InsertLimit {
+				for i := pos + 1; i < end && i+token.MinMatch <= n; i++ {
+					m.Insert(i)
+				}
+			}
+			pos = end
+		} else {
+			cmds = emitLit(cmds, stats, buf[pos])
+			pos++
+		}
+	}
+	return cmds, stats, nil
+}

@@ -1,0 +1,593 @@
+package lzss
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"lzssfpga/internal/token"
+)
+
+func testParams() Params {
+	return Params{Window: 4096, HashBits: 12, MaxChain: 32, Nice: 64, InsertLimit: 16}
+}
+
+func mustCompress(t *testing.T, src []byte, p Params) ([]token.Command, *Stats) {
+	t.Helper()
+	cmds, stats, err := Compress(src, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cmds, stats
+}
+
+func roundTrip(t *testing.T, src []byte, p Params) []token.Command {
+	t.Helper()
+	cmds, _ := mustCompress(t, src, p)
+	if err := token.ValidateStream(cmds, p.Window); err != nil {
+		t.Fatalf("invalid stream: %v", err)
+	}
+	out, err := Decompress(cmds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out, src) {
+		t.Fatalf("round trip mismatch: got %d bytes, want %d", len(out), len(src))
+	}
+	return cmds
+}
+
+func TestParamsValidate(t *testing.T) {
+	good := testParams()
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Params{
+		{Window: 1000, HashBits: 12, MaxChain: 4},
+		{Window: 65536, HashBits: 12, MaxChain: 4},
+		{Window: 4096, HashBits: 3, MaxChain: 4},
+		{Window: 4096, HashBits: 25, MaxChain: 4},
+		{Window: 4096, HashBits: 12, MaxChain: 0},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("case %d: expected validation error", i)
+		}
+	}
+}
+
+func TestValidateFillsDefaults(t *testing.T) {
+	p := Params{Window: 4096, HashBits: 12, MaxChain: 4}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if p.Hash == nil {
+		t.Fatal("default hash not set")
+	}
+	if p.Nice < token.MinMatch || p.InsertLimit < token.MinMatch {
+		t.Fatalf("defaults not clamped: nice=%d insert=%d", p.Nice, p.InsertLimit)
+	}
+}
+
+func TestZlibHashDependsOnAllBytes(t *testing.T) {
+	h := ZlibHash(15)
+	base := h(1, 2, 3)
+	if h(0, 2, 3) == base && h(1, 0, 3) == base && h(1, 2, 0) == base {
+		t.Fatal("hash ignores input bytes")
+	}
+	if h(1, 2, 3) != h(1, 2, 3) {
+		t.Fatal("hash not deterministic")
+	}
+	if got := h(255, 255, 255); got >= 1<<15 {
+		t.Fatalf("hash %d exceeds table size", got)
+	}
+}
+
+func TestMultiplicativeHashRange(t *testing.T) {
+	for _, bitsN := range []uint{7, 9, 15} {
+		h := MultiplicativeHash(bitsN)
+		for i := 0; i < 1000; i++ {
+			v := h(byte(i), byte(i*7), byte(i*13))
+			if v >= 1<<bitsN {
+				t.Fatalf("hash %d out of range for %d bits", v, bitsN)
+			}
+		}
+	}
+}
+
+func TestCompressSnowySnow(t *testing.T) {
+	// The paper's running example: 7 commands, the last copying 4 bytes
+	// from distance 6.
+	cmds := roundTrip(t, []byte("snowy snow"), testParams())
+	if len(cmds) != 7 {
+		t.Fatalf("got %d commands, want 7: %v", len(cmds), cmds)
+	}
+	last := cmds[6]
+	if last.K != token.Match || last.Distance != 6 || last.Length != 4 {
+		t.Fatalf("last command %v, want copy(d=6,l=4)", last)
+	}
+}
+
+func TestCompressEmptyAndTiny(t *testing.T) {
+	p := testParams()
+	for _, src := range [][]byte{nil, {}, {1}, {1, 2}, {1, 2, 3}, []byte("ab")} {
+		roundTrip(t, src, p)
+	}
+}
+
+func TestCompressAllSameByte(t *testing.T) {
+	src := bytes.Repeat([]byte{'z'}, 10000)
+	cmds := roundTrip(t, src, testParams())
+	// Should be dominated by long RLE-style matches.
+	var matched int
+	for _, c := range cmds {
+		if c.K == token.Match {
+			matched += c.Length
+		}
+	}
+	if matched < 9000 {
+		t.Fatalf("only %d of %d bytes matched", matched, len(src))
+	}
+}
+
+func TestCompressIncompressible(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	src := make([]byte, 8192)
+	rng.Read(src)
+	cmds, stats := mustCompress(t, src, testParams())
+	out, err := Decompress(cmds)
+	if err != nil || !bytes.Equal(out, src) {
+		t.Fatalf("round trip failed: %v", err)
+	}
+	if stats.Matches > stats.Literals/10 {
+		t.Fatalf("random data should rarely match: %d matches, %d literals", stats.Matches, stats.Literals)
+	}
+}
+
+func TestCompressRepeatedPhrase(t *testing.T) {
+	src := []byte(strings.Repeat("the quick brown fox jumps over the lazy dog. ", 200))
+	cmds, stats := roundTrip(t, src, testParams()), (*Stats)(nil)
+	_ = stats
+	nLit, nMatch := 0, 0
+	for _, c := range cmds {
+		if c.K == token.Literal {
+			nLit++
+		} else {
+			nMatch++
+		}
+	}
+	if nMatch == 0 || nLit > 200 {
+		t.Fatalf("poor matching on periodic text: %d literals, %d matches", nLit, nMatch)
+	}
+}
+
+func TestMatchRespectsWindow(t *testing.T) {
+	// A phrase recurs beyond the window: the second occurrence must not
+	// reference the first.
+	p := Params{Window: 1024, HashBits: 12, MaxChain: 64, Nice: 258, InsertLimit: 4}
+	phrase := []byte("unique-phrase-ABCDEFGH")
+	var src []byte
+	src = append(src, phrase...)
+	rng := rand.New(rand.NewSource(5))
+	filler := make([]byte, 3000)
+	rng.Read(filler)
+	src = append(src, filler...)
+	src = append(src, phrase...)
+	cmds := roundTrip(t, src, p)
+	if err := token.ValidateStream(cmds, p.Window); err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range cmds {
+		if c.K == token.Match && c.Distance >= p.Window {
+			t.Fatalf("distance %d >= window %d", c.Distance, p.Window)
+		}
+	}
+}
+
+func TestDistanceNeverEqualsWindow(t *testing.T) {
+	// Exactly window bytes apart: the D field cannot express it.
+	p := Params{Window: 1024, HashBits: 12, MaxChain: 1024, Nice: 258, InsertLimit: 4}
+	src := make([]byte, 2048)
+	copy(src, "HELLO-WORLD-PATTERN!")
+	copy(src[1024:], "HELLO-WORLD-PATTERN!")
+	cmds := roundTrip(t, src, p)
+	for _, c := range cmds {
+		if c.K == token.Match && c.Distance >= p.Window {
+			t.Fatalf("emitted distance %d, window %d", c.Distance, p.Window)
+		}
+	}
+}
+
+func TestGreedyPrefersClosestOnTie(t *testing.T) {
+	// Two identical candidates; the most recent (smallest distance) must
+	// win because the chain is walked newest-first and ties don't
+	// replace.
+	p := Params{Window: 4096, HashBits: 12, MaxChain: 16, Nice: 258, InsertLimit: 258}
+	src := []byte("abcdXXXabcdYYYabcd")
+	cmds := roundTrip(t, src, p)
+	var last token.Command
+	for _, c := range cmds {
+		if c.K == token.Match {
+			last = c
+		}
+	}
+	if last.K != token.Match || last.Distance != 7 {
+		t.Fatalf("want final copy at distance 7 (closest candidate), got %v", last)
+	}
+}
+
+func TestMaxChainLimitsSearch(t *testing.T) {
+	// With MaxChain=1 only the newest candidate is tried; a better but
+	// older candidate is missed. Verify via stats and ratio ordering.
+	src := []byte(strings.Repeat("abcabcabdabcabe", 500))
+	shallow := Params{Window: 4096, HashBits: 9, MaxChain: 1, Nice: 258, InsertLimit: 258}
+	deep := Params{Window: 4096, HashBits: 9, MaxChain: 256, Nice: 258, InsertLimit: 258}
+	_, sShallow := mustCompress(t, src, shallow)
+	cd, sDeep := mustCompress(t, src, deep)
+	stepsPerProbeShallow := float64(sShallow.ChainSteps) / float64(sShallow.HeadReads)
+	stepsPerProbeDeep := float64(sDeep.ChainSteps) / float64(sDeep.HeadReads)
+	if stepsPerProbeShallow > 1 {
+		t.Fatalf("MaxChain=1 must bound candidates per probe to 1, got %.2f", stepsPerProbeShallow)
+	}
+	if stepsPerProbeDeep <= stepsPerProbeShallow {
+		t.Fatalf("deeper chain should examine more candidates per probe: %.2f vs %.2f", stepsPerProbeDeep, stepsPerProbeShallow)
+	}
+	if sDeep.MatchedBytes < sShallow.MatchedBytes {
+		t.Fatalf("deeper search should match at least as much: %d vs %d", sDeep.MatchedBytes, sShallow.MatchedBytes)
+	}
+	out, err := Decompress(cd)
+	if err != nil || !bytes.Equal(out, src) {
+		t.Fatal("deep round trip failed")
+	}
+}
+
+func TestNiceStopsEarly(t *testing.T) {
+	src := []byte(strings.Repeat("0123456789abcdef", 600))
+	eager := Params{Window: 8192, HashBits: 12, MaxChain: 512, Nice: 8, InsertLimit: 4}
+	patient := Params{Window: 8192, HashBits: 12, MaxChain: 512, Nice: 258, InsertLimit: 4}
+	_, se := mustCompress(t, src, eager)
+	_, sp := mustCompress(t, src, patient)
+	if se.ChainSteps > sp.ChainSteps {
+		t.Fatalf("nice=8 should cut search work: %d vs %d", se.ChainSteps, sp.ChainSteps)
+	}
+}
+
+func TestLazyBeatsGreedyOnCraftedInput(t *testing.T) {
+	// Classic lazy-matching win: "ab" matches at pos, but a longer match
+	// starts one byte later. Repeat the pattern so the effect dominates.
+	unit := "abcde_xbcdefgh_"
+	src := []byte(strings.Repeat(unit, 400) + "ab" + "bcdefgh")
+	greedy := Params{Window: 8192, HashBits: 13, MaxChain: 256, Nice: 258, InsertLimit: 258}
+	lazy := greedy
+	lazy.Lazy, lazy.MaxLazy = true, 258
+	gc, _ := mustCompress(t, src, greedy)
+	lc, _ := mustCompress(t, src, lazy)
+	gOut, err := Decompress(gc)
+	if err != nil || !bytes.Equal(gOut, src) {
+		t.Fatal("greedy round trip failed")
+	}
+	lOut, err := Decompress(lc)
+	if err != nil || !bytes.Equal(lOut, src) {
+		t.Fatal("lazy round trip failed")
+	}
+}
+
+func TestLazyRoundTripRandomAndStructured(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	p := LevelParams(LevelMax, 32768, 15)
+	for trial := 0; trial < 10; trial++ {
+		n := 1 + rng.Intn(20000)
+		src := make([]byte, n)
+		switch trial % 3 {
+		case 0:
+			rng.Read(src)
+		case 1:
+			for i := range src {
+				src[i] = byte(rng.Intn(4)) // tiny alphabet: many matches
+			}
+		case 2:
+			pat := []byte("telemetry,frame=0x123,")
+			for i := range src {
+				src[i] = pat[i%len(pat)]
+			}
+		}
+		cmds, _, err := Compress(src, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, err := Decompress(cmds)
+		if err != nil || !bytes.Equal(out, src) {
+			t.Fatalf("trial %d: lazy round trip failed (n=%d)", trial, n)
+		}
+	}
+}
+
+func TestLevelParamsOrdering(t *testing.T) {
+	lmin := LevelParams(LevelMin, 4096, 15)
+	ldef := LevelParams(LevelDefault, 4096, 15)
+	lmax := LevelParams(LevelMax, 4096, 15)
+	if !(lmin.MaxChain < ldef.MaxChain && ldef.MaxChain < lmax.MaxChain) {
+		t.Fatalf("chain limits not monotone: %d %d %d", lmin.MaxChain, ldef.MaxChain, lmax.MaxChain)
+	}
+	if lmin.Lazy || !lmax.Lazy {
+		t.Fatal("min must be greedy, max must be lazy")
+	}
+}
+
+func TestLevelRatioMonotone(t *testing.T) {
+	// Higher level ⇒ at least as many matched bytes on compressible data.
+	src := []byte(strings.Repeat("sensor=42 temp=17.5 state=OK;", 800))
+	var prev int64 = -1
+	for _, lvl := range []Level{LevelMin, LevelDefault, LevelMax} {
+		_, s, err := Compress(src, LevelParams(lvl, 32768, 15))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s.MatchedBytes < prev {
+			t.Fatalf("level %d matched %d < previous %d", lvl, s.MatchedBytes, prev)
+		}
+		prev = s.MatchedBytes
+	}
+}
+
+func TestHWSpeedParamsMatchPaper(t *testing.T) {
+	p := HWSpeedParams()
+	if p.Window != 4096 || p.HashBits != 15 {
+		t.Fatalf("Table I config is 4KB dictionary, 15-bit hash; got %+v", p)
+	}
+	if p.Lazy {
+		t.Fatal("hardware matching is greedy")
+	}
+}
+
+func TestStatsAccounting(t *testing.T) {
+	src := []byte("aaaaaaaaaaaaaaaaaaaaaaaa")
+	cmds, stats := mustCompress(t, src, testParams())
+	if stats.InputBytes != int64(len(src)) {
+		t.Fatalf("InputBytes = %d", stats.InputBytes)
+	}
+	var lits, matches, matchedBytes int64
+	for _, c := range cmds {
+		if c.K == token.Literal {
+			lits++
+		} else {
+			matches++
+			matchedBytes += int64(c.Length)
+		}
+	}
+	if stats.Literals != lits || stats.Matches != matches || stats.MatchedBytes != matchedBytes {
+		t.Fatalf("stats %+v disagree with stream (lits=%d matches=%d mb=%d)", stats, lits, matches, matchedBytes)
+	}
+	if lits+matchedBytes != int64(len(src)) {
+		t.Fatalf("stream covers %d bytes, want %d", lits+matchedBytes, len(src))
+	}
+	if stats.AvgMatchLen() <= 0 {
+		t.Fatal("AvgMatchLen should be positive here")
+	}
+	if stats.Ratio(12) != float64(len(src))/12 {
+		t.Fatal("Ratio arithmetic wrong")
+	}
+	if stats.Ratio(0) != 0 {
+		t.Fatal("Ratio(0) must be 0")
+	}
+}
+
+func TestQuickRoundTripGreedy(t *testing.T) {
+	p := Params{Window: 1024, HashBits: 10, MaxChain: 8, Nice: 32, InsertLimit: 8}
+	f := func(data []byte) bool {
+		cmds, _, err := Compress(data, p)
+		if err != nil {
+			return false
+		}
+		if token.ValidateStream(cmds, p.Window) != nil {
+			return false
+		}
+		out, err := Decompress(cmds)
+		return err == nil && bytes.Equal(out, data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickRoundTripLazy(t *testing.T) {
+	p := Params{Window: 1024, HashBits: 10, MaxChain: 64, Nice: 258, InsertLimit: 16, Lazy: true, MaxLazy: 64}
+	f := func(data []byte) bool {
+		cmds, _, err := Compress(data, p)
+		if err != nil {
+			return false
+		}
+		out, err := Decompress(cmds)
+		return err == nil && bytes.Equal(out, data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickLowEntropyRoundTrip(t *testing.T) {
+	// quick's default generator is near-random; force a tiny alphabet so
+	// the match paths are exercised heavily.
+	p := Params{Window: 2048, HashBits: 11, MaxChain: 16, Nice: 64, InsertLimit: 8}
+	f := func(data []byte, mod uint8) bool {
+		m := int(mod%5) + 2
+		for i := range data {
+			data[i] = byte(int(data[i]) % m)
+		}
+		cmds, _, err := Compress(data, p)
+		if err != nil {
+			return false
+		}
+		out, err := Decompress(cmds)
+		return err == nil && bytes.Equal(out, data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCompareByteAccounting(t *testing.T) {
+	src := []byte("abcdabcd")
+	stats := &Stats{}
+	p := testParams()
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewMatcher(src, p, stats)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Insert(0)
+	l, d := m.FindMatch(4)
+	if l != 4 || d != 4 {
+		t.Fatalf("match = (%d,%d), want (4,4)", l, d)
+	}
+	if stats.CompareBytes != 4 {
+		t.Fatalf("CompareBytes = %d, want 4 (full tail match)", stats.CompareBytes)
+	}
+}
+
+func BenchmarkCompressGreedy64K(b *testing.B) {
+	src := []byte(strings.Repeat("the quick brown fox jumps over the lazy dog. ", 1500))[:65536]
+	p := HWSpeedParams()
+	b.SetBytes(int64(len(src)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := Compress(src, p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCompressLazy64K(b *testing.B) {
+	src := []byte(strings.Repeat("the quick brown fox jumps over the lazy dog. ", 1500))[:65536]
+	p := LevelParams(LevelMax, 32768, 15)
+	b.SetBytes(int64(len(src)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := Compress(src, p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestHashPoliciesInterchangeable(t *testing.T) {
+	// Any policy must produce a valid, round-trippable compressor; the
+	// choice only shifts the speed/ratio balance.
+	src := []byte(strings.Repeat("policy based hash design 0123456789 ", 800))
+	for name, mk := range map[string]func(uint) HashFunc{
+		"zlib": ZlibHash, "mult": MultiplicativeHash, "crc": CRCHash,
+	} {
+		p := Params{Window: 4096, HashBits: 12, MaxChain: 8, Nice: 32, InsertLimit: 8, Hash: mk(12)}
+		cmds, _, err := Compress(src, p)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		out, err := Decompress(cmds)
+		if err != nil || !bytes.Equal(out, src) {
+			t.Fatalf("%s: round trip failed", name)
+		}
+	}
+}
+
+func TestHashPolicyDistribution(t *testing.T) {
+	// Buckets should spread: over random 3-grams, no policy may put
+	// more than 4x the fair share into one bucket.
+	rng := rand.New(rand.NewSource(77))
+	const bits, samples = 10, 100000
+	for name, mk := range map[string]func(uint) HashFunc{
+		"zlib": ZlibHash, "mult": MultiplicativeHash, "crc": CRCHash,
+	} {
+		h := mk(bits)
+		counts := make([]int, 1<<bits)
+		for i := 0; i < samples; i++ {
+			counts[h(byte(rng.Intn(256)), byte(rng.Intn(256)), byte(rng.Intn(256)))]++
+		}
+		fair := samples / (1 << bits)
+		for b, c := range counts {
+			if c > 4*fair {
+				t.Fatalf("%s: bucket %d holds %d (fair %d)", name, b, c, fair)
+			}
+		}
+	}
+}
+
+func TestCRCHashRange(t *testing.T) {
+	h := CRCHash(9)
+	for i := 0; i < 4096; i++ {
+		if v := h(byte(i), byte(i>>4), byte(i*7)); v >= 1<<9 {
+			t.Fatalf("crc hash %d out of range", v)
+		}
+	}
+}
+
+func TestCompressWithDictRoundTrip(t *testing.T) {
+	dict := []byte(strings.Repeat("boilerplate record header ", 20))
+	data := []byte("boilerplate record header PLUS payload 42")
+	p := testParams()
+	cmds, stats, err := CompressWithDict(dict, data, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.InputBytes != int64(len(data)) {
+		t.Fatalf("InputBytes %d counts dictionary", stats.InputBytes)
+	}
+	out, err := token.ExpandWithHistory(dict, cmds)
+	if err != nil || !bytes.Equal(out, data) {
+		t.Fatalf("dict round trip failed: %v", err)
+	}
+	// The first match must reach into the dictionary (distance beyond
+	// any produced bytes at that point).
+	reached := false
+	produced := 0
+	for _, c := range cmds {
+		if c.K == token.Match && c.Distance > produced {
+			reached = true
+			break
+		}
+		produced += c.SrcLen()
+	}
+	if !reached {
+		t.Fatal("no match reached into the dictionary")
+	}
+}
+
+func TestCompressWithDictEmptyDict(t *testing.T) {
+	data := []byte("no dictionary at all, plain compression")
+	p := testParams()
+	withEmpty, _, err := CompressWithDict(nil, data, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, _, err := Compress(data, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !token.Equal(withEmpty, plain) {
+		t.Fatal("empty dictionary changed the stream")
+	}
+}
+
+func TestCompressWithDictOversizedDictTruncated(t *testing.T) {
+	// Only the last window-1 bytes are reachable; a huge dictionary
+	// must not blow distances past the window.
+	p := Params{Window: 1024, HashBits: 10, MaxChain: 16, Nice: 64, InsertLimit: 8}
+	dict := bytes.Repeat([]byte("abcdefgh"), 1000) // 8000 bytes
+	data := []byte("abcdefghabcdefghXYZ")
+	cmds, _, err := CompressWithDict(dict, data, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range cmds {
+		if c.K == token.Match && c.Distance >= p.Window {
+			t.Fatalf("distance %d >= window %d", c.Distance, p.Window)
+		}
+	}
+	hist := dict[len(dict)-(p.Window-1):]
+	out, err := token.ExpandWithHistory(hist, cmds)
+	if err != nil || !bytes.Equal(out, data) {
+		t.Fatalf("truncated-dict round trip failed: %v", err)
+	}
+}

@@ -1,0 +1,128 @@
+package lzss
+
+import (
+	"lzssfpga/internal/token"
+)
+
+// Matcher maintains the ZLib-style head/next hash chains and answers
+// longest-match queries. Positions are absolute indices into the source
+// block; the chain arrays are window-sized rings, which is exactly the
+// aliasing-safe trick the hardware's next table uses (an entry can only
+// be trusted while its position is still inside the window, and every
+// walk stops at the window boundary before aliasing could be observed).
+type Matcher struct {
+	p     Params
+	src   []byte
+	head  []int32 // per hash bucket: most recent position, -1 if none
+	prev  []int32 // ring: previous position with same hash
+	mask  int32   // window - 1
+	stats *Stats
+}
+
+// NewMatcher builds a matcher over src with validated parameters.
+// stats may be nil.
+func NewMatcher(src []byte, p Params, stats *Stats) (*Matcher, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if stats == nil {
+		stats = &Stats{}
+	}
+	m := &Matcher{
+		p:     p,
+		src:   src,
+		head:  make([]int32, 1<<p.HashBits),
+		prev:  make([]int32, p.Window),
+		mask:  int32(p.Window - 1),
+		stats: stats,
+	}
+	for i := range m.head {
+		m.head[i] = -1
+	}
+	return m, nil
+}
+
+// Stats returns the operation counters.
+func (m *Matcher) Stats() *Stats { return m.stats }
+
+func (m *Matcher) hashAt(pos int) uint32 {
+	m.stats.HashComputes++
+	return m.p.Hash(m.src[pos], m.src[pos+1], m.src[pos+2])
+}
+
+// Insert adds the string at pos to the hash chains. pos must leave at
+// least MinMatch bytes of source.
+func (m *Matcher) Insert(pos int) {
+	h := m.hashAt(pos)
+	m.insertHashed(pos, h)
+}
+
+func (m *Matcher) insertHashed(pos int, h uint32) {
+	m.stats.Inserts++
+	m.prev[int32(pos)&m.mask] = m.head[h]
+	m.head[h] = int32(pos)
+}
+
+// FindMatch searches for the longest match for the string at pos and
+// then inserts pos into the chains (the hardware updates head/next in
+// the same cycle the head value is read, so the current string never
+// becomes its own candidate). It returns (length, distance); length is
+// 0 when no match of at least MinMatch exists.
+//
+// Policy, shared bit-for-bit with the hardware model:
+//   - candidates are visited most-recent-first;
+//   - the walk stops after MaxChain candidates, at a nil pointer, or at
+//     the first candidate outside the window;
+//   - strictly longer matches win, so ties keep the smallest distance;
+//   - the search stops early once a match of at least Nice bytes is
+//     found;
+//   - distance window (== dictionary size) is excluded because the wire
+//     format's D field reserves 0 for literals.
+func (m *Matcher) FindMatch(pos int) (length, distance int) {
+	h := m.hashAt(pos)
+	cand := m.head[h]
+	m.stats.HeadReads++
+	m.insertHashed(pos, h)
+
+	maxLen := len(m.src) - pos
+	if maxLen > token.MaxMatch {
+		maxLen = token.MaxMatch
+	}
+	// Oldest admissible candidate: distance <= window-1.
+	minPos := pos - (m.p.Window - 1)
+
+	bestLen, bestDist := 0, 0
+	for chain := 0; chain < m.p.MaxChain && cand >= 0 && int(cand) >= minPos; chain++ {
+		m.stats.ChainSteps++
+		c := int(cand)
+		n := m.compare(c, pos, maxLen)
+		if n > bestLen {
+			bestLen, bestDist = n, pos-c
+			if bestLen >= m.p.Nice || bestLen == maxLen {
+				break
+			}
+		}
+		cand = m.prev[cand&m.mask]
+	}
+	if bestLen < token.MinMatch {
+		return 0, 0
+	}
+	return bestLen, bestDist
+}
+
+// compare counts the length of the common prefix of src[a:] and src[b:],
+// up to maxLen bytes, charging one CompareBytes unit per byte examined.
+// This mirrors the hardware comparer, which always compares from the
+// front of the lookahead buffer.
+func (m *Matcher) compare(a, b, maxLen int) int {
+	n := 0
+	for n < maxLen && m.src[a+n] == m.src[b+n] {
+		n++
+	}
+	examined := n
+	if n < maxLen {
+		examined++ // the mismatching byte was also read
+	}
+	m.stats.CompareBytes += int64(examined)
+	return n
+}

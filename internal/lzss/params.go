@@ -1,0 +1,221 @@
+// Package lzss implements the software reference LZSS compressor the
+// paper measures against: a ZLib-style matcher built on head/next hash
+// chains, with greedy (deflate_fast-like) and lazy matching and the
+// min..max compression-level presets from the evaluation section.
+//
+// The same matching policy, hash function and parameters are shared with
+// the cycle-accurate hardware model in internal/core, so the two can be
+// compared command-for-command (the paper's ">1 TB verified against the
+// software reference model" methodology).
+package lzss
+
+import (
+	"fmt"
+	"math/bits"
+
+	"lzssfpga/internal/token"
+)
+
+// HashFunc maps the three bytes starting a string to a bucket in
+// [0, 2^hashBits). The paper makes the exact hash function a
+// compile-time generic of the design; we mirror that with a function
+// value. Implementations must use only b0..b2 and must already mask to
+// the table size they were built for.
+type HashFunc func(b0, b1, b2 byte) uint32
+
+// ZlibHash returns the hash ZLib's deflate uses: three iterations of
+// h = (h<<shift ^ c) & mask with shift = ceil(hashBits/3). This is the
+// default in both the software reference and the hardware model.
+func ZlibHash(hashBits uint) HashFunc {
+	shift := (hashBits + 2) / 3
+	mask := uint32(1)<<hashBits - 1
+	return func(b0, b1, b2 byte) uint32 {
+		h := uint32(b0)
+		h = (h << shift) ^ uint32(b1)
+		h = (h << shift) ^ uint32(b2)
+		return h & mask
+	}
+}
+
+// MultiplicativeHash returns a Fibonacci-style multiplicative hash, an
+// alternative policy with better mixing for small tables.
+func MultiplicativeHash(hashBits uint) HashFunc {
+	return func(b0, b1, b2 byte) uint32 {
+		v := uint32(b0) | uint32(b1)<<8 | uint32(b2)<<16
+		return (v * 2654435761) >> (32 - hashBits)
+	}
+}
+
+// Params configures the matcher. The fields correspond to the paper's
+// compile-time generics (Window, HashBits, Hash) and run-time
+// parameters (MaxChain — "matching iteration limit" — Nice, InsertLimit,
+// Lazy/MaxLazy).
+type Params struct {
+	// Window is the dictionary (sliding window) size in bytes. Must be
+	// a power of two in [1 KiB, 32 KiB].
+	Window int
+	// HashBits sets the head-table size to 2^HashBits entries.
+	HashBits uint
+	// MaxChain bounds how many chain candidates are examined per match
+	// attempt (the paper's "matching iteration limit" run-time knob).
+	MaxChain int
+	// Nice stops the candidate search early once a match of at least
+	// this length has been found (zlib's nice_match).
+	Nice int
+	// InsertLimit is the longest match whose every byte is still
+	// inserted into the hash table; longer matches skip insertion
+	// ("if a full hash table updating can be performed — decided based
+	// on match length", paper §IV). Fig 5 puts the hardware limit at 4.
+	InsertLimit int
+	// Lazy enables one-step-deferred matching (zlib's slow path). The
+	// hardware is always greedy; lazy is a software-only level feature.
+	Lazy bool
+	// MaxLazy: with Lazy set, a previous match shorter than MaxLazy may
+	// be displaced by a longer match starting one byte later.
+	MaxLazy int
+	// Hash is the hash policy; nil selects ZlibHash(HashBits). A
+	// non-nil Hash must mask to this HashBits — when changing HashBits
+	// on a validated Params, reset Hash to nil so Validate re-derives
+	// it (a stale wider hash would index past the head table).
+	Hash HashFunc
+}
+
+// Validate checks parameter sanity and fills derived defaults.
+func (p *Params) Validate() error {
+	if p.Window < 1024 || p.Window > token.MaxDistance || p.Window&(p.Window-1) != 0 {
+		return fmt.Errorf("lzss: window %d must be a power of two in [1024,%d]", p.Window, token.MaxDistance)
+	}
+	if p.HashBits < 7 || p.HashBits > 20 {
+		return fmt.Errorf("lzss: hash bits %d out of [7,20]", p.HashBits)
+	}
+	if p.MaxChain < 1 {
+		return fmt.Errorf("lzss: max chain %d must be >= 1", p.MaxChain)
+	}
+	if p.Nice < token.MinMatch {
+		p.Nice = token.MinMatch
+	}
+	if p.Nice > token.MaxMatch {
+		p.Nice = token.MaxMatch
+	}
+	if p.InsertLimit < token.MinMatch {
+		p.InsertLimit = token.MinMatch
+	}
+	if p.Lazy && p.MaxLazy < token.MinMatch {
+		p.MaxLazy = token.MinMatch
+	}
+	if p.Hash == nil {
+		p.Hash = ZlibHash(p.HashBits)
+	}
+	return nil
+}
+
+// WindowBits returns log2(Window).
+func (p Params) WindowBits() uint { return uint(bits.TrailingZeros(uint(p.Window))) }
+
+// Level identifies a compression-level preset from the paper's Fig 4
+// ("min" and "max" compression levels).
+type Level int
+
+const (
+	// LevelMin mirrors ZLib level 1 / deflate_fast: the speed-optimized
+	// setting the paper uses as its reference point.
+	LevelMin Level = 1
+	// LevelDefault mirrors ZLib level 6.
+	LevelDefault Level = 6
+	// LevelMax mirrors ZLib level 9: longest chains, lazy matching.
+	LevelMax Level = 9
+)
+
+// LevelParams returns the preset for level with the given geometry.
+// The (chain, lazy, nice) triples follow zlib's configuration_table.
+func LevelParams(level Level, window int, hashBits uint) Params {
+	p := Params{Window: window, HashBits: hashBits}
+	switch {
+	case level <= 1:
+		p.MaxChain, p.Nice, p.InsertLimit, p.Lazy = 4, 8, 4, false
+	case level <= 3:
+		p.MaxChain, p.Nice, p.InsertLimit, p.Lazy = 8, 16, 8, false
+	case level <= 6:
+		p.MaxChain, p.Nice, p.InsertLimit, p.Lazy, p.MaxLazy = 128, 128, 16, true, 16
+	default:
+		p.MaxChain, p.Nice, p.InsertLimit, p.Lazy, p.MaxLazy = 4096, token.MaxMatch, 32, true, token.MaxMatch
+	}
+	return p
+}
+
+// HWSpeedParams returns the hardware configuration the paper optimizes
+// for speed in Table I: 4 KB dictionary, 15-bit hash, greedy matching
+// with a short chain limit.
+func HWSpeedParams() Params {
+	return Params{Window: 4096, HashBits: 15, MaxChain: 4, Nice: 8, InsertLimit: 4}
+}
+
+// Stats counts the elementary operations a compression run performs.
+// The software cost model (internal/swmodel) prices these to estimate
+// PowerPC throughput, and tests use them to check matcher behaviour.
+type Stats struct {
+	// InputBytes processed.
+	InputBytes int64
+	// Literals and Matches emitted.
+	Literals int64
+	Matches  int64
+	// MatchedBytes is the total length of all matches.
+	MatchedBytes int64
+	// HashComputes counts hash evaluations (inserts + probes).
+	HashComputes int64
+	// HeadReads counts head-table probes.
+	HeadReads int64
+	// ChainSteps counts candidate strings examined.
+	ChainSteps int64
+	// CompareBytes counts byte comparisons performed while matching.
+	CompareBytes int64
+	// Inserts counts head/next chain insertions.
+	Inserts int64
+	// LazyEvals counts deferred-match evaluations (lazy mode only).
+	LazyEvals int64
+}
+
+// Ratio returns InputBytes / outputBytes given an encoded size.
+func (s Stats) Ratio(outputBytes int64) float64 {
+	if outputBytes == 0 {
+		return 0
+	}
+	return float64(s.InputBytes) / float64(outputBytes)
+}
+
+// AvgMatchLen returns the mean emitted match length.
+func (s Stats) AvgMatchLen() float64 {
+	if s.Matches == 0 {
+		return 0
+	}
+	return float64(s.MatchedBytes) / float64(s.Matches)
+}
+
+// CRCHash returns a hash built from a nibble-wide CRC update — the kind
+// of polynomial mixer that maps well onto FPGA LUTs. Another instance
+// of the paper's "exact hash function" compile-time policy.
+func CRCHash(hashBits uint) HashFunc {
+	// CRC-16/CCITT table over nibbles, built once per policy instance.
+	var tab [16]uint16
+	for i := range tab {
+		c := uint16(i) << 12
+		for k := 0; k < 4; k++ {
+			if c&0x8000 != 0 {
+				c = c<<1 ^ 0x1021
+			} else {
+				c <<= 1
+			}
+		}
+		tab[i] = c
+	}
+	mask := uint32(1)<<hashBits - 1
+	update := func(c uint16, b byte) uint16 {
+		c = c<<4 ^ tab[(c>>12)^uint16(b>>4)]
+		c = c<<4 ^ tab[(c>>12)^uint16(b&0xF)]
+		return c
+	}
+	return func(b0, b1, b2 byte) uint32 {
+		c := update(update(update(0xFFFF, b0), b1), b2)
+		return uint32(c) & mask
+	}
+}

@@ -1,0 +1,213 @@
+package lzss
+
+import (
+	"lzssfpga/internal/token"
+)
+
+// StreamCompressor is the incremental form of Compress: bytes go in via
+// Write, commands come out as soon as they are decided. It maintains a
+// sliding buffer of (window + lookahead) bytes and performs exactly the
+// table rotation ZLib's fill_window does — the software counterpart of
+// the head-table rotation the paper's hardware optimizes.
+//
+// The command stream is identical to a whole-buffer Compress over the
+// concatenated input: matching at a position is deferred until either
+// MaxMatch+MinMatch bytes of lookahead are available or Close declares
+// end of input, so no match decision is ever made on partial knowledge.
+type StreamCompressor struct {
+	p    Params
+	buf  []byte
+	base int64 // absolute stream position of buf[0]
+	pos  int   // next unprocessed index within buf
+	head []int32
+	prev []int32
+	// stats accumulates over the stream's lifetime.
+	stats  Stats
+	closed bool
+}
+
+// streamLookahead is how many bytes beyond the current position must be
+// buffered before matching proceeds mid-stream: a maximal match plus
+// one hash window.
+const streamLookahead = token.MaxMatch + token.MinMatch + 1
+
+// NewStreamCompressor validates p (greedy only — lazy deferral would
+// need one more byte of latency and is not what the hardware does).
+func NewStreamCompressor(p Params) (*StreamCompressor, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	head := make([]int32, 1<<p.HashBits)
+	for i := range head {
+		head[i] = -1
+	}
+	return &StreamCompressor{
+		p:    p,
+		buf:  make([]byte, 0, 4*p.Window+streamLookahead),
+		head: head,
+		prev: make([]int32, p.Window),
+	}, nil
+}
+
+// Stats returns the accumulated operation counters.
+func (s *StreamCompressor) Stats() Stats { return s.stats }
+
+// Write absorbs data and returns the commands that became decidable.
+// The returned slice is freshly allocated and owned by the caller.
+func (s *StreamCompressor) Write(data []byte) []token.Command {
+	if s.closed {
+		panic("lzss: Write after Close")
+	}
+	s.buf = append(s.buf, data...)
+	s.stats.InputBytes += int64(len(data))
+	return s.drain(false)
+}
+
+// Close declares end of input and returns the final commands.
+func (s *StreamCompressor) Close() []token.Command {
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	return s.drain(true)
+}
+
+// slide drops processed bytes beyond one window of history and rebases
+// the hash tables — ZLib's rotation. The shift is a whole multiple of
+// the window so ring slots in prev[] keep addressing the same strings
+// (prev is indexed by position mod window). Entries pointing before the
+// kept region become invalid (-1 / chain end), exactly like the
+// hardware zeroing entries that point outside the dictionary.
+func (s *StreamCompressor) slide() {
+	keepFrom := (s.pos - s.p.Window) &^ (s.p.Window - 1)
+	if keepFrom <= 0 {
+		return
+	}
+	shift := int32(keepFrom)
+	s.buf = append(s.buf[:0], s.buf[keepFrom:]...)
+	s.base += int64(keepFrom)
+	s.pos -= keepFrom
+	for i, v := range s.head {
+		if v < shift {
+			s.head[i] = -1
+		} else {
+			s.head[i] = v - shift
+		}
+	}
+	for i, v := range s.prev {
+		if v < shift {
+			s.prev[i] = -1
+		} else {
+			s.prev[i] = v - shift
+		}
+	}
+}
+
+func (s *StreamCompressor) hashAt(pos int) uint32 {
+	s.stats.HashComputes++
+	return s.p.Hash(s.buf[pos], s.buf[pos+1], s.buf[pos+2])
+}
+
+func (s *StreamCompressor) insert(pos int) {
+	s.insertHashed(pos, s.hashAt(pos))
+}
+
+func (s *StreamCompressor) insertHashed(pos int, h uint32) {
+	s.stats.Inserts++
+	s.prev[pos&(s.p.Window-1)] = s.head[h]
+	s.head[h] = int32(pos)
+}
+
+// findMatch mirrors Matcher.FindMatch over the sliding buffer.
+func (s *StreamCompressor) findMatch(pos int) (length, distance int) {
+	h := s.hashAt(pos)
+	cand := s.head[h]
+	s.stats.HeadReads++
+	s.insertHashed(pos, h)
+
+	maxLen := len(s.buf) - pos
+	if maxLen > token.MaxMatch {
+		maxLen = token.MaxMatch
+	}
+	minPos := pos - (s.p.Window - 1)
+	bestLen, bestDist := 0, 0
+	for chain := 0; chain < s.p.MaxChain && cand >= 0 && int(cand) >= minPos; chain++ {
+		s.stats.ChainSteps++
+		c := int(cand)
+		n := 0
+		for n < maxLen && s.buf[c+n] == s.buf[pos+n] {
+			n++
+		}
+		examined := n
+		if n < maxLen {
+			examined++
+		}
+		s.stats.CompareBytes += int64(examined)
+		if n > bestLen {
+			bestLen, bestDist = n, pos-c
+			if bestLen >= s.p.Nice || bestLen == maxLen {
+				break
+			}
+		}
+		cand = s.prev[c&(s.p.Window-1)]
+	}
+	if bestLen < token.MinMatch {
+		return 0, 0
+	}
+	return bestLen, bestDist
+}
+
+// drain processes every position that is safely decidable.
+func (s *StreamCompressor) drain(final bool) []token.Command {
+	var cmds []token.Command
+	for {
+		avail := len(s.buf) - s.pos
+		if avail == 0 {
+			break
+		}
+		if !final && avail < streamLookahead {
+			break
+		}
+		if avail < token.MinMatch {
+			// Only reachable when final: flush tail literals.
+			for ; s.pos < len(s.buf); s.pos++ {
+				cmds = append(cmds, token.Lit(s.buf[s.pos]))
+				s.stats.Literals++
+			}
+			break
+		}
+		length, dist := s.findMatch(s.pos)
+		if length >= token.MinMatch {
+			cmds = append(cmds, token.Copy(dist, length))
+			s.stats.Matches++
+			s.stats.MatchedBytes += int64(length)
+			end := s.pos + length
+			if length <= s.p.InsertLimit {
+				for i := s.pos + 1; i < end && i+token.MinMatch <= len(s.buf); i++ {
+					s.insert(i)
+				}
+			}
+			s.pos = end
+		} else {
+			cmds = append(cmds, token.Lit(s.buf[s.pos]))
+			s.stats.Literals++
+			s.pos++
+		}
+		if s.pos >= 3*s.p.Window {
+			s.slide()
+		}
+	}
+	return cmds
+}
+
+// Flush processes every buffered byte immediately, without waiting for
+// the usual lookahead. Matching quality at the flushed tail degrades
+// slightly (candidates can not extend into data that has not arrived),
+// exactly as ZLib's sync flush degrades it; the stream stays valid and
+// subsequent Writes continue with full history.
+func (s *StreamCompressor) Flush() []token.Command {
+	if s.closed {
+		return nil
+	}
+	return s.drain(true)
+}

@@ -1,0 +1,197 @@
+// Package seekzip implements the random-access variant the paper's
+// related work surveys ([6], "LZ77-like compression with fast random
+// access"): the stream is cut into independently compressed blocks and
+// an index maps uncompressed offsets to compressed ones, so reading an
+// arbitrary range decompresses only the blocks it touches — the log-
+// retrieval pattern of the paper's target application (seek into a
+// multi-gigabyte trace without inflating all of it).
+//
+// Container layout (all integers little-endian):
+//
+//	magic "LZSX" | u32 blockSize | u64 totalLen
+//	  blocks: each a standalone zlib stream
+//	index: u32 count, count x u64 compressed offset (from file start)
+//	u64 index offset | magic "XIDX"
+package seekzip
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+
+	"lzssfpga/internal/deflate"
+	"lzssfpga/internal/lzss"
+)
+
+var (
+	magicHead = []byte("LZSX")
+	magicTail = []byte("XIDX")
+)
+
+// DefaultBlockSize balances seek granularity against ratio loss.
+const DefaultBlockSize = 64 << 10
+
+// Compress builds a seekable archive of data. blockSize 0 selects the
+// default.
+func Compress(data []byte, p lzss.Params, blockSize int) ([]byte, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if blockSize <= 0 {
+		blockSize = DefaultBlockSize
+	}
+	var out bytes.Buffer
+	out.Write(magicHead)
+	var hdr [12]byte
+	binary.LittleEndian.PutUint32(hdr[0:], uint32(blockSize))
+	binary.LittleEndian.PutUint64(hdr[4:], uint64(len(data)))
+	out.Write(hdr[:])
+
+	nBlocks := (len(data) + blockSize - 1) / blockSize
+	offsets := make([]uint64, 0, nBlocks)
+	for i := 0; i < nBlocks; i++ {
+		lo := i * blockSize
+		hi := lo + blockSize
+		if hi > len(data) {
+			hi = len(data)
+		}
+		offsets = append(offsets, uint64(out.Len()))
+		cmds, _, err := lzss.Compress(data[lo:hi], p)
+		if err != nil {
+			return nil, err
+		}
+		z, err := deflate.ZlibCompressBest(cmds, data[lo:hi], p.Window)
+		if err != nil {
+			return nil, err
+		}
+		out.Write(z)
+	}
+	indexOff := uint64(out.Len())
+	var cnt [4]byte
+	binary.LittleEndian.PutUint32(cnt[:], uint32(len(offsets)))
+	out.Write(cnt[:])
+	for _, o := range offsets {
+		var b [8]byte
+		binary.LittleEndian.PutUint64(b[:], o)
+		out.Write(b[:])
+	}
+	var tail [8]byte
+	binary.LittleEndian.PutUint64(tail[:], indexOff)
+	out.Write(tail[:])
+	out.Write(magicTail)
+	return out.Bytes(), nil
+}
+
+// Archive provides random access into a seekable archive.
+type Archive struct {
+	raw       []byte
+	blockSize int
+	totalLen  int
+	offsets   []uint64
+	// cache of the most recently inflated block (log readers scan
+	// locally, so one block of cache removes most repeated inflation).
+	cachedBlock int
+	cachedData  []byte
+}
+
+// Open parses the container and index.
+func Open(raw []byte) (*Archive, error) {
+	if len(raw) < 28 || !bytes.Equal(raw[:4], magicHead) || !bytes.Equal(raw[len(raw)-4:], magicTail) {
+		return nil, fmt.Errorf("seekzip: bad magic")
+	}
+	blockSize := int(binary.LittleEndian.Uint32(raw[4:]))
+	totalLen := int(binary.LittleEndian.Uint64(raw[8:]))
+	if blockSize <= 0 {
+		return nil, fmt.Errorf("seekzip: block size %d", blockSize)
+	}
+	indexOff := binary.LittleEndian.Uint64(raw[len(raw)-12:])
+	if indexOff+4 > uint64(len(raw)) {
+		return nil, fmt.Errorf("seekzip: index offset out of range")
+	}
+	count := int(binary.LittleEndian.Uint32(raw[indexOff:]))
+	want := (totalLen + blockSize - 1) / blockSize
+	if count != want {
+		return nil, fmt.Errorf("seekzip: index has %d blocks, data needs %d", count, want)
+	}
+	pos := indexOff + 4
+	if pos+uint64(count)*8 > uint64(len(raw)) {
+		return nil, fmt.Errorf("seekzip: truncated index")
+	}
+	offsets := make([]uint64, count)
+	for i := range offsets {
+		offsets[i] = binary.LittleEndian.Uint64(raw[pos:])
+		pos += 8
+	}
+	return &Archive{
+		raw: raw, blockSize: blockSize, totalLen: totalLen,
+		offsets: offsets, cachedBlock: -1,
+	}, nil
+}
+
+// Len is the uncompressed size.
+func (a *Archive) Len() int { return a.totalLen }
+
+// Blocks is the number of independently decodable blocks.
+func (a *Archive) Blocks() int { return len(a.offsets) }
+
+// blockEnd returns the compressed end offset of block i.
+func (a *Archive) blockEnd(i int) uint64 {
+	if i+1 < len(a.offsets) {
+		return a.offsets[i+1]
+	}
+	// Last block runs up to the index.
+	return binary.LittleEndian.Uint64(a.raw[len(a.raw)-12:])
+}
+
+// block inflates (or returns the cached) block i.
+func (a *Archive) block(i int) ([]byte, error) {
+	if i == a.cachedBlock {
+		return a.cachedData, nil
+	}
+	lo, hi := a.offsets[i], a.blockEnd(i)
+	if lo > hi || hi > uint64(len(a.raw)) {
+		return nil, fmt.Errorf("seekzip: block %d bounds [%d,%d) invalid", i, lo, hi)
+	}
+	data, err := deflate.ZlibDecompress(a.raw[lo:hi])
+	if err != nil {
+		return nil, fmt.Errorf("seekzip: block %d: %v", i, err)
+	}
+	a.cachedBlock, a.cachedData = i, data
+	return data, nil
+}
+
+// ReadAt fills p with the bytes at uncompressed offset off,
+// decompressing only the touched blocks. Short reads at the end return
+// the byte count with a nil error (callers check n).
+func (a *Archive) ReadAt(p []byte, off int64) (int, error) {
+	if off < 0 || off > int64(a.totalLen) {
+		return 0, fmt.Errorf("seekzip: offset %d out of [0,%d]", off, a.totalLen)
+	}
+	n := 0
+	for n < len(p) && off < int64(a.totalLen) {
+		bi := int(off) / a.blockSize
+		blk, err := a.block(bi)
+		if err != nil {
+			return n, err
+		}
+		in := int(off) - bi*a.blockSize
+		c := copy(p[n:], blk[in:])
+		n += c
+		off += int64(c)
+	}
+	return n, nil
+}
+
+// BlocksTouched reports how many blocks a [off, off+length) read
+// inflates — the quantity random access is supposed to bound.
+func (a *Archive) BlocksTouched(off int64, length int) int {
+	if length <= 0 || off >= int64(a.totalLen) {
+		return 0
+	}
+	first := int(off) / a.blockSize
+	lastByte := int(off) + length - 1
+	if lastByte >= a.totalLen {
+		lastByte = a.totalLen - 1
+	}
+	return lastByte/a.blockSize - first + 1
+}

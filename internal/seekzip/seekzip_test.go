@@ -1,0 +1,195 @@
+package seekzip
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"lzssfpga/internal/lzss"
+	"lzssfpga/internal/workload"
+)
+
+func testArchive(t *testing.T, data []byte, blockSize int) *Archive {
+	t.Helper()
+	raw, err := Compress(data, lzss.HWSpeedParams(), blockSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := Open(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func TestFullReadEqualsOriginal(t *testing.T) {
+	data := workload.Wiki(300_000, 100)
+	a := testArchive(t, data, 32<<10)
+	if a.Len() != len(data) {
+		t.Fatalf("Len = %d", a.Len())
+	}
+	out := make([]byte, len(data))
+	n, err := a.ReadAt(out, 0)
+	if err != nil || n != len(data) {
+		t.Fatalf("full read: n=%d err=%v", n, err)
+	}
+	if !bytes.Equal(out, data) {
+		t.Fatal("full read mismatch")
+	}
+}
+
+func TestRandomReads(t *testing.T) {
+	data := workload.CAN(500_000, 101)
+	a := testArchive(t, data, 16<<10)
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 300; trial++ {
+		off := rng.Intn(len(data))
+		ln := 1 + rng.Intn(5000)
+		buf := make([]byte, ln)
+		n, err := a.ReadAt(buf, int64(off))
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		want := len(data) - off
+		if want > ln {
+			want = ln
+		}
+		if n != want {
+			t.Fatalf("trial %d: n=%d want %d", trial, n, want)
+		}
+		if !bytes.Equal(buf[:n], data[off:off+n]) {
+			t.Fatalf("trial %d: content mismatch at %d+%d", trial, off, ln)
+		}
+	}
+}
+
+func TestBlocksTouchedBounded(t *testing.T) {
+	data := workload.Wiki(400_000, 102)
+	a := testArchive(t, data, 64<<10)
+	// A read inside one block touches one block.
+	if got := a.BlocksTouched(100, 1000); got != 1 {
+		t.Fatalf("in-block read touches %d blocks", got)
+	}
+	// A read spanning a boundary touches two.
+	if got := a.BlocksTouched(64<<10-10, 20); got != 2 {
+		t.Fatalf("boundary read touches %d blocks", got)
+	}
+	// Reading everything touches all.
+	if got := a.BlocksTouched(0, len(data)); got != a.Blocks() {
+		t.Fatalf("full read touches %d of %d blocks", got, a.Blocks())
+	}
+	if a.BlocksTouched(0, 0) != 0 {
+		t.Fatal("empty read touches blocks")
+	}
+}
+
+func TestSeekSkipsDecompression(t *testing.T) {
+	// Indirect check through the cache: reading the last bytes must not
+	// have inflated the first block.
+	data := workload.Wiki(1<<20, 103)
+	a := testArchive(t, data, 64<<10)
+	buf := make([]byte, 100)
+	if _, err := a.ReadAt(buf, int64(len(data)-100)); err != nil {
+		t.Fatal(err)
+	}
+	if a.cachedBlock != a.Blocks()-1 {
+		t.Fatalf("cached block %d, want last (%d)", a.cachedBlock, a.Blocks()-1)
+	}
+}
+
+func TestEdgeSizes(t *testing.T) {
+	for _, n := range []int{0, 1, DefaultBlockSize - 1, DefaultBlockSize, DefaultBlockSize + 1} {
+		data := workload.CAN(n, int64(n))
+		a := testArchive(t, data, 0)
+		out := make([]byte, n+10)
+		got, err := a.ReadAt(out, 0)
+		if err != nil || got != n {
+			t.Fatalf("n=%d: read %d err %v", n, got, err)
+		}
+		if !bytes.Equal(out[:got], data) {
+			t.Fatalf("n=%d: mismatch", n)
+		}
+	}
+}
+
+func TestRatioVsPlain(t *testing.T) {
+	// Blocked compression loses some ratio to independent windows; the
+	// loss must stay modest at 64 KiB blocks.
+	data := workload.Wiki(1<<20, 104)
+	raw, err := Compress(data, lzss.HWSpeedParams(), 64<<10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := float64(len(data)) / float64(len(raw))
+	if ratio < 1.4 {
+		t.Fatalf("seekable ratio %.2f too poor", ratio)
+	}
+}
+
+func TestOpenRejectsCorrupt(t *testing.T) {
+	data := workload.Wiki(100_000, 105)
+	raw, err := Compress(data, lzss.HWSpeedParams(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Bad magics and truncations.
+	if _, err := Open(raw[:10]); err == nil {
+		t.Fatal("truncated archive accepted")
+	}
+	bad := append([]byte(nil), raw...)
+	bad[0] = 'X'
+	if _, err := Open(bad); err == nil {
+		t.Fatal("bad head magic accepted")
+	}
+	bad2 := append([]byte(nil), raw...)
+	bad2[len(bad2)-1] = 'Y'
+	if _, err := Open(bad2); err == nil {
+		t.Fatal("bad tail magic accepted")
+	}
+	// Corrupt block payload: detected at read time by the zlib adler.
+	a := testArchive(t, data, 16<<10)
+	a.raw = append([]byte(nil), a.raw...)
+	a.raw[int(a.offsets[1])+8] ^= 0xFF
+	buf := make([]byte, 100)
+	if _, err := a.ReadAt(buf, 20<<10); err == nil {
+		t.Fatal("corrupt block accepted")
+	}
+}
+
+func TestReadAtOutOfRange(t *testing.T) {
+	a := testArchive(t, []byte("small"), 0)
+	if _, err := a.ReadAt(make([]byte, 4), -1); err == nil {
+		t.Fatal("negative offset accepted")
+	}
+	if _, err := a.ReadAt(make([]byte, 4), 100); err == nil {
+		t.Fatal("offset past end accepted")
+	}
+	// Offset exactly at end: zero bytes, no error.
+	n, err := a.ReadAt(make([]byte, 4), 5)
+	if err != nil || n != 0 {
+		t.Fatalf("read at end: n=%d err=%v", n, err)
+	}
+}
+
+func TestQuickSeekReads(t *testing.T) {
+	data := workload.Mixed(200_000, 106)
+	a := testArchive(t, data, 8<<10)
+	f := func(off uint32, ln uint16) bool {
+		o := int64(off) % int64(len(data))
+		l := int(ln)%4000 + 1
+		buf := make([]byte, l)
+		n, err := a.ReadAt(buf, o)
+		if err != nil {
+			return false
+		}
+		want := len(data) - int(o)
+		if want > l {
+			want = l
+		}
+		return n == want && bytes.Equal(buf[:n], data[o:int(o)+n])
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,145 @@
+// Package stream models the handshake (valid/ready) 32-bit word
+// interfaces the compressor core connects to — the LocalLink-style
+// streams of the paper's testbench. Sources deliver input words with a
+// configurable bandwidth and startup latency (a DMA read channel);
+// sinks accept output words with a configurable bandwidth (a DMA write
+// channel). Everything is expressed in whole clock cycles.
+package stream
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// ByteOrder selects how the four bytes of an input word map onto the
+// byte stream — the paper's LSBF/MSBF compile-time option.
+type ByteOrder int
+
+const (
+	// LSBFirst: byte 0 of the stream is the least significant byte of
+	// the 32-bit word.
+	LSBFirst ByteOrder = iota
+	// MSBFirst: byte 0 is the most significant byte.
+	MSBFirst
+)
+
+// String names the byte order.
+func (o ByteOrder) String() string {
+	if o == MSBFirst {
+		return "MSBF"
+	}
+	return "LSBF"
+}
+
+// PackWords converts a byte stream into 32-bit words in the given
+// order, zero-padding the tail.
+func PackWords(data []byte, order ByteOrder) []uint32 {
+	words := make([]uint32, (len(data)+3)/4)
+	for i := range words {
+		var quad [4]byte
+		copy(quad[:], data[i*4:min(len(data), i*4+4)])
+		if order == MSBFirst {
+			words[i] = binary.BigEndian.Uint32(quad[:])
+		} else {
+			words[i] = binary.LittleEndian.Uint32(quad[:])
+		}
+	}
+	return words
+}
+
+// UnpackWords is the inverse of PackWords; n is the byte length of the
+// original stream (to trim the padded tail).
+func UnpackWords(words []uint32, n int, order ByteOrder) ([]byte, error) {
+	if n < 0 || n > len(words)*4 || (len(words) > 0 && n <= (len(words)-1)*4) {
+		return nil, fmt.Errorf("stream: byte length %d inconsistent with %d words", n, len(words))
+	}
+	out := make([]byte, len(words)*4)
+	for i, w := range words {
+		if order == MSBFirst {
+			binary.BigEndian.PutUint32(out[i*4:], w)
+		} else {
+			binary.LittleEndian.PutUint32(out[i*4:], w)
+		}
+	}
+	return out[:n], nil
+}
+
+// Source is a paced producer of stream bytes. AvailableAt reports how
+// many bytes the source has delivered by the given cycle — the quantity
+// the core's background filler can consume.
+type Source interface {
+	// Len is the total byte count the source will deliver.
+	Len() int
+	// AvailableAt returns how many bytes have arrived by cycle
+	// (monotone, saturates at Len).
+	AvailableAt(cycle int64) int
+}
+
+// Sink is a paced consumer. CapacityAt reports how many bytes the sink
+// can have absorbed by the given cycle.
+type Sink interface {
+	CapacityAt(cycle int64) int
+}
+
+// PacedSource models a DMA read channel: nothing before Latency cycles,
+// then BytesPerCycle sustained.
+type PacedSource struct {
+	// Total bytes delivered by the source.
+	Total int
+	// Latency is the DMA setup time in cycles before the first byte.
+	Latency int64
+	// BytesPerCycle is the sustained delivery bandwidth (> 0).
+	BytesPerCycle float64
+}
+
+// Len implements Source.
+func (s *PacedSource) Len() int { return s.Total }
+
+// AvailableAt implements Source.
+func (s *PacedSource) AvailableAt(cycle int64) int {
+	if cycle <= s.Latency {
+		return 0
+	}
+	n := int(float64(cycle-s.Latency) * s.BytesPerCycle)
+	if n > s.Total {
+		return s.Total
+	}
+	return n
+}
+
+// InstantSource delivers everything at cycle 0 — the configuration for
+// pure algorithm studies where I/O is not the question.
+type InstantSource struct{ Total int }
+
+// Len implements Source.
+func (s *InstantSource) Len() int { return s.Total }
+
+// AvailableAt implements Source.
+func (s *InstantSource) AvailableAt(cycle int64) int { return s.Total }
+
+// PacedSink models a DMA write channel.
+type PacedSink struct {
+	Latency       int64
+	BytesPerCycle float64
+}
+
+// CapacityAt implements Sink.
+func (s *PacedSink) CapacityAt(cycle int64) int {
+	if cycle <= s.Latency {
+		return 0
+	}
+	return int(float64(cycle-s.Latency) * s.BytesPerCycle)
+}
+
+// InstantSink never back-pressures.
+type InstantSink struct{}
+
+// CapacityAt implements Sink.
+func (InstantSink) CapacityAt(cycle int64) int { return 1 << 60 }
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

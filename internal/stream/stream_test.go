@@ -1,0 +1,119 @@
+package stream
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestPackUnpackLSB(t *testing.T) {
+	data := []byte{1, 2, 3, 4, 5}
+	w := PackWords(data, LSBFirst)
+	if len(w) != 2 {
+		t.Fatalf("got %d words", len(w))
+	}
+	if w[0] != 0x04030201 {
+		t.Fatalf("w[0] = %08x", w[0])
+	}
+	if w[1] != 0x00000005 {
+		t.Fatalf("w[1] = %08x", w[1])
+	}
+	out, err := UnpackWords(w, 5, LSBFirst)
+	if err != nil || !bytes.Equal(out, data) {
+		t.Fatalf("round trip: %v %x", err, out)
+	}
+}
+
+func TestPackUnpackMSB(t *testing.T) {
+	data := []byte{1, 2, 3, 4}
+	w := PackWords(data, MSBFirst)
+	if w[0] != 0x01020304 {
+		t.Fatalf("w[0] = %08x", w[0])
+	}
+	out, err := UnpackWords(w, 4, MSBFirst)
+	if err != nil || !bytes.Equal(out, data) {
+		t.Fatal("MSB round trip failed")
+	}
+}
+
+func TestUnpackValidatesLength(t *testing.T) {
+	w := []uint32{0, 0}
+	if _, err := UnpackWords(w, 9, LSBFirst); err == nil {
+		t.Error("overlong length accepted")
+	}
+	if _, err := UnpackWords(w, 4, LSBFirst); err == nil {
+		t.Error("length not covering last word accepted")
+	}
+	if _, err := UnpackWords(nil, 0, LSBFirst); err != nil {
+		t.Error("empty stream rejected")
+	}
+}
+
+func TestQuickPackRoundTrip(t *testing.T) {
+	f := func(data []byte, msb bool) bool {
+		order := LSBFirst
+		if msb {
+			order = MSBFirst
+		}
+		out, err := UnpackWords(PackWords(data, order), len(data), order)
+		return err == nil && bytes.Equal(out, data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPacedSource(t *testing.T) {
+	s := &PacedSource{Total: 1000, Latency: 100, BytesPerCycle: 4}
+	if s.AvailableAt(0) != 0 || s.AvailableAt(100) != 0 {
+		t.Fatal("bytes before latency elapsed")
+	}
+	if got := s.AvailableAt(110); got != 40 {
+		t.Fatalf("AvailableAt(110) = %d, want 40", got)
+	}
+	if got := s.AvailableAt(1_000_000); got != 1000 {
+		t.Fatalf("must saturate at Total, got %d", got)
+	}
+	if s.Len() != 1000 {
+		t.Fatal("Len wrong")
+	}
+}
+
+func TestPacedSourceMonotone(t *testing.T) {
+	s := &PacedSource{Total: 10000, Latency: 7, BytesPerCycle: 1.5}
+	prev := 0
+	for c := int64(0); c < 8000; c += 13 {
+		n := s.AvailableAt(c)
+		if n < prev {
+			t.Fatalf("not monotone at cycle %d: %d < %d", c, n, prev)
+		}
+		prev = n
+	}
+}
+
+func TestInstantSourceAndSink(t *testing.T) {
+	s := &InstantSource{Total: 42}
+	if s.AvailableAt(0) != 42 || s.Len() != 42 {
+		t.Fatal("instant source broken")
+	}
+	var k InstantSink
+	if k.CapacityAt(0) < 1<<40 {
+		t.Fatal("instant sink should never backpressure")
+	}
+}
+
+func TestPacedSink(t *testing.T) {
+	k := &PacedSink{Latency: 10, BytesPerCycle: 2}
+	if k.CapacityAt(5) != 0 {
+		t.Fatal("capacity before latency")
+	}
+	if got := k.CapacityAt(20); got != 20 {
+		t.Fatalf("CapacityAt(20) = %d, want 20", got)
+	}
+}
+
+func TestByteOrderString(t *testing.T) {
+	if LSBFirst.String() != "LSBF" || MSBFirst.String() != "MSBF" {
+		t.Fatal("order names wrong")
+	}
+}

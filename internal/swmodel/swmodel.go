@@ -1,0 +1,192 @@
+// Package swmodel estimates the throughput of the paper's software
+// baseline: ZLib running on the 400 MHz PowerPC 440 hard core embedded
+// in the XC5VFX70T FPGA.
+//
+// The estimate prices the operation counts of an instrumented software
+// LZSS run (internal/lzss.Stats) with per-operation cycle weights for
+// an in-order embedded core whose working set (head table + window +
+// chains) spills far beyond its 32 KB L1 cache into DDR2. The weights
+// were calibrated so the speed-optimized configuration lands where
+// Table I's 15.5–20x speedups put the PowerPC (~2.5–3.2 MB/s); the
+// *relative* behaviour across corpora and parameters then follows from
+// the measured operation mix, not from fitting.
+package swmodel
+
+import (
+	"lzssfpga/internal/deflate"
+	"lzssfpga/internal/lzss"
+	"lzssfpga/internal/token"
+)
+
+// Weights are CPU cycles charged per elementary compressor operation.
+type Weights struct {
+	// PerByte covers stream advance, window bookkeeping and the
+	// amortized window memcpy rotation of ZLib.
+	PerByte float64
+	// PerHash is one UPDATE_HASH evaluation.
+	PerHash float64
+	// PerChainStep is one candidate fetch: a dependent load through
+	// prev[] that usually misses the small L1 cache.
+	PerChainStep float64
+	// PerCompareByte is one load-compare-branch iteration of
+	// longest_match.
+	PerCompareByte float64
+	// PerInsert is one head/prev chain store pair.
+	PerInsert float64
+	// PerLiteral / PerMatch price the Huffman tally and bit-packing of
+	// one emitted symbol.
+	PerLiteral float64
+	PerMatch   float64
+	// PerOutputByte covers the output buffer drain (pending_buf flush).
+	PerOutputByte float64
+}
+
+// CPU is a named processor model.
+type CPU struct {
+	Name    string
+	ClockHz float64
+	W       Weights
+}
+
+// PPC440 returns the model of the ML-507's embedded PowerPC 440 at
+// 400 MHz running ZLib out of DDR2.
+func PPC440() CPU {
+	return CPU{
+		Name:    "PowerPC 440 @ 400 MHz",
+		ClockHz: 400e6,
+		W: Weights{
+			PerByte:        48, // byte shuffle, loop control, window slide share, DDR2 pressure
+			PerHash:        12,
+			PerChainStep:   70, // dependent pointer chase, mostly cache misses
+			PerCompareByte: 7,
+			PerInsert:      20,
+			PerLiteral:     28, // _tr_tally + fixed-tree bit emit
+			PerMatch:       60, // length/dist code lookup + two bit emits
+			PerOutputByte:  10,
+		},
+	}
+}
+
+// Report is the outcome of one software-baseline estimate.
+type Report struct {
+	CPU         CPU
+	InputBytes  int64
+	OutputBytes int64
+	Cycles      float64
+	Stats       lzss.Stats
+}
+
+// ThroughputMBps is the modeled software compression speed.
+func (r Report) ThroughputMBps() float64 {
+	if r.Cycles == 0 {
+		return 0
+	}
+	return float64(r.InputBytes) * r.CPU.ClockHz / r.Cycles / 1e6
+}
+
+// Ratio is input/output size.
+func (r Report) Ratio() float64 {
+	if r.OutputBytes == 0 {
+		return 0
+	}
+	return float64(r.InputBytes) / float64(r.OutputBytes)
+}
+
+// CyclesPerByte is the modeled CPU cost density.
+func (r Report) CyclesPerByte() float64 {
+	if r.InputBytes == 0 {
+		return 0
+	}
+	return r.Cycles / float64(r.InputBytes)
+}
+
+// EstimateCycles prices an operation ledger.
+func (c CPU) EstimateCycles(s *lzss.Stats, outputBytes int64) float64 {
+	w := c.W
+	return w.PerByte*float64(s.InputBytes) +
+		w.PerHash*float64(s.HashComputes) +
+		w.PerChainStep*float64(s.ChainSteps) +
+		w.PerCompareByte*float64(s.CompareBytes) +
+		w.PerInsert*float64(s.Inserts) +
+		w.PerLiteral*float64(s.Literals) +
+		w.PerMatch*float64(s.Matches) +
+		w.PerOutputByte*float64(outputBytes)
+}
+
+// Compress runs the software LZSS with parameters p, encodes the result
+// with the fixed Huffman table (the same minimum-level output the
+// hardware produces) and returns the priced report. The command stream
+// itself is also returned for verification.
+func Compress(data []byte, p lzss.Params, cpu CPU) (Report, []token.Command, error) {
+	cmds, stats, err := lzss.Compress(data, p)
+	if err != nil {
+		return Report{}, nil, err
+	}
+	z, err := deflate.ZlibCompress(cmds, data, p.Window)
+	if err != nil {
+		return Report{}, nil, err
+	}
+	rep := Report{
+		CPU:         cpu,
+		InputBytes:  int64(len(data)),
+		OutputBytes: int64(len(z)),
+		Stats:       *stats,
+	}
+	rep.Cycles = cpu.EstimateCycles(stats, rep.OutputBytes)
+	return rep, cmds, nil
+}
+
+// MicroBlaze returns a model of a 100 MHz MicroBlaze soft core with
+// caches in block RAM — the CPU a Virtex-5 design without the hard
+// PowerPC would run ZLib on. Slower clock, but tighter memory (LMB/
+// cached BRAM), so the per-operation weights are a little friendlier.
+func MicroBlaze() CPU {
+	return CPU{
+		Name:    "MicroBlaze @ 100 MHz",
+		ClockHz: 100e6,
+		W: Weights{
+			PerByte:        34,
+			PerHash:        9,
+			PerChainStep:   44,
+			PerCompareByte: 6,
+			PerInsert:      14,
+			PerLiteral:     22,
+			PerMatch:       48,
+			PerOutputByte:  8,
+		},
+	}
+}
+
+// InflateWeights price the software decompression loop (the
+// reconfiguration baseline: inflate on the embedded CPU vs the
+// hardware decompressor).
+type InflateWeights struct {
+	// PerSymbol covers one Huffman decode step (table walk + refill).
+	PerSymbol float64
+	// PerCopyByte and PerLiteralByte cover the output writes.
+	PerCopyByte    float64
+	PerLiteralByte float64
+}
+
+// DefaultInflateWeights for the PowerPC 440 class.
+func DefaultInflateWeights() InflateWeights {
+	return InflateWeights{PerSymbol: 28, PerCopyByte: 6, PerLiteralByte: 8}
+}
+
+// EstimateInflateCycles prices decompressing a command stream.
+func (w InflateWeights) EstimateInflateCycles(literals, matches, matchedBytes int64) float64 {
+	return w.PerSymbol*float64(literals+matches) +
+		w.PerLiteralByte*float64(literals) +
+		w.PerCopyByte*float64(matchedBytes)
+}
+
+// InflateThroughputMBps estimates software decompression speed on cpu
+// for a stream with the given composition.
+func InflateThroughputMBps(cpu CPU, w InflateWeights, literals, matches, matchedBytes int64) float64 {
+	cycles := w.EstimateInflateCycles(literals, matches, matchedBytes)
+	if cycles == 0 {
+		return 0
+	}
+	out := float64(literals + matchedBytes)
+	return out * cpu.ClockHz / cycles / 1e6
+}

@@ -1,0 +1,180 @@
+// Package testbench models the paper's evaluation platform: the ML-507
+// development board. A data block arrives from the PC over Ethernet
+// (excluded from timing, as in the paper), is staged in DDR2, and is
+// then compressed twice:
+//
+//   - in "hardware", by streaming it through the cycle-accurate core
+//     model over a LocalLink DMA channel (setup latency + sustained
+//     bandwidth), at the compressor clock;
+//   - in "software", by the ZLib-style reference priced with the
+//     PowerPC 440 cost model.
+//
+// Compression time includes the DMA setup but excludes the Ethernet
+// transfer, mirroring Table I's methodology.
+package testbench
+
+import (
+	"fmt"
+
+	"lzssfpga/internal/core"
+	"lzssfpga/internal/ddr2"
+	"lzssfpga/internal/etherlink"
+	"lzssfpga/internal/stream"
+	"lzssfpga/internal/swmodel"
+	"lzssfpga/internal/token"
+	"lzssfpga/internal/workload"
+)
+
+// Board ties the platform parameters together.
+type Board struct {
+	// Name of the platform.
+	Name string
+	// HW is the compressor configuration loaded into the FPGA fabric.
+	HW core.Config
+	// CPU is the software-baseline processor model.
+	CPU swmodel.CPU
+	// DMASetupCycles is the one-time descriptor setup cost per transfer
+	// (charged on the source side, included in compression time).
+	DMASetupCycles int64
+	// DMABytesPerCycle is the sustained LocalLink bandwidth in each
+	// direction (32-bit interface at the compressor clock = 4).
+	DMABytesPerCycle float64
+	// Mem is the DDR2 subsystem the data is staged in; the effective
+	// source rate is min(link, memory).
+	Mem ddr2.Timing
+}
+
+// ML507 returns the paper's test system: XC5VFX70T with the compressor
+// at 100 MHz and ZLib on the 400 MHz PowerPC 440.
+func ML507() Board {
+	return Board{
+		Name:             "ML-507 (XC5VFX70T)",
+		HW:               core.DefaultConfig(),
+		CPU:              swmodel.PPC440(),
+		DMASetupCycles:   5000, // 50 µs at 100 MHz: descriptor setup + cache flush
+		DMABytesPerCycle: 4,
+		Mem:              ddr2.ML507(),
+	}
+}
+
+// RunResult is one row of a Table I-style comparison.
+type RunResult struct {
+	Corpus string
+	Bytes  int
+	// SWMBps and HWMBps are the modeled compression speeds.
+	SWMBps float64
+	HWMBps float64
+	// Speedup = HW / SW.
+	Speedup float64
+	// Ratio is the compression ratio (identical for both by
+	// construction: same parameters, same algorithm).
+	Ratio float64
+	// HWStats is the hardware cycle ledger.
+	HWStats core.CycleStats
+}
+
+// Run compresses data on both paths and cross-checks that they produce
+// the identical stream (the paper's verification methodology).
+func (b Board) Run(corpus string, data []byte) (RunResult, error) {
+	comp, err := core.New(b.HW)
+	if err != nil {
+		return RunResult{}, err
+	}
+	src := &ddr2.DMAChannel{
+		Mem:               b.Mem,
+		SetupCycles:       b.DMASetupCycles,
+		ConsumerClockHz:   b.HW.ClockHz,
+		LinkBytesPerCycle: b.DMABytesPerCycle,
+		Total:             len(data),
+	}
+	if err := src.Validate(); err != nil {
+		return RunResult{}, err
+	}
+	sink := &stream.PacedSink{BytesPerCycle: b.DMABytesPerCycle}
+	hw, err := comp.CompressStream(data, src, sink)
+	if err != nil {
+		return RunResult{}, err
+	}
+	sw, swCmds, err := swmodel.Compress(data, b.HW.Match, b.CPU)
+	if err != nil {
+		return RunResult{}, err
+	}
+	if !token.Equal(hw.Commands, swCmds) {
+		return RunResult{}, fmt.Errorf("testbench: hardware and software streams diverge at command %d", token.FirstDiff(hw.Commands, swCmds))
+	}
+	hwMBps := hw.Stats.ThroughputMBps(b.HW.ClockHz)
+	swMBps := sw.ThroughputMBps()
+	return RunResult{
+		Corpus:  corpus,
+		Bytes:   len(data),
+		SWMBps:  swMBps,
+		HWMBps:  hwMBps,
+		Speedup: hwMBps / swMBps,
+		Ratio:   hw.Stats.Ratio(),
+		HWStats: hw.Stats,
+	}, nil
+}
+
+// TableI reproduces the paper's performance evaluation: Wiki and X2E
+// fragments at two sizes each. sizeLarge/sizeSmall default to the
+// paper's 50 MB and 10 MB when zero (callers with less patience — e.g.
+// tests — pass smaller sizes; the rows scale because the model's
+// per-byte behaviour is size-independent beyond the DMA setup).
+func TableI(b Board, sizeLarge, sizeSmall int) ([]RunResult, error) {
+	if sizeLarge == 0 {
+		sizeLarge = 50 << 20
+	}
+	if sizeSmall == 0 {
+		sizeSmall = 10 << 20
+	}
+	rows := make([]RunResult, 0, 4)
+	for _, c := range []struct {
+		name string
+		gen  workload.Generator
+	}{{"Wiki", workload.Wiki}, {"X2E", workload.CAN}} {
+		for _, size := range []int{sizeLarge, sizeSmall} {
+			res, err := b.Run(fmt.Sprintf("%s %dMB", c.name, size>>20), c.gen(size, 1))
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, res)
+		}
+	}
+	return rows, nil
+}
+
+// FullRunResult extends RunResult with the staging path the paper
+// excludes from compression timing: the Ethernet transfer in and the
+// compressed result's transfer back.
+type FullRunResult struct {
+	RunResult
+	// EthernetInSeconds / EthernetOutSeconds are the staging transfers.
+	EthernetInSeconds  float64
+	EthernetOutSeconds float64
+	// CompressionSeconds is the timed portion (DMA setup included).
+	CompressionSeconds float64
+}
+
+// RunFull models the complete testbench loop of the paper's §V: the PC
+// sends the block over Ethernet (segmented, FCS-checked, reassembled
+// into DDR2), the board compresses it, and the result goes back. Only
+// CompressionSeconds corresponds to the timings in Table I.
+func (b Board) RunFull(corpus string, data []byte, link etherlink.Link) (FullRunResult, error) {
+	// Stage in: segment, "transmit", verify, reassemble.
+	staged, err := etherlink.Reassemble(etherlink.Segment(data), len(data))
+	if err != nil {
+		return FullRunResult{}, fmt.Errorf("testbench: staging failed: %v", err)
+	}
+	res, err := b.Run(corpus, staged)
+	if err != nil {
+		return FullRunResult{}, err
+	}
+	out := FullRunResult{
+		RunResult:          res,
+		EthernetInSeconds:  link.TransferSeconds(data),
+		CompressionSeconds: float64(res.HWStats.TotalCycles()) / b.HW.ClockHz,
+	}
+	compressed := make([]byte, res.HWStats.OutputBytes)
+	out.EthernetOutSeconds = link.TransferSeconds(compressed)
+	return out, nil
+}

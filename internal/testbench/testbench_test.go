@@ -1,0 +1,160 @@
+package testbench
+
+import (
+	"testing"
+
+	"lzssfpga/internal/etherlink"
+	"lzssfpga/internal/workload"
+)
+
+func TestTableIShape(t *testing.T) {
+	// Scaled-down Table I: the relationships the paper reports must
+	// hold — 15-20x speedup neighbourhood, ratio ≈1.68-1.70, and
+	// near-identical speeds between the two fragment sizes.
+	rows, err := TableI(ML507(), 2<<20, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("Table I has 4 rows, got %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.Speedup < 10 || r.Speedup > 28 {
+			t.Errorf("%s: speedup %.1fx outside the paper's 15-20x neighbourhood", r.Corpus, r.Speedup)
+		}
+		if r.Ratio < 1.3 || r.Ratio > 2.2 {
+			t.Errorf("%s: ratio %.2f far from the paper's ~1.7", r.Corpus, r.Ratio)
+		}
+		if r.HWMBps < 30 || r.HWMBps > 90 {
+			t.Errorf("%s: HW speed %.1f MB/s far from the paper's ~49", r.Corpus, r.HWMBps)
+		}
+		if r.SWMBps < 1.5 || r.SWMBps > 5 {
+			t.Errorf("%s: SW speed %.2f MB/s far from the paper's ~3", r.Corpus, r.SWMBps)
+		}
+	}
+	// Larger fragments amortize DMA setup: the big run can't be slower.
+	if rows[0].HWMBps < rows[1].HWMBps*0.99 {
+		t.Errorf("wiki large %.2f MB/s slower than small %.2f", rows[0].HWMBps, rows[1].HWMBps)
+	}
+}
+
+func TestDMASetupAmortization(t *testing.T) {
+	b := ML507()
+	b.DMASetupCycles = 2_000_000 // exaggerate so the effect is visible
+	small, err := b.Run("wiki", workload.Wiki(1<<20, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := b.Run("wiki", workload.Wiki(4<<20, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if big.HWMBps <= small.HWMBps {
+		t.Fatalf("setup not amortized: %d bytes at %.2f MB/s vs %d at %.2f",
+			big.Bytes, big.HWMBps, small.Bytes, small.HWMBps)
+	}
+}
+
+func TestRunCrossChecksStreams(t *testing.T) {
+	// Run must fail loudly if HW and SW diverge; with a consistent
+	// board they never do — this exercises the happy path and the
+	// bookkeeping.
+	res, err := ML507().Run("x2e", workload.CAN(500_000, 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.HWStats.InputBytes != 500_000 {
+		t.Fatalf("input bytes %d", res.HWStats.InputBytes)
+	}
+	if res.Speedup <= 1 {
+		t.Fatalf("hardware not faster than software: %.2f", res.Speedup)
+	}
+}
+
+func TestBoardRejectsBadConfig(t *testing.T) {
+	b := ML507()
+	b.HW.Match.Window = 12345
+	if _, err := b.Run("wiki", []byte("hello")); err == nil {
+		t.Fatal("invalid board config accepted")
+	}
+}
+
+func TestDMABandwidthLimitsThroughput(t *testing.T) {
+	// If the DMA can only deliver 0.1 B/cycle, the compressor cannot
+	// exceed 10 MB/s at 100 MHz no matter what.
+	b := ML507()
+	b.DMABytesPerCycle = 0.1
+	res, err := b.Run("wiki", workload.Wiki(1<<20, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.HWMBps > 10.5 {
+		t.Fatalf("throughput %.1f MB/s exceeds the 10 MB/s DMA ceiling", res.HWMBps)
+	}
+	if res.HWStats.SourceStallCycles == 0 {
+		t.Fatal("no source stalls under a starved DMA")
+	}
+}
+
+func TestDDR2IsNotTheBottleneck(t *testing.T) {
+	// The staged DDR2 sustains ~3 GB/s sequentially; a 32-bit LocalLink
+	// at 100 MHz caps at 400 MB/s; the compressor consumes ~25 MB/s.
+	// The memory system must therefore leave no trace in the cycle
+	// ledger beyond the setup latency.
+	b := ML507()
+	res, err := b.Run("wiki", workload.Wiki(1<<20, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	stallShare := float64(res.HWStats.SourceStallCycles) / float64(res.HWStats.TotalCycles())
+	if stallShare > 0.02 {
+		t.Fatalf("source stalls %.1f%% of cycles — DDR2/DMA should not throttle the compressor", 100*stallShare)
+	}
+}
+
+func TestSlowMemoryThrottles(t *testing.T) {
+	b := ML507()
+	b.Mem.ClockHz = 2e6 // 2 MHz memory: ~32 MB/s sustained
+	res, err := b.Run("wiki", workload.Wiki(1<<20, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.HWStats.SourceStallCycles == 0 {
+		t.Fatal("crippled memory produced no stalls")
+	}
+	fast := ML507()
+	fres, err := fast.Run("wiki", workload.Wiki(1<<20, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.HWMBps >= fres.HWMBps {
+		t.Fatalf("slow memory %.1f MB/s not slower than fast %.1f", res.HWMBps, fres.HWMBps)
+	}
+}
+
+func TestRunFullSeparatesStagingFromCompression(t *testing.T) {
+	b := ML507()
+	data := workload.Wiki(2<<20, 6)
+	res, err := b.RunFull("wiki", data, etherlink.ML507Link())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.EthernetInSeconds <= 0 || res.CompressionSeconds <= 0 {
+		t.Fatalf("timings not populated: %+v", res)
+	}
+	// Gigabit moves ~118 MB/s; the compressor ~49 MB/s: staging in is
+	// faster than compressing, and the compressed result goes back even
+	// faster.
+	if res.EthernetInSeconds >= res.CompressionSeconds {
+		t.Fatalf("staging (%.3fs) should beat compression (%.3fs) at 1 GbE",
+			res.EthernetInSeconds, res.CompressionSeconds)
+	}
+	if res.EthernetOutSeconds >= res.EthernetInSeconds {
+		t.Fatal("compressed result should transfer faster than the original")
+	}
+	// The timed portion must reproduce the HW MB/s of the plain Run.
+	mbps := float64(res.Bytes) / res.CompressionSeconds / 1e6
+	if diff := mbps/res.HWMBps - 1; diff > 0.01 || diff < -0.01 {
+		t.Fatalf("CompressionSeconds inconsistent with HWMBps: %.2f vs %.2f", mbps, res.HWMBps)
+	}
+}

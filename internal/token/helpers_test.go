@@ -1,0 +1,10 @@
+package token
+
+import (
+	"bytes"
+
+	"lzssfpga/internal/bitio"
+)
+
+func newBW(buf *bytes.Buffer) *bitio.Writer { return bitio.NewWriter(buf) }
+func newBR(buf *bytes.Buffer) *bitio.Reader { return bitio.NewReader(buf) }

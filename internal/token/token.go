@@ -1,0 +1,215 @@
+// Package token defines the LZSS decompressor-command stream that flows
+// between the LZSS matching stage and the Huffman encoder.
+//
+// The format follows section III of the paper: every command has two
+// fields, D and L. If D == 0 the command means "output one literal" and
+// L holds the literal byte. Otherwise the command means "copy L+MinMatch
+// bytes from D bytes back" (L stores length-MinMatch so that the full
+// 3..258 Deflate length range fits in 8 bits).
+package token
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Matching limits shared by the software reference and hardware model.
+// These are the ZLib/Deflate constants the paper builds on.
+const (
+	// MinMatch is the shortest copy command worth emitting; shorter
+	// repeats are emitted as literals (paper §III).
+	MinMatch = 3
+	// MaxMatch is the longest copy a single command can express
+	// (Deflate's limit, and the reason L = length-3 fits in 8 bits).
+	MaxMatch = 258
+	// MaxDistance is the largest dictionary the format can address
+	// (Deflate's 32 KB window). Hardware configs may use less.
+	MaxDistance = 32768
+)
+
+// Kind discriminates the two command types.
+type Kind uint8
+
+const (
+	// Literal outputs one byte.
+	Literal Kind = iota
+	// Match copies Length bytes from Distance bytes back.
+	Match
+)
+
+// Command is a single LZSS decompressor command.
+type Command struct {
+	// K is the command type.
+	K Kind
+	// Lit is the literal byte (valid when K == Literal).
+	Lit byte
+	// Distance in [1, MaxDistance] (valid when K == Match).
+	Distance int
+	// Length in [MinMatch, MaxMatch] (valid when K == Match).
+	Length int
+}
+
+// Lit returns a literal command.
+func Lit(b byte) Command { return Command{K: Literal, Lit: b} }
+
+// Copy returns a match command.
+func Copy(distance, length int) Command {
+	return Command{K: Match, Distance: distance, Length: length}
+}
+
+// String renders the command in a compact human-readable form.
+func (c Command) String() string {
+	if c.K == Literal {
+		return fmt.Sprintf("lit(%q)", string(rune(c.Lit)))
+	}
+	return fmt.Sprintf("copy(d=%d,l=%d)", c.Distance, c.Length)
+}
+
+// Validate checks that the command fields are inside format limits.
+func (c Command) Validate() error {
+	switch c.K {
+	case Literal:
+		return nil
+	case Match:
+		if c.Distance < 1 || c.Distance > MaxDistance {
+			return fmt.Errorf("token: distance %d out of [1,%d]", c.Distance, MaxDistance)
+		}
+		if c.Length < MinMatch || c.Length > MaxMatch {
+			return fmt.Errorf("token: length %d out of [%d,%d]", c.Length, MinMatch, MaxMatch)
+		}
+		return nil
+	default:
+		return fmt.Errorf("token: unknown kind %d", c.K)
+	}
+}
+
+// SrcLen reports how many source-stream bytes the command consumes.
+func (c Command) SrcLen() int {
+	if c.K == Literal {
+		return 1
+	}
+	return c.Length
+}
+
+// ErrStream indicates a command stream violating LZSS invariants.
+var ErrStream = errors.New("token: invalid command stream")
+
+// StreamLen sums SrcLen over cmds.
+func StreamLen(cmds []Command) int {
+	n := 0
+	for _, c := range cmds {
+		n += c.SrcLen()
+	}
+	return n
+}
+
+// ValidateStream checks every command and, crucially, the sliding-window
+// invariant: a match may only reach back over bytes that have already
+// been produced, and no further than window bytes.
+func ValidateStream(cmds []Command, window int) error {
+	produced := 0
+	for i, c := range cmds {
+		if err := c.Validate(); err != nil {
+			return fmt.Errorf("%w: cmd %d: %v", ErrStream, i, err)
+		}
+		if c.K == Match {
+			if c.Distance > produced {
+				return fmt.Errorf("%w: cmd %d: distance %d exceeds produced %d", ErrStream, i, c.Distance, produced)
+			}
+			if window > 0 && c.Distance > window {
+				return fmt.Errorf("%w: cmd %d: distance %d exceeds window %d", ErrStream, i, c.Distance, window)
+			}
+		}
+		produced += c.SrcLen()
+	}
+	return nil
+}
+
+// Expand replays a command stream into the byte sequence it encodes.
+// It is the canonical LZSS decompressor used to verify both the software
+// and the hardware compressor. Overlapping copies (distance < length)
+// replicate bytes exactly as a byte-at-a-time decompressor would.
+func Expand(cmds []Command) ([]byte, error) {
+	out := make([]byte, 0, StreamLen(cmds))
+	for i, c := range cmds {
+		switch c.K {
+		case Literal:
+			out = append(out, c.Lit)
+		case Match:
+			if err := c.Validate(); err != nil {
+				return nil, fmt.Errorf("%w: cmd %d: %v", ErrStream, i, err)
+			}
+			if c.Distance > len(out) {
+				return nil, fmt.Errorf("%w: cmd %d: distance %d exceeds produced %d", ErrStream, i, c.Distance, len(out))
+			}
+			src := len(out) - c.Distance
+			for j := 0; j < c.Length; j++ {
+				out = append(out, out[src+j])
+			}
+		default:
+			return nil, fmt.Errorf("%w: cmd %d: unknown kind", ErrStream, i)
+		}
+	}
+	return out, nil
+}
+
+// Equal reports whether two command streams are identical. Used by the
+// differential test between the software reference and the hardware
+// model (the paper's ">1 TB verified against the software model").
+func Equal(a, b []Command) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// FirstDiff returns the index of the first differing command, or -1 if
+// the streams are equal. Handy in test failure messages.
+func FirstDiff(a, b []Command) int {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			return i
+		}
+	}
+	if len(a) != len(b) {
+		return n
+	}
+	return -1
+}
+
+// ExpandWithHistory replays a command stream whose matches may reach
+// back into a preset dictionary (history). Only the produced bytes are
+// returned.
+func ExpandWithHistory(history []byte, cmds []Command) ([]byte, error) {
+	out := make([]byte, len(history), len(history)+StreamLen(cmds))
+	copy(out, history)
+	for i, c := range cmds {
+		switch c.K {
+		case Literal:
+			out = append(out, c.Lit)
+		case Match:
+			if err := c.Validate(); err != nil {
+				return nil, fmt.Errorf("%w: cmd %d: %v", ErrStream, i, err)
+			}
+			if c.Distance > len(out) {
+				return nil, fmt.Errorf("%w: cmd %d: distance %d exceeds history+produced %d", ErrStream, i, c.Distance, len(out))
+			}
+			src := len(out) - c.Distance
+			for j := 0; j < c.Length; j++ {
+				out = append(out, out[src+j])
+			}
+		default:
+			return nil, fmt.Errorf("%w: cmd %d: unknown kind", ErrStream, i)
+		}
+	}
+	return out[len(history):], nil
+}

@@ -1,0 +1,125 @@
+// Package vcd writes Value Change Dump files (IEEE 1364 §18), the
+// waveform format FPGA tools and GTKWave consume. The core model uses
+// it to dump its FSM activity so a modeled compression run can be
+// inspected exactly like a simulation of the real RTL.
+package vcd
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+	"time"
+)
+
+// Var is a declared signal.
+type Var struct {
+	id   string
+	bits int
+	last uint64
+	set  bool
+}
+
+// Writer emits a single-scope VCD file. Declare variables, call
+// EndHeader, then Set values at non-decreasing timestamps.
+type Writer struct {
+	w        *bufio.Writer
+	scope    string
+	headerOK bool
+	vars     []*Var
+	curTime  int64
+	timeSet  bool
+	err      error
+}
+
+// NewWriter starts a VCD document. timescale is e.g. "10ns" (one 100 MHz
+// cycle); scope names the module.
+func NewWriter(w io.Writer, scope, timescale string) *Writer {
+	vw := &Writer{w: bufio.NewWriter(w), scope: scope}
+	fmt.Fprintf(vw.w, "$date %s $end\n", time.Unix(0, 0).UTC().Format("2006-01-02"))
+	fmt.Fprintf(vw.w, "$version lzssfpga cycle model $end\n")
+	fmt.Fprintf(vw.w, "$timescale %s $end\n", timescale)
+	fmt.Fprintf(vw.w, "$scope module %s $end\n", scope)
+	return vw
+}
+
+// identifier characters per the VCD spec (printable ASCII 33..126).
+func ident(n int) string {
+	const alpha = "!\"#$%&'()*+,-./0123456789:;<=>?@ABCDEFGHIJKLMNOPQRSTUVWXYZ"
+	var b strings.Builder
+	for {
+		b.WriteByte(alpha[n%len(alpha)])
+		n /= len(alpha)
+		if n == 0 {
+			return b.String()
+		}
+	}
+}
+
+// DeclareVar registers a signal of the given bit width. Must precede
+// EndHeader.
+func (vw *Writer) DeclareVar(name string, bits int) *Var {
+	if vw.headerOK {
+		panic("vcd: DeclareVar after EndHeader")
+	}
+	if bits < 1 || bits > 64 {
+		panic("vcd: width out of [1,64]")
+	}
+	v := &Var{id: ident(len(vw.vars)), bits: bits}
+	vw.vars = append(vw.vars, v)
+	fmt.Fprintf(vw.w, "$var wire %d %s %s $end\n", bits, v.id, name)
+	return v
+}
+
+// EndHeader closes the declaration section.
+func (vw *Writer) EndHeader() {
+	if vw.headerOK {
+		return
+	}
+	vw.headerOK = true
+	fmt.Fprintf(vw.w, "$upscope $end\n$enddefinitions $end\n$dumpvars\n")
+	for _, v := range vw.vars {
+		vw.emit(v, 0)
+		v.set = true
+		v.last = 0
+	}
+	fmt.Fprintf(vw.w, "$end\n")
+}
+
+// Set records that v takes value at time t (cycles). Unchanged values
+// are elided; time must not decrease.
+func (vw *Writer) Set(t int64, v *Var, value uint64) {
+	if !vw.headerOK {
+		panic("vcd: Set before EndHeader")
+	}
+	if v.set && v.last == value {
+		return
+	}
+	if !vw.timeSet || t != vw.curTime {
+		if vw.timeSet && t < vw.curTime {
+			panic(fmt.Sprintf("vcd: time moved backwards (%d -> %d)", vw.curTime, t))
+		}
+		fmt.Fprintf(vw.w, "#%d\n", t)
+		vw.curTime = t
+		vw.timeSet = true
+	}
+	vw.emit(v, value)
+	v.last = value
+	v.set = true
+}
+
+func (vw *Writer) emit(v *Var, value uint64) {
+	if v.bits == 1 {
+		fmt.Fprintf(vw.w, "%d%s\n", value&1, v.id)
+		return
+	}
+	fmt.Fprintf(vw.w, "b%b %s\n", value, v.id)
+}
+
+// Close flushes the document.
+func (vw *Writer) Close() error {
+	if err := vw.w.Flush(); err != nil {
+		return err
+	}
+	return vw.err
+}

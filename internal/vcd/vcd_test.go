@@ -1,0 +1,156 @@
+package vcd
+
+import (
+	"bufio"
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestHeaderStructure(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf, "lzss", "10ns")
+	w.DeclareVar("state", 3)
+	w.DeclareVar("busy", 1)
+	w.EndHeader()
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"$timescale 10ns $end",
+		"$scope module lzss $end",
+		"$var wire 3 ! state $end",
+		`$var wire 1 " busy $end`,
+		"$enddefinitions $end",
+		"$dumpvars",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestValueChanges(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf, "m", "10ns")
+	st := w.DeclareVar("state", 3)
+	w.EndHeader()
+	w.Set(5, st, 2)
+	w.Set(9, st, 2) // unchanged: elided
+	w.Set(12, st, 7)
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "#5\nb10 !") {
+		t.Fatalf("missing change at t=5:\n%s", out)
+	}
+	if strings.Contains(out, "#9") {
+		t.Fatal("elided change emitted a timestamp")
+	}
+	if !strings.Contains(out, "#12\nb111 !") {
+		t.Fatalf("missing change at t=12:\n%s", out)
+	}
+}
+
+func TestScalarFormat(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf, "m", "1ns")
+	b := w.DeclareVar("bit", 1)
+	w.EndHeader()
+	w.Set(1, b, 1)
+	w.Close()
+	if !strings.Contains(buf.String(), "#1\n1!") {
+		t.Fatalf("scalar change format wrong:\n%s", buf.String())
+	}
+}
+
+func TestTimeMonotonicityEnforced(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf, "m", "1ns")
+	v := w.DeclareVar("x", 4)
+	w.EndHeader()
+	w.Set(10, v, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("backwards time must panic")
+		}
+	}()
+	w.Set(5, v, 2)
+}
+
+func TestDeclareAfterHeaderPanics(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf, "m", "1ns")
+	w.EndHeader()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("late declaration must panic")
+		}
+	}()
+	w.DeclareVar("x", 1)
+}
+
+func TestIdentUnique(t *testing.T) {
+	seen := map[string]bool{}
+	for i := 0; i < 5000; i++ {
+		id := ident(i)
+		if seen[id] {
+			t.Fatalf("duplicate identifier %q at %d", id, i)
+		}
+		seen[id] = true
+		for _, c := range []byte(id) {
+			if c < 33 || c > 126 {
+				t.Fatalf("identifier %q has invalid char %d", id, c)
+			}
+		}
+	}
+}
+
+func TestSameTimestampSharedLine(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf, "m", "1ns")
+	a := w.DeclareVar("a", 2)
+	b := w.DeclareVar("b", 2)
+	w.EndHeader()
+	w.Set(3, a, 1)
+	w.Set(3, b, 2)
+	w.Close()
+	// Only one "#3" marker for both changes.
+	count := strings.Count(buf.String(), "#3\n")
+	if count != 1 {
+		t.Fatalf("timestamp #3 emitted %d times", count)
+	}
+}
+
+func TestOutputParsesLinewise(t *testing.T) {
+	// Sanity: every line is either a directive, a timestamp, or a value
+	// change in valid syntax.
+	var buf bytes.Buffer
+	w := NewWriter(&buf, "m", "10ns")
+	v := w.DeclareVar("v", 8)
+	s := w.DeclareVar("s", 1)
+	w.EndHeader()
+	for i := int64(0); i < 50; i++ {
+		w.Set(i*2, v, uint64(i*7%256))
+		w.Set(i*2, s, uint64(i&1))
+	}
+	w.Close()
+	sc := bufio.NewScanner(&buf)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case line == "":
+		case strings.HasPrefix(line, "$"):
+		case strings.HasPrefix(line, "#"):
+		case line[0] == '0' || line[0] == '1':
+		case line[0] == 'b':
+			if !strings.Contains(line, " ") {
+				t.Fatalf("vector change without identifier: %q", line)
+			}
+		default:
+			t.Fatalf("unparseable line %q", line)
+		}
+	}
+}

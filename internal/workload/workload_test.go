@@ -1,0 +1,181 @@
+package workload
+
+import (
+	"bytes"
+	"testing"
+
+	"lzssfpga/internal/deflate"
+	"lzssfpga/internal/lzss"
+)
+
+func ratioAt(t *testing.T, data []byte, p lzss.Params) float64 {
+	t.Helper()
+	cmds, _, err := lzss.Compress(data, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	z, err := deflate.ZlibCompress(cmds, data, p.Window)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return float64(len(data)) / float64(len(z))
+}
+
+func TestGeneratorsDeterministic(t *testing.T) {
+	for name, g := range map[string]Generator{"wiki": Wiki, "can": CAN, "random": Random} {
+		a := g(50000, 42)
+		b := g(50000, 42)
+		if !bytes.Equal(a, b) {
+			t.Errorf("%s: not deterministic", name)
+		}
+		c := g(50000, 43)
+		if bytes.Equal(a, c) {
+			t.Errorf("%s: seed ignored", name)
+		}
+	}
+}
+
+func TestGeneratorsExactSize(t *testing.T) {
+	for name, g := range map[string]Generator{"wiki": Wiki, "can": CAN, "random": Random, "zeros": Zeros} {
+		for _, n := range []int{0, 1, 15, 16, 17, 1000, 123457} {
+			if got := len(g(n, 1)); got != n {
+				t.Errorf("%s(%d) returned %d bytes", name, n, got)
+			}
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"wiki", "Wiki", "x2e", "X2E", "can", "random", "zeros"} {
+		if _, err := ByName(name); err != nil {
+			t.Errorf("ByName(%q): %v", name, err)
+		}
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Error("unknown corpus accepted")
+	}
+}
+
+func TestWikiLooksLikeText(t *testing.T) {
+	data := Wiki(100000, 7)
+	var printable, spaces int
+	for _, b := range data {
+		if b >= 32 && b < 127 || b == '\n' {
+			printable++
+		}
+		if b == ' ' {
+			spaces++
+		}
+	}
+	if float64(printable)/float64(len(data)) < 0.98 {
+		t.Fatalf("wiki text only %.1f%% printable", 100*float64(printable)/float64(len(data)))
+	}
+	if spaces < len(data)/12 {
+		t.Fatalf("wiki text has too few spaces (%d in %d)", spaces, len(data))
+	}
+	if !bytes.Contains(data, []byte("==")) {
+		t.Fatal("wiki text has no headings")
+	}
+}
+
+func TestWikiRatioNearPaper(t *testing.T) {
+	// The paper's Table I reports ratio ≈1.68-1.69 for Wiki with the
+	// speed-optimized hardware parameters (4KB dict, 15-bit hash, fixed
+	// Huffman). The synthetic corpus must land in that neighbourhood.
+	data := Wiki(1<<20, 11)
+	r := ratioAt(t, data, lzss.HWSpeedParams())
+	if r < 1.35 || r > 2.1 {
+		t.Fatalf("wiki ratio %.3f too far from the paper's ~1.68", r)
+	}
+}
+
+func TestCANRatioNearPaper(t *testing.T) {
+	// Paper Table I: X2E ratio ≈ 1.7 at the same settings.
+	data := CAN(1<<20, 11)
+	r := ratioAt(t, data, lzss.HWSpeedParams())
+	if r < 1.3 || r > 2.6 {
+		t.Fatalf("CAN ratio %.3f too far from the paper's ~1.7", r)
+	}
+}
+
+func TestCANRecordStructure(t *testing.T) {
+	data := CAN(16*1000, 3)
+	if len(data)%16 != 0 {
+		t.Fatalf("length %d not a multiple of the 16-byte record", len(data))
+	}
+	// Timestamps must be non-decreasing (u32 little endian at offset 0).
+	var prev uint32
+	for i := 0; i+16 <= len(data); i += 16 {
+		ts := uint32(data[i]) | uint32(data[i+1])<<8 | uint32(data[i+2])<<16 | uint32(data[i+3])<<24
+		if ts < prev {
+			t.Fatalf("timestamp regression at record %d: %d < %d", i/16, ts, prev)
+		}
+		prev = ts
+		dlc := data[i+6]
+		if dlc != 8 {
+			t.Fatalf("record %d: dlc %d", i/16, dlc)
+		}
+	}
+}
+
+func TestRandomIsIncompressible(t *testing.T) {
+	data := Random(1<<18, 5)
+	r := ratioAt(t, data, lzss.HWSpeedParams())
+	if r > 1.02 {
+		t.Fatalf("random corpus compressed %.3fx", r)
+	}
+}
+
+func TestZerosHighlyCompressible(t *testing.T) {
+	data := Zeros(1<<18, 0)
+	r := ratioAt(t, data, lzss.HWSpeedParams())
+	if r < 50 {
+		t.Fatalf("zero corpus ratio only %.1f", r)
+	}
+}
+
+func TestLargerDictImprovesWikiRatio(t *testing.T) {
+	// The premise of Fig 2: bigger dictionaries help on Wiki text.
+	data := Wiki(1<<20, 13)
+	small := lzss.Params{Window: 1024, HashBits: 15, MaxChain: 4, Nice: 8, InsertLimit: 4}
+	big := lzss.Params{Window: 16384, HashBits: 15, MaxChain: 4, Nice: 8, InsertLimit: 4}
+	rs := ratioAt(t, data, small)
+	rb := ratioAt(t, data, big)
+	if rb <= rs {
+		t.Fatalf("16K window ratio %.3f not better than 1K %.3f", rb, rs)
+	}
+}
+
+func BenchmarkWiki1M(b *testing.B) {
+	b.SetBytes(1 << 20)
+	for i := 0; i < b.N; i++ {
+		Wiki(1<<20, int64(i))
+	}
+}
+
+func BenchmarkCAN1M(b *testing.B) {
+	b.SetBytes(1 << 20)
+	for i := 0; i < b.N; i++ {
+		CAN(1<<20, int64(i))
+	}
+}
+
+func TestBitstreamCompressible(t *testing.T) {
+	data := Bitstream(1<<20, 2)
+	r := ratioAt(t, data, lzss.HWSpeedParams())
+	if r < 1.5 {
+		t.Fatalf("bitstream ratio %.2f — config frames should compress well", r)
+	}
+	if len(data) != 1<<20 {
+		t.Fatal("size wrong")
+	}
+	if !bytes.Equal(Bitstream(10000, 3), Bitstream(10000, 3)) {
+		t.Fatal("not deterministic")
+	}
+}
+
+func TestBitstreamByName(t *testing.T) {
+	if _, err := ByName("bitstream"); err != nil {
+		t.Fatal(err)
+	}
+}

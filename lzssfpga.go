@@ -1,0 +1,186 @@
+// Package lzssfpga is a faithful software reproduction of
+// "A High-Performance FPGA-Based Implementation of the LZSS Compression
+// Algorithm" (Shcherbakov, Weis, Wehn — IPDPS Workshops 2012).
+//
+// It bundles three things behind one API:
+//
+//   - a software LZSS + fixed-Huffman Deflate compressor producing
+//     ZLib-compatible streams (Compress / Decompress);
+//   - a cycle-accurate model of the paper's hardware architecture
+//     (SimulateHardware), which emits the identical stream and a
+//     per-state clock-cycle ledger;
+//   - the design-space estimation machinery: FPGA resource prediction
+//     (EstimateResources) and the testbench that reproduces the paper's
+//     evaluation (see internal/estimator, internal/testbench and
+//     cmd/lzssbench).
+package lzssfpga
+
+import (
+	"io"
+
+	"lzssfpga/internal/core"
+	"lzssfpga/internal/deflate"
+	"lzssfpga/internal/fpga"
+	"lzssfpga/internal/lzss"
+	"lzssfpga/internal/token"
+)
+
+// Params are the LZSS matching parameters (window, hash, chain limits).
+type Params = lzss.Params
+
+// Level selects a software compression preset.
+type Level = lzss.Level
+
+// Software compression levels, mirroring ZLib's.
+const (
+	LevelMin     = lzss.LevelMin
+	LevelDefault = lzss.LevelDefault
+	LevelMax     = lzss.LevelMax
+)
+
+// LevelParams returns the matching parameters of a preset level.
+func LevelParams(level Level, window int, hashBits uint) Params {
+	return lzss.LevelParams(level, window, hashBits)
+}
+
+// HWSpeedParams is the paper's speed-optimized setting (Table I):
+// 4 KB dictionary, 15-bit hash, greedy matching.
+func HWSpeedParams() Params { return lzss.HWSpeedParams() }
+
+// Command is one LZSS decompressor command (literal or copy).
+type Command = token.Command
+
+// Compress runs the software LZSS with parameters p and returns a
+// ZLib stream (RFC 1950, fixed-Huffman Deflate body) — the exact format
+// the paper's hardware emits.
+func Compress(data []byte, p Params) ([]byte, error) {
+	cmds, _, err := lzss.Compress(data, p)
+	if err != nil {
+		return nil, err
+	}
+	return deflate.ZlibCompress(cmds, data, p.Window)
+}
+
+// CompressCommands exposes the intermediate LZSS command stream.
+func CompressCommands(data []byte, p Params) ([]Command, error) {
+	cmds, _, err := lzss.Compress(data, p)
+	return cmds, err
+}
+
+// Decompress decodes a ZLib stream (any Deflate block types, ours or a
+// third party's) and verifies its Adler-32 checksum.
+func Decompress(z []byte) ([]byte, error) {
+	return deflate.ZlibDecompress(z)
+}
+
+// CompressBest is Compress with per-block format selection (stored /
+// fixed / dynamic Huffman, whichever is smallest) — the ratio upgrade
+// path the paper attributes to dynamic coders, traded against encoder
+// complexity.
+func CompressBest(data []byte, p Params) ([]byte, error) {
+	cmds, _, err := lzss.Compress(data, p)
+	if err != nil {
+		return nil, err
+	}
+	return deflate.ZlibCompressBest(cmds, data, p.Window)
+}
+
+// StreamWriter is the streaming compressor handle: Write as much as
+// needed, Flush to make everything written so far decodable (ZLib's
+// sync flush), Close to finish the stream.
+type StreamWriter interface {
+	io.WriteCloser
+	Flush() error
+}
+
+// NewWriter returns a streaming zlib compressor writing to w: an
+// incremental LZSS stage with a sliding window feeding per-block
+// fixed/dynamic Huffman coding. Close finishes the stream.
+func NewWriter(w io.Writer, p Params) (StreamWriter, error) {
+	return deflate.NewWriter(w, p)
+}
+
+// NewReader returns a streaming zlib decompressor reading from r. It
+// verifies the Adler-32 trailer before reporting EOF.
+func NewReader(r io.Reader) (io.Reader, error) {
+	return deflate.NewReader(r)
+}
+
+// CompressParallel compresses data on multiple cores, pigz-style:
+// independent segments, deterministic output, standard zlib format.
+// segment 0 selects 256 KiB; workers 0 selects GOMAXPROCS.
+func CompressParallel(data []byte, p Params, segment, workers int) ([]byte, error) {
+	return deflate.ParallelCompress(data, p, segment, workers)
+}
+
+// CompressDict compresses data against a preset dictionary (RFC 1950
+// FDICT): short blocks full of known boilerplate — an embedded logger's
+// records — compress as if the window were already warm. Decode with
+// DecompressDict (or any zlib given the same dictionary).
+func CompressDict(data, dict []byte, p Params) ([]byte, error) {
+	return deflate.ZlibCompressDict(data, dict, p)
+}
+
+// DecompressDict decodes a preset-dictionary zlib stream, verifying the
+// DICTID against dict and the Adler-32 trailer against the output.
+func DecompressDict(z, dict []byte) ([]byte, error) {
+	return deflate.ZlibDecompressDict(z, dict)
+}
+
+// GzipCompress produces an RFC 1952 (.gz) stream; name, if non-empty,
+// is stored as the original file name.
+func GzipCompress(data []byte, p Params, name string) ([]byte, error) {
+	return deflate.GzipCompress(data, p, name)
+}
+
+// GzipDecompress decodes an RFC 1952 stream, verifying CRC-32 and
+// ISIZE, and returns the data and any stored name.
+func GzipDecompress(z []byte) ([]byte, string, error) {
+	return deflate.GzipDecompress(z)
+}
+
+// CompressSplit is CompressBest with adaptive block splitting: the
+// command stream is cut wherever the symbol statistics shift, so mixed
+// data (text then binary then noise) gets a fitting Huffman table per
+// region.
+func CompressSplit(data []byte, p Params) ([]byte, error) {
+	cmds, _, err := lzss.Compress(data, p)
+	if err != nil {
+		return nil, err
+	}
+	return deflate.ZlibCompressSplit(cmds, data, p.Window)
+}
+
+// HWConfig is the hardware configuration: compile-time generics
+// (dictionary size, hash bits, generation bits, head split, bus width)
+// and run-time parameters of the modeled design.
+type HWConfig = core.Config
+
+// HWResult is the outcome of a hardware simulation: the command stream,
+// the ZLib bytes, and the cycle ledger.
+type HWResult = core.Result
+
+// CycleStats is the per-state clock-cycle ledger (Fig 5 categories).
+type CycleStats = core.CycleStats
+
+// DefaultHWConfig returns the paper's Table I configuration.
+func DefaultHWConfig() HWConfig { return core.DefaultConfig() }
+
+// SimulateHardware runs data through the cycle-accurate model of the
+// FPGA compressor and returns the stream plus cycle statistics.
+func SimulateHardware(data []byte, cfg HWConfig) (*HWResult, error) {
+	comp, err := core.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return comp.Compress(data)
+}
+
+// ResourceEstimate is the predicted FPGA cost of a configuration.
+type ResourceEstimate = fpga.Estimate
+
+// EstimateResources predicts LUT/register/block-RAM consumption of a
+// hardware configuration (Table II's quantities).
+func EstimateResources(cfg HWConfig) (ResourceEstimate, error) {
+	return fpga.EstimateConfig(cfg)
+}

@@ -1,0 +1,222 @@
+package lzssfpga
+
+import (
+	"bytes"
+	"compress/zlib"
+	"io"
+	"testing"
+
+	"lzssfpga/internal/workload"
+)
+
+func TestPublicCompressDecompress(t *testing.T) {
+	data := workload.Wiki(200_000, 1)
+	z, err := Compress(data, HWSpeedParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(z) >= len(data) {
+		t.Fatalf("no compression: %d -> %d", len(data), len(z))
+	}
+	out, err := Decompress(z)
+	if err != nil || !bytes.Equal(out, data) {
+		t.Fatalf("round trip failed: %v", err)
+	}
+}
+
+func TestPublicStreamIsZlibCompatible(t *testing.T) {
+	data := workload.CAN(100_000, 2)
+	z, err := Compress(data, LevelParams(LevelMax, 32768, 15))
+	if err != nil {
+		t.Fatal(err)
+	}
+	zr, err := zlib.NewReader(bytes.NewReader(z))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := io.ReadAll(zr)
+	if err != nil || !bytes.Equal(out, data) {
+		t.Fatalf("stdlib zlib cannot decode the public API output: %v", err)
+	}
+}
+
+func TestPublicSimulateHardware(t *testing.T) {
+	data := workload.Wiki(300_000, 3)
+	res, err := SimulateHardware(data, DefaultHWConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.CyclesPerByte() < 1 || res.Stats.CyclesPerByte() > 4 {
+		t.Fatalf("cycles/byte %.2f implausible", res.Stats.CyclesPerByte())
+	}
+	out, err := Decompress(res.Zlib)
+	if err != nil || !bytes.Equal(out, data) {
+		t.Fatalf("hardware stream round trip failed: %v", err)
+	}
+	// Hardware and software paths emit the same stream.
+	sw, err := Compress(data, DefaultHWConfig().Match)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(sw, res.Zlib) {
+		t.Fatal("software and hardware zlib streams differ")
+	}
+}
+
+func TestPublicCompressCommands(t *testing.T) {
+	cmds, err := CompressCommands([]byte("snowy snow"), HWSpeedParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cmds) != 7 {
+		t.Fatalf("paper example: want 7 commands, got %d", len(cmds))
+	}
+}
+
+func TestPublicEstimateResources(t *testing.T) {
+	est, err := EstimateResources(DefaultHWConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.LUTs() <= 0 || est.Blocks36 <= 0 {
+		t.Fatalf("empty estimate: %+v", est)
+	}
+}
+
+func TestPublicRejectsBadParams(t *testing.T) {
+	if _, err := Compress([]byte("x"), Params{Window: 7}); err == nil {
+		t.Fatal("bad params accepted")
+	}
+	if _, err := SimulateHardware([]byte("x"), HWConfig{}); err == nil {
+		t.Fatal("zero config accepted")
+	}
+	if _, err := Decompress([]byte{1, 2, 3}); err == nil {
+		t.Fatal("garbage zlib accepted")
+	}
+}
+
+func TestPublicStreamingAPI(t *testing.T) {
+	data := workload.Wiki(300_000, 17)
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, HWSpeedParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < len(data); i += 10000 {
+		end := i + 10000
+		if end > len(data) {
+			end = len(data)
+		}
+		if _, err := w.Write(data[i:end]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewReader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := io.ReadAll(r)
+	if err != nil && err != io.EOF {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out, data) {
+		t.Fatal("streaming round trip failed")
+	}
+}
+
+func TestPublicCompressBest(t *testing.T) {
+	data := workload.Wiki(200_000, 18)
+	fixed, err := Compress(data, HWSpeedParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	best, err := CompressBest(data, HWSpeedParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(best) > len(fixed) {
+		t.Fatalf("best (%d) worse than fixed (%d)", len(best), len(fixed))
+	}
+	out, err := Decompress(best)
+	if err != nil || !bytes.Equal(out, data) {
+		t.Fatalf("best round trip failed: %v", err)
+	}
+}
+
+func TestPublicDictAPI(t *testing.T) {
+	dict := bytes.Repeat([]byte("record type=telemetry source=bus0 "), 8)
+	data := []byte("record type=telemetry source=bus0 value=17.5")
+	z, err := CompressDict(data, dict, HWSpeedParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := DecompressDict(z, dict)
+	if err != nil || !bytes.Equal(out, data) {
+		t.Fatalf("dict round trip failed: %v", err)
+	}
+	plain, err := Compress(data, HWSpeedParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(z) >= len(plain) {
+		t.Fatalf("dictionary did not shrink output: %d vs %d", len(z), len(plain))
+	}
+}
+
+func TestPublicGzipAPI(t *testing.T) {
+	data := workload.Wiki(100_000, 90)
+	z, err := GzipCompress(data, HWSpeedParams(), "snapshot.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, name, err := GzipDecompress(z)
+	if err != nil || !bytes.Equal(out, data) || name != "snapshot.txt" {
+		t.Fatalf("gzip round trip failed: %v (name %q)", err, name)
+	}
+}
+
+func TestPublicCompressSplit(t *testing.T) {
+	data := workload.Mixed(500_000, 95)
+	single, err := CompressBest(data, HWSpeedParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	split, err := CompressSplit(data, HWSpeedParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(split) >= len(single) {
+		t.Fatalf("split %d not better than single-block %d on mixed data", len(split), len(single))
+	}
+	out, err := Decompress(split)
+	if err != nil || !bytes.Equal(out, data) {
+		t.Fatalf("split round trip failed: %v", err)
+	}
+}
+
+func TestPublicStreamFlush(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, HWSpeedParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg := []byte("live telemetry line that must reach storage now")
+	w.Write(msg)
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewReader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(msg))
+	if _, err := io.ReadFull(r, got); err != nil || !bytes.Equal(got, msg) {
+		t.Fatalf("flushed data not readable: %v", err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
