@@ -1,0 +1,22 @@
+#!/bin/sh
+# Repository gate: static checks, full test suite under the race
+# detector, and a fresh machine-readable benchmark point (the
+# BENCH_*.json trajectory format; see README "Performance & profiling").
+set -eu
+
+cd "$(dirname "$0")"
+
+echo "== go vet =="
+go vet ./...
+
+echo "== go build =="
+go build ./...
+
+echo "== go test -race =="
+go test -race ./...
+
+echo "== benchmark report =="
+go run ./cmd/lzssbench -json BENCH_pr1.json
+cat BENCH_pr1.json
+
+echo "CI OK"

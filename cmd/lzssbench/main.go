@@ -5,24 +5,70 @@
 // Usage:
 //
 //	lzssbench [-exp all|table1|table2|table3|fig2|fig3|fig4|fig5] [-mb N] [-seed S]
+//	lzssbench -json BENCH.json [-mb N] [-seed S]   # machine-readable perf report
+//
+// -cpuprofile / -memprofile write pprof profiles of whichever mode ran.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"lzssfpga/internal/experiments"
 )
 
 var (
-	exp  = flag.String("exp", "all", "experiment: all, table1, table2, table3, fig2, fig3, fig4, fig5")
-	mb   = flag.Int("mb", 4, "corpus fragment size in MiB for the figures")
-	seed = flag.Int64("seed", 1, "corpus generator seed")
+	exp        = flag.String("exp", "all", "experiment: all, table1, table2, table3, fig2, fig3, fig4, fig5")
+	mb         = flag.Int("mb", 4, "corpus fragment size in MiB for the figures")
+	seed       = flag.Int64("seed", 1, "corpus generator seed")
+	jsonPath   = flag.String("json", "", "write a machine-readable benchmark report to this path instead of running experiments")
+	cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this path")
+	memProfile = flag.String("memprofile", "", "write a heap profile to this path on exit")
 )
 
 func main() {
 	flag.Parse()
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "lzssbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			return err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "lzssbench: memprofile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "lzssbench: memprofile:", err)
+			}
+		}()
+	}
+	if *jsonPath != "" {
+		if err := writeJSONReport(*jsonPath, *mb<<20, *seed); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", *jsonPath)
+		return nil
+	}
 	p := experiments.Params{Bytes: *mb << 20, Seed: *seed}
 	var out string
 	var err error
@@ -32,8 +78,8 @@ func main() {
 		out, err = experiments.Run(*exp, p)
 	}
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "lzssbench:", err)
-		os.Exit(1)
+		return err
 	}
 	fmt.Print(out)
+	return nil
 }

@@ -1,0 +1,125 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"lzssfpga"
+	"lzssfpga/internal/workload"
+)
+
+// Machine-readable benchmark report (the BENCH_*.json trajectory
+// format): one JSON file per measurement point with throughput, ratio
+// and allocation counts for the software paths, plus the frozen
+// baseline measured on the growth seed so every later point carries its
+// own before/after comparison.
+
+// benchEntry is one benchmarked configuration.
+type benchEntry struct {
+	Name        string  `json:"name"`
+	MBPerS      float64 `json:"mb_per_s"`
+	Ratio       float64 `json:"ratio"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+	Iterations  int     `json:"iterations"`
+}
+
+// benchReport is the file layout.
+type benchReport struct {
+	Schema     string       `json:"schema"`
+	Timestamp  string       `json:"timestamp"`
+	GoVersion  string       `json:"go_version"`
+	GOMAXPROCS int          `json:"gomaxprocs"`
+	Workload   string       `json:"workload"`
+	Bytes      int          `json:"bytes"`
+	Seed       int64        `json:"seed"`
+	Baseline   []benchEntry `json:"baseline_seed"`
+	Results    []benchEntry `json:"results"`
+}
+
+// seedBaseline holds the same benchmarks measured at the growth seed
+// (commit 0471386, byte-at-a-time compare, per-call allocations,
+// bytes.Buffer assembly), 4 MiB Wiki workload on one core. Kept frozen
+// in the binary so each BENCH_*.json is self-contained.
+var seedBaseline = []benchEntry{
+	{Name: "serial", MBPerS: 31.56, Ratio: 1.724, AllocsPerOp: 26, BytesPerOp: 44533176, Iterations: 20},
+	{Name: "parallel", MBPerS: 13.83, Ratio: 2.272, AllocsPerOp: 747, BytesPerOp: 44503092, Iterations: 20},
+}
+
+// benchOne measures fn over the workload: one warm-up call for the
+// ratio, then iters timed calls bracketed by ReadMemStats for the
+// per-op allocation counts.
+func benchOne(name string, data []byte, iters int, fn func() ([]byte, error)) (benchEntry, error) {
+	z, err := fn()
+	if err != nil {
+		return benchEntry{}, fmt.Errorf("%s: %w", name, err)
+	}
+	ratio := 0.0
+	if len(z) > 0 {
+		ratio = float64(len(data)) / float64(len(z))
+	}
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	for i := 0; i < iters; i++ {
+		if _, err := fn(); err != nil {
+			return benchEntry{}, fmt.Errorf("%s: %w", name, err)
+		}
+	}
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&after)
+	mb := float64(len(data)) * float64(iters) / (1 << 20)
+	return benchEntry{
+		Name:        name,
+		MBPerS:      round2(mb / elapsed.Seconds()),
+		Ratio:       round3(ratio),
+		AllocsPerOp: float64((after.Mallocs - before.Mallocs) / uint64(iters)),
+		BytesPerOp:  float64((after.TotalAlloc - before.TotalAlloc) / uint64(iters)),
+		Iterations:  iters,
+	}, nil
+}
+
+func round2(v float64) float64 { return float64(int64(v*100+0.5)) / 100 }
+func round3(v float64) float64 { return float64(int64(v*1000+0.5)) / 1000 }
+
+// writeJSONReport benchmarks the software compression paths and writes
+// the report to path.
+func writeJSONReport(path string, bytes int, seed int64) error {
+	data := workload.Wiki(bytes, seed)
+	p := lzssfpga.HWSpeedParams()
+	const iters = 5
+	benches := []struct {
+		name string
+		fn   func() ([]byte, error)
+	}{
+		{"serial", func() ([]byte, error) { return lzssfpga.Compress(data, p) }},
+		{"parallel", func() ([]byte, error) { return lzssfpga.CompressParallel(data, p, 0, 0) }},
+		{"parallel_dict", func() ([]byte, error) { return lzssfpga.CompressParallelDict(data, p, 0, 0) }},
+	}
+	rep := benchReport{
+		Schema:     "lzssfpga-bench/1",
+		Timestamp:  time.Now().UTC().Format(time.RFC3339),
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Workload:   "wiki",
+		Bytes:      bytes,
+		Seed:       seed,
+		Baseline:   seedBaseline,
+	}
+	for _, b := range benches {
+		e, err := benchOne(b.name, data, iters, b.fn)
+		if err != nil {
+			return err
+		}
+		rep.Results = append(rep.Results, e)
+	}
+	out, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(out, '\n'), 0o644)
+}

@@ -16,6 +16,8 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"lzssfpga"
@@ -31,13 +33,43 @@ var (
 	hashBits   = flag.Uint("hash", 15, "hash bit count")
 	best       = flag.Bool("best", false, "pick stored/fixed/dynamic per block (smaller output)")
 	parallel   = flag.Int("p", 0, "compress with N workers, pigz-style (0 = serial)")
+	pdict      = flag.Bool("pdict", false, "with -p: carry the dictionary across segment cuts (better ratio)")
 	gz         = flag.Bool("gz", false, "use the gzip (.gz) container instead of zlib")
+	cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this path")
+	memProfile = flag.String("memprofile", "", "write a heap profile to this path on exit")
 )
 
 func main() {
 	flag.Parse()
-	if err := run(); err != nil {
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "lzsszip:", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "lzsszip:", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	err := run()
+	if *memProfile != "" {
+		f, merr := os.Create(*memProfile)
+		if merr == nil {
+			runtime.GC()
+			merr = pprof.WriteHeapProfile(f)
+			f.Close()
+		}
+		if merr != nil {
+			fmt.Fprintln(os.Stderr, "lzsszip: memprofile:", merr)
+		}
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "lzsszip:", err)
+		if *cpuProfile != "" {
+			pprof.StopCPUProfile()
+		}
 		os.Exit(1)
 	}
 }
@@ -87,10 +119,15 @@ func doCompress(in string, data []byte) error {
 	if err != nil {
 		return err
 	}
+	if *pdict && *parallel <= 0 {
+		return fmt.Errorf("-pdict requires -p N (dictionary carry-over is a parallel-segmentation mode)")
+	}
 	var z []byte
 	switch {
 	case *gz:
 		z, err = lzssfpga.GzipCompress(data, p, filepath.Base(in))
+	case *parallel > 0 && *pdict:
+		z, err = lzssfpga.CompressParallelDict(data, p, 0, *parallel)
 	case *parallel > 0:
 		z, err = lzssfpga.CompressParallel(data, p, 0, *parallel)
 	case *best:

@@ -12,6 +12,7 @@ package bitio
 import (
 	"errors"
 	"io"
+	"math/bits"
 )
 
 // Writer accumulates bits and writes completed bytes to an underlying
@@ -133,12 +134,13 @@ func (bw *Writer) Flush() error {
 
 // Reverse returns the n low bits of v in reversed order.
 func Reverse(v uint32, n uint) uint32 {
-	var r uint32
-	for i := uint(0); i < n; i++ {
-		r = r<<1 | (v & 1)
-		v >>= 1
+	if n == 0 {
+		return 0
 	}
-	return r
+	if n < 32 {
+		v &= 1<<n - 1
+	}
+	return bits.Reverse32(v) >> (32 - n)
 }
 
 // ErrUnexpectedEOF is returned by Reader when the source runs out in the

@@ -38,7 +38,12 @@ type clSymbol struct {
 // rleCodeLengths compresses a code-length vector with symbols 16/17/18
 // (copy previous 3-6, zeros 3-10, zeros 11-138).
 func rleCodeLengths(lens []uint8) []clSymbol {
-	var out []clSymbol
+	return rleCodeLengthsInto(nil, lens)
+}
+
+// rleCodeLengthsInto is rleCodeLengths appending into out (pass a
+// truncated scratch slice to reuse its backing array).
+func rleCodeLengthsInto(out []clSymbol, lens []uint8) []clSymbol {
 	for i := 0; i < len(lens); {
 		l := lens[i]
 		run := 1
@@ -91,7 +96,10 @@ func rleCodeLengths(lens []uint8) []clSymbol {
 	return out
 }
 
-// dynamicPlan holds everything needed to emit one dynamic block.
+// dynamicPlan holds everything needed to emit one dynamic block. The
+// slices (and the trailing scratch fields) are reused across plan()
+// calls, so a long-lived plan — e.g. one held by a pooled parallel
+// worker — plans block after block without allocating.
 type dynamicPlan struct {
 	litLens  []uint8
 	distLens []uint8
@@ -103,14 +111,40 @@ type dynamicPlan struct {
 	nLit     int // HLIT + 257
 	nDist    int // HDIST + 1
 	nCl      int // HCLEN + 4
+
+	// scratch, valid only during plan()
+	all []uint8 // concatenated lit+dist lengths for the CL pass
+	cb  codeBuilder
 }
 
 // planDynamic computes the code tables and header layout for cmds.
 func planDynamic(cmds []token.Command) *dynamicPlan {
-	litFreq, distFreq := histogram(cmds)
 	p := &dynamicPlan{}
-	p.litLens = buildCodeLengths(litFreq[:], maxCodeLen)
-	p.distLens = buildCodeLengths(distFreq[:], maxCodeLen)
+	p.plan(cmds)
+	return p
+}
+
+// resizeU8 returns a zeroed slice of length n, reusing s's backing
+// array when large enough (codeBuilder.build requires zeroed lengths).
+func resizeU8(s []uint8, n int) []uint8 {
+	if cap(s) < n {
+		return make([]uint8, n)
+	}
+	s = s[:n]
+	for i := range s {
+		s[i] = 0
+	}
+	return s
+}
+
+// plan recomputes the code tables and header layout for cmds, reusing
+// the plan's buffers.
+func (p *dynamicPlan) plan(cmds []token.Command) {
+	litFreq, distFreq := histogram(cmds)
+	p.litLens = resizeU8(p.litLens, numLitLenSym)
+	p.cb.build(litFreq[:], p.litLens, maxCodeLen)
+	p.distLens = resizeU8(p.distLens, numDistSym)
+	p.cb.build(distFreq[:], p.distLens, maxCodeLen)
 	// The distance code may be empty (no matches): RFC 1951 allows one
 	// zero-length entry, but a single 1-bit dummy is what zlib emits
 	// and what every decoder accepts.
@@ -127,24 +161,28 @@ func planDynamic(cmds []token.Command) *dynamicPlan {
 		p.nDist--
 	}
 	// RLE the concatenated length vector and build the CL code over it.
-	all := make([]uint8, 0, p.nLit+p.nDist)
-	all = append(all, p.litLens[:p.nLit]...)
-	all = append(all, p.distLens[:p.nDist]...)
-	p.clSyms = rleCodeLengths(all)
+	p.all = append(p.all[:0], p.litLens[:p.nLit]...)
+	p.all = append(p.all, p.distLens[:p.nDist]...)
+	p.clSyms = rleCodeLengthsInto(p.clSyms[:0], p.all)
 	var clFreq [19]int64
 	for _, s := range p.clSyms {
 		clFreq[s.sym]++
 	}
-	p.clLens = buildCodeLengths(clFreq[:], 7)
+	p.clLens = resizeU8(p.clLens, 19)
+	p.cb.build(clFreq[:], p.clLens, 7)
 	// HCLEN: trim the permuted CL length list.
 	p.nCl = 19
 	for p.nCl > 4 && p.clLens[codeLengthOrder[p.nCl-1]] == 0 {
 		p.nCl--
 	}
-	p.litCodes = canonicalCodes(p.litLens)
-	p.dstCodes = canonicalCodes(p.distLens)
-	p.clCodes = canonicalCodes(p.clLens)
-	return p
+	// Codes are stored pre-reversed into Deflate storage order; emit
+	// writes them with plain WriteBits.
+	p.litCodes = canonicalCodesInto(p.litCodes, p.litLens)
+	reverseCodesInPlace(p.litCodes, p.litLens)
+	p.dstCodes = canonicalCodesInto(p.dstCodes, p.distLens)
+	reverseCodesInPlace(p.dstCodes, p.distLens)
+	p.clCodes = canonicalCodesInto(p.clCodes, p.clLens)
+	reverseCodesInPlace(p.clCodes, p.clLens)
 }
 
 // headerBits returns the encoded size of the dynamic header.
@@ -182,7 +220,7 @@ func (p *dynamicPlan) emit(bw *bitio.Writer, cmds []token.Command, final bool) e
 		bw.WriteBits(uint32(p.clLens[codeLengthOrder[i]]), 3)
 	}
 	for _, s := range p.clSyms {
-		bw.WriteBitsRev(uint32(p.clCodes[s.sym]), uint(p.clLens[s.sym]))
+		bw.WriteBits(uint32(p.clCodes[s.sym]), uint(p.clLens[s.sym]))
 		if s.nbits > 0 {
 			bw.WriteBits(s.extra, s.nbits)
 		}
@@ -190,18 +228,18 @@ func (p *dynamicPlan) emit(bw *bitio.Writer, cmds []token.Command, final bool) e
 	for _, c := range cmds {
 		switch c.K {
 		case token.Literal:
-			bw.WriteBitsRev(uint32(p.litCodes[c.Lit]), uint(p.litLens[c.Lit]))
+			bw.WriteBits(uint32(p.litCodes[c.Lit]), uint(p.litLens[c.Lit]))
 		case token.Match:
 			if err := c.Validate(); err != nil {
 				return err
 			}
 			lc := lenCodeFor(c.Length)
-			bw.WriteBitsRev(uint32(p.litCodes[lc.sym]), uint(p.litLens[lc.sym]))
+			bw.WriteBits(uint32(p.litCodes[lc.sym]), uint(p.litLens[lc.sym]))
 			if lc.extra > 0 {
 				bw.WriteBits(uint32(c.Length)-uint32(lc.base), uint(lc.extra))
 			}
 			dc := distCodeFor(c.Distance)
-			bw.WriteBitsRev(uint32(p.dstCodes[dc.sym]), uint(p.distLens[dc.sym]))
+			bw.WriteBits(uint32(p.dstCodes[dc.sym]), uint(p.distLens[dc.sym]))
 			if dc.extra > 0 {
 				bw.WriteBits(uint32(c.Distance)-uint32(dc.base), uint(dc.extra))
 			}
@@ -209,7 +247,7 @@ func (p *dynamicPlan) emit(bw *bitio.Writer, cmds []token.Command, final bool) e
 			return fmt.Errorf("deflate: unknown command kind %d", c.K)
 		}
 	}
-	bw.WriteBitsRev(uint32(p.litCodes[endOfBlock]), uint(p.litLens[endOfBlock]))
+	bw.WriteBits(uint32(p.litCodes[endOfBlock]), uint(p.litLens[endOfBlock]))
 	return bw.Err()
 }
 

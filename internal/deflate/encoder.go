@@ -13,27 +13,30 @@ import (
 // Encoder turns LZSS command streams into Deflate bit streams. It
 // mirrors the paper's pipelined fixed-table Huffman stage: because the
 // table is fixed, encoding is a pure per-command lookup and the stage
-// never stalls the LZSS FSM.
+// never stalls the LZSS FSM. The code tables are shared package
+// singletons stored pre-reversed, so construction is allocation-free
+// and emission needs no per-symbol bit reversal.
 type Encoder struct {
 	bw       *bitio.Writer
-	litCodes []uint16
+	litCodes []uint16 // bit-reversed fixed codes
 	litLens  []uint8
-	dstCodes []uint16
+	dstCodes []uint16 // bit-reversed fixed codes
 	dstLens  []uint8
 }
 
 // NewEncoder returns an encoder emitting to bw using the fixed tables.
 func NewEncoder(bw *bitio.Writer) *Encoder {
-	ll := fixedLitLenLengths()
-	dl := fixedDistLengths()
 	return &Encoder{
 		bw:       bw,
-		litCodes: canonicalCodes(ll),
-		litLens:  ll,
-		dstCodes: canonicalCodes(dl),
-		dstLens:  dl,
+		litCodes: fixedLitCodesRev,
+		litLens:  fixedLitLens,
+		dstCodes: fixedDistCodesRev,
+		dstLens:  fixedDistLens,
 	}
 }
+
+// Reset retargets the encoder at bw, for pooled reuse.
+func (e *Encoder) Reset(bw *bitio.Writer) { e.bw = bw }
 
 // BeginBlock writes the block header. final marks BFINAL; the block
 // type is always fixed-Huffman (BTYPE=01).
@@ -58,7 +61,7 @@ func (e *Encoder) Encode(c token.Command) error {
 			e.bw.WriteBits(uint32(c.Length)-uint32(lc.base), uint(lc.extra))
 		}
 		dc := distCodeFor(c.Distance)
-		e.bw.WriteBitsRev(uint32(e.dstCodes[dc.sym]), uint(e.dstLens[dc.sym]))
+		e.bw.WriteBits(uint32(e.dstCodes[dc.sym]), uint(e.dstLens[dc.sym]))
 		if dc.extra > 0 {
 			e.bw.WriteBits(uint32(c.Distance)-uint32(dc.base), uint(dc.extra))
 		}
@@ -72,7 +75,7 @@ func (e *Encoder) Encode(c token.Command) error {
 func (e *Encoder) EndBlock() { e.putSym(endOfBlock) }
 
 func (e *Encoder) putSym(sym int) {
-	e.bw.WriteBitsRev(uint32(e.litCodes[sym]), uint(e.litLens[sym]))
+	e.bw.WriteBits(uint32(e.litCodes[sym]), uint(e.litLens[sym]))
 }
 
 // CommandBits returns the encoded size of c in bits under the fixed
@@ -86,7 +89,7 @@ func CommandBits(c token.Command) int {
 	}
 	lc := lenCodeFor(c.Length)
 	dc := distCodeFor(c.Distance)
-	n := int(fixedLitLenLengths()[lc.sym]) // 7 or 8
+	n := int(fixedLitLens[lc.sym]) // 7 or 8
 	return n + int(lc.extra) + 5 + int(dc.extra)
 }
 

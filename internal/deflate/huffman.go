@@ -1,7 +1,6 @@
 package deflate
 
 import (
-	"container/heap"
 	"sort"
 )
 
@@ -13,7 +12,9 @@ import (
 // buildCodeLengths assigns optimal prefix-code lengths to the symbols
 // with nonzero frequency, subject to maxLen, using the standard
 // two-queue Huffman construction followed by zlib-style overflow
-// adjustment when the tree exceeds the depth limit.
+// adjustment when the tree exceeds the depth limit. The heavy lifting
+// lives on codeBuilder, whose scratch slices are reusable across blocks
+// so the pooled parallel pipeline plans without allocating.
 
 type huffNode struct {
 	freq  int64
@@ -23,73 +24,141 @@ type huffNode struct {
 	right int32
 }
 
-type huffHeap struct {
-	nodes []huffNode
-	order []int32
+type symFreq struct {
+	sym  int
+	freq int64
 }
 
-func (h *huffHeap) Len() int { return len(h.order) }
-func (h *huffHeap) Less(i, j int) bool {
-	a, b := h.nodes[h.order[i]], h.nodes[h.order[j]]
-	if a.freq != b.freq {
-		return a.freq < b.freq
-	}
-	return a.depth < b.depth
+// codeBuilder holds the reusable scratch of the Huffman construction:
+// the node arena, the priority-queue order slice and the length-limit
+// repair buffers.
+type codeBuilder struct {
+	nodes   []huffNode
+	order   []int32
+	used    []symFreq
+	blCount []int
 }
-func (h *huffHeap) Swap(i, j int)      { h.order[i], h.order[j] = h.order[j], h.order[i] }
-func (h *huffHeap) Push(x interface{}) { h.order = append(h.order, x.(int32)) }
-func (h *huffHeap) Pop() interface{} {
-	old := h.order
-	n := len(old)
-	x := old[n-1]
-	h.order = old[:n-1]
+
+func (cb *codeBuilder) less(a, b int32) bool {
+	na, nb := &cb.nodes[a], &cb.nodes[b]
+	if na.freq != nb.freq {
+		return na.freq < nb.freq
+	}
+	return na.depth < nb.depth
+}
+
+// heap primitives over cb.order (a min-heap of node indices). Hand
+// rolled instead of container/heap: the interface{} boxing of
+// heap.Push/Pop allocates per node, which the pooled pipeline exists to
+// avoid.
+func (cb *codeBuilder) siftUp(i int) {
+	o := cb.order
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !cb.less(o[i], o[parent]) {
+			break
+		}
+		o[i], o[parent] = o[parent], o[i]
+		i = parent
+	}
+}
+
+func (cb *codeBuilder) siftDown(i int) {
+	o := cb.order
+	n := len(o)
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		small := l
+		if r := l + 1; r < n && cb.less(o[r], o[l]) {
+			small = r
+		}
+		if !cb.less(o[small], o[i]) {
+			break
+		}
+		o[i], o[small] = o[small], o[i]
+		i = small
+	}
+}
+
+func (cb *codeBuilder) popMin() int32 {
+	o := cb.order
+	x := o[0]
+	last := len(o) - 1
+	o[0] = o[last]
+	cb.order = o[:last]
+	cb.siftDown(0)
 	return x
 }
 
-// buildCodeLengths returns a length per symbol (0 for unused). At least
-// one symbol must have freq > 0. If only one symbol is used it gets
-// length 1 (Deflate requires complete-enough codes for the decoder; a
-// single 1-bit code is what zlib emits too).
-func buildCodeLengths(freqs []int64, maxLen int) []uint8 {
-	lengths := make([]uint8, len(freqs))
-	nodes := make([]huffNode, 0, 2*len(freqs))
-	h := &huffHeap{nodes: nil}
+func (cb *codeBuilder) push(x int32) {
+	cb.order = append(cb.order, x)
+	cb.siftUp(len(cb.order) - 1)
+}
+
+// build fills lengths (len(lengths) == len(freqs), caller-zeroed) with
+// a length per symbol (0 for unused). At least one symbol must have
+// freq > 0 for a usable code. If only one symbol is used it gets length
+// 1 (Deflate requires complete-enough codes for the decoder; a single
+// 1-bit code is what zlib emits too).
+func (cb *codeBuilder) build(freqs []int64, lengths []uint8, maxLen int) {
+	nodes := cb.nodes[:0]
+	if cap(nodes) < 2*len(freqs) {
+		nodes = make([]huffNode, 0, 2*len(freqs))
+	}
 	for sym, f := range freqs {
 		if f > 0 {
 			nodes = append(nodes, huffNode{freq: f, sym: int32(sym), left: -1, right: -1})
 		}
 	}
+	cb.nodes = nodes
 	switch len(nodes) {
 	case 0:
-		return lengths
+		return
 	case 1:
 		lengths[nodes[0].sym] = 1
-		return lengths
+		return
 	}
-	h.nodes = nodes
-	h.order = make([]int32, len(nodes))
-	for i := range h.order {
-		h.order[i] = int32(i)
+	order := cb.order[:0]
+	if cap(order) < len(nodes) {
+		order = make([]int32, 0, 2*len(freqs))
 	}
-	heap.Init(h)
-	for h.Len() > 1 {
-		a := heap.Pop(h).(int32)
-		b := heap.Pop(h).(int32)
-		na, nb := h.nodes[a], h.nodes[b]
+	for i := range nodes {
+		order = append(order, int32(i))
+	}
+	cb.order = order
+	// Heapify (leaves were appended in symbol order, not freq order).
+	for i := len(cb.order)/2 - 1; i >= 0; i-- {
+		cb.siftDown(i)
+	}
+	for len(cb.order) > 1 {
+		a := cb.popMin()
+		b := cb.popMin()
+		na, nb := cb.nodes[a], cb.nodes[b]
 		depth := na.depth
 		if nb.depth > depth {
 			depth = nb.depth
 		}
-		h.nodes = append(h.nodes, huffNode{
+		cb.nodes = append(cb.nodes, huffNode{
 			freq: na.freq + nb.freq, depth: depth + 1, sym: -1, left: a, right: b,
 		})
-		heap.Push(h, int32(len(h.nodes)-1))
+		cb.push(int32(len(cb.nodes) - 1))
 	}
-	root := h.order[0]
-	assignDepths(h.nodes, root, 0, lengths)
+	root := cb.order[0]
+	assignDepths(cb.nodes, root, 0, lengths)
 	if over := maxDepth(lengths); over > maxLen {
-		limitLengths(freqs, lengths, maxLen)
+		cb.limitLengths(freqs, lengths, maxLen)
 	}
+}
+
+// buildCodeLengths is the convenience form of codeBuilder.build with
+// fresh scratch — tests and one-shot callers use it.
+func buildCodeLengths(freqs []int64, maxLen int) []uint8 {
+	lengths := make([]uint8, len(freqs))
+	var cb codeBuilder
+	cb.build(freqs, lengths, maxLen)
 	return lengths
 }
 
@@ -117,17 +186,14 @@ func maxDepth(lengths []uint8) int {
 // one: clamp to maxLen, then restore the Kraft equality by deepening
 // the least-frequent shallow leaves (the classic zlib bl_count repair),
 // finally re-canonicalizing so lengths are monotone in frequency.
-func limitLengths(freqs []int64, lengths []uint8, maxLen int) {
-	type symFreq struct {
-		sym  int
-		freq int64
-	}
-	var used []symFreq
+func (cb *codeBuilder) limitLengths(freqs []int64, lengths []uint8, maxLen int) {
+	used := cb.used[:0]
 	for sym, l := range lengths {
 		if l > 0 {
 			used = append(used, symFreq{sym, freqs[sym]})
 		}
 	}
+	cb.used = used
 	// Sort by descending frequency: most frequent gets shortest code.
 	sort.Slice(used, func(i, j int) bool {
 		if used[i].freq != used[j].freq {
@@ -136,7 +202,11 @@ func limitLengths(freqs []int64, lengths []uint8, maxLen int) {
 		return used[i].sym < used[j].sym
 	})
 	// Start from the clamped histogram.
-	blCount := make([]int, maxLen+1)
+	blCount := cb.blCount[:0]
+	for i := 0; i <= maxLen; i++ {
+		blCount = append(blCount, 0)
+	}
+	cb.blCount = blCount
 	for _, l := range lengths {
 		if l == 0 {
 			continue

@@ -1,12 +1,68 @@
 package deflate
 
 import (
-	"bytes"
 	"runtime"
 	"sync"
 
+	"lzssfpga/internal/bitio"
 	"lzssfpga/internal/lzss"
+	"lzssfpga/internal/token"
 )
+
+// segWorker is the reusable per-goroutine state of the parallel
+// compressor: matcher hash tables, the command buffer and the encoded
+// output buffer all survive from segment to segment (and, through the
+// pool, from call to call), so the steady-state hot path allocates only
+// the per-segment result slice.
+type segWorker struct {
+	p    lzss.Params
+	m    *lzss.Matcher
+	cmds []token.Command
+	out  sliceBuffer
+	bw   *bitio.Writer
+	plan dynamicPlan
+}
+
+// sliceBuffer is the minimal io.Writer the bit writer needs: an
+// appendable byte slice that can be reset without freeing its backing
+// array (bytes.Buffer would do, but shifts bytes on Read and keeps
+// internal state the pipeline never uses).
+type sliceBuffer struct{ b []byte }
+
+func (s *sliceBuffer) Write(p []byte) (int, error) {
+	s.b = append(s.b, p...)
+	return len(p), nil
+}
+
+var segWorkerPool = sync.Pool{New: func() any { return new(segWorker) }}
+
+// getSegWorker fetches a pooled worker, rebuilding the matcher when the
+// pooled one was configured differently (table sizes or policy).
+func getSegWorker(p lzss.Params) (*segWorker, error) {
+	w := segWorkerPool.Get().(*segWorker)
+	if w.m == nil || !w.p.SameConfig(p) {
+		m, err := lzss.NewMatcher(nil, p, nil)
+		if err != nil {
+			segWorkerPool.Put(w)
+			return nil, err
+		}
+		w.m = m
+		w.p = p
+	}
+	if w.bw == nil {
+		w.bw = bitio.NewWriter(&w.out)
+	}
+	return w, nil
+}
+
+// putSegWorker drops references into the caller's data before pooling,
+// so a cached worker never pins a user buffer.
+func putSegWorker(w *segWorker) {
+	w.m.Reset(nil)
+	w.cmds = w.cmds[:0]
+	w.out.b = w.out.b[:0]
+	segWorkerPool.Put(w)
+}
 
 // ParallelCompress compresses data into a standard zlib stream using
 // independent worker goroutines, pigz-style: the input is cut into
@@ -19,6 +75,22 @@ import (
 // segment is the cut size (0 selects 256 KiB, a good ratio/parallelism
 // balance); workers defaults to GOMAXPROCS.
 func ParallelCompress(data []byte, p lzss.Params, segment, workers int) ([]byte, error) {
+	return parallelCompress(data, p, segment, workers, false)
+}
+
+// ParallelCompressDict is ParallelCompress with dictionary carry-over
+// (pigz's default mode): each segment's matcher is preset with the
+// trailing window of its predecessor, so matches reach back across the
+// cut. The ratio loss of segmenting all but disappears; the output is
+// still one standard zlib stream any inflater decodes, because an
+// inflater's history window spans block boundaries. Within a segment
+// matching is greedy (the dictionary path is policy-shared with
+// CompressWithDict).
+func ParallelCompressDict(data []byte, p lzss.Params, segment, workers int) ([]byte, error) {
+	return parallelCompress(data, p, segment, workers, true)
+}
+
+func parallelCompress(data []byte, p lzss.Params, segment, workers int, carry bool) ([]byte, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
@@ -44,13 +116,29 @@ func ParallelCompress(data []byte, p lzss.Params, segment, workers int) ([]byte,
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			sw, err := getSegWorker(p)
+			if err != nil {
+				for i := range jobs {
+					errs[i] = err
+				}
+				return
+			}
+			defer putSegWorker(sw)
 			for i := range jobs {
 				lo := i * segment
 				hi := lo + segment
 				if hi > len(data) {
 					hi = len(data)
 				}
-				bodies[i], errs[i] = compressSegment(data[lo:hi], p, i == nSeg-1)
+				dictLo := lo
+				if carry {
+					if reach := p.Window - 1; lo > reach {
+						dictLo = lo - reach
+					} else {
+						dictLo = 0
+					}
+				}
+				bodies[i], errs[i] = sw.compressSegment(data[dictLo:hi], lo-dictLo, i == nSeg-1)
 			}
 		}()
 	}
@@ -64,38 +152,49 @@ func ParallelCompress(data []byte, p lzss.Params, segment, workers int) ([]byte,
 			return nil, err
 		}
 	}
-	var out bytes.Buffer
+	// Assemble header, bodies and trailer into one presized buffer.
 	hdr, err := ZlibHeader(p.Window)
 	if err != nil {
 		return nil, err
 	}
-	out.Write(hdr[:])
+	total := len(hdr) + 4
 	for _, b := range bodies {
-		out.Write(b)
+		total += len(b)
+	}
+	out := make([]byte, 0, total)
+	out = append(out, hdr[:]...)
+	for _, b := range bodies {
+		out = append(out, b...)
 	}
 	sum := AdlerChecksum(data)
-	out.Write([]byte{byte(sum >> 24), byte(sum >> 16), byte(sum >> 8), byte(sum)})
-	return out.Bytes(), nil
+	return append(out, byte(sum>>24), byte(sum>>16), byte(sum>>8), byte(sum)), nil
 }
 
-// compressSegment produces byte-aligned Deflate blocks for one segment.
-// Alignment matters: segments are encoded independently and then
-// concatenated, so each must end on a byte boundary. A zero-length
-// stored block provides the alignment padding (and carries the BFINAL
-// flag on the last segment) — the classic Z_FULL_FLUSH framing.
-func compressSegment(seg []byte, p lzss.Params, final bool) ([]byte, error) {
-	cmds, _, err := lzss.Compress(seg, p)
-	if err != nil {
-		return nil, err
+// compressSegment produces byte-aligned Deflate blocks for one segment,
+// buf[origin:]; buf[:origin] is preset history the matcher may reach
+// into (empty without dictionary carry-over). Alignment matters:
+// segments are encoded independently and then concatenated, so each
+// must end on a byte boundary. A zero-length stored block provides the
+// alignment padding (and carries the BFINAL flag on the last segment) —
+// the classic Z_FULL_FLUSH framing. The returned slice is freshly
+// allocated; all scratch state lives in the worker.
+func (w *segWorker) compressSegment(buf []byte, origin int, final bool) ([]byte, error) {
+	if origin > 0 {
+		w.cmds = lzss.CompressTail(w.cmds[:0], w.m, buf, origin)
+	} else {
+		w.cmds = lzss.CompressReuse(w.cmds[:0], w.m, buf)
 	}
-	plan := planDynamic(cmds)
+	cmds := w.cmds
+	plan := &w.plan
+	plan.plan(cmds)
 	dynBits := plan.headerBits() + plan.bodyBits(cmds)
 	fixBits := 7
 	for _, c := range cmds {
 		fixBits += CommandBits(c)
 	}
-	var buf bytes.Buffer
-	bw := newSegWriter(&buf)
+	w.out.b = w.out.b[:0]
+	bw := w.bw
+	bw.Reset(&w.out)
 	if dynBits < fixBits {
 		if err := plan.emit(bw, cmds, false); err != nil {
 			return nil, err
@@ -119,5 +218,7 @@ func compressSegment(seg []byte, p lzss.Params, final bool) ([]byte, error) {
 	if err := bw.Flush(); err != nil {
 		return nil, err
 	}
-	return buf.Bytes(), nil
+	body := make([]byte, len(w.out.b))
+	copy(body, w.out.b)
+	return body, nil
 }

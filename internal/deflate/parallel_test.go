@@ -88,6 +88,69 @@ func TestParallelRatioCloseToSerial(t *testing.T) {
 	}
 }
 
+func TestParallelDictRoundTrip(t *testing.T) {
+	p := lzss.HWSpeedParams()
+	for _, n := range []int{0, 1, 100, 256 << 10, 256<<10 + 1, 2 << 20} {
+		data := workload.Wiki(n, int64(n)+3)
+		z, err := ParallelCompressDict(data, p, 256<<10, 4)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		// Our inflater.
+		out, err := ZlibDecompress(z)
+		if err != nil || !bytes.Equal(out, data) {
+			t.Fatalf("n=%d: own decoder: %v", n, err)
+		}
+		// Stdlib: carried-over dictionaries must stay inside the standard
+		// 32 KiB inflate window, or any third-party decoder breaks.
+		zr, err := zlib.NewReader(bytes.NewReader(z))
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		sout, err := io.ReadAll(zr)
+		if err != nil || !bytes.Equal(sout, data) {
+			t.Fatalf("n=%d: stdlib: %v", n, err)
+		}
+	}
+}
+
+func TestParallelDictDeterministicAcrossWorkers(t *testing.T) {
+	data := workload.CAN(1<<20, 75)
+	p := lzss.HWSpeedParams()
+	ref, err := ParallelCompressDict(data, p, 128<<10, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 3, 8, 16} {
+		got, err := ParallelCompressDict(data, p, 128<<10, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, ref) {
+			t.Fatalf("workers=%d: output differs from single-worker", workers)
+		}
+	}
+}
+
+func TestParallelDictImprovesRatio(t *testing.T) {
+	// Carry-over exists to win back the matches segmenting loses; on a
+	// self-similar corpus it must never produce a larger stream than the
+	// independent-segment mode.
+	data := workload.Wiki(2<<20, 76)
+	p := lzss.HWSpeedParams()
+	plain, err := ParallelCompress(data, p, 128<<10, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dict, err := ParallelCompressDict(data, p, 128<<10, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dict) > len(plain) {
+		t.Fatalf("dict mode %d bytes > plain %d", len(dict), len(plain))
+	}
+}
+
 func TestParallelRejectsBadParams(t *testing.T) {
 	if _, err := ParallelCompress([]byte("x"), lzss.Params{Window: 3}, 0, 0); err == nil {
 		t.Fatal("bad params accepted")
@@ -99,8 +162,24 @@ func BenchmarkParallelCompress(b *testing.B) {
 	p := lzss.HWSpeedParams()
 	b.SetBytes(int64(len(data)))
 	b.ReportAllocs()
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := ParallelCompress(data, p, 256<<10, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkParallelCompressDict measures the dictionary carry-over mode
+// (pigz-style window presetting across segment cuts).
+func BenchmarkParallelCompressDict(b *testing.B) {
+	data := workload.Wiki(4<<20, 73)
+	p := lzss.HWSpeedParams()
+	b.SetBytes(int64(len(data)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ParallelCompressDict(data, p, 256<<10, 0); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -5,6 +5,10 @@
 // Huffman encoder as the compression-ratio extension the paper mentions.
 package deflate
 
+import (
+	"lzssfpga/internal/bitio"
+)
+
 // Symbol-space constants from RFC 1951.
 const (
 	endOfBlock   = 256
@@ -104,6 +108,38 @@ func distCodeFor(d int) distCode {
 	return distToCodeHi[(d-1)>>7]
 }
 
+// Fixed-table singletons: the RFC 1951 §3.2.6 tables are immutable, so
+// every encoder shares one copy instead of rebuilding them per block
+// (CommandBits used to rebuild the length table per command). The *Rev
+// variants hold codes already bit-reversed into Deflate storage order,
+// writable with plain WriteBits.
+var (
+	fixedLitLens     = fixedLitLenLengths()
+	fixedDistLens    = fixedDistLengths()
+	fixedLitCodes    = canonicalCodes(fixedLitLens)
+	fixedDistCodes   = canonicalCodes(fixedDistLens)
+	fixedLitCodesRev = reverseCodes(fixedLitCodes, fixedLitLens)
+	fixedDistCodesRev = reverseCodes(fixedDistCodes, fixedDistLens)
+)
+
+// reverseCodes returns codes with each entry bit-reversed within its
+// code length — the storage order Deflate writes Huffman codes in.
+func reverseCodes(codes []uint16, lens []uint8) []uint16 {
+	out := make([]uint16, len(codes))
+	copy(out, codes)
+	reverseCodesInPlace(out, lens)
+	return out
+}
+
+// reverseCodesInPlace bit-reverses each code within its length, in the
+// caller's slice — the allocation-free form the reusable dynamic plan
+// uses.
+func reverseCodesInPlace(codes []uint16, lens []uint8) {
+	for i, c := range codes {
+		codes[i] = uint16(bitio.Reverse(uint32(c), uint(lens[i])))
+	}
+}
+
 // fixedLitLenLengths returns the fixed literal/length code lengths
 // (RFC 1951 §3.2.6): 0-143→8, 144-255→9, 256-279→7, 280-287→8.
 func fixedLitLenLengths() []uint8 {
@@ -136,6 +172,12 @@ func fixedDistLengths() []uint8 {
 // (RFC 1951 §3.2.2). codes[i] is the code for symbol i, stored in its
 // natural (MSB-first) form; write it with WriteBitsRev.
 func canonicalCodes(lengths []uint8) []uint16 {
+	return canonicalCodesInto(nil, lengths)
+}
+
+// canonicalCodesInto is canonicalCodes writing into dst's backing array
+// when it is large enough.
+func canonicalCodesInto(dst []uint16, lengths []uint8) []uint16 {
 	var blCount [maxCodeLen + 1]int
 	for _, l := range lengths {
 		blCount[l]++
@@ -147,12 +189,17 @@ func canonicalCodes(lengths []uint8) []uint16 {
 		code = (code + uint16(blCount[b-1])) << 1
 		nextCode[b] = code
 	}
-	codes := make([]uint16, len(lengths))
+	if cap(dst) < len(lengths) {
+		dst = make([]uint16, len(lengths))
+	}
+	dst = dst[:len(lengths)]
 	for i, l := range lengths {
 		if l != 0 {
-			codes[i] = nextCode[l]
+			dst[i] = nextCode[l]
 			nextCode[l]++
+		} else {
+			dst[i] = 0
 		}
 	}
-	return codes
+	return dst
 }

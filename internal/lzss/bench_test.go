@@ -1,0 +1,101 @@
+package lzss
+
+import (
+	"testing"
+
+	"lzssfpga/internal/token"
+	"lzssfpga/internal/workload"
+)
+
+// benchData is the Wiki fragment every matcher benchmark runs over —
+// the same corpus Table I measures, sized for stable per-op numbers.
+func benchData() []byte { return workload.Wiki(1<<20, 1) }
+
+// BenchmarkCompressGreedy is the software fast path end to end: the
+// deflate_fast-style policy at the paper's speed-optimized setting.
+func BenchmarkCompressGreedy(b *testing.B) {
+	data := benchData()
+	p := HWSpeedParams()
+	b.SetBytes(int64(len(data)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := Compress(data, p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCompressLazy exercises the deferred-match slow path at the
+// default level.
+func BenchmarkCompressLazy(b *testing.B) {
+	data := benchData()
+	p := LevelParams(LevelDefault, 32768, 15)
+	b.SetBytes(int64(len(data)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := Compress(data, p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFindMatch isolates the chain walk: hash probe, candidate
+// visits and prefix compares, without command emission. One op is a
+// full greedy pass over the fragment, so chains reach realistic depth.
+func BenchmarkFindMatch(b *testing.B) {
+	data := benchData()
+	p := HWSpeedParams()
+	b.SetBytes(int64(len(data)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m, err := NewMatcher(data, p, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		pos := 0
+		for pos+token.MinMatch <= len(data) {
+			if l, _ := m.FindMatch(pos); l >= token.MinMatch {
+				pos += l
+			} else {
+				pos++
+			}
+		}
+	}
+}
+
+// BenchmarkCompare isolates the prefix comparer on long identical runs —
+// the case the word-at-a-time datapath (the software mirror of the
+// paper's 8→32-bit comparer widening, Table III row B) accelerates most.
+func BenchmarkCompare(b *testing.B) {
+	src := make([]byte, 2*token.MaxMatch+64)
+	for i := range src {
+		src[i] = byte(i % 7) // period-7 so a+258 matches a for 258 bytes
+	}
+	p := HWSpeedParams()
+	m, err := NewMatcher(src, p, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(token.MaxMatch)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if n := m.compare(0, 7*37, token.MaxMatch); n != token.MaxMatch {
+			b.Fatalf("compare = %d, want %d", n, token.MaxMatch)
+		}
+	}
+}
+
+// BenchmarkCompareShort measures the mismatch-dominated regime (median
+// chain candidate fails within a word).
+func BenchmarkCompareShort(b *testing.B) {
+	data := benchData()
+	p := HWSpeedParams()
+	m, err := NewMatcher(data, p, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m.compare(i%1024, 4096+i%1024, 16)
+	}
+}

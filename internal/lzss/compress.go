@@ -13,18 +13,60 @@ const tooFar = 4096
 // Greedy (deflate_fast-style) matching is used unless p.Lazy is set.
 // The returned Stats are the operation counts of the run.
 func Compress(src []byte, p Params) ([]token.Command, *Stats, error) {
+	cmds, stats, err := CompressAppend(nil, src, p)
+	return cmds, stats, err
+}
+
+// CompressAppend is Compress appending into dst — the allocation-free
+// form for callers that recycle command buffers across blocks. dst may
+// be nil; the (possibly reallocated) slice is returned.
+func CompressAppend(dst []token.Command, src []byte, p Params) ([]token.Command, *Stats, error) {
 	stats := &Stats{InputBytes: int64(len(src))}
 	m, err := NewMatcher(src, p, stats)
 	if err != nil {
-		return nil, nil, err
+		return dst, nil, err
 	}
-	var cmds []token.Command
+	if cap(dst)-len(dst) < len(src)/3+16 {
+		grown := make([]token.Command, len(dst), len(dst)+len(src)/3+16)
+		copy(grown, dst)
+		dst = grown
+	}
 	if p.Lazy {
-		cmds = compressLazy(m, src)
+		dst = compressLazy(m, src, dst)
 	} else {
-		cmds = compressGreedy(m, src)
+		dst = compressGreedy(m, src, dst)
 	}
-	return cmds, stats, nil
+	return dst, stats, nil
+}
+
+// CompressReuse compresses src appending into dst, reusing m's hash
+// tables (the matcher is Reset to src first). The matching policy comes
+// from m's Params; m's Stats keep accumulating across calls. This is
+// the hot path of the pooled parallel pipeline: zero allocations when
+// dst has capacity.
+func CompressReuse(dst []token.Command, m *Matcher, src []byte) []token.Command {
+	m.Reset(src)
+	m.stats.InputBytes += int64(len(src))
+	if m.p.Lazy {
+		return compressLazy(m, src, dst)
+	}
+	return compressGreedy(m, src, dst)
+}
+
+// CompressTail compresses buf[origin:] appending into dst, with
+// buf[:origin] serving as preset history: the chains are warmed over
+// the prefix so early matches can reach back into it (distances may
+// exceed the number of produced bytes, up to Window-1 beyond). The
+// matcher is Reset to buf and must have been built with the desired
+// Params; matching over the tail is always greedy, mirroring
+// CompressWithDict. This is the dictionary carry-over path of the
+// parallel compressor — because predecessor bytes are adjacent in the
+// input, no dictionary copy is needed.
+func CompressTail(dst []token.Command, m *Matcher, buf []byte, origin int) []token.Command {
+	m.Reset(buf)
+	m.stats.InputBytes += int64(len(buf) - origin)
+	m.InsertRange(0, origin-token.MinMatch+1)
+	return compressGreedyFrom(m, buf, origin, dst)
 }
 
 func emitLit(cmds []token.Command, s *Stats, b byte) []token.Command {
@@ -40,9 +82,14 @@ func emitCopy(cmds []token.Command, s *Stats, dist, length int) []token.Command 
 
 // compressGreedy is the matching policy the hardware implements: take
 // the longest match at the current position or emit one literal.
-func compressGreedy(m *Matcher, src []byte) []token.Command {
-	cmds := make([]token.Command, 0, len(src)/3+16)
-	pos := 0
+func compressGreedy(m *Matcher, src []byte, cmds []token.Command) []token.Command {
+	return compressGreedyFrom(m, src, 0, cmds)
+}
+
+// compressGreedyFrom runs the greedy policy over src[start:]; positions
+// before start are assumed pre-inserted history.
+func compressGreedyFrom(m *Matcher, src []byte, start int, cmds []token.Command) []token.Command {
+	pos := start
 	for pos < len(src) {
 		if len(src)-pos < token.MinMatch {
 			// Too little left to hash; flush as literals.
@@ -60,9 +107,11 @@ func compressGreedy(m *Matcher, src []byte) []token.Command {
 			// cost bounded.
 			end := pos + length
 			if length <= m.p.InsertLimit {
-				for i := pos + 1; i < end && i+token.MinMatch <= len(src); i++ {
-					m.Insert(i)
+				to := end
+				if limit := len(src) - token.MinMatch + 1; to > limit {
+					to = limit
 				}
+				m.InsertRange(pos+1, to)
 			}
 			pos = end
 		} else {
@@ -75,8 +124,7 @@ func compressGreedy(m *Matcher, src []byte) []token.Command {
 
 // compressLazy is zlib's deflate_slow policy: hold each match back one
 // byte to see whether a longer one starts at the next position.
-func compressLazy(m *Matcher, src []byte) []token.Command {
-	cmds := make([]token.Command, 0, len(src)/3+16)
+func compressLazy(m *Matcher, src []byte, cmds []token.Command) []token.Command {
 	pos := 0
 	havePrev := false
 	prevLen, prevDist := 0, 0
@@ -102,9 +150,11 @@ func compressLazy(m *Matcher, src []byte) []token.Command {
 			cmds = emitCopy(cmds, m.stats, prevDist, prevLen)
 			end := pos - 1 + prevLen
 			if prevLen <= m.p.InsertLimit {
-				for i := pos + 1; i < end && i+token.MinMatch <= len(src); i++ {
-					m.Insert(i)
+				to := end
+				if limit := len(src) - token.MinMatch + 1; to > limit {
+					to = limit
 				}
+				m.InsertRange(pos+1, to)
 			}
 			pos = end
 			havePrev, prevLen, prevDist = false, 0, 0

@@ -36,35 +36,8 @@ func CompressWithDict(dict, data []byte, p Params) ([]token.Command, *Stats, err
 	}
 	// Warm the chains with every dictionary position (zlib's
 	// deflateSetDictionary does exactly this).
-	for i := 0; i+token.MinMatch <= len(dict); i++ {
-		m.Insert(i)
-	}
-	// Greedy matching over the data region only. This mirrors
-	// compressGreedy but with a shifted origin.
+	m.InsertRange(0, len(dict)-token.MinMatch+1)
+	// Greedy matching over the data region only.
 	cmds := make([]token.Command, 0, len(data)/3+16)
-	pos := len(dict)
-	n := len(buf)
-	for pos < n {
-		if n-pos < token.MinMatch {
-			for ; pos < n; pos++ {
-				cmds = emitLit(cmds, stats, buf[pos])
-			}
-			break
-		}
-		length, dist := m.FindMatch(pos)
-		if length >= token.MinMatch {
-			cmds = emitCopy(cmds, stats, dist, length)
-			end := pos + length
-			if length <= p.InsertLimit {
-				for i := pos + 1; i < end && i+token.MinMatch <= n; i++ {
-					m.Insert(i)
-				}
-			}
-			pos = end
-		} else {
-			cmds = emitLit(cmds, stats, buf[pos])
-			pos++
-		}
-	}
-	return cmds, stats, nil
+	return compressGreedyFrom(m, buf, len(dict), cmds), stats, nil
 }

@@ -1,0 +1,244 @@
+package lzss
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"lzssfpga/internal/token"
+	"lzssfpga/internal/workload"
+)
+
+// These tests pin the word-at-a-time fast path to a naive byte-at-a-time
+// reference: commands AND every stats counter must be identical, because
+// the software cost model prices the counters (batching the increments
+// is allowed, changing what gets counted is not).
+
+// naiveGreedy is an independent reimplementation of the greedy policy
+// with per-operation stats charging and one-byte-at-a-time comparison —
+// the pre-optimization semantics, kept deliberately simple-minded.
+func naiveGreedy(src []byte, p Params) ([]token.Command, *Stats, error) {
+	if err := p.Validate(); err != nil {
+		return nil, nil, err
+	}
+	s := &Stats{InputBytes: int64(len(src))}
+	head := make([]int, 1<<p.HashBits)
+	for i := range head {
+		head[i] = -1
+	}
+	prev := make([]int, p.Window)
+	mask := p.Window - 1
+	hash := func(pos int) uint32 {
+		s.HashComputes++
+		return p.Hash(src[pos], src[pos+1], src[pos+2])
+	}
+	insert := func(pos int) {
+		h := hash(pos)
+		s.Inserts++
+		prev[pos&mask] = head[h]
+		head[h] = pos
+	}
+	var cmds []token.Command
+	pos := 0
+	for pos < len(src) {
+		if len(src)-pos < token.MinMatch {
+			for ; pos < len(src); pos++ {
+				s.Literals++
+				cmds = append(cmds, token.Lit(src[pos]))
+			}
+			break
+		}
+		h := hash(pos)
+		s.HeadReads++
+		cand := head[h]
+		s.Inserts++
+		prev[pos&mask] = cand
+		head[h] = pos
+		maxLen := len(src) - pos
+		if maxLen > token.MaxMatch {
+			maxLen = token.MaxMatch
+		}
+		minPos := pos - (p.Window - 1)
+		bestLen, bestDist := 0, 0
+		for chain := 0; chain < p.MaxChain && cand >= 0 && cand >= minPos; chain++ {
+			s.ChainSteps++
+			n := 0
+			for n < maxLen && src[cand+n] == src[pos+n] {
+				n++
+				s.CompareBytes++
+			}
+			if n < maxLen {
+				s.CompareBytes++ // the mismatching byte was also read
+			}
+			if n > bestLen {
+				bestLen, bestDist = n, pos-cand
+				if bestLen >= p.Nice || bestLen == maxLen {
+					break
+				}
+			}
+			cand = prev[cand&mask]
+		}
+		if bestLen >= token.MinMatch {
+			s.Matches++
+			s.MatchedBytes += int64(bestLen)
+			cmds = append(cmds, token.Copy(bestDist, bestLen))
+			end := pos + bestLen
+			if bestLen <= p.InsertLimit {
+				to := end
+				if limit := len(src) - token.MinMatch + 1; to > limit {
+					to = limit
+				}
+				for i := pos + 1; i < to; i++ {
+					insert(i)
+				}
+			}
+			pos = end
+		} else {
+			s.Literals++
+			cmds = append(cmds, token.Lit(src[pos]))
+			pos++
+		}
+	}
+	return cmds, s, nil
+}
+
+// fastPathCorpora builds the inputs that stress the word-compare edges:
+// random (no matches), all-zero (maximal runs, word loads always equal),
+// period-3 (match length never a multiple of 8), a crafted near-match at
+// the window edge (distance Window-1 admissible, Window not), and the
+// workload generators the evaluation uses.
+func fastPathCorpora(window int) map[string][]byte {
+	rng := rand.New(rand.NewSource(41))
+	random := make([]byte, 60_000)
+	rng.Read(random)
+
+	zeros := make([]byte, 50_000)
+
+	period3 := bytes.Repeat([]byte("abc"), 20_000)
+
+	// Window edge: a 64-byte phrase planted so its repeats sit exactly at
+	// distance window-1 (a legal match) and distance window (illegal, the
+	// wire format reserves D=0, so window itself is excluded). The second
+	// copy differs in byte 40 to exercise the partial-word mismatch path.
+	edge := make([]byte, 3*window)
+	rng.Read(edge)
+	phrase := edge[:64]
+	copy(edge[window-1:], phrase)     // distance window-1 from pos 0
+	copy(edge[2*window:], phrase)     // distance window+1 from the copy above
+	edge[window-1+40] ^= 0x5A         // near-match: diverges at byte 40
+	copy(edge[window:window+3], "xyz") // avoid an accidental run across the seam
+
+	return map[string][]byte{
+		"random":      random,
+		"zeros":       zeros,
+		"period3":     period3,
+		"window-edge": edge,
+		"wiki":        workload.Wiki(120_000, 42),
+		"can":         workload.CAN(120_000, 42),
+	}
+}
+
+func TestGreedyMatchesNaiveReference(t *testing.T) {
+	params := map[string]Params{
+		"hwspeed": HWSpeedParams(),
+		"test":    testParams(),
+		"deep":    {Window: 4096, HashBits: 10, MaxChain: 256, Nice: 258, InsertLimit: 64},
+	}
+	for pname, p := range params {
+		for cname, data := range fastPathCorpora(4096) {
+			got, gotStats, err := Compress(data, p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, wantStats, err := naiveGreedy(data, p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !token.Equal(got, want) {
+				i := token.FirstDiff(got, want)
+				t.Fatalf("%s/%s: commands diverge at %d", pname, cname, i)
+			}
+			if *gotStats != *wantStats {
+				t.Fatalf("%s/%s: stats diverge:\n fast  %+v\n naive %+v", pname, cname, *gotStats, *wantStats)
+			}
+		}
+	}
+}
+
+func TestMatchLenMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	src := make([]byte, 4096)
+	for i := range src {
+		src[i] = byte(rng.Intn(3)) // low entropy: long common prefixes
+	}
+	naive := func(a, b, maxLen int) int {
+		n := 0
+		for n < maxLen && src[a+n] == src[b+n] {
+			n++
+		}
+		return n
+	}
+	for trial := 0; trial < 20_000; trial++ {
+		b := 1 + rng.Intn(len(src)-1)
+		a := rng.Intn(b)
+		maxLen := rng.Intn(len(src) - b + 1)
+		if got, want := matchLen(src, a, b, maxLen), naive(a, b, maxLen); got != want {
+			t.Fatalf("matchLen(a=%d,b=%d,max=%d) = %d, naive %d", a, b, maxLen, got, want)
+		}
+	}
+	// All-equal window: must return exactly maxLen, never beyond.
+	same := bytes.Repeat([]byte{0xEE}, 600)
+	for _, maxLen := range []int{0, 1, 7, 8, 9, 255, 258} {
+		if got := matchLen(same, 0, 300, maxLen); got != maxLen {
+			t.Fatalf("all-equal matchLen max=%d: got %d", maxLen, got)
+		}
+	}
+}
+
+func TestCompressTailMatchesCompressWithDict(t *testing.T) {
+	p := HWSpeedParams()
+	data := workload.Wiki(100_000, 9)
+	for _, dictLen := range []int{0, 100, p.Window - 1} {
+		dict := workload.Wiki(dictLen+1, 5)[:dictLen]
+		want, _, err := CompressWithDict(dict, data, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := NewMatcher(nil, p, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf := append(append([]byte{}, dict...), data...)
+		got := CompressTail(nil, m, buf, len(dict))
+		if !token.Equal(got, want) {
+			t.Fatalf("dictLen=%d: CompressTail diverges from CompressWithDict at %d",
+				dictLen, token.FirstDiff(got, want))
+		}
+	}
+}
+
+// TestCompressReuseMatchesCompress pins matcher reuse across Resets:
+// a recycled matcher must produce the identical stream a fresh one does.
+func TestCompressReuseMatchesCompress(t *testing.T) {
+	p := HWSpeedParams()
+	m, err := NewMatcher(nil, p, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cmds []token.Command
+	for i, data := range [][]byte{
+		workload.Wiki(80_000, 1),
+		workload.CAN(80_000, 2),
+		bytes.Repeat([]byte("abc"), 10_000),
+		workload.Wiki(80_000, 1), // repeat of the first: chains must not leak
+	} {
+		cmds = CompressReuse(cmds[:0], m, data)
+		want, _, err := Compress(data, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !token.Equal(cmds, want) {
+			t.Fatalf("block %d: reused matcher diverges at %d", i, token.FirstDiff(cmds, want))
+		}
+	}
+}

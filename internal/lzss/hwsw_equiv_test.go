@@ -1,0 +1,66 @@
+package lzss_test
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"lzssfpga/internal/core"
+	"lzssfpga/internal/lzss"
+	"lzssfpga/internal/token"
+	"lzssfpga/internal/workload"
+)
+
+// TestWordComparePathMatchesHardwareModel runs the inputs that stress
+// the software word-compare edges through the cycle-accurate hardware
+// model and demands command-for-command identity — the paper's ">1 TB
+// verified against the software reference model" methodology, pointed
+// at the optimized software path. (This lives in an external test
+// package: core imports lzss for its parameters.)
+func TestWordComparePathMatchesHardwareModel(t *testing.T) {
+	cfg := core.DefaultConfig()
+	window := cfg.Match.Window
+
+	rng := rand.New(rand.NewSource(43))
+	random := make([]byte, 60_000)
+	rng.Read(random)
+	edge := make([]byte, 3*window)
+	rng.Read(edge)
+	copy(edge[window-1:], edge[:64])
+	copy(edge[2*window:], edge[:64])
+	edge[window-1+40] ^= 0x5A
+
+	corpora := map[string][]byte{
+		"random":      random,
+		"zeros":       make([]byte, 50_000),
+		"period3":     bytes.Repeat([]byte("abc"), 20_000),
+		"window-edge": edge,
+		"wiki":        workload.Wiki(150_000, 44),
+		"can":         workload.CAN(150_000, 44),
+	}
+	comp, err := core.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, data := range corpora {
+		res, err := comp.Compress(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sw, _, err := lzss.Compress(data, cfg.Match)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !token.Equal(res.Commands, sw) {
+			i := token.FirstDiff(res.Commands, sw)
+			var hw, swc token.Command
+			if i < len(res.Commands) {
+				hw = res.Commands[i]
+			}
+			if i < len(sw) {
+				swc = sw[i]
+			}
+			t.Fatalf("%s: first divergence at cmd %d: hw=%v sw=%v", name, i, hw, swc)
+		}
+	}
+}

@@ -1,6 +1,9 @@
 package lzss
 
 import (
+	"encoding/binary"
+	"math/bits"
+
 	"lzssfpga/internal/token"
 )
 
@@ -17,6 +20,12 @@ type Matcher struct {
 	prev  []int32 // ring: previous position with same hash
 	mask  int32   // window - 1
 	stats *Stats
+	// Devirtualized default hash: when Params.Validate installed
+	// ZlibHash itself, the hot loops compute it inline instead of
+	// calling through the HashFunc value. zshift == 0 selects the
+	// generic path (the zlib shift is never 0 for HashBits >= 1).
+	zshift uint32
+	zmask  uint32
 }
 
 // NewMatcher builds a matcher over src with validated parameters.
@@ -36,18 +45,51 @@ func NewMatcher(src []byte, p Params, stats *Stats) (*Matcher, error) {
 		mask:  int32(p.Window - 1),
 		stats: stats,
 	}
+	if p.defaultHash {
+		m.zshift = uint32(p.HashBits+2) / 3
+		m.zmask = uint32(1)<<p.HashBits - 1
+	}
 	for i := range m.head {
 		m.head[i] = -1
 	}
 	return m, nil
 }
 
+// hash computes the bucket for the three bytes at pos, devirtualized
+// for the default policy.
+func (m *Matcher) hash(src []byte, pos int) uint32 {
+	if m.zshift != 0 {
+		return ((uint32(src[pos])<<m.zshift^uint32(src[pos+1]))<<m.zshift ^ uint32(src[pos+2])) & m.zmask
+	}
+	return m.p.Hash(src[pos], src[pos+1], src[pos+2])
+}
+
 // Stats returns the operation counters.
 func (m *Matcher) Stats() *Stats { return m.stats }
 
+// Params returns the matcher's validated parameters.
+func (m *Matcher) Params() Params { return m.p }
+
+// Reset rebinds the matcher to a new source block, clearing the hash
+// chains but keeping the table allocations — the pooled parallel
+// pipeline reuses one matcher per worker across segments. Stats keep
+// accumulating across Resets.
+//
+// prev is deliberately left dirty: a chain walk only ever dereferences
+// ring slots that were written after the last Reset (head starts at -1,
+// and every reachable candidate wrote its own slot on insertion), so
+// stale entries are never observed — the same argument that makes the
+// ring safe against intra-block aliasing.
+func (m *Matcher) Reset(src []byte) {
+	m.src = src
+	for i := range m.head {
+		m.head[i] = -1
+	}
+}
+
 func (m *Matcher) hashAt(pos int) uint32 {
 	m.stats.HashComputes++
-	return m.p.Hash(m.src[pos], m.src[pos+1], m.src[pos+2])
+	return m.hash(m.src, pos)
 }
 
 // Insert adds the string at pos to the hash chains. pos must leave at
@@ -61,6 +103,34 @@ func (m *Matcher) insertHashed(pos int, h uint32) {
 	m.stats.Inserts++
 	m.prev[int32(pos)&m.mask] = m.head[h]
 	m.head[h] = int32(pos)
+}
+
+// InsertRange inserts every position in [from, to), batching the stats
+// updates into two adds — the bulk form the full-hash-update path after
+// a short match uses.
+func (m *Matcher) InsertRange(from, to int) {
+	if to <= from {
+		return
+	}
+	head, prev, src := m.head, m.prev, m.src
+	if m.zshift != 0 {
+		shift, hmask := m.zshift, m.zmask
+		for i := from; i < to; i++ {
+			h := ((uint32(src[i])<<shift^uint32(src[i+1]))<<shift ^ uint32(src[i+2])) & hmask
+			prev[int32(i)&m.mask] = head[h]
+			head[h] = int32(i)
+		}
+	} else {
+		hash := m.p.Hash
+		for i := from; i < to; i++ {
+			h := hash(src[i], src[i+1], src[i+2])
+			prev[int32(i)&m.mask] = head[h]
+			head[h] = int32(i)
+		}
+	}
+	n := int64(to - from)
+	m.stats.HashComputes += n
+	m.stats.Inserts += n
 }
 
 // FindMatch searches for the longest match for the string at pos and
@@ -78,13 +148,22 @@ func (m *Matcher) insertHashed(pos int, h uint32) {
 //     found;
 //   - distance window (== dictionary size) is excluded because the wire
 //     format's D field reserves 0 for literals.
+//
+// Stats are accumulated in locals and flushed once per call; the final
+// counter values are identical to charging each operation as it happens.
 func (m *Matcher) FindMatch(pos int) (length, distance int) {
-	h := m.hashAt(pos)
+	src, prev := m.src, m.prev
+	var h uint32
+	if shift := m.zshift; shift != 0 {
+		h = ((uint32(src[pos])<<shift^uint32(src[pos+1]))<<shift ^ uint32(src[pos+2])) & m.zmask
+	} else {
+		h = m.p.Hash(src[pos], src[pos+1], src[pos+2])
+	}
 	cand := m.head[h]
-	m.stats.HeadReads++
-	m.insertHashed(pos, h)
+	prev[int32(pos)&m.mask] = cand
+	m.head[h] = int32(pos)
 
-	maxLen := len(m.src) - pos
+	maxLen := len(src) - pos
 	if maxLen > token.MaxMatch {
 		maxLen = token.MaxMatch
 	}
@@ -92,33 +171,63 @@ func (m *Matcher) FindMatch(pos int) (length, distance int) {
 	minPos := pos - (m.p.Window - 1)
 
 	bestLen, bestDist := 0, 0
-	for chain := 0; chain < m.p.MaxChain && cand >= 0 && int(cand) >= minPos; chain++ {
-		m.stats.ChainSteps++
+	chainSteps, compared := int64(0), int64(0)
+	nice, maxChain := m.p.Nice, m.p.MaxChain
+	for chain := 0; chain < maxChain && cand >= 0 && int(cand) >= minPos; chain++ {
+		chainSteps++
 		c := int(cand)
-		n := m.compare(c, pos, maxLen)
+		n := matchLen(src, c, pos, maxLen)
+		compared += int64(n)
+		if n < maxLen {
+			compared++ // the mismatching byte was also read
+		}
 		if n > bestLen {
 			bestLen, bestDist = n, pos-c
-			if bestLen >= m.p.Nice || bestLen == maxLen {
+			if bestLen >= nice || bestLen == maxLen {
 				break
 			}
 		}
-		cand = m.prev[cand&m.mask]
+		cand = prev[cand&m.mask]
 	}
+	s := m.stats
+	s.HashComputes++
+	s.HeadReads++
+	s.Inserts++
+	s.ChainSteps += chainSteps
+	s.CompareBytes += compared
 	if bestLen < token.MinMatch {
 		return 0, 0
 	}
 	return bestLen, bestDist
 }
 
+// matchLen counts the length of the common prefix of src[a:] and
+// src[b:], up to maxLen bytes, comparing eight bytes per probe — the
+// software mirror of the paper's comparer-bus widening (Table III,
+// optimization B: 8-bit vs 32-bit buses). a < b is required, and the
+// caller guarantees b+maxLen <= len(src), so every word load is in
+// bounds.
+func matchLen(src []byte, a, b, maxLen int) int {
+	n := 0
+	for n+8 <= maxLen {
+		x := binary.LittleEndian.Uint64(src[a+n:]) ^ binary.LittleEndian.Uint64(src[b+n:])
+		if x != 0 {
+			return n + bits.TrailingZeros64(x)>>3
+		}
+		n += 8
+	}
+	for n < maxLen && src[a+n] == src[b+n] {
+		n++
+	}
+	return n
+}
+
 // compare counts the length of the common prefix of src[a:] and src[b:],
 // up to maxLen bytes, charging one CompareBytes unit per byte examined.
 // This mirrors the hardware comparer, which always compares from the
-// front of the lookahead buffer.
+// front of the lookahead buffer. a < b is required.
 func (m *Matcher) compare(a, b, maxLen int) int {
-	n := 0
-	for n < maxLen && m.src[a+n] == m.src[b+n] {
-		n++
-	}
+	n := matchLen(m.src, a, b, maxLen)
 	examined := n
 	if n < maxLen {
 		examined++ // the mismatching byte was also read

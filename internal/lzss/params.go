@@ -78,6 +78,11 @@ type Params struct {
 	// on a validated Params, reset Hash to nil so Validate re-derives
 	// it (a stale wider hash would index past the head table).
 	Hash HashFunc
+	// defaultHash records that Validate installed ZlibHash itself, so
+	// the matcher may inline the computation instead of calling through
+	// the function value (the hot-path devirtualization; any
+	// caller-supplied Hash — even a ZlibHash — takes the generic path).
+	defaultHash bool
 }
 
 // Validate checks parameter sanity and fills derived defaults.
@@ -105,8 +110,22 @@ func (p *Params) Validate() error {
 	}
 	if p.Hash == nil {
 		p.Hash = ZlibHash(p.HashBits)
+		p.defaultHash = true
 	}
 	return nil
+}
+
+// SameConfig reports whether q configures an identical matcher:
+// same geometry and matching policy, and both using the validated
+// default hash. Custom Hash functions are never considered identical
+// (function values cannot be compared), so callers pooling matchers
+// across configurations must rebuild when either side is custom.
+func (p Params) SameConfig(q Params) bool {
+	return p.defaultHash && q.defaultHash &&
+		p.Window == q.Window && p.HashBits == q.HashBits &&
+		p.MaxChain == q.MaxChain && p.Nice == q.Nice &&
+		p.InsertLimit == q.InsertLimit && p.Lazy == q.Lazy &&
+		p.MaxLazy == q.MaxLazy
 }
 
 // WindowBits returns log2(Window).

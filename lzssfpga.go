@@ -113,6 +113,15 @@ func CompressParallel(data []byte, p Params, segment, workers int) ([]byte, erro
 	return deflate.ParallelCompress(data, p, segment, workers)
 }
 
+// CompressParallelDict is CompressParallel with dictionary carry-over
+// across segment cuts (pigz's default): each segment's matcher is
+// preset with the trailing window of its predecessor, recovering nearly
+// all of the ratio lost to segmenting while staying a standard zlib
+// stream. Output is still deterministic for any worker count.
+func CompressParallelDict(data []byte, p Params, segment, workers int) ([]byte, error) {
+	return deflate.ParallelCompressDict(data, p, segment, workers)
+}
+
 // CompressDict compresses data against a preset dictionary (RFC 1950
 // FDICT): short blocks full of known boilerplate — an embedded logger's
 // records — compress as if the window were already warm. Decode with
