@@ -1,10 +1,20 @@
 #!/bin/sh
-# Repository gate: static checks, full test suite under the race
-# detector, and a fresh machine-readable benchmark point (the
+# Repository gate: formatting, static checks, the full test suite under
+# the race detector (including the observability stress test), the
+# observability overhead budget, and a fresh machine-readable benchmark
+# point gated against the committed previous-PR baseline (the
 # BENCH_*.json trajectory format; see README "Performance & profiling").
 set -eu
 
 cd "$(dirname "$0")"
+
+echo "== gofmt =="
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+	echo "gofmt needed on:" >&2
+	echo "$unformatted" >&2
+	exit 1
+fi
 
 echo "== go vet =="
 go vet ./...
@@ -15,8 +25,14 @@ go build ./...
 echo "== go test -race =="
 go test -race ./...
 
-echo "== benchmark report =="
-go run ./cmd/lzssbench -json BENCH_pr1.json
-cat BENCH_pr1.json
+echo "== observability race stress =="
+go test -race -run StressConcurrentScrape -count=1 ./internal/obs
+
+echo "== observability overhead budget =="
+go test -run '^$' -bench ObsOverhead -benchtime 5x -count=1 .
+
+echo "== benchmark report (gated vs BENCH_pr1.json) =="
+go run ./cmd/lzssbench -json BENCH_pr2.json -compare BENCH_pr1.json
+cat BENCH_pr2.json
 
 echo "CI OK"

@@ -1,13 +1,16 @@
 package lzssfpga
 
 import (
+	"bufio"
 	"bytes"
+	"encoding/json"
 	"os"
 	"os/exec"
 	"path/filepath"
 	"strings"
 	"sync"
 	"testing"
+	"time"
 
 	"lzssfpga/internal/workload"
 )
@@ -28,7 +31,7 @@ func cliBin(t *testing.T, name string) string {
 		if cliErr != nil {
 			return
 		}
-		for _, tool := range []string{"lzsszip", "lzestim", "lzssbench", "lzlog"} {
+		for _, tool := range []string{"lzsszip", "lzestim", "lzssbench", "lzlog", "lzssmon"} {
 			cmd := exec.Command("go", "build", "-o", filepath.Join(cliDir, tool), "./cmd/"+tool)
 			cmd.Env = os.Environ()
 			if out, err := cmd.CombinedOutput(); err != nil {
@@ -130,5 +133,180 @@ func TestCLILogWorkflow(t *testing.T) {
 	out = runCLI(t, "lzlog", "range", "-in", trace+".lzsx", "-off", "1000", "-len", "32")
 	if !strings.Contains(out, "inflated") {
 		t.Fatalf("range: %s", out)
+	}
+}
+
+// TestCLIExitCodes is the error-path audit: every way a tool can fail
+// must print a diagnostic to stderr and exit non-zero, so shell
+// pipelines and CI scripts can trust the exit status.
+func TestCLIExitCodes(t *testing.T) {
+	dir := t.TempDir()
+	real := filepath.Join(dir, "input.bin")
+	if err := os.WriteFile(real, workload.Wiki(20_000, 7), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	corrupt := filepath.Join(dir, "corrupt.zz")
+	if err := os.WriteFile(corrupt, []byte{0x78, 0x9C, 0xFF, 0x00, 0x01, 0x02}, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	missing := filepath.Join(dir, "no-such-file.bin")
+
+	cases := []struct {
+		name    string
+		tool    string
+		args    []string
+		wantErr string // must appear on stderr
+	}{
+		{"zip-no-mode", "lzsszip", []string{real}, "usage: lzsszip"},
+		{"zip-missing-input", "lzsszip", []string{"-c", missing}, "no such file"},
+		{"zip-pdict-without-p", "lzsszip", []string{"-c", "-pdict", real}, "-pdict requires -p"},
+		{"zip-bad-level", "lzsszip", []string{"-c", "-level", "bogus", real}, `unknown level "bogus"`},
+		{"zip-corrupt-test", "lzsszip", []string{"-t", corrupt}, "CORRUPT"},
+		{"zip-trace-without-p", "lzsszip", []string{"-c", "-trace", filepath.Join(dir, "t.json"), real}, "-trace"},
+		{"zip-memprofile-unwritable", "lzsszip",
+			[]string{"-c", "-memprofile", filepath.Join(dir, "no-such-dir", "m.pprof"), real}, "memprofile"},
+		{"zip-bad-metrics-addr", "lzsszip", []string{"-c", "-metrics", "256.256.256.256:0", real}, "metrics"},
+		{"bench-bad-exp", "lzssbench", []string{"-exp", "bogus", "-mb", "1"}, `unknown experiment "bogus"`},
+		{"bench-compare-without-json", "lzssbench", []string{"-compare", "old.json"}, "-compare requires -json"},
+		{"estim-bad-corpus", "lzestim", []string{"-corpus", "bogus", "-mb", "1"}, `unknown corpus "bogus"`},
+		{"estim-bad-sweep", "lzestim", []string{"-sweep", "bogus", "-values", "1,2", "-mb", "1"},
+			`unknown sweep parameter "bogus"`},
+		{"estim-missing-file", "lzestim", []string{"-file", missing}, "no such file"},
+		{"log-no-subcommand", "lzlog", nil, "usage: lzlog"},
+		{"log-bad-subcommand", "lzlog", []string{"bogus"}, `unknown subcommand "bogus"`},
+		{"log-index-no-in", "lzlog", []string{"index"}, "-in required"},
+		{"log-range-no-in", "lzlog", []string{"range"}, "-in required"},
+		{"mon-no-addr", "lzssmon", nil, "usage: lzssmon"},
+		{"mon-unreachable", "lzssmon", []string{"-addr", "127.0.0.1:1", "-timeout", "500ms"}, "lzssmon:"},
+		{"mon-bad-format", "lzssmon", []string{"-addr", "127.0.0.1:1", "-format", "bogus"}, `unknown format "bogus"`},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cmd := exec.Command(cliBin(t, tc.tool), tc.args...)
+			var stdout, stderr bytes.Buffer
+			cmd.Stdout = &stdout
+			cmd.Stderr = &stderr
+			err := cmd.Run()
+			if err == nil {
+				t.Fatalf("%s %v: exited 0, want failure\nstdout: %s", tc.tool, tc.args, stdout.String())
+			}
+			if _, ok := err.(*exec.ExitError); !ok {
+				t.Fatalf("%s %v: did not run: %v", tc.tool, tc.args, err)
+			}
+			if !strings.Contains(stderr.String(), tc.wantErr) {
+				t.Fatalf("%s %v: stderr missing %q\nstderr: %s", tc.tool, tc.args, tc.wantErr, stderr.String())
+			}
+		})
+	}
+}
+
+// TestCLIMetricsScrape runs lzsszip with a live metrics endpoint and
+// scrapes it with lzssmon in both formats while the process is held
+// open — the full "start a run, point a scraper at it" workflow.
+func TestCLIMetricsScrape(t *testing.T) {
+	dir := t.TempDir()
+	src := filepath.Join(dir, "input.bin")
+	if err := os.WriteFile(src, workload.Wiki(400_000, 42), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cmd := exec.Command(cliBin(t, "lzsszip"),
+		"-c", "-p", "2", "-metrics", "127.0.0.1:0", "-metricshold", "30s", src)
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		cmd.Process.Kill()
+		cmd.Wait()
+	}()
+	// First stderr line announces the bound address.
+	line, err := bufio.NewReader(stderr).ReadString('\n')
+	if err != nil {
+		t.Fatalf("reading metrics announcement: %v", err)
+	}
+	line = strings.TrimSpace(line)
+	i := strings.Index(line, "http://")
+	j := strings.LastIndex(line, "/metrics")
+	if i < 0 || j < i {
+		t.Fatalf("unexpected announcement: %q", line)
+	}
+	addr := line[i+len("http://") : j]
+
+	deadline := time.Now().Add(10 * time.Second)
+	var prom string
+	for {
+		// deflate_parallel_runs_total increments when the run completes,
+		// so once it shows up every per-segment counter has flushed too.
+		out, err := exec.Command(cliBin(t, "lzssmon"), "-addr", addr).Output()
+		if err == nil && strings.Contains(string(out), "deflate_parallel_runs_total 1") {
+			prom = string(out)
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("scrape never saw lzss metrics: %v\n%s", err, out)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	for _, want := range []string{
+		"# TYPE lzss_input_bytes_total counter",
+		"deflate_segments_total",
+		`lzss_match_len_bucket{le="+Inf"}`,
+	} {
+		if !strings.Contains(prom, want) {
+			t.Fatalf("prometheus scrape missing %q:\n%s", want, prom)
+		}
+	}
+	jsonOut, err := exec.Command(cliBin(t, "lzssmon"), "-addr", addr, "-format", "json").Output()
+	if err != nil {
+		t.Fatalf("json scrape: %v", err)
+	}
+	var vars map[string]any
+	if err := json.Unmarshal(jsonOut, &vars); err != nil {
+		t.Fatalf("expvar output is not JSON: %v\n%s", err, jsonOut)
+	}
+	if v, ok := vars["deflate_parallel_runs_total"].(float64); !ok || v < 1 {
+		t.Fatalf("expvar deflate_parallel_runs_total = %v, want >= 1", vars["deflate_parallel_runs_total"])
+	}
+}
+
+// TestCLITraceFile checks that a parallel compression run writes a
+// Chrome trace with all four pipeline stages.
+func TestCLITraceFile(t *testing.T) {
+	dir := t.TempDir()
+	src := filepath.Join(dir, "input.bin")
+	if err := os.WriteFile(src, workload.Wiki(400_000, 43), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	trace := filepath.Join(dir, "pipeline.json")
+	runCLI(t, "lzsszip", "-c", "-p", "2", "-trace", trace, src)
+	raw, err := os.ReadFile(trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string `json:"name"`
+			Ph   string `json:"ph"`
+			Tid  int    `json:"tid"`
+			Dur  int64  `json:"dur"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	stages := map[string]int{}
+	for _, e := range doc.TraceEvents {
+		if e.Ph != "X" {
+			t.Fatalf("event %q: phase %q, want complete event X", e.Name, e.Ph)
+		}
+		stages[e.Name]++
+	}
+	for _, want := range []string{"split", "match", "encode", "assemble"} {
+		if stages[want] == 0 {
+			t.Fatalf("trace has no %q span (stages: %v)", want, stages)
+		}
 	}
 }

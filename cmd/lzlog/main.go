@@ -176,8 +176,8 @@ func rangeRead(args []string) error {
 	touched := a.BlocksTouched(*off, n)
 	if *hexOut {
 		fmt.Printf("%x\n", buf[:n])
-	} else {
-		os.Stdout.Write(buf[:n])
+	} else if _, err := os.Stdout.Write(buf[:n]); err != nil {
+		return err
 	}
 	fmt.Fprintf(os.Stderr, "read %d bytes at %d: inflated %d of %d blocks\n",
 		n, *off, touched, a.Blocks())

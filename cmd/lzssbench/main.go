@@ -7,6 +7,13 @@
 //	lzssbench [-exp all|table1|table2|table3|fig2|fig3|fig4|fig5] [-mb N] [-seed S]
 //	lzssbench -json BENCH.json [-mb N] [-seed S]   # machine-readable perf report
 //
+// -json runs with the observability registry enabled and embeds its
+// snapshot in the report, so the numbers in the file and the ones a
+// Prometheus scrape of -metrics ADDR sees are the same counters read
+// the same way. -compare OLD.json gates the freshly measured results
+// against an earlier report: any benchmark more than 10% slower in
+// MB/s fails the run (the CI regression gate).
+//
 // -cpuprofile / -memprofile write pprof profiles of whichever mode ran.
 package main
 
@@ -17,6 +24,7 @@ import (
 	"runtime"
 	"runtime/pprof"
 
+	"lzssfpga"
 	"lzssfpga/internal/experiments"
 )
 
@@ -25,6 +33,8 @@ var (
 	mb         = flag.Int("mb", 4, "corpus fragment size in MiB for the figures")
 	seed       = flag.Int64("seed", 1, "corpus generator seed")
 	jsonPath   = flag.String("json", "", "write a machine-readable benchmark report to this path instead of running experiments")
+	compareTo  = flag.String("compare", "", "with -json: fail if any result regresses >10% in MB/s vs this earlier report")
+	metrics    = flag.String("metrics", "", "serve /metrics, /debug/vars and /debug/pprof/ on this address during the run")
 	cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this path")
 	memProfile = flag.String("memprofile", "", "write a heap profile to this path on exit")
 )
@@ -62,12 +72,30 @@ func run() error {
 			}
 		}()
 	}
+	reg := lzssfpga.NewMetricsRegistry()
+	lzssfpga.EnableObservability(reg)
+	defer lzssfpga.EnableObservability(nil)
+	if *metrics != "" {
+		srv, bound, err := lzssfpga.ServeMetrics(reg, *metrics)
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "lzssbench: metrics on http://%s/metrics\n", bound)
+	}
 	if *jsonPath != "" {
-		if err := writeJSONReport(*jsonPath, *mb<<20, *seed); err != nil {
+		rep, err := writeJSONReport(*jsonPath, *mb<<20, *seed, reg)
+		if err != nil {
 			return err
 		}
 		fmt.Printf("wrote %s\n", *jsonPath)
+		if *compareTo != "" {
+			return compareReports(rep, *compareTo)
+		}
 		return nil
+	}
+	if *compareTo != "" {
+		return fmt.Errorf("-compare requires -json (it gates freshly measured results)")
 	}
 	p := experiments.Params{Bytes: *mb << 20, Seed: *seed}
 	var out string

@@ -5,9 +5,11 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"strings"
 	"time"
 
 	"lzssfpga"
+	"lzssfpga/internal/checksum"
 	"lzssfpga/internal/workload"
 )
 
@@ -17,10 +19,14 @@ import (
 // baseline measured on the growth seed so every later point carries its
 // own before/after comparison.
 
-// benchEntry is one benchmarked configuration.
+// benchEntry is one benchmarked configuration. MBPerS is taken from
+// the fastest iteration — the least noise-contaminated sample, and the
+// number the -compare regression gate uses — while MBPerSMean keeps
+// the whole-run average for continuity with older reports.
 type benchEntry struct {
 	Name        string  `json:"name"`
 	MBPerS      float64 `json:"mb_per_s"`
+	MBPerSMean  float64 `json:"mb_per_s_mean,omitempty"`
 	Ratio       float64 `json:"ratio"`
 	AllocsPerOp float64 `json:"allocs_per_op"`
 	BytesPerOp  float64 `json:"bytes_per_op"`
@@ -29,15 +35,27 @@ type benchEntry struct {
 
 // benchReport is the file layout.
 type benchReport struct {
-	Schema     string       `json:"schema"`
-	Timestamp  string       `json:"timestamp"`
-	GoVersion  string       `json:"go_version"`
-	GOMAXPROCS int          `json:"gomaxprocs"`
-	Workload   string       `json:"workload"`
-	Bytes      int          `json:"bytes"`
-	Seed       int64        `json:"seed"`
-	Baseline   []benchEntry `json:"baseline_seed"`
-	Results    []benchEntry `json:"results"`
+	Schema     string `json:"schema"`
+	Timestamp  string `json:"timestamp"`
+	GoVersion  string `json:"go_version"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	Workload   string `json:"workload"`
+	Bytes      int    `json:"bytes"`
+	Seed       int64  `json:"seed"`
+	// CalibMBPerS is a machine-speed reference measured in the same run
+	// as the results: Adler-32 over the corpus, a fixed CPU-bound loop
+	// no compression change touches. When two reports both carry it,
+	// the -compare gate scales the old throughputs by the calibration
+	// ratio, so a slower CI box on a later day doesn't read as a code
+	// regression (and a faster one doesn't hide a real regression).
+	CalibMBPerS float64      `json:"calib_mb_per_s,omitempty"`
+	Baseline    []benchEntry `json:"baseline_seed"`
+	Results     []benchEntry `json:"results"`
+	// Metrics is the observability registry snapshot taken right after
+	// the timed runs: the same counters, under the same canonical names,
+	// that a Prometheus scrape of -metrics would report (histograms are
+	// flattened to name_bucket_le_<bound>/name_sum/name_count keys).
+	Metrics map[string]float64 `json:"metrics,omitempty"`
 }
 
 // seedBaseline holds the same benchmarks measured at the growth seed
@@ -64,18 +82,24 @@ func benchOne(name string, data []byte, iters int, fn func() ([]byte, error)) (b
 	var before, after runtime.MemStats
 	runtime.GC()
 	runtime.ReadMemStats(&before)
-	start := time.Now()
+	var elapsed, fastest time.Duration
 	for i := 0; i < iters; i++ {
+		start := time.Now()
 		if _, err := fn(); err != nil {
 			return benchEntry{}, fmt.Errorf("%s: %w", name, err)
 		}
+		d := time.Since(start)
+		elapsed += d
+		if i == 0 || d < fastest {
+			fastest = d
+		}
 	}
-	elapsed := time.Since(start)
 	runtime.ReadMemStats(&after)
-	mb := float64(len(data)) * float64(iters) / (1 << 20)
+	mb := float64(len(data)) / (1 << 20)
 	return benchEntry{
 		Name:        name,
-		MBPerS:      round2(mb / elapsed.Seconds()),
+		MBPerS:      round2(mb / fastest.Seconds()),
+		MBPerSMean:  round2(mb * float64(iters) / elapsed.Seconds()),
 		Ratio:       round3(ratio),
 		AllocsPerOp: float64((after.Mallocs - before.Mallocs) / uint64(iters)),
 		BytesPerOp:  float64((after.TotalAlloc - before.TotalAlloc) / uint64(iters)),
@@ -86,9 +110,29 @@ func benchOne(name string, data []byte, iters int, fn func() ([]byte, error)) (b
 func round2(v float64) float64 { return float64(int64(v*100+0.5)) / 100 }
 func round3(v float64) float64 { return float64(int64(v*1000+0.5)) / 1000 }
 
+// calibrate measures the machine-speed reference: best of seven
+// Adler-32 passes over the corpus, in MB/s.
+func calibrate(data []byte) float64 {
+	var fastest time.Duration
+	for i := 0; i < 7; i++ {
+		start := time.Now()
+		checksum.Adler32Sum(data)
+		d := time.Since(start)
+		if i == 0 || d < fastest {
+			fastest = d
+		}
+	}
+	return round2(float64(len(data)) / (1 << 20) / fastest.Seconds())
+}
+
+// regressionTolerance is the CI gate: a result more than this fraction
+// slower (MB/s) than the same-named entry in the compared report fails.
+const regressionTolerance = 0.10
+
 // writeJSONReport benchmarks the software compression paths and writes
-// the report to path.
-func writeJSONReport(path string, bytes int, seed int64) error {
+// the report to path. reg, when non-nil, is snapshotted into the
+// report's metrics section after the timed runs.
+func writeJSONReport(path string, bytes int, seed int64, reg *lzssfpga.MetricsRegistry) (*benchReport, error) {
 	data := workload.Wiki(bytes, seed)
 	p := lzssfpga.HWSpeedParams()
 	const iters = 5
@@ -113,13 +157,70 @@ func writeJSONReport(path string, bytes int, seed int64) error {
 	for _, b := range benches {
 		e, err := benchOne(b.name, data, iters, b.fn)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		rep.Results = append(rep.Results, e)
 	}
+	rep.CalibMBPerS = calibrate(data)
+	if reg != nil {
+		rep.Metrics = reg.Snapshot()
+	}
 	out, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	if err := os.WriteFile(path, append(out, '\n'), 0o644); err != nil {
+		return nil, err
+	}
+	return &rep, nil
+}
+
+// compareReports gates cur's results against the report at oldPath:
+// every benchmark present in both must be within regressionTolerance of
+// the old MB/s. Benchmarks only on one side are reported but don't
+// fail, so adding or retiring a configuration doesn't break the gate.
+func compareReports(cur *benchReport, oldPath string) error {
+	raw, err := os.ReadFile(oldPath)
 	if err != nil {
 		return err
 	}
-	return os.WriteFile(path, append(out, '\n'), 0o644)
+	var old benchReport
+	if err := json.Unmarshal(raw, &old); err != nil {
+		return fmt.Errorf("%s: %w", oldPath, err)
+	}
+	prev := make(map[string]benchEntry, len(old.Results))
+	for _, e := range old.Results {
+		prev[e.Name] = e
+	}
+	scale := 1.0
+	if cur.CalibMBPerS > 0 && old.CalibMBPerS > 0 {
+		scale = cur.CalibMBPerS / old.CalibMBPerS
+		fmt.Printf("compare: machine calibration %.2f MB/s now vs %.2f then: scaling baselines by %.3f\n",
+			cur.CalibMBPerS, old.CalibMBPerS, scale)
+	}
+	var regressions []string
+	for _, e := range cur.Results {
+		o, ok := prev[e.Name]
+		if !ok {
+			fmt.Printf("compare: %-14s new benchmark, no baseline in %s\n", e.Name, oldPath)
+			continue
+		}
+		delete(prev, e.Name)
+		floor := o.MBPerS * scale * (1 - regressionTolerance)
+		status := "ok"
+		if e.MBPerS < floor {
+			status = "REGRESSION"
+			regressions = append(regressions,
+				fmt.Sprintf("%s: %.2f MB/s vs %.2f (floor %.2f)", e.Name, e.MBPerS, o.MBPerS*scale, floor))
+		}
+		fmt.Printf("compare: %-14s %8.2f MB/s vs %8.2f baseline  %s\n", e.Name, e.MBPerS, o.MBPerS*scale, status)
+	}
+	for name := range prev {
+		fmt.Printf("compare: %-14s retired (present only in %s)\n", name, oldPath)
+	}
+	if len(regressions) > 0 {
+		return fmt.Errorf("throughput regressed >%d%% vs %s:\n\t%s",
+			int(regressionTolerance*100), oldPath, strings.Join(regressions, "\n\t"))
+	}
+	return nil
 }

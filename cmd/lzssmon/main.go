@@ -1,0 +1,67 @@
+// Command lzssmon takes a one-shot snapshot of a running tool's
+// observability endpoint (a `-metrics ADDR` lzsszip or lzssbench) and
+// prints it to stdout. It is the scrape-without-Prometheus tool: point
+// it at the address, get the current counters, exit.
+//
+//	lzssmon -addr localhost:8391                  # Prometheus text format
+//	lzssmon -addr localhost:8391 -format json     # expvar-style JSON
+//
+// The exit code is non-zero when the endpoint is unreachable or
+// answers with anything but 200, so it doubles as a liveness probe.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+)
+
+var (
+	addr    = flag.String("addr", "", "metrics endpoint (host:port) of a tool started with -metrics")
+	format  = flag.String("format", "prom", "output format: prom (/metrics text) or json (/debug/vars)")
+	timeout = flag.Duration("timeout", 2*time.Second, "HTTP timeout for the snapshot request")
+)
+
+func main() {
+	flag.Parse()
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "lzssmon:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	if *addr == "" {
+		return fmt.Errorf("usage: lzssmon -addr host:port [-format prom|json]")
+	}
+	var path string
+	switch *format {
+	case "prom":
+		path = "/metrics"
+	case "json":
+		path = "/debug/vars"
+	default:
+		return fmt.Errorf("unknown format %q (want prom or json)", *format)
+	}
+	target := *addr
+	if !strings.Contains(target, "://") {
+		target = "http://" + target
+	}
+	client := &http.Client{Timeout: *timeout}
+	resp, err := client.Get(target + path)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("%s%s: %s", target, path, resp.Status)
+	}
+	if _, err := io.Copy(os.Stdout, resp.Body); err != nil {
+		return fmt.Errorf("reading snapshot: %w", err)
+	}
+	return nil
+}

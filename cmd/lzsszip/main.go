@@ -9,6 +9,13 @@
 //	lzsszip -c [-level min|default|max] [-window N] [-o out] file
 //	lzsszip -d [-o out] file.zz
 //	lzsszip -t file.zz            # integrity test
+//
+// Observability: -metrics ADDR serves the library's metric registry
+// (Prometheus text at /metrics, expvar JSON at /debug/vars, pprof at
+// /debug/pprof/) for the duration of the run; -metricshold keeps the
+// process alive after the run so a scraper can collect the final
+// numbers. -trace PATH (with -c -p N) writes a Chrome trace-event JSON
+// of the parallel pipeline stages, loadable in chrome://tracing.
 package main
 
 import (
@@ -19,6 +26,7 @@ import (
 	"runtime"
 	"runtime/pprof"
 	"strings"
+	"time"
 
 	"lzssfpga"
 )
@@ -37,41 +45,103 @@ var (
 	gz         = flag.Bool("gz", false, "use the gzip (.gz) container instead of zlib")
 	cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this path")
 	memProfile = flag.String("memprofile", "", "write a heap profile to this path on exit")
+	metrics    = flag.String("metrics", "", "serve /metrics, /debug/vars and /debug/pprof/ on this address during the run")
+	hold       = flag.Duration("metricshold", 0, "with -metrics: keep the endpoint up this long after the run")
+	tracePath  = flag.String("trace", "", "with -c -p N: write a Chrome trace-event JSON of the pipeline stages")
 )
+
+// tracer is non-nil when -trace is set; doCompress hands it to the
+// parallel pipeline.
+var tracer *lzssfpga.Tracer
 
 func main() {
 	flag.Parse()
+	os.Exit(realMain())
+}
+
+// realMain returns the process exit code. Every failure path — the run
+// itself, profile writes, the trace write, the metrics listener — both
+// reports to stderr and turns the exit code non-zero, so scripts can
+// trust `lzsszip && ...`.
+func realMain() int {
+	code := 0
+	fail := func(prefix string, err error) {
+		fmt.Fprintf(os.Stderr, "lzsszip: %s%v\n", prefix, err)
+		code = 1
+	}
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "lzsszip:", err)
-			os.Exit(1)
+			fail("", err)
+			return code
 		}
 		if err := pprof.StartCPUProfile(f); err != nil {
-			fmt.Fprintln(os.Stderr, "lzsszip:", err)
-			os.Exit(1)
+			fail("", err)
+			return code
 		}
 		defer pprof.StopCPUProfile()
 	}
-	err := run()
+	if *metrics != "" {
+		reg := lzssfpga.NewMetricsRegistry()
+		lzssfpga.EnableObservability(reg)
+		defer lzssfpga.EnableObservability(nil)
+		srv, bound, err := lzssfpga.ServeMetrics(reg, *metrics)
+		if err != nil {
+			fail("metrics: ", err)
+			return code
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "lzsszip: metrics on http://%s/metrics\n", bound)
+	}
+	if *tracePath != "" {
+		if !*compress || *parallel <= 0 || *gz {
+			fail("", fmt.Errorf("-trace records the parallel pipeline: it requires -c -p N (and the zlib container)"))
+			return code
+		}
+		tracer = lzssfpga.NewTracer()
+	}
+	if err := run(); err != nil {
+		fail("", err)
+	}
+	if *tracePath != "" && code == 0 {
+		if err := writeTrace(*tracePath); err != nil {
+			fail("trace: ", err)
+		}
+	}
 	if *memProfile != "" {
-		f, merr := os.Create(*memProfile)
-		if merr == nil {
-			runtime.GC()
-			merr = pprof.WriteHeapProfile(f)
-			f.Close()
-		}
-		if merr != nil {
-			fmt.Fprintln(os.Stderr, "lzsszip: memprofile:", merr)
+		if err := writeMemProfile(*memProfile); err != nil {
+			fail("memprofile: ", err)
 		}
 	}
+	if *metrics != "" && *hold > 0 {
+		time.Sleep(*hold)
+	}
+	return code
+}
+
+func writeMemProfile(path string) error {
+	f, err := os.Create(path)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "lzsszip:", err)
-		if *cpuProfile != "" {
-			pprof.StopCPUProfile()
-		}
-		os.Exit(1)
+		return err
 	}
+	runtime.GC()
+	err = pprof.WriteHeapProfile(f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+func writeTrace(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	err = tracer.WriteJSON(f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }
 
 func run() error {
@@ -126,6 +196,8 @@ func doCompress(in string, data []byte) error {
 	switch {
 	case *gz:
 		z, err = lzssfpga.GzipCompress(data, p, filepath.Base(in))
+	case *parallel > 0 && tracer != nil:
+		z, err = lzssfpga.CompressParallelTraced(data, p, 0, *parallel, *pdict, tracer)
 	case *parallel > 0 && *pdict:
 		z, err = lzssfpga.CompressParallelDict(data, p, 0, *parallel)
 	case *parallel > 0:
@@ -145,8 +217,11 @@ func doCompress(in string, data []byte) error {
 	} else {
 		back, err = lzssfpga.Decompress(z)
 	}
-	if err != nil || len(back) != len(data) {
+	if err != nil {
 		return fmt.Errorf("self-check failed: %v", err)
+	}
+	if len(back) != len(data) {
+		return fmt.Errorf("self-check failed: decompressed %d bytes, expected %d", len(back), len(data))
 	}
 	dst := *out
 	if dst == "" {

@@ -83,6 +83,7 @@ func (c *Compressor) CompressTraced(src []byte, source stream.Source, sink strea
 		return nil, err
 	}
 	r.stats.OutputBytes = int64(len(zl))
+	publishStats(&r.stats)
 	return &Result{Commands: r.cmds, Zlib: zl, Stats: r.stats}, nil
 }
 

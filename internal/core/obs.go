@@ -1,0 +1,83 @@
+package core
+
+import (
+	"sync/atomic"
+
+	"lzssfpga/internal/obs"
+)
+
+// coreSink holds the registry handles for the core_* family: the
+// hardware model's cycle ledger, flushed once per modeled run. The six
+// cycle counters are the Fig 5 stall breakdown, indexed by State.
+type coreSink struct {
+	cycles        [NumStates]*obs.Counter
+	inputBytes    *obs.Counter
+	outputBytes   *obs.Counter
+	attempts      *obs.Counter
+	prefetchHits  *obs.Counter
+	matches       *obs.Counter
+	literals      *obs.Counter
+	matchedBytes  *obs.Counter
+	chainSteps    *obs.Counter
+	rotations     *obs.Counter
+	sinkStalls    *obs.Counter
+	sourceStalls  *obs.Counter
+	cyclesPerByte *obs.Gauge
+}
+
+var coreObs atomic.Pointer[coreSink]
+
+// SetObservability wires the package's core_* metrics into reg (nil
+// disables). Counter names map to the CycleStats fields; the state
+// cycle counters follow Fig 5's category order.
+func SetObservability(reg *obs.Registry) {
+	if reg == nil {
+		coreObs.Store(nil)
+		return
+	}
+	s := &coreSink{
+		inputBytes:    reg.Counter(obs.CoreInputBytes),
+		outputBytes:   reg.Counter(obs.CoreOutputBytes),
+		attempts:      reg.Counter(obs.CoreAttempts),
+		prefetchHits:  reg.Counter(obs.CorePrefetchHits),
+		matches:       reg.Counter(obs.CoreMatches),
+		literals:      reg.Counter(obs.CoreLiterals),
+		matchedBytes:  reg.Counter(obs.CoreMatchedBytes),
+		chainSteps:    reg.Counter(obs.CoreChainSteps),
+		rotations:     reg.Counter(obs.CoreRotations),
+		sinkStalls:    reg.Counter(obs.CoreSinkStalls),
+		sourceStalls:  reg.Counter(obs.CoreSourceStalls),
+		cyclesPerByte: reg.Gauge(obs.CoreCyclesPerByte),
+	}
+	s.cycles[StateWait] = reg.Counter(obs.CoreCyclesWait)
+	s.cycles[StateOutput] = reg.Counter(obs.CoreCyclesOutput)
+	s.cycles[StateHashUpdate] = reg.Counter(obs.CoreCyclesHashUpdate)
+	s.cycles[StateRotate] = reg.Counter(obs.CoreCyclesRotate)
+	s.cycles[StateFetch] = reg.Counter(obs.CoreCyclesFetch)
+	s.cycles[StateMatch] = reg.Counter(obs.CoreCyclesMatch)
+	coreObs.Store(s)
+}
+
+// publishStats flushes one run's CycleStats into the registry, if one
+// is wired. Called once per modeled compression run.
+func publishStats(st *CycleStats) {
+	s := coreObs.Load()
+	if s == nil {
+		return
+	}
+	for i := range st.Cycles {
+		s.cycles[i].Add(st.Cycles[i])
+	}
+	s.inputBytes.Add(st.InputBytes)
+	s.outputBytes.Add(st.OutputBytes)
+	s.attempts.Add(st.Attempts)
+	s.prefetchHits.Add(st.PrefetchHits)
+	s.matches.Add(st.Matches)
+	s.literals.Add(st.Literals)
+	s.matchedBytes.Add(st.MatchedBytes)
+	s.chainSteps.Add(st.ChainSteps)
+	s.rotations.Add(st.Rotations)
+	s.sinkStalls.Add(st.SinkStallCycles)
+	s.sourceStalls.Add(st.SourceStallCycles)
+	s.cyclesPerByte.Set(st.CyclesPerByte())
+}

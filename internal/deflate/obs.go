@@ -1,0 +1,56 @@
+package deflate
+
+import (
+	"sync/atomic"
+
+	"lzssfpga/internal/obs"
+)
+
+// queueWaitBounds buckets segment queue wait in microseconds.
+var queueWaitBounds = []int64{1, 5, 10, 50, 100, 500, 1000, 5000, 10000, 50000, 100000, 1000000}
+
+// deflateSink holds the registry handles for the deflate_* family:
+// parallel-pipeline accounting plus the streaming writer's counters.
+// All updates are per-segment / per-block, never per byte.
+type deflateSink struct {
+	parallelRuns *obs.Counter
+	segments     *obs.Counter
+	inBytes      *obs.Counter
+	outBytes     *obs.Counter
+	queueWaitUs  *obs.Histogram
+	workerBusyNs *obs.Counter
+	poolGets     *obs.Counter
+	poolRebuilds *obs.Counter
+	lastRatio    *obs.Gauge
+
+	streamInBytes  *obs.Counter
+	streamOutBytes *obs.Counter
+	streamBlocks   *obs.Counter
+	streamFlushes  *obs.Counter
+}
+
+var deflateObs atomic.Pointer[deflateSink]
+
+// SetObservability wires the package's deflate_* metrics into reg
+// (nil disables).
+func SetObservability(reg *obs.Registry) {
+	if reg == nil {
+		deflateObs.Store(nil)
+		return
+	}
+	deflateObs.Store(&deflateSink{
+		parallelRuns:   reg.Counter(obs.DeflateParallelRuns),
+		segments:       reg.Counter(obs.DeflateSegments),
+		inBytes:        reg.Counter(obs.DeflateInBytes),
+		outBytes:       reg.Counter(obs.DeflateOutBytes),
+		queueWaitUs:    reg.Histogram(obs.DeflateQueueWaitUs, queueWaitBounds),
+		workerBusyNs:   reg.Counter(obs.DeflateWorkerBusyNs),
+		poolGets:       reg.Counter(obs.DeflatePoolGets),
+		poolRebuilds:   reg.Counter(obs.DeflatePoolRebuilds),
+		lastRatio:      reg.Gauge(obs.DeflateLastRatio),
+		streamInBytes:  reg.Counter(obs.DeflateStreamInBytes),
+		streamOutBytes: reg.Counter(obs.DeflateStreamOutBytes),
+		streamBlocks:   reg.Counter(obs.DeflateStreamBlocks),
+		streamFlushes:  reg.Counter(obs.DeflateStreamFlushes),
+	})
+}

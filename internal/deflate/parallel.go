@@ -1,11 +1,14 @@
 package deflate
 
 import (
+	"fmt"
 	"runtime"
 	"sync"
+	"time"
 
 	"lzssfpga/internal/bitio"
 	"lzssfpga/internal/lzss"
+	"lzssfpga/internal/obs"
 	"lzssfpga/internal/token"
 )
 
@@ -21,6 +24,13 @@ type segWorker struct {
 	out  sliceBuffer
 	bw   *bitio.Writer
 	plan dynamicPlan
+	// Per-run observability context, set by the worker loop before
+	// each segment and cleared before pooling: the run's tracer (nil
+	// when tracing is off), the worker's trace row, and the segment
+	// index being compressed.
+	tr  *obs.Tracer
+	tid int
+	seg int
 }
 
 // sliceBuffer is the minimal io.Writer the bit writer needs: an
@@ -39,8 +49,15 @@ var segWorkerPool = sync.Pool{New: func() any { return new(segWorker) }}
 // getSegWorker fetches a pooled worker, rebuilding the matcher when the
 // pooled one was configured differently (table sizes or policy).
 func getSegWorker(p lzss.Params) (*segWorker, error) {
+	k := deflateObs.Load()
 	w := segWorkerPool.Get().(*segWorker)
+	if k != nil {
+		k.poolGets.Inc()
+	}
 	if w.m == nil || !w.p.SameConfig(p) {
+		if k != nil {
+			k.poolRebuilds.Inc()
+		}
 		m, err := lzss.NewMatcher(nil, p, nil)
 		if err != nil {
 			segWorkerPool.Put(w)
@@ -61,6 +78,7 @@ func putSegWorker(w *segWorker) {
 	w.m.Reset(nil)
 	w.cmds = w.cmds[:0]
 	w.out.b = w.out.b[:0]
+	w.tr = nil
 	segWorkerPool.Put(w)
 }
 
@@ -75,7 +93,7 @@ func putSegWorker(w *segWorker) {
 // segment is the cut size (0 selects 256 KiB, a good ratio/parallelism
 // balance); workers defaults to GOMAXPROCS.
 func ParallelCompress(data []byte, p lzss.Params, segment, workers int) ([]byte, error) {
-	return parallelCompress(data, p, segment, workers, false)
+	return parallelCompress(data, p, segment, workers, false, nil)
 }
 
 // ParallelCompressDict is ParallelCompress with dictionary carry-over
@@ -87,13 +105,24 @@ func ParallelCompress(data []byte, p lzss.Params, segment, workers int) ([]byte,
 // matching is greedy (the dictionary path is policy-shared with
 // CompressWithDict).
 func ParallelCompressDict(data []byte, p lzss.Params, segment, workers int) ([]byte, error) {
-	return parallelCompress(data, p, segment, workers, true)
+	return parallelCompress(data, p, segment, workers, true, nil)
 }
 
-func parallelCompress(data []byte, p lzss.Params, segment, workers int, carry bool) ([]byte, error) {
+// ParallelCompressTraced is ParallelCompress(Dict) with a span tracer
+// observing the pipeline stages: one "split" span for segmentation
+// planning, per-segment "match" and "encode" spans on the owning
+// worker's trace row, and one "assemble" span for stream assembly. tr
+// may be nil (no tracing).
+func ParallelCompressTraced(data []byte, p lzss.Params, segment, workers int, carry bool, tr *obs.Tracer) ([]byte, error) {
+	return parallelCompress(data, p, segment, workers, carry, tr)
+}
+
+func parallelCompress(data []byte, p lzss.Params, segment, workers int, carry bool, tr *obs.Tracer) ([]byte, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
+	k := deflateObs.Load()
+	splitStart := time.Now()
 	if segment <= 0 {
 		segment = 256 << 10
 	}
@@ -106,6 +135,14 @@ func parallelCompress(data []byte, p lzss.Params, segment, workers int, carry bo
 	}
 	bodies := make([][]byte, nSeg)
 	errs := make([]error, nSeg)
+	// submits[i] is when segment i entered the job queue; a worker
+	// reads it after receiving i from the channel (the channel receive
+	// orders the write before the read). Only allocated when someone is
+	// watching — the wait ends up in the deflate_queue_wait_us buckets.
+	var submits []time.Time
+	if k != nil {
+		submits = make([]time.Time, nSeg)
+	}
 
 	var wg sync.WaitGroup
 	jobs := make(chan int)
@@ -114,7 +151,7 @@ func parallelCompress(data []byte, p lzss.Params, segment, workers int, carry bo
 	}
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(tid int) {
 			defer wg.Done()
 			sw, err := getSegWorker(p)
 			if err != nil {
@@ -124,7 +161,13 @@ func parallelCompress(data []byte, p lzss.Params, segment, workers int, carry bo
 				return
 			}
 			defer putSegWorker(sw)
+			sw.tr = tr
+			sw.tid = tid
 			for i := range jobs {
+				segStart := time.Now()
+				if k != nil {
+					k.queueWaitUs.Observe(segStart.Sub(submits[i]).Microseconds())
+				}
 				lo := i * segment
 				hi := lo + segment
 				if hi > len(data) {
@@ -138,11 +181,22 @@ func parallelCompress(data []byte, p lzss.Params, segment, workers int, carry bo
 						dictLo = 0
 					}
 				}
+				sw.seg = i
 				bodies[i], errs[i] = sw.compressSegment(data[dictLo:hi], lo-dictLo, i == nSeg-1)
+				if k != nil {
+					k.segments.Inc()
+					k.inBytes.Add(int64(hi - lo))
+					k.outBytes.Add(int64(len(bodies[i])))
+					k.workerBusyNs.Add(time.Since(segStart).Nanoseconds())
+				}
 			}
-		}()
+		}(w + 1)
 	}
+	tr.Span("split", 0, splitStart, time.Since(splitStart), fmt.Sprintf(`{"segments":%d,"workers":%d}`, nSeg, workers))
 	for i := 0; i < nSeg; i++ {
+		if submits != nil {
+			submits[i] = time.Now()
+		}
 		jobs <- i
 	}
 	close(jobs)
@@ -153,6 +207,7 @@ func parallelCompress(data []byte, p lzss.Params, segment, workers int, carry bo
 		}
 	}
 	// Assemble header, bodies and trailer into one presized buffer.
+	assembleStart := time.Now()
 	hdr, err := ZlibHeader(p.Window)
 	if err != nil {
 		return nil, err
@@ -167,7 +222,15 @@ func parallelCompress(data []byte, p lzss.Params, segment, workers int, carry bo
 		out = append(out, b...)
 	}
 	sum := AdlerChecksum(data)
-	return append(out, byte(sum>>24), byte(sum>>16), byte(sum>>8), byte(sum)), nil
+	out = append(out, byte(sum>>24), byte(sum>>16), byte(sum>>8), byte(sum))
+	tr.Span("assemble", 0, assembleStart, time.Since(assembleStart), fmt.Sprintf(`{"bytes":%d}`, len(out)))
+	if k != nil {
+		k.parallelRuns.Inc()
+		if len(out) > 0 {
+			k.lastRatio.Set(float64(len(data)) / float64(len(out)))
+		}
+	}
+	return out, nil
 }
 
 // compressSegment produces byte-aligned Deflate blocks for one segment,
@@ -179,11 +242,17 @@ func parallelCompress(data []byte, p lzss.Params, segment, workers int, carry bo
 // the classic Z_FULL_FLUSH framing. The returned slice is freshly
 // allocated; all scratch state lives in the worker.
 func (w *segWorker) compressSegment(buf []byte, origin int, final bool) ([]byte, error) {
+	matchStart := time.Now()
 	if origin > 0 {
 		w.cmds = lzss.CompressTail(w.cmds[:0], w.m, buf, origin)
 	} else {
 		w.cmds = lzss.CompressReuse(w.cmds[:0], w.m, buf)
 	}
+	if w.tr != nil {
+		w.tr.Span("match", w.tid, matchStart, time.Since(matchStart),
+			fmt.Sprintf(`{"segment":%d,"bytes":%d,"commands":%d}`, w.seg, len(buf)-origin, len(w.cmds)))
+	}
+	encodeStart := time.Now()
 	cmds := w.cmds
 	plan := &w.plan
 	plan.plan(cmds)
@@ -220,5 +289,9 @@ func (w *segWorker) compressSegment(buf []byte, origin int, final bool) ([]byte,
 	}
 	body := make([]byte, len(w.out.b))
 	copy(body, w.out.b)
+	if w.tr != nil {
+		w.tr.Span("encode", w.tid, encodeStart, time.Since(encodeStart),
+			fmt.Sprintf(`{"segment":%d,"bytes":%d}`, w.seg, len(body)))
+	}
 	return body, nil
 }

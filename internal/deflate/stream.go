@@ -15,7 +15,7 @@ import (
 // symbol statistics; Close finishes the stream with the final block and
 // the Adler-32 trailer. Output is standard RFC 1950.
 type Writer struct {
-	w       io.Writer
+	w       *countWriter
 	bw      *bitio.Writer
 	sc      *lzss.StreamCompressor
 	adler   *Adler32
@@ -23,6 +23,37 @@ type Writer struct {
 	window  int
 	closed  bool
 	err     error
+	// Observability accumulators, flushed to the deflate_stream_*
+	// metrics at block/flush/close granularity.
+	obsIn, obsInFlushed, obsOutFlushed int64
+}
+
+// countWriter counts bytes on their way to the underlying writer so
+// the stream metrics can report compressed output volume without
+// involving the bit writer.
+type countWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (c *countWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	return n, err
+}
+
+// flushObs publishes the writer's input/output byte deltas (and the
+// LZSS stage's counters) into the wired registry, if any.
+func (zw *Writer) flushObs() {
+	k := deflateObs.Load()
+	if k == nil {
+		return
+	}
+	k.streamInBytes.Add(zw.obsIn - zw.obsInFlushed)
+	zw.obsInFlushed = zw.obsIn
+	k.streamOutBytes.Add(zw.w.n - zw.obsOutFlushed)
+	zw.obsOutFlushed = zw.w.n
+	zw.sc.FlushObs()
 }
 
 // blockCommands is how many LZSS commands accumulate before a block is
@@ -40,12 +71,13 @@ func NewWriter(w io.Writer, p lzss.Params) (*Writer, error) {
 	if err != nil {
 		return nil, err
 	}
-	if _, err := w.Write(hdr[:]); err != nil {
+	cw := &countWriter{w: w}
+	if _, err := cw.Write(hdr[:]); err != nil {
 		return nil, err
 	}
 	return &Writer{
-		w:      w,
-		bw:     bitio.NewWriter(w),
+		w:      cw,
+		bw:     bitio.NewWriter(cw),
 		sc:     sc,
 		adler:  NewAdler32(),
 		window: p.Window,
@@ -61,6 +93,7 @@ func (zw *Writer) Write(p []byte) (int, error) {
 		return 0, fmt.Errorf("deflate: write after Close")
 	}
 	zw.adler.Write(p)
+	zw.obsIn += int64(len(p))
 	zw.pending = append(zw.pending, zw.sc.Write(p)...)
 	for len(zw.pending) >= blockCommands {
 		if err := zw.emitBlock(zw.pending[:blockCommands], false); err != nil {
@@ -73,6 +106,9 @@ func (zw *Writer) Write(p []byte) (int, error) {
 
 // emitBlock writes one block, choosing the cheaper of fixed/dynamic.
 func (zw *Writer) emitBlock(cmds []token.Command, final bool) error {
+	if k := deflateObs.Load(); k != nil {
+		k.streamBlocks.Inc()
+	}
 	plan := planDynamic(cmds)
 	dynBits := plan.headerBits() + plan.bodyBits(cmds)
 	fixBits := 7 // end-of-block
@@ -114,6 +150,9 @@ func (zw *Writer) Flush() error {
 	if zw.closed {
 		return fmt.Errorf("deflate: flush after Close")
 	}
+	if k := deflateObs.Load(); k != nil {
+		k.streamFlushes.Inc()
+	}
 	zw.pending = append(zw.pending, zw.sc.Flush()...)
 	if len(zw.pending) > 0 {
 		if err := zw.emitBlock(zw.pending, false); err != nil {
@@ -130,6 +169,7 @@ func (zw *Writer) Flush() error {
 	if err := zw.bw.Flush(); err != nil {
 		zw.err = err
 	}
+	zw.flushObs()
 	return zw.err
 }
 
@@ -156,6 +196,7 @@ func (zw *Writer) Close() error {
 	sum := zw.adler.Sum32()
 	_, err := zw.w.Write([]byte{byte(sum >> 24), byte(sum >> 16), byte(sum >> 8), byte(sum)})
 	zw.err = err
+	zw.flushObs()
 	return err
 }
 

@@ -114,11 +114,11 @@ func distCodeFor(d int) distCode {
 // variants hold codes already bit-reversed into Deflate storage order,
 // writable with plain WriteBits.
 var (
-	fixedLitLens     = fixedLitLenLengths()
-	fixedDistLens    = fixedDistLengths()
-	fixedLitCodes    = canonicalCodes(fixedLitLens)
-	fixedDistCodes   = canonicalCodes(fixedDistLens)
-	fixedLitCodesRev = reverseCodes(fixedLitCodes, fixedLitLens)
+	fixedLitLens      = fixedLitLenLengths()
+	fixedDistLens     = fixedDistLengths()
+	fixedLitCodes     = canonicalCodes(fixedLitLens)
+	fixedDistCodes    = canonicalCodes(fixedDistLens)
+	fixedLitCodesRev  = reverseCodes(fixedLitCodes, fixedLitLens)
 	fixedDistCodesRev = reverseCodes(fixedDistCodes, fixedDistLens)
 )
 

@@ -34,6 +34,7 @@ func Segment(data []byte) []Frame {
 		n = 1
 	}
 	frames := make([]Frame, 0, n)
+	wireBytes := 0
 	for i := 0; i < n; i++ {
 		lo := i * MaxChunk
 		hi := lo + MaxChunk
@@ -43,6 +44,11 @@ func Segment(data []byte) []Frame {
 		f := Frame{Seq: uint32(i), Payload: data[lo:hi]}
 		f.FCS = f.computeFCS()
 		frames = append(frames, f)
+		wireBytes += f.WireBytes()
+	}
+	if k := etherObs.Load(); k != nil {
+		k.frames.Add(int64(n))
+		k.frameBytes.Add(int64(wireBytes))
 	}
 	return frames
 }
@@ -58,7 +64,15 @@ func (f Frame) computeFCS() uint32 {
 }
 
 // Verify checks the FCS.
-func (f Frame) Verify() bool { return f.computeFCS() == f.FCS }
+func (f Frame) Verify() bool {
+	ok := f.computeFCS() == f.FCS
+	if !ok {
+		if k := etherObs.Load(); k != nil {
+			k.fcsErrors.Inc()
+		}
+	}
+	return ok
+}
 
 // WireBytes is the frame's cost on the wire including preamble, header,
 // FCS and inter-frame gap.

@@ -1,0 +1,31 @@
+package etherlink
+
+import (
+	"sync/atomic"
+
+	"lzssfpga/internal/obs"
+)
+
+// etherSink holds the registry handles for the etherlink_* family.
+type etherSink struct {
+	frames     *obs.Counter
+	frameBytes *obs.Counter
+	fcsErrors  *obs.Counter
+}
+
+var etherObs atomic.Pointer[etherSink]
+
+// SetObservability wires the package's etherlink_* metrics into reg
+// (nil disables). Segment charges frames and wire bytes as they are
+// cut; Verify charges an FCS error per failed check.
+func SetObservability(reg *obs.Registry) {
+	if reg == nil {
+		etherObs.Store(nil)
+		return
+	}
+	etherObs.Store(&etherSink{
+		frames:     reg.Counter(obs.EtherlinkFrames),
+		frameBytes: reg.Counter(obs.EtherlinkFrameBytes),
+		fcsErrors:  reg.Counter(obs.EtherlinkFCSErrors),
+	})
+}

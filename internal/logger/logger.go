@@ -84,6 +84,10 @@ func (l *Logger) Log(rec Record) error {
 	l.prevTS = int64(rec.Timestamp)
 	l.rawBytes += int64(len(buf))
 	l.records++
+	if k := loggerObs.Load(); k != nil {
+		k.records.Inc()
+		k.rawBytes.Add(int64(len(buf)))
+	}
 	return nil
 }
 

@@ -1,0 +1,28 @@
+package logger
+
+import (
+	"sync/atomic"
+
+	"lzssfpga/internal/obs"
+)
+
+// loggerSink holds the registry handles for the logger_* family.
+type loggerSink struct {
+	records  *obs.Counter
+	rawBytes *obs.Counter
+}
+
+var loggerObs atomic.Pointer[loggerSink]
+
+// SetObservability wires the package's logger_* metrics into reg (nil
+// disables).
+func SetObservability(reg *obs.Registry) {
+	if reg == nil {
+		loggerObs.Store(nil)
+		return
+	}
+	loggerObs.Store(&loggerSink{
+		records:  reg.Counter(obs.LoggerRecords),
+		rawBytes: reg.Counter(obs.LoggerRawBytes),
+	})
+}

@@ -36,6 +36,7 @@ func CompressAppend(dst []token.Command, src []byte, p Params) ([]token.Command,
 	} else {
 		dst = compressGreedy(m, src, dst)
 	}
+	m.FlushObs()
 	return dst, stats, nil
 }
 
@@ -48,9 +49,12 @@ func CompressReuse(dst []token.Command, m *Matcher, src []byte) []token.Command 
 	m.Reset(src)
 	m.stats.InputBytes += int64(len(src))
 	if m.p.Lazy {
-		return compressLazy(m, src, dst)
+		dst = compressLazy(m, src, dst)
+	} else {
+		dst = compressGreedy(m, src, dst)
 	}
-	return compressGreedy(m, src, dst)
+	m.FlushObs()
+	return dst
 }
 
 // CompressTail compresses buf[origin:] appending into dst, with
@@ -66,17 +70,20 @@ func CompressTail(dst []token.Command, m *Matcher, buf []byte, origin int) []tok
 	m.Reset(buf)
 	m.stats.InputBytes += int64(len(buf) - origin)
 	m.InsertRange(0, origin-token.MinMatch+1)
-	return compressGreedyFrom(m, buf, origin, dst)
+	dst = compressGreedyFrom(m, buf, origin, dst)
+	m.FlushObs()
+	return dst
 }
 
-func emitLit(cmds []token.Command, s *Stats, b byte) []token.Command {
-	s.Literals++
+func emitLit(cmds []token.Command, m *Matcher, b byte) []token.Command {
+	m.stats.Literals++
 	return append(cmds, token.Lit(b))
 }
 
-func emitCopy(cmds []token.Command, s *Stats, dist, length int) []token.Command {
-	s.Matches++
-	s.MatchedBytes += int64(length)
+func emitCopy(cmds []token.Command, m *Matcher, dist, length int) []token.Command {
+	m.stats.Matches++
+	m.stats.MatchedBytes += int64(length)
+	m.mlHist[matchLenBucket(length)]++
 	return append(cmds, token.Copy(dist, length))
 }
 
@@ -94,13 +101,13 @@ func compressGreedyFrom(m *Matcher, src []byte, start int, cmds []token.Command)
 		if len(src)-pos < token.MinMatch {
 			// Too little left to hash; flush as literals.
 			for ; pos < len(src); pos++ {
-				cmds = emitLit(cmds, m.stats, src[pos])
+				cmds = emitLit(cmds, m, src[pos])
 			}
 			break
 		}
 		length, dist := m.FindMatch(pos)
 		if length >= token.MinMatch {
-			cmds = emitCopy(cmds, m.stats, dist, length)
+			cmds = emitCopy(cmds, m, dist, length)
 			// Full hash-table update only for short matches — the
 			// hardware decides this on match length (paper §IV); long
 			// matches skip insertion to keep the 1 cycle/byte update
@@ -115,7 +122,7 @@ func compressGreedyFrom(m *Matcher, src []byte, start int, cmds []token.Command)
 			}
 			pos = end
 		} else {
-			cmds = emitLit(cmds, m.stats, src[pos])
+			cmds = emitLit(cmds, m, src[pos])
 			pos++
 		}
 	}
@@ -147,7 +154,7 @@ func compressLazy(m *Matcher, src []byte, cmds []token.Command) []token.Command 
 		}
 		if havePrev && prevLen >= token.MinMatch && curLen <= prevLen {
 			// The deferred match starting at pos-1 wins.
-			cmds = emitCopy(cmds, m.stats, prevDist, prevLen)
+			cmds = emitCopy(cmds, m, prevDist, prevLen)
 			end := pos - 1 + prevLen
 			if prevLen <= m.p.InsertLimit {
 				to := end
@@ -161,7 +168,7 @@ func compressLazy(m *Matcher, src []byte, cmds []token.Command) []token.Command 
 			continue
 		}
 		if havePrev {
-			cmds = emitLit(cmds, m.stats, src[pos-1])
+			cmds = emitLit(cmds, m, src[pos-1])
 		}
 		havePrev, prevLen, prevDist = true, curLen, curDist
 		pos++
@@ -169,7 +176,7 @@ func compressLazy(m *Matcher, src []byte, cmds []token.Command) []token.Command 
 	if havePrev {
 		// The loop-exit argument guarantees the pending byte has no
 		// viable match (a deferred match is always resolved in-loop).
-		cmds = emitLit(cmds, m.stats, src[len(src)-1])
+		cmds = emitLit(cmds, m, src[len(src)-1])
 	}
 	return cmds
 }

@@ -39,5 +39,7 @@ func CompressWithDict(dict, data []byte, p Params) ([]token.Command, *Stats, err
 	m.InsertRange(0, len(dict)-token.MinMatch+1)
 	// Greedy matching over the data region only.
 	cmds := make([]token.Command, 0, len(data)/3+16)
-	return compressGreedyFrom(m, buf, len(dict), cmds), stats, nil
+	cmds = compressGreedyFrom(m, buf, len(dict), cmds)
+	m.FlushObs()
+	return cmds, stats, nil
 }

@@ -123,9 +123,9 @@ func fastPathCorpora(window int) map[string][]byte {
 	edge := make([]byte, 3*window)
 	rng.Read(edge)
 	phrase := edge[:64]
-	copy(edge[window-1:], phrase)     // distance window-1 from pos 0
-	copy(edge[2*window:], phrase)     // distance window+1 from the copy above
-	edge[window-1+40] ^= 0x5A         // near-match: diverges at byte 40
+	copy(edge[window-1:], phrase)      // distance window-1 from pos 0
+	copy(edge[2*window:], phrase)      // distance window+1 from the copy above
+	edge[window-1+40] ^= 0x5A          // near-match: diverges at byte 40
 	copy(edge[window:window+3], "xyz") // avoid an accidental run across the seam
 
 	return map[string][]byte{

@@ -26,6 +26,13 @@ type Matcher struct {
 	// generic path (the zlib shift is never 0 for HashBits >= 1).
 	zshift uint32
 	zmask  uint32
+	// Local observability state: fixed histogram arrays updated with
+	// plain increments on the hot path, and the last-flushed Stats
+	// snapshot. FlushObs publishes the deltas into the wired registry
+	// (if any) at block/segment granularity and clears the arrays.
+	mlHist  [numMatchLenBuckets]int64   // emitted match lengths
+	cdHist  [numChainDepthBuckets]int64 // chain candidates walked per probe
+	flushed Stats
 }
 
 // NewMatcher builds a matcher over src with validated parameters.
@@ -195,10 +202,31 @@ func (m *Matcher) FindMatch(pos int) (length, distance int) {
 	s.Inserts++
 	s.ChainSteps += chainSteps
 	s.CompareBytes += compared
+	m.cdHist[chainDepthBucket(chainSteps)]++
 	if bestLen < token.MinMatch {
 		return 0, 0
 	}
 	return bestLen, bestDist
+}
+
+// FlushObs publishes the matcher's operation counters and histograms
+// accumulated since the previous flush into the registry wired by
+// SetObservability; with no registry it is one atomic load. Called at
+// block/segment boundaries (CompressAppend, CompressReuse,
+// CompressTail, CompressWithDict), never per byte.
+func (m *Matcher) FlushObs() {
+	k := lzssObs.Load()
+	if k == nil {
+		return
+	}
+	cur := *m.stats
+	d := statsDelta(cur, m.flushed)
+	m.flushed = cur
+	k.publish(&d)
+	k.matchLen.Merge(m.mlHist[:], d.MatchedBytes)
+	k.chainDepth.Merge(m.cdHist[:], d.ChainSteps)
+	m.mlHist = [numMatchLenBuckets]int64{}
+	m.cdHist = [numChainDepthBuckets]int64{}
 }
 
 // matchLen counts the length of the common prefix of src[a:] and

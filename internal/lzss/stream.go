@@ -24,6 +24,11 @@ type StreamCompressor struct {
 	// stats accumulates over the stream's lifetime.
 	stats  Stats
 	closed bool
+	// Local observability state, mirroring Matcher: fixed histogram
+	// arrays plus the last-flushed snapshot (see FlushObs).
+	mlHist     [numMatchLenBuckets]int64
+	cdHist     [numChainDepthBuckets]int64
+	obsFlushed Stats
 }
 
 // streamLookahead is how many bytes beyond the current position must be
@@ -51,6 +56,23 @@ func NewStreamCompressor(p Params) (*StreamCompressor, error) {
 
 // Stats returns the accumulated operation counters.
 func (s *StreamCompressor) Stats() Stats { return s.stats }
+
+// FlushObs publishes the counters and histograms accumulated since the
+// previous flush into the registry wired by SetObservability (no-op
+// without one). The streaming zlib writer calls it on Flush and Close.
+func (s *StreamCompressor) FlushObs() {
+	k := lzssObs.Load()
+	if k == nil {
+		return
+	}
+	d := statsDelta(s.stats, s.obsFlushed)
+	s.obsFlushed = s.stats
+	k.publish(&d)
+	k.matchLen.Merge(s.mlHist[:], d.MatchedBytes)
+	k.chainDepth.Merge(s.cdHist[:], d.ChainSteps)
+	s.mlHist = [numMatchLenBuckets]int64{}
+	s.cdHist = [numChainDepthBuckets]int64{}
+}
 
 // Write absorbs data and returns the commands that became decidable.
 // The returned slice is freshly allocated and owned by the caller.
@@ -131,8 +153,10 @@ func (s *StreamCompressor) findMatch(pos int) (length, distance int) {
 	}
 	minPos := pos - (s.p.Window - 1)
 	bestLen, bestDist := 0, 0
+	chainSteps := int64(0)
 	for chain := 0; chain < s.p.MaxChain && cand >= 0 && int(cand) >= minPos; chain++ {
 		s.stats.ChainSteps++
+		chainSteps++
 		c := int(cand)
 		n := 0
 		for n < maxLen && s.buf[c+n] == s.buf[pos+n] {
@@ -151,6 +175,7 @@ func (s *StreamCompressor) findMatch(pos int) (length, distance int) {
 		}
 		cand = s.prev[c&(s.p.Window-1)]
 	}
+	s.cdHist[chainDepthBucket(chainSteps)]++
 	if bestLen < token.MinMatch {
 		return 0, 0
 	}
@@ -181,6 +206,7 @@ func (s *StreamCompressor) drain(final bool) []token.Command {
 			cmds = append(cmds, token.Copy(dist, length))
 			s.stats.Matches++
 			s.stats.MatchedBytes += int64(length)
+			s.mlHist[matchLenBucket(length)]++
 			end := s.pos + length
 			if length <= s.p.InsertLimit {
 				for i := s.pos + 1; i < end && i+token.MinMatch <= len(s.buf); i++ {

@@ -1,0 +1,130 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+)
+
+// WritePrometheus renders the registry in the Prometheus text
+// exposition format (version 0.0.4): counters and gauges as bare
+// samples, histograms as cumulative _bucket{le=...}/_sum/_count
+// families.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	r.visit(
+		func(name string, c *Counter) {
+			fmt.Fprintf(bw, "# TYPE %s counter\n%s %d\n", name, name, c.Value())
+		},
+		func(name string, g *Gauge) {
+			fmt.Fprintf(bw, "# TYPE %s gauge\n%s %s\n", name, name,
+				strconv.FormatFloat(g.Value(), 'g', -1, 64))
+		},
+		func(name string, h *Histogram) {
+			fmt.Fprintf(bw, "# TYPE %s histogram\n", name)
+			// Snapshot buckets once so the cumulative sums are
+			// consistent even while updates race the scrape.
+			buckets := h.Buckets()
+			cum := int64(0)
+			for i, b := range h.Bounds() {
+				cum += buckets[i]
+				fmt.Fprintf(bw, "%s_bucket{le=\"%d\"} %d\n", name, b, cum)
+			}
+			cum += buckets[len(buckets)-1]
+			fmt.Fprintf(bw, "%s_bucket{le=\"+Inf\"} %d\n", name, cum)
+			fmt.Fprintf(bw, "%s_sum %d\n", name, h.Sum())
+			fmt.Fprintf(bw, "%s_count %d\n", name, cum)
+		})
+	return bw.Flush()
+}
+
+// WriteExpvar renders the registry as one flat JSON object, the
+// /debug/vars convention: counters and gauges map to numbers,
+// histograms to {"buckets": {"<bound>": n, ..., "+Inf": n},
+// "sum": s, "count": c} with non-cumulative bucket counts.
+func (r *Registry) WriteExpvar(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprint(bw, "{")
+	first := true
+	sep := func() {
+		if !first {
+			fmt.Fprint(bw, ",\n")
+		} else {
+			fmt.Fprint(bw, "\n")
+		}
+		first = false
+	}
+	r.visit(
+		func(name string, c *Counter) {
+			sep()
+			fmt.Fprintf(bw, "%q: %d", name, c.Value())
+		},
+		func(name string, g *Gauge) {
+			sep()
+			fmt.Fprintf(bw, "%q: %s", name, strconv.FormatFloat(g.Value(), 'g', -1, 64))
+		},
+		func(name string, h *Histogram) {
+			sep()
+			fmt.Fprintf(bw, "%q: {\"buckets\": {", name)
+			buckets := h.Buckets()
+			count := int64(0)
+			for i, b := range h.Bounds() {
+				fmt.Fprintf(bw, "\"%d\": %d, ", b, buckets[i])
+				count += buckets[i]
+			}
+			inf := buckets[len(buckets)-1]
+			count += inf
+			fmt.Fprintf(bw, "\"+Inf\": %d}, \"sum\": %d, \"count\": %d}", inf, h.Sum(), count)
+		})
+	fmt.Fprint(bw, "\n}\n")
+	return bw.Flush()
+}
+
+// Handler serves the registry on one mux:
+//
+//	/metrics      Prometheus text format
+//	/debug/vars   expvar-style JSON
+//	/debug/pprof  the standard net/http/pprof pages
+//	/             a plain-text index of the above
+func Handler(r *Registry) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		r.WritePrometheus(w)
+	})
+	mux.HandleFunc("/debug/vars", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		r.WriteExpvar(w)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/", func(w http.ResponseWriter, req *http.Request) {
+		if req.URL.Path != "/" {
+			http.NotFound(w, req)
+			return
+		}
+		fmt.Fprint(w, "lzssfpga metrics\n\n/metrics      Prometheus text format\n/debug/vars   expvar JSON\n/debug/pprof  pprof\n")
+	})
+	return mux
+}
+
+// Serve starts an HTTP server for Handler(r) on addr (":0" picks a free
+// port) and returns the server and the bound address. The server runs
+// until Close; callers that only live for one compression run simply
+// let process exit tear it down.
+func Serve(r *Registry, addr string) (*http.Server, string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, "", err
+	}
+	srv := &http.Server{Handler: Handler(r)}
+	go srv.Serve(ln)
+	return srv, ln.Addr().String(), nil
+}

@@ -1,0 +1,93 @@
+package obs
+
+// Canonical metric names — THE single source of truth for the naming
+// scheme (docs/ARCHITECTURE.md §9 reproduces this table). Every
+// exposition surface (the Prometheus /metrics endpoint, the expvar
+// JSON at /debug/vars, and the "metrics" section of lzssbench -json
+// reports) uses exactly these names for exactly the same registry
+// values, so numbers can be compared across surfaces without mapping.
+//
+// Scheme: <layer>_<what>[_<unit>]_total for counters,
+// <layer>_<what> for gauges and histograms. Layers:
+//
+//	lzss_*      software matcher (internal/lzss; sums the former
+//	            per-matcher Stats across all matchers since enable)
+//	deflate_*   Huffman/zlib layer: parallel pipeline + streaming writer
+//	core_*      cycle-accurate hardware model (internal/core; the
+//	            CycleStats stall breakdown of the paper's Fig 5)
+//	logger_*    embedded logging frontend (internal/logger)
+//	etherlink_* Ethernet staging link (internal/etherlink)
+const (
+	// lzss_* — matcher operation counters (the batched Matcher stats,
+	// flushed at block/segment granularity) and two histograms.
+	LZSSInputBytes   = "lzss_input_bytes_total"
+	LZSSLiterals     = "lzss_literals_total"
+	LZSSMatches      = "lzss_matches_total"
+	LZSSMatchedBytes = "lzss_matched_bytes_total"
+	LZSSHashComputes = "lzss_hash_computes_total"
+	LZSSHeadReads    = "lzss_head_reads_total" // match probes
+	LZSSChainSteps   = "lzss_chain_steps_total"
+	LZSSCompareBytes = "lzss_compare_bytes_total"
+	LZSSInserts      = "lzss_inserts_total"
+	LZSSLazyEvals    = "lzss_lazy_evals_total"
+	// LZSSMatchLen buckets emitted match lengths (3..258);
+	// LZSSChainDepth buckets candidates walked per FindMatch probe.
+	LZSSMatchLen   = "lzss_match_len"
+	LZSSChainDepth = "lzss_chain_depth"
+
+	// deflate_* — parallel pipeline and streaming writer.
+	DeflateParallelRuns = "deflate_parallel_runs_total"
+	DeflateSegments     = "deflate_segments_total"
+	DeflateInBytes      = "deflate_in_bytes_total"
+	DeflateOutBytes     = "deflate_out_bytes_total"
+	// DeflateQueueWaitUs buckets the time a segment sat in the job
+	// queue before a worker picked it up, in microseconds.
+	DeflateQueueWaitUs = "deflate_queue_wait_us"
+	// DeflateWorkerBusyNs accumulates wall time workers spent
+	// compressing segments (sum over workers, nanoseconds).
+	DeflateWorkerBusyNs = "deflate_worker_busy_ns_total"
+	// Pool accounting: hit rate = 1 - rebuilds/gets.
+	DeflatePoolGets     = "deflate_pool_gets_total"
+	DeflatePoolRebuilds = "deflate_pool_rebuilds_total"
+	// DeflateLastRatio is the input/output ratio of the most recent
+	// parallel run.
+	DeflateLastRatio = "deflate_last_ratio"
+	// Streaming writer (deflate.Writer).
+	DeflateStreamInBytes  = "deflate_stream_in_bytes_total"
+	DeflateStreamOutBytes = "deflate_stream_out_bytes_total"
+	DeflateStreamBlocks   = "deflate_stream_blocks_total"
+	DeflateStreamFlushes  = "deflate_stream_flushes_total"
+
+	// core_* — the hardware model's cycle ledger (CycleStats), flushed
+	// once per modeled run. The six cycle counters are the Fig 5 stall
+	// breakdown.
+	CoreCyclesWait       = "core_cycles_wait_total"
+	CoreCyclesOutput     = "core_cycles_output_total"
+	CoreCyclesHashUpdate = "core_cycles_hash_update_total"
+	CoreCyclesRotate     = "core_cycles_rotate_total"
+	CoreCyclesFetch      = "core_cycles_fetch_total"
+	CoreCyclesMatch      = "core_cycles_match_total"
+	CoreInputBytes       = "core_input_bytes_total"
+	CoreOutputBytes      = "core_output_bytes_total"
+	CoreAttempts         = "core_attempts_total"
+	CorePrefetchHits     = "core_prefetch_hits_total"
+	CoreMatches          = "core_matches_total"
+	CoreLiterals         = "core_literals_total"
+	CoreMatchedBytes     = "core_matched_bytes_total"
+	CoreChainSteps       = "core_chain_steps_total"
+	CoreRotations        = "core_rotations_total"
+	CoreSinkStalls       = "core_sink_stall_cycles_total"
+	CoreSourceStalls     = "core_source_stall_cycles_total"
+	// CoreCyclesPerByte is the headline cycles/byte of the most recent
+	// modeled run (the paper averages ~2).
+	CoreCyclesPerByte = "core_cycles_per_byte"
+
+	// logger_* — embedded logging frontend.
+	LoggerRecords  = "logger_records_total"
+	LoggerRawBytes = "logger_raw_bytes_total"
+
+	// etherlink_* — staging-link framing.
+	EtherlinkFrames     = "etherlink_frames_total"
+	EtherlinkFrameBytes = "etherlink_frame_bytes_total"
+	EtherlinkFCSErrors  = "etherlink_fcs_errors_total"
+)

@@ -1,0 +1,160 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Registry holds named metrics. Registration (Counter/Gauge/Histogram
+// lookups) takes a mutex; the returned handles update lock-free.
+// Instrumented packages register once in SetObservability and keep the
+// handles, so the mutex never appears on a hot path.
+//
+// A nil *Registry is the disabled state: every lookup returns a nil
+// handle, and nil handles are no-ops.
+type Registry struct {
+	mu     sync.Mutex
+	counts map[string]*Counter
+	gauges map[string]*Gauge
+	hists  map[string]*Histogram
+}
+
+// NewRegistry returns an empty enabled registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counts: make(map[string]*Counter),
+		gauges: make(map[string]*Gauge),
+		hists:  make(map[string]*Histogram),
+	}
+}
+
+// Counter returns the counter registered under name, creating it on
+// first use. Returns nil on a nil registry.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counts[name]
+	if !ok {
+		c = &Counter{}
+		r.counts[name] = c
+	}
+	return c
+}
+
+// Gauge returns the gauge registered under name, creating it on first
+// use. Returns nil on a nil registry.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the histogram registered under name, creating it
+// with the given bounds on first use. A second registration under the
+// same name returns the existing histogram (its original bounds win).
+// Returns nil on a nil registry.
+func (r *Registry) Histogram(name string, bounds []int64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[name]
+	if !ok {
+		h = newHistogram(bounds)
+		r.hists[name] = h
+	}
+	return h
+}
+
+// Snapshot flattens every metric to name -> value, the representation
+// the lzssbench -json report embeds. Histograms expand to
+// name_count, name_sum and cumulative name_bucket_le_<bound> entries —
+// the same numbers the Prometheus endpoint serves as
+// name_bucket{le="<bound>"}.
+func (r *Registry) Snapshot() map[string]float64 {
+	if r == nil {
+		return nil
+	}
+	out := make(map[string]float64)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for name, c := range r.counts {
+		out[name] = float64(c.Value())
+	}
+	for name, g := range r.gauges {
+		out[name] = g.Value()
+	}
+	for name, h := range r.hists {
+		cum := int64(0)
+		buckets := h.Buckets()
+		for i, b := range h.Bounds() {
+			cum += buckets[i]
+			out[fmt.Sprintf("%s_bucket_le_%d", name, b)] = float64(cum)
+		}
+		out[name+"_bucket_le_inf"] = float64(h.Count())
+		out[name+"_sum"] = float64(h.Sum())
+		out[name+"_count"] = float64(h.Count())
+	}
+	return out
+}
+
+// visit walks the metrics in sorted name order (exposition helper).
+// The maps are copied under the lock so a scrape never races a
+// concurrent first-use registration.
+func (r *Registry) visit(counter func(name string, c *Counter),
+	gauge func(name string, g *Gauge), hist func(name string, h *Histogram)) {
+	if r == nil {
+		return
+	}
+	type namedC struct {
+		n string
+		m *Counter
+	}
+	type namedG struct {
+		n string
+		m *Gauge
+	}
+	type namedH struct {
+		n string
+		m *Histogram
+	}
+	r.mu.Lock()
+	cs := make([]namedC, 0, len(r.counts))
+	for n, m := range r.counts {
+		cs = append(cs, namedC{n, m})
+	}
+	gs := make([]namedG, 0, len(r.gauges))
+	for n, m := range r.gauges {
+		gs = append(gs, namedG{n, m})
+	}
+	hs := make([]namedH, 0, len(r.hists))
+	for n, m := range r.hists {
+		hs = append(hs, namedH{n, m})
+	}
+	r.mu.Unlock()
+	sort.Slice(cs, func(i, j int) bool { return cs[i].n < cs[j].n })
+	sort.Slice(gs, func(i, j int) bool { return gs[i].n < gs[j].n })
+	sort.Slice(hs, func(i, j int) bool { return hs[i].n < hs[j].n })
+	for _, e := range cs {
+		counter(e.n, e.m)
+	}
+	for _, e := range gs {
+		gauge(e.n, e.m)
+	}
+	for _, e := range hs {
+		hist(e.n, e.m)
+	}
+}

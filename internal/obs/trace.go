@@ -1,0 +1,96 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// Tracer collects Chrome trace-event spans ("complete" events, ph "X")
+// and serializes them as trace-event JSON loadable by chrome://tracing
+// or https://ui.perfetto.dev. Spans are recorded with explicit start
+// times so a caller can bracket a region with time.Now() and report it
+// once — one mutex-guarded append per span, at pipeline-stage
+// granularity (far off any per-byte hot path).
+//
+// A nil *Tracer is the disabled state: Span is a no-op, so the
+// pipeline threads one tracer pointer through unconditionally.
+type Tracer struct {
+	mu     sync.Mutex
+	epoch  time.Time
+	events []traceEvent
+}
+
+type traceEvent struct {
+	name string
+	tid  int
+	ts   int64 // microseconds since epoch
+	dur  int64 // microseconds
+	args string
+}
+
+// NewTracer starts an empty trace; event timestamps are measured from
+// this call.
+func NewTracer() *Tracer {
+	return &Tracer{epoch: time.Now()}
+}
+
+// Span records one complete span. tid groups spans onto trace rows
+// (use 0 for the coordinating goroutine and 1..N for workers); args is
+// an optional JSON object literal (e.g. `{"segment":3}`) shown in the
+// trace viewer's detail pane — pass "" for none. No-op on nil.
+func (t *Tracer) Span(name string, tid int, start time.Time, dur time.Duration, args string) {
+	if t == nil {
+		return
+	}
+	ev := traceEvent{
+		name: name,
+		tid:  tid,
+		ts:   start.Sub(t.epoch).Microseconds(),
+		dur:  dur.Microseconds(),
+		args: args,
+	}
+	t.mu.Lock()
+	t.events = append(t.events, ev)
+	t.mu.Unlock()
+}
+
+// Len returns the number of recorded spans.
+func (t *Tracer) Len() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.events)
+}
+
+// WriteJSON serializes the trace as a JSON object with a "traceEvents"
+// array, the format Chrome's about:tracing and Perfetto load directly.
+func (t *Tracer) WriteJSON(w io.Writer) error {
+	if t == nil {
+		_, err := io.WriteString(w, `{"traceEvents":[]}`)
+		return err
+	}
+	t.mu.Lock()
+	events := make([]traceEvent, len(t.events))
+	copy(events, t.events)
+	t.mu.Unlock()
+	bw := bufio.NewWriter(w)
+	fmt.Fprint(bw, "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n")
+	for i, ev := range events {
+		if i > 0 {
+			fmt.Fprint(bw, ",\n")
+		}
+		fmt.Fprintf(bw, `{"name":%q,"cat":"pipeline","ph":"X","pid":1,"tid":%d,"ts":%d,"dur":%d`,
+			ev.name, ev.tid, ev.ts, ev.dur)
+		if ev.args != "" {
+			fmt.Fprintf(bw, `,"args":%s`, ev.args)
+		}
+		fmt.Fprint(bw, "}")
+	}
+	fmt.Fprint(bw, "\n]}\n")
+	return bw.Flush()
+}

@@ -17,11 +17,15 @@ package lzssfpga
 
 import (
 	"io"
+	"net/http"
 
 	"lzssfpga/internal/core"
 	"lzssfpga/internal/deflate"
+	"lzssfpga/internal/etherlink"
 	"lzssfpga/internal/fpga"
+	"lzssfpga/internal/logger"
 	"lzssfpga/internal/lzss"
+	"lzssfpga/internal/obs"
 	"lzssfpga/internal/token"
 )
 
@@ -192,4 +196,54 @@ type ResourceEstimate = fpga.Estimate
 // hardware configuration (Table II's quantities).
 func EstimateResources(cfg HWConfig) (ResourceEstimate, error) {
 	return fpga.EstimateConfig(cfg)
+}
+
+// MetricsRegistry is the observability layer's named metric registry
+// (see internal/obs): atomic counters, gauges and fixed-bucket
+// histograms behind canonical lzss_*/deflate_*/core_* names, exposable
+// as Prometheus text format and expvar JSON. A nil registry is the
+// disabled state and costs nothing on the hot paths.
+type MetricsRegistry = obs.Registry
+
+// Tracer collects Chrome trace-event spans (chrome://tracing /
+// Perfetto-loadable JSON) for pipeline stages; see NewTracer and
+// CompressParallelTraced.
+type Tracer = obs.Tracer
+
+// NewMetricsRegistry returns an empty enabled metrics registry. Wire it
+// into every instrumented layer with EnableObservability and serve it
+// with ServeMetrics.
+func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
+
+// NewTracer starts an empty pipeline trace.
+func NewTracer() *Tracer { return obs.NewTracer() }
+
+// EnableObservability points every instrumented layer (lzss matcher,
+// deflate pipeline + streaming writer, hardware cycle model, logger,
+// etherlink) at reg. Pass nil to disable again. Instrumentation is
+// compiled in but batched: hot loops count locally and flush deltas at
+// block/segment granularity, so the enabled overhead on the compression
+// hot path stays under 2% (BenchmarkObsOverhead pins this).
+func EnableObservability(reg *MetricsRegistry) {
+	lzss.SetObservability(reg)
+	deflate.SetObservability(reg)
+	core.SetObservability(reg)
+	logger.SetObservability(reg)
+	etherlink.SetObservability(reg)
+}
+
+// ServeMetrics starts an HTTP server on addr (":0" picks a free port)
+// exposing reg as Prometheus text format at /metrics, expvar-style
+// JSON at /debug/vars, and the net/http/pprof pages at /debug/pprof/.
+// It returns the server and the bound address.
+func ServeMetrics(reg *MetricsRegistry, addr string) (*http.Server, string, error) {
+	return obs.Serve(reg, addr)
+}
+
+// CompressParallelTraced is CompressParallel (carry=false) or
+// CompressParallelDict (carry=true) with a span tracer recording the
+// pipeline stages — split, per-segment match and encode on the owning
+// worker's row, and assemble — for chrome://tracing. tr may be nil.
+func CompressParallelTraced(data []byte, p Params, segment, workers int, carry bool, tr *Tracer) ([]byte, error) {
+	return deflate.ParallelCompressTraced(data, p, segment, workers, carry, tr)
 }
