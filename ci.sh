@@ -1,7 +1,9 @@
 #!/bin/sh
 # Repository gate: formatting, static checks, the full test suite under
-# the race detector (including the observability stress test), the
-# observability overhead budget, and a fresh machine-readable benchmark
+# the race detector (including the observability stress test and the
+# fault-injection matrix), a bounded fuzz pass over the hardened
+# inflate entry points, the observability overhead budget, and a fresh
+# machine-readable benchmark
 # point gated against the committed previous-PR baseline (the
 # BENCH_*.json trajectory format; see README "Performance & profiling").
 set -eu
@@ -27,6 +29,12 @@ go test -race ./...
 
 echo "== observability race stress =="
 go test -race -run StressConcurrentScrape -count=1 ./internal/obs
+
+echo "== fault matrix (race) =="
+go test -race -run FaultMatrix -count=1 ./internal/testbench
+
+echo "== inflate fuzz (10s) =="
+go test -run '^$' -fuzz FuzzInflate -fuzztime 10s ./internal/deflate
 
 echo "== observability overhead budget =="
 go test -run '^$' -bench ObsOverhead -benchtime 5x -count=1 .

@@ -1,0 +1,112 @@
+package lzssfpga
+
+import (
+	"bytes"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"lzssfpga/internal/workload"
+)
+
+// TestCLIZipFaults: -c -p N -faults compresses through the resilient
+// pipeline under injected worker faults, self-checks, and the archive
+// round-trips.
+func TestCLIZipFaults(t *testing.T) {
+	dir := t.TempDir()
+	src := filepath.Join(dir, "input.bin")
+	data := workload.Wiki(400_000, 42)
+	if err := os.WriteFile(src, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out := runCLI(t, "lzsszip", "-c", "-p", "2", "-faults", "panic=0.5,seed=3", "-timeout", "2m", src)
+	if !strings.Contains(out, "resilience:") {
+		t.Fatalf("no resilience report in output: %s", out)
+	}
+	restored := filepath.Join(dir, "restored.bin")
+	runCLI(t, "lzsszip", "-d", "-o", restored, src+".zz")
+	got, err := os.ReadFile(restored)
+	if err != nil || !bytes.Equal(got, data) {
+		t.Fatalf("restored file differs after faulty compression: %v", err)
+	}
+}
+
+// TestCLIZipFaultsRequiresParallel: the flags are rejected without -p.
+func TestCLIZipFaultsRequiresParallel(t *testing.T) {
+	dir := t.TempDir()
+	src := filepath.Join(dir, "input.bin")
+	os.WriteFile(src, []byte("small"), 0o644) //nolint:errcheck
+	cmd := exec.Command(cliBin(t, "lzsszip"), "-c", "-faults", "panic=1", src)
+	out, err := cmd.CombinedOutput()
+	if err == nil {
+		t.Fatalf("-faults without -p accepted: %s", out)
+	}
+}
+
+// TestCLIBenchFaults: the lzssbench fault demo runs the full resilient
+// testbench loop and reports recovery.
+func TestCLIBenchFaults(t *testing.T) {
+	out := runCLI(t, "lzssbench", "-mb", "1", "-faults", "drop=0.05,flip=0.05,mem=0.05,seed=9", "-timeout", "3m")
+	if !strings.Contains(out, "byte-exact after recovery") {
+		t.Fatalf("fault demo output: %s", out)
+	}
+	if !strings.Contains(out, "faults injected:") {
+		t.Fatalf("no fault ledger in output: %s", out)
+	}
+}
+
+// TestCLIMonRetries: lzssmon retries until the endpoint appears, writes
+// the full body once, and exits non-zero only after the budget.
+func TestCLIMonRetries(t *testing.T) {
+	// Reserve an address, but start serving only after a delay.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addrStr := ln.Addr().String()
+	ln.Close()
+	go func() {
+		time.Sleep(400 * time.Millisecond)
+		mux := http.NewServeMux()
+		mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+			fmt.Fprintln(w, "# HELP fake_metric late endpoint")
+			fmt.Fprintln(w, "fake_metric 1")
+		})
+		ln2, err := net.Listen("tcp", addrStr)
+		if err != nil {
+			return
+		}
+		//nolint:errcheck
+		go http.Serve(ln2, mux)
+	}()
+	out := runCLI(t, "lzssmon", "-addr", addrStr, "-retries", "8")
+	if !strings.Contains(out, "fake_metric 1") {
+		t.Fatalf("snapshot after retries: %s", out)
+	}
+
+	// Exhausted budget: non-zero exit, no stdout output.
+	deadLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadAddr := deadLn.Addr().String()
+	deadLn.Close()
+	cmd := exec.Command(cliBin(t, "lzssmon"), "-addr", deadAddr, "-retries", "1", "-timeout", "200ms")
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout, cmd.Stderr = &stdout, &stderr
+	if err := cmd.Run(); err == nil {
+		t.Fatal("unreachable endpoint exited zero")
+	}
+	if stdout.Len() != 0 {
+		t.Fatalf("failed probe wrote to stdout: %q", stdout.String())
+	}
+	if !strings.Contains(stderr.String(), "attempts") {
+		t.Fatalf("stderr does not mention the attempt budget: %q", stderr.String())
+	}
+}

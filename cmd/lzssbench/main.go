@@ -18,6 +18,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -25,7 +26,12 @@ import (
 	"runtime/pprof"
 
 	"lzssfpga"
+	"lzssfpga/internal/etherlink"
 	"lzssfpga/internal/experiments"
+	"lzssfpga/internal/faultinject"
+	"lzssfpga/internal/resilience"
+	"lzssfpga/internal/testbench"
+	"lzssfpga/internal/workload"
 )
 
 var (
@@ -37,6 +43,8 @@ var (
 	metrics    = flag.String("metrics", "", "serve /metrics, /debug/vars and /debug/pprof/ on this address during the run")
 	cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this path")
 	memProfile = flag.String("memprofile", "", "write a heap profile to this path on exit")
+	faultsArg  = flag.String("faults", "", "run the resilient testbench loop under injected faults (e.g. \"drop=0.1,panic=0.1,seed=7\") instead of the experiments")
+	timeoutArg = flag.Duration("timeout", 0, "with -faults: overall deadline for the resilient loop")
 )
 
 func main() {
@@ -97,6 +105,12 @@ func run() error {
 	if *compareTo != "" {
 		return fmt.Errorf("-compare requires -json (it gates freshly measured results)")
 	}
+	if *faultsArg != "" {
+		return runFaultDemo()
+	}
+	if *timeoutArg > 0 {
+		return fmt.Errorf("-timeout bounds the resilient loop: it requires -faults")
+	}
 	p := experiments.Params{Bytes: *mb << 20, Seed: *seed}
 	var out string
 	var err error
@@ -109,5 +123,42 @@ func run() error {
 		return err
 	}
 	fmt.Print(out)
+	return nil
+}
+
+// runFaultDemo drives the full resilient testbench loop — reliable
+// Ethernet in, DDR2 staging with CRC scrub, timed compression on the
+// modeled core, panic-safe parallel compression, reliable transfer back
+// and decode verification — under the requested fault spec, and prints
+// the recovery ledger.
+func runFaultDemo() error {
+	spec, err := faultinject.ParseSpec(*faultsArg)
+	if err != nil {
+		return err
+	}
+	ctx := context.Background()
+	if *timeoutArg > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeoutArg)
+		defer cancel()
+	}
+	data := workload.Wiki(*mb<<20, *seed)
+	inj := faultinject.New(spec)
+	b := testbench.ML507()
+	res, err := b.RunFullResilient(ctx, fmt.Sprintf("Wiki %dMB", *mb), data, etherlink.ML507Link(),
+		inj, resilience.DefaultPolicy())
+	if err != nil {
+		return fmt.Errorf("resilient run: %w (faults so far: %s)", err, inj.Stats().Describe())
+	}
+	fmt.Printf("resilient testbench loop: %s, %d bytes, byte-exact after recovery\n", res.Corpus, res.Bytes)
+	fmt.Printf("  faults injected:   %s\n", res.Faults.Describe())
+	fmt.Printf("  transfer:          %d frames, %d rounds, %d retransmits, %d corrupted, %d duplicates\n",
+		res.Transfer.Frames, res.Transfer.Rounds, res.Transfer.Retransmits, res.Transfer.Corrupted, res.Transfer.Duplicates)
+	fmt.Printf("  staging rewrites:  %d\n", res.StagingRewrites)
+	fmt.Printf("  compress recovery: %d segments, %d retries, %d panics recovered, %d degraded\n",
+		res.Compress.Segments, res.Compress.Retries, res.Compress.PanicsRecovered, res.Compress.Degraded)
+	fmt.Printf("  return retries:    %d\n", res.ReturnRetries)
+	fmt.Printf("  modeled: hw %.1f MB/s, sw %.1f MB/s, speedup %.1fx, ratio %.3f\n",
+		res.HWMBps, res.SWMBps, res.Speedup, res.Ratio)
 	return nil
 }

@@ -5,15 +5,21 @@
 //
 //	lzssmon -addr localhost:8391                  # Prometheus text format
 //	lzssmon -addr localhost:8391 -format json     # expvar-style JSON
+//	lzssmon -addr localhost:8391 -retries 5       # wait out a starting endpoint
 //
-// The exit code is non-zero when the endpoint is unreachable or
-// answers with anything but 200, so it doubles as a liveness probe.
+// A failed snapshot is retried -retries times with capped exponential
+// backoff (200 ms doubling to 2 s, jittered), so the tool can be
+// pointed at an endpoint that is still coming up. Output is written to
+// stdout only after a snapshot succeeds in full — a partial body is
+// never emitted. The exit code is non-zero only once the whole retry
+// budget is exhausted, so it doubles as a liveness probe.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"os"
 	"strings"
@@ -23,7 +29,13 @@ import (
 var (
 	addr    = flag.String("addr", "", "metrics endpoint (host:port) of a tool started with -metrics")
 	format  = flag.String("format", "prom", "output format: prom (/metrics text) or json (/debug/vars)")
-	timeout = flag.Duration("timeout", 2*time.Second, "HTTP timeout for the snapshot request")
+	timeout = flag.Duration("timeout", 2*time.Second, "HTTP timeout per snapshot attempt")
+	retries = flag.Int("retries", 0, "retry a failed snapshot this many times with capped exponential backoff")
+)
+
+const (
+	baseBackoff = 200 * time.Millisecond
+	maxBackoff  = 2 * time.Second
 )
 
 func main() {
@@ -36,7 +48,7 @@ func main() {
 
 func run() error {
 	if *addr == "" {
-		return fmt.Errorf("usage: lzssmon -addr host:port [-format prom|json]")
+		return fmt.Errorf("usage: lzssmon -addr host:port [-format prom|json] [-retries N]")
 	}
 	var path string
 	switch *format {
@@ -52,16 +64,49 @@ func run() error {
 		target = "http://" + target
 	}
 	client := &http.Client{Timeout: *timeout}
-	resp, err := client.Get(target + path)
+	rng := rand.New(rand.NewSource(time.Now().UnixNano()))
+	backoff := baseBackoff
+	var lastErr error
+	for attempt := 0; attempt <= *retries; attempt++ {
+		if attempt > 0 {
+			// ±20% jitter decorrelates probes pointed at the same
+			// endpoint by the same script.
+			d := backoff + time.Duration((rng.Float64()*2-1)*0.2*float64(backoff))
+			time.Sleep(d)
+			if backoff *= 2; backoff > maxBackoff {
+				backoff = maxBackoff
+			}
+		}
+		body, err := snapshot(client, target+path)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		// The full body is in hand; only now touch stdout.
+		if _, err := os.Stdout.Write(body); err != nil {
+			return err
+		}
+		return nil
+	}
+	return fmt.Errorf("after %d attempts: %w", *retries+1, lastErr)
+}
+
+// snapshot fetches one complete snapshot, buffering the whole body so a
+// connection dropped mid-read counts as a failed (retryable) attempt
+// rather than truncated output.
+func snapshot(client *http.Client, url string) ([]byte, error) {
+	resp, err := client.Get(url)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
-		return fmt.Errorf("%s%s: %s", target, path, resp.Status)
+		io.Copy(io.Discard, resp.Body) //nolint:errcheck
+		return nil, fmt.Errorf("%s: %s", url, resp.Status)
 	}
-	if _, err := io.Copy(os.Stdout, resp.Body); err != nil {
-		return fmt.Errorf("reading snapshot: %w", err)
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, fmt.Errorf("reading snapshot: %w", err)
 	}
-	return nil
+	return body, nil
 }

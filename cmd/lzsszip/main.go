@@ -19,6 +19,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -48,6 +49,8 @@ var (
 	metrics    = flag.String("metrics", "", "serve /metrics, /debug/vars and /debug/pprof/ on this address during the run")
 	hold       = flag.Duration("metricshold", 0, "with -metrics: keep the endpoint up this long after the run")
 	tracePath  = flag.String("trace", "", "with -c -p N: write a Chrome trace-event JSON of the pipeline stages")
+	faultsArg  = flag.String("faults", "", "with -c -p N: inject seeded faults (e.g. \"panic=0.1,stall=0.05,stallms=50,seed=7\") and compress through the resilient pipeline")
+	timeoutArg = flag.Duration("timeout", 0, "with -c -p N: overall deadline for the (resilient) parallel compression")
 )
 
 // tracer is non-nil when -trace is set; doCompress hands it to the
@@ -194,6 +197,11 @@ func doCompress(in string, data []byte) error {
 	}
 	var z []byte
 	switch {
+	case *faultsArg != "" || *timeoutArg > 0:
+		if *parallel <= 0 || *gz {
+			return fmt.Errorf("-faults/-timeout drive the resilient parallel pipeline: they require -c -p N (and the zlib container)")
+		}
+		z, err = compressResilient(data, p)
 	case *gz:
 		z, err = lzssfpga.GzipCompress(data, p, filepath.Base(in))
 	case *parallel > 0 && tracer != nil:
@@ -237,6 +245,39 @@ func doCompress(in string, data []byte) error {
 	ratio := float64(len(data)) / float64(len(z))
 	fmt.Printf("%s: %d -> %d bytes (ratio %.3f) -> %s\n", in, len(data), len(z), ratio, dst)
 	return nil
+}
+
+// compressResilient runs the panic-safe parallel pipeline, optionally
+// under injected faults and an overall deadline, and reports what the
+// recovery machinery absorbed.
+func compressResilient(data []byte, p lzssfpga.Params) ([]byte, error) {
+	ctx := context.Background()
+	if *timeoutArg > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeoutArg)
+		defer cancel()
+	}
+	opts := lzssfpga.ParallelOpts{Workers: *parallel, Carry: *pdict, Tracer: tracer}
+	var inj *lzssfpga.FaultInjector
+	if *faultsArg != "" {
+		spec, err := lzssfpga.ParseFaultSpec(*faultsArg)
+		if err != nil {
+			return nil, err
+		}
+		inj = lzssfpga.NewFaultInjector(spec)
+		opts.SegmentHook = inj.SegmentHook
+		opts.SegmentTimeout = spec.StallTimeout()
+	}
+	z, rep, err := lzssfpga.CompressParallelResilient(ctx, data, p, opts)
+	if err != nil {
+		return nil, err
+	}
+	fmt.Fprintf(os.Stderr, "lzsszip: resilience: %d segments, %d retries, %d panics recovered, %d degraded to stored\n",
+		rep.Segments, rep.Retries, rep.PanicsRecovered, rep.Degraded)
+	if inj != nil {
+		fmt.Fprintf(os.Stderr, "lzsszip: faults injected: %s\n", inj.Stats().Describe())
+	}
+	return z, nil
 }
 
 func doDecompress(in string, data []byte) error {

@@ -1,0 +1,55 @@
+package ddr2
+
+import (
+	"errors"
+	"fmt"
+
+	"lzssfpga/internal/checksum"
+)
+
+// ErrStagingCorrupt reports that a staged block's contents no longer
+// match the checksum recorded when it was written — the signature of a
+// memory fault between staging and readback.
+var ErrStagingCorrupt = errors.New("ddr2: staged block corrupted")
+
+// Staging models a data block held in the DDR2 SODIMM between the
+// Ethernet receive and the compression DMA, with the end-to-end CRC an
+// ECC scrub pass would maintain. The buffer is exposed mutably on
+// purpose: the fault layer flips bits in it exactly the way a real
+// memory fault would, and Verify is the detection boundary.
+type Staging struct {
+	buf []byte
+	crc uint32
+}
+
+// NewStaging copies data into the staged buffer and records its CRC.
+func NewStaging(data []byte) *Staging {
+	return &Staging{
+		buf: append([]byte(nil), data...),
+		crc: checksum.CRC32(data),
+	}
+}
+
+// Bytes returns the live DRAM contents. Mutations (bit flips) are
+// caught by the next Verify.
+func (s *Staging) Bytes() []byte { return s.buf }
+
+// Len is the staged byte count.
+func (s *Staging) Len() int { return len(s.buf) }
+
+// Verify recomputes the block CRC against the one recorded at staging
+// time and returns an error wrapping ErrStagingCorrupt on mismatch.
+func (s *Staging) Verify() error {
+	if got := checksum.CRC32(s.buf); got != s.crc {
+		return fmt.Errorf("%w: crc %08x, staged as %08x", ErrStagingCorrupt, got, s.crc)
+	}
+	return nil
+}
+
+// Rewrite re-stages data (the recovery action after a failed Verify:
+// the receive buffer is DMAed into DRAM again), reusing the existing
+// allocation when possible.
+func (s *Staging) Rewrite(data []byte) {
+	s.buf = append(s.buf[:0], data...)
+	s.crc = checksum.CRC32(data)
+}

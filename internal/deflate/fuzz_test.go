@@ -3,6 +3,7 @@ package deflate
 import (
 	"bytes"
 	"compress/flate"
+	"errors"
 	"io"
 	"testing"
 
@@ -27,6 +28,24 @@ func FuzzInflate(f *testing.F) {
 		GzipDecompress(data) //nolint:errcheck
 		r := NewStreamInflater(bytes.NewReader(data))
 		io.Copy(io.Discard, io.LimitReader(r, 1<<20)) //nolint:errcheck
+
+		// The limited decoders must honor MaxOutputBytes exactly and
+		// type every rejection as ErrCorrupt.
+		lim := DecodeLimits{MaxOutputBytes: 1 << 16, MaxBlocks: 1 << 10}
+		out, err := InflateLimited(data, lim)
+		if err == nil && len(out) > lim.MaxOutputBytes {
+			t.Fatalf("InflateLimited produced %d bytes over a %d cap", len(out), lim.MaxOutputBytes)
+		}
+		if err != nil && !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("InflateLimited error not wrapping ErrCorrupt: %v", err)
+		}
+		zout, zerr := ZlibDecompressLimited(data, lim)
+		if zerr == nil && len(zout) > lim.MaxOutputBytes {
+			t.Fatalf("ZlibDecompressLimited produced %d bytes over a %d cap", len(zout), lim.MaxOutputBytes)
+		}
+		if zerr != nil && !errors.Is(zerr, ErrCorrupt) {
+			t.Fatalf("ZlibDecompressLimited error not wrapping ErrCorrupt: %v", zerr)
+		}
 	})
 }
 

@@ -1,7 +1,6 @@
 package deflate
 
 import (
-	"bytes"
 	"errors"
 	"fmt"
 
@@ -96,43 +95,13 @@ func init() {
 // length code lengths are stored (RFC 1951 §3.2.7).
 var codeLengthOrder = [19]int{16, 17, 18, 0, 8, 7, 9, 6, 10, 5, 11, 4, 12, 3, 13, 2, 14, 1, 15}
 
-// Inflate decodes a complete raw Deflate stream.
+// Inflate decodes a complete raw Deflate stream under
+// DefaultDecodeLimits; use InflateLimited to choose the bounds.
 func Inflate(data []byte) ([]byte, error) {
-	br := bitio.NewReader(bytes.NewReader(data))
-	var out []byte
-	for {
-		final, err := br.ReadBool()
-		if err != nil {
-			return nil, err
-		}
-		btype, err := br.ReadBits(2)
-		if err != nil {
-			return nil, err
-		}
-		switch btype {
-		case 0:
-			out, err = inflateStored(br, out)
-		case 1:
-			out, err = inflateCompressed(br, out, fixedLitDec, fixedDistDec)
-		case 2:
-			var lit, dist *huffDec
-			lit, dist, err = readDynamicHeader(br)
-			if err == nil {
-				out, err = inflateCompressed(br, out, lit, dist)
-			}
-		default:
-			return nil, fmt.Errorf("%w: reserved block type", ErrCorrupt)
-		}
-		if err != nil {
-			return nil, err
-		}
-		if final {
-			return out, nil
-		}
-	}
+	return InflateLimited(data, DefaultDecodeLimits())
 }
 
-func inflateStored(br *bitio.Reader, out []byte) ([]byte, error) {
+func inflateStored(br *bitio.Reader, out []byte, lim DecodeLimits) ([]byte, error) {
 	br.AlignByte()
 	n, err := br.ReadBits(16)
 	if err != nil {
@@ -145,6 +114,9 @@ func inflateStored(br *bitio.Reader, out []byte) ([]byte, error) {
 	if n != ^nlen&0xFFFF {
 		return nil, fmt.Errorf("%w: stored length check", ErrCorrupt)
 	}
+	if lim.MaxOutputBytes > 0 && len(out)+int(n) > lim.MaxOutputBytes {
+		return nil, errOutputLimit(lim)
+	}
 	chunk := make([]byte, n)
 	if err := br.ReadBytes(chunk); err != nil {
 		return nil, err
@@ -152,7 +124,7 @@ func inflateStored(br *bitio.Reader, out []byte) ([]byte, error) {
 	return append(out, chunk...), nil
 }
 
-func inflateCompressed(br *bitio.Reader, out []byte, lit, dist *huffDec) ([]byte, error) {
+func inflateCompressed(br *bitio.Reader, out []byte, lit, dist *huffDec, lim DecodeLimits) ([]byte, error) {
 	for {
 		sym, err := lit.decode(br)
 		if err != nil {
@@ -160,6 +132,9 @@ func inflateCompressed(br *bitio.Reader, out []byte, lit, dist *huffDec) ([]byte
 		}
 		switch {
 		case sym < 256:
+			if lim.MaxOutputBytes > 0 && len(out) >= lim.MaxOutputBytes {
+				return nil, errOutputLimit(lim)
+			}
 			out = append(out, byte(sym))
 		case sym == endOfBlock:
 			return out, nil
@@ -190,6 +165,9 @@ func inflateCompressed(br *bitio.Reader, out []byte, lit, dist *huffDec) ([]byte
 			}
 			if d > len(out) {
 				return nil, fmt.Errorf("%w: distance %d exceeds output %d", ErrCorrupt, d, len(out))
+			}
+			if lim.MaxOutputBytes > 0 && len(out)+length > lim.MaxOutputBytes {
+				return nil, errOutputLimit(lim)
 			}
 			src := len(out) - d
 			for j := 0; j < length; j++ {
@@ -288,30 +266,8 @@ func readDynamicHeader(br *bitio.Reader) (lit, dist *huffDec, err error) {
 }
 
 // ZlibDecompress parses an RFC 1950 container, inflates the body and
-// verifies the Adler-32 trailer.
+// verifies the Adler-32 trailer, under DefaultDecodeLimits; use
+// ZlibDecompressLimited to choose the bounds.
 func ZlibDecompress(data []byte) ([]byte, error) {
-	if len(data) < 6 {
-		return nil, fmt.Errorf("%w: zlib stream too short", ErrCorrupt)
-	}
-	cmf, flg := data[0], data[1]
-	if cmf&0x0F != 8 {
-		return nil, fmt.Errorf("%w: compression method %d", ErrCorrupt, cmf&0x0F)
-	}
-	if (uint32(cmf)*256+uint32(flg))%31 != 0 {
-		return nil, fmt.Errorf("%w: zlib header check", ErrCorrupt)
-	}
-	if flg&0x20 != 0 {
-		return nil, fmt.Errorf("%w: preset dictionary unsupported", ErrCorrupt)
-	}
-	body := data[2 : len(data)-4]
-	out, err := Inflate(body)
-	if err != nil {
-		return nil, err
-	}
-	tr := data[len(data)-4:]
-	want := uint32(tr[0])<<24 | uint32(tr[1])<<16 | uint32(tr[2])<<8 | uint32(tr[3])
-	if got := AdlerChecksum(out); got != want {
-		return nil, fmt.Errorf("%w: adler32 %08x != %08x", ErrCorrupt, got, want)
-	}
-	return out, nil
+	return ZlibDecompressLimited(data, DefaultDecodeLimits())
 }

@@ -1,0 +1,142 @@
+package deflate
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+
+	"lzssfpga/internal/bitio"
+)
+
+// ErrLimit reports that a stream, while possibly well-formed, asked the
+// decoder to exceed a configured resource bound. It is wrapped together
+// with ErrCorrupt so existing errors.Is(err, ErrCorrupt) checks treat a
+// limit hit as a rejected stream.
+var ErrLimit = errors.New("deflate: decode limit exceeded")
+
+// DecodeLimits bounds what a decoder will do for untrusted input.
+// Deflate can expand 1 byte of input into ~1032 bytes of output, so a
+// tiny hostile stream can demand gigabytes; these caps make the decoder
+// safe to expose to data straight off the wire. The zero value of a
+// field means "unlimited" for that axis.
+type DecodeLimits struct {
+	// MaxOutputBytes caps the decompressed size.
+	MaxOutputBytes int
+	// MaxBlocks caps the number of Deflate blocks (a stream of endless
+	// empty non-final blocks never produces output but never ends).
+	MaxBlocks int
+}
+
+// DefaultDecodeLimits is what the unqualified entry points (Inflate,
+// ZlibDecompress) enforce: generous for any legitimate testbench corpus,
+// finite for hostile input.
+func DefaultDecodeLimits() DecodeLimits {
+	return DecodeLimits{
+		MaxOutputBytes: 1 << 30,
+		MaxBlocks:      1 << 20,
+	}
+}
+
+func errOutputLimit(lim DecodeLimits) error {
+	return fmt.Errorf("%w: %w: output exceeds %d bytes", ErrCorrupt, ErrLimit, lim.MaxOutputBytes)
+}
+
+// normEOF maps the reader-level end-of-input errors (bitio's sentinel,
+// or a bare io.EOF from a source that ended mid-structure) onto the
+// package's corruption contract: every truncation surfaces as an error
+// matching both ErrCorrupt and io.ErrUnexpectedEOF. Errors already
+// carrying ErrCorrupt pass through untouched.
+func normEOF(err error) error {
+	if err == nil || errors.Is(err, ErrCorrupt) {
+		return err
+	}
+	if errors.Is(err, bitio.ErrUnexpectedEOF) || errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+		return fmt.Errorf("%w: truncated stream: %w", ErrCorrupt, io.ErrUnexpectedEOF)
+	}
+	return err
+}
+
+// InflateLimited decodes a complete raw Deflate stream under lim. It
+// never panics on any input: structural violations and truncations
+// return errors wrapping ErrCorrupt (truncations additionally match
+// io.ErrUnexpectedEOF), and output allocation never exceeds
+// lim.MaxOutputBytes by more than one stored block's bounded slack.
+func InflateLimited(data []byte, lim DecodeLimits) (out []byte, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			out, err = nil, fmt.Errorf("%w: panic during decode: %v", ErrCorrupt, r)
+		}
+	}()
+	br := bitio.NewReader(bytes.NewReader(data))
+	blocks := 0
+	for {
+		if lim.MaxBlocks > 0 && blocks >= lim.MaxBlocks {
+			return nil, fmt.Errorf("%w: %w: more than %d blocks", ErrCorrupt, ErrLimit, lim.MaxBlocks)
+		}
+		blocks++
+		final, err := br.ReadBool()
+		if err != nil {
+			return nil, normEOF(err)
+		}
+		btype, err := br.ReadBits(2)
+		if err != nil {
+			return nil, normEOF(err)
+		}
+		switch btype {
+		case 0:
+			out, err = inflateStored(br, out, lim)
+		case 1:
+			out, err = inflateCompressed(br, out, fixedLitDec, fixedDistDec, lim)
+		case 2:
+			var lit, dist *huffDec
+			lit, dist, err = readDynamicHeader(br)
+			if err == nil {
+				out, err = inflateCompressed(br, out, lit, dist, lim)
+			}
+		default:
+			return nil, fmt.Errorf("%w: reserved block type", ErrCorrupt)
+		}
+		if err != nil {
+			return nil, normEOF(err)
+		}
+		if final {
+			return out, nil
+		}
+	}
+}
+
+// ZlibDecompressLimited parses an RFC 1950 container under lim,
+// inflates the body, and verifies the Adler-32 trailer. Same no-panic
+// and error-typing guarantees as InflateLimited.
+func ZlibDecompressLimited(data []byte, lim DecodeLimits) (out []byte, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			out, err = nil, fmt.Errorf("%w: panic during decode: %v", ErrCorrupt, r)
+		}
+	}()
+	if len(data) < 6 {
+		return nil, fmt.Errorf("%w: zlib stream too short: %w", ErrCorrupt, io.ErrUnexpectedEOF)
+	}
+	cmf, flg := data[0], data[1]
+	if cmf&0x0F != 8 {
+		return nil, fmt.Errorf("%w: compression method %d", ErrCorrupt, cmf&0x0F)
+	}
+	if (uint32(cmf)*256+uint32(flg))%31 != 0 {
+		return nil, fmt.Errorf("%w: zlib header check", ErrCorrupt)
+	}
+	if flg&0x20 != 0 {
+		return nil, fmt.Errorf("%w: preset dictionary unsupported", ErrCorrupt)
+	}
+	body := data[2 : len(data)-4]
+	out, err = InflateLimited(body, lim)
+	if err != nil {
+		return nil, err
+	}
+	tr := data[len(data)-4:]
+	want := uint32(tr[0])<<24 | uint32(tr[1])<<16 | uint32(tr[2])<<8 | uint32(tr[3])
+	if got := AdlerChecksum(out); got != want {
+		return nil, fmt.Errorf("%w: adler32 %08x != %08x", ErrCorrupt, got, want)
+	}
+	return out, nil
+}

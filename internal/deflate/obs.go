@@ -23,6 +23,9 @@ type deflateSink struct {
 	poolRebuilds *obs.Counter
 	lastRatio    *obs.Gauge
 
+	segmentsDegraded *obs.Counter
+	workerPanics     *obs.Counter
+
 	streamInBytes  *obs.Counter
 	streamOutBytes *obs.Counter
 	streamBlocks   *obs.Counter
@@ -39,18 +42,21 @@ func SetObservability(reg *obs.Registry) {
 		return
 	}
 	deflateObs.Store(&deflateSink{
-		parallelRuns:   reg.Counter(obs.DeflateParallelRuns),
-		segments:       reg.Counter(obs.DeflateSegments),
-		inBytes:        reg.Counter(obs.DeflateInBytes),
-		outBytes:       reg.Counter(obs.DeflateOutBytes),
-		queueWaitUs:    reg.Histogram(obs.DeflateQueueWaitUs, queueWaitBounds),
-		workerBusyNs:   reg.Counter(obs.DeflateWorkerBusyNs),
-		poolGets:       reg.Counter(obs.DeflatePoolGets),
-		poolRebuilds:   reg.Counter(obs.DeflatePoolRebuilds),
-		lastRatio:      reg.Gauge(obs.DeflateLastRatio),
-		streamInBytes:  reg.Counter(obs.DeflateStreamInBytes),
-		streamOutBytes: reg.Counter(obs.DeflateStreamOutBytes),
-		streamBlocks:   reg.Counter(obs.DeflateStreamBlocks),
-		streamFlushes:  reg.Counter(obs.DeflateStreamFlushes),
+		parallelRuns: reg.Counter(obs.DeflateParallelRuns),
+		segments:     reg.Counter(obs.DeflateSegments),
+		inBytes:      reg.Counter(obs.DeflateInBytes),
+		outBytes:     reg.Counter(obs.DeflateOutBytes),
+		queueWaitUs:  reg.Histogram(obs.DeflateQueueWaitUs, queueWaitBounds),
+		workerBusyNs: reg.Counter(obs.DeflateWorkerBusyNs),
+		poolGets:     reg.Counter(obs.DeflatePoolGets),
+		poolRebuilds: reg.Counter(obs.DeflatePoolRebuilds),
+		lastRatio:    reg.Gauge(obs.DeflateLastRatio),
+
+		segmentsDegraded: reg.Counter(obs.DeflateSegmentsDegraded),
+		workerPanics:     reg.Counter(obs.DeflateWorkerPanicsRecovered),
+		streamInBytes:    reg.Counter(obs.DeflateStreamInBytes),
+		streamOutBytes:   reg.Counter(obs.DeflateStreamOutBytes),
+		streamBlocks:     reg.Counter(obs.DeflateStreamBlocks),
+		streamFlushes:    reg.Counter(obs.DeflateStreamFlushes),
 	})
 }

@@ -1,0 +1,309 @@
+package deflate
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"lzssfpga/internal/lzss"
+	"lzssfpga/internal/obs"
+)
+
+// ParallelOpts configures ParallelCompressResilient. The zero value is
+// usable: default segment size and worker count, two retries per
+// segment, no per-attempt deadline, no hook.
+type ParallelOpts struct {
+	// Segment is the cut size in bytes (0 selects 256 KiB); Workers the
+	// goroutine count (0 selects GOMAXPROCS).
+	Segment int
+	Workers int
+	// Carry enables dictionary carry-over across segment cuts
+	// (ParallelCompressDict's mode). Carried segments reference history
+	// outside themselves, so their per-segment self-check is skipped —
+	// end-to-end verification still covers them.
+	Carry bool
+	// Tracer observes pipeline spans as in ParallelCompressTraced; may
+	// be nil.
+	Tracer *obs.Tracer
+	// MaxSegmentRetries is how many times a failed segment attempt is
+	// retried before the segment degrades to stored blocks (0 selects 2).
+	MaxSegmentRetries int
+	// SegmentTimeout bounds each attempt; an attempt that outlives it is
+	// treated as a stalled worker and retried (0 = no per-attempt bound).
+	SegmentTimeout time.Duration
+	// SegmentHook runs at the start of every attempt with the attempt's
+	// context, the segment index and the attempt number. It is the fault
+	// seam: internal/faultinject provides hooks that panic or stall. A
+	// panic in the hook (or anywhere in the attempt) is recovered and
+	// counted; a returned error fails the attempt.
+	SegmentHook func(ctx context.Context, seg, attempt int) error
+}
+
+// ResilienceReport summarizes what recovery machinery had to do during
+// one ParallelCompressResilient run.
+type ResilienceReport struct {
+	// Segments is the segment count; Retries how many attempts beyond
+	// each segment's first were needed; PanicsRecovered how many
+	// attempts ended in a recovered panic; Degraded how many segments
+	// fell back to stored blocks after exhausting their retry budget.
+	Segments        int
+	Retries         int
+	PanicsRecovered int
+	Degraded        int
+}
+
+// ParallelCompressResilient is ParallelCompress hardened for a hostile
+// runtime: every segment attempt runs under recover() (a panicking
+// worker is scrubbed and the segment retried), each attempt can carry a
+// deadline, each compressed segment body is self-checked by independent
+// re-inflation before being accepted, and a segment that exhausts its
+// retry budget degrades to raw stored blocks — worse ratio, guaranteed
+// correct — rather than failing the stream. The output is always one
+// standard zlib stream. Only context cancellation (or invalid
+// parameters) makes it return an error.
+//
+// The fast path (ParallelCompress and friends) is untouched: no
+// recover, no context, no self-check on that route.
+func ParallelCompressResilient(ctx context.Context, data []byte, p lzss.Params, o ParallelOpts) ([]byte, ResilienceReport, error) {
+	var rep ResilienceReport
+	if err := p.Validate(); err != nil {
+		return nil, rep, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, rep, err
+	}
+	segment := o.Segment
+	if segment <= 0 {
+		segment = 256 << 10
+	}
+	workers := o.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	maxRetries := o.MaxSegmentRetries
+	if maxRetries <= 0 {
+		maxRetries = 2
+	}
+	nSeg := (len(data) + segment - 1) / segment
+	if nSeg == 0 {
+		nSeg = 1
+	}
+	rep.Segments = nSeg
+	if workers > nSeg {
+		workers = nSeg
+	}
+
+	splitStart := time.Now()
+	bodies := make([][]byte, nSeg)
+	var retries, panics, degraded atomic.Int64
+
+	var wg sync.WaitGroup
+	jobs := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(tid int) {
+			defer wg.Done()
+			sw, swErr := getSegWorker(p)
+			if swErr == nil {
+				defer putSegWorker(sw)
+				sw.tr = o.Tracer
+				sw.tid = tid
+			}
+			for i := range jobs {
+				lo := i * segment
+				hi := lo + segment
+				if hi > len(data) {
+					hi = len(data)
+				}
+				dictLo := lo
+				if o.Carry {
+					if reach := p.Window - 1; lo > reach {
+						dictLo = lo - reach
+					} else {
+						dictLo = 0
+					}
+				}
+				final := i == nSeg-1
+				body := compressSegmentResilient(ctx, sw, data[dictLo:hi], lo-dictLo, i, final, maxRetries, o,
+					&retries, &panics)
+				if body == nil {
+					// Retry budget gone (or no worker at all): stored
+					// blocks cannot fail.
+					body = storedSegment(data[lo:hi], final)
+					degraded.Add(1)
+					if k := deflateObs.Load(); k != nil {
+						k.segmentsDegraded.Inc()
+					}
+				}
+				bodies[i] = body
+			}
+		}(w + 1)
+	}
+	o.Tracer.Span("split", 0, splitStart, time.Since(splitStart),
+		fmt.Sprintf(`{"segments":%d,"workers":%d,"resilient":true}`, nSeg, workers))
+
+	cancelled := false
+dispatch:
+	for i := 0; i < nSeg; i++ {
+		select {
+		case jobs <- i:
+		case <-ctx.Done():
+			cancelled = true
+			break dispatch
+		}
+	}
+	close(jobs)
+	wg.Wait()
+	rep.Retries = int(retries.Load())
+	rep.PanicsRecovered = int(panics.Load())
+	rep.Degraded = int(degraded.Load())
+	if cancelled || ctx.Err() != nil {
+		return nil, rep, fmt.Errorf("deflate: resilient compress cancelled: %w", ctx.Err())
+	}
+
+	assembleStart := time.Now()
+	hdr, err := ZlibHeader(p.Window)
+	if err != nil {
+		return nil, rep, err
+	}
+	total := len(hdr) + 4
+	for _, b := range bodies {
+		total += len(b)
+	}
+	out := make([]byte, 0, total)
+	out = append(out, hdr[:]...)
+	for _, b := range bodies {
+		out = append(out, b...)
+	}
+	sum := AdlerChecksum(data)
+	out = append(out, byte(sum>>24), byte(sum>>16), byte(sum>>8), byte(sum))
+	o.Tracer.Span("assemble", 0, assembleStart, time.Since(assembleStart), fmt.Sprintf(`{"bytes":%d}`, len(out)))
+	if k := deflateObs.Load(); k != nil {
+		k.parallelRuns.Inc()
+		k.segments.Add(int64(nSeg))
+		k.inBytes.Add(int64(len(data)))
+		k.outBytes.Add(int64(len(out)))
+		if len(out) > 0 {
+			k.lastRatio.Set(float64(len(data)) / float64(len(out)))
+		}
+	}
+	return out, rep, nil
+}
+
+// compressSegmentResilient drives the attempt loop for one segment.
+// It returns nil when the retry budget is exhausted (the caller
+// degrades to stored blocks); ctx cancellation also returns nil — the
+// dispatcher notices ctx and fails the whole run.
+func compressSegmentResilient(ctx context.Context, sw *segWorker, buf []byte, origin, seg int, final bool,
+	maxRetries int, o ParallelOpts, retries, panics *atomic.Int64) []byte {
+	if sw == nil {
+		return nil
+	}
+	for attempt := 0; attempt <= maxRetries; attempt++ {
+		if ctx.Err() != nil {
+			return nil
+		}
+		if attempt > 0 {
+			retries.Add(1)
+		}
+		attemptCtx := ctx
+		cancel := context.CancelFunc(func() {})
+		if o.SegmentTimeout > 0 {
+			attemptCtx, cancel = context.WithTimeout(ctx, o.SegmentTimeout)
+		}
+		sw.seg = seg
+		body, err := attemptSegment(attemptCtx, sw, buf, origin, seg, attempt, final, o.SegmentHook, panics)
+		cancel()
+		if err != nil {
+			continue
+		}
+		// Self-check: the body plus a final empty stored block is an
+		// independently decodable Deflate stream — re-inflate and compare.
+		// Segments with carried history reference bytes outside
+		// themselves and cannot be checked in isolation.
+		if origin == 0 {
+			if err := verifySegment(body, buf, final); err != nil {
+				continue
+			}
+		}
+		return body
+	}
+	return nil
+}
+
+// attemptSegment runs one guarded attempt: hook, then the normal
+// segment compressor, with any panic recovered, counted, and the
+// worker's matcher state scrubbed before reuse.
+func attemptSegment(ctx context.Context, sw *segWorker, buf []byte, origin, seg, attempt int, final bool,
+	hook func(context.Context, int, int) error, panics *atomic.Int64) (body []byte, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			panics.Add(1)
+			if k := deflateObs.Load(); k != nil {
+				k.workerPanics.Inc()
+			}
+			// The panic may have left the matcher mid-update; Reset
+			// rebuilds its hash state from scratch.
+			sw.m.Reset(nil)
+			body, err = nil, fmt.Errorf("%w: recovered worker panic: %v", ErrCorrupt, r)
+		}
+	}()
+	if hook != nil {
+		if err := hook(ctx, seg, attempt); err != nil {
+			return nil, err
+		}
+	}
+	return sw.compressSegment(buf, origin, final)
+}
+
+// verifySegment re-inflates a segment body independently and requires
+// byte-exact agreement with the source. Non-final bodies end with a
+// non-final empty stored block; appending a final empty stored block
+// makes them complete streams.
+var finalEmptyStored = []byte{0x01, 0x00, 0x00, 0xFF, 0xFF}
+
+func verifySegment(body, want []byte, final bool) error {
+	stream := body
+	if !final {
+		stream = make([]byte, 0, len(body)+len(finalEmptyStored))
+		stream = append(stream, body...)
+		stream = append(stream, finalEmptyStored...)
+	}
+	got, err := InflateLimited(stream, DecodeLimits{MaxOutputBytes: len(want), MaxBlocks: 1 << 20})
+	if err != nil {
+		return fmt.Errorf("deflate: segment self-check: %w", err)
+	}
+	if !bytes.Equal(got, want) {
+		return fmt.Errorf("%w: segment self-check mismatch", ErrCorrupt)
+	}
+	return nil
+}
+
+// storedSegment encodes chunk as raw stored blocks with the same
+// framing contract as compressSegment: byte-aligned body, trailing
+// empty stored block carrying the final flag. It cannot fail — it is
+// the degradation target when compression itself is what's faulty.
+func storedSegment(chunk []byte, final bool) []byte {
+	const maxStored = 65535
+	nBlocks := (len(chunk) + maxStored - 1) / maxStored
+	out := make([]byte, 0, len(chunk)+5*(nBlocks+1))
+	for len(chunk) > 0 {
+		n := len(chunk)
+		if n > maxStored {
+			n = maxStored
+		}
+		out = append(out, 0x00, byte(n), byte(n>>8), byte(^n), byte(^n>>8))
+		out = append(out, chunk[:n]...)
+		chunk = chunk[n:]
+	}
+	b0 := byte(0x00)
+	if final {
+		b0 = 0x01
+	}
+	out = append(out, b0, 0x00, 0x00, 0xFF, 0xFF)
+	return out
+}

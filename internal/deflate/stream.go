@@ -261,8 +261,8 @@ func (d *StreamInflater) Read(p []byte) (int, error) {
 		}
 		if !d.inBlock {
 			if err := d.beginBlock(); err != nil {
-				d.err = err
-				return n, err
+				d.err = normEOF(err)
+				return n, d.err
 			}
 			continue
 		}
@@ -273,8 +273,8 @@ func (d *StreamInflater) Read(p []byte) (int, error) {
 			}
 			v, err := d.br.ReadBits(8)
 			if err != nil {
-				d.err = err
-				return n, err
+				d.err = normEOF(err)
+				return n, d.err
 			}
 			b := byte(v)
 			d.record(b)
@@ -285,8 +285,8 @@ func (d *StreamInflater) Read(p []byte) (int, error) {
 		}
 		sym, err := d.lit.decode(d.br)
 		if err != nil {
-			d.err = err
-			return n, err
+			d.err = normEOF(err)
+			return n, d.err
 		}
 		switch {
 		case sym < 256:
@@ -298,8 +298,8 @@ func (d *StreamInflater) Read(p []byte) (int, error) {
 			d.endBlock()
 		case sym <= maxLitLen:
 			if err := d.startCopy(sym); err != nil {
-				d.err = err
-				return n, err
+				d.err = normEOF(err)
+				return n, d.err
 			}
 		default:
 			d.err = fmt.Errorf("%w: literal/length symbol %d", ErrCorrupt, sym)
@@ -405,11 +405,11 @@ func NewReader(r io.Reader) (*Reader, error) {
 	d := NewStreamInflater(r)
 	cmf, err := d.br.ReadBits(8)
 	if err != nil {
-		return nil, err
+		return nil, normEOF(err)
 	}
 	flg, err := d.br.ReadBits(8)
 	if err != nil {
-		return nil, err
+		return nil, normEOF(err)
 	}
 	if cmf&0x0F != 8 {
 		return nil, fmt.Errorf("%w: compression method %d", ErrCorrupt, cmf&0x0F)
@@ -450,7 +450,7 @@ func (zr *Reader) checkTrailer() error {
 	for i := 0; i < 4; i++ {
 		v, err := zr.d.br.ReadBits(8)
 		if err != nil {
-			return fmt.Errorf("%w: truncated adler trailer", ErrCorrupt)
+			return fmt.Errorf("%w: truncated adler trailer: %w", ErrCorrupt, io.ErrUnexpectedEOF)
 		}
 		want = want<<8 | v
 	}

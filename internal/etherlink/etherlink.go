@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/binary"
 	"fmt"
+	"math"
 )
 
 // Frame carries one Ethernet II frame of the staging transfer. Payload
@@ -27,11 +28,18 @@ const (
 )
 
 // Segment splits a data block into frames, each carrying a sequence
-// number and up to MaxChunk bytes, with a correct FCS.
-func Segment(data []byte) []Frame {
+// number and up to MaxChunk bytes, with a correct FCS. An empty block
+// is encoded as one empty frame, so "zero bytes" is still a transfer
+// the receiver can acknowledge. Blocks needing more frames than the
+// uint32 sequence space can number are rejected rather than silently
+// wrapping sequence numbers.
+func Segment(data []byte) ([]Frame, error) {
 	n := (len(data) + MaxChunk - 1) / MaxChunk
 	if n == 0 {
 		n = 1
+	}
+	if uint64(n) > math.MaxUint32 {
+		return nil, fmt.Errorf("etherlink: %d bytes need %d frames, overflowing the uint32 sequence space", len(data), n)
 	}
 	frames := make([]Frame, 0, n)
 	wireBytes := 0
@@ -50,7 +58,7 @@ func Segment(data []byte) []Frame {
 		k.frames.Add(int64(n))
 		k.frameBytes.Add(int64(wireBytes))
 	}
-	return frames
+	return frames, nil
 }
 
 // computeFCS covers the synthetic header (zero MACs, ethertype 0x88B5
@@ -84,18 +92,25 @@ func (f Frame) WireBytes() int {
 // the announced size (the testbench protocol sends the block length
 // ahead of the frames, so truncated transfers are detectable).
 func Reassemble(frames []Frame, total int) ([]byte, error) {
-	want := (total + MaxChunk - 1) / MaxChunk
 	if total == 0 {
-		want = 0
-		if len(frames) == 1 && len(frames[0].Payload) == 0 {
-			want = 1 // a lone empty frame is how Segment encodes zero bytes
+		// Segment encodes zero bytes as one empty frame: the empty
+		// transfer round-trips explicitly rather than falling out of the
+		// general arithmetic below.
+		if len(frames) != 1 {
+			return nil, fmt.Errorf("etherlink: got %d frames, expected the single empty frame of a 0-byte block", len(frames))
 		}
+		f := frames[0]
+		if !f.Verify() {
+			return nil, fmt.Errorf("etherlink: frame %d: FCS mismatch", f.Seq)
+		}
+		if f.Seq != 0 || len(f.Payload) != 0 {
+			return nil, fmt.Errorf("etherlink: 0-byte block carried frame seq %d with %d payload bytes", f.Seq, len(f.Payload))
+		}
+		return []byte{}, nil
 	}
+	want := (total + MaxChunk - 1) / MaxChunk
 	if len(frames) != want {
 		return nil, fmt.Errorf("etherlink: got %d frames, expected %d for %d bytes", len(frames), want, total)
-	}
-	if len(frames) == 0 {
-		return nil, nil
 	}
 	ordered := make([]*Frame, len(frames))
 	for i := range frames {
@@ -140,8 +155,12 @@ func (l Link) TransferSeconds(data []byte) float64 {
 	if l.BitsPerSecond <= 0 {
 		return 0
 	}
+	frames, err := Segment(data)
+	if err != nil {
+		return 0
+	}
 	total := 0
-	for _, f := range Segment(data) {
+	for _, f := range frames {
 		total += f.WireBytes()
 	}
 	return float64(total*8) / l.BitsPerSecond

@@ -8,24 +8,45 @@ import (
 
 // etherSink holds the registry handles for the etherlink_* family.
 type etherSink struct {
-	frames     *obs.Counter
-	frameBytes *obs.Counter
-	fcsErrors  *obs.Counter
+	frames      *obs.Counter
+	frameBytes  *obs.Counter
+	fcsErrors   *obs.Counter
+	retransmits *obs.Counter
+	corrupted   *obs.Counter
 }
 
 var etherObs atomic.Pointer[etherSink]
 
 // SetObservability wires the package's etherlink_* metrics into reg
 // (nil disables). Segment charges frames and wire bytes as they are
-// cut; Verify charges an FCS error per failed check.
+// cut; Verify charges an FCS error per failed check; the ARQ layer in
+// internal/resilience charges retransmits and corrupted frames through
+// AddRetransmits/AddCorruptedFrames.
 func SetObservability(reg *obs.Registry) {
 	if reg == nil {
 		etherObs.Store(nil)
 		return
 	}
 	etherObs.Store(&etherSink{
-		frames:     reg.Counter(obs.EtherlinkFrames),
-		frameBytes: reg.Counter(obs.EtherlinkFrameBytes),
-		fcsErrors:  reg.Counter(obs.EtherlinkFCSErrors),
+		frames:      reg.Counter(obs.EtherlinkFrames),
+		frameBytes:  reg.Counter(obs.EtherlinkFrameBytes),
+		fcsErrors:   reg.Counter(obs.EtherlinkFCSErrors),
+		retransmits: reg.Counter(obs.EtherlinkRetransmits),
+		corrupted:   reg.Counter(obs.EtherlinkFramesCorrupted),
 	})
+}
+
+// AddRetransmits charges n frames to etherlink_retransmits_total.
+func AddRetransmits(n int64) {
+	if k := etherObs.Load(); k != nil {
+		k.retransmits.Add(n)
+	}
+}
+
+// AddCorruptedFrames charges n frames the receiver discarded (bad FCS
+// or sequence number) to etherlink_frames_corrupted_total.
+func AddCorruptedFrames(n int64) {
+	if k := etherObs.Load(); k != nil {
+		k.corrupted.Add(n)
+	}
 }

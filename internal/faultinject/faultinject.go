@@ -1,0 +1,471 @@
+// Package faultinject is the deterministic, seeded fault layer of the
+// resilience test harness. It models the failure modes of the paper's
+// evaluation platform — the PC-to-board Ethernet staging path, the DDR2
+// block buffer, the parallel software pipeline, and the compressed
+// stream read back from the board — as independent probabilistic fault
+// classes driven by one seeded PRNG, so every run is reproducible from
+// its Spec and recovered faults can be re-derived exactly.
+//
+// The injector deliberately lives on the *outside* of the components it
+// attacks: frames are faulted between sender and receiver (the
+// resilience.Channel seam), memory is faulted by flipping bits in the
+// staged buffer, workers are faulted through the deflate pipeline's
+// per-segment hook, and streams are faulted between transfer and
+// decode. Production code paths contain no injection branches.
+package faultinject
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"lzssfpga/internal/etherlink"
+)
+
+// Spec declares per-fault-class injection rates, all probabilities in
+// [0, 1]. The zero Spec injects nothing.
+type Spec struct {
+	// Seed drives the injector's PRNG; the same Spec replays the same
+	// fault sequence against the same call sequence.
+	Seed int64
+
+	// EtherLink path, per frame per send: the frame is dropped,
+	// duplicated, bit-flipped in its payload, or truncated. Reorder is
+	// per send call: the whole delivered batch is shuffled.
+	FrameDrop    float64
+	FrameDup     float64
+	FrameReorder float64
+	FrameFlip    float64
+	FrameTrunc   float64
+
+	// MemFlip is the probability, per 4 KiB page of staged DDR2 data,
+	// that one random bit of the page is flipped.
+	MemFlip float64
+
+	// Parallel-pipeline faults, per segment attempt: the worker panics,
+	// or stalls for StallMS (a stall longer than the pipeline's
+	// per-attempt deadline is detected as a hung worker and retried).
+	WorkerPanic float64
+	WorkerStall float64
+	// StallMS is how long an injected stall lasts, in milliseconds
+	// (default 1000 when a stall rate is set).
+	StallMS int
+
+	// Compressed-stream faults, per decode attempt: one random bit of
+	// the stream is flipped, or the stream is truncated at a random
+	// point.
+	StreamFlip  float64
+	StreamTrunc float64
+}
+
+// memPage is the granularity of DDR2 fault injection.
+const memPage = 4096
+
+// Validate checks every rate is a probability.
+func (s Spec) Validate() error {
+	for _, f := range []struct {
+		name string
+		v    float64
+	}{
+		{"drop", s.FrameDrop}, {"dup", s.FrameDup}, {"reorder", s.FrameReorder},
+		{"flip", s.FrameFlip}, {"trunc", s.FrameTrunc}, {"mem", s.MemFlip},
+		{"panic", s.WorkerPanic}, {"stall", s.WorkerStall},
+		{"zflip", s.StreamFlip}, {"ztrunc", s.StreamTrunc},
+	} {
+		if f.v < 0 || f.v > 1 {
+			return fmt.Errorf("faultinject: %s=%v outside [0,1]", f.name, f.v)
+		}
+	}
+	if s.StallMS < 0 {
+		return fmt.Errorf("faultinject: stallms=%d negative", s.StallMS)
+	}
+	return nil
+}
+
+// StallTimeout suggests a per-attempt deadline that detects this spec's
+// injected stalls: half the stall duration (floor 1 ms), or zero when
+// no stalls are armed — an unbounded attempt is fine if nothing hangs.
+func (s Spec) StallTimeout() time.Duration {
+	if s.WorkerStall == 0 {
+		return 0
+	}
+	d := time.Duration(s.StallMS) * time.Millisecond / 2
+	if d < time.Millisecond {
+		d = time.Millisecond
+	}
+	return d
+}
+
+// Zero reports whether the spec injects no faults at all.
+func (s Spec) Zero() bool {
+	return s.FrameDrop == 0 && s.FrameDup == 0 && s.FrameReorder == 0 &&
+		s.FrameFlip == 0 && s.FrameTrunc == 0 && s.MemFlip == 0 &&
+		s.WorkerPanic == 0 && s.WorkerStall == 0 &&
+		s.StreamFlip == 0 && s.StreamTrunc == 0
+}
+
+// specKeys maps -faults spec keys to Spec fields, in canonical order.
+var specKeys = []string{"drop", "dup", "reorder", "flip", "trunc", "mem", "panic", "stall", "zflip", "ztrunc", "stallms", "seed"}
+
+// rateField maps a spec key to its probability field (seed and stallms
+// are integer keys handled directly in ParseSpec).
+func (s *Spec) rateField(key string) (*float64, bool) {
+	switch key {
+	case "drop":
+		return &s.FrameDrop, true
+	case "dup":
+		return &s.FrameDup, true
+	case "reorder":
+		return &s.FrameReorder, true
+	case "flip":
+		return &s.FrameFlip, true
+	case "trunc":
+		return &s.FrameTrunc, true
+	case "mem":
+		return &s.MemFlip, true
+	case "panic":
+		return &s.WorkerPanic, true
+	case "stall":
+		return &s.WorkerStall, true
+	case "zflip":
+		return &s.StreamFlip, true
+	case "ztrunc":
+		return &s.StreamTrunc, true
+	}
+	return nil, false
+}
+
+// ParseSpec parses the -faults flag syntax: comma-separated key=value
+// pairs, e.g. "drop=0.05,flip=0.01,panic=0.1,seed=7". Keys: drop, dup,
+// reorder, flip, trunc (frame faults), mem (DDR2 bit flips), panic,
+// stall, stallms (worker faults), zflip, ztrunc (stream faults), seed.
+func ParseSpec(str string) (Spec, error) {
+	var s Spec
+	str = strings.TrimSpace(str)
+	if str == "" {
+		return s, nil
+	}
+	for _, part := range strings.Split(str, ",") {
+		kv := strings.SplitN(strings.TrimSpace(part), "=", 2)
+		if len(kv) != 2 {
+			return Spec{}, fmt.Errorf("faultinject: %q is not key=value (keys: %s)", part, strings.Join(specKeys, ", "))
+		}
+		key, val := strings.TrimSpace(kv[0]), strings.TrimSpace(kv[1])
+		switch key {
+		case "seed":
+			n, err := strconv.ParseInt(val, 10, 64)
+			if err != nil {
+				return Spec{}, fmt.Errorf("faultinject: seed=%q: %v", val, err)
+			}
+			s.Seed = n
+		case "stallms":
+			n, err := strconv.Atoi(val)
+			if err != nil {
+				return Spec{}, fmt.Errorf("faultinject: stallms=%q: %v", val, err)
+			}
+			s.StallMS = n
+		default:
+			fv, ok := s.rateField(key)
+			if !ok {
+				return Spec{}, fmt.Errorf("faultinject: unknown key %q (keys: %s)", key, strings.Join(specKeys, ", "))
+			}
+			f, err := strconv.ParseFloat(val, 64)
+			if err != nil {
+				return Spec{}, fmt.Errorf("faultinject: %s=%q: %v", key, val, err)
+			}
+			*fv = f
+		}
+	}
+	if (s.WorkerStall > 0) && s.StallMS == 0 {
+		s.StallMS = 1000
+	}
+	if err := s.Validate(); err != nil {
+		return Spec{}, err
+	}
+	return s, nil
+}
+
+// String renders the spec back into ParseSpec syntax (non-zero fields
+// only, canonical key order).
+func (s Spec) String() string {
+	var parts []string
+	add := func(k string, v float64) {
+		if v != 0 {
+			parts = append(parts, k+"="+strconv.FormatFloat(v, 'g', -1, 64))
+		}
+	}
+	add("drop", s.FrameDrop)
+	add("dup", s.FrameDup)
+	add("reorder", s.FrameReorder)
+	add("flip", s.FrameFlip)
+	add("trunc", s.FrameTrunc)
+	add("mem", s.MemFlip)
+	add("panic", s.WorkerPanic)
+	add("stall", s.WorkerStall)
+	add("zflip", s.StreamFlip)
+	add("ztrunc", s.StreamTrunc)
+	if s.StallMS != 0 {
+		parts = append(parts, "stallms="+strconv.Itoa(s.StallMS))
+	}
+	if s.Seed != 0 {
+		parts = append(parts, "seed="+strconv.FormatInt(s.Seed, 10))
+	}
+	return strings.Join(parts, ",")
+}
+
+// Stats counts injected faults by class.
+type Stats struct {
+	FramesDropped    int64
+	FramesDuplicated int64
+	SendsReordered   int64
+	FramesFlipped    int64
+	FramesTruncated  int64
+	MemBitsFlipped   int64
+	PanicsInjected   int64
+	StallsInjected   int64
+	StreamsFlipped   int64
+	StreamsTruncated int64
+}
+
+// Total is the number of injected faults across all classes.
+func (st Stats) Total() int64 {
+	return st.FramesDropped + st.FramesDuplicated + st.SendsReordered +
+		st.FramesFlipped + st.FramesTruncated + st.MemBitsFlipped +
+		st.PanicsInjected + st.StallsInjected + st.StreamsFlipped + st.StreamsTruncated
+}
+
+// Injector applies a Spec. The PRNG is guarded by a mutex so the worker
+// hook may be called from concurrent goroutines; the decision sequence
+// is deterministic for a deterministic call order (the ARQ and decode
+// paths are single-goroutine; concurrent worker hooks draw from the
+// shared sequence in scheduling order, which is the one intentionally
+// non-reproducible class).
+type Injector struct {
+	spec Spec
+
+	mu  sync.Mutex
+	rng *rand.Rand
+
+	framesDropped    atomic.Int64
+	framesDuplicated atomic.Int64
+	sendsReordered   atomic.Int64
+	framesFlipped    atomic.Int64
+	framesTruncated  atomic.Int64
+	memBitsFlipped   atomic.Int64
+	panicsInjected   atomic.Int64
+	stallsInjected   atomic.Int64
+	streamsFlipped   atomic.Int64
+	streamsTruncated atomic.Int64
+}
+
+// New returns an injector for spec. It panics if spec.Validate fails —
+// construct specs through ParseSpec or validate first.
+func New(spec Spec) *Injector {
+	if err := spec.Validate(); err != nil {
+		panic(err)
+	}
+	return &Injector{spec: spec, rng: rand.New(rand.NewSource(spec.Seed))}
+}
+
+// Spec returns the injector's configuration.
+func (in *Injector) Spec() Spec { return in.spec }
+
+// Stats returns a snapshot of the injected-fault counters.
+func (in *Injector) Stats() Stats {
+	return Stats{
+		FramesDropped:    in.framesDropped.Load(),
+		FramesDuplicated: in.framesDuplicated.Load(),
+		SendsReordered:   in.sendsReordered.Load(),
+		FramesFlipped:    in.framesFlipped.Load(),
+		FramesTruncated:  in.framesTruncated.Load(),
+		MemBitsFlipped:   in.memBitsFlipped.Load(),
+		PanicsInjected:   in.panicsInjected.Load(),
+		StallsInjected:   in.stallsInjected.Load(),
+		StreamsFlipped:   in.streamsFlipped.Load(),
+		StreamsTruncated: in.streamsTruncated.Load(),
+	}
+}
+
+// roll draws one uniform [0,1) variate under the lock.
+func (in *Injector) roll() float64 {
+	in.mu.Lock()
+	v := in.rng.Float64()
+	in.mu.Unlock()
+	return v
+}
+
+// intn draws one uniform [0,n) variate under the lock.
+func (in *Injector) intn(n int) int {
+	in.mu.Lock()
+	v := in.rng.Intn(n)
+	in.mu.Unlock()
+	return v
+}
+
+// Send implements the resilience.Channel seam: it delivers frames with
+// the spec's frame faults applied. Faulted frames are copied before
+// mutation — the caller's frames (which alias the sender's data block)
+// are never modified.
+func (in *Injector) Send(frames []etherlink.Frame) []etherlink.Frame {
+	out := make([]etherlink.Frame, 0, len(frames))
+	for _, f := range frames {
+		if in.spec.FrameDrop > 0 && in.roll() < in.spec.FrameDrop {
+			in.framesDropped.Add(1)
+			continue
+		}
+		if in.spec.FrameFlip > 0 && in.roll() < in.spec.FrameFlip {
+			f = flipFrame(f, in)
+			in.framesFlipped.Add(1)
+		} else if in.spec.FrameTrunc > 0 && in.roll() < in.spec.FrameTrunc {
+			f = truncFrame(f, in)
+			in.framesTruncated.Add(1)
+		}
+		out = append(out, f)
+		if in.spec.FrameDup > 0 && in.roll() < in.spec.FrameDup {
+			out = append(out, f)
+			in.framesDuplicated.Add(1)
+		}
+	}
+	if in.spec.FrameReorder > 0 && len(out) > 1 && in.roll() < in.spec.FrameReorder {
+		in.mu.Lock()
+		in.rng.Shuffle(len(out), func(i, j int) { out[i], out[j] = out[j], out[i] })
+		in.mu.Unlock()
+		in.sendsReordered.Add(1)
+	}
+	return out
+}
+
+// flipFrame returns f with one payload bit flipped (or, for an empty
+// payload, a corrupted FCS), on a copied payload.
+func flipFrame(f etherlink.Frame, in *Injector) etherlink.Frame {
+	if len(f.Payload) == 0 {
+		f.FCS ^= 1
+		return f
+	}
+	p := append([]byte(nil), f.Payload...)
+	bit := in.intn(len(p) * 8)
+	p[bit/8] ^= 1 << (bit % 8)
+	f.Payload = p
+	return f
+}
+
+// truncFrame returns f with its payload cut short (FCS left as computed
+// over the full payload, so the cut is detectable).
+func truncFrame(f etherlink.Frame, in *Injector) etherlink.Frame {
+	if len(f.Payload) == 0 {
+		f.FCS ^= 1 << 7
+		return f
+	}
+	n := in.intn(len(f.Payload))
+	f.Payload = append([]byte(nil), f.Payload[:n]...)
+	return f
+}
+
+// CorruptMemory applies the DDR2 fault class to a staged buffer in
+// place: per 4 KiB page, with probability MemFlip, one random bit of
+// the page is flipped. It returns the number of flipped bits.
+func (in *Injector) CorruptMemory(buf []byte) int {
+	if in.spec.MemFlip <= 0 || len(buf) == 0 {
+		return 0
+	}
+	flips := 0
+	for lo := 0; lo < len(buf); lo += memPage {
+		hi := lo + memPage
+		if hi > len(buf) {
+			hi = len(buf)
+		}
+		if in.roll() < in.spec.MemFlip {
+			bit := in.intn((hi - lo) * 8)
+			buf[lo+bit/8] ^= 1 << (bit % 8)
+			flips++
+		}
+	}
+	in.memBitsFlipped.Add(int64(flips))
+	return flips
+}
+
+// SegmentHook is the deflate pipeline's per-segment fault hook: with
+// probability WorkerPanic the attempt panics (exercising the pipeline's
+// recover path); with probability WorkerStall the attempt sleeps for
+// StallMS or until ctx expires, whichever is first — a stall outlasting
+// the pipeline's per-attempt deadline surfaces as the deadline error
+// and is retried, exactly like a hung worker.
+func (in *Injector) SegmentHook(ctx context.Context, seg, attempt int) error {
+	if in.spec.WorkerPanic > 0 && in.roll() < in.spec.WorkerPanic {
+		in.panicsInjected.Add(1)
+		panic(fmt.Sprintf("faultinject: injected worker panic (segment %d attempt %d)", seg, attempt))
+	}
+	if in.spec.WorkerStall > 0 && in.roll() < in.spec.WorkerStall {
+		in.stallsInjected.Add(1)
+		stall := time.Duration(in.spec.StallMS) * time.Millisecond
+		if stall <= 0 {
+			stall = time.Second
+		}
+		t := time.NewTimer(stall)
+		defer t.Stop()
+		select {
+		case <-t.C:
+			// The stall ended before anyone noticed: just latency.
+			return nil
+		case <-ctx.Done():
+			return fmt.Errorf("faultinject: stalled worker detected (segment %d attempt %d): %w", seg, attempt, ctx.Err())
+		}
+	}
+	return nil
+}
+
+// CorruptStream applies the compressed-stream fault classes to z: with
+// probability StreamFlip one bit of a copy is flipped; else with
+// probability StreamTrunc a copy is truncated at a random point. The
+// original is never modified; when no fault fires, z is returned as is.
+func (in *Injector) CorruptStream(z []byte) []byte {
+	if len(z) == 0 {
+		return z
+	}
+	if in.spec.StreamFlip > 0 && in.roll() < in.spec.StreamFlip {
+		c := append([]byte(nil), z...)
+		bit := in.intn(len(c) * 8)
+		c[bit/8] ^= 1 << (bit % 8)
+		in.streamsFlipped.Add(1)
+		return c
+	}
+	if in.spec.StreamTrunc > 0 && in.roll() < in.spec.StreamTrunc {
+		n := in.intn(len(z))
+		in.streamsTruncated.Add(1)
+		return append([]byte(nil), z[:n]...)
+	}
+	return z
+}
+
+// Describe renders the non-zero fault stats as a stable, compact line
+// for CLI reporting.
+func (st Stats) Describe() string {
+	kv := map[string]int64{
+		"frames dropped": st.FramesDropped, "frames duplicated": st.FramesDuplicated,
+		"sends reordered": st.SendsReordered, "frames bit-flipped": st.FramesFlipped,
+		"frames truncated": st.FramesTruncated, "mem bits flipped": st.MemBitsFlipped,
+		"panics injected": st.PanicsInjected, "stalls injected": st.StallsInjected,
+		"streams bit-flipped": st.StreamsFlipped, "streams truncated": st.StreamsTruncated,
+	}
+	keys := make([]string, 0, len(kv))
+	for k, v := range kv {
+		if v != 0 {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	if len(keys) == 0 {
+		return "no faults injected"
+	}
+	parts := make([]string, len(keys))
+	for i, k := range keys {
+		parts[i] = fmt.Sprintf("%s %d", k, kv[k])
+	}
+	return strings.Join(parts, ", ")
+}

@@ -1,0 +1,208 @@
+package faultinject
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"lzssfpga/internal/etherlink"
+)
+
+func TestParseSpecRoundTrip(t *testing.T) {
+	in := "drop=0.05,dup=0.01,reorder=0.1,flip=0.02,trunc=0.01,mem=0.001,panic=0.1,stall=0.05,zflip=0.01,ztrunc=0.02,stallms=50,seed=7"
+	s, err := ParseSpec(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.FrameDrop != 0.05 || s.WorkerPanic != 0.1 || s.Seed != 7 || s.StallMS != 50 {
+		t.Fatalf("parsed %+v", s)
+	}
+	back, err := ParseSpec(s.String())
+	if err != nil {
+		t.Fatalf("reparsing %q: %v", s.String(), err)
+	}
+	if back != s {
+		t.Fatalf("round trip changed spec: %+v != %+v", back, s)
+	}
+}
+
+func TestParseSpecErrors(t *testing.T) {
+	for _, bad := range []string{"drop", "bogus=1", "drop=x", "drop=1.5", "seed=abc", "stallms=-1", "drop=-0.1"} {
+		if _, err := ParseSpec(bad); err == nil {
+			t.Errorf("ParseSpec(%q) accepted", bad)
+		}
+	}
+	s, err := ParseSpec("")
+	if err != nil || !s.Zero() {
+		t.Fatalf("empty spec: %+v, %v", s, err)
+	}
+}
+
+func TestParseSpecStallDefault(t *testing.T) {
+	s, err := ParseSpec("stall=0.1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.StallMS != 1000 {
+		t.Fatalf("stall without stallms defaulted to %d ms, want 1000", s.StallMS)
+	}
+}
+
+func TestInjectorDeterminism(t *testing.T) {
+	spec, err := ParseSpec("drop=0.2,dup=0.1,flip=0.1,trunc=0.1,reorder=0.3,seed=42")
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := make([]byte, 20*etherlink.MaxChunk)
+	for i := range data {
+		data[i] = byte(i)
+	}
+	frames, err := etherlink.Segment(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func() ([]etherlink.Frame, Stats) {
+		in := New(spec)
+		var got []etherlink.Frame
+		for round := 0; round < 5; round++ {
+			got = in.Send(frames)
+		}
+		return got, in.Stats()
+	}
+	a, sa := run()
+	b, sb := run()
+	if sa != sb {
+		t.Fatalf("same seed, different stats: %+v != %+v", sa, sb)
+	}
+	if len(a) != len(b) {
+		t.Fatalf("same seed, different deliveries: %d != %d frames", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].Seq != b[i].Seq || len(a[i].Payload) != len(b[i].Payload) {
+			t.Fatalf("same seed, different frame %d", i)
+		}
+	}
+	if sa.Total() == 0 {
+		t.Fatal("high fault rates injected nothing across 5 rounds")
+	}
+}
+
+func TestSendNeverMutatesCallerFrames(t *testing.T) {
+	spec, _ := ParseSpec("flip=1,seed=1")
+	in := New(spec)
+	data := make([]byte, 3*etherlink.MaxChunk)
+	frames, err := etherlink.Segment(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in.Send(frames)
+	for i, f := range frames {
+		if !f.Verify() {
+			t.Fatalf("Send mutated caller frame %d", i)
+		}
+	}
+	for _, b := range data {
+		if b != 0 {
+			t.Fatal("Send mutated the underlying data block")
+		}
+	}
+}
+
+func TestCorruptMemoryRateAndDetectability(t *testing.T) {
+	spec, _ := ParseSpec("mem=1,seed=3")
+	in := New(spec)
+	buf := make([]byte, 10*4096)
+	flips := in.CorruptMemory(buf)
+	if flips != 10 {
+		t.Fatalf("mem=1 on 10 pages flipped %d bits, want 10", flips)
+	}
+	nonzero := 0
+	for _, b := range buf {
+		if b != 0 {
+			nonzero++
+		}
+	}
+	if nonzero != flips {
+		t.Fatalf("%d corrupted bytes for %d flips", nonzero, flips)
+	}
+	if in.Stats().MemBitsFlipped != int64(flips) {
+		t.Fatal("stats disagree with return value")
+	}
+}
+
+func TestSegmentHookPanicAndStall(t *testing.T) {
+	spec, _ := ParseSpec("panic=1,seed=5")
+	in := New(spec)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("panic=1 hook did not panic")
+			}
+		}()
+		in.SegmentHook(context.Background(), 0, 0) //nolint:errcheck
+	}()
+	if in.Stats().PanicsInjected != 1 {
+		t.Fatal("panic not counted")
+	}
+
+	spec, _ = ParseSpec("stall=1,stallms=5000,seed=5")
+	in = New(spec)
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	err := in.SegmentHook(ctx, 1, 0)
+	if err == nil {
+		t.Fatal("stall outlasting the deadline returned nil")
+	}
+	if !strings.Contains(err.Error(), "stalled worker") {
+		t.Fatalf("unexpected stall error: %v", err)
+	}
+	if time.Since(start) > 2*time.Second {
+		t.Fatal("stall did not respect the context deadline")
+	}
+
+	// A stall shorter than the deadline is just latency.
+	spec, _ = ParseSpec("stall=1,stallms=1,seed=5")
+	in = New(spec)
+	if err := in.SegmentHook(context.Background(), 2, 0); err != nil {
+		t.Fatalf("short stall errored: %v", err)
+	}
+}
+
+func TestCorruptStream(t *testing.T) {
+	z := []byte("a perfectly innocent compressed stream")
+	spec, _ := ParseSpec("zflip=1,seed=9")
+	in := New(spec)
+	c := in.CorruptStream(z)
+	if string(c) == string(z) {
+		t.Fatal("zflip=1 did not corrupt")
+	}
+	if len(c) != len(z) {
+		t.Fatal("bit flip changed length")
+	}
+	spec, _ = ParseSpec("ztrunc=1,seed=9")
+	in = New(spec)
+	c = in.CorruptStream(z)
+	if len(c) >= len(z) {
+		t.Fatal("ztrunc=1 did not truncate")
+	}
+	if string(z) != "a perfectly innocent compressed stream" {
+		t.Fatal("original stream mutated")
+	}
+	// No fault classes armed: the exact input comes back.
+	in = New(Spec{})
+	if got := in.CorruptStream(z); &got[0] != &z[0] {
+		t.Fatal("zero spec copied the stream")
+	}
+}
+
+func TestDescribe(t *testing.T) {
+	if got := (Stats{}).Describe(); got != "no faults injected" {
+		t.Fatalf("empty describe: %q", got)
+	}
+	got := Stats{FramesDropped: 3, PanicsInjected: 1}.Describe()
+	if !strings.Contains(got, "frames dropped 3") || !strings.Contains(got, "panics injected 1") {
+		t.Fatalf("describe: %q", got)
+	}
+}

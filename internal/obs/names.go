@@ -49,6 +49,11 @@ const (
 	// Pool accounting: hit rate = 1 - rebuilds/gets.
 	DeflatePoolGets     = "deflate_pool_gets_total"
 	DeflatePoolRebuilds = "deflate_pool_rebuilds_total"
+	// Resilient-pipeline accounting: segments that exhausted their
+	// retry budget and fell back to stored blocks, and worker panics
+	// recovered by the per-segment guard.
+	DeflateSegmentsDegraded      = "deflate_segments_degraded_total"
+	DeflateWorkerPanicsRecovered = "deflate_worker_panics_recovered_total"
 	// DeflateLastRatio is the input/output ratio of the most recent
 	// parallel run.
 	DeflateLastRatio = "deflate_last_ratio"
@@ -86,8 +91,13 @@ const (
 	LoggerRecords  = "logger_records_total"
 	LoggerRawBytes = "logger_raw_bytes_total"
 
-	// etherlink_* — staging-link framing.
-	EtherlinkFrames     = "etherlink_frames_total"
-	EtherlinkFrameBytes = "etherlink_frame_bytes_total"
-	EtherlinkFCSErrors  = "etherlink_fcs_errors_total"
+	// etherlink_* — staging-link framing and the ARQ recovery layer
+	// (internal/resilience charges the last two: frames resent after a
+	// lost/corrupted round, and frames the receiver discarded for a bad
+	// FCS or sequence number).
+	EtherlinkFrames          = "etherlink_frames_total"
+	EtherlinkFrameBytes      = "etherlink_frame_bytes_total"
+	EtherlinkFCSErrors       = "etherlink_fcs_errors_total"
+	EtherlinkRetransmits     = "etherlink_retransmits_total"
+	EtherlinkFramesCorrupted = "etherlink_frames_corrupted_total"
 )

@@ -1,0 +1,119 @@
+package resilience
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"lzssfpga/internal/etherlink"
+	"lzssfpga/internal/faultinject"
+)
+
+func testData(n int) []byte {
+	data := make([]byte, n)
+	for i := range data {
+		data[i] = byte(i*7 + i>>8)
+	}
+	return data
+}
+
+func TestTransferPerfectChannel(t *testing.T) {
+	for _, n := range []int{0, 1, etherlink.MaxChunk, 5*etherlink.MaxChunk + 13} {
+		data := testData(n)
+		out, stats, err := Transfer(context.Background(), data, PerfectChannel{}, DefaultPolicy())
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if !bytes.Equal(out, data) {
+			t.Fatalf("n=%d: round trip mismatch", n)
+		}
+		if stats.Rounds != 1 || stats.Retransmits != 0 {
+			t.Fatalf("n=%d: perfect channel needed %+v", n, stats)
+		}
+	}
+}
+
+func TestTransferRecoversFromFaults(t *testing.T) {
+	spec, err := faultinject.ParseSpec("drop=0.1,dup=0.1,reorder=0.1,flip=0.1,trunc=0.1,seed=11")
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := testData(40 * etherlink.MaxChunk)
+	pol := DefaultPolicy()
+	pol.BaseBackoff = 50 * time.Microsecond
+	pol.MaxBackoff = time.Millisecond
+	out, stats, err := Transfer(context.Background(), data, faultinject.New(spec), pol)
+	if err != nil {
+		t.Fatalf("transfer under 10%% faults: %v (stats %+v)", err, stats)
+	}
+	if !bytes.Equal(out, data) {
+		t.Fatal("recovered data not byte-exact")
+	}
+	if stats.Retransmits == 0 || stats.Rounds < 2 {
+		t.Fatalf("faulty channel recovered without retransmission: %+v", stats)
+	}
+	if stats.Corrupted == 0 {
+		t.Fatalf("flip+trunc faults produced no discarded frames: %+v", stats)
+	}
+}
+
+func TestTransferBudgetExhausted(t *testing.T) {
+	spec, err := faultinject.ParseSpec("drop=1,seed=2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pol := DefaultPolicy()
+	pol.MaxRetries = 3
+	pol.BaseBackoff = 10 * time.Microsecond
+	_, stats, err := Transfer(context.Background(), testData(4*etherlink.MaxChunk), faultinject.New(spec), pol)
+	if !errors.Is(err, ErrBudgetExhausted) {
+		t.Fatalf("total loss returned %v, want ErrBudgetExhausted", err)
+	}
+	if stats.Rounds != pol.MaxRetries+1 {
+		t.Fatalf("%d rounds for MaxRetries=%d", stats.Rounds, pol.MaxRetries)
+	}
+}
+
+func TestTransferContextCancel(t *testing.T) {
+	spec, err := faultinject.ParseSpec("drop=1,seed=2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pol := DefaultPolicy()
+	pol.MaxRetries = 1000
+	pol.BaseBackoff = 10 * time.Millisecond
+	ctx, cancel := context.WithTimeout(context.Background(), 15*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, _, err = Transfer(ctx, testData(etherlink.MaxChunk), faultinject.New(spec), pol)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("cancelled transfer returned %v", err)
+	}
+	if time.Since(start) > 2*time.Second {
+		t.Fatal("transfer ignored the context deadline")
+	}
+}
+
+func TestStatsAdd(t *testing.T) {
+	a := TransferStats{Frames: 1, Rounds: 2, Retransmits: 3, Corrupted: 4, Duplicates: 5}
+	b := a
+	a.Add(b)
+	want := TransferStats{Frames: 2, Rounds: 4, Retransmits: 6, Corrupted: 8, Duplicates: 10}
+	if a != want {
+		t.Fatalf("Add: %+v", a)
+	}
+}
+
+func TestJitterBounds(t *testing.T) {
+	pol := DefaultPolicy()
+	pol.Seed = 1
+	spec, _ := faultinject.ParseSpec("drop=0.5,seed=4")
+	// Jitter must never go negative even with frac near 1.
+	pol.JitterFrac = 0.99
+	pol.BaseBackoff = 20 * time.Microsecond
+	if _, _, err := Transfer(context.Background(), testData(10*etherlink.MaxChunk), faultinject.New(spec), pol); err != nil {
+		t.Fatalf("jittered transfer: %v", err)
+	}
+}

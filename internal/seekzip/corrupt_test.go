@@ -1,0 +1,125 @@
+package seekzip
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"lzssfpga/internal/lzss"
+)
+
+func buildArchive(t *testing.T, n, blockSize int) ([]byte, []byte) {
+	t.Helper()
+	data := make([]byte, n)
+	for i := range data {
+		data[i] = byte(i % 37)
+	}
+	z, err := Compress(data, lzss.HWSpeedParams(), blockSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data, z
+}
+
+// readAll drains an opened archive; any error return is fine, a panic
+// or out-of-range slice is the failure mode under test.
+func readAll(a *Archive) error {
+	buf := make([]byte, a.Len())
+	_, err := a.ReadAt(buf, 0)
+	return err
+}
+
+func TestOpenEveryPrefixTruncation(t *testing.T) {
+	_, z := buildArchive(t, 10_000, 2048)
+	for cut := 0; cut < len(z); cut++ {
+		a, err := Open(z[:cut])
+		if err == nil {
+			// A prefix that happens to parse (it cannot: the tail magic
+			// is gone) would still have to fail reading.
+			if rerr := readAll(a); rerr == nil {
+				t.Fatalf("prefix %d/%d opened and read cleanly", cut, len(z))
+			}
+			continue
+		}
+		if !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("prefix %d: error %v does not wrap ErrCorrupt", cut, err)
+		}
+	}
+}
+
+func TestOpenEverySuffixTruncation(t *testing.T) {
+	// Cutting from the front leaves a valid-looking tail whose index
+	// offset points past the data that remains.
+	_, z := buildArchive(t, 10_000, 2048)
+	for cut := 1; cut < len(z) && cut < 600; cut++ {
+		a, err := Open(z[cut:])
+		if err == nil {
+			if rerr := readAll(a); rerr == nil {
+				t.Fatalf("suffix from %d opened and read cleanly", cut)
+			}
+		}
+	}
+}
+
+func TestOpenBitFlips(t *testing.T) {
+	data, z := buildArchive(t, 20_000, 4096)
+	for pos := 0; pos < len(z); pos++ {
+		for _, bit := range []byte{0x01, 0x80} {
+			mut := append([]byte(nil), z...)
+			mut[pos] ^= bit
+			a, err := Open(mut)
+			if err != nil {
+				if !errors.Is(err, ErrCorrupt) {
+					t.Fatalf("flip at %d: Open error %v not typed", pos, err)
+				}
+				continue
+			}
+			// Opened despite the flip: reading must either error or —
+			// only if the flip landed in dead space — reproduce the
+			// data exactly. Silent wrong data is the one forbidden
+			// outcome; each block's Adler-32 enforces that.
+			buf := make([]byte, a.Len())
+			if _, rerr := a.ReadAt(buf, 0); rerr == nil {
+				if !bytes.Equal(buf, data) {
+					t.Fatalf("flip at %d read back silently wrong data", pos)
+				}
+			}
+		}
+	}
+}
+
+func TestOpenForgedHeaderFields(t *testing.T) {
+	_, z := buildArchive(t, 10_000, 2048)
+	forge := func(mutate func([]byte)) error {
+		mut := append([]byte(nil), z...)
+		mutate(mut)
+		_, err := Open(mut)
+		return err
+	}
+	cases := []struct {
+		name   string
+		mutate func([]byte)
+	}{
+		{"huge totalLen", func(b []byte) {
+			for i := 8; i < 16; i++ {
+				b[i] = 0xFF
+			}
+		}},
+		{"huge indexOff", func(b []byte) {
+			for i := len(b) - 12; i < len(b)-4; i++ {
+				b[i] = 0xFF
+			}
+		}},
+		{"indexOff into header", func(b []byte) {
+			copy(b[len(b)-12:], []byte{3, 0, 0, 0, 0, 0, 0, 0})
+		}},
+		{"zero blockSize", func(b []byte) {
+			copy(b[4:8], []byte{0, 0, 0, 0})
+		}},
+	}
+	for _, tc := range cases {
+		if err := forge(tc.mutate); !errors.Is(err, ErrCorrupt) {
+			t.Errorf("%s: Open returned %v", tc.name, err)
+		}
+	}
+}

@@ -17,6 +17,7 @@ package seekzip
 import (
 	"bytes"
 	"encoding/binary"
+	"errors"
 	"fmt"
 
 	"lzssfpga/internal/deflate"
@@ -26,6 +27,19 @@ import (
 var (
 	magicHead = []byte("LZSX")
 	magicTail = []byte("XIDX")
+)
+
+// ErrCorrupt reports a malformed archive: bad framing, an inconsistent
+// index, or a block that fails to decode. Open and ReadAt never panic
+// on hostile input — every structural violation surfaces as an error
+// wrapping this sentinel.
+var ErrCorrupt = errors.New("seekzip: corrupt archive")
+
+// headerSize is magicHead + u32 blockSize + u64 totalLen; tailSize is
+// u64 indexOff + magicTail.
+const (
+	headerSize = 4 + 4 + 8
+	tailSize   = 8 + 4
 )
 
 // DefaultBlockSize balances seek granularity against ratio loss.
@@ -94,32 +108,55 @@ type Archive struct {
 	cachedData  []byte
 }
 
-// Open parses the container and index.
+// Open parses the container and index. All arithmetic is overflow-safe
+// and the layout must account for every byte exactly: a forged index
+// offset, block count or total length — however large — is rejected,
+// never used to slice out of range.
 func Open(raw []byte) (*Archive, error) {
-	if len(raw) < 28 || !bytes.Equal(raw[:4], magicHead) || !bytes.Equal(raw[len(raw)-4:], magicTail) {
-		return nil, fmt.Errorf("seekzip: bad magic")
+	if len(raw) < headerSize+4+tailSize || !bytes.Equal(raw[:4], magicHead) || !bytes.Equal(raw[len(raw)-4:], magicTail) {
+		return nil, fmt.Errorf("%w: bad magic or impossible size", ErrCorrupt)
 	}
 	blockSize := int(binary.LittleEndian.Uint32(raw[4:]))
-	totalLen := int(binary.LittleEndian.Uint64(raw[8:]))
 	if blockSize <= 0 {
-		return nil, fmt.Errorf("seekzip: block size %d", blockSize)
+		return nil, fmt.Errorf("%w: block size %d", ErrCorrupt, blockSize)
 	}
-	indexOff := binary.LittleEndian.Uint64(raw[len(raw)-12:])
-	if indexOff+4 > uint64(len(raw)) {
-		return nil, fmt.Errorf("seekzip: index offset out of range")
+	totalLen64 := binary.LittleEndian.Uint64(raw[8:])
+	// An archive cannot describe more data than ~1032x its own size
+	// (Deflate's expansion bound); anything bigger is forged, and this
+	// also keeps every later int conversion and index computation exact.
+	if totalLen64 > uint64(len(raw))*1032 {
+		return nil, fmt.Errorf("%w: total length %d impossible for %d archive bytes", ErrCorrupt, totalLen64, len(raw))
+	}
+	totalLen := int(totalLen64)
+	indexOff := binary.LittleEndian.Uint64(raw[len(raw)-tailSize:])
+	// Compare without adding to indexOff: a near-MaxUint64 value must
+	// not wrap past the bound.
+	if indexOff < headerSize || indexOff > uint64(len(raw)-tailSize-4) {
+		return nil, fmt.Errorf("%w: index offset %d out of range", ErrCorrupt, indexOff)
 	}
 	count := int(binary.LittleEndian.Uint32(raw[indexOff:]))
 	want := (totalLen + blockSize - 1) / blockSize
 	if count != want {
-		return nil, fmt.Errorf("seekzip: index has %d blocks, data needs %d", count, want)
+		return nil, fmt.Errorf("%w: index has %d blocks, data needs %d", ErrCorrupt, count, want)
+	}
+	// Exact layout equality: header, blocks, index and tail must tile
+	// the file with no slack — truncation and padding both fail here.
+	if uint64(count) > (uint64(len(raw))-indexOff-4-tailSize)/8 ||
+		indexOff+4+uint64(count)*8+tailSize != uint64(len(raw)) {
+		return nil, fmt.Errorf("%w: index size disagrees with archive size", ErrCorrupt)
 	}
 	pos := indexOff + 4
-	if pos+uint64(count)*8 > uint64(len(raw)) {
-		return nil, fmt.Errorf("seekzip: truncated index")
-	}
 	offsets := make([]uint64, count)
+	prev := uint64(headerSize)
 	for i := range offsets {
-		offsets[i] = binary.LittleEndian.Uint64(raw[pos:])
+		o := binary.LittleEndian.Uint64(raw[pos:])
+		// Offsets start after the header, never run backwards, and stay
+		// inside the block region.
+		if o < prev || o > indexOff {
+			return nil, fmt.Errorf("%w: block %d offset %d outside [%d,%d]", ErrCorrupt, i, o, prev, indexOff)
+		}
+		offsets[i] = o
+		prev = o
 		pos += 8
 	}
 	return &Archive{
@@ -143,18 +180,29 @@ func (a *Archive) blockEnd(i int) uint64 {
 	return binary.LittleEndian.Uint64(a.raw[len(a.raw)-12:])
 }
 
-// block inflates (or returns the cached) block i.
+// block inflates (or returns the cached) block i, verifying the decoded
+// length against the index's promise — a block that inflates to the
+// wrong size would otherwise let ReadAt slice out of range.
 func (a *Archive) block(i int) ([]byte, error) {
 	if i == a.cachedBlock {
 		return a.cachedData, nil
 	}
 	lo, hi := a.offsets[i], a.blockEnd(i)
 	if lo > hi || hi > uint64(len(a.raw)) {
-		return nil, fmt.Errorf("seekzip: block %d bounds [%d,%d) invalid", i, lo, hi)
+		return nil, fmt.Errorf("%w: block %d bounds [%d,%d) invalid", ErrCorrupt, i, lo, hi)
 	}
-	data, err := deflate.ZlibDecompress(a.raw[lo:hi])
+	wantLen := a.blockSize
+	if i == len(a.offsets)-1 {
+		wantLen = a.totalLen - i*a.blockSize
+	}
+	data, err := deflate.ZlibDecompressLimited(a.raw[lo:hi], deflate.DecodeLimits{
+		MaxOutputBytes: wantLen, MaxBlocks: 1 << 20,
+	})
 	if err != nil {
-		return nil, fmt.Errorf("seekzip: block %d: %v", i, err)
+		return nil, fmt.Errorf("%w: block %d: %w", ErrCorrupt, i, err)
+	}
+	if len(data) != wantLen {
+		return nil, fmt.Errorf("%w: block %d inflated to %d bytes, index promises %d", ErrCorrupt, i, len(data), wantLen)
 	}
 	a.cachedBlock, a.cachedData = i, data
 	return data, nil

@@ -1,0 +1,62 @@
+package stream
+
+import "testing"
+
+// TestUnpackWordsHostileLengths hammers the word/byte-length consistency
+// check with the lengths a corrupted transfer header would present: the
+// function must reject or return exactly n bytes, never slice out of
+// range.
+func TestUnpackWordsHostileLengths(t *testing.T) {
+	words := []uint32{0x03020100, 0x07060504, 0x000A0908}
+	for n := -8; n <= len(words)*4+8; n++ {
+		out, err := UnpackWords(words, n, LSBFirst)
+		valid := n > (len(words)-1)*4 && n <= len(words)*4
+		if valid {
+			if err != nil {
+				t.Fatalf("n=%d: valid length rejected: %v", n, err)
+			}
+			if len(out) != n {
+				t.Fatalf("n=%d: got %d bytes", n, len(out))
+			}
+		} else if err == nil {
+			t.Fatalf("n=%d: inconsistent length accepted", n)
+		}
+	}
+}
+
+func TestUnpackWordsEmpty(t *testing.T) {
+	out, err := UnpackWords(nil, 0, LSBFirst)
+	if err != nil || len(out) != 0 {
+		t.Fatalf("empty unpack: %v", err)
+	}
+	if _, err := UnpackWords(nil, 1, LSBFirst); err == nil {
+		t.Fatal("1 byte from 0 words accepted")
+	}
+	if _, err := UnpackWords(nil, -1, MSBFirst); err == nil {
+		t.Fatal("negative length accepted")
+	}
+}
+
+func TestPackWordsTailPadding(t *testing.T) {
+	for n := 0; n <= 9; n++ {
+		data := make([]byte, n)
+		for i := range data {
+			data[i] = byte(i + 1)
+		}
+		for _, order := range []ByteOrder{LSBFirst, MSBFirst} {
+			words := PackWords(data, order)
+			if len(words) != (n+3)/4 {
+				t.Fatalf("n=%d: %d words", n, len(words))
+			}
+			back, err := UnpackWords(words, n, order)
+			if err != nil {
+				t.Fatalf("n=%d %v: %v", n, order, err)
+			}
+			for i := range data {
+				if back[i] != data[i] {
+					t.Fatalf("n=%d %v: byte %d mismatch", n, order, i)
+				}
+			}
+		}
+	}
+}

@@ -161,7 +161,11 @@ type FullRunResult struct {
 // CompressionSeconds corresponds to the timings in Table I.
 func (b Board) RunFull(corpus string, data []byte, link etherlink.Link) (FullRunResult, error) {
 	// Stage in: segment, "transmit", verify, reassemble.
-	staged, err := etherlink.Reassemble(etherlink.Segment(data), len(data))
+	frames, err := etherlink.Segment(data)
+	if err != nil {
+		return FullRunResult{}, fmt.Errorf("testbench: staging failed: %v", err)
+	}
+	staged, err := etherlink.Reassemble(frames, len(data))
 	if err != nil {
 		return FullRunResult{}, fmt.Errorf("testbench: staging failed: %v", err)
 	}

@@ -16,12 +16,14 @@
 package lzssfpga
 
 import (
+	"context"
 	"io"
 	"net/http"
 
 	"lzssfpga/internal/core"
 	"lzssfpga/internal/deflate"
 	"lzssfpga/internal/etherlink"
+	"lzssfpga/internal/faultinject"
 	"lzssfpga/internal/fpga"
 	"lzssfpga/internal/logger"
 	"lzssfpga/internal/lzss"
@@ -247,3 +249,53 @@ func ServeMetrics(reg *MetricsRegistry, addr string) (*http.Server, string, erro
 func CompressParallelTraced(data []byte, p Params, segment, workers int, carry bool, tr *Tracer) ([]byte, error) {
 	return deflate.ParallelCompressTraced(data, p, segment, workers, carry, tr)
 }
+
+// DecodeLimits bounds what a decoder will do for untrusted input: a cap
+// on decompressed size and on block count. The zero value of a field
+// means unlimited; Decompress applies generous defaults.
+type DecodeLimits = deflate.DecodeLimits
+
+// DecompressLimited is Decompress with explicit resource bounds. It
+// never panics on any input; rejections wrap deflate.ErrCorrupt, and
+// truncations additionally match io.ErrUnexpectedEOF.
+func DecompressLimited(z []byte, lim DecodeLimits) ([]byte, error) {
+	return deflate.ZlibDecompressLimited(z, lim)
+}
+
+// ParallelOpts configures CompressParallelResilient: segmentation,
+// retry budget, per-attempt deadline and the fault-injection hook.
+type ParallelOpts = deflate.ParallelOpts
+
+// ResilienceReport is the recovery ledger of one resilient parallel
+// run: retries, recovered panics, segments degraded to stored blocks.
+type ResilienceReport = deflate.ResilienceReport
+
+// CompressParallelResilient is CompressParallel hardened for a hostile
+// runtime: panicking workers are recovered and their segments retried,
+// attempts can carry deadlines, each segment is self-checked by
+// re-inflation, and a segment that exhausts its retries degrades to
+// stored blocks instead of failing the stream. Output is always a
+// standard zlib stream; only ctx cancellation makes it error.
+func CompressParallelResilient(ctx context.Context, data []byte, p Params, o ParallelOpts) ([]byte, ResilienceReport, error) {
+	return deflate.ParallelCompressResilient(ctx, data, p, o)
+}
+
+// FaultSpec declares seeded per-class fault-injection rates (frame
+// drop/duplicate/reorder/flip/truncate, memory bit flips, worker
+// panic/stall, stream corruption); see ParseFaultSpec for the string
+// syntax shared with the CLIs' -faults flag.
+type FaultSpec = faultinject.Spec
+
+// FaultInjector applies a FaultSpec deterministically at the resilience
+// seams: it is a transfer channel, a memory corrupter, a deflate
+// segment hook and a stream corrupter, with an atomic ledger of what it
+// injected.
+type FaultInjector = faultinject.Injector
+
+// ParseFaultSpec parses the -faults syntax: comma-separated key=value,
+// e.g. "drop=0.05,flip=0.01,panic=0.1,seed=7". Keys: drop, dup,
+// reorder, flip, trunc, mem, panic, stall, stallms, zflip, ztrunc, seed.
+func ParseFaultSpec(s string) (FaultSpec, error) { return faultinject.ParseSpec(s) }
+
+// NewFaultInjector builds the deterministic injector for a spec.
+func NewFaultInjector(spec FaultSpec) *FaultInjector { return faultinject.New(spec) }

@@ -2,6 +2,7 @@ package lzssfpga
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -11,6 +12,7 @@ import (
 	"testing"
 	"time"
 
+	"lzssfpga/internal/resilience"
 	"lzssfpga/internal/workload"
 )
 
@@ -145,6 +147,90 @@ func TestObservabilityEndToEnd(t *testing.T) {
 	}
 	if len(workerRows) == 0 {
 		t.Error("no worker rows in trace")
+	}
+}
+
+// TestObservabilityResilienceCounters exercises the recovery paths with
+// the registry enabled and checks that all four resilience counters —
+// ARQ retransmits, receiver-discarded frames, recovered worker panics
+// and segments degraded to stored blocks — reach the Prometheus page
+// with non-zero values.
+func TestObservabilityResilienceCounters(t *testing.T) {
+	obsMu.Lock()
+	defer obsMu.Unlock()
+	reg := NewMetricsRegistry()
+	EnableObservability(reg)
+	defer EnableObservability(nil)
+
+	srv, bound, err := ServeMetrics(reg, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	// ARQ over a lossy, corrupting channel: retransmits and discarded
+	// frames. drop=1 on the first round would exhaust the budget, so use
+	// heavy-but-recoverable rates.
+	data := workload.Wiki(200_000, 13)
+	inj := NewFaultInjector(FaultSpec{Seed: 5, FrameDrop: 0.15, FrameFlip: 0.15})
+	got, _, err := resilience.Transfer(context.Background(), data, inj, resilience.DefaultPolicy())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("ARQ transfer not byte-exact")
+	}
+
+	// Resilient compression with one panicking attempt and one segment
+	// whose every attempt fails (degrades to a stored block).
+	hook := func(ctx context.Context, seg, attempt int) error {
+		if seg == 1 && attempt == 0 {
+			panic("injected worker panic")
+		}
+		if seg == 2 {
+			return fmt.Errorf("injected permanent segment fault")
+		}
+		return nil
+	}
+	z, rep, err := CompressParallelResilient(context.Background(), data, HWSpeedParams(),
+		ParallelOpts{Segment: 32 << 10, Workers: 2, SegmentHook: hook})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.PanicsRecovered == 0 || rep.Degraded == 0 {
+		t.Fatalf("report = %+v, want recovered panics and a degraded segment", rep)
+	}
+	back, err := Decompress(z)
+	if err != nil || !bytes.Equal(back, data) {
+		t.Fatalf("round trip after faulty compression: %v", err)
+	}
+
+	resp, err := http.Get("http://" + bound + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prom := string(body)
+	snap := reg.Snapshot()
+	for _, name := range []string{
+		"etherlink_retransmits_total",
+		"etherlink_frames_corrupted_total",
+		"deflate_worker_panics_recovered_total",
+		"deflate_segments_degraded_total",
+	} {
+		if snap[name] <= 0 {
+			t.Errorf("%s = %v, want > 0", name, snap[name])
+		}
+		if !strings.Contains(prom, "# TYPE "+name+" counter") {
+			t.Errorf("/metrics missing TYPE line for %s", name)
+		}
+		if !strings.Contains(prom, fmt.Sprintf("%s %d", name, int64(snap[name]))) {
+			t.Errorf("/metrics missing %s sample (snapshot says %v)", name, snap[name])
+		}
 	}
 }
 
