@@ -1,11 +1,12 @@
 #!/bin/sh
 # Repository gate: formatting, static checks, the full test suite under
-# the race detector (including the observability stress test and the
-# fault-injection matrix), a bounded fuzz pass over the hardened
-# inflate entry points, the observability overhead budget, and a fresh
-# machine-readable benchmark
-# point gated against the committed previous-PR baseline (the
-# BENCH_*.json trajectory format; see README "Performance & profiling").
+# the race detector (including the observability stress test, the
+# fault-injection matrix, the engine soak and the engine goroutine-leak
+# check), a bounded fuzz pass over the hardened inflate entry points,
+# the observability overhead budget, and a fresh machine-readable
+# benchmark point — including the GOMAXPROCS scaling sweep — gated
+# against the committed previous-PR baseline (the BENCH_*.json
+# trajectory format; see README "Performance & profiling").
 set -eu
 
 cd "$(dirname "$0")"
@@ -33,14 +34,20 @@ go test -race -run StressConcurrentScrape -count=1 ./internal/obs
 echo "== fault matrix (race) =="
 go test -race -run FaultMatrix -count=1 ./internal/testbench
 
+echo "== engine soak + stall reorder (race) =="
+go test -race -run 'TestEngineSoak|TestReorderUnderWorkerStalls' -count=1 ./internal/deflate
+
+echo "== engine goroutine-leak check (race) =="
+go test -race -run TestEngineCloseLeavesNoWorkers -count=1 ./internal/engine
+
 echo "== inflate fuzz (10s) =="
 go test -run '^$' -fuzz FuzzInflate -fuzztime 10s ./internal/deflate
 
 echo "== observability overhead budget =="
 go test -run '^$' -bench ObsOverhead -benchtime 5x -count=1 .
 
-echo "== benchmark report (gated vs BENCH_pr1.json) =="
-go run ./cmd/lzssbench -json BENCH_pr2.json -compare BENCH_pr1.json
-cat BENCH_pr2.json
+echo "== benchmark report (scaling sweep, gated vs BENCH_pr2.json) =="
+go run ./cmd/lzssbench -json BENCH_pr4.json -sweep -compare BENCH_pr2.json
+cat BENCH_pr4.json
 
 echo "CI OK"

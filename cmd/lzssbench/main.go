@@ -39,7 +39,8 @@ var (
 	mb         = flag.Int("mb", 4, "corpus fragment size in MiB for the figures")
 	seed       = flag.Int64("seed", 1, "corpus generator seed")
 	jsonPath   = flag.String("json", "", "write a machine-readable benchmark report to this path instead of running experiments")
-	compareTo  = flag.String("compare", "", "with -json: fail if any result regresses >10% in MB/s vs this earlier report")
+	compareTo  = flag.String("compare", "", "with -json: fail if any result regresses >10% in MB/s vs this earlier report (rows match on name + gomaxprocs)")
+	sweepArg   = flag.Bool("sweep", false, "with -json: additionally measure the parallel paths at GOMAXPROCS 1/2/4/8, rebuilding the engine at each width")
 	metrics    = flag.String("metrics", "", "serve /metrics, /debug/vars and /debug/pprof/ on this address during the run")
 	cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this path")
 	memProfile = flag.String("memprofile", "", "write a heap profile to this path on exit")
@@ -92,7 +93,7 @@ func run() error {
 		fmt.Fprintf(os.Stderr, "lzssbench: metrics on http://%s/metrics\n", bound)
 	}
 	if *jsonPath != "" {
-		rep, err := writeJSONReport(*jsonPath, *mb<<20, *seed, reg)
+		rep, err := writeJSONReport(*jsonPath, *mb<<20, *seed, *sweepArg, reg)
 		if err != nil {
 			return err
 		}
@@ -104,6 +105,9 @@ func run() error {
 	}
 	if *compareTo != "" {
 		return fmt.Errorf("-compare requires -json (it gates freshly measured results)")
+	}
+	if *sweepArg {
+		return fmt.Errorf("-sweep extends the -json report: it requires -json")
 	}
 	if *faultsArg != "" {
 		return runFaultDemo()

@@ -31,6 +31,10 @@ type benchEntry struct {
 	AllocsPerOp float64 `json:"allocs_per_op"`
 	BytesPerOp  float64 `json:"bytes_per_op"`
 	Iterations  int     `json:"iterations"`
+	// GOMAXPROCS is the processor count the row was measured at (the
+	// -sweep rows vary it). 0 in older reports means "the report-level
+	// GOMAXPROCS"; -compare resolves that before matching rows.
+	GOMAXPROCS int `json:"gomaxprocs,omitempty"`
 }
 
 // benchReport is the file layout.
@@ -131,8 +135,12 @@ const regressionTolerance = 0.10
 
 // writeJSONReport benchmarks the software compression paths and writes
 // the report to path. reg, when non-nil, is snapshotted into the
-// report's metrics section after the timed runs.
-func writeJSONReport(path string, bytes int, seed int64, reg *lzssfpga.MetricsRegistry) (*benchReport, error) {
+// report's metrics section after the timed runs. With sweep, the
+// parallel paths are additionally measured at GOMAXPROCS 1/2/4/8
+// (clamped to what the box can schedule is deliberately NOT done — a
+// 1-core machine records honest non-scaling numbers), rebuilding the
+// shared engine at each width so shard count follows the setting.
+func writeJSONReport(path string, bytes int, seed int64, sweep bool, reg *lzssfpga.MetricsRegistry) (*benchReport, error) {
 	data := workload.Wiki(bytes, seed)
 	p := lzssfpga.HWSpeedParams()
 	const iters = 5
@@ -159,7 +167,15 @@ func writeJSONReport(path string, bytes int, seed int64, reg *lzssfpga.MetricsRe
 		if err != nil {
 			return nil, err
 		}
+		e.GOMAXPROCS = rep.GOMAXPROCS
 		rep.Results = append(rep.Results, e)
+	}
+	if sweep {
+		entries, err := sweepParallel(data, p, iters)
+		if err != nil {
+			return nil, err
+		}
+		rep.Results = append(rep.Results, entries...)
 	}
 	rep.CalibMBPerS = calibrate(data)
 	if reg != nil {
@@ -175,10 +191,60 @@ func writeJSONReport(path string, bytes int, seed int64, reg *lzssfpga.MetricsRe
 	return &rep, nil
 }
 
+// sweepParallel measures the parallel paths at GOMAXPROCS 1/2/4/8,
+// rebuilding the shared engine at each width (shard count is fixed at
+// engine construction) and restoring the original setting afterwards.
+func sweepParallel(data []byte, p lzssfpga.Params, iters int) ([]benchEntry, error) {
+	orig := runtime.GOMAXPROCS(0)
+	defer func() {
+		runtime.GOMAXPROCS(orig)
+		lzssfpga.ResetParallelEngine()
+	}()
+	var out []benchEntry
+	for _, procs := range []int{1, 2, 4, 8} {
+		if procs == orig {
+			// The default rows already measured this width; a duplicate
+			// key would shadow it in -compare.
+			continue
+		}
+		runtime.GOMAXPROCS(procs)
+		lzssfpga.ResetParallelEngine()
+		for _, b := range []struct {
+			name string
+			fn   func() ([]byte, error)
+		}{
+			{"parallel", func() ([]byte, error) { return lzssfpga.CompressParallel(data, p, 0, 0) }},
+			{"parallel_dict", func() ([]byte, error) { return lzssfpga.CompressParallelDict(data, p, 0, 0) }},
+		} {
+			e, err := benchOne(b.name, data, iters, b.fn)
+			if err != nil {
+				return nil, err
+			}
+			e.GOMAXPROCS = procs
+			out = append(out, e)
+		}
+	}
+	return out, nil
+}
+
+// rowKey identifies a result row for comparison: name plus the
+// GOMAXPROCS it was measured at, falling back to the report-level
+// value for rows from reports that predate per-row recording. Gating
+// a 4-core sweep row against a 1-core baseline row of the same name
+// would manufacture fake regressions (or hide real ones).
+func rowKey(rep *benchReport, e benchEntry) string {
+	g := e.GOMAXPROCS
+	if g == 0 {
+		g = rep.GOMAXPROCS
+	}
+	return fmt.Sprintf("%s@p%d", e.Name, g)
+}
+
 // compareReports gates cur's results against the report at oldPath:
-// every benchmark present in both must be within regressionTolerance of
-// the old MB/s. Benchmarks only on one side are reported but don't
-// fail, so adding or retiring a configuration doesn't break the gate.
+// every benchmark present in both (same name, same effective
+// GOMAXPROCS) must be within regressionTolerance of the old MB/s.
+// Benchmarks only on one side are reported but don't fail, so adding
+// or retiring a configuration doesn't break the gate.
 func compareReports(cur *benchReport, oldPath string) error {
 	raw, err := os.ReadFile(oldPath)
 	if err != nil {
@@ -190,7 +256,7 @@ func compareReports(cur *benchReport, oldPath string) error {
 	}
 	prev := make(map[string]benchEntry, len(old.Results))
 	for _, e := range old.Results {
-		prev[e.Name] = e
+		prev[rowKey(&old, e)] = e
 	}
 	scale := 1.0
 	if cur.CalibMBPerS > 0 && old.CalibMBPerS > 0 {
@@ -200,23 +266,24 @@ func compareReports(cur *benchReport, oldPath string) error {
 	}
 	var regressions []string
 	for _, e := range cur.Results {
-		o, ok := prev[e.Name]
+		k := rowKey(cur, e)
+		o, ok := prev[k]
 		if !ok {
-			fmt.Printf("compare: %-14s new benchmark, no baseline in %s\n", e.Name, oldPath)
+			fmt.Printf("compare: %-18s new benchmark, no baseline in %s\n", k, oldPath)
 			continue
 		}
-		delete(prev, e.Name)
+		delete(prev, k)
 		floor := o.MBPerS * scale * (1 - regressionTolerance)
 		status := "ok"
 		if e.MBPerS < floor {
 			status = "REGRESSION"
 			regressions = append(regressions,
-				fmt.Sprintf("%s: %.2f MB/s vs %.2f (floor %.2f)", e.Name, e.MBPerS, o.MBPerS*scale, floor))
+				fmt.Sprintf("%s: %.2f MB/s vs %.2f (floor %.2f)", k, e.MBPerS, o.MBPerS*scale, floor))
 		}
-		fmt.Printf("compare: %-14s %8.2f MB/s vs %8.2f baseline  %s\n", e.Name, e.MBPerS, o.MBPerS*scale, status)
+		fmt.Printf("compare: %-18s %8.2f MB/s vs %8.2f baseline  %s\n", k, e.MBPerS, o.MBPerS*scale, status)
 	}
 	for name := range prev {
-		fmt.Printf("compare: %-14s retired (present only in %s)\n", name, oldPath)
+		fmt.Printf("compare: %-18s retired (present only in %s)\n", name, oldPath)
 	}
 	if len(regressions) > 0 {
 		return fmt.Errorf("throughput regressed >%d%% vs %s:\n\t%s",

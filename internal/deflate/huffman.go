@@ -39,6 +39,18 @@ type codeBuilder struct {
 	blCount []int
 }
 
+// sort.Interface over cb.used (descending frequency, ascending symbol)
+// for limitLengths; implemented on the builder so sort.Sort gets an
+// already-boxed pointer and the sort allocates nothing.
+func (cb *codeBuilder) Len() int { return len(cb.used) }
+func (cb *codeBuilder) Less(i, j int) bool {
+	if cb.used[i].freq != cb.used[j].freq {
+		return cb.used[i].freq > cb.used[j].freq
+	}
+	return cb.used[i].sym < cb.used[j].sym
+}
+func (cb *codeBuilder) Swap(i, j int) { cb.used[i], cb.used[j] = cb.used[j], cb.used[i] }
+
 func (cb *codeBuilder) less(a, b int32) bool {
 	na, nb := &cb.nodes[a], &cb.nodes[b]
 	if na.freq != nb.freq {
@@ -195,12 +207,10 @@ func (cb *codeBuilder) limitLengths(freqs []int64, lengths []uint8, maxLen int) 
 	}
 	cb.used = used
 	// Sort by descending frequency: most frequent gets shortest code.
-	sort.Slice(used, func(i, j int) bool {
-		if used[i].freq != used[j].freq {
-			return used[i].freq > used[j].freq
-		}
-		return used[i].sym < used[j].sym
-	})
+	// sort.Sort on the builder itself — sort.Slice's closure and
+	// reflection swapper allocate on every call, two allocations per
+	// dynamic-planned segment that the pooled pipeline exists to avoid.
+	sort.Sort(cb)
 	// Start from the clamped histogram.
 	blCount := cb.blCount[:0]
 	for i := 0; i <= maxLen; i++ {

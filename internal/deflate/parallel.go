@@ -1,12 +1,14 @@
 package deflate
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
 	"time"
 
 	"lzssfpga/internal/bitio"
+	"lzssfpga/internal/engine"
 	"lzssfpga/internal/lzss"
 	"lzssfpga/internal/obs"
 	"lzssfpga/internal/token"
@@ -82,16 +84,19 @@ func putSegWorker(w *segWorker) {
 	segWorkerPool.Put(w)
 }
 
-// ParallelCompress compresses data into a standard zlib stream using
-// independent worker goroutines, pigz-style: the input is cut into
-// segments, each segment is LZSS-matched and Huffman-coded as its own
-// Deflate block(s) with a fresh dictionary, and the blocks are
-// concatenated in order. The output is deterministic — identical for
-// any worker count — and decodable by any inflater; the price of the
+// ParallelCompress compresses data into a standard zlib stream on the
+// shared persistent engine, pigz-style: the input is cut into segments,
+// each segment is LZSS-matched and Huffman-coded as its own Deflate
+// block(s) with a fresh dictionary, and the blocks stream out in order
+// as they complete. The output is deterministic — identical for any
+// worker count — and decodable by any inflater; the price of the
 // parallelism is that matches cannot cross segment boundaries.
 //
 // segment is the cut size (0 selects 256 KiB, a good ratio/parallelism
-// balance); workers defaults to GOMAXPROCS.
+// balance; SegmentAdaptive lets the engine's sizer choose, trading
+// determinism for utilization). workers caps this call's in-flight
+// segments; 0 means the engine's full width (one worker per shard,
+// sized to GOMAXPROCS at engine start).
 func ParallelCompress(data []byte, p lzss.Params, segment, workers int) ([]byte, error) {
 	return parallelCompress(data, p, segment, workers, false, nil)
 }
@@ -117,119 +122,93 @@ func ParallelCompressTraced(data []byte, p lzss.Params, segment, workers int, ca
 	return parallelCompress(data, p, segment, workers, carry, tr)
 }
 
+// parallelCompress runs a request on the shared persistent engine: it
+// plans the cut, preallocates the whole output from the running ratio
+// estimate, submits pooled segment jobs with the worker budget as the
+// in-flight cap, and streams completed bodies into the output in index
+// order while later segments are still compressing. The steady-state
+// request path allocates only the returned output buffer (jobs, reorder
+// state and segment bodies all recycle through pools and the engine
+// arena).
 func parallelCompress(data []byte, p lzss.Params, segment, workers int, carry bool, tr *obs.Tracer) ([]byte, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
-	k := deflateObs.Load()
-	splitStart := time.Now()
-	if segment <= 0 {
-		segment = 256 << 10
-	}
 	if workers <= 0 {
+		// Fast-path segments are pure CPU: in-flight work beyond the
+		// machine's parallelism buys nothing and interleaves extra pooled
+		// matchers (hash tables) through the caches. The resilient path
+		// keeps the engine's full width instead — its segments block on
+		// injected stalls and deadlines, so overlap there is the point.
 		workers = runtime.GOMAXPROCS(0)
 	}
-	nSeg := (len(data) + segment - 1) / segment
-	if nSeg == 0 {
-		nSeg = 1
-	}
-	bodies := make([][]byte, nSeg)
-	errs := make([]error, nSeg)
-	// submits[i] is when segment i entered the job queue; a worker
-	// reads it after receiving i from the channel (the channel receive
-	// orders the write before the read). Only allocated when someone is
-	// watching — the wait ends up in the deflate_queue_wait_us buckets.
-	var submits []time.Time
-	if k != nil {
-		submits = make([]time.Time, nSeg)
-	}
-
-	var wg sync.WaitGroup
-	jobs := make(chan int)
-	if workers > nSeg {
-		workers = nSeg
-	}
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func(tid int) {
-			defer wg.Done()
-			sw, err := getSegWorker(p)
-			if err != nil {
-				for i := range jobs {
-					errs[i] = err
-				}
-				return
-			}
-			defer putSegWorker(sw)
-			sw.tr = tr
-			sw.tid = tid
-			for i := range jobs {
-				segStart := time.Now()
-				if k != nil {
-					k.queueWaitUs.Observe(segStart.Sub(submits[i]).Microseconds())
-				}
-				lo := i * segment
-				hi := lo + segment
-				if hi > len(data) {
-					hi = len(data)
-				}
-				dictLo := lo
-				if carry {
-					if reach := p.Window - 1; lo > reach {
-						dictLo = lo - reach
-					} else {
-						dictLo = 0
-					}
-				}
-				sw.seg = i
-				bodies[i], errs[i] = sw.compressSegment(data[dictLo:hi], lo-dictLo, i == nSeg-1)
-				if k != nil {
-					k.segments.Inc()
-					k.inBytes.Add(int64(hi - lo))
-					k.outBytes.Add(int64(len(bodies[i])))
-					k.workerBusyNs.Add(time.Since(segStart).Nanoseconds())
-				}
-			}
-		}(w + 1)
-	}
-	tr.Span("split", 0, splitStart, time.Since(splitStart), fmt.Sprintf(`{"segments":%d,"workers":%d}`, nSeg, workers))
-	for i := 0; i < nSeg; i++ {
-		if submits != nil {
-			submits[i] = time.Now()
-		}
-		jobs <- i
-	}
-	close(jobs)
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
-	}
-	// Assemble header, bodies and trailer into one presized buffer.
-	assembleStart := time.Now()
+	k := deflateObs.Load()
+	splitStart := time.Now()
+	plan := planSegments(len(data), segment)
 	hdr, err := ZlibHeader(p.Window)
 	if err != nil {
 		return nil, err
 	}
-	total := len(hdr) + 4
-	for _, b := range bodies {
-		total += len(b)
-	}
-	out := make([]byte, 0, total)
+	out := make([]byte, 0, estimateOut(len(data)))
 	out = append(out, hdr[:]...)
-	for _, b := range bodies {
-		out = append(out, b...)
+
+	eng := defaultEngine()
+	jobs := getJobs(plan.nSeg)
+	defer putJobs(jobs)
+	var firstErr error
+	emit := func(b *engine.Buf, err error) {
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+		if b != nil {
+			if firstErr == nil {
+				out = append(out, b.B...)
+			}
+			engine.PutBuf(b)
+		}
 	}
+	if tr != nil {
+		tr.Span("split", 0, splitStart, time.Since(splitStart),
+			fmt.Sprintf(`{"segments":%d,"workers":%d}`, plan.nSeg, eng.Shards()))
+	}
+	submitErr := eng.SubmitAndStream(context.Background(), plan.nSeg, workers,
+		func(i int, r *engine.Request) engine.Job {
+			j := &(*jobs)[i]
+			lo := i * plan.segment
+			hi := lo + plan.segment
+			if hi > len(data) {
+				hi = len(data)
+			}
+			*j = pjob{
+				req: r, data: data, p: p, idx: i,
+				lo: lo, hi: hi, dictLo: dictLow(lo, carry, p),
+				final: i == plan.nSeg-1, tr: tr, adaptive: plan.adaptive,
+			}
+			if k != nil {
+				j.submitAt = time.Now()
+			}
+			return j
+		}, emit)
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	if submitErr != nil {
+		return nil, submitErr
+	}
+	// Finalize: Adler-32 trailer onto the streamed body bytes.
+	assembleStart := time.Now()
 	sum := AdlerChecksum(data)
 	out = append(out, byte(sum>>24), byte(sum>>16), byte(sum>>8), byte(sum))
-	tr.Span("assemble", 0, assembleStart, time.Since(assembleStart), fmt.Sprintf(`{"bytes":%d}`, len(out)))
+	if tr != nil {
+		tr.Span("assemble", 0, assembleStart, time.Since(assembleStart), fmt.Sprintf(`{"bytes":%d}`, len(out)))
+	}
 	if k != nil {
 		k.parallelRuns.Inc()
 		if len(out) > 0 {
 			k.lastRatio.Set(float64(len(data)) / float64(len(out)))
 		}
 	}
+	observeRatio(float64(len(data)) / float64(len(out)))
 	return out, nil
 }
 
@@ -239,9 +218,11 @@ func parallelCompress(data []byte, p lzss.Params, segment, workers int, carry bo
 // segments are encoded independently and then concatenated, so each
 // must end on a byte boundary. A zero-length stored block provides the
 // alignment padding (and carries the BFINAL flag on the last segment) —
-// the classic Z_FULL_FLUSH framing. The returned slice is freshly
-// allocated; all scratch state lives in the worker.
-func (w *segWorker) compressSegment(buf []byte, origin int, final bool) ([]byte, error) {
+// the classic Z_FULL_FLUSH framing. The body is encoded directly into
+// an arena buffer sized from hint and returned without copying; the
+// caller recycles it (engine.PutBuf) after assembly. All other scratch
+// state lives in the worker.
+func (w *segWorker) compressSegment(buf []byte, origin int, final bool, hint int) (*engine.Buf, error) {
 	matchStart := time.Now()
 	if origin > 0 {
 		w.cmds = lzss.CompressTail(w.cmds[:0], w.m, buf, origin)
@@ -261,19 +242,28 @@ func (w *segWorker) compressSegment(buf []byte, origin int, final bool) ([]byte,
 	for _, c := range cmds {
 		fixBits += CommandBits(c)
 	}
-	w.out.b = w.out.b[:0]
+	// Encode straight into an arena buffer: the filled buffer IS the
+	// returned body, so the old copy-to-fresh-slice step is gone. On an
+	// error path the buffer goes straight back to the arena.
+	ab := engine.GetBuf(hint)
+	w.out.b = ab.B
+	fail := func(err error) (*engine.Buf, error) {
+		w.out.b = nil
+		engine.PutBuf(ab)
+		return nil, err
+	}
 	bw := w.bw
 	bw.Reset(&w.out)
 	if dynBits < fixBits {
 		if err := plan.emit(bw, cmds, false); err != nil {
-			return nil, err
+			return fail(err)
 		}
 	} else {
 		e := NewEncoder(bw)
 		e.BeginBlock(false)
 		for _, c := range cmds {
 			if err := e.Encode(c); err != nil {
-				return nil, err
+				return fail(err)
 			}
 		}
 		e.EndBlock()
@@ -285,13 +275,13 @@ func (w *segWorker) compressSegment(buf []byte, origin int, final bool) ([]byte,
 	bw.WriteBits(0, 16)
 	bw.WriteBits(0xFFFF, 16)
 	if err := bw.Flush(); err != nil {
-		return nil, err
+		return fail(err)
 	}
-	body := make([]byte, len(w.out.b))
-	copy(body, w.out.b)
+	ab.B = w.out.b
+	w.out.b = nil
 	if w.tr != nil {
 		w.tr.Span("encode", w.tid, encodeStart, time.Since(encodeStart),
-			fmt.Sprintf(`{"segment":%d,"bytes":%d}`, w.seg, len(body)))
+			fmt.Sprintf(`{"segment":%d,"bytes":%d}`, w.seg, len(ab.B)))
 	}
-	return body, nil
+	return ab, nil
 }

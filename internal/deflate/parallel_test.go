@@ -184,3 +184,32 @@ func BenchmarkParallelCompressDict(b *testing.B) {
 		}
 	}
 }
+
+func TestParallelAdaptiveSegmentRoundTrip(t *testing.T) {
+	// SegmentAdaptive gives up byte-determinism (the sizer may cut
+	// differently run to run) but never correctness: every run must
+	// still decode byte-exact, with both the plain and carry paths.
+	data := workload.Wiki(3<<20, 72)
+	p := lzss.HWSpeedParams()
+	for _, carry := range []bool{false, true} {
+		for run := 0; run < 3; run++ {
+			var z []byte
+			var err error
+			if carry {
+				z, err = ParallelCompressDict(data, p, SegmentAdaptive, 0)
+			} else {
+				z, err = ParallelCompress(data, p, SegmentAdaptive, 0)
+			}
+			if err != nil {
+				t.Fatalf("carry=%v run=%d: %v", carry, run, err)
+			}
+			out, err := ZlibDecompress(z)
+			if err != nil || !bytes.Equal(out, data) {
+				t.Fatalf("carry=%v run=%d: round trip: %v", carry, run, err)
+			}
+		}
+	}
+	if got := adaptiveSizer.Value(); got < 64<<10 || got > 2<<20 {
+		t.Fatalf("adaptive sizer left its bounds: %d", got)
+	}
+}

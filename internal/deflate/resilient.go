@@ -4,11 +4,10 @@ import (
 	"bytes"
 	"context"
 	"fmt"
-	"runtime"
-	"sync"
 	"sync/atomic"
 	"time"
 
+	"lzssfpga/internal/engine"
 	"lzssfpga/internal/lzss"
 	"lzssfpga/internal/obs"
 )
@@ -17,8 +16,10 @@ import (
 // usable: default segment size and worker count, two retries per
 // segment, no per-attempt deadline, no hook.
 type ParallelOpts struct {
-	// Segment is the cut size in bytes (0 selects 256 KiB); Workers the
-	// goroutine count (0 selects GOMAXPROCS).
+	// Segment is the cut size in bytes (0 selects 256 KiB,
+	// SegmentAdaptive lets the engine's sizer choose); Workers caps the
+	// call's in-flight segments on the shared engine (0 means the
+	// engine's full width).
 	Segment int
 	Workers int
 	// Carry enables dictionary carry-over across segment cuts
@@ -76,130 +77,93 @@ func ParallelCompressResilient(ctx context.Context, data []byte, p lzss.Params, 
 	if err := ctx.Err(); err != nil {
 		return nil, rep, err
 	}
-	segment := o.Segment
-	if segment <= 0 {
-		segment = 256 << 10
-	}
-	workers := o.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
 	maxRetries := o.MaxSegmentRetries
 	if maxRetries <= 0 {
 		maxRetries = 2
 	}
-	nSeg := (len(data) + segment - 1) / segment
-	if nSeg == 0 {
-		nSeg = 1
-	}
-	rep.Segments = nSeg
-	if workers > nSeg {
-		workers = nSeg
-	}
+	plan := planSegments(len(data), o.Segment)
+	rep.Segments = plan.nSeg
 
 	splitStart := time.Now()
-	bodies := make([][]byte, nSeg)
-	var retries, panics, degraded atomic.Int64
-
-	var wg sync.WaitGroup
-	jobs := make(chan int)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func(tid int) {
-			defer wg.Done()
-			sw, swErr := getSegWorker(p)
-			if swErr == nil {
-				defer putSegWorker(sw)
-				sw.tr = o.Tracer
-				sw.tid = tid
-			}
-			for i := range jobs {
-				lo := i * segment
-				hi := lo + segment
-				if hi > len(data) {
-					hi = len(data)
-				}
-				dictLo := lo
-				if o.Carry {
-					if reach := p.Window - 1; lo > reach {
-						dictLo = lo - reach
-					} else {
-						dictLo = 0
-					}
-				}
-				final := i == nSeg-1
-				body := compressSegmentResilient(ctx, sw, data[dictLo:hi], lo-dictLo, i, final, maxRetries, o,
-					&retries, &panics)
-				if body == nil {
-					// Retry budget gone (or no worker at all): stored
-					// blocks cannot fail.
-					body = storedSegment(data[lo:hi], final)
-					degraded.Add(1)
-					if k := deflateObs.Load(); k != nil {
-						k.segmentsDegraded.Inc()
-					}
-				}
-				bodies[i] = body
-			}
-		}(w + 1)
-	}
-	o.Tracer.Span("split", 0, splitStart, time.Since(splitStart),
-		fmt.Sprintf(`{"segments":%d,"workers":%d,"resilient":true}`, nSeg, workers))
-
-	cancelled := false
-dispatch:
-	for i := 0; i < nSeg; i++ {
-		select {
-		case jobs <- i:
-		case <-ctx.Done():
-			cancelled = true
-			break dispatch
-		}
-	}
-	close(jobs)
-	wg.Wait()
-	rep.Retries = int(retries.Load())
-	rep.PanicsRecovered = int(panics.Load())
-	rep.Degraded = int(degraded.Load())
-	if cancelled || ctx.Err() != nil {
-		return nil, rep, fmt.Errorf("deflate: resilient compress cancelled: %w", ctx.Err())
-	}
-
-	assembleStart := time.Now()
 	hdr, err := ZlibHeader(p.Window)
 	if err != nil {
 		return nil, rep, err
 	}
-	total := len(hdr) + 4
-	for _, b := range bodies {
-		total += len(b)
-	}
-	out := make([]byte, 0, total)
+	out := make([]byte, 0, estimateOut(len(data)))
 	out = append(out, hdr[:]...)
-	for _, b := range bodies {
-		out = append(out, b...)
+	var retries, panics, degraded atomic.Int64
+
+	eng := defaultEngine()
+	jobs := getJobs(plan.nSeg)
+	defer putJobs(jobs)
+	cancelled := false
+	emit := func(b *engine.Buf, _ error) {
+		if b == nil {
+			// A job observed the cancelled context and gave up; the
+			// driver below turns this into the run's error.
+			cancelled = true
+			return
+		}
+		if !cancelled {
+			out = append(out, b.B...)
+		}
+		engine.PutBuf(b)
 	}
+	if o.Tracer != nil {
+		o.Tracer.Span("split", 0, splitStart, time.Since(splitStart),
+			fmt.Sprintf(`{"segments":%d,"workers":%d,"resilient":true}`, plan.nSeg, eng.Shards()))
+	}
+	submitErr := eng.SubmitAndStream(ctx, plan.nSeg, o.Workers,
+		func(i int, r *engine.Request) engine.Job {
+			j := &(*jobs)[i]
+			lo := i * plan.segment
+			hi := lo + plan.segment
+			if hi > len(data) {
+				hi = len(data)
+			}
+			*j = pjob{
+				req: r, data: data, p: p, idx: i,
+				lo: lo, hi: hi, dictLo: dictLow(lo, o.Carry, p),
+				final: i == plan.nSeg-1, tr: o.Tracer, adaptive: plan.adaptive,
+				ctx: ctx, opts: &o, maxRetries: maxRetries,
+				retries: &retries, panics: &panics, degradeds: &degraded,
+			}
+			if k := deflateObs.Load(); k != nil {
+				j.submitAt = time.Now()
+			}
+			return j
+		}, emit)
+	rep.Retries = int(retries.Load())
+	rep.PanicsRecovered = int(panics.Load())
+	rep.Degraded = int(degraded.Load())
+	if cancelled || submitErr != nil || ctx.Err() != nil {
+		cause := ctx.Err()
+		if cause == nil {
+			cause = submitErr
+		}
+		return nil, rep, fmt.Errorf("deflate: resilient compress cancelled: %w", cause)
+	}
+
+	assembleStart := time.Now()
 	sum := AdlerChecksum(data)
 	out = append(out, byte(sum>>24), byte(sum>>16), byte(sum>>8), byte(sum))
-	o.Tracer.Span("assemble", 0, assembleStart, time.Since(assembleStart), fmt.Sprintf(`{"bytes":%d}`, len(out)))
+	if o.Tracer != nil {
+		o.Tracer.Span("assemble", 0, assembleStart, time.Since(assembleStart), fmt.Sprintf(`{"bytes":%d}`, len(out)))
+	}
 	if k := deflateObs.Load(); k != nil {
 		k.parallelRuns.Inc()
-		k.segments.Add(int64(nSeg))
-		k.inBytes.Add(int64(len(data)))
-		k.outBytes.Add(int64(len(out)))
-		if len(out) > 0 {
-			k.lastRatio.Set(float64(len(data)) / float64(len(out)))
-		}
+		k.lastRatio.Set(float64(len(data)) / float64(len(out)))
 	}
+	observeRatio(float64(len(data)) / float64(len(out)))
 	return out, rep, nil
 }
 
 // compressSegmentResilient drives the attempt loop for one segment.
 // It returns nil when the retry budget is exhausted (the caller
 // degrades to stored blocks); ctx cancellation also returns nil — the
-// dispatcher notices ctx and fails the whole run.
+// driver notices ctx and fails the whole run.
 func compressSegmentResilient(ctx context.Context, sw *segWorker, buf []byte, origin, seg int, final bool,
-	maxRetries int, o ParallelOpts, retries, panics *atomic.Int64) []byte {
+	maxRetries int, o ParallelOpts, retries, panics *atomic.Int64) *engine.Buf {
 	if sw == nil {
 		return nil
 	}
@@ -226,7 +190,8 @@ func compressSegmentResilient(ctx context.Context, sw *segWorker, buf []byte, or
 		// Segments with carried history reference bytes outside
 		// themselves and cannot be checked in isolation.
 		if origin == 0 {
-			if err := verifySegment(body, buf, final); err != nil {
+			if err := verifySegment(body.B, buf, final); err != nil {
+				engine.PutBuf(body)
 				continue
 			}
 		}
@@ -237,9 +202,11 @@ func compressSegmentResilient(ctx context.Context, sw *segWorker, buf []byte, or
 
 // attemptSegment runs one guarded attempt: hook, then the normal
 // segment compressor, with any panic recovered, counted, and the
-// worker's matcher state scrubbed before reuse.
+// worker's matcher state scrubbed before reuse. A panic abandons the
+// attempt's arena buffer to the garbage collector — the worker's
+// buffer reference may itself be mid-update and cannot be trusted.
 func attemptSegment(ctx context.Context, sw *segWorker, buf []byte, origin, seg, attempt int, final bool,
-	hook func(context.Context, int, int) error, panics *atomic.Int64) (body []byte, err error) {
+	hook func(context.Context, int, int) error, panics *atomic.Int64) (body *engine.Buf, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			panics.Add(1)
@@ -249,6 +216,7 @@ func attemptSegment(ctx context.Context, sw *segWorker, buf []byte, origin, seg,
 			// The panic may have left the matcher mid-update; Reset
 			// rebuilds its hash state from scratch.
 			sw.m.Reset(nil)
+			sw.out.b = nil
 			body, err = nil, fmt.Errorf("%w: recovered worker panic: %v", ErrCorrupt, r)
 		}
 	}()
@@ -257,7 +225,7 @@ func attemptSegment(ctx context.Context, sw *segWorker, buf []byte, origin, seg,
 			return nil, err
 		}
 	}
-	return sw.compressSegment(buf, origin, final)
+	return sw.compressSegment(buf, origin, final, segHint(len(buf)-origin))
 }
 
 // verifySegment re-inflates a segment body independently and requires
@@ -284,13 +252,15 @@ func verifySegment(body, want []byte, final bool) error {
 }
 
 // storedSegment encodes chunk as raw stored blocks with the same
-// framing contract as compressSegment: byte-aligned body, trailing
-// empty stored block carrying the final flag. It cannot fail — it is
-// the degradation target when compression itself is what's faulty.
-func storedSegment(chunk []byte, final bool) []byte {
+// framing contract as compressSegment: byte-aligned body in an arena
+// buffer, trailing empty stored block carrying the final flag. It
+// cannot fail — it is the degradation target when compression itself
+// is what's faulty.
+func storedSegment(chunk []byte, final bool) *engine.Buf {
 	const maxStored = 65535
 	nBlocks := (len(chunk) + maxStored - 1) / maxStored
-	out := make([]byte, 0, len(chunk)+5*(nBlocks+1))
+	b := engine.GetBuf(len(chunk) + 5*(nBlocks+1))
+	out := b.B
 	for len(chunk) > 0 {
 		n := len(chunk)
 		if n > maxStored {
@@ -305,5 +275,6 @@ func storedSegment(chunk []byte, final bool) []byte {
 		b0 = 0x01
 	}
 	out = append(out, b0, 0x00, 0x00, 0xFF, 0xFF)
-	return out
+	b.B = out
+	return b
 }

@@ -175,18 +175,18 @@ func TestStoredSegmentFraming(t *testing.T) {
 	// Bigger than one stored block, verified via the normal inflater.
 	chunk := resilientTestData(100_000)
 	body := storedSegment(chunk, true)
-	dec, err := Inflate(body)
+	dec, err := Inflate(body.B)
 	if err != nil || !bytes.Equal(dec, chunk) {
 		t.Fatalf("stored segment final: %v", err)
 	}
 	// Non-final body needs the closing empty stored block.
 	body = storedSegment(chunk, false)
-	dec, err = Inflate(append(body, finalEmptyStored...))
+	dec, err = Inflate(append(append([]byte(nil), body.B...), finalEmptyStored...))
 	if err != nil || !bytes.Equal(dec, chunk) {
 		t.Fatalf("stored segment non-final: %v", err)
 	}
 	// Empty chunk is just the framing block.
-	if dec, err = Inflate(storedSegment(nil, true)); err != nil || len(dec) != 0 {
+	if dec, err = Inflate(storedSegment(nil, true).B); err != nil || len(dec) != 0 {
 		t.Fatalf("empty stored segment: %v", err)
 	}
 }

@@ -1,0 +1,229 @@
+// Package engine is the persistent, sharded execution core of the
+// parallel compression pipeline: a fixed set of long-lived worker
+// goroutines (one per shard) pulling jobs from bounded per-shard queues
+// with work stealing, a per-request streaming reorder buffer
+// (reorder.go), a size-classed buffer arena (arena.go) and an online
+// segment-size adapter (sizer.go).
+//
+// The engine exists to amortize setup across requests, the way the
+// paper's hardware pipeline amortizes it across blocks: goroutines are
+// spawned once, not per call; queue capacity is the natural
+// backpressure bound; and the hot request path touches only pooled or
+// arena-backed memory. The engine itself knows nothing about
+// compression — jobs are an interface — so internal/deflate can sit on
+// top without an import cycle.
+package engine
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Job is one unit of work. Run receives the id of the worker executing
+// it (0-based), which callers use to label per-worker trace rows. A job
+// must not be touched by the submitter again until it has signalled its
+// own completion (the deflate jobs signal through a Request).
+type Job interface {
+	Run(worker int)
+}
+
+// Config sizes an Engine. The zero value selects GOMAXPROCS shards with
+// a queue depth of 32 jobs per shard.
+type Config struct {
+	// Shards is the number of worker goroutines (one per shard).
+	Shards int
+	// QueueDepth bounds each shard's job queue; a full engine blocks
+	// submitters (backpressure) rather than growing memory.
+	QueueDepth int
+}
+
+// ErrClosed is returned by Submit after Close.
+var ErrClosed = errors.New("engine: closed")
+
+// Engine is a persistent sharded work-stealing scheduler. Safe for
+// concurrent use; the zero value is not usable — construct with New.
+type Engine struct {
+	shards []shard
+	// wake is pinged (non-blocking) after every enqueue so idle workers
+	// parked in the slow path re-run their steal scan; capacity one per
+	// worker makes the ping effectively a condition-variable broadcast.
+	wake chan struct{}
+	stop chan struct{}
+	wg   sync.WaitGroup
+	rr   atomic.Uint32
+	done atomic.Bool
+
+	// Mirrored scheduler counters, always maintained (cheap atomics) so
+	// tests and callers can read them without a registry; the obs sink
+	// republishes them under canonical engine_* names.
+	steals atomic.Int64
+	jobs   atomic.Int64
+	busyNs atomic.Int64
+}
+
+// shard is one bounded queue plus padding to keep the per-shard hot
+// fields off shared cache lines.
+type shard struct {
+	q chan Job
+	_ [64 - 8]byte //nolint:unused // cache-line padding
+}
+
+// New builds the engine and starts its workers.
+func New(cfg Config) *Engine {
+	n := cfg.Shards
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	depth := cfg.QueueDepth
+	if depth <= 0 {
+		depth = 32
+	}
+	e := &Engine{
+		shards: make([]shard, n),
+		wake:   make(chan struct{}, n),
+		stop:   make(chan struct{}),
+	}
+	for i := range e.shards {
+		e.shards[i].q = make(chan Job, depth)
+	}
+	e.wg.Add(n)
+	for i := 0; i < n; i++ {
+		go e.worker(i)
+	}
+	return e
+}
+
+// Shards returns the worker count.
+func (e *Engine) Shards() int { return len(e.shards) }
+
+// Steals returns the lifetime count of cross-shard steals.
+func (e *Engine) Steals() int64 { return e.steals.Load() }
+
+// Jobs returns the lifetime count of executed jobs.
+func (e *Engine) Jobs() int64 { return e.jobs.Load() }
+
+// Submit enqueues j, preferring the next shard in round-robin order and
+// falling back to any shard with room; when every queue is full it
+// blocks on the home shard — the engine's backpressure — until space
+// frees, ctx is cancelled, or the engine closes.
+func (e *Engine) Submit(ctx context.Context, j Job) error {
+	if e.done.Load() {
+		return ErrClosed
+	}
+	home := int(e.rr.Add(1)-1) % len(e.shards)
+	// Fast path: first queue with room, scanning from home.
+	for i := 0; i < len(e.shards); i++ {
+		s := &e.shards[(home+i)%len(e.shards)]
+		select {
+		case s.q <- j:
+			e.enqueued(s)
+			return nil
+		default:
+		}
+	}
+	// Slow path: block on the home queue with cancellation.
+	select {
+	case e.shards[home].q <- j:
+		e.enqueued(&e.shards[home])
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-e.stop:
+		return ErrClosed
+	}
+}
+
+// enqueued records queue-depth observability and wakes an idle worker.
+func (e *Engine) enqueued(s *shard) {
+	if k := engObs.Load(); k != nil {
+		k.queueDepth.Observe(int64(len(s.q)))
+	}
+	select {
+	case e.wake <- struct{}{}:
+	default:
+	}
+}
+
+// Close stops the workers and waits for them to exit. Jobs already
+// queued are drained and executed first; Submit during or after Close
+// returns ErrClosed. Close is idempotent.
+func (e *Engine) Close() {
+	if e.done.Swap(true) {
+		return
+	}
+	close(e.stop)
+	e.wg.Wait()
+}
+
+// worker is the persistent per-shard loop: own queue first, then a
+// steal scan over the other shards, then park until woken or stopped.
+func (e *Engine) worker(id int) {
+	defer e.wg.Done()
+	own := e.shards[id].q
+	for {
+		select {
+		case j := <-own:
+			e.run(id, j, false)
+			continue
+		default:
+		}
+		if j, from := e.trySteal(id); j != nil {
+			e.run(id, j, from != id)
+			continue
+		}
+		select {
+		case j := <-own:
+			e.run(id, j, false)
+		case <-e.wake:
+			// Work appeared somewhere; loop back into the steal scan.
+		case <-e.stop:
+			// Drain everything still queued (our queue and any other
+			// shard's) so Close never strands a submitted job, then exit.
+			for {
+				j, _ := e.trySteal(id)
+				if j == nil {
+					return
+				}
+				e.run(id, j, false)
+			}
+		}
+	}
+}
+
+// trySteal scans every shard starting with the worker's own for a
+// ready job. The second result is the shard the job came from.
+func (e *Engine) trySteal(id int) (Job, int) {
+	for i := 0; i < len(e.shards); i++ {
+		from := (id + i) % len(e.shards)
+		select {
+		case j := <-e.shards[from].q:
+			return j, from
+		default:
+		}
+	}
+	return nil, -1
+}
+
+// run executes one job, charging its wall time to the shard-busy
+// counter and counting steals.
+func (e *Engine) run(id int, j Job, stolen bool) {
+	if stolen {
+		e.steals.Add(1)
+	}
+	start := time.Now()
+	j.Run(id)
+	d := time.Since(start).Nanoseconds()
+	e.jobs.Add(1)
+	e.busyNs.Add(d)
+	if k := engObs.Load(); k != nil {
+		k.jobs.Inc()
+		k.busyNs.Add(d)
+		if stolen {
+			k.steals.Inc()
+		}
+	}
+}

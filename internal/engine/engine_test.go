@@ -1,0 +1,269 @@
+package engine
+
+import (
+	"context"
+	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// fnJob adapts a closure to the Job interface for tests.
+type fnJob func(worker int)
+
+func (f fnJob) Run(worker int) { f(worker) }
+
+func TestEngineRunsAllJobs(t *testing.T) {
+	e := New(Config{Shards: 2, QueueDepth: 4})
+	defer e.Close()
+	const n = 100
+	var ran atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for i := 0; i < n; i++ {
+		if err := e.Submit(context.Background(), fnJob(func(int) {
+			ran.Add(1)
+			wg.Done()
+		})); err != nil {
+			t.Fatal(err)
+		}
+	}
+	wg.Wait()
+	if ran.Load() != n {
+		t.Fatalf("ran %d of %d jobs", ran.Load(), n)
+	}
+	if e.Jobs() < n {
+		t.Fatalf("Jobs() = %d, want >= %d", e.Jobs(), n)
+	}
+}
+
+func TestEngineStealsFromBlockedShard(t *testing.T) {
+	e := New(Config{Shards: 2, QueueDepth: 16})
+	defer e.Close()
+	// Block one worker; the other must steal that shard's queued jobs.
+	gate := make(chan struct{})
+	blocked := make(chan struct{})
+	if err := e.Submit(context.Background(), fnJob(func(int) {
+		close(blocked)
+		<-gate
+	})); err != nil {
+		t.Fatal(err)
+	}
+	<-blocked
+	const n = 32
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for i := 0; i < n; i++ {
+		if err := e.Submit(context.Background(), fnJob(func(int) { wg.Done() })); err != nil {
+			t.Fatal(err)
+		}
+	}
+	wg.Wait() // completes only if the free worker stole across shards
+	close(gate)
+	if e.Steals() == 0 {
+		t.Fatal("no steals recorded despite a blocked shard")
+	}
+}
+
+func TestEngineCloseDrainsQueuedJobs(t *testing.T) {
+	e := New(Config{Shards: 2, QueueDepth: 64})
+	// Stall both workers so submissions pile up in the queues.
+	gate := make(chan struct{})
+	started := make(chan struct{}, 2)
+	for i := 0; i < 2; i++ {
+		if err := e.Submit(context.Background(), fnJob(func(int) {
+			started <- struct{}{}
+			<-gate
+		})); err != nil {
+			t.Fatal(err)
+		}
+	}
+	<-started
+	<-started
+	const n = 40
+	var ran atomic.Int64
+	for i := 0; i < n; i++ {
+		if err := e.Submit(context.Background(), fnJob(func(int) { ran.Add(1) })); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(gate)
+	e.Close() // must wait for every queued job to execute
+	if ran.Load() != n {
+		t.Fatalf("Close drained %d of %d queued jobs", ran.Load(), n)
+	}
+	if err := e.Submit(context.Background(), fnJob(func(int) {})); err != ErrClosed {
+		t.Fatalf("Submit after Close = %v, want ErrClosed", err)
+	}
+	e.Close() // idempotent
+}
+
+func TestEngineSubmitHonorsContext(t *testing.T) {
+	e := New(Config{Shards: 1, QueueDepth: 1})
+	defer e.Close()
+	gate := make(chan struct{})
+	defer close(gate)
+	blocked := make(chan struct{})
+	if err := e.Submit(context.Background(), fnJob(func(int) {
+		close(blocked)
+		<-gate
+	})); err != nil {
+		t.Fatal(err)
+	}
+	<-blocked
+	// Fill the single queue slot, then the next submit must block.
+	if err := e.Submit(context.Background(), fnJob(func(int) {})); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		cancel()
+	}()
+	if err := e.Submit(ctx, fnJob(func(int) {})); err != context.Canceled {
+		t.Fatalf("blocked Submit = %v, want context.Canceled", err)
+	}
+}
+
+func TestRequestReordersCompletions(t *testing.T) {
+	const n = 64
+	r := NewRequest(n)
+	defer r.Release()
+	// Complete in a shuffled order; emission must be in index order.
+	order := rand.New(rand.NewSource(7)).Perm(n)
+	for _, idx := range order {
+		b := GetBuf(16)
+		b.B = append(b.B, byte(idx))
+		r.Submitted()
+		r.Complete(idx, b, nil)
+	}
+	next := 0
+	r.Flush(func(b *Buf, err error) {
+		if err != nil {
+			t.Fatal(err)
+		}
+		if int(b.B[0]) != next {
+			t.Fatalf("emitted segment %d, want %d", b.B[0], next)
+		}
+		next++
+		PutBuf(b)
+	})
+	if next != n || r.Pending() != 0 {
+		t.Fatalf("emitted %d of %d, pending %d", next, n, r.Pending())
+	}
+}
+
+func TestSubmitAndStreamInOrderUnderInflightCap(t *testing.T) {
+	e := New(Config{Shards: 4, QueueDepth: 8})
+	defer e.Close()
+	for _, inflight := range []int{0, 1, 2, 7} {
+		const n = 50
+		var got []int
+		err := e.SubmitAndStream(context.Background(), n, inflight,
+			func(i int, r *Request) Job {
+				return fnJob(func(int) {
+					if i%3 == 0 {
+						time.Sleep(time.Duration(i%5) * 100 * time.Microsecond)
+					}
+					b := GetBuf(8)
+					b.B = append(b.B, byte(i))
+					r.Complete(i, b, nil)
+				})
+			},
+			func(b *Buf, err error) {
+				if err != nil {
+					t.Fatal(err)
+				}
+				got = append(got, int(b.B[0]))
+				PutBuf(b)
+			})
+		if err != nil {
+			t.Fatalf("inflight=%d: %v", inflight, err)
+		}
+		if len(got) != n {
+			t.Fatalf("inflight=%d: emitted %d of %d", inflight, len(got), n)
+		}
+		for i, v := range got {
+			if v != i {
+				t.Fatalf("inflight=%d: out of order at %d: %d", inflight, i, v)
+			}
+		}
+	}
+}
+
+func TestArenaClassesAndReuse(t *testing.T) {
+	cases := []struct{ n, wantCap int }{
+		{0, 4 << 10}, {1, 4 << 10}, {4 << 10, 4 << 10},
+		{4<<10 + 1, 8 << 10}, {100 << 10, 128 << 10}, {8 << 20, 8 << 20},
+	}
+	for _, c := range cases {
+		b := GetBuf(c.n)
+		if cap(b.B) < c.n || len(b.B) != 0 {
+			t.Fatalf("GetBuf(%d): len=%d cap=%d", c.n, len(b.B), cap(b.B))
+		}
+		PutBuf(b)
+	}
+	// Oversized requests fall through to the allocator but still work.
+	big := GetBuf(9 << 20)
+	if cap(big.B) < 9<<20 {
+		t.Fatalf("oversize GetBuf cap = %d", cap(big.B))
+	}
+	PutBuf(big) // clipped into the top class, must not panic
+	PutBuf(nil) // no-op
+	// A buffer grown by appends is reclassified by its new capacity.
+	b := GetBuf(4 << 10)
+	b.B = append(b.B, make([]byte, 64<<10)...)
+	PutBuf(b)
+}
+
+func TestSizerStepsWithinBounds(t *testing.T) {
+	s := NewSizer(64<<10, 1<<20, 256<<10, 2*time.Millisecond, 12*time.Millisecond)
+	// Persistently fast chunks: size must grow to the cap and stop.
+	for i := 0; i < 100; i++ {
+		s.Observe(s.Value(), 100*time.Microsecond)
+	}
+	if s.Value() != 1<<20 {
+		t.Fatalf("fast chunks: size = %d, want max %d", s.Value(), 1<<20)
+	}
+	// Persistently slow chunks: size must shrink to the floor and stop.
+	for i := 0; i < 100; i++ {
+		s.Observe(s.Value(), 500*time.Millisecond)
+	}
+	if s.Value() != 64<<10 {
+		t.Fatalf("slow chunks: size = %d, want min %d", s.Value(), 64<<10)
+	}
+	// In-band observations leave the size alone.
+	v := s.Value()
+	for i := 0; i < 50; i++ {
+		s.Observe(s.Value(), 6*time.Millisecond)
+	}
+	if s.Value() != v {
+		t.Fatalf("in-band chunks moved size %d -> %d", v, s.Value())
+	}
+	s.Observe(0, time.Millisecond) // degenerate inputs are ignored
+	s.Observe(1024, 0)
+}
+
+func TestEngineCloseLeavesNoWorkers(t *testing.T) {
+	before := runtime.NumGoroutine()
+	e := New(Config{Shards: 8})
+	var wg sync.WaitGroup
+	for i := 0; i < 64; i++ {
+		wg.Add(1)
+		if err := e.Submit(context.Background(), fnJob(func(int) { wg.Done() })); err != nil {
+			t.Fatal(err)
+		}
+	}
+	wg.Wait()
+	e.Close()
+	// Goroutine counts are noisy; retry briefly before declaring a leak.
+	for i := 0; i < 50; i++ {
+		if runtime.NumGoroutine() <= before {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("goroutines: %d before engine, %d after Close", before, runtime.NumGoroutine())
+}

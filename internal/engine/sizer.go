@@ -1,0 +1,81 @@
+package engine
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Sizer adapts a chunk size online from observed per-chunk service
+// time: chunks finishing faster than the target band are too small
+// (scheduling overhead dominates, so the size doubles), chunks slower
+// than the band add latency and starve the reorder buffer (so it
+// halves). Movement is clamped to [min, max] and quantized to powers of
+// two, and observations are damped through an EWMA so one noisy segment
+// cannot flap the size.
+//
+// Adaptive sizing trades the fixed-segment determinism guarantee for
+// throughput: two runs over the same data may cut differently. Callers
+// opt in explicitly (deflate's SegmentAdaptive sentinel); the default
+// parallel path keeps its fixed, deterministic 256 KiB cut.
+type Sizer struct {
+	min, max int64
+	targetLo time.Duration
+	targetHi time.Duration
+	cur      atomic.Int64
+	ewmaNs   atomic.Int64 // damped per-chunk duration at the current size
+}
+
+// NewSizer builds a sizer stepping within [min, max] starting at start,
+// aiming for per-chunk service times inside [targetLo, targetHi].
+func NewSizer(min, max, start int, targetLo, targetHi time.Duration) *Sizer {
+	s := &Sizer{min: int64(min), max: int64(max), targetLo: targetLo, targetHi: targetHi}
+	s.cur.Store(int64(start))
+	return s
+}
+
+// Value returns the current chunk size.
+func (s *Sizer) Value() int { return int(s.cur.Load()) }
+
+// Observe folds one completed chunk (its input size and wall time) into
+// the EWMA and steps the size when the damped duration leaves the
+// target band. Chunks measured at a stale size are still useful — the
+// EWMA is scaled to the current size before folding.
+func (s *Sizer) Observe(chunkBytes int, d time.Duration) {
+	if chunkBytes <= 0 || d <= 0 {
+		return
+	}
+	cur := s.cur.Load()
+	// Normalize the observation to the current size so observations at
+	// stale sizes don't distort the band check.
+	scaled := int64(float64(d.Nanoseconds()) * float64(cur) / float64(chunkBytes))
+	old := s.ewmaNs.Load()
+	ewma := scaled
+	if old > 0 {
+		ewma = old + (scaled-old)/8
+	}
+	s.ewmaNs.Store(ewma)
+
+	next := cur
+	switch {
+	case time.Duration(ewma) < s.targetLo && cur < s.max:
+		next = cur * 2
+	case time.Duration(ewma) > s.targetHi && cur > s.min:
+		next = cur / 2
+	default:
+		return
+	}
+	if next < s.min {
+		next = s.min
+	}
+	if next > s.max {
+		next = s.max
+	}
+	if s.cur.CompareAndSwap(cur, next) {
+		// Stepping resets the damping reference: the stored EWMA was
+		// normalized per `cur` bytes, rescale it to the new size.
+		s.ewmaNs.Store(int64(float64(ewma) * float64(next) / float64(cur)))
+		if k := engObs.Load(); k != nil {
+			k.segmentBytes.Set(float64(next))
+		}
+	}
+}

@@ -63,6 +63,25 @@ const (
 	DeflateStreamBlocks   = "deflate_stream_blocks_total"
 	DeflateStreamFlushes  = "deflate_stream_flushes_total"
 
+	// engine_* — the persistent sharded compression engine
+	// (internal/engine): request/job/steal accounting, shard busy time,
+	// arena hit rate, queue-depth and reorder-occupancy distributions,
+	// and the adaptive segment size.
+	EngineRequests    = "engine_requests_total"
+	EngineJobs        = "engine_jobs_total"
+	EngineSteals      = "engine_steals_total"
+	EngineShardBusyNs = "engine_shard_busy_ns_total"
+	EngineArenaGets   = "engine_arena_gets_total"
+	EngineArenaMisses = "engine_arena_misses_total"
+	// EngineQueueDepth buckets the home shard's queue depth at each
+	// enqueue; EngineReorderOccupancy buckets the reorder heap size at
+	// each completion (0 means segments streamed out strictly in order).
+	EngineQueueDepth       = "engine_queue_depth"
+	EngineReorderOccupancy = "engine_reorder_occupancy"
+	// EngineSegmentBytes is the adaptive cut size most recently chosen
+	// by the sizer (only moves when adaptive segmentation is in use).
+	EngineSegmentBytes = "engine_segment_bytes"
+
 	// core_* — the hardware model's cycle ledger (CycleStats), flushed
 	// once per modeled run. The six cycle counters are the Fig 5 stall
 	// breakdown.

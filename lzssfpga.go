@@ -22,6 +22,7 @@ import (
 
 	"lzssfpga/internal/core"
 	"lzssfpga/internal/deflate"
+	"lzssfpga/internal/engine"
 	"lzssfpga/internal/etherlink"
 	"lzssfpga/internal/faultinject"
 	"lzssfpga/internal/fpga"
@@ -112,12 +113,28 @@ func NewReader(r io.Reader) (io.Reader, error) {
 	return deflate.NewReader(r)
 }
 
-// CompressParallel compresses data on multiple cores, pigz-style:
-// independent segments, deterministic output, standard zlib format.
-// segment 0 selects 256 KiB; workers 0 selects GOMAXPROCS.
+// SegmentAdaptive, passed as the segment argument of any
+// CompressParallel* entry point, lets the engine's online sizer choose
+// the cut from observed per-segment service time. Adaptive cuts trade
+// byte-determinism across runs for steadier worker utilization; the
+// default and explicit segment sizes stay deterministic.
+const SegmentAdaptive = deflate.SegmentAdaptive
+
+// CompressParallel compresses data on the shared persistent engine,
+// pigz-style: independent segments, deterministic output, standard
+// zlib format. segment 0 selects 256 KiB (SegmentAdaptive enables the
+// online sizer); workers caps this call's in-flight segments, 0 means
+// the engine's full width.
 func CompressParallel(data []byte, p Params, segment, workers int) ([]byte, error) {
 	return deflate.ParallelCompress(data, p, segment, workers)
 }
+
+// ResetParallelEngine closes the shared compression engine (draining
+// queued jobs and stopping its workers) and lets the next parallel
+// call rebuild it sized to the then-current GOMAXPROCS. It exists for
+// GOMAXPROCS sweeps and goroutine-leak checks; it must not race
+// in-flight CompressParallel* calls.
+func ResetParallelEngine() { deflate.ResetDefaultEngine() }
 
 // CompressParallelDict is CompressParallel with dictionary carry-over
 // across segment cuts (pigz's default): each segment's matcher is
@@ -221,14 +238,16 @@ func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
 func NewTracer() *Tracer { return obs.NewTracer() }
 
 // EnableObservability points every instrumented layer (lzss matcher,
-// deflate pipeline + streaming writer, hardware cycle model, logger,
-// etherlink) at reg. Pass nil to disable again. Instrumentation is
-// compiled in but batched: hot loops count locally and flush deltas at
-// block/segment granularity, so the enabled overhead on the compression
-// hot path stays under 2% (BenchmarkObsOverhead pins this).
+// deflate pipeline + streaming writer, compression engine, hardware
+// cycle model, logger, etherlink) at reg. Pass nil to disable again.
+// Instrumentation is compiled in but batched: hot loops count locally
+// and flush deltas at block/segment granularity, so the enabled
+// overhead on the compression hot path stays under 2%
+// (BenchmarkObsOverhead pins this).
 func EnableObservability(reg *MetricsRegistry) {
 	lzss.SetObservability(reg)
 	deflate.SetObservability(reg)
+	engine.SetObservability(reg)
 	core.SetObservability(reg)
 	logger.SetObservability(reg)
 	etherlink.SetObservability(reg)
