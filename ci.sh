@@ -2,7 +2,9 @@
 # Repository gate: formatting, static checks, the full test suite under
 # the race detector (including the observability stress test, the
 # fault-injection matrix, the engine soak and the engine goroutine-leak
-# check), a bounded fuzz pass over the hardened inflate entry points,
+# check, and the server e2e/drain/soak suite), a coverage floor on the
+# serving layer, a bounded fuzz pass over the hardened inflate entry
+# points and the wire-frame parser,
 # the observability overhead budget, and a fresh machine-readable
 # benchmark point — including the GOMAXPROCS scaling sweep — gated
 # against the committed previous-PR baseline (the BENCH_*.json
@@ -40,8 +42,22 @@ go test -race -run 'TestEngineSoak|TestReorderUnderWorkerStalls' -count=1 ./inte
 echo "== engine goroutine-leak check (race) =="
 go test -race -run TestEngineCloseLeavesNoWorkers -count=1 ./internal/engine
 
+echo "== server e2e + drain + soak (race) =="
+go test -race -run 'TestServerE2E|TestServerDrain|TestServerSoak' -count=1 ./internal/server
+
+echo "== server coverage gate (>= 80%) =="
+cover=$(go test -cover -count=1 ./internal/server | awk '/coverage:/ { sub("%", "", $5); print $5 }')
+echo "internal/server statement coverage: ${cover}%"
+if [ -z "$cover" ] || ! awk "BEGIN { exit !($cover >= 80.0) }"; then
+	echo "internal/server coverage ${cover}% is below the 80% gate" >&2
+	exit 1
+fi
+
 echo "== inflate fuzz (10s) =="
 go test -run '^$' -fuzz FuzzInflate -fuzztime 10s ./internal/deflate
+
+echo "== frame parser fuzz (10s) =="
+go test -run '^$' -fuzz FuzzFrameParser -fuzztime 10s ./internal/server
 
 echo "== observability overhead budget =="
 go test -run '^$' -bench ObsOverhead -benchtime 5x -count=1 .

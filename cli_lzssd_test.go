@@ -1,0 +1,309 @@
+package lzssfpga
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"os/exec"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+
+	"lzssfpga/internal/deflate"
+	"lzssfpga/internal/server/client"
+	"lzssfpga/internal/workload"
+)
+
+// lzssdProc is one running daemon under test: the process handle plus
+// the addresses parsed from its startup lines.
+type lzssdProc struct {
+	cmd         *exec.Cmd
+	httpAddr    string
+	tcpAddr     string
+	metricsAddr string     // set only when started with -metrics
+	done        chan error // resolves with cmd.Wait; consume via wait() only
+	waitOnce    sync.Once
+	waitErr     error
+	out         *bytes.Buffer
+	outMu       *sync.Mutex
+}
+
+// wait blocks until the daemon exits and returns its cmd.Wait error;
+// safe to call from both the test body and the Cleanup.
+func (p *lzssdProc) wait() error {
+	p.waitOnce.Do(func() { p.waitErr = <-p.done })
+	return p.waitErr
+}
+
+// startLzssd launches the daemon on free ports and waits for both
+// "listening on" lines.
+func startLzssd(t *testing.T, extraArgs ...string) *lzssdProc {
+	t.Helper()
+	args := append([]string{"-http", "127.0.0.1:0", "-tcp", "127.0.0.1:0"}, extraArgs...)
+	cmd := exec.Command(cliBin(t, "lzssd"), args...)
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd.Stderr = cmd.Stdout
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	p := &lzssdProc{cmd: cmd, done: make(chan error, 1), out: &bytes.Buffer{}, outMu: &sync.Mutex{}}
+	addrs := make(chan [2]string, 1)
+	go func() {
+		sc := bufio.NewScanner(stdout)
+		var httpAddr, tcpAddr string
+		for sc.Scan() {
+			line := sc.Text()
+			p.outMu.Lock()
+			fmt.Fprintln(p.out, line)
+			p.outMu.Unlock()
+			if a, ok := strings.CutPrefix(line, "lzssd: metrics listening on "); ok {
+				p.outMu.Lock()
+				p.metricsAddr = a
+				p.outMu.Unlock()
+			}
+			if a, ok := strings.CutPrefix(line, "lzssd: http listening on "); ok {
+				httpAddr = a
+			}
+			if a, ok := strings.CutPrefix(line, "lzssd: tcp listening on "); ok {
+				tcpAddr = a
+			}
+			if httpAddr != "" && tcpAddr != "" {
+				select {
+				case addrs <- [2]string{httpAddr, tcpAddr}:
+				default:
+				}
+			}
+		}
+		p.done <- cmd.Wait()
+	}()
+	t.Cleanup(func() {
+		cmd.Process.Kill() //nolint:errcheck
+		p.wait()           //nolint:errcheck
+	})
+	select {
+	case a := <-addrs:
+		p.httpAddr, p.tcpAddr = a[0], a[1]
+	case <-time.After(10 * time.Second):
+		t.Fatalf("lzssd did not announce its listeners; output:\n%s", p.output())
+	}
+	return p
+}
+
+func (p *lzssdProc) output() string {
+	p.outMu.Lock()
+	defer p.outMu.Unlock()
+	return p.out.String()
+}
+
+func (p *lzssdProc) metrics() string {
+	p.outMu.Lock()
+	defer p.outMu.Unlock()
+	return p.metricsAddr
+}
+
+// TestCLILzssdConcurrentClients is the process-level acceptance run:
+// one lzssd serves 36 concurrent clients (half HTTP, half framed TCP)
+// and every response re-inflates byte-exact.
+func TestCLILzssdConcurrentClients(t *testing.T) {
+	// Capacity is provisioned above the client count so the run tests
+	// byte-exactness, not the backpressure gate.
+	p := startLzssd(t, "-segment", "8192", "-inflight", "64")
+	lim := deflate.DecodeLimits{MaxOutputBytes: 1 << 30, MaxBlocks: 1 << 20}
+	payloads := [][]byte{
+		{},
+		{0x5A},
+		workload.Wiki(48<<10, 21), // several segments at -segment 8192
+	}
+
+	const clients = 36
+	var wg sync.WaitGroup
+	errc := make(chan error, clients)
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errc <- lzssdClientRun(i, p, lim, payloads)
+		}(i)
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		if err != nil {
+			t.Fatalf("%v\nlzssd output:\n%s", err, p.output())
+		}
+	}
+}
+
+func lzssdClientRun(i int, p *lzssdProc, lim deflate.DecodeLimits, payloads [][]byte) error {
+	verify := func(z, want []byte) error {
+		got, err := deflate.ZlibDecompressLimited(z, lim)
+		if err != nil {
+			return err
+		}
+		if !bytes.Equal(got, want) {
+			return fmt.Errorf("round trip mismatch (%d in, %d back)", len(want), len(got))
+		}
+		return nil
+	}
+	if i%2 == 0 {
+		hc := client.NewHTTP(p.httpAddr)
+		for pi, data := range payloads {
+			z, err := hc.Compress(context.Background(), data)
+			if err != nil {
+				return fmt.Errorf("http client %d payload %d: %w", i, pi, err)
+			}
+			if err := verify(z, data); err != nil {
+				return fmt.Errorf("http client %d payload %d: %w", i, pi, err)
+			}
+		}
+		return nil
+	}
+	tc, err := client.DialTCP(p.tcpAddr, 0)
+	if err != nil {
+		return fmt.Errorf("tcp client %d: dial: %w", i, err)
+	}
+	defer tc.Close()
+	tc.SetDeadline(time.Now().Add(60 * time.Second)) //nolint:errcheck
+	for pi, data := range payloads {
+		z, err := tc.Compress(data)
+		if err != nil {
+			return fmt.Errorf("tcp client %d payload %d: %w", i, pi, err)
+		}
+		if err := verify(z, data); err != nil {
+			return fmt.Errorf("tcp client %d payload %d: %w", i, pi, err)
+		}
+	}
+	return nil
+}
+
+// TestCLILzssdGracefulDrain sends SIGTERM while requests are held in
+// flight by injected worker stalls: every in-flight response must still
+// arrive byte-exact, the process must exit 0 with its "drained" line,
+// and new connections must be refused afterwards.
+func TestCLILzssdGracefulDrain(t *testing.T) {
+	// stall=1 stalls every segment attempt for 500 ms, holding each
+	// request in flight long enough to straddle the signal.
+	p := startLzssd(t, "-faults", "stall=1,stallms=500,seed=1", "-drain", "20s", "-metrics", "127.0.0.1:0")
+	lim := deflate.DecodeLimits{MaxOutputBytes: 1 << 30, MaxBlocks: 1 << 20}
+	payload := workload.Wiki(8<<10, 33)
+
+	const inflight = 4
+	results := make(chan error, inflight)
+	for i := 0; i < inflight; i++ {
+		go func(i int) {
+			var z []byte
+			var err error
+			if i%2 == 0 {
+				hc := client.NewHTTP(p.httpAddr)
+				z, err = hc.Compress(context.Background(), payload)
+			} else {
+				var tc *client.TCP
+				tc, err = client.DialTCP(p.tcpAddr, 0)
+				if err == nil {
+					defer tc.Close()
+					tc.SetDeadline(time.Now().Add(30 * time.Second)) //nolint:errcheck
+					z, err = tc.Compress(payload)
+				}
+			}
+			if err == nil {
+				var got []byte
+				got, err = deflate.ZlibDecompressLimited(z, lim)
+				if err == nil && !bytes.Equal(got, payload) {
+					err = fmt.Errorf("client %d: round trip mismatch", i)
+				}
+			}
+			results <- err
+		}(i)
+	}
+	// Signal the drain only once the registry reports all requests in
+	// flight, so none of them can race the listener teardown.
+	waitForInflight(t, p, inflight)
+	if err := p.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < inflight; i++ {
+		if err := <-results; err != nil {
+			t.Fatalf("in-flight request across SIGTERM: %v\nlzssd output:\n%s", err, p.output())
+		}
+	}
+	exited := make(chan error, 1)
+	go func() { exited <- p.wait() }()
+	select {
+	case err := <-exited:
+		if err != nil {
+			t.Fatalf("lzssd exited %v, want 0\noutput:\n%s", err, p.output())
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatalf("lzssd did not exit after the drain\noutput:\n%s", p.output())
+	}
+	if out := p.output(); !strings.Contains(out, "lzssd: drained") {
+		t.Fatalf("missing drained line in output:\n%s", out)
+	}
+	// The listeners are gone: new work must be refused.
+	if _, err := client.DialTCP(p.tcpAddr, 0); err == nil {
+		t.Fatal("drained lzssd still accepts TCP connections")
+	}
+	hc := client.NewHTTP(p.httpAddr)
+	if _, err := hc.Compress(context.Background(), []byte("late")); err == nil {
+		t.Fatal("drained lzssd still serves HTTP")
+	}
+}
+
+// waitForInflight polls the daemon's Prometheus endpoint until the
+// server_inflight_requests gauge reaches n.
+func waitForInflight(t *testing.T, p *lzssdProc, n int) {
+	t.Helper()
+	want := fmt.Sprintf("server_inflight_requests %d", n)
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get("http://" + p.metrics() + "/metrics")
+		if err == nil {
+			body, rerr := io.ReadAll(resp.Body)
+			resp.Body.Close() //nolint:errcheck
+			if rerr == nil && strings.Contains(string(body), want) {
+				return
+			}
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Fatalf("gauge never reached %q; output:\n%s", want, p.output())
+}
+
+// TestCLILzssdMetricsScrape wires the two daemons' tools together:
+// lzssd serves its registry on -metrics, a request populates the
+// server_* family, and lzssmon -grep server_ scrapes exactly that
+// family — every emitted line names a server_ metric, and the core
+// counters are present.
+func TestCLILzssdMetricsScrape(t *testing.T) {
+	p := startLzssd(t, "-metrics", "127.0.0.1:0")
+	if p.metrics() == "" {
+		t.Fatalf("no metrics address announced; output:\n%s", p.output())
+	}
+	hc := client.NewHTTP(p.httpAddr)
+	if _, err := hc.Compress(context.Background(), workload.Wiki(4<<10, 55)); err != nil {
+		t.Fatal(err)
+	}
+	out, err := exec.Command(cliBin(t, "lzssmon"), "-addr", p.metrics(), "-grep", "server_").Output()
+	if err != nil {
+		t.Fatalf("lzssmon -grep: %v\noutput:\n%s", err, out)
+	}
+	text := string(out)
+	for _, want := range []string{"server_requests_total", "server_request_bytes", "server_inflight_requests"} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("scrape missing %s:\n%s", want, text)
+		}
+	}
+	for _, line := range strings.Split(strings.TrimSpace(text), "\n") {
+		if !strings.Contains(line, "server_") {
+			t.Fatalf("-grep server_ leaked a foreign line %q:\n%s", line, text)
+		}
+	}
+}

@@ -31,7 +31,7 @@ func cliBin(t *testing.T, name string) string {
 		if cliErr != nil {
 			return
 		}
-		for _, tool := range []string{"lzsszip", "lzestim", "lzssbench", "lzlog", "lzssmon"} {
+		for _, tool := range []string{"lzsszip", "lzestim", "lzssbench", "lzlog", "lzssmon", "lzssd"} {
 			cmd := exec.Command("go", "build", "-o", filepath.Join(cliDir, tool), "./cmd/"+tool)
 			cmd.Env = os.Environ()
 			if out, err := cmd.CombinedOutput(); err != nil {
@@ -179,6 +179,11 @@ func TestCLIExitCodes(t *testing.T) {
 		{"mon-no-addr", "lzssmon", nil, "usage: lzssmon"},
 		{"mon-unreachable", "lzssmon", []string{"-addr", "127.0.0.1:1", "-timeout", "500ms"}, "lzssmon:"},
 		{"mon-bad-format", "lzssmon", []string{"-addr", "127.0.0.1:1", "-format", "bogus"}, `unknown format "bogus"`},
+		{"mon-grep-json", "lzssmon", []string{"-addr", "127.0.0.1:1", "-format", "json", "-grep", "server_"},
+			"cannot be combined with -format json"},
+		{"lzssd-bad-level", "lzssd", []string{"-level", "bogus"}, `unknown level "bogus"`},
+		{"lzssd-nothing-to-serve", "lzssd", []string{"-http", "", "-tcp", ""}, "nothing to serve"},
+		{"lzssd-bad-faults", "lzssd", []string{"-faults", "bogus"}, "faultinject"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

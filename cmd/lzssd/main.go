@@ -1,0 +1,162 @@
+// Command lzssd is the long-running compression daemon: the persistent
+// sharded engine behind two network fronts.
+//
+//	lzssd -http :8390 -tcp :8391 -metrics :8392
+//
+// HTTP front (-http): POST /compress takes any request body (chunked or
+// sized) and answers a standard zlib stream, streamed while later
+// segments are still compressing; POST /decompress inflates a zlib
+// stream through the hardened limited decoder; GET /healthz answers
+// "ok" until a drain begins. TCP front (-tcp): a raw framed protocol
+// mirroring the paper's etherlink staging format — sequence-numbered,
+// FCS-checked frames of at most 1496 bytes (see internal/server and the
+// client package internal/server/client).
+//
+// Production shape: per-request (-maxbody) and per-connection
+// (-maxconn) byte caps, max-in-flight backpressure (-inflight; beyond
+// it requests bounce with 429/StatusBusy), read/write deadlines, and a
+// graceful drain on SIGINT/SIGTERM — stop accepting, finish in-flight
+// requests, bounded by -drain. Exit code 0 means every accepted request
+// was answered; 1 means the drain deadline forced connections closed.
+//
+// Observability: -metrics ADDR serves the registry (Prometheus text at
+// /metrics, expvar JSON at /debug/vars, pprof at /debug/pprof/) —
+// scrape it with lzssmon, e.g. `lzssmon -addr ADDR -grep server_`.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"lzssfpga"
+)
+
+var (
+	httpAddr = flag.String("http", ":8390", "HTTP front address (empty disables)")
+	tcpAddr  = flag.String("tcp", ":8391", "framed TCP front address (empty disables)")
+	metrics  = flag.String("metrics", "", "serve /metrics, /debug/vars and /debug/pprof/ on this address")
+
+	levelArg = flag.String("level", "min", "compression level: min, default, max")
+	window   = flag.Int("window", 4096, "dictionary size (power of two, <= 32768)")
+	hashBits = flag.Uint("hash", 15, "hash bit count")
+	segment  = flag.Int("segment", 0, "parallel segment size in bytes (0 = 256 KiB, -1 = adaptive)")
+	workers  = flag.Int("workers", 0, "per-request in-flight segment cap (0 = engine width)")
+
+	maxBody  = flag.Int("maxbody", 64<<20, "per-request payload cap in bytes")
+	maxConn  = flag.Int64("maxconn", 1<<30, "per-TCP-connection lifetime payload cap in bytes")
+	inflight = flag.Int("inflight", 0, "max concurrently served requests (0 = 2×GOMAXPROCS)")
+
+	readTimeout  = flag.Duration("readtimeout", 30*time.Second, "idle/receive deadline per request")
+	writeTimeout = flag.Duration("writetimeout", 60*time.Second, "response write deadline")
+	drain        = flag.Duration("drain", 15*time.Second, "graceful drain budget on SIGINT/SIGTERM")
+
+	resilient = flag.Bool("resilient", false, "compress through the resilient pipeline (recovered panics, stored-block degradation)")
+	faultsArg = flag.String("faults", "", "inject seeded worker faults (e.g. \"stall=0.2,stallms=50,seed=7\"); implies -resilient")
+)
+
+func main() {
+	flag.Parse()
+	os.Exit(realMain())
+}
+
+func realMain() int {
+	params, err := level()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lzssd:", err)
+		return 1
+	}
+	if *httpAddr == "" && *tcpAddr == "" {
+		fmt.Fprintln(os.Stderr, "lzssd: nothing to serve: both -http and -tcp are empty")
+		return 1
+	}
+	cfg := lzssfpga.ServerConfig{
+		Params:          params,
+		Segment:         *segment,
+		Workers:         *workers,
+		MaxRequestBytes: *maxBody,
+		MaxConnBytes:    *maxConn,
+		MaxInflight:     *inflight,
+		ReadTimeout:     *readTimeout,
+		WriteTimeout:    *writeTimeout,
+		Resilient:       *resilient,
+	}
+	if *faultsArg != "" {
+		spec, err := lzssfpga.ParseFaultSpec(*faultsArg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "lzssd:", err)
+			return 1
+		}
+		inj := lzssfpga.NewFaultInjector(spec)
+		cfg.Resilient = true
+		cfg.SegmentHook = inj.SegmentHook
+	}
+	srv, err := lzssfpga.NewServer(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lzssd:", err)
+		return 1
+	}
+	if *metrics != "" {
+		reg := lzssfpga.NewMetricsRegistry()
+		lzssfpga.EnableObservability(reg)
+		defer lzssfpga.EnableObservability(nil)
+		_, bound, err := lzssfpga.ServeMetrics(reg, *metrics)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "lzssd:", err)
+			return 1
+		}
+		fmt.Printf("lzssd: metrics listening on %s\n", bound)
+	}
+	if *httpAddr != "" {
+		bound, err := srv.ListenHTTP(*httpAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "lzssd:", err)
+			return 1
+		}
+		fmt.Printf("lzssd: http listening on %s\n", bound)
+	}
+	if *tcpAddr != "" {
+		bound, err := srv.ListenTCP(*tcpAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "lzssd:", err)
+			return 1
+		}
+		fmt.Printf("lzssd: tcp listening on %s\n", bound)
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	got := <-sig
+	fmt.Printf("lzssd: %s — draining (budget %s)\n", got, *drain)
+	ctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		fmt.Fprintln(os.Stderr, "lzssd: drain incomplete:", err)
+		return 1
+	}
+	fmt.Println("lzssd: drained")
+	return 0
+}
+
+// level maps -level/-window/-hash onto matcher parameters, mirroring
+// lzsszip's mapping ("min" is the paper's speed point when the window
+// is left at its 4 KiB default).
+func level() (lzssfpga.Params, error) {
+	switch *levelArg {
+	case "min":
+		if *window == 4096 && *hashBits == 15 {
+			return lzssfpga.HWSpeedParams(), nil
+		}
+		return lzssfpga.LevelParams(lzssfpga.LevelMin, *window, *hashBits), nil
+	case "default":
+		return lzssfpga.LevelParams(lzssfpga.LevelDefault, *window, *hashBits), nil
+	case "max":
+		return lzssfpga.LevelParams(lzssfpga.LevelMax, *window, *hashBits), nil
+	default:
+		return lzssfpga.Params{}, fmt.Errorf("unknown level %q (want min, default or max)", *levelArg)
+	}
+}

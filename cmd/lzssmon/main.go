@@ -6,6 +6,7 @@
 //	lzssmon -addr localhost:8391                  # Prometheus text format
 //	lzssmon -addr localhost:8391 -format json     # expvar-style JSON
 //	lzssmon -addr localhost:8391 -retries 5       # wait out a starting endpoint
+//	lzssmon -addr localhost:8392 -grep server_    # one metric family (e.g. lzssd's)
 //
 // A failed snapshot is retried -retries times with capped exponential
 // backoff (200 ms doubling to 2 s, jittered), so the tool can be
@@ -31,6 +32,7 @@ var (
 	format  = flag.String("format", "prom", "output format: prom (/metrics text) or json (/debug/vars)")
 	timeout = flag.Duration("timeout", 2*time.Second, "HTTP timeout per snapshot attempt")
 	retries = flag.Int("retries", 0, "retry a failed snapshot this many times with capped exponential backoff")
+	grep    = flag.String("grep", "", "print only Prometheus lines whose metric name contains this substring (prom format only)")
 )
 
 const (
@@ -55,6 +57,9 @@ func run() error {
 	case "prom":
 		path = "/metrics"
 	case "json":
+		if *grep != "" {
+			return fmt.Errorf("-grep filters the Prometheus text format; it cannot be combined with -format json")
+		}
 		path = "/debug/vars"
 	default:
 		return fmt.Errorf("unknown format %q (want prom or json)", *format)
@@ -82,6 +87,9 @@ func run() error {
 			lastErr = err
 			continue
 		}
+		if *grep != "" {
+			body = filterProm(body, *grep)
+		}
 		// The full body is in hand; only now touch stdout.
 		if _, err := os.Stdout.Write(body); err != nil {
 			return err
@@ -89,6 +97,39 @@ func run() error {
 		return nil
 	}
 	return fmt.Errorf("after %d attempts: %w", *retries+1, lastErr)
+}
+
+// filterProm keeps only the Prometheus text lines — samples and their
+// # HELP/# TYPE companions — whose metric name contains needle.
+func filterProm(body []byte, needle string) []byte {
+	var out strings.Builder
+	for _, line := range strings.Split(string(body), "\n") {
+		if line == "" {
+			continue
+		}
+		if strings.Contains(promMetricName(line), needle) {
+			out.WriteString(line)
+			out.WriteByte('\n')
+		}
+	}
+	return []byte(out.String())
+}
+
+// promMetricName extracts the metric name a text-format line is about:
+// the third field of a # HELP/# TYPE comment, the leading token (up to
+// a label brace or space) of a sample, and "" for other comments.
+func promMetricName(line string) string {
+	if strings.HasPrefix(line, "#") {
+		fields := strings.Fields(line)
+		if len(fields) >= 3 && (fields[1] == "HELP" || fields[1] == "TYPE") {
+			return fields[2]
+		}
+		return ""
+	}
+	if i := strings.IndexAny(line, "{ "); i >= 0 {
+		return line[:i]
+	}
+	return line
 }
 
 // snapshot fetches one complete snapshot, buffering the whole body so a

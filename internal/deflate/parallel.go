@@ -3,6 +3,7 @@ package deflate
 import (
 	"context"
 	"fmt"
+	"io"
 	"runtime"
 	"sync"
 	"time"
@@ -122,17 +123,53 @@ func ParallelCompressTraced(data []byte, p lzss.Params, segment, workers int, ca
 	return parallelCompress(data, p, segment, workers, carry, tr)
 }
 
-// parallelCompress runs a request on the shared persistent engine: it
-// plans the cut, preallocates the whole output from the running ratio
-// estimate, submits pooled segment jobs with the worker budget as the
-// in-flight cap, and streams completed bodies into the output in index
-// order while later segments are still compressing. The steady-state
-// request path allocates only the returned output buffer (jobs, reorder
-// state and segment bodies all recycle through pools and the engine
-// arena).
+// parallelCompress runs a request on the shared persistent engine and
+// collects the stream into one preallocated buffer (sized from the
+// running ratio estimate). The steady-state request path allocates only
+// the returned output buffer (jobs, reorder state and segment bodies
+// all recycle through pools and the engine arena).
 func parallelCompress(data []byte, p lzss.Params, segment, workers int, carry bool, tr *obs.Tracer) ([]byte, error) {
-	if err := p.Validate(); err != nil {
+	out := make([]byte, 0, estimateOut(len(data)))
+	err := parallelCompressCore(context.Background(), data, p, segment, workers, carry, tr,
+		func(b []byte) error {
+			out = append(out, b...)
+			return nil
+		})
+	if err != nil {
 		return nil, err
+	}
+	return out, nil
+}
+
+// ParallelCompressTo is ParallelCompress with a streaming sink: segment
+// bodies are written to w in index order as they complete, so the first
+// compressed bytes reach the consumer (a network client, a pipe) while
+// later segments are still compressing. ctx cancellation stops feeding
+// the engine — segments already queued complete into the reorder buffer
+// and are discarded — and the call returns ctx.Err(). The return value
+// is the byte count written to w; on any error the stream written so
+// far is incomplete and must be discarded by the consumer.
+func ParallelCompressTo(ctx context.Context, w io.Writer, data []byte, p lzss.Params, segment, workers int) (int64, error) {
+	var n int64
+	err := parallelCompressCore(ctx, data, p, segment, workers, false, nil,
+		func(b []byte) error {
+			k, werr := w.Write(b)
+			n += int64(k)
+			return werr
+		})
+	return n, err
+}
+
+// parallelCompressCore is the shared driver of the buffered and
+// streaming parallel paths: it plans the cut, submits pooled segment
+// jobs with the worker budget as the in-flight cap, and hands completed
+// bodies to write in index order while later segments are still
+// compressing. A write error stops emission (remaining bodies are still
+// drained and recycled) and becomes the call's error.
+func parallelCompressCore(ctx context.Context, data []byte, p lzss.Params, segment, workers int,
+	carry bool, tr *obs.Tracer, write func([]byte) error) error {
+	if err := p.Validate(); err != nil {
+		return err
 	}
 	if workers <= 0 {
 		// Fast-path segments are pure CPU: in-flight work beyond the
@@ -147,23 +184,31 @@ func parallelCompress(data []byte, p lzss.Params, segment, workers int, carry bo
 	plan := planSegments(len(data), segment)
 	hdr, err := ZlibHeader(p.Window)
 	if err != nil {
-		return nil, err
+		return err
 	}
-	out := make([]byte, 0, estimateOut(len(data)))
-	out = append(out, hdr[:]...)
+	var written int64
+	var firstErr error
+	sink := func(b []byte) {
+		if firstErr != nil {
+			return
+		}
+		if err := write(b); err != nil {
+			firstErr = err
+			return
+		}
+		written += int64(len(b))
+	}
+	sink(hdr[:])
 
 	eng := defaultEngine()
 	jobs := getJobs(plan.nSeg)
 	defer putJobs(jobs)
-	var firstErr error
 	emit := func(b *engine.Buf, err error) {
 		if err != nil && firstErr == nil {
 			firstErr = err
 		}
 		if b != nil {
-			if firstErr == nil {
-				out = append(out, b.B...)
-			}
+			sink(b.B)
 			engine.PutBuf(b)
 		}
 	}
@@ -171,7 +216,7 @@ func parallelCompress(data []byte, p lzss.Params, segment, workers int, carry bo
 		tr.Span("split", 0, splitStart, time.Since(splitStart),
 			fmt.Sprintf(`{"segments":%d,"workers":%d}`, plan.nSeg, eng.Shards()))
 	}
-	submitErr := eng.SubmitAndStream(context.Background(), plan.nSeg, workers,
+	submitErr := eng.SubmitAndStream(ctx, plan.nSeg, workers,
 		func(i int, r *engine.Request) engine.Job {
 			j := &(*jobs)[i]
 			lo := i * plan.segment
@@ -190,26 +235,29 @@ func parallelCompress(data []byte, p lzss.Params, segment, workers int, carry bo
 			return j
 		}, emit)
 	if firstErr != nil {
-		return nil, firstErr
+		return firstErr
 	}
 	if submitErr != nil {
-		return nil, submitErr
+		return submitErr
 	}
 	// Finalize: Adler-32 trailer onto the streamed body bytes.
 	assembleStart := time.Now()
 	sum := AdlerChecksum(data)
-	out = append(out, byte(sum>>24), byte(sum>>16), byte(sum>>8), byte(sum))
+	sink([]byte{byte(sum >> 24), byte(sum >> 16), byte(sum >> 8), byte(sum)})
+	if firstErr != nil {
+		return firstErr
+	}
 	if tr != nil {
-		tr.Span("assemble", 0, assembleStart, time.Since(assembleStart), fmt.Sprintf(`{"bytes":%d}`, len(out)))
+		tr.Span("assemble", 0, assembleStart, time.Since(assembleStart), fmt.Sprintf(`{"bytes":%d}`, written))
 	}
 	if k != nil {
 		k.parallelRuns.Inc()
-		if len(out) > 0 {
-			k.lastRatio.Set(float64(len(data)) / float64(len(out)))
+		if written > 0 {
+			k.lastRatio.Set(float64(len(data)) / float64(written))
 		}
 	}
-	observeRatio(float64(len(data)) / float64(len(out)))
-	return out, nil
+	observeRatio(float64(len(data)) / float64(written))
+	return nil
 }
 
 // compressSegment produces byte-aligned Deflate blocks for one segment,

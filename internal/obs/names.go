@@ -106,6 +106,27 @@ const (
 	// modeled run (the paper averages ~2).
 	CoreCyclesPerByte = "core_cycles_per_byte"
 
+	// server_* — the lzssd serving layer (internal/server): connection
+	// and request accounting across both fronts (HTTP and framed TCP).
+	ServerConns       = "server_conns_total"
+	ServerActiveConns = "server_active_conns"
+	ServerRequests    = "server_requests_total"
+	// ServerInflight is the number of requests currently holding an
+	// engine slot; ServerBusyRejects counts requests bounced by the
+	// max-in-flight backpressure gate (HTTP 429 / wire StatusBusy).
+	ServerInflight    = "server_inflight_requests"
+	ServerBusyRejects = "server_busy_rejects_total"
+	// ServerErrors counts failed requests of every other kind: corrupt
+	// frames, byte-cap rejections, malformed decompress input, write
+	// failures to a vanished client.
+	ServerErrors = "server_errors_total"
+	// ServerRequestBytes / ServerResponseBytes bucket per-request
+	// payload sizes in bytes.
+	ServerRequestBytes  = "server_request_bytes"
+	ServerResponseBytes = "server_response_bytes"
+	// ServerDrainNs is the wall time the last graceful drain took.
+	ServerDrainNs = "server_drain_duration_ns"
+
 	// logger_* — embedded logging frontend.
 	LoggerRecords  = "logger_records_total"
 	LoggerRawBytes = "logger_raw_bytes_total"

@@ -1,0 +1,179 @@
+// Package client is the Go client of the lzssd serving layer: a thin
+// HTTP client for the streaming endpoints and a framed-protocol TCP
+// client, both returning the server package's typed errors (ErrBusy,
+// ErrTooLarge, ErrCorrupt, ErrDraining) so callers can branch on the
+// failure class instead of string-matching.
+package client
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strings"
+	"time"
+
+	"lzssfpga/internal/server"
+)
+
+// HTTP talks to lzssd's HTTP front.
+type HTTP struct {
+	base string
+	c    *http.Client
+}
+
+// NewHTTP builds a client for addr ("host:port" or a full URL).
+func NewHTTP(addr string) *HTTP {
+	if !strings.Contains(addr, "://") {
+		addr = "http://" + addr
+	}
+	return &HTTP{base: strings.TrimRight(addr, "/"), c: &http.Client{}}
+}
+
+// Compress round-trips data through POST /compress and returns the
+// zlib stream.
+func (h *HTTP) Compress(ctx context.Context, data []byte) ([]byte, error) {
+	return h.post(ctx, "/compress", bytes.NewReader(data))
+}
+
+// CompressStream is Compress with a streaming request body (sent
+// chunked): the caller owns closing the returned response stream.
+func (h *HTTP) CompressStream(ctx context.Context, body io.Reader) (io.ReadCloser, error) {
+	resp, err := h.do(ctx, "/compress", body)
+	if err != nil {
+		return nil, err
+	}
+	return resp.Body, nil
+}
+
+// Decompress round-trips a zlib stream through POST /decompress and
+// returns the raw bytes.
+func (h *HTTP) Decompress(ctx context.Context, z []byte) ([]byte, error) {
+	return h.post(ctx, "/decompress", bytes.NewReader(z))
+}
+
+// Healthy probes GET /healthz; it returns nil while the server is
+// accepting work and ErrDraining once the drain has begun.
+func (h *HTTP) Healthy(ctx context.Context) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, h.base+"/healthz", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := h.c.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, resp.Body) //nolint:errcheck
+	if resp.StatusCode == http.StatusServiceUnavailable {
+		return server.ErrDraining
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("healthz: %s", resp.Status)
+	}
+	return nil
+}
+
+func (h *HTTP) post(ctx context.Context, path string, body io.Reader) ([]byte, error) {
+	resp, err := h.do(ctx, path, body)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	out, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, fmt.Errorf("reading %s response: %w", path, err)
+	}
+	return out, nil
+}
+
+// do sends the request and maps non-200 statuses onto the typed
+// errors. The response body of a failed request is its error text.
+func (h *HTTP) do(ctx context.Context, path string, body io.Reader) (*http.Response, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, h.base+path, body)
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/octet-stream")
+	resp, err := h.c.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode == http.StatusOK {
+		return resp, nil
+	}
+	detail, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+	resp.Body.Close()
+	text := strings.TrimSpace(string(detail))
+	switch resp.StatusCode {
+	case http.StatusTooManyRequests:
+		return nil, fmt.Errorf("%w: %s", server.ErrBusy, text)
+	case http.StatusRequestEntityTooLarge:
+		return nil, fmt.Errorf("%w: %s", server.ErrTooLarge, text)
+	case http.StatusServiceUnavailable:
+		return nil, fmt.Errorf("%w: %s", server.ErrDraining, text)
+	case http.StatusBadRequest:
+		return nil, fmt.Errorf("%w: %s", server.ErrCorrupt, text)
+	default:
+		return nil, fmt.Errorf("%s: %s: %s", path, resp.Status, text)
+	}
+}
+
+// TCP talks the framed wire protocol over one connection. Not safe for
+// concurrent use — the protocol is strictly request/response per
+// connection; open one TCP client per concurrent stream.
+type TCP struct {
+	c       net.Conn
+	br      *bufio.Reader
+	maxResp int
+}
+
+// DialTCP connects to lzssd's framed TCP front. maxResp caps how large
+// a response payload the client will accept (0 selects 1 GiB).
+func DialTCP(addr string, maxResp int) (*TCP, error) {
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	if maxResp <= 0 {
+		maxResp = 1 << 30
+	}
+	return &TCP{c: c, br: bufio.NewReader(c), maxResp: maxResp}, nil
+}
+
+// Close closes the connection.
+func (t *TCP) Close() error { return t.c.Close() }
+
+// SetDeadline bounds the next round trip.
+func (t *TCP) SetDeadline(d time.Time) error { return t.c.SetDeadline(d) }
+
+// Compress round-trips data through the wire protocol and returns the
+// zlib stream.
+func (t *TCP) Compress(data []byte) ([]byte, error) {
+	return t.do(server.OpCompress, data)
+}
+
+// Decompress round-trips a zlib stream and returns the raw bytes.
+func (t *TCP) Decompress(z []byte) ([]byte, error) {
+	return t.do(server.OpDecompress, z)
+}
+
+func (t *TCP) do(op byte, data []byte) ([]byte, error) {
+	if err := server.WriteMessage(t.c, &server.Message{Op: op, Payload: data}); err != nil {
+		return nil, fmt.Errorf("sending request: %w", err)
+	}
+	resp, err := server.ReadMessage(t.br, t.maxResp)
+	if err != nil {
+		return nil, fmt.Errorf("reading response: %w", err)
+	}
+	if resp.Op != server.OpResponse {
+		return nil, fmt.Errorf("%w: unexpected op %d in response", server.ErrCorrupt, resp.Op)
+	}
+	if resp.Status != server.StatusOK {
+		return nil, server.StatusErr(resp.Status, resp.Payload)
+	}
+	return resp.Payload, nil
+}

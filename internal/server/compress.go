@@ -1,0 +1,38 @@
+package server
+
+import (
+	"context"
+	"io"
+
+	"lzssfpga/internal/deflate"
+)
+
+// The three deflate entry points both fronts share, named for what the
+// serving layer wants from them. Kept as thin functions (rather than
+// inline calls) so the HTTP and TCP handlers read as protocol logic.
+
+// deflateTo streams a zlib stream for data into w on the shared
+// persistent engine; ctx cancellation (a vanished client) stops
+// feeding the engine and frees this request's slot.
+func deflateTo(ctx context.Context, w io.Writer, data []byte, cfg Config) (int64, error) {
+	return deflate.ParallelCompressTo(ctx, w, data, cfg.Params, cfg.Segment, cfg.Workers)
+}
+
+// deflateResilient is the hardened path: recovered panics, per-attempt
+// deadlines, stored-block degradation. Output is always a valid zlib
+// stream; only ctx cancellation errors.
+func deflateResilient(ctx context.Context, data []byte, cfg Config) ([]byte, deflate.ResilienceReport, error) {
+	return deflate.ParallelCompressResilient(ctx, data, cfg.Params, deflate.ParallelOpts{
+		Segment:           cfg.Segment,
+		Workers:           cfg.Workers,
+		MaxSegmentRetries: cfg.MaxRetries,
+		SegmentTimeout:    cfg.SegmentTimeout,
+		SegmentHook:       cfg.SegmentHook,
+	})
+}
+
+// deflateDecode inflates untrusted input under the configured resource
+// bounds; every rejection wraps deflate.ErrCorrupt and it never panics.
+func deflateDecode(z []byte, lim deflate.DecodeLimits) ([]byte, error) {
+	return deflate.ZlibDecompressLimited(z, lim)
+}

@@ -1,0 +1,181 @@
+package server_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"lzssfpga/internal/faultinject"
+	"lzssfpga/internal/server"
+	"lzssfpga/internal/server/client"
+	"lzssfpga/internal/workload"
+)
+
+// TestServerDrainCompletesInflight is the drain state machine's
+// acceptance test: four requests (two per front) are held mid-
+// compression by a gated SegmentHook, Shutdown begins, new work is
+// refused on both fronts — and once the gate opens every held request
+// must complete byte-exact, Shutdown must return nil, and no goroutine
+// may survive.
+func TestServerDrainCompletesInflight(t *testing.T) {
+	check := leakCheck(t)
+	gate := make(chan struct{})
+	srv, httpAddr, tcpAddr := newTestServer(t, server.Config{
+		MaxInflight: 8,
+		Resilient:   true,
+		SegmentHook: gateHook(gate),
+	})
+	lim := srv.Config().Decode
+	payload := workload.Wiki(8<<10, 11)
+
+	// Four held requests: two HTTP, two framed TCP.
+	held := make(chan error, 4)
+	for i := 0; i < 2; i++ {
+		go func(i int) {
+			hc := client.NewHTTP(httpAddr)
+			z, err := hc.Compress(context.Background(), payload)
+			if err == nil {
+				err = roundTripCheck(z, payload, lim)
+			}
+			if err != nil {
+				err = fmt.Errorf("held http %d: %w", i, err)
+			}
+			held <- err
+		}(i)
+		go func(i int) {
+			tc, err := client.DialTCP(tcpAddr, 0)
+			if err != nil {
+				held <- fmt.Errorf("held tcp %d: dial: %w", i, err)
+				return
+			}
+			defer tc.Close()
+			tc.SetDeadline(time.Now().Add(30 * time.Second)) //nolint:errcheck
+			z, err := tc.Compress(payload)
+			if err == nil {
+				err = roundTripCheck(z, payload, lim)
+			}
+			if err != nil {
+				err = fmt.Errorf("held tcp %d: %w", i, err)
+			}
+			held <- err
+		}(i)
+	}
+	waitFor(t, "all four held requests in flight", func() bool { return srv.Inflight() == 4 })
+
+	shutdownErr := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		shutdownErr <- srv.Shutdown(ctx)
+	}()
+	waitFor(t, "drain to begin", func() bool { return srv.Draining() })
+
+	// New work is refused while draining. The TCP listener is closed, so
+	// either the dial itself fails or the accept loop closes the fresh
+	// connection before it can be served.
+	if tc, err := client.DialTCP(tcpAddr, 0); err == nil {
+		tc.SetDeadline(time.Now().Add(5 * time.Second)) //nolint:errcheck
+		if _, err := tc.Compress([]byte("late")); err == nil {
+			t.Fatal("draining server accepted new TCP work")
+		}
+		tc.Close()
+	}
+	// The HTTP front either refuses the connection (listener closed) or
+	// answers 503 on a reused one.
+	hc := client.NewHTTP(httpAddr)
+	if _, err := hc.Compress(context.Background(), []byte("late")); err == nil {
+		t.Fatal("draining server accepted new HTTP work")
+	} else if !errors.Is(err, server.ErrDraining) {
+		t.Logf("late HTTP request refused at the connection level: %v", err)
+	}
+
+	// In-flight work was not touched by any of that.
+	if n := srv.Inflight(); n != 4 {
+		t.Fatalf("drain disturbed in-flight requests: %d left of 4", n)
+	}
+
+	close(gate)
+	for i := 0; i < 4; i++ {
+		if err := <-held; err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := <-shutdownErr; err != nil {
+		t.Fatalf("graceful drain returned %v, want nil", err)
+	}
+	check()
+}
+
+// TestServerDrainDeadlineForces verifies the other edge of the state
+// machine: when in-flight work outlives the drain budget, Shutdown
+// reports the deadline instead of hanging forever.
+func TestServerDrainDeadlineForces(t *testing.T) {
+	gate := make(chan struct{})
+	defer close(gate) // let the stuck request die before Cleanup's Close
+	srv, httpAddr, _ := newTestServer(t, server.Config{
+		Resilient:   true,
+		SegmentHook: gateHook(gate),
+	})
+	hc := client.NewHTTP(httpAddr)
+	go hc.Compress(context.Background(), workload.Wiki(4<<10, 13)) //nolint:errcheck // it is never answered
+	waitFor(t, "stuck request in flight", func() bool { return srv.Inflight() == 1 })
+
+	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel()
+	if err := srv.Shutdown(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("forced drain returned %v, want DeadlineExceeded", err)
+	}
+}
+
+// TestServerSoakUnderStalls is the sustained-load run with the fault
+// injector stalling workers underneath: 12 mixed clients loop the
+// payload set against a resilient server whose segments randomly stall,
+// every response must still re-inflate byte-exact, and a full
+// close afterwards must leave no goroutines.
+func TestServerSoakUnderStalls(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak under -short")
+	}
+	check := leakCheck(t)
+	inj := faultinject.New(faultinject.Spec{WorkerStall: 0.4, StallMS: 20, Seed: 1})
+	srv, httpAddr, tcpAddr := newTestServer(t, server.Config{
+		Segment:     8 << 10,
+		MaxInflight: 32,
+		Resilient:   true,
+		SegmentHook: inj.SegmentHook,
+	})
+	lim := srv.Config().Decode
+	payloads := e2ePayloads()
+
+	const clients = 12
+	var wg sync.WaitGroup
+	errc := make(chan error, clients)
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if i%2 == 0 {
+				errc <- runHTTPClient(i, httpAddr, lim, payloads)
+			} else {
+				errc <- runTCPClient(i, tcpAddr, lim, payloads)
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s := inj.Stats(); s.StallsInjected == 0 {
+		t.Fatal("no stalls injected — the soak exercised nothing")
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	check()
+}

@@ -1,0 +1,262 @@
+// Package server is the network serving layer: a long-running
+// compression daemon (cmd/lzssd) exposing the persistent sharded
+// engine over two fronts —
+//
+//   - HTTP/1.1: POST /compress streams a zlib stream back while later
+//     segments are still compressing; POST /decompress inflates
+//     untrusted input through the hardened limited decoder;
+//   - a raw framed TCP protocol that mirrors the paper's etherlink
+//     staging format end-to-end: every message travels as Ethernet-II
+//     shaped frames (sequence word, ≤1496-byte chunk, FCS over the
+//     synthetic header and payload), reassembled and FCS-verified with
+//     the same internal/etherlink machinery the testbench uses.
+//
+// Both fronts multiplex concurrent clients onto the shared engine via
+// SubmitAndStream, bounded by per-request and per-connection byte caps
+// and a max-in-flight backpressure gate, and drain gracefully on
+// shutdown (stop accepting, finish in-flight, bounded by a deadline).
+package server
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"lzssfpga/internal/etherlink"
+)
+
+// Wire protocol: one message is a 16-byte header followed by the
+// payload cut into etherlink frames.
+//
+//	offset  size  field
+//	0       4     magic "LZSD"
+//	4       1     version (1)
+//	5       1     op: 1=compress 2=decompress 3=response
+//	6       1     status (responses; 0 in requests)
+//	7       1     reserved, must be 0
+//	8       4     payload length, big-endian
+//	12      4     CRC-32 over bytes 0..11 (etherlink polynomial)
+//
+// frames follow, ceil(len/MaxChunk) of them (an empty payload is one
+// empty frame, exactly as etherlink.Segment encodes a 0-byte block):
+//
+//	offset  size  field
+//	0       4     sequence number, big-endian
+//	4       2     chunk length n (≤ etherlink.MaxChunk), big-endian
+//	6       n     chunk
+//	6+n     4     FCS (etherlink frame check: synthetic Ethernet-II
+//	              header + sequence word + chunk)
+const (
+	headerLen     = 16
+	frameHdrLen   = 6
+	frameFCSLen   = 4
+	protocolMagic = "LZSD"
+	protocolVer   = 1
+)
+
+// Message ops.
+const (
+	OpCompress   = 1
+	OpDecompress = 2
+	OpResponse   = 3
+)
+
+// Response status codes (header byte 6).
+const (
+	StatusOK        = 0
+	StatusCorrupt   = 1
+	StatusTooLarge  = 2
+	StatusBusy      = 3
+	StatusDraining  = 4
+	StatusInternal  = 5
+	StatusConnLimit = 6
+)
+
+// Sentinel errors of the serving layer. Every frame-parser rejection
+// wraps ErrCorrupt; cap rejections additionally match ErrTooLarge, and
+// the backpressure gate returns ErrBusy.
+var (
+	ErrCorrupt  = errors.New("server: corrupt frame")
+	ErrTooLarge = errors.New("server: message exceeds byte cap")
+	ErrBusy     = errors.New("server: at capacity")
+	ErrDraining = errors.New("server: draining")
+)
+
+func corruptf(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", ErrCorrupt, fmt.Sprintf(format, args...))
+}
+
+// Message is one protocol unit: a request (OpCompress/OpDecompress with
+// the data to transform) or a response (OpResponse with a status and
+// either the transformed bytes or an error text).
+type Message struct {
+	Op      byte
+	Status  byte
+	Payload []byte
+}
+
+// AppendMessage encodes m onto dst and returns the extended slice.
+func AppendMessage(dst []byte, m *Message) ([]byte, error) {
+	if len(m.Payload) > int(^uint32(0)) {
+		return nil, fmt.Errorf("server: %d-byte payload overflows the length field", len(m.Payload))
+	}
+	var hdr [headerLen]byte
+	copy(hdr[0:4], protocolMagic)
+	hdr[4] = protocolVer
+	hdr[5] = m.Op
+	hdr[6] = m.Status
+	binary.BigEndian.PutUint32(hdr[8:12], uint32(len(m.Payload)))
+	binary.BigEndian.PutUint32(hdr[12:16], etherlink.CRC32Update(0, hdr[0:12]))
+	dst = append(dst, hdr[:]...)
+	frames, err := etherlink.Segment(m.Payload)
+	if err != nil {
+		return nil, err
+	}
+	var fh [frameHdrLen]byte
+	var ft [frameFCSLen]byte
+	for _, f := range frames {
+		binary.BigEndian.PutUint32(fh[0:4], f.Seq)
+		binary.BigEndian.PutUint16(fh[4:6], uint16(len(f.Payload)))
+		dst = append(dst, fh[:]...)
+		dst = append(dst, f.Payload...)
+		binary.BigEndian.PutUint32(ft[:], f.FCS)
+		dst = append(dst, ft[:]...)
+	}
+	return dst, nil
+}
+
+// WriteMessage encodes m onto w in one Write call (so a message is
+// never interleaved with another writer's bytes on the same socket).
+func WriteMessage(w io.Writer, m *Message) error {
+	buf, err := AppendMessage(nil, m)
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(buf)
+	return err
+}
+
+// ReadMessage reads one message from r, rejecting any payload larger
+// than maxPayload bytes. A reader that ends before the first header
+// byte returns io.EOF (the clean between-messages close); any other
+// malformation — truncated header or frame, bad magic/version/CRC,
+// oversize or duplicate or missing frames, FCS mismatch — returns an
+// error wrapping ErrCorrupt and never panics. Cap rejections also
+// match ErrTooLarge.
+func ReadMessage(r io.Reader, maxPayload int) (*Message, error) {
+	var hdr [headerLen]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		if err == io.EOF {
+			return nil, io.EOF
+		}
+		return nil, fmt.Errorf("%w: truncated header: %w", ErrCorrupt, io.ErrUnexpectedEOF)
+	}
+	if !bytes.Equal(hdr[0:4], []byte(protocolMagic)) {
+		return nil, corruptf("bad magic %q", hdr[0:4])
+	}
+	if hdr[4] != protocolVer {
+		return nil, corruptf("unsupported version %d", hdr[4])
+	}
+	op := hdr[5]
+	if op != OpCompress && op != OpDecompress && op != OpResponse {
+		return nil, corruptf("unknown op %d", op)
+	}
+	if hdr[7] != 0 {
+		return nil, corruptf("reserved header byte %d is set", hdr[7])
+	}
+	total := binary.BigEndian.Uint32(hdr[8:12])
+	if want, got := etherlink.CRC32Update(0, hdr[0:12]), binary.BigEndian.Uint32(hdr[12:16]); want != got {
+		return nil, corruptf("header CRC mismatch: computed %08x, carried %08x", want, got)
+	}
+	if maxPayload >= 0 && uint64(total) > uint64(maxPayload) {
+		return nil, fmt.Errorf("%w: %w: %d-byte payload over the %d cap", ErrCorrupt, ErrTooLarge, total, maxPayload)
+	}
+	nFrames := (int(total) + etherlink.MaxChunk - 1) / etherlink.MaxChunk
+	if nFrames == 0 {
+		nFrames = 1
+	}
+	frames := make([]etherlink.Frame, 0, nFrames)
+	for i := 0; i < nFrames; i++ {
+		var fh [frameHdrLen]byte
+		if _, err := io.ReadFull(r, fh[:]); err != nil {
+			return nil, fmt.Errorf("%w: truncated frame %d header: %w", ErrCorrupt, i, io.ErrUnexpectedEOF)
+		}
+		seq := binary.BigEndian.Uint32(fh[0:4])
+		chunkLen := int(binary.BigEndian.Uint16(fh[4:6]))
+		if chunkLen > etherlink.MaxChunk {
+			return nil, corruptf("frame %d: %d-byte chunk over the %d MTU budget", i, chunkLen, etherlink.MaxChunk)
+		}
+		chunk := make([]byte, chunkLen)
+		if _, err := io.ReadFull(r, chunk); err != nil {
+			return nil, fmt.Errorf("%w: truncated frame %d chunk: %w", ErrCorrupt, i, io.ErrUnexpectedEOF)
+		}
+		var ft [frameFCSLen]byte
+		if _, err := io.ReadFull(r, ft[:]); err != nil {
+			return nil, fmt.Errorf("%w: truncated frame %d FCS: %w", ErrCorrupt, i, io.ErrUnexpectedEOF)
+		}
+		frames = append(frames, etherlink.Frame{Seq: seq, Payload: chunk, FCS: binary.BigEndian.Uint32(ft[:])})
+	}
+	// Reassemble is the etherlink receive path: it verifies every FCS
+	// and rejects duplicate, out-of-range and missing sequence numbers,
+	// so the TCP front enforces exactly the frame discipline the
+	// paper's staging link does.
+	payload, err := etherlink.Reassemble(frames, int(total))
+	if err != nil {
+		return nil, fmt.Errorf("%w: %w", ErrCorrupt, err)
+	}
+	return &Message{Op: op, Status: hdr[6], Payload: payload}, nil
+}
+
+// ParseMessage decodes one message from a byte slice (the fuzz entry
+// point). Unlike ReadMessage there is no "clean end before a message"
+// case: an empty or truncated input is a corrupt message.
+func ParseMessage(data []byte, maxPayload int) (*Message, error) {
+	m, err := ReadMessage(bytes.NewReader(data), maxPayload)
+	if err != nil {
+		if errors.Is(err, ErrCorrupt) {
+			return nil, err
+		}
+		return nil, fmt.Errorf("%w: truncated header: %w", ErrCorrupt, io.ErrUnexpectedEOF)
+	}
+	return m, nil
+}
+
+// statusFor maps a request-side error onto the wire status byte.
+func statusFor(err error) byte {
+	switch {
+	case errors.Is(err, ErrTooLarge):
+		return StatusTooLarge
+	case errors.Is(err, ErrCorrupt):
+		return StatusCorrupt
+	case errors.Is(err, ErrBusy):
+		return StatusBusy
+	case errors.Is(err, ErrDraining):
+		return StatusDraining
+	default:
+		return StatusInternal
+	}
+}
+
+// StatusErr maps a response status byte back onto the package's typed
+// errors (the client side of statusFor). detail is the response
+// payload, carried as error text.
+func StatusErr(status byte, detail []byte) error {
+	switch status {
+	case StatusOK:
+		return nil
+	case StatusCorrupt:
+		return fmt.Errorf("%w: %s", ErrCorrupt, detail)
+	case StatusTooLarge:
+		return fmt.Errorf("%w: %s", ErrTooLarge, detail)
+	case StatusBusy:
+		return fmt.Errorf("%w: %s", ErrBusy, detail)
+	case StatusDraining:
+		return fmt.Errorf("%w: %s", ErrDraining, detail)
+	case StatusConnLimit:
+		return fmt.Errorf("%w: connection byte cap: %s", ErrTooLarge, detail)
+	default:
+		return fmt.Errorf("server: remote error (status %d): %s", status, detail)
+	}
+}

@@ -1,0 +1,241 @@
+package server
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"math/rand"
+	"testing"
+
+	"lzssfpga/internal/etherlink"
+)
+
+// encode is the test-side shorthand for a valid wire message.
+func encode(t *testing.T, m *Message) []byte {
+	t.Helper()
+	buf, err := AppendMessage(nil, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return buf
+}
+
+func TestMessageRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	payloads := [][]byte{
+		nil,
+		{},
+		{0x42},
+		bytes.Repeat([]byte("staging "), 64),
+		make([]byte, etherlink.MaxChunk),     // exactly one full frame
+		make([]byte, etherlink.MaxChunk+1),   // spills into a second frame
+		make([]byte, 3*etherlink.MaxChunk+7), // multi-frame
+	}
+	for _, p := range payloads[4:] {
+		rng.Read(p)
+	}
+	for i, p := range payloads {
+		for _, op := range []byte{OpCompress, OpDecompress, OpResponse} {
+			m := &Message{Op: op, Status: StatusOK, Payload: p}
+			got, err := ParseMessage(encode(t, m), 1<<20)
+			if err != nil {
+				t.Fatalf("payload %d op %d: %v", i, op, err)
+			}
+			if got.Op != op || !bytes.Equal(got.Payload, p) {
+				t.Fatalf("payload %d op %d: round trip mismatch", i, op)
+			}
+		}
+	}
+}
+
+func TestReadMessageCleanEOF(t *testing.T) {
+	if _, err := ReadMessage(bytes.NewReader(nil), 1<<20); err != io.EOF {
+		t.Fatalf("empty reader: want io.EOF, got %v", err)
+	}
+}
+
+// TestParseMessageRejections is the table of hostile inputs: every one
+// must come back as a wrapped ErrCorrupt, never a panic.
+func TestParseMessageRejections(t *testing.T) {
+	valid := encode(t, &Message{Op: OpCompress, Payload: []byte("hello, staging link")})
+	big := encode(t, &Message{Op: OpCompress, Payload: bytes.Repeat([]byte{0xAB}, 4096)})
+
+	corrupt := func(mutate func(b []byte) []byte) []byte {
+		return mutate(append([]byte(nil), valid...))
+	}
+	cases := []struct {
+		name     string
+		data     []byte
+		cap      int
+		tooLarge bool
+	}{
+		{name: "empty", data: nil, cap: 1 << 20},
+		{name: "truncated header", data: valid[:headerLen-3], cap: 1 << 20},
+		{name: "bad magic", data: corrupt(func(b []byte) []byte { b[0] = 'X'; return b }), cap: 1 << 20},
+		{name: "bad version", data: corrupt(func(b []byte) []byte { b[4] = 9; return b }), cap: 1 << 20},
+		{name: "unknown op", data: corrupt(func(b []byte) []byte { b[5] = 77; return b }), cap: 1 << 20},
+		{name: "reserved byte set", data: corrupt(func(b []byte) []byte { b[7] = 1; return b }), cap: 1 << 20},
+		{name: "header CRC mismatch", data: corrupt(func(b []byte) []byte { b[12] ^= 0xFF; return b }), cap: 1 << 20},
+		{name: "oversize length", data: big, cap: 1024, tooLarge: true},
+		{name: "truncated frame", data: valid[:len(valid)-2], cap: 1 << 20},
+		{name: "flipped frame byte", data: corrupt(func(b []byte) []byte { b[headerLen+frameHdrLen] ^= 0x01; return b }), cap: 1 << 20},
+	}
+	// Structural frame attacks need hand-built frame sections on a
+	// valid header.
+	hdrFor := func(total uint32, extra func(h []byte)) []byte {
+		h := make([]byte, headerLen)
+		copy(h[0:4], protocolMagic)
+		h[4] = protocolVer
+		h[5] = OpCompress
+		binary.BigEndian.PutUint32(h[8:12], total)
+		if extra != nil {
+			extra(h)
+		}
+		binary.BigEndian.PutUint32(h[12:16], etherlink.CRC32Update(0, h[0:12]))
+		return h
+	}
+	frame := func(seq uint32, chunk []byte) []byte {
+		f := etherlink.Frame{Seq: seq, Payload: chunk}
+		fcs := fcsOf(f)
+		b := make([]byte, 0, frameHdrLen+len(chunk)+frameFCSLen)
+		var fh [frameHdrLen]byte
+		binary.BigEndian.PutUint32(fh[0:4], seq)
+		binary.BigEndian.PutUint16(fh[4:6], uint16(len(chunk)))
+		b = append(b, fh[:]...)
+		b = append(b, chunk...)
+		var ft [frameFCSLen]byte
+		binary.BigEndian.PutUint32(ft[:], fcs)
+		return append(b, ft[:]...)
+	}
+	chunkA := bytes.Repeat([]byte{1}, etherlink.MaxChunk)
+	chunkB := bytes.Repeat([]byte{2}, 10)
+	total := uint32(len(chunkA) + len(chunkB))
+	cases = append(cases,
+		struct {
+			name     string
+			data     []byte
+			cap      int
+			tooLarge bool
+		}{
+			name: "duplicate frame id",
+			data: append(append(hdrFor(total, nil), frame(0, chunkA)...), frame(0, chunkB)...),
+			cap:  1 << 20,
+		},
+		struct {
+			name     string
+			data     []byte
+			cap      int
+			tooLarge bool
+		}{
+			name: "frame seq out of range",
+			data: append(append(hdrFor(total, nil), frame(0, chunkA)...), frame(9, chunkB)...),
+			cap:  1 << 20,
+		},
+		struct {
+			name     string
+			data     []byte
+			cap      int
+			tooLarge bool
+		}{
+			// A zero-length frame where the announced total demands
+			// payload: the reassembled size can't match.
+			name: "zero-length frame under nonzero total",
+			data: append(append(hdrFor(total, nil), frame(0, chunkA)...), frame(1, nil)...),
+			cap:  1 << 20,
+		},
+		struct {
+			name     string
+			data     []byte
+			cap      int
+			tooLarge bool
+		}{
+			name: "oversize frame chunk field",
+			data: func() []byte {
+				b := append(hdrFor(total, nil), frame(0, chunkA)...)
+				// Claim a chunk longer than the MTU budget.
+				fh := make([]byte, frameHdrLen)
+				binary.BigEndian.PutUint32(fh[0:4], 1)
+				binary.BigEndian.PutUint16(fh[4:6], uint16(etherlink.MaxChunk+1))
+				return append(b, fh...)
+			}(),
+			cap: 1 << 20,
+		},
+	)
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ParseMessage(tc.data, tc.cap)
+			if err == nil {
+				t.Fatal("hostile input accepted")
+			}
+			if !errors.Is(err, ErrCorrupt) {
+				t.Fatalf("error does not wrap ErrCorrupt: %v", err)
+			}
+			if tc.tooLarge != errors.Is(err, ErrTooLarge) {
+				t.Fatalf("ErrTooLarge match = %v, want %v (%v)", !tc.tooLarge, tc.tooLarge, err)
+			}
+		})
+	}
+}
+
+// fcsOf recomputes a frame's check sequence the way etherlink.Segment
+// stamps it (Frame.computeFCS is unexported; Segment on the one-chunk
+// payload reproduces it).
+func fcsOf(f etherlink.Frame) uint32 {
+	frames, err := etherlink.Segment(f.Payload)
+	if err != nil || len(frames) != 1 {
+		panic("fcsOf: unexpected segmentation")
+	}
+	// Segment always numbers its single frame 0; re-stamp other seqs by
+	// exploiting that the FCS covers the sequence word linearly is not
+	// possible, so restrict helpers to the sequence numbers tests use.
+	if f.Seq == 0 {
+		return frames[0].FCS
+	}
+	// For non-zero sequence numbers build the FCS from scratch exactly
+	// as etherlink does: synthetic header, sequence word, payload.
+	var hdr [18]byte
+	hdr[12], hdr[13] = 0x88, 0xB5
+	binary.BigEndian.PutUint32(hdr[14:], f.Seq)
+	crc := etherlink.CRC32Update(0, hdr[:])
+	return etherlink.CRC32Update(crc, f.Payload)
+}
+
+// FuzzFrameParser feeds arbitrary bytes to the wire parser: it must
+// reject or decode, never panic, and every rejection must wrap
+// ErrCorrupt. Accepted messages must re-encode and re-parse to the
+// same payload.
+func FuzzFrameParser(f *testing.F) {
+	valid, _ := AppendMessage(nil, &Message{Op: OpCompress, Payload: []byte("seed payload")})
+	f.Add(valid)
+	empty, _ := AppendMessage(nil, &Message{Op: OpResponse, Status: StatusBusy})
+	f.Add(empty)
+	two, _ := AppendMessage(nil, &Message{Op: OpDecompress, Payload: bytes.Repeat([]byte{7}, etherlink.MaxChunk+3)})
+	f.Add(two)
+	f.Add(valid[:headerLen-1])
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		const cap = 64 << 10
+		m, err := ParseMessage(data, cap)
+		if err != nil {
+			if !errors.Is(err, ErrCorrupt) {
+				t.Fatalf("rejection does not wrap ErrCorrupt: %v", err)
+			}
+			return
+		}
+		if len(m.Payload) > cap {
+			t.Fatalf("accepted %d-byte payload over the %d cap", len(m.Payload), cap)
+		}
+		re, err := AppendMessage(nil, m)
+		if err != nil {
+			t.Fatalf("re-encoding accepted message: %v", err)
+		}
+		m2, err := ParseMessage(re, cap)
+		if err != nil {
+			t.Fatalf("re-parsing re-encoded message: %v", err)
+		}
+		if m2.Op != m.Op || m2.Status != m.Status || !bytes.Equal(m2.Payload, m.Payload) {
+			t.Fatal("re-encoded message decoded differently")
+		}
+	})
+}

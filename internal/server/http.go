@@ -1,0 +1,129 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+)
+
+// HTTPHandler returns the HTTP front:
+//
+//	POST /compress    request body in (chunked or sized), zlib stream
+//	                  out — streamed while later segments compress
+//	POST /decompress  zlib stream in, raw bytes out, via the hardened
+//	                  limited decoder
+//	GET  /healthz     200 "ok" while serving, 503 "draining" after
+//
+// Error mapping: oversize body → 413, malformed body or corrupt
+// decompress input → 400, at capacity → 429 (Retry-After: 1),
+// draining → 503, wrong method → 405.
+func (s *Server) HTTPHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/compress", s.handleCompress)
+	mux.HandleFunc("/decompress", s.handleDecompress)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	return mux
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	if s.draining.Load() {
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
+	fmt.Fprintln(w, "ok")
+}
+
+// gate runs the checks shared by both POST endpoints and reads the
+// whole (cap-bounded) request body. On failure the response has been
+// written and ok is false. The engine slot is held on success; the
+// caller must release it.
+func (s *Server) gate(w http.ResponseWriter, r *http.Request) (body []byte, ok bool) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return nil, false
+	}
+	if s.draining.Load() {
+		http.Error(w, ErrDraining.Error(), http.StatusServiceUnavailable)
+		return nil, false
+	}
+	if !s.acquire() {
+		w.Header().Set("Retry-After", "1")
+		http.Error(w, ErrBusy.Error(), http.StatusTooManyRequests)
+		return nil, false
+	}
+	// Stage the whole request first, the way the paper's testbench
+	// stages a block in DDR2 before streaming it through the
+	// compressor. The cap turns a hostile Content-Length or an endless
+	// chunked body into a 413 instead of unbounded memory.
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, int64(s.cfg.MaxRequestBytes)))
+	if err != nil {
+		s.release()
+		s.countError()
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			http.Error(w, fmt.Sprintf("%v: request over the %d-byte cap", ErrTooLarge, s.cfg.MaxRequestBytes),
+				http.StatusRequestEntityTooLarge)
+		} else {
+			// Truncated chunked encoding, client reset mid-body, …
+			http.Error(w, fmt.Sprintf("reading request body: %v", err), http.StatusBadRequest)
+		}
+		return nil, false
+	}
+	if k := srvObs.Load(); k != nil {
+		k.requestBytes.Observe(int64(len(body)))
+	}
+	return body, true
+}
+
+func (s *Server) handleCompress(w http.ResponseWriter, r *http.Request) {
+	body, ok := s.gate(w, r)
+	if !ok {
+		return
+	}
+	defer s.release()
+	w.Header().Set("Content-Type", "application/zlib")
+	var written int64
+	if s.cfg.Resilient {
+		out, _, err := deflateResilient(r.Context(), body, s.cfg)
+		if err != nil {
+			// Only cancellation errors here — the client is gone, there
+			// is no one to answer.
+			s.countError()
+			return
+		}
+		n, _ := w.Write(out)
+		written = int64(n)
+	} else {
+		var err error
+		written, err = deflateTo(r.Context(), w, body, s.cfg)
+		if err != nil {
+			// Mid-stream failure: the status line is already out, so the
+			// only honest signal is an aborted response body.
+			s.countError()
+			return
+		}
+	}
+	if k := srvObs.Load(); k != nil {
+		k.responseBytes.Observe(written)
+	}
+}
+
+func (s *Server) handleDecompress(w http.ResponseWriter, r *http.Request) {
+	body, ok := s.gate(w, r)
+	if !ok {
+		return
+	}
+	defer s.release()
+	out, err := deflateDecode(body, s.cfg.Decode)
+	if err != nil {
+		s.countError()
+		http.Error(w, fmt.Sprintf("%v: %v", ErrCorrupt, err), http.StatusBadRequest)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Write(out) //nolint:errcheck
+	if k := srvObs.Load(); k != nil {
+		k.responseBytes.Observe(int64(len(out)))
+	}
+}

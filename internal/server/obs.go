@@ -1,0 +1,48 @@
+package server
+
+import (
+	"sync/atomic"
+
+	"lzssfpga/internal/obs"
+)
+
+// byteBounds buckets request/response payload sizes.
+var byteBounds = []int64{0, 64, 1 << 10, 16 << 10, 64 << 10, 256 << 10, 1 << 20, 4 << 20, 16 << 20, 64 << 20}
+
+// serverSink holds the registry handles of the server_* family. All
+// updates are per-request or per-connection, never per byte.
+type serverSink struct {
+	conns       *obs.Counter
+	requests    *obs.Counter
+	busyRejects *obs.Counter
+	errors      *obs.Counter
+
+	activeConns *obs.Gauge
+	inflight    *obs.Gauge
+	drainNs     *obs.Gauge
+
+	requestBytes  *obs.Histogram
+	responseBytes *obs.Histogram
+}
+
+var srvObs atomic.Pointer[serverSink]
+
+// SetObservability wires the package's server_* metrics into reg (nil
+// disables).
+func SetObservability(reg *obs.Registry) {
+	if reg == nil {
+		srvObs.Store(nil)
+		return
+	}
+	srvObs.Store(&serverSink{
+		conns:         reg.Counter(obs.ServerConns),
+		requests:      reg.Counter(obs.ServerRequests),
+		busyRejects:   reg.Counter(obs.ServerBusyRejects),
+		errors:        reg.Counter(obs.ServerErrors),
+		activeConns:   reg.Gauge(obs.ServerActiveConns),
+		inflight:      reg.Gauge(obs.ServerInflight),
+		drainNs:       reg.Gauge(obs.ServerDrainNs),
+		requestBytes:  reg.Histogram(obs.ServerRequestBytes, byteBounds),
+		responseBytes: reg.Histogram(obs.ServerResponseBytes, byteBounds),
+	})
+}

@@ -1,0 +1,328 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"net"
+	"net/http"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"lzssfpga/internal/deflate"
+	"lzssfpga/internal/lzss"
+)
+
+// Config sizes and hardens a Server. The zero value is usable: paper
+// speed parameters, default segmenting, and production-shaped caps.
+type Config struct {
+	// Params are the LZSS matching parameters (zero selects the paper's
+	// speed-optimized HWSpeedParams).
+	Params lzss.Params
+	// Segment is the parallel cut size (0 selects 256 KiB,
+	// deflate.SegmentAdaptive enables the engine's online sizer);
+	// Workers caps each request's in-flight segments on the shared
+	// engine (0 means the engine's full width).
+	Segment int
+	Workers int
+
+	// MaxRequestBytes caps one request's payload on both fronts (HTTP
+	// 413 / wire StatusTooLarge above it; 0 selects 64 MiB).
+	// MaxConnBytes caps the cumulative request payload of one TCP
+	// connection — a lifetime budget, after which the connection is
+	// closed with StatusConnLimit (0 selects 1 GiB).
+	MaxRequestBytes int
+	MaxConnBytes    int64
+	// MaxInflight bounds concurrently served requests across both
+	// fronts; beyond it requests bounce immediately with HTTP 429 /
+	// StatusBusy rather than queueing (0 selects 2×GOMAXPROCS, floor 4).
+	MaxInflight int
+
+	// ReadTimeout bounds both the idle wait for a request and the
+	// receive of one full message; WriteTimeout bounds writing one full
+	// response (0 selects 30s / 60s).
+	ReadTimeout  time.Duration
+	WriteTimeout time.Duration
+
+	// Resilient routes compression through ParallelCompressResilient:
+	// recovered worker panics, per-attempt deadlines, stored-block
+	// degradation — always-valid output under a hostile runtime.
+	// SegmentHook, MaxRetries and SegmentTimeout configure that path
+	// (SegmentHook is the fault-injection seam; see internal/faultinject).
+	Resilient      bool
+	SegmentHook    func(ctx context.Context, seg, attempt int) error
+	MaxRetries     int
+	SegmentTimeout time.Duration
+
+	// Decode bounds the /decompress path (zero selects MaxOutputBytes =
+	// 16×MaxRequestBytes capped at 1 GiB, MaxBlocks = 1<<20).
+	Decode deflate.DecodeLimits
+}
+
+// withDefaults resolves every zero field.
+func (c Config) withDefaults() Config {
+	if c.Params.Window == 0 {
+		c.Params = lzss.HWSpeedParams()
+	}
+	if c.MaxRequestBytes <= 0 {
+		c.MaxRequestBytes = 64 << 20
+	}
+	if c.MaxConnBytes <= 0 {
+		c.MaxConnBytes = 1 << 30
+	}
+	if c.MaxInflight <= 0 {
+		c.MaxInflight = 2 * runtime.GOMAXPROCS(0)
+		if c.MaxInflight < 4 {
+			c.MaxInflight = 4
+		}
+	}
+	if c.ReadTimeout <= 0 {
+		c.ReadTimeout = 30 * time.Second
+	}
+	if c.WriteTimeout <= 0 {
+		c.WriteTimeout = 60 * time.Second
+	}
+	if c.Decode == (deflate.DecodeLimits{}) {
+		maxOut := 16 * c.MaxRequestBytes
+		if maxOut > 1<<30 || maxOut < 0 {
+			maxOut = 1 << 30
+		}
+		c.Decode = deflate.DecodeLimits{MaxOutputBytes: maxOut, MaxBlocks: 1 << 20}
+	}
+	return c
+}
+
+// Server is the long-running compression daemon: both fronts share one
+// engine-slot gate, one connection registry and one drain state
+// machine (serving → draining → drained).
+type Server struct {
+	cfg Config
+
+	// slots is the backpressure gate: a request holds one slot for its
+	// whole service time; an empty channel means at capacity.
+	slots chan struct{}
+
+	httpSrv *http.Server
+	httpLn  net.Listener
+	tcpLn   net.Listener
+
+	acceptWG sync.WaitGroup // TCP accept loop
+	connWG   sync.WaitGroup // TCP connection loops (incl. their in-flight work)
+
+	mu    sync.Mutex
+	conns map[*tcpConn]struct{}
+
+	draining atomic.Bool
+	closed   atomic.Bool
+
+	activeConns atomic.Int64
+	inflight    atomic.Int64
+}
+
+// New builds a Server. Neither listener is bound yet — call ListenHTTP
+// and/or ListenTCP.
+func New(cfg Config) (*Server, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.Params.Validate(); err != nil {
+		return nil, err
+	}
+	return &Server{
+		cfg:   cfg,
+		slots: make(chan struct{}, cfg.MaxInflight),
+		conns: make(map[*tcpConn]struct{}),
+	}, nil
+}
+
+// Config returns the resolved configuration (defaults applied).
+func (s *Server) Config() Config { return s.cfg }
+
+// Inflight is the number of requests currently holding an engine slot.
+func (s *Server) Inflight() int64 { return s.inflight.Load() }
+
+// ActiveConns is the number of open TCP protocol connections.
+func (s *Server) ActiveConns() int64 { return s.activeConns.Load() }
+
+// Draining reports whether the drain state machine has left "serving".
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// acquire takes an engine slot without blocking; callers bounce the
+// request with ErrBusy when it fails. Backpressure is deliberate
+// rejection, not queueing: a client retry beats an invisible queue.
+func (s *Server) acquire() bool {
+	select {
+	case s.slots <- struct{}{}:
+		n := s.inflight.Add(1)
+		if k := srvObs.Load(); k != nil {
+			k.inflight.Set(float64(n))
+			k.requests.Inc()
+		}
+		return true
+	default:
+		if k := srvObs.Load(); k != nil {
+			k.busyRejects.Inc()
+		}
+		return false
+	}
+}
+
+func (s *Server) release() {
+	n := s.inflight.Add(-1)
+	<-s.slots
+	if k := srvObs.Load(); k != nil {
+		k.inflight.Set(float64(n))
+	}
+}
+
+// ListenHTTP binds addr (":0" picks a free port), serves the HTTP
+// front on it and returns the bound address.
+func (s *Server) ListenHTTP(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	s.httpLn = ln
+	s.httpSrv = &http.Server{
+		Handler:           s.HTTPHandler(),
+		ReadTimeout:       s.cfg.ReadTimeout,
+		ReadHeaderTimeout: s.cfg.ReadTimeout,
+		WriteTimeout:      s.cfg.WriteTimeout,
+	}
+	go s.httpSrv.Serve(ln) //nolint:errcheck // returns ErrServerClosed on shutdown
+	return ln.Addr().String(), nil
+}
+
+// ListenTCP binds addr, serves the framed wire protocol on it and
+// returns the bound address.
+func (s *Server) ListenTCP(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	s.tcpLn = ln
+	s.acceptWG.Add(1)
+	go s.acceptLoop(ln)
+	return ln.Addr().String(), nil
+}
+
+func (s *Server) acceptLoop(ln net.Listener) {
+	defer s.acceptWG.Done()
+	for {
+		c, err := ln.Accept()
+		if err != nil {
+			return // listener closed (drain or Close)
+		}
+		if s.draining.Load() {
+			c.Close()
+			continue
+		}
+		tc := &tcpConn{c: c}
+		s.mu.Lock()
+		s.conns[tc] = struct{}{}
+		s.mu.Unlock()
+		n := s.activeConns.Add(1)
+		if k := srvObs.Load(); k != nil {
+			k.conns.Inc()
+			k.activeConns.Set(float64(n))
+		}
+		s.connWG.Add(1)
+		go s.serveConn(tc)
+	}
+}
+
+func (s *Server) dropConn(tc *tcpConn) {
+	s.mu.Lock()
+	delete(s.conns, tc)
+	s.mu.Unlock()
+	n := s.activeConns.Add(-1)
+	if k := srvObs.Load(); k != nil {
+		k.activeConns.Set(float64(n))
+	}
+	tc.c.Close()
+}
+
+// Shutdown is the graceful drain: stop accepting on both fronts, let
+// every in-flight request finish, and force-close whatever remains
+// when ctx expires. It returns nil when the drain completed cleanly
+// within the deadline. The state machine:
+//
+//	serving  --Shutdown-->  draining: listeners closed; idle TCP
+//	                        connections poked awake and closed; busy
+//	                        ones finish their current request; new
+//	                        HTTP requests answer 503
+//	draining --all done-->  drained (nil)
+//	draining --ctx done-->  forced: remaining conns closed (ctx.Err())
+func (s *Server) Shutdown(ctx context.Context) error {
+	if s.closed.Swap(true) {
+		return nil
+	}
+	start := time.Now()
+	s.draining.Store(true)
+	if s.tcpLn != nil {
+		s.tcpLn.Close()
+	}
+	// Wake connections parked between messages so they observe the
+	// drain; connections mid-receive or mid-service are left alone.
+	s.mu.Lock()
+	for tc := range s.conns {
+		tc.poke()
+	}
+	s.mu.Unlock()
+
+	var httpErr error
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		if s.httpSrv != nil {
+			httpErr = s.httpSrv.Shutdown(ctx)
+		}
+		s.connWG.Wait()
+		s.acceptWG.Wait()
+	}()
+	var forcedErr error
+	select {
+	case <-done:
+	case <-ctx.Done():
+		forcedErr = ctx.Err()
+		s.forceClose()
+		<-done
+	}
+	if k := srvObs.Load(); k != nil {
+		k.drainNs.Set(float64(time.Since(start).Nanoseconds()))
+	}
+	if forcedErr != nil {
+		return forcedErr
+	}
+	if httpErr != nil && !errors.Is(httpErr, http.ErrServerClosed) {
+		return httpErr
+	}
+	return nil
+}
+
+// Close tears the server down immediately: no grace for in-flight
+// requests beyond what has already reached their sockets.
+func (s *Server) Close() error {
+	if s.closed.Swap(true) {
+		return nil
+	}
+	s.draining.Store(true)
+	if s.tcpLn != nil {
+		s.tcpLn.Close()
+	}
+	s.forceClose()
+	s.connWG.Wait()
+	s.acceptWG.Wait()
+	return nil
+}
+
+// forceClose severs every remaining connection on both fronts.
+func (s *Server) forceClose() {
+	if s.httpSrv != nil {
+		s.httpSrv.Close()
+	}
+	s.mu.Lock()
+	for tc := range s.conns {
+		tc.c.Close()
+	}
+	s.mu.Unlock()
+}

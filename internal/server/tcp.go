@@ -1,0 +1,190 @@
+package server
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+)
+
+// tcpConn wraps one wire-protocol connection with the drain
+// coordination state: the drain only interrupts a connection that is
+// parked between messages (receiving/serving connections finish their
+// current request first), so "poke" must know which side of that line
+// the connection is on. The mutex orders poke against the
+// idle/receiving transitions; without it a poke racing beginReceive
+// could shorten the deadline of a message already half-read.
+type tcpConn struct {
+	c net.Conn
+
+	mu        sync.Mutex
+	receiving bool
+	poked     bool
+}
+
+// pastDeadline is any instant guaranteed to be in the past: setting it
+// as the read deadline wakes a blocked read immediately.
+var pastDeadline = time.Unix(1, 0)
+
+// beginIdle parks the connection between messages: a poke that already
+// arrived (or arrives from now on) fires the deadline immediately,
+// otherwise the idle timeout applies.
+func (tc *tcpConn) beginIdle(timeout time.Duration) {
+	tc.mu.Lock()
+	defer tc.mu.Unlock()
+	tc.receiving = false
+	if tc.poked {
+		tc.c.SetReadDeadline(pastDeadline) //nolint:errcheck
+		return
+	}
+	tc.c.SetReadDeadline(time.Now().Add(timeout)) //nolint:errcheck
+}
+
+// beginReceive marks the connection mid-message and arms the receive
+// deadline; pokes from now on are deferred to the next idle point.
+func (tc *tcpConn) beginReceive(timeout time.Duration) {
+	tc.mu.Lock()
+	defer tc.mu.Unlock()
+	tc.receiving = true
+	tc.c.SetReadDeadline(time.Now().Add(timeout)) //nolint:errcheck
+}
+
+// poke wakes the connection if it is parked idle; a busy connection
+// just has the flag recorded and closes at its next idle point.
+func (tc *tcpConn) poke() {
+	tc.mu.Lock()
+	defer tc.mu.Unlock()
+	tc.poked = true
+	if !tc.receiving {
+		tc.c.SetReadDeadline(pastDeadline) //nolint:errcheck
+	}
+}
+
+// serveConn is the per-connection loop: park until a message's first
+// byte arrives, receive it whole, serve it, respond, repeat — until
+// the client closes, an error ends the conversation, the connection's
+// lifetime byte budget runs out, or the drain catches the connection
+// at an idle point.
+func (s *Server) serveConn(tc *tcpConn) {
+	defer s.connWG.Done()
+	defer s.dropConn(tc)
+	br := bufio.NewReader(tc.c)
+	var connBytes int64
+	for {
+		if s.draining.Load() && br.Buffered() == 0 {
+			return
+		}
+		tc.beginIdle(s.cfg.ReadTimeout)
+		if _, err := br.Peek(1); err != nil {
+			// Idle timeout, drain poke, or the client closed — all end
+			// the conversation without a response in flight.
+			return
+		}
+		tc.beginReceive(s.cfg.ReadTimeout)
+		msg, err := ReadMessage(br, s.cfg.MaxRequestBytes)
+		if err != nil {
+			s.countError()
+			s.writeResponse(tc, statusFor(err), []byte(err.Error())) //nolint:errcheck
+			return
+		}
+		connBytes += int64(len(msg.Payload))
+		if connBytes > s.cfg.MaxConnBytes {
+			s.countError()
+			s.writeResponse(tc, StatusConnLimit, //nolint:errcheck
+				[]byte(fmt.Sprintf("connection exceeded its %d-byte budget", s.cfg.MaxConnBytes)))
+			return
+		}
+		if err := s.serveMessage(tc, msg); err != nil {
+			return
+		}
+	}
+}
+
+// serveMessage handles one fully received request and writes its
+// response. A non-nil return closes the connection (protocol misuse or
+// a failed response write); protocol-level failures that keep the
+// connection usable (busy, corrupt decompress input) are reported to
+// the client in-band and return nil.
+func (s *Server) serveMessage(tc *tcpConn, msg *Message) error {
+	if msg.Op != OpCompress && msg.Op != OpDecompress {
+		s.countError()
+		s.writeResponse(tc, StatusCorrupt, []byte("unexpected op: this endpoint serves requests")) //nolint:errcheck
+		return fmt.Errorf("unexpected op %d", msg.Op)
+	}
+	if !s.acquire() {
+		return s.writeResponse(tc, StatusBusy, []byte("server at capacity, retry"))
+	}
+	defer s.release()
+	if k := srvObs.Load(); k != nil {
+		k.requestBytes.Observe(int64(len(msg.Payload)))
+	}
+	var out []byte
+	var err error
+	switch msg.Op {
+	case OpCompress:
+		out, err = s.compress(context.Background(), msg.Payload)
+		if err != nil {
+			s.countError()
+			return s.writeResponse(tc, StatusInternal, []byte(err.Error()))
+		}
+	case OpDecompress:
+		out, err = s.decompress(msg.Payload)
+		if err != nil {
+			// The client's stream was bad; the connection is fine.
+			s.countError()
+			return s.writeResponse(tc, statusFor(err), []byte(err.Error()))
+		}
+	}
+	return s.writeResponse(tc, StatusOK, out)
+}
+
+// writeResponse sends one response message under the write deadline.
+func (s *Server) writeResponse(tc *tcpConn, status byte, payload []byte) error {
+	tc.c.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout)) //nolint:errcheck
+	if k := srvObs.Load(); k != nil {
+		k.responseBytes.Observe(int64(len(payload)))
+	}
+	if err := WriteMessage(tc.c, &Message{Op: OpResponse, Status: status, Payload: payload}); err != nil {
+		s.countError()
+		return err
+	}
+	return nil
+}
+
+func (s *Server) countError() {
+	if k := srvObs.Load(); k != nil {
+		k.errors.Inc()
+	}
+}
+
+// compress runs one request's payload through the shared engine —
+// resilient when configured, the deterministic fast path otherwise.
+func (s *Server) compress(ctx context.Context, data []byte) ([]byte, error) {
+	if s.cfg.Resilient {
+		out, _, err := deflateResilient(ctx, data, s.cfg)
+		return out, err
+	}
+	var buf writerBuf
+	if _, err := deflateTo(ctx, &buf, data, s.cfg); err != nil {
+		return nil, err
+	}
+	return buf.b, nil
+}
+
+func (s *Server) decompress(z []byte) ([]byte, error) {
+	out, err := deflateDecode(z, s.cfg.Decode)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %w", ErrCorrupt, err)
+	}
+	return out, nil
+}
+
+// writerBuf is the minimal io.Writer collecting a TCP response body.
+type writerBuf struct{ b []byte }
+
+func (w *writerBuf) Write(p []byte) (int, error) {
+	w.b = append(w.b, p...)
+	return len(p), nil
+}

@@ -29,6 +29,7 @@ import (
 	"lzssfpga/internal/logger"
 	"lzssfpga/internal/lzss"
 	"lzssfpga/internal/obs"
+	"lzssfpga/internal/server"
 	"lzssfpga/internal/token"
 )
 
@@ -251,6 +252,7 @@ func EnableObservability(reg *MetricsRegistry) {
 	core.SetObservability(reg)
 	logger.SetObservability(reg)
 	etherlink.SetObservability(reg)
+	server.SetObservability(reg)
 }
 
 // ServeMetrics starts an HTTP server on addr (":0" picks a free port)
@@ -310,6 +312,40 @@ type FaultSpec = faultinject.Spec
 // segment hook and a stream corrupter, with an atomic ledger of what it
 // injected.
 type FaultInjector = faultinject.Injector
+
+// CompressParallelTo is CompressParallel with a streaming sink:
+// segment bodies are written to w in order as they complete, so the
+// first compressed bytes reach the consumer while later segments are
+// still compressing. ctx cancellation stops feeding the engine and
+// returns ctx.Err(); the partial stream must then be discarded. It
+// returns the byte count written.
+func CompressParallelTo(ctx context.Context, w io.Writer, data []byte, p Params, segment, workers int) (int64, error) {
+	return deflate.ParallelCompressTo(ctx, w, data, p, segment, workers)
+}
+
+// Server is the long-running network compression daemon (cmd/lzssd):
+// an HTTP front (streaming POST /compress, hardened POST /decompress)
+// and a framed TCP front mirroring the paper's etherlink staging
+// format, both multiplexing clients onto the shared persistent engine
+// behind per-request/per-connection byte caps and a max-in-flight
+// backpressure gate, with graceful drain on Shutdown.
+type Server = server.Server
+
+// ServerConfig sizes and hardens a Server; its zero value serves with
+// the paper's speed parameters and production-shaped caps.
+type ServerConfig = server.Config
+
+// NewServer builds a Server; bind its fronts with ListenHTTP and/or
+// ListenTCP.
+func NewServer(cfg ServerConfig) (*Server, error) { return server.New(cfg) }
+
+// Typed serving-layer errors: ErrServerBusy is the backpressure
+// rejection (HTTP 429 / wire StatusBusy), ErrServerDraining the
+// drain-time refusal (HTTP 503 / wire StatusDraining).
+var (
+	ErrServerBusy     = server.ErrBusy
+	ErrServerDraining = server.ErrDraining
+)
 
 // ParseFaultSpec parses the -faults syntax: comma-separated key=value,
 // e.g. "drop=0.05,flip=0.01,panic=0.1,seed=7". Keys: drop, dup,
