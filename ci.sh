@@ -39,6 +39,12 @@ go test -race -run FaultMatrix -count=1 ./internal/testbench
 echo "== engine soak + stall reorder (race) =="
 go test -race -run 'TestEngineSoak|TestReorderUnderWorkerStalls' -count=1 ./internal/deflate
 
+echo "== engine soak at GOMAXPROCS=4 (race) =="
+# The shard-affine arena and the reorder path only exercise cross-core
+# hand-offs when more than one P is scheduling workers; pin 4 so a
+# 1-core CI box still runs the concurrent interleavings.
+GOMAXPROCS=4 go test -race -run 'TestEngineSoak|TestArena' -count=1 ./internal/deflate ./internal/engine
+
 echo "== engine goroutine-leak check (race) =="
 go test -race -run TestEngineCloseLeavesNoWorkers -count=1 ./internal/engine
 
@@ -62,8 +68,17 @@ go test -run '^$' -fuzz FuzzFrameParser -fuzztime 10s ./internal/server
 echo "== observability overhead budget =="
 go test -run '^$' -bench ObsOverhead -benchtime 5x -count=1 .
 
-echo "== benchmark report (scaling sweep, gated vs BENCH_pr2.json) =="
-go run ./cmd/lzssbench -json BENCH_pr4.json -sweep -compare BENCH_pr2.json
-cat BENCH_pr4.json
+echo "== benchmark report (scaling sweep, gated vs BENCH_pr4.json) =="
+go run ./cmd/lzssbench -json BENCH_pr6.json -sweep -compare BENCH_pr4.json
+cat BENCH_pr6.json
+
+echo "== sweep completeness guard (p4 row present) =="
+# The scaling story depends on the GOMAXPROCS=4 sweep point existing in
+# the committed trajectory; a sweep that silently skipped it (or a
+# refactor that dropped the sweep) must fail CI, not ship a hole.
+if ! grep -q '"gomaxprocs": 4' BENCH_pr6.json; then
+	echo "BENCH_pr6.json sweep section is missing the GOMAXPROCS=4 row" >&2
+	exit 1
+fi
 
 echo "CI OK"

@@ -37,15 +37,24 @@ type benchEntry struct {
 	GOMAXPROCS int `json:"gomaxprocs,omitempty"`
 }
 
-// benchReport is the file layout.
+// benchReport is the file layout (schema lzssfpga-bench/2; /1 reports
+// lack the host-topology fields and the rand rows).
 type benchReport struct {
 	Schema     string `json:"schema"`
 	Timestamp  string `json:"timestamp"`
 	GoVersion  string `json:"go_version"`
 	GOMAXPROCS int    `json:"gomaxprocs"`
-	Workload   string `json:"workload"`
-	Bytes      int    `json:"bytes"`
-	Seed       int64  `json:"seed"`
+	// NumCPU and CPUModel record the host topology the numbers were
+	// measured on, so trajectory points across machines stay
+	// interpretable (a 1-core box cannot show parallel speedup no matter
+	// what the code does). CPUModel is best-effort from /proc/cpuinfo.
+	NumCPU   int    `json:"num_cpu,omitempty"`
+	CPUModel string `json:"cpu_model,omitempty"`
+	// Sweep records whether the GOMAXPROCS sweep rows were measured.
+	Sweep    bool   `json:"sweep,omitempty"`
+	Workload string `json:"workload"`
+	Bytes    int    `json:"bytes"`
+	Seed     int64  `json:"seed"`
 	// CalibMBPerS is a machine-speed reference measured in the same run
 	// as the results: Adler-32 over the corpus, a fixed CPU-bound loop
 	// no compression change touches. When two reports both carry it,
@@ -69,6 +78,12 @@ type benchReport struct {
 var seedBaseline = []benchEntry{
 	{Name: "serial", MBPerS: 31.56, Ratio: 1.724, AllocsPerOp: 26, BytesPerOp: 44533176, Iterations: 20},
 	{Name: "parallel", MBPerS: 13.83, Ratio: 2.272, AllocsPerOp: 747, BytesPerOp: 44503092, Iterations: 20},
+	// Pre-skip generation-one code on the incompressible workload
+	// (1 MiB random, same box class): the baseline the match-skip
+	// acceptance gate measures serial_rand against. serial_rand_seed is
+	// the paper's speed setting, serial_rand_seed_default LevelDefault.
+	{Name: "serial_rand_seed", MBPerS: 21.35, Ratio: 0.948, Iterations: 52},
+	{Name: "serial_rand_seed_default", MBPerS: 14.19, Ratio: 0.948, Iterations: 31},
 }
 
 // benchOne measures fn over the workload: one warm-up call for the
@@ -133,6 +148,24 @@ func calibrate(data []byte) float64 {
 // slower (MB/s) than the same-named entry in the compared report fails.
 const regressionTolerance = 0.10
 
+// cpuModel returns the host CPU model name, best-effort: the first
+// "model name" line of /proc/cpuinfo, empty on any failure (non-Linux
+// hosts, locked-down containers).
+func cpuModel() string {
+	raw, err := os.ReadFile("/proc/cpuinfo")
+	if err != nil {
+		return ""
+	}
+	for _, line := range strings.Split(string(raw), "\n") {
+		if strings.HasPrefix(line, "model name") {
+			if i := strings.IndexByte(line, ':'); i >= 0 {
+				return strings.TrimSpace(line[i+1:])
+			}
+		}
+	}
+	return ""
+}
+
 // writeJSONReport benchmarks the software compression paths and writes
 // the report to path. reg, when non-nil, is snapshotted into the
 // report's metrics section after the timed runs. With sweep, the
@@ -142,28 +175,43 @@ const regressionTolerance = 0.10
 // shared engine at each width so shard count follows the setting.
 func writeJSONReport(path string, bytes int, seed int64, sweep bool, reg *lzssfpga.MetricsRegistry) (*benchReport, error) {
 	data := workload.Wiki(bytes, seed)
+	rand := workload.Random(bytes, seed)
 	p := lzssfpga.HWSpeedParams()
+	fast := lzssfpga.SWFastParams()
 	const iters = 5
 	benches := []struct {
 		name string
+		data []byte
 		fn   func() ([]byte, error)
 	}{
-		{"serial", func() ([]byte, error) { return lzssfpga.Compress(data, p) }},
-		{"parallel", func() ([]byte, error) { return lzssfpga.CompressParallel(data, p, 0, 0) }},
-		{"parallel_dict", func() ([]byte, error) { return lzssfpga.CompressParallelDict(data, p, 0, 0) }},
+		{"serial", data, func() ([]byte, error) { return lzssfpga.Compress(data, p) }},
+		{"parallel", data, func() ([]byte, error) { return lzssfpga.CompressParallel(data, p, 0, 0) }},
+		{"parallel_dict", data, func() ([]byte, error) { return lzssfpga.CompressParallelDict(data, p, 0, 0) }},
+		// Generation-two hot path on the same wiki corpus.
+		{"serial_fast", data, func() ([]byte, error) { return lzssfpga.Compress(data, fast) }},
+		// Incompressible workload: serial_rand is the match-skip design
+		// point, serial_rand_noskip the pre-skip generation-one matcher on
+		// the same bytes — their ratio is the skip win, measured in-file so
+		// the trajectory gates regressions on random input.
+		{"serial_rand", rand, func() ([]byte, error) { return lzssfpga.Compress(rand, fast) }},
+		{"serial_rand_noskip", rand, func() ([]byte, error) { return lzssfpga.Compress(rand, p) }},
+		{"parallel_rand", rand, func() ([]byte, error) { return lzssfpga.CompressParallel(rand, fast, 0, 0) }},
 	}
 	rep := benchReport{
-		Schema:     "lzssfpga-bench/1",
+		Schema:     "lzssfpga-bench/2",
 		Timestamp:  time.Now().UTC().Format(time.RFC3339),
 		GoVersion:  runtime.Version(),
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
-		Workload:   "wiki",
+		NumCPU:     runtime.NumCPU(),
+		CPUModel:   cpuModel(),
+		Sweep:      sweep,
+		Workload:   "wiki+rand",
 		Bytes:      bytes,
 		Seed:       seed,
 		Baseline:   seedBaseline,
 	}
 	for _, b := range benches {
-		e, err := benchOne(b.name, data, iters, b.fn)
+		e, err := benchOne(b.name, b.data, iters, b.fn)
 		if err != nil {
 			return nil, err
 		}
@@ -253,6 +301,15 @@ func compareReports(cur *benchReport, oldPath string) error {
 	var old benchReport
 	if err := json.Unmarshal(raw, &old); err != nil {
 		return fmt.Errorf("%s: %w", oldPath, err)
+	}
+	// Topology mismatch warns but never fails: comparing a 4-core run
+	// against a 1-core trajectory point is often exactly what a hardware
+	// upgrade looks like — the calibration scaling below absorbs
+	// single-thread speed differences, and the reader decides what the
+	// parallel rows mean.
+	if old.NumCPU != 0 && cur.NumCPU != 0 && old.NumCPU != cur.NumCPU {
+		fmt.Printf("compare: WARNING: num_cpu differs (%d now vs %d in %s); parallel rows are not like-for-like\n",
+			cur.NumCPU, old.NumCPU, oldPath)
 	}
 	prev := make(map[string]benchEntry, len(old.Results))
 	for _, e := range old.Results {

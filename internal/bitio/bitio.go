@@ -74,6 +74,48 @@ func (bw *Writer) WriteBits(v uint32, n uint) {
 	}
 }
 
+// WriteCoded writes each byte of p as its prefix code: codes[b] holds
+// the bit-reversed (LSB-first-ready) code for byte value b, lens[b] its
+// length in bits (1..16). It is the batched form of per-symbol
+// WriteBits for literal-heavy streams — the accumulator and output
+// buffer live in locals across the whole run, and completed bytes drain
+// four at a time, instead of paying the full per-call bookkeeping for
+// every symbol.
+func (bw *Writer) WriteCoded(p []byte, codes []uint16, lens []uint8) {
+	if bw.err != nil {
+		return
+	}
+	acc, nAcc, buf := bw.acc, bw.nAcc, bw.buf
+	var written int64
+	for _, b := range p {
+		n := uint(lens[b])
+		acc |= uint64(codes[b]) << nAcc
+		nAcc += n
+		written += int64(n)
+		if nAcc >= 32 {
+			buf = append(buf, byte(acc), byte(acc>>8), byte(acc>>16), byte(acc>>24))
+			acc >>= 32
+			nAcc -= 32
+			if len(buf) >= cap(buf) {
+				bw.buf = buf
+				bw.flushBuf()
+				buf = bw.buf
+			}
+		}
+	}
+	// Restore the Writer's invariant (fewer than 8 pending bits).
+	for nAcc >= 8 {
+		buf = append(buf, byte(acc))
+		acc >>= 8
+		nAcc -= 8
+	}
+	bw.acc, bw.nAcc, bw.buf = acc, nAcc, buf
+	bw.bitsWritten += written
+	if len(bw.buf) >= cap(bw.buf) {
+		bw.flushBuf()
+	}
+}
+
 // WriteBitsRev writes the n least-significant bits of v with the most
 // significant of those bits first. This is the storage order of Huffman
 // codes in Deflate. n must be in [0, 32].

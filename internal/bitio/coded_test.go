@@ -1,0 +1,83 @@
+package bitio
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+// TestWriteCodedMatchesWriteBits pins the batched coded-write path to
+// per-symbol WriteBits: identical bytes and bit counts, across odd
+// pre-alignments (the accumulator can hold up to 31 pending bits going
+// in) and payloads large enough to force internal buffer flushes.
+func TestWriteCodedMatchesWriteBits(t *testing.T) {
+	var codes [256]uint16
+	var lens [256]uint8
+	rng := rand.New(rand.NewSource(9))
+	for i := range codes {
+		n := 1 + rng.Intn(16)
+		lens[i] = uint8(n)
+		codes[i] = uint16(rng.Intn(1 << n))
+	}
+	for _, prefix := range []uint{0, 1, 3, 7} {
+		for _, size := range []int{0, 1, 511, 512, 513, 20000} {
+			p := make([]byte, size)
+			rng.Read(p)
+
+			var a, b bytes.Buffer
+			wa := NewWriter(&a)
+			wb := NewWriter(&b)
+			wa.WriteBits(0x5, prefix)
+			wb.WriteBits(0x5, prefix)
+
+			for _, v := range p {
+				wa.WriteBits(uint32(codes[v]), uint(lens[v]))
+			}
+			wb.WriteCoded(p, codes[:], lens[:])
+
+			// Both paths must agree mid-stream too: append a tail field.
+			wa.WriteBits(0x2A, 7)
+			wb.WriteBits(0x2A, 7)
+			if err := wa.Flush(); err != nil {
+				t.Fatal(err)
+			}
+			if err := wb.Flush(); err != nil {
+				t.Fatal(err)
+			}
+			if wa.BitsWritten() != wb.BitsWritten() {
+				t.Fatalf("prefix %d size %d: bits %d vs %d", prefix, size, wa.BitsWritten(), wb.BitsWritten())
+			}
+			if !bytes.Equal(a.Bytes(), b.Bytes()) {
+				t.Fatalf("prefix %d size %d: streams differ", prefix, size)
+			}
+		}
+	}
+}
+
+// TestWriteCodedAfterError checks the sticky-error contract: a failed
+// underlying writer mutes WriteCoded like every other method.
+func TestWriteCodedAfterError(t *testing.T) {
+	var codes [256]uint16
+	var lens [256]uint8
+	for i := range codes {
+		codes[i] = uint16(i)
+		lens[i] = 8
+	}
+	w := NewWriter(failWriter{})
+	big := make([]byte, 1<<16)
+	w.WriteCoded(big, codes[:], lens[:])
+	w.WriteCoded(big, codes[:], lens[:])
+	if w.Err() == nil {
+		t.Fatal("expected sticky error from failing writer")
+	}
+}
+
+type failWriter struct{}
+
+func (failWriter) Write(p []byte) (int, error) { return 0, errFail }
+
+var errFail = &failError{}
+
+type failError struct{}
+
+func (*failError) Error() string { return "fail" }

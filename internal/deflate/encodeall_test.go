@@ -1,0 +1,82 @@
+package deflate
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"lzssfpga/internal/bitio"
+	"lzssfpga/internal/token"
+)
+
+// randCommands builds a command stream with long literal runs (the
+// shape match-skip produces on incompressible input) interleaved with
+// matches, covering both 8- and 9-bit literal codes and the batch
+// buffer boundary inside EncodeAll.
+func randCommands(rng *rand.Rand, n int) []token.Command {
+	var cmds []token.Command
+	for len(cmds) < n {
+		if rng.Intn(4) == 0 {
+			cmds = append(cmds, token.Copy(1+rng.Intn(4095), 3+rng.Intn(256)))
+			continue
+		}
+		run := 1 + rng.Intn(1500) // crosses the 512-byte batch buffer
+		for i := 0; i < run; i++ {
+			cmds = append(cmds, token.Lit(byte(rng.Intn(256))))
+		}
+	}
+	return cmds
+}
+
+// TestEncodeAllMatchesEncode pins the batched literal path to the
+// per-command encoder bit for bit.
+func TestEncodeAllMatchesEncode(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 20; trial++ {
+		cmds := randCommands(rng, 2000)
+
+		var one bytes.Buffer
+		bw1 := bitio.NewWriter(&one)
+		e1 := NewEncoder(bw1)
+		e1.BeginBlock(true)
+		for _, c := range cmds {
+			if err := e1.Encode(c); err != nil {
+				t.Fatal(err)
+			}
+		}
+		e1.EndBlock()
+		if err := bw1.Flush(); err != nil {
+			t.Fatal(err)
+		}
+
+		var all bytes.Buffer
+		bw2 := bitio.NewWriter(&all)
+		e2 := NewEncoder(bw2)
+		e2.BeginBlock(true)
+		if err := e2.EncodeAll(cmds); err != nil {
+			t.Fatal(err)
+		}
+		e2.EndBlock()
+		if err := bw2.Flush(); err != nil {
+			t.Fatal(err)
+		}
+
+		if !bytes.Equal(one.Bytes(), all.Bytes()) {
+			t.Fatalf("trial %d: EncodeAll stream differs from per-command encode", trial)
+		}
+		if bw1.BitsWritten() != bw2.BitsWritten() {
+			t.Fatalf("trial %d: bit counts differ: %d vs %d", trial, bw1.BitsWritten(), bw2.BitsWritten())
+		}
+	}
+}
+
+// TestEncodeAllRejectsBadCommand checks error propagation from the
+// non-literal path.
+func TestEncodeAllRejectsBadCommand(t *testing.T) {
+	var buf bytes.Buffer
+	e := NewEncoder(bitio.NewWriter(&buf))
+	bad := []token.Command{token.Lit('a'), token.Copy(0, 3)}
+	if err := e.EncodeAll(bad); err == nil {
+		t.Fatal("EncodeAll accepted an invalid match command")
+	}
+}

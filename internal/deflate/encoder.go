@@ -71,6 +71,39 @@ func (e *Encoder) Encode(c token.Command) error {
 	}
 }
 
+// EncodeAll encodes a command slice, batching runs of consecutive
+// literals through the bit writer's coded fast path (bitio.WriteCoded).
+// Output is bit-identical to calling Encode per command; the batching
+// only removes per-symbol call and accumulator-bookkeeping overhead,
+// which dominates on literal-heavy (incompressible) streams.
+func (e *Encoder) EncodeAll(cmds []token.Command) error {
+	var lits [512]byte
+	i := 0
+	for i < len(cmds) {
+		if cmds[i].K == token.Literal {
+			n := 0
+			for i < len(cmds) && cmds[i].K == token.Literal {
+				lits[n] = cmds[i].Lit
+				n++
+				i++
+				if n == len(lits) {
+					e.bw.WriteCoded(lits[:n], e.litCodes, e.litLens)
+					n = 0
+				}
+			}
+			if n > 0 {
+				e.bw.WriteCoded(lits[:n], e.litCodes, e.litLens)
+			}
+			continue
+		}
+		if err := e.Encode(cmds[i]); err != nil {
+			return err
+		}
+		i++
+	}
+	return nil
+}
+
 // EndBlock writes the end-of-block symbol (256).
 func (e *Encoder) EndBlock() { e.putSym(endOfBlock) }
 
@@ -97,13 +130,14 @@ func CommandBits(c token.Command) int {
 // returns the raw Deflate stream.
 func FixedDeflate(cmds []token.Command) ([]byte, error) {
 	var buf bytes.Buffer
+	// Size hint: literals cost at most 9 bits plus slack for match extra
+	// bits; a short estimate only costs a growth copy, never correctness.
+	buf.Grow(len(cmds)*2 + 64)
 	bw := bitio.NewWriter(&buf)
 	e := NewEncoder(bw)
 	e.BeginBlock(true)
-	for _, c := range cmds {
-		if err := e.Encode(c); err != nil {
-			return nil, err
-		}
+	if err := e.EncodeAll(cmds); err != nil {
+		return nil, err
 	}
 	e.EndBlock()
 	if err := bw.Flush(); err != nil {
@@ -179,11 +213,28 @@ func ZlibWrap(deflateBody, src []byte, window int) ([]byte, error) {
 // command stream Huffman-coded with the fixed table inside a ZLib
 // container. src must be the bytes cmds expand to.
 func ZlibCompress(cmds []token.Command, src []byte, window int) ([]byte, error) {
-	body, err := FixedDeflate(cmds)
+	// Encode header, body and trailer into one pre-grown buffer rather
+	// than building the body separately and copying it through ZlibWrap.
+	hdr, err := ZlibHeader(window)
 	if err != nil {
 		return nil, err
 	}
-	return ZlibWrap(body, src, window)
+	var buf bytes.Buffer
+	buf.Grow(len(cmds)*2 + 64)
+	buf.Write(hdr[:])
+	bw := bitio.NewWriter(&buf)
+	e := NewEncoder(bw)
+	e.BeginBlock(true)
+	if err := e.EncodeAll(cmds); err != nil {
+		return nil, err
+	}
+	e.EndBlock()
+	if err := bw.Flush(); err != nil {
+		return nil, err
+	}
+	sum := AdlerChecksum(src)
+	buf.Write([]byte{byte(sum >> 24), byte(sum >> 16), byte(sum >> 8), byte(sum)})
+	return buf.Bytes(), nil
 }
 
 // ZlibCompressDict is ZlibCompress with a preset dictionary: the header

@@ -194,6 +194,7 @@ func (j *pjob) runFast(wid int) (*engine.Buf, error) {
 	sw.tr = j.tr
 	sw.tid = wid + 1
 	sw.seg = j.idx
+	sw.shard = wid
 	return sw.compressSegment(j.data[j.dictLo:j.hi], j.lo-j.dictLo, j.final, segHint(j.hi-j.lo))
 }
 
@@ -206,6 +207,7 @@ func (j *pjob) runResilient(wid int) *engine.Buf {
 	if sw, swErr := getSegWorker(j.p); swErr == nil {
 		sw.tr = j.opts.Tracer
 		sw.tid = wid + 1
+		sw.shard = wid
 		body = compressSegmentResilient(j.ctx, sw, j.data[j.dictLo:j.hi], j.lo-j.dictLo, j.idx, j.final,
 			j.maxRetries, *j.opts, j.retries, j.panics)
 		putSegWorker(sw)

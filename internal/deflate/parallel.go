@@ -34,6 +34,10 @@ type segWorker struct {
 	tr  *obs.Tracer
 	tid int
 	seg int
+	// shard is the engine shard whose arena stack serves this worker's
+	// output buffers (-1 = global tier), set by the job body from the
+	// executing worker id.
+	shard int
 }
 
 // sliceBuffer is the minimal io.Writer the bit writer needs: an
@@ -72,6 +76,7 @@ func getSegWorker(p lzss.Params) (*segWorker, error) {
 	if w.bw == nil {
 		w.bw = bitio.NewWriter(&w.out)
 	}
+	w.shard = -1
 	return w, nil
 }
 
@@ -293,7 +298,7 @@ func (w *segWorker) compressSegment(buf []byte, origin int, final bool, hint int
 	// Encode straight into an arena buffer: the filled buffer IS the
 	// returned body, so the old copy-to-fresh-slice step is gone. On an
 	// error path the buffer goes straight back to the arena.
-	ab := engine.GetBuf(hint)
+	ab := engine.GetBufShard(hint, w.shard)
 	w.out.b = ab.B
 	fail := func(err error) (*engine.Buf, error) {
 		w.out.b = nil
@@ -309,10 +314,8 @@ func (w *segWorker) compressSegment(buf []byte, origin int, final bool, hint int
 	} else {
 		e := NewEncoder(bw)
 		e.BeginBlock(false)
-		for _, c := range cmds {
-			if err := e.Encode(c); err != nil {
-				return fail(err)
-			}
+		if err := e.EncodeAll(cmds); err != nil {
+			return fail(err)
 		}
 		e.EndBlock()
 	}

@@ -86,10 +86,8 @@ func SplitDeflate(cmds []token.Command) ([]byte, error) {
 		} else {
 			e := NewEncoder(bw)
 			e.BeginBlock(final)
-			for _, c := range seg {
-				if err := e.Encode(c); err != nil {
-					return nil, err
-				}
+			if err := e.EncodeAll(seg); err != nil {
+				return nil, err
 			}
 			e.EndBlock()
 		}

@@ -123,11 +123,9 @@ func (zw *Writer) emitBlock(cmds []token.Command, final bool) error {
 	} else {
 		e := NewEncoder(zw.bw)
 		e.BeginBlock(final)
-		for _, c := range cmds {
-			if err := e.Encode(c); err != nil {
-				zw.err = err
-				return err
-			}
+		if err := e.EncodeAll(cmds); err != nil {
+			zw.err = err
+			return err
 		}
 		e.EndBlock()
 	}

@@ -1,0 +1,97 @@
+package engine
+
+import "testing"
+
+// drainShardClass empties every shard-local stack for class c so the
+// affinity tests start from a known-empty tier (other tests in the
+// package may have left buffers behind).
+func drainShardClass(c int) {
+	for i := range shardArenas {
+		for shardArenas[i].pop(c) != nil {
+		}
+	}
+}
+
+func TestArenaShardLocalReuse(t *testing.T) {
+	const n = 64 * 1024
+	c := classFor(n)
+	if c < 0 || c >= arenaLocalClasses {
+		t.Fatalf("test size %d landed outside the affine tier (class %d)", n, c)
+	}
+	drainShardClass(c)
+
+	b := GetBufShard(n, 3)
+	if b.home != 3%numArenaShards {
+		t.Fatalf("fresh shard buffer homed to %d, want %d", b.home, 3%numArenaShards)
+	}
+	PutBuf(b)
+	again := GetBufShard(n, 3)
+	if again != b {
+		t.Fatal("same-shard Get did not return the locally stacked buffer")
+	}
+	PutBuf(again)
+	drainShardClass(c)
+}
+
+func TestArenaStealRehomes(t *testing.T) {
+	const n = 64 * 1024
+	c := classFor(n)
+	drainShardClass(c)
+
+	b := GetBufShard(n, 0)
+	PutBuf(b) // parked on shard 0's stack
+	stolen := GetBufShard(n, 5)
+	if stolen != b {
+		t.Fatal("sibling Get did not steal the parked buffer")
+	}
+	if stolen.home != 5 {
+		t.Fatalf("stolen buffer homed to %d, want thief shard 5", stolen.home)
+	}
+	PutBuf(stolen) // must now park on shard 5
+	if got := shardArenas[0].pop(c); got != nil {
+		t.Fatal("buffer returned to its old home after a steal")
+	}
+	if got := shardArenas[5].pop(c); got != b {
+		t.Fatal("rehomed buffer did not park on the thief's stack")
+	}
+	drainShardClass(c)
+}
+
+func TestArenaShardDepthSpillsToGlobal(t *testing.T) {
+	const n = 64 * 1024
+	c := classFor(n)
+	drainShardClass(c)
+
+	bufs := make([]*Buf, arenaShardDepth+1)
+	for i := range bufs {
+		bufs[i] = &Buf{B: make([]byte, 0, 1<<(arenaMinBits+c)), home: 2}
+	}
+	for _, b := range bufs {
+		PutBuf(b)
+	}
+	if got := len(shardArenas[2].stack[c]); got != arenaShardDepth {
+		t.Fatalf("shard stack holds %d buffers, want depth bound %d", got, arenaShardDepth)
+	}
+	// The overflow buffer was rehomed to the global tier.
+	for _, b := range bufs {
+		if b.home == -1 {
+			return
+		}
+	}
+	t.Fatal("no buffer spilled to the global tier past the depth bound")
+}
+
+func TestArenaGlobalPathUnaffected(t *testing.T) {
+	// Shardless callers and oversized classes must keep the old
+	// behavior: global tier only, home -1.
+	b := GetBuf(64 * 1024)
+	if b.home != -1 {
+		t.Fatalf("GetBuf homed a global buffer to shard %d", b.home)
+	}
+	PutBuf(b)
+	big := GetBufShard(4<<20, 1) // above arenaLocalMaxBits
+	if big.home != -1 {
+		t.Fatalf("oversized shard get homed to %d, want -1", big.home)
+	}
+	PutBuf(big)
+}

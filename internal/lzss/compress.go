@@ -69,7 +69,7 @@ func CompressReuse(dst []token.Command, m *Matcher, src []byte) []token.Command 
 func CompressTail(dst []token.Command, m *Matcher, buf []byte, origin int) []token.Command {
 	m.Reset(buf)
 	m.stats.InputBytes += int64(len(buf) - origin)
-	m.InsertRange(0, origin-token.MinMatch+1)
+	m.InsertRange(0, m.insertEnd(origin))
 	dst = compressGreedyFrom(m, buf, origin, dst)
 	m.FlushObs()
 	return dst
@@ -87,6 +87,11 @@ func emitCopy(cmds []token.Command, m *Matcher, dist, length int) []token.Comman
 	return append(cmds, token.Copy(dist, length))
 }
 
+// maxSkipStride caps the match-skip stride: a compressible region
+// starting after a long incompressible run costs at most this many
+// positions of missed matches before the stride resets.
+const maxSkipStride = 128
+
 // compressGreedy is the matching policy the hardware implements: take
 // the longest match at the current position or emit one literal.
 func compressGreedy(m *Matcher, src []byte, cmds []token.Command) []token.Command {
@@ -94,8 +99,13 @@ func compressGreedy(m *Matcher, src []byte, cmds []token.Command) []token.Comman
 }
 
 // compressGreedyFrom runs the greedy policy over src[start:]; positions
-// before start are assumed pre-inserted history.
+// before start are assumed pre-inserted history. Generation-two
+// configurations (4-byte heads and/or match-skip) take their own loop;
+// the generation-one loop below is bit-for-bit the hardware's policy.
 func compressGreedyFrom(m *Matcher, src []byte, start int, cmds []token.Command) []token.Command {
+	if m.p.gen2() {
+		return compressGreedyGen2(m, src, start, cmds)
+	}
 	pos := start
 	for pos < len(src) {
 		if len(src)-pos < token.MinMatch {
@@ -125,6 +135,82 @@ func compressGreedyFrom(m *Matcher, src []byte, start int, cmds []token.Command)
 			cmds = emitLit(cmds, m, src[pos])
 			pos++
 		}
+	}
+	return cmds
+}
+
+// compressGreedyGen2 is the generation-two greedy loop: the same
+// longest-match-or-literal policy, plus match-skip acceleration — after
+// R consecutive failed probes the loop advances 1 + R>>SkipTrigger
+// positions per literal run (capped at maxSkipStride), neither probing
+// nor inserting the stepped-over positions — and the 4-byte-head probe
+// (findMatch4, with its batched prefetch) when Hash4 is set. On
+// incompressible input the stride growth turns the dead chain walks the
+// generation-one loop performs at every position into a near-memcpy
+// literal sweep; one found match resets the stride to 1.
+func compressGreedyGen2(m *Matcher, src []byte, start int, cmds []token.Command) []token.Command {
+	hashable := m.insertEnd(len(src)) // positions below this can be probed/inserted
+	trigger := m.p.SkipTrigger
+	hash4 := m.p.Hash4
+	pos := start
+	miss := 0 // consecutive failed probes since the last match
+	for pos < len(src) {
+		if pos >= hashable {
+			// Too little left to hash; flush as literals.
+			for ; pos < len(src); pos++ {
+				cmds = emitLit(cmds, m, src[pos])
+			}
+			break
+		}
+		var length, dist int
+		if hash4 {
+			length, dist = m.findMatch4(pos)
+		} else {
+			length, dist = m.FindMatch(pos)
+		}
+		if length > 0 {
+			miss = 0
+			cmds = emitCopy(cmds, m, dist, length)
+			end := pos + length
+			if length <= m.p.InsertLimit {
+				to := end
+				if to > hashable {
+					to = hashable
+				}
+				m.InsertRange(pos+1, to)
+			}
+			pos = end
+			continue
+		}
+		step := 1
+		if trigger != 0 {
+			if step = 1 + miss>>trigger; step > maxSkipStride {
+				step = maxSkipStride
+			}
+			miss++
+		}
+		if step > len(src)-pos {
+			step = len(src) - pos
+		}
+		if cap(cmds)-len(cmds) < step {
+			// Needing to regrow inside a literal run means the input is
+			// running incompressible, where the usual one-command-per-three-
+			// bytes reservation ends up ~3x short and append's geometric
+			// growth memmoves the stream repeatedly. Reserve the worst case
+			// (one literal per remaining byte) in a single copy instead.
+			grown := make([]token.Command, len(cmds), len(cmds)+(len(src)-pos)+16)
+			copy(grown, cmds)
+			cmds = grown
+		}
+		m.stats.Literals += int64(step)
+		// Capacity is guaranteed above; indexed stores skip append's
+		// per-element bookkeeping across the run.
+		base := len(cmds)
+		cmds = cmds[:base+step]
+		for i := 0; i < step; i++ {
+			cmds[base+i] = token.Lit(src[pos+i])
+		}
+		pos += step
 	}
 	return cmds
 }

@@ -36,7 +36,7 @@ func CompressWithDict(dict, data []byte, p Params) ([]token.Command, *Stats, err
 	}
 	// Warm the chains with every dictionary position (zlib's
 	// deflateSetDictionary does exactly this).
-	m.InsertRange(0, len(dict)-token.MinMatch+1)
+	m.InsertRange(0, m.insertEnd(len(dict)))
 	// Greedy matching over the data region only.
 	cmds := make([]token.Command, 0, len(data)/3+16)
 	cmds = compressGreedyFrom(m, buf, len(dict), cmds)

@@ -26,6 +26,9 @@ type Matcher struct {
 	// generic path (the zlib shift is never 0 for HashBits >= 1).
 	zshift uint32
 	zmask  uint32
+	// h4shift is the right shift of the 4-byte multiplicative hash,
+	// 32 - HashBits, valid only when p.Hash4 is set.
+	h4shift uint32
 	// Local observability state: fixed histogram arrays updated with
 	// plain increments on the hot path, and the last-flushed Stats
 	// snapshot. FlushObs publishes the deltas into the wired registry
@@ -56,6 +59,7 @@ func NewMatcher(src []byte, p Params, stats *Stats) (*Matcher, error) {
 		m.zshift = uint32(p.HashBits+2) / 3
 		m.zmask = uint32(1)<<p.HashBits - 1
 	}
+	m.h4shift = 32 - uint32(p.HashBits)
 	for i := range m.head {
 		m.head[i] = -1
 	}
@@ -96,11 +100,14 @@ func (m *Matcher) Reset(src []byte) {
 
 func (m *Matcher) hashAt(pos int) uint32 {
 	m.stats.HashComputes++
+	if m.p.Hash4 {
+		return (binary.LittleEndian.Uint32(m.src[pos:]) * hash4Mul) >> m.h4shift
+	}
 	return m.hash(m.src, pos)
 }
 
 // Insert adds the string at pos to the hash chains. pos must leave at
-// least MinMatch bytes of source.
+// least minHash bytes of source.
 func (m *Matcher) Insert(pos int) {
 	h := m.hashAt(pos)
 	m.insertHashed(pos, h)
@@ -114,13 +121,21 @@ func (m *Matcher) insertHashed(pos int, h uint32) {
 
 // InsertRange inserts every position in [from, to), batching the stats
 // updates into two adds — the bulk form the full-hash-update path after
-// a short match uses.
+// a short match uses. With Hash4 the 4-byte head hash is used; callers
+// must bound to with insertEnd so every position has a full hash window.
 func (m *Matcher) InsertRange(from, to int) {
 	if to <= from {
 		return
 	}
 	head, prev, src := m.head, m.prev, m.src
-	if m.zshift != 0 {
+	if m.p.Hash4 {
+		shift := m.h4shift
+		for i := from; i < to; i++ {
+			h := (binary.LittleEndian.Uint32(src[i:]) * hash4Mul) >> shift
+			prev[int32(i)&m.mask] = head[h]
+			head[h] = int32(i)
+		}
+	} else if m.zshift != 0 {
 		shift, hmask := m.zshift, m.zmask
 		for i := from; i < to; i++ {
 			h := ((uint32(src[i])<<shift^uint32(src[i+1]))<<shift ^ uint32(src[i+2])) & hmask
@@ -227,6 +242,106 @@ func (m *Matcher) FlushObs() {
 	k.chainDepth.Merge(m.cdHist[:], d.ChainSteps)
 	m.mlHist = [numMatchLenBuckets]int64{}
 	m.cdHist = [numChainDepthBuckets]int64{}
+}
+
+// ---- Generation-two probe path (Hash4): batched gather + prefetch ----
+
+// hash4Mul is the Fibonacci multiplier (2^32/phi) of the 4-byte head
+// hash; the product's top HashBits bits are the bucket.
+const hash4Mul = 2654435761
+
+// probeBatchSize is how many chain candidates one gather pass resolves
+// before the compare stage runs. The hardware hides its hash-table
+// latency by prefetching the next chain link while the comparer works
+// on the current candidate (the paper's hash-prefetch FSM); software
+// gets the same overlap by walking a small batch of next-pointers
+// first — touching each candidate's window as its position is learned,
+// so the loads are in flight together — and only then comparing.
+const probeBatchSize = 8
+
+// insertEnd is the exclusive upper bound of insertable positions for a
+// source of length n: the last position with a full hash window.
+func (m *Matcher) insertEnd(n int) int {
+	return n - m.p.minHash() + 1
+}
+
+// findMatch4 is FindMatch for the 4-byte-head configuration, with the
+// batched probe-prefetch stage. The caller guarantees pos+4 <=
+// len(src). Policy differences from the generation-one path, both
+// implied by the wider hash: matches shorter than 4 are never found,
+// and a candidate whose first four bytes differ from the probe's is
+// rejected on its prefetched word alone (charged as 4 compare bytes)
+// without a matchLen walk.
+func (m *Matcher) findMatch4(pos int) (length, distance int) {
+	src, prev := m.src, m.prev
+	t32 := binary.LittleEndian.Uint32(src[pos:])
+	h := (t32 * hash4Mul) >> m.h4shift
+	cand := m.head[h]
+	prev[int32(pos)&m.mask] = cand
+	m.head[h] = int32(pos)
+
+	maxLen := len(src) - pos
+	if maxLen > token.MaxMatch {
+		maxLen = token.MaxMatch
+	}
+	minPos := pos - (m.p.Window - 1)
+
+	bestLen, bestDist := 0, 0
+	chainSteps, compared, batches := int64(0), int64(0), int64(0)
+	nice, budget := m.p.Nice, m.p.MaxChain
+	var cpos [probeBatchSize]int32
+	var cval [probeBatchSize]uint32
+search:
+	for budget > 0 && cand >= 0 && int(cand) >= minPos {
+		// Gather stage: resolve up to probeBatchSize chain links,
+		// loading each candidate's first word as soon as its position is
+		// known. The next-pointer walk is the only dependent chain; the
+		// window touches overlap with it instead of serializing behind
+		// each compare.
+		n := 0
+		for n < probeBatchSize && budget > 0 && cand >= 0 && int(cand) >= minPos {
+			cpos[n] = cand
+			cval[n] = binary.LittleEndian.Uint32(src[cand:])
+			cand = prev[cand&m.mask]
+			budget--
+			n++
+		}
+		batches++
+		// Compare stage, most-recent-first over the gathered batch with
+		// the generation-one selection rules (strictly longer wins, stop
+		// at Nice or maxLen).
+		for i := 0; i < n; i++ {
+			chainSteps++
+			if cval[i] != t32 {
+				compared += 4
+				continue
+			}
+			c := int(cpos[i])
+			l := matchLen(src, c, pos, maxLen)
+			compared += int64(l)
+			if l < maxLen {
+				compared++ // the mismatching byte was also read
+			}
+			if l > bestLen {
+				bestLen, bestDist = l, pos-c
+				if bestLen >= nice || bestLen == maxLen {
+					break search
+				}
+			}
+		}
+	}
+	s := m.stats
+	s.HashComputes++
+	s.HeadReads++
+	s.Inserts++
+	s.ChainSteps += chainSteps
+	s.CompareBytes += compared
+	s.ProbeBatches += batches
+	m.cdHist[chainDepthBucket(chainSteps)]++
+	if bestLen < 4 {
+		return 0, 0
+	}
+	return bestLen, bestDist
 }
 
 // matchLen counts the length of the common prefix of src[a:] and

@@ -57,6 +57,7 @@ type lzssSink struct {
 	compareBytes *obs.Counter
 	inserts      *obs.Counter
 	lazyEvals    *obs.Counter
+	probeBatches *obs.Counter
 	matchLen     *obs.Histogram
 	chainDepth   *obs.Histogram
 }
@@ -83,6 +84,7 @@ func SetObservability(reg *obs.Registry) {
 		compareBytes: reg.Counter(obs.LZSSCompareBytes),
 		inserts:      reg.Counter(obs.LZSSInserts),
 		lazyEvals:    reg.Counter(obs.LZSSLazyEvals),
+		probeBatches: reg.Counter(obs.LZSSProbeBatches),
 		matchLen:     reg.Histogram(obs.LZSSMatchLen, matchLenBounds),
 		chainDepth:   reg.Histogram(obs.LZSSChainDepth, chainDepthBounds),
 	})
@@ -100,6 +102,7 @@ func (k *lzssSink) publish(d *Stats) {
 	k.compareBytes.Add(d.CompareBytes)
 	k.inserts.Add(d.Inserts)
 	k.lazyEvals.Add(d.LazyEvals)
+	k.probeBatches.Add(d.ProbeBatches)
 }
 
 // statsDelta returns cur - prev, field by field.
@@ -115,5 +118,6 @@ func statsDelta(cur, prev Stats) Stats {
 		CompareBytes: cur.CompareBytes - prev.CompareBytes,
 		Inserts:      cur.Inserts - prev.Inserts,
 		LazyEvals:    cur.LazyEvals - prev.LazyEvals,
+		ProbeBatches: cur.ProbeBatches - prev.ProbeBatches,
 	}
 }

@@ -78,6 +78,26 @@ type Params struct {
 	// on a validated Params, reset Hash to nil so Validate re-derives
 	// it (a stale wider hash would index past the head table).
 	Hash HashFunc
+	// Hash4 widens the head hash from the three bytes the wire format's
+	// MinMatch implies to the four bytes starting a string, mixed with a
+	// Fibonacci multiplier. Chains then link only strings sharing a full
+	// 4-byte prefix, so collision-driven compares all but vanish — the
+	// price is that 3-byte matches are no longer findable, raising the
+	// effective minimum emitted match to 4 (the LZ4/deflate-fast design
+	// point). Generation-two speed levels enable it; levels whose output
+	// depends on MinMatch=3 (the lazy ratio levels, the hardware model's
+	// configuration) keep the 3-byte hash and their exact output. Greedy
+	// only, and incompatible with a custom Hash policy.
+	Hash4 bool
+	// SkipTrigger, when non-zero, enables match-skip acceleration in the
+	// greedy loop: after a run of R consecutive failed probes the
+	// probe/insert stride grows to 1 + R>>SkipTrigger (capped at
+	// maxSkipStride), so incompressible input stops paying for dead
+	// chain walks and approaches memcpy speed. Skipped positions are
+	// neither probed nor inserted. Smaller values accelerate sooner;
+	// zlib-era levels leave it 0 (stride always 1, exact current
+	// output). Greedy only.
+	SkipTrigger uint
 	// defaultHash records that Validate installed ZlibHash itself, so
 	// the matcher may inline the computation instead of calling through
 	// the function value (the hot-path devirtualization; any
@@ -108,11 +128,38 @@ func (p *Params) Validate() error {
 	if p.Lazy && p.MaxLazy < token.MinMatch {
 		p.MaxLazy = token.MinMatch
 	}
+	if p.Hash4 || p.SkipTrigger != 0 {
+		if p.Lazy {
+			return fmt.Errorf("lzss: hash4/skip are greedy-loop features, incompatible with lazy matching")
+		}
+		if p.SkipTrigger > 16 {
+			return fmt.Errorf("lzss: skip trigger %d out of [0,16]", p.SkipTrigger)
+		}
+	}
+	// A Hash installed by a previous Validate (defaultHash) is not a
+	// caller policy choice and re-validates cleanly.
+	if p.Hash4 && p.Hash != nil && !p.defaultHash {
+		return fmt.Errorf("lzss: hash4 replaces the 3-byte hash policy; leave Hash nil")
+	}
 	if p.Hash == nil {
 		p.Hash = ZlibHash(p.HashBits)
 		p.defaultHash = true
 	}
 	return nil
+}
+
+// gen2 reports whether any generation-two hot-path feature is enabled,
+// selecting the skip-capable greedy loop.
+func (p Params) gen2() bool { return p.Hash4 || p.SkipTrigger != 0 }
+
+// minHash is the number of bytes a position must have left to be
+// hashable (and the shortest match the matcher can find): 4 with Hash4,
+// otherwise the wire format's MinMatch.
+func (p Params) minHash() int {
+	if p.Hash4 {
+		return 4
+	}
+	return token.MinMatch
 }
 
 // SameConfig reports whether q configures an identical matcher:
@@ -125,7 +172,8 @@ func (p Params) SameConfig(q Params) bool {
 		p.Window == q.Window && p.HashBits == q.HashBits &&
 		p.MaxChain == q.MaxChain && p.Nice == q.Nice &&
 		p.InsertLimit == q.InsertLimit && p.Lazy == q.Lazy &&
-		p.MaxLazy == q.MaxLazy
+		p.MaxLazy == q.MaxLazy &&
+		p.Hash4 == q.Hash4 && p.SkipTrigger == q.SkipTrigger
 }
 
 // WindowBits returns log2(Window).
@@ -152,8 +200,10 @@ func LevelParams(level Level, window int, hashBits uint) Params {
 	switch {
 	case level <= 1:
 		p.MaxChain, p.Nice, p.InsertLimit, p.Lazy = 4, 8, 4, false
+		p.Hash4, p.SkipTrigger = true, 5
 	case level <= 3:
 		p.MaxChain, p.Nice, p.InsertLimit, p.Lazy = 8, 16, 8, false
+		p.Hash4, p.SkipTrigger = true, 6
 	case level <= 6:
 		p.MaxChain, p.Nice, p.InsertLimit, p.Lazy, p.MaxLazy = 128, 128, 16, true, 16
 	default:
@@ -164,9 +214,24 @@ func LevelParams(level Level, window int, hashBits uint) Params {
 
 // HWSpeedParams returns the hardware configuration the paper optimizes
 // for speed in Table I: 4 KB dictionary, 15-bit hash, greedy matching
-// with a short chain limit.
+// with a short chain limit. Its output is pinned bit-for-bit to the
+// cycle-accurate hardware model, so it never carries the generation-two
+// software features — SWFastParams is that design point.
 func HWSpeedParams() Params {
 	return Params{Window: 4096, HashBits: 15, MaxChain: 4, Nice: 8, InsertLimit: 4}
+}
+
+// SWFastParams is the software generation-two speed setting:
+// HWSpeedParams' geometry plus match-skip acceleration, 4-byte hash
+// heads and batched probe prefetch. It trades the hardware model's
+// exact output (3-byte matches are gone, incompressible runs are
+// skipped over) for pure-software throughput; the stream is still
+// standard and byte-round-trips through any inflater.
+func SWFastParams() Params {
+	p := HWSpeedParams()
+	p.Hash4 = true
+	p.SkipTrigger = 5
+	return p
 }
 
 // Stats counts the elementary operations a compression run performs.
@@ -192,6 +257,13 @@ type Stats struct {
 	Inserts int64
 	// LazyEvals counts deferred-match evaluations (lazy mode only).
 	LazyEvals int64
+	// ProbeBatches counts candidate batches resolved by the batched
+	// probe-prefetch stage (Hash4 path only): each batch gathers up to
+	// probeBatchSize chain candidates and touches their windows before
+	// any compare runs — the software mirror of the paper's
+	// hash-prefetch FSM. ChainSteps/ProbeBatches approximates the
+	// average batch fill.
+	ProbeBatches int64
 }
 
 // Ratio returns InputBytes / outputBytes given an encoded size.

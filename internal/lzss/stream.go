@@ -1,6 +1,8 @@
 package lzss
 
 import (
+	"encoding/binary"
+
 	"lzssfpga/internal/token"
 )
 
@@ -24,6 +26,10 @@ type StreamCompressor struct {
 	// stats accumulates over the stream's lifetime.
 	stats  Stats
 	closed bool
+	// miss is the generation-two match-skip state: consecutive failed
+	// probes since the last match, persisted across Writes so chunking
+	// cannot change the stride schedule.
+	miss int
 	// Local observability state, mirroring Matcher: fixed histogram
 	// arrays plus the last-flushed snapshot (see FlushObs).
 	mlHist     [numMatchLenBuckets]int64
@@ -127,6 +133,9 @@ func (s *StreamCompressor) slide() {
 
 func (s *StreamCompressor) hashAt(pos int) uint32 {
 	s.stats.HashComputes++
+	if s.p.Hash4 {
+		return (binary.LittleEndian.Uint32(s.buf[pos:]) * hash4Mul) >> (32 - uint32(s.p.HashBits))
+	}
 	return s.p.Hash(s.buf[pos], s.buf[pos+1], s.buf[pos+2])
 }
 
@@ -182,8 +191,73 @@ func (s *StreamCompressor) findMatch(pos int) (length, distance int) {
 	return bestLen, bestDist
 }
 
+// findMatch4 mirrors Matcher.findMatch4 over the sliding buffer: the
+// 4-byte-head probe with the batched gather/compare stages and the same
+// counter charging, so stream output and stats stay identical to the
+// whole-buffer generation-two path.
+func (s *StreamCompressor) findMatch4(pos int) (length, distance int) {
+	t32 := binary.LittleEndian.Uint32(s.buf[pos:])
+	h := (t32 * hash4Mul) >> (32 - uint32(s.p.HashBits))
+	s.stats.HashComputes++
+	cand := s.head[h]
+	s.stats.HeadReads++
+	s.insertHashed(pos, h)
+
+	maxLen := len(s.buf) - pos
+	if maxLen > token.MaxMatch {
+		maxLen = token.MaxMatch
+	}
+	minPos := pos - (s.p.Window - 1)
+	bestLen, bestDist := 0, 0
+	chainSteps := int64(0)
+	budget := s.p.MaxChain
+	ring := int32(s.p.Window - 1)
+	var cpos [probeBatchSize]int32
+	var cval [probeBatchSize]uint32
+search:
+	for budget > 0 && cand >= 0 && int(cand) >= minPos {
+		n := 0
+		for n < probeBatchSize && budget > 0 && cand >= 0 && int(cand) >= minPos {
+			cpos[n] = cand
+			cval[n] = binary.LittleEndian.Uint32(s.buf[cand:])
+			cand = s.prev[cand&ring]
+			budget--
+			n++
+		}
+		s.stats.ProbeBatches++
+		for i := 0; i < n; i++ {
+			chainSteps++
+			s.stats.ChainSteps++
+			if cval[i] != t32 {
+				s.stats.CompareBytes += 4
+				continue
+			}
+			c := int(cpos[i])
+			l := matchLen(s.buf, c, pos, maxLen)
+			s.stats.CompareBytes += int64(l)
+			if l < maxLen {
+				s.stats.CompareBytes++ // the mismatching byte was also read
+			}
+			if l > bestLen {
+				bestLen, bestDist = l, pos-c
+				if bestLen >= s.p.Nice || bestLen == maxLen {
+					break search
+				}
+			}
+		}
+	}
+	s.cdHist[chainDepthBucket(chainSteps)]++
+	if bestLen < 4 {
+		return 0, 0
+	}
+	return bestLen, bestDist
+}
+
 // drain processes every position that is safely decidable.
 func (s *StreamCompressor) drain(final bool) []token.Command {
+	if s.p.gen2() {
+		return s.drainGen2(final)
+	}
 	var cmds []token.Command
 	for {
 		avail := len(s.buf) - s.pos
@@ -218,6 +292,70 @@ func (s *StreamCompressor) drain(final bool) []token.Command {
 			cmds = append(cmds, token.Lit(s.buf[s.pos]))
 			s.stats.Literals++
 			s.pos++
+		}
+		if s.pos >= 3*s.p.Window {
+			s.slide()
+		}
+	}
+	return cmds
+}
+
+// drainGen2 is drain for generation-two configurations, mirroring
+// compressGreedyGen2 decision-for-decision: minHash-bounded probing, the
+// geometric match-skip stride (skipped positions are neither probed nor
+// inserted), and the batched 4-byte-head probe when Hash4 is set.
+func (s *StreamCompressor) drainGen2(final bool) []token.Command {
+	var cmds []token.Command
+	minHash := s.p.minHash()
+	trigger := s.p.SkipTrigger
+	for {
+		avail := len(s.buf) - s.pos
+		if avail == 0 {
+			break
+		}
+		if !final && avail < streamLookahead {
+			break
+		}
+		if avail < minHash {
+			// Only reachable when final: flush tail literals.
+			for ; s.pos < len(s.buf); s.pos++ {
+				cmds = append(cmds, token.Lit(s.buf[s.pos]))
+				s.stats.Literals++
+			}
+			break
+		}
+		var length, dist int
+		if s.p.Hash4 {
+			length, dist = s.findMatch4(s.pos)
+		} else {
+			length, dist = s.findMatch(s.pos)
+		}
+		if length > 0 {
+			s.miss = 0
+			cmds = append(cmds, token.Copy(dist, length))
+			s.stats.Matches++
+			s.stats.MatchedBytes += int64(length)
+			s.mlHist[matchLenBucket(length)]++
+			end := s.pos + length
+			if length <= s.p.InsertLimit {
+				for i := s.pos + 1; i < end && i+minHash <= len(s.buf); i++ {
+					s.insert(i)
+				}
+			}
+			s.pos = end
+		} else {
+			step := 1
+			if trigger != 0 {
+				if step = 1 + s.miss>>trigger; step > maxSkipStride {
+					step = maxSkipStride
+				}
+				s.miss++
+			}
+			for ; step > 0 && s.pos < len(s.buf); step-- {
+				cmds = append(cmds, token.Lit(s.buf[s.pos]))
+				s.stats.Literals++
+				s.pos++
+			}
 		}
 		if s.pos >= 3*s.p.Window {
 			s.slide()

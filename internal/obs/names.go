@@ -30,6 +30,10 @@ const (
 	LZSSCompareBytes = "lzss_compare_bytes_total"
 	LZSSInserts      = "lzss_inserts_total"
 	LZSSLazyEvals    = "lzss_lazy_evals_total"
+	// LZSSProbeBatches counts candidate-gather passes of the batched
+	// probe loop (generation-two hot path); zero under generation-one
+	// parameter sets.
+	LZSSProbeBatches = "lzss_probe_batches_total"
 	// LZSSMatchLen buckets emitted match lengths (3..258);
 	// LZSSChainDepth buckets candidates walked per FindMatch probe.
 	LZSSMatchLen   = "lzss_match_len"
@@ -73,6 +77,11 @@ const (
 	EngineShardBusyNs = "engine_shard_busy_ns_total"
 	EngineArenaGets   = "engine_arena_gets_total"
 	EngineArenaMisses = "engine_arena_misses_total"
+	// Shard-affinity accounting for the per-shard arenas: local hits are
+	// Gets served from the calling shard's own stack; remote gets are
+	// served by stealing (with rehoming) from another shard's stack.
+	EngineArenaLocalHits  = "engine_arena_local_hits_total"
+	EngineArenaRemoteGets = "engine_arena_remote_gets_total"
 	// EngineQueueDepth buckets the home shard's queue depth at each
 	// enqueue; EngineReorderOccupancy buckets the reorder heap size at
 	// each completion (0 means segments streamed out strictly in order).

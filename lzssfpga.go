@@ -19,6 +19,7 @@ import (
 	"context"
 	"io"
 	"net/http"
+	"sync"
 
 	"lzssfpga/internal/core"
 	"lzssfpga/internal/deflate"
@@ -55,18 +56,36 @@ func LevelParams(level Level, window int, hashBits uint) Params {
 // 4 KB dictionary, 15-bit hash, greedy matching.
 func HWSpeedParams() Params { return lzss.HWSpeedParams() }
 
+// SWFastParams is HWSpeedParams plus the generation-two software hot
+// path (4-byte hash heads, match-skip acceleration, batched probe
+// prefetch): the throughput design point for hosts that do not need the
+// hardware model's bit-identical output.
+func SWFastParams() Params { return lzss.SWFastParams() }
+
 // Command is one LZSS decompressor command (literal or copy).
 type Command = token.Command
+
+// cmdPool recycles command-stream buffers across Compress calls. The
+// command slice is an internal intermediate here (the caller only sees
+// the ZLib bytes), and on incompressible input it runs to one command
+// per byte — re-zeroing tens of megabytes per call is the single
+// largest cost of the one-shot path without this.
+var cmdPool = sync.Pool{New: func() any { return new([]token.Command) }}
 
 // Compress runs the software LZSS with parameters p and returns a
 // ZLib stream (RFC 1950, fixed-Huffman Deflate body) — the exact format
 // the paper's hardware emits.
 func Compress(data []byte, p Params) ([]byte, error) {
-	cmds, _, err := lzss.Compress(data, p)
+	bufp := cmdPool.Get().(*[]token.Command)
+	cmds, _, err := lzss.CompressAppend((*bufp)[:0], data, p)
 	if err != nil {
+		cmdPool.Put(bufp)
 		return nil, err
 	}
-	return deflate.ZlibCompress(cmds, data, p.Window)
+	z, err := deflate.ZlibCompress(cmds, data, p.Window)
+	*bufp = cmds
+	cmdPool.Put(bufp)
+	return z, err
 }
 
 // CompressCommands exposes the intermediate LZSS command stream.
