@@ -2,9 +2,9 @@
 # Repository gate: formatting, static checks, the full test suite under
 # the race detector (including the observability stress test, the
 # fault-injection matrix, the engine soak and the engine goroutine-leak
-# check, and the server e2e/drain/soak suite), a coverage floor on the
-# serving layer, a bounded fuzz pass over the hardened inflate entry
-# points and the wire-frame parser,
+# check, and the server e2e/drain/soak suite), the metric names-drift
+# guard, a coverage floor on the serving layer, a bounded fuzz pass over
+# the hardened inflate entry points and the wire-frame parser,
 # the observability overhead budget, and a fresh machine-readable
 # benchmark point — including the GOMAXPROCS scaling sweep — gated
 # against the committed previous-PR baseline (the BENCH_*.json
@@ -50,6 +50,12 @@ go test -race -run TestEngineCloseLeavesNoWorkers -count=1 ./internal/engine
 
 echo "== server e2e + drain + soak (race) =="
 go test -race -run 'TestServerE2E|TestServerDrain|TestServerSoak' -count=1 ./internal/server
+
+echo "== metric names-drift guard =="
+# Every canonical name in internal/obs/names.go must be registered by a
+# fully-enabled registry, and the serving-path families must expose no
+# metric the file does not declare (see TestMetricNamesDrift).
+go test -run TestMetricNamesDrift -count=1 .
 
 echo "== server coverage gate (>= 80%) =="
 cover=$(go test -cover -count=1 ./internal/server | awk '/coverage:/ { sub("%", "", $5); print $5 }')

@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"bytes"
 	"context"
+	"encoding/json"
 	"fmt"
 	"io"
 	"net/http"
@@ -304,6 +305,90 @@ func TestCLILzssdMetricsScrape(t *testing.T) {
 	for _, line := range strings.Split(strings.TrimSpace(text), "\n") {
 		if !strings.Contains(line, "server_") {
 			t.Fatalf("-grep server_ leaked a foreign line %q:\n%s", line, text)
+		}
+	}
+}
+
+// TestCLILzssdTraceInspectorWatch drives the PR 7 observability surface
+// through the real binaries: a request's trace ID (returned in the
+// X-Lzss-Trace-Id header) must be resolvable in /debug/requests, the
+// slow-request log must carry it, lzssmon must scrape filtered JSON
+// (-grep with -format json), and lzssmon -watch must render dashboard
+// frames with the SLO header and per-second rates.
+func TestCLILzssdTraceInspectorWatch(t *testing.T) {
+	p := startLzssd(t, "-metrics", "127.0.0.1:0", "-slowlog", "1ns")
+	if p.metrics() == "" {
+		t.Fatalf("no metrics address announced; output:\n%s", p.output())
+	}
+
+	payload := workload.Wiki(16<<10, 9)
+	resp, err := http.Post("http://"+p.httpAddr+"/compress", "application/octet-stream",
+		bytes.NewReader(payload))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body) //nolint:errcheck
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("compress: %s", resp.Status)
+	}
+	traceID := resp.Header.Get("X-Lzss-Trace-Id")
+	if traceID == "" {
+		t.Fatal("response carries no X-Lzss-Trace-Id header")
+	}
+
+	// The trace ID keys into the live inspector.
+	insp, err := http.Get("http://" + p.metrics() + "/debug/requests?fmt=json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	page, err := io.ReadAll(insp.Body)
+	insp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(page), traceID) {
+		t.Fatalf("trace %s not in /debug/requests:\n%s", traceID, page)
+	}
+
+	// ...and into the slow-request log (threshold 1ns: everything logs).
+	deadline := time.Now().Add(5 * time.Second)
+	for !strings.Contains(p.output(), "trace="+traceID) {
+		if time.Now().After(deadline) {
+			t.Fatalf("slowlog line for %s never appeared; output:\n%s", traceID, p.output())
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	// -grep composes with -format json: filtered, valid JSON.
+	out, err := exec.Command(cliBin(t, "lzssmon"),
+		"-addr", p.metrics(), "-format", "json", "-grep", "server_").Output()
+	if err != nil {
+		t.Fatalf("lzssmon -format json -grep: %v\noutput:\n%s", err, out)
+	}
+	var filtered map[string]any
+	if err := json.Unmarshal(out, &filtered); err != nil {
+		t.Fatalf("filtered /debug/vars is not valid JSON: %v\n%s", err, out)
+	}
+	if _, ok := filtered["server_requests_total"]; !ok {
+		t.Fatalf("filtered JSON missing server_requests_total:\n%s", out)
+	}
+	for key := range filtered {
+		if !strings.Contains(key, "server_") {
+			t.Fatalf("-grep server_ leaked key %q:\n%s", key, out)
+		}
+	}
+
+	// Watch mode: two frames with the SLO header; the second has rates.
+	out, err = exec.Command(cliBin(t, "lzssmon"),
+		"-addr", p.metrics(), "-watch", "150ms", "-count", "2").Output()
+	if err != nil {
+		t.Fatalf("lzssmon -watch: %v\noutput:\n%s", err, out)
+	}
+	dash := string(out)
+	for _, want := range []string{"latency p50=", "server_requests_total", "/s", "(Δ"} {
+		if !strings.Contains(dash, want) {
+			t.Fatalf("watch frames missing %q:\n%s", want, dash)
 		}
 	}
 }

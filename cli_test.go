@@ -179,7 +179,9 @@ func TestCLIExitCodes(t *testing.T) {
 		{"mon-no-addr", "lzssmon", nil, "usage: lzssmon"},
 		{"mon-unreachable", "lzssmon", []string{"-addr", "127.0.0.1:1", "-timeout", "500ms"}, "lzssmon:"},
 		{"mon-bad-format", "lzssmon", []string{"-addr", "127.0.0.1:1", "-format", "bogus"}, `unknown format "bogus"`},
-		{"mon-grep-json", "lzssmon", []string{"-addr", "127.0.0.1:1", "-format", "json", "-grep", "server_"},
+		// -grep composes with -format json since PR 7 (it filters the
+		// /debug/vars keys); only -watch still requires the prom format.
+		{"mon-watch-json", "lzssmon", []string{"-addr", "127.0.0.1:1", "-format", "json", "-watch", "1s"},
 			"cannot be combined with -format json"},
 		{"lzssd-bad-level", "lzssd", []string{"-level", "bogus"}, `unknown level "bogus"`},
 		{"lzssd-nothing-to-serve", "lzssd", []string{"-http", "", "-tcp", ""}, "nothing to serve"},

@@ -20,8 +20,15 @@
 // was answered; 1 means the drain deadline forced connections closed.
 //
 // Observability: -metrics ADDR serves the registry (Prometheus text at
-// /metrics, expvar JSON at /debug/vars, pprof at /debug/pprof/) —
-// scrape it with lzssmon, e.g. `lzssmon -addr ADDR -grep server_`.
+// /metrics, expvar JSON at /debug/vars, pprof at /debug/pprof/, the
+// live request inspector at /debug/requests) — scrape it with lzssmon,
+// e.g. `lzssmon -addr ADDR -grep server_` or watch it live with
+// `lzssmon -addr ADDR -watch 2s`. Every response carries its request's
+// trace ID (HTTP: X-Lzss-Trace-Id header; TCP: the header trace field),
+// keying into /debug/requests and the -slowlog lines: with
+// -slowlog DUR, every request slower than DUR — and every failed
+// request — logs one structured line with its trace ID and five-stage
+// latency breakdown to stderr.
 package main
 
 import (
@@ -57,6 +64,8 @@ var (
 
 	resilient = flag.Bool("resilient", false, "compress through the resilient pipeline (recovered panics, stored-block degradation)")
 	faultsArg = flag.String("faults", "", "inject seeded worker faults (e.g. \"stall=0.2,stallms=50,seed=7\"); implies -resilient")
+
+	slowLog = flag.Duration("slowlog", 0, "log requests slower than this (and every failed request) to stderr with trace ID and stage breakdown (0 disables)")
 )
 
 func main() {
@@ -84,6 +93,7 @@ func realMain() int {
 		ReadTimeout:     *readTimeout,
 		WriteTimeout:    *writeTimeout,
 		Resilient:       *resilient,
+		SlowLog:         *slowLog,
 	}
 	if *faultsArg != "" {
 		spec, err := lzssfpga.ParseFaultSpec(*faultsArg)
@@ -104,7 +114,10 @@ func realMain() int {
 		reg := lzssfpga.NewMetricsRegistry()
 		lzssfpga.EnableObservability(reg)
 		defer lzssfpga.EnableObservability(nil)
-		_, bound, err := lzssfpga.ServeMetrics(reg, *metrics)
+		insp := lzssfpga.NewRequestInspector()
+		lzssfpga.SetRequestInspector(insp)
+		defer lzssfpga.SetRequestInspector(nil)
+		_, bound, err := lzssfpga.ServeMetricsWith(reg, insp, *metrics)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "lzssd:", err)
 			return 1

@@ -1,28 +1,46 @@
 // Command lzssmon takes a one-shot snapshot of a running tool's
-// observability endpoint (a `-metrics ADDR` lzsszip or lzssbench) and
-// prints it to stdout. It is the scrape-without-Prometheus tool: point
-// it at the address, get the current counters, exit.
+// observability endpoint (a `-metrics ADDR` lzsszip, lzssbench or
+// lzssd) and prints it to stdout — or, with -watch, re-scrapes on an
+// interval and renders a compact live dashboard. It is the
+// scrape-without-Prometheus tool: point it at the address, get the
+// current counters, exit.
 //
 //	lzssmon -addr localhost:8391                  # Prometheus text format
 //	lzssmon -addr localhost:8391 -format json     # expvar-style JSON
 //	lzssmon -addr localhost:8391 -retries 5       # wait out a starting endpoint
 //	lzssmon -addr localhost:8392 -grep server_    # one metric family (e.g. lzssd's)
+//	lzssmon -addr localhost:8392 -watch 2s        # live dashboard, 2s refresh
+//	lzssmon -addr localhost:8392 -watch 1s -count 10 -grep server_
+//
+// -grep filters both output formats: Prometheus lines by metric name,
+// JSON by key. -watch mode scrapes /metrics repeatedly: counters and
+// histograms get per-second rates computed from consecutive scrapes
+// (histograms additionally a delta-average per observation), gauges
+// show their current value, and a header line surfaces the serving
+// SLO quantiles (server_latency_p50/p90/p99), in-flight requests and
+// runtime health when the endpoint exports them. When stdout is a
+// terminal each refresh redraws in place; redirected to a file the
+// frames just append.
 //
 // A failed snapshot is retried -retries times with capped exponential
 // backoff (200 ms doubling to 2 s, jittered), so the tool can be
-// pointed at an endpoint that is still coming up. Output is written to
-// stdout only after a snapshot succeeds in full — a partial body is
-// never emitted. The exit code is non-zero only once the whole retry
-// budget is exhausted, so it doubles as a liveness probe.
+// pointed at an endpoint that is still coming up; in -watch mode the
+// budget applies to consecutive failures. Output is written to stdout
+// only after a snapshot succeeds in full — a partial body is never
+// emitted. The exit code is non-zero only once the whole retry budget
+// is exhausted, so it doubles as a liveness probe.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"math/rand"
 	"net/http"
 	"os"
+	"sort"
+	"strconv"
 	"strings"
 	"time"
 )
@@ -32,7 +50,9 @@ var (
 	format  = flag.String("format", "prom", "output format: prom (/metrics text) or json (/debug/vars)")
 	timeout = flag.Duration("timeout", 2*time.Second, "HTTP timeout per snapshot attempt")
 	retries = flag.Int("retries", 0, "retry a failed snapshot this many times with capped exponential backoff")
-	grep    = flag.String("grep", "", "print only Prometheus lines whose metric name contains this substring (prom format only)")
+	grep    = flag.String("grep", "", "print only metrics whose name contains this substring (both formats)")
+	watch   = flag.Duration("watch", 0, "re-scrape every interval and render a live dashboard with rates (0 = one-shot)")
+	count   = flag.Int("count", 0, "with -watch, exit after this many scrapes (0 = until interrupted)")
 )
 
 const (
@@ -50,16 +70,13 @@ func main() {
 
 func run() error {
 	if *addr == "" {
-		return fmt.Errorf("usage: lzssmon -addr host:port [-format prom|json] [-retries N]")
+		return fmt.Errorf("usage: lzssmon -addr host:port [-format prom|json] [-retries N] [-watch DUR]")
 	}
 	var path string
 	switch *format {
 	case "prom":
 		path = "/metrics"
 	case "json":
-		if *grep != "" {
-			return fmt.Errorf("-grep filters the Prometheus text format; it cannot be combined with -format json")
-		}
 		path = "/debug/vars"
 	default:
 		return fmt.Errorf("unknown format %q (want prom or json)", *format)
@@ -69,6 +86,33 @@ func run() error {
 		target = "http://" + target
 	}
 	client := &http.Client{Timeout: *timeout}
+	if *watch > 0 {
+		if *format != "prom" {
+			return fmt.Errorf("-watch renders the Prometheus text format; it cannot be combined with -format json")
+		}
+		return runWatch(client, target)
+	}
+	body, err := snapshotRetry(client, target+path)
+	if err != nil {
+		return err
+	}
+	if *grep != "" {
+		if *format == "json" {
+			if body, err = filterJSON(body, *grep); err != nil {
+				return err
+			}
+		} else {
+			body = filterProm(body, *grep)
+		}
+	}
+	// The full body is in hand; only now touch stdout.
+	_, err = os.Stdout.Write(body)
+	return err
+}
+
+// snapshotRetry fetches one complete snapshot under the -retries budget
+// with capped, jittered exponential backoff.
+func snapshotRetry(client *http.Client, url string) ([]byte, error) {
 	rng := rand.New(rand.NewSource(time.Now().UnixNano()))
 	backoff := baseBackoff
 	var lastErr error
@@ -82,21 +126,190 @@ func run() error {
 				backoff = maxBackoff
 			}
 		}
-		body, err := snapshot(client, target+path)
+		body, err := snapshot(client, url)
 		if err != nil {
 			lastErr = err
 			continue
 		}
-		if *grep != "" {
-			body = filterProm(body, *grep)
+		return body, nil
+	}
+	return nil, fmt.Errorf("after %d attempts: %w", *retries+1, lastErr)
+}
+
+// runWatch is the dashboard loop: scrape, diff against the previous
+// scrape, render. Consecutive failures beyond the -retries budget end
+// the watch with an error (a dead endpoint should fail the probe, not
+// spin forever).
+func runWatch(client *http.Client, target string) error {
+	redraw := false
+	if fi, err := os.Stdout.Stat(); err == nil && fi.Mode()&os.ModeCharDevice != 0 {
+		redraw = true
+	}
+	var prev *promSnap
+	failures := 0
+	for i := 0; *count <= 0 || i < *count; i++ {
+		if i > 0 {
+			time.Sleep(*watch)
 		}
-		// The full body is in hand; only now touch stdout.
-		if _, err := os.Stdout.Write(body); err != nil {
+		body, err := snapshot(client, target+"/metrics")
+		if err != nil {
+			if failures++; failures > *retries {
+				return fmt.Errorf("watch: %d consecutive failed scrapes: %w", failures, err)
+			}
+			// Rates spanning an outage would be misleading; restart them.
+			prev = nil
+			continue
+		}
+		failures = 0
+		cur := parseProm(body, time.Now())
+		frame := renderDash(prev, cur, *grep)
+		if redraw {
+			// Home the cursor and clear below: an in-place refresh
+			// without scrollback spam.
+			fmt.Print("\x1b[H\x1b[2J")
+		}
+		if _, err := os.Stdout.WriteString(frame); err != nil {
 			return err
 		}
-		return nil
+		prev = cur
 	}
-	return fmt.Errorf("after %d attempts: %w", *retries+1, lastErr)
+	return nil
+}
+
+// promSnap is one parsed /metrics scrape: declared types and the
+// label-free sample values (histogram buckets are skipped; their
+// _sum/_count samples carry the aggregate).
+type promSnap struct {
+	at    time.Time
+	types map[string]string // metric name -> counter|gauge|histogram
+	vals  map[string]float64
+}
+
+// parseProm reads the subset of the Prometheus text format our
+// registry emits.
+func parseProm(body []byte, at time.Time) *promSnap {
+	s := &promSnap{at: at, types: map[string]string{}, vals: map[string]float64{}}
+	for _, line := range strings.Split(string(body), "\n") {
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.Fields(line)
+			if len(fields) >= 4 && fields[1] == "TYPE" {
+				s.types[fields[2]] = fields[3]
+			}
+			continue
+		}
+		if strings.Contains(line, "{") {
+			continue // bucket samples; _sum/_count carry the aggregate
+		}
+		name, val, ok := strings.Cut(line, " ")
+		if !ok {
+			continue
+		}
+		v, err := strconv.ParseFloat(strings.TrimSpace(val), 64)
+		if err != nil {
+			continue
+		}
+		s.vals[name] = v
+	}
+	return s
+}
+
+// histBase maps a histogram's _sum/_count sample back to its declared
+// family name ("server_latency_us_sum" -> "server_latency_us", true).
+func (s *promSnap) histBase(name string) (string, bool) {
+	for _, suffix := range []string{"_sum", "_count"} {
+		if base, found := strings.CutSuffix(name, suffix); found && s.types[base] == "histogram" {
+			return base, true
+		}
+	}
+	return name, false
+}
+
+// renderDash renders one dashboard frame: an SLO/health header when the
+// endpoint exports the serving metrics, then one row per metric family
+// (filtered by needle) with rates derived from the previous scrape.
+func renderDash(prev, cur *promSnap, needle string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "lzssmon %s  %s", *addr, cur.at.Format("15:04:05"))
+	if prev != nil {
+		fmt.Fprintf(&b, "  (Δ %s)", cur.at.Sub(prev.at).Round(time.Millisecond))
+	}
+	b.WriteByte('\n')
+	if p50, ok := cur.vals["server_latency_p50"]; ok {
+		fmt.Fprintf(&b, "latency p50=%s p90=%s p99=%s  inflight=%.0f",
+			usDur(p50), usDur(cur.vals["server_latency_p90"]), usDur(cur.vals["server_latency_p99"]),
+			cur.vals["server_inflight_requests"])
+		if g, ok := cur.vals["runtime_goroutines"]; ok {
+			fmt.Fprintf(&b, "  goroutines=%.0f heap=%s", g, mib(cur.vals["runtime_heap_bytes"]))
+		}
+		b.WriteByte('\n')
+	}
+	b.WriteByte('\n')
+
+	names := make([]string, 0, len(cur.vals))
+	for name := range cur.vals {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var dt float64
+	if prev != nil {
+		dt = cur.at.Sub(prev.at).Seconds()
+	}
+	histDone := map[string]bool{}
+	for _, name := range names {
+		base, isHist := cur.histBase(name)
+		if needle != "" && !strings.Contains(base, needle) {
+			continue
+		}
+		if isHist {
+			if histDone[base] {
+				continue
+			}
+			histDone[base] = true
+			cnt := cur.vals[base+"_count"]
+			fmt.Fprintf(&b, "%-36s count=%.0f", base, cnt)
+			if prev != nil && dt > 0 {
+				dc := cnt - prev.vals[base+"_count"]
+				fmt.Fprintf(&b, "  %s/s", trimFloat(dc/dt))
+				if dc > 0 {
+					fmt.Fprintf(&b, "  Δavg=%s", trimFloat((cur.vals[base+"_sum"]-prev.vals[base+"_sum"])/dc))
+				}
+			}
+			b.WriteByte('\n')
+			continue
+		}
+		switch cur.types[name] {
+		case "counter":
+			fmt.Fprintf(&b, "%-36s %s", name, trimFloat(cur.vals[name]))
+			if prev != nil && dt > 0 {
+				fmt.Fprintf(&b, "  %s/s", trimFloat((cur.vals[name]-prev.vals[name])/dt))
+			}
+			b.WriteByte('\n')
+		default: // gauge (or an undeclared sample: show the raw value)
+			fmt.Fprintf(&b, "%-36s %s\n", name, trimFloat(cur.vals[name]))
+		}
+	}
+	return b.String()
+}
+
+// usDur renders a microsecond quantity as a duration.
+func usDur(us float64) string {
+	return time.Duration(us * float64(time.Microsecond)).Round(time.Microsecond).String()
+}
+
+// mib renders a byte quantity as MiB.
+func mib(bytes float64) string {
+	return fmt.Sprintf("%.1fMiB", bytes/(1<<20))
+}
+
+// trimFloat renders a float with just enough precision for a dashboard.
+func trimFloat(v float64) string {
+	if v == float64(int64(v)) {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'f', 2, 64)
 }
 
 // filterProm keeps only the Prometheus text lines — samples and their
@@ -113,6 +326,36 @@ func filterProm(body []byte, needle string) []byte {
 		}
 	}
 	return []byte(out.String())
+}
+
+// filterJSON keeps only the top-level /debug/vars keys whose name
+// contains needle, re-emitted as sorted, indented JSON.
+func filterJSON(body []byte, needle string) ([]byte, error) {
+	var all map[string]json.RawMessage
+	if err := json.Unmarshal(body, &all); err != nil {
+		return nil, fmt.Errorf("parsing /debug/vars JSON: %w", err)
+	}
+	names := make([]string, 0, len(all))
+	for name := range all {
+		if strings.Contains(name, needle) {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	var out strings.Builder
+	out.WriteString("{")
+	for i, name := range names {
+		if i > 0 {
+			out.WriteString(",")
+		}
+		out.WriteString("\n")
+		key, _ := json.Marshal(name)
+		out.Write(key)
+		out.WriteString(": ")
+		out.Write(all[name])
+	}
+	out.WriteString("\n}\n")
+	return []byte(out.String()), nil
 }
 
 // promMetricName extracts the metric name a text-format line is about:

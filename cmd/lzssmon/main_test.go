@@ -1,0 +1,182 @@
+package main
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+const sampleProm = `# TYPE server_requests_total counter
+server_requests_total 120
+# TYPE server_inflight_requests gauge
+server_inflight_requests 3
+# TYPE server_latency_us histogram
+server_latency_us_bucket{le="50"} 10
+server_latency_us_bucket{le="+Inf"} 120
+server_latency_us_sum 60000
+server_latency_us_count 120
+# TYPE server_latency_p50 gauge
+server_latency_p50 480
+# TYPE server_latency_p90 gauge
+server_latency_p90 2100
+# TYPE server_latency_p99 gauge
+server_latency_p99 9500
+# TYPE runtime_goroutines gauge
+runtime_goroutines 14
+# TYPE runtime_heap_bytes gauge
+runtime_heap_bytes 3145728
+# TYPE engine_jobs_total counter
+engine_jobs_total 42
+`
+
+func TestParseProm(t *testing.T) {
+	at := time.Now()
+	s := parseProm([]byte(sampleProm), at)
+	if s.at != at {
+		t.Fatal("snapshot timestamp not carried through")
+	}
+	if s.types["server_requests_total"] != "counter" ||
+		s.types["server_latency_us"] != "histogram" ||
+		s.types["server_inflight_requests"] != "gauge" {
+		t.Fatalf("types misparsed: %v", s.types)
+	}
+	if s.vals["server_requests_total"] != 120 || s.vals["server_latency_us_sum"] != 60000 {
+		t.Fatalf("values misparsed: %v", s.vals)
+	}
+	if _, ok := s.vals[`server_latency_us_bucket{le="50"}`]; ok {
+		t.Fatal("labelled bucket samples must be skipped")
+	}
+}
+
+func TestHistBase(t *testing.T) {
+	s := parseProm([]byte(sampleProm), time.Now())
+	for name, want := range map[string]struct {
+		base   string
+		isHist bool
+	}{
+		"server_latency_us_sum":   {"server_latency_us", true},
+		"server_latency_us_count": {"server_latency_us", true},
+		"server_requests_total":   {"server_requests_total", false},
+		// _sum suffix on a non-histogram family must not fold.
+		"engine_jobs_total_sum": {"engine_jobs_total_sum", false},
+	} {
+		base, isHist := s.histBase(name)
+		if base != want.base || isHist != want.isHist {
+			t.Fatalf("histBase(%q) = (%q, %v), want (%q, %v)",
+				name, base, isHist, want.base, want.isHist)
+		}
+	}
+}
+
+func TestRenderDash(t *testing.T) {
+	prev := parseProm([]byte(sampleProm), time.Unix(100, 0))
+	cur := parseProm([]byte(strings.NewReplacer(
+		"server_requests_total 120", "server_requests_total 140",
+		"server_latency_us_sum 60000", "server_latency_us_sum 64000",
+		"server_latency_us_count 120", "server_latency_us_count 140",
+	).Replace(sampleProm)), time.Unix(102, 0))
+
+	frame := renderDash(prev, cur, "")
+	for _, want := range []string{
+		"(Δ 2s)",
+		"latency p50=480µs p90=2.1ms p99=9.5ms",
+		"inflight=3",
+		"goroutines=14 heap=3.0MiB",
+		"server_requests_total", "140", "10/s", // 20 requests over 2s
+		"server_latency_us", "count=140", "Δavg=200", // 4000µs over 20 obs
+	} {
+		if !strings.Contains(frame, want) {
+			t.Fatalf("dashboard frame missing %q:\n%s", want, frame)
+		}
+	}
+	// One row per histogram family, not one per _sum/_count sample.
+	if n := strings.Count(frame, "server_latency_us "); n != 1 {
+		t.Fatalf("histogram family rendered %d times, want 1:\n%s", n, frame)
+	}
+
+	// First frame (no previous scrape): values only, no rates.
+	first := renderDash(nil, cur, "")
+	if strings.Contains(first, "/s") || strings.Contains(first, "(Δ") {
+		t.Fatalf("first frame must not show rates:\n%s", first)
+	}
+
+	// The grep needle narrows the rows but keeps the SLO header.
+	filtered := renderDash(prev, cur, "engine_")
+	if !strings.Contains(filtered, "engine_jobs_total") ||
+		strings.Contains(filtered, "server_requests_total") {
+		t.Fatalf("grep filter not applied to dashboard rows:\n%s", filtered)
+	}
+	if !strings.Contains(filtered, "latency p50=") {
+		t.Fatalf("SLO header must survive the grep filter:\n%s", filtered)
+	}
+}
+
+func TestFilterProm(t *testing.T) {
+	out := string(filterProm([]byte(sampleProm), "server_latency_us"))
+	for _, want := range []string{
+		"# TYPE server_latency_us histogram",
+		`server_latency_us_bucket{le="50"} 10`,
+		"server_latency_us_sum 60000",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("filtered output missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "runtime_goroutines") {
+		t.Fatalf("filtered output leaked non-matching metrics:\n%s", out)
+	}
+}
+
+func TestFilterJSON(t *testing.T) {
+	body := []byte(`{"server_requests_total": 120, "engine_jobs_total": 42,
+		"server_latency_us": {"sum": 60000, "count": 120}}`)
+	out, err := filterJSON(body, "server_")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := string(out)
+	if !strings.Contains(got, `"server_requests_total": 120`) ||
+		!strings.Contains(got, `"server_latency_us"`) {
+		t.Fatalf("JSON filter dropped matching keys:\n%s", got)
+	}
+	if strings.Contains(got, "engine_jobs_total") {
+		t.Fatalf("JSON filter leaked non-matching keys:\n%s", got)
+	}
+	// Keys re-emit sorted, so the output is diffable across scrapes.
+	if strings.Index(got, "server_latency_us") > strings.Index(got, "server_requests_total") {
+		t.Fatalf("JSON filter output not sorted:\n%s", got)
+	}
+	if _, err := filterJSON([]byte("not json"), "x"); err == nil {
+		t.Fatal("invalid JSON must be an error, not empty output")
+	}
+}
+
+func TestPromMetricName(t *testing.T) {
+	for line, want := range map[string]string{
+		"# TYPE server_latency_us histogram":  "server_latency_us",
+		"# HELP server_latency_us latencies":  "server_latency_us",
+		"# arbitrary comment":                 "",
+		`server_latency_us_bucket{le="50"} 1`: "server_latency_us_bucket",
+		"server_requests_total 120":           "server_requests_total",
+	} {
+		if got := promMetricName(line); got != want {
+			t.Fatalf("promMetricName(%q) = %q, want %q", line, got, want)
+		}
+	}
+}
+
+func TestTrimFloat(t *testing.T) {
+	for v, want := range map[float64]string{
+		0: "0", 42: "42", 2.5: "2.50", 0.333: "0.33",
+	} {
+		if got := trimFloat(v); got != want {
+			t.Fatalf("trimFloat(%v) = %q, want %q", v, got, want)
+		}
+	}
+	if got := usDur(480); got != "480µs" {
+		t.Fatalf("usDur(480) = %q", got)
+	}
+	if got := mib(3145728); got != "3.0MiB" {
+		t.Fatalf("mib = %q", got)
+	}
+}

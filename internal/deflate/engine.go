@@ -122,8 +122,13 @@ type pjob struct {
 	dictLo int
 	final  bool
 	tr     *obs.Tracer
-	// submitAt is stamped just before Submit when a registry is
-	// enabled; Run turns it into the deflate_queue_wait_us histogram.
+	// rt is the request-scoped trace carried in on the driver's context
+	// (nil when the caller isn't tracing); Run credits this segment's
+	// queue wait and execution time into it.
+	rt *obs.RequestTrace
+	// submitAt is stamped just before Submit when a registry is enabled
+	// or the request is traced; Run turns it into the
+	// deflate_queue_wait_us histogram and the trace's queue_wait stage.
 	submitAt time.Time
 	adaptive bool
 
@@ -161,8 +166,11 @@ func putJobs(js *[]pjob) {
 func (j *pjob) Run(wid int) {
 	k := deflateObs.Load()
 	start := time.Now()
-	if k != nil && !j.submitAt.IsZero() {
-		k.queueWaitUs.Observe(start.Sub(j.submitAt).Microseconds())
+	if !j.submitAt.IsZero() {
+		if k != nil {
+			k.queueWaitUs.Observe(start.Sub(j.submitAt).Microseconds())
+		}
+		j.rt.AddQueueWait(start.Sub(j.submitAt))
 	}
 	var body *engine.Buf
 	var err error
@@ -179,6 +187,10 @@ func (j *pjob) Run(wid int) {
 		}
 		k.workerBusyNs.Add(time.Since(start).Nanoseconds())
 	}
+	// The compress stage of the request trace is the segment's whole
+	// residence on the worker — including resilient retries and injected
+	// stalls, which is exactly what a latency investigation needs to see.
+	j.rt.AddCompress(time.Since(start))
 	if j.adaptive && err == nil {
 		adaptiveSizer.Observe(j.hi-j.lo, time.Since(start))
 	}

@@ -185,6 +185,7 @@ func parallelCompressCore(ctx context.Context, data []byte, p lzss.Params, segme
 		workers = runtime.GOMAXPROCS(0)
 	}
 	k := deflateObs.Load()
+	rt := obs.RequestFromContext(ctx)
 	splitStart := time.Now()
 	plan := planSegments(len(data), segment)
 	hdr, err := ZlibHeader(p.Window)
@@ -232,9 +233,9 @@ func parallelCompressCore(ctx context.Context, data []byte, p lzss.Params, segme
 			*j = pjob{
 				req: r, data: data, p: p, idx: i,
 				lo: lo, hi: hi, dictLo: dictLow(lo, carry, p),
-				final: i == plan.nSeg-1, tr: tr, adaptive: plan.adaptive,
+				final: i == plan.nSeg-1, tr: tr, rt: rt, adaptive: plan.adaptive,
 			}
-			if k != nil {
+			if k != nil || rt != nil {
 				j.submitAt = time.Now()
 			}
 			return j

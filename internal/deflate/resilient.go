@@ -83,6 +83,7 @@ func ParallelCompressResilient(ctx context.Context, data []byte, p lzss.Params, 
 	}
 	plan := planSegments(len(data), o.Segment)
 	rep.Segments = plan.nSeg
+	rt := obs.RequestFromContext(ctx)
 
 	splitStart := time.Now()
 	hdr, err := ZlibHeader(p.Window)
@@ -124,11 +125,11 @@ func ParallelCompressResilient(ctx context.Context, data []byte, p lzss.Params, 
 			*j = pjob{
 				req: r, data: data, p: p, idx: i,
 				lo: lo, hi: hi, dictLo: dictLow(lo, o.Carry, p),
-				final: i == plan.nSeg-1, tr: o.Tracer, adaptive: plan.adaptive,
+				final: i == plan.nSeg-1, tr: o.Tracer, rt: rt, adaptive: plan.adaptive,
 				ctx: ctx, opts: &o, maxRetries: maxRetries,
 				retries: &retries, panics: &panics, degradeds: &degraded,
 			}
-			if k := deflateObs.Load(); k != nil {
+			if k := deflateObs.Load(); k != nil || rt != nil {
 				j.submitAt = time.Now()
 			}
 			return j

@@ -3,6 +3,8 @@ package engine
 import (
 	"context"
 	"sync"
+
+	"lzssfpga/internal/obs"
 )
 
 // Request is the per-call reorder buffer: workers complete segments in
@@ -170,6 +172,10 @@ func (e *Engine) SubmitAndStream(ctx context.Context, n, maxInflight int,
 	job func(i int, r *Request) Job, emit func(*Buf, error)) error {
 	r := NewRequest(n)
 	defer r.Release()
+	// Request-scoped tracing rides in on ctx: the engine counts the
+	// segments it executes on the caller's behalf (the deflate jobs
+	// credit their queue-wait and run time into the same record).
+	rt := obs.RequestFromContext(ctx)
 	if k := engObs.Load(); k != nil {
 		k.requests.Inc()
 	}
@@ -185,6 +191,7 @@ func (e *Engine) SubmitAndStream(ctx context.Context, n, maxInflight int,
 			submitErr = err
 			break
 		}
+		rt.AddSegment()
 		r.Submitted()
 		r.Poll(emit)
 	}

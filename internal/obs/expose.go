@@ -15,6 +15,7 @@ import (
 // samples, histograms as cumulative _bucket{le=...}/_sum/_count
 // families.
 func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.runHooks()
 	bw := bufio.NewWriter(w)
 	r.visit(
 		func(name string, c *Counter) {
@@ -47,6 +48,7 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 // histograms to {"buckets": {"<bound>": n, ..., "+Inf": n},
 // "sum": s, "count": c} with non-cumulative bucket counts.
 func (r *Registry) WriteExpvar(w io.Writer) error {
+	r.runHooks()
 	bw := bufio.NewWriter(w)
 	fmt.Fprint(bw, "{")
 	first := true
@@ -86,11 +88,18 @@ func (r *Registry) WriteExpvar(w io.Writer) error {
 
 // Handler serves the registry on one mux:
 //
-//	/metrics      Prometheus text format
-//	/debug/vars   expvar-style JSON
-//	/debug/pprof  the standard net/http/pprof pages
-//	/             a plain-text index of the above
-func Handler(r *Registry) http.Handler {
+//	/metrics          Prometheus text format
+//	/debug/vars       expvar-style JSON
+//	/debug/pprof      the standard net/http/pprof pages
+//	/                 a plain-text index of the above
+//
+// HandlerWith additionally mounts a live request inspector at
+// /debug/requests (HTML, ?fmt=json for the same data as JSON) when insp
+// is non-nil.
+func Handler(r *Registry) http.Handler { return HandlerWith(r, nil) }
+
+// HandlerWith is Handler plus the /debug/requests live inspector.
+func HandlerWith(r *Registry, insp *Inspector) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
@@ -105,12 +114,18 @@ func Handler(r *Registry) http.Handler {
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	if insp != nil {
+		mux.Handle("/debug/requests", insp)
+	}
 	mux.HandleFunc("/", func(w http.ResponseWriter, req *http.Request) {
 		if req.URL.Path != "/" {
 			http.NotFound(w, req)
 			return
 		}
 		fmt.Fprint(w, "lzssfpga metrics\n\n/metrics      Prometheus text format\n/debug/vars   expvar JSON\n/debug/pprof  pprof\n")
+		if insp != nil {
+			fmt.Fprint(w, "/debug/requests  live request inspector (?fmt=json)\n")
+		}
 	})
 	return mux
 }
@@ -118,13 +133,23 @@ func Handler(r *Registry) http.Handler {
 // Serve starts an HTTP server for Handler(r) on addr (":0" picks a free
 // port) and returns the server and the bound address. The server runs
 // until Close; callers that only live for one compression run simply
-// let process exit tear it down.
+// let process exit tear it down. Close (and Shutdown) are safe to call
+// more than once and safe while scrapes are in flight — in-flight
+// response writes fail with a closed-connection error inside the
+// handler, never a panic — and once Close returns no serve goroutine
+// remains (TestServeShutdown pins both properties).
 func Serve(r *Registry, addr string) (*http.Server, string, error) {
+	return ServeWith(r, nil, addr)
+}
+
+// ServeWith is Serve over HandlerWith: the same endpoint set plus the
+// /debug/requests live inspector when insp is non-nil.
+func ServeWith(r *Registry, insp *Inspector, addr string) (*http.Server, string, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, "", err
 	}
-	srv := &http.Server{Handler: Handler(r)}
-	go srv.Serve(ln)
+	srv := &http.Server{Handler: HandlerWith(r, insp)}
+	go srv.Serve(ln) //nolint:errcheck // returns ErrServerClosed on Close
 	return srv, ln.Addr().String(), nil
 }

@@ -135,10 +135,42 @@ const (
 	ServerResponseBytes = "server_response_bytes"
 	// ServerDrainNs is the wall time the last graceful drain took.
 	ServerDrainNs = "server_drain_duration_ns"
+	// ServerLatencyUs buckets whole-request service time (arrival to
+	// response written) in microseconds, across both fronts; the
+	// ServerStage* histograms bucket the five per-request stages of the
+	// RequestTrace taxonomy (see internal/obs reqtrace.go and
+	// docs/ARCHITECTURE.md §14) in the same unit. Their per-stage sums
+	// never exceed the total: engine-side attribution is clamped to the
+	// request's own wall time.
+	ServerLatencyUs          = "server_latency_us"
+	ServerStageSlotWaitUs    = "server_stage_slot_wait_us"
+	ServerStageQueueWaitUs   = "server_stage_queue_wait_us"
+	ServerStageCompressUs    = "server_stage_compress_us"
+	ServerStageReorderWaitUs = "server_stage_reorder_wait_us"
+	ServerStageWriteUs       = "server_stage_response_write_us"
+	// ServerLatencyP* are in-process SLO quantile estimates in
+	// microseconds, recomputed from ServerLatencyUs bucket interpolation
+	// at every scrape (Registry.OnScrape).
+	ServerLatencyP50 = "server_latency_p50"
+	ServerLatencyP90 = "server_latency_p90"
+	ServerLatencyP99 = "server_latency_p99"
+	// ServerSlowRequests counts requests over the configured slow-log
+	// threshold.
+	ServerSlowRequests = "server_slow_requests_total"
 
 	// logger_* — embedded logging frontend.
 	LoggerRecords  = "logger_records_total"
 	LoggerRawBytes = "logger_raw_bytes_total"
+
+	// runtime_* — process self-telemetry, refreshed from runtime/metrics
+	// at every scrape (see RegisterRuntime): live goroutine count, heap
+	// object bytes, and a GC pause histogram folded from the runtime's
+	// own pause distribution (bucket upper bounds mapped onto
+	// gcPauseBounds, so counts are exact and sums are upper-bound
+	// approximations).
+	RuntimeGoroutines = "runtime_goroutines"
+	RuntimeHeapBytes  = "runtime_heap_bytes"
+	RuntimeGCPauseNs  = "runtime_gc_pause_ns"
 
 	// etherlink_* — staging-link framing and the ARQ recovery layer
 	// (internal/resilience charges the last two: frames resent after a

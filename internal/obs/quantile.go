@@ -1,0 +1,48 @@
+package obs
+
+// Quantile estimates the q-quantile (0 < q < 1) of the observations a
+// histogram has seen, by linear interpolation inside the bucket the
+// rank falls into — the same estimate Prometheus's histogram_quantile()
+// computes server-side, available in-process so a bare scrape (or the
+// lzssmon dashboard) can read p50/p90/p99 as plain gauges.
+//
+// The estimate assumes observations are uniformly spread within a
+// bucket; its error is bounded by the bucket width, so bounds should be
+// chosen with the target quantiles in mind (the server latency buckets
+// are roughly logarithmic for this reason). Ranks that land in the
+// +Inf bucket clamp to the last finite bound — the histogram cannot
+// know how far beyond it the tail reaches. An empty histogram (or a
+// nil receiver, or q outside (0,1)) returns 0.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h == nil || q <= 0 || q >= 1 {
+		return 0
+	}
+	buckets := h.Buckets() // one consistent snapshot
+	total := int64(0)
+	for _, n := range buckets {
+		total += n
+	}
+	if total == 0 {
+		return 0
+	}
+	// rank is the 1-based index of the order statistic we want; q*total
+	// rounded up, the "nearest rank" definition.
+	rank := int64(q*float64(total) + 1)
+	if rank > total {
+		rank = total
+	}
+	cum := int64(0)
+	lo := float64(0)
+	for i, bound := range h.bounds {
+		n := buckets[i]
+		if cum+n >= rank {
+			hi := float64(bound)
+			// Interpolate the rank's position inside [lo, hi].
+			return lo + (hi-lo)*(float64(rank-cum)/float64(n))
+		}
+		cum += n
+		lo = float64(bound)
+	}
+	// The rank fell into +Inf: clamp to the last finite bound.
+	return lo
+}

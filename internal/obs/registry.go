@@ -18,6 +18,7 @@ type Registry struct {
 	counts map[string]*Counter
 	gauges map[string]*Gauge
 	hists  map[string]*Histogram
+	hooks  map[string]func()
 }
 
 // NewRegistry returns an empty enabled registry.
@@ -26,6 +27,51 @@ func NewRegistry() *Registry {
 		counts: make(map[string]*Counter),
 		gauges: make(map[string]*Gauge),
 		hists:  make(map[string]*Histogram),
+		hooks:  make(map[string]func()),
+	}
+}
+
+// OnScrape registers f to run before every exposition of the registry
+// (Prometheus text, expvar JSON, Snapshot) under a caller-chosen name;
+// a second registration under the same name replaces the first, and a
+// nil f removes it. Hooks derive values that only need to be current
+// when someone is looking — SLO quantile gauges interpolated from
+// latency buckets, runtime self-telemetry — without putting the
+// derivation on any request path. Hooks run outside the registry lock
+// (they update metrics through the ordinary lock-free handles) and must
+// not scrape the registry themselves. No-op on a nil registry.
+func (r *Registry) OnScrape(name string, f func()) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if f == nil {
+		delete(r.hooks, name)
+		return
+	}
+	r.hooks[name] = f
+}
+
+// runHooks runs every OnScrape hook, outside the lock, in sorted name
+// order (determinism for tests).
+func (r *Registry) runHooks() {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	names := make([]string, 0, len(r.hooks))
+	for n := range r.hooks {
+		names = append(names, n)
+	}
+	fs := make([]func(), len(names))
+	sort.Strings(names)
+	for i, n := range names {
+		fs[i] = r.hooks[n]
+	}
+	r.mu.Unlock()
+	for _, f := range fs {
+		f()
 	}
 }
 
@@ -88,6 +134,7 @@ func (r *Registry) Snapshot() map[string]float64 {
 	if r == nil {
 		return nil
 	}
+	r.runHooks()
 	out := make(map[string]float64)
 	r.mu.Lock()
 	defer r.mu.Unlock()

@@ -1,0 +1,130 @@
+package obs
+
+import (
+	"math"
+	"runtime/metrics"
+	"sync"
+)
+
+// Runtime self-telemetry: the runtime_* family is refreshed from
+// runtime/metrics at every scrape via an OnScrape hook, so a live
+// daemon's goroutine count, heap size and GC pause distribution ride
+// along in the same registry snapshot as the request metrics — no
+// second endpoint, no polling goroutine.
+
+// gcPauseBounds buckets GC pause durations in nanoseconds.
+var gcPauseBounds = []int64{
+	1_000, 10_000, 50_000, 100_000, 500_000,
+	1_000_000, 5_000_000, 10_000_000, 50_000_000, 100_000_000, 1_000_000_000,
+}
+
+// The runtime/metrics names we sample. GC pauses moved under
+// /sched/pauses in Go 1.22; the old /gc/pauses name is kept as a
+// fallback for older runtimes.
+const (
+	rmGoroutines = "/sched/goroutines:goroutines"
+	rmHeapBytes  = "/memory/classes/heap/objects:bytes"
+	rmGCPauses   = "/sched/pauses/total/gc:seconds"
+	rmGCPausesV1 = "/gc/pauses:seconds"
+)
+
+// runtimeSampler holds the registry handles and the previous GC pause
+// histogram so each refresh merges only the delta.
+type runtimeSampler struct {
+	mu         sync.Mutex // scrapes can race; samples/prevPause are shared state
+	goroutines *Gauge
+	heapBytes  *Gauge
+	gcPause    *Histogram
+
+	samples   []metrics.Sample
+	pauseName string
+	prevPause []uint64 // previous cumulative counts, runtime bucketing
+}
+
+// RegisterRuntime wires the runtime_* family into reg: the gauges and
+// histogram are registered eagerly (so exposition and the names-drift
+// guard see them immediately) and refreshed on every scrape. No-op on a
+// nil registry.
+func RegisterRuntime(reg *Registry) {
+	if reg == nil {
+		return
+	}
+	s := &runtimeSampler{
+		goroutines: reg.Gauge(RuntimeGoroutines),
+		heapBytes:  reg.Gauge(RuntimeHeapBytes),
+		gcPause:    reg.Histogram(RuntimeGCPauseNs, gcPauseBounds),
+		pauseName:  rmGCPauses,
+	}
+	// Probe which pause metric this runtime exposes.
+	probe := []metrics.Sample{{Name: rmGCPauses}}
+	metrics.Read(probe)
+	if probe[0].Value.Kind() == metrics.KindBad {
+		s.pauseName = rmGCPausesV1
+	}
+	s.samples = []metrics.Sample{
+		{Name: rmGoroutines},
+		{Name: rmHeapBytes},
+		{Name: s.pauseName},
+	}
+	s.refresh()
+	reg.OnScrape("runtime", s.refresh)
+}
+
+// refresh samples the runtime and publishes into the registry handles.
+func (s *runtimeSampler) refresh() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	metrics.Read(s.samples)
+	if v := s.samples[0].Value; v.Kind() == metrics.KindUint64 {
+		s.goroutines.Set(float64(v.Uint64()))
+	}
+	if v := s.samples[1].Value; v.Kind() == metrics.KindUint64 {
+		s.heapBytes.Set(float64(v.Uint64()))
+	}
+	if v := s.samples[2].Value; v.Kind() == metrics.KindFloat64Histogram {
+		s.mergePauses(v.Float64Histogram())
+	}
+}
+
+// mergePauses folds the delta between the runtime's cumulative pause
+// histogram and the previous refresh into the registry histogram. The
+// runtime buckets (in seconds) are mapped onto gcPauseBounds by their
+// upper edge, so counts land exactly once; each pause's duration is
+// approximated by that upper edge for the _sum (an upper bound — GC
+// pauses are diagnostics, not billing).
+func (s *runtimeSampler) mergePauses(h *metrics.Float64Histogram) {
+	if len(s.prevPause) != len(h.Counts) {
+		// First sample (or the runtime changed bucketing): swallow the
+		// history so process-lifetime pauses before observability was
+		// enabled don't land as one giant batch — and deltas from here
+		// on are exact.
+		s.prevPause = append(s.prevPause[:0], h.Counts...)
+		return
+	}
+	for i, n := range h.Counts {
+		d := int64(n - s.prevPause[i])
+		if d <= 0 {
+			continue
+		}
+		s.prevPause[i] = n
+		// The bucket's upper edge in nanoseconds; the overflow bucket
+		// falls back to its lower edge.
+		edge := h.Buckets[i+1]
+		if math.IsInf(edge, 1) {
+			edge = h.Buckets[i]
+		}
+		ns := int64(edge * 1e9)
+		s.gcPause.MergeBucket(bucketIndex(gcPauseBounds, ns), d, d*ns)
+	}
+}
+
+// bucketIndex is bucketOf over explicit bounds (len(bounds) addresses
+// the +Inf bucket).
+func bucketIndex(bounds []int64, v int64) int {
+	for i, b := range bounds {
+		if v <= b {
+			return i
+		}
+	}
+	return len(bounds)
+}

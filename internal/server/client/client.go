@@ -129,6 +129,7 @@ type TCP struct {
 	c       net.Conn
 	br      *bufio.Reader
 	maxResp int
+	lastID  string
 }
 
 // DialTCP connects to lzssd's framed TCP front. maxResp caps how large
@@ -161,6 +162,12 @@ func (t *TCP) Decompress(z []byte) ([]byte, error) {
 	return t.do(server.OpDecompress, z)
 }
 
+// LastTraceID returns the server-assigned trace ID carried by the most
+// recent response on this connection ("" before the first response, or
+// against a server predating the trace field). It keys into the
+// server's /debug/requests inspector and its slow-request log lines.
+func (t *TCP) LastTraceID() string { return t.lastID }
+
 func (t *TCP) do(op byte, data []byte) ([]byte, error) {
 	if err := server.WriteMessage(t.c, &server.Message{Op: op, Payload: data}); err != nil {
 		return nil, fmt.Errorf("sending request: %w", err)
@@ -172,6 +179,7 @@ func (t *TCP) do(op byte, data []byte) ([]byte, error) {
 	if resp.Op != server.OpResponse {
 		return nil, fmt.Errorf("%w: unexpected op %d in response", server.ErrCorrupt, resp.Op)
 	}
+	t.lastID = resp.TraceID
 	if resp.Status != server.StatusOK {
 		return nil, server.StatusErr(resp.Status, resp.Payload)
 	}

@@ -25,19 +25,27 @@ import (
 	"io"
 
 	"lzssfpga/internal/etherlink"
+	"lzssfpga/internal/obs"
 )
 
-// Wire protocol: one message is a 16-byte header followed by the
-// payload cut into etherlink frames.
+// Wire protocol: one message is a 16-byte header, an optional trace-ID
+// field, then the payload cut into etherlink frames.
 //
 //	offset  size  field
 //	0       4     magic "LZSD"
 //	4       1     version (1)
 //	5       1     op: 1=compress 2=decompress 3=response
 //	6       1     status (responses; 0 in requests)
-//	7       1     reserved, must be 0
+//	7       1     flags: bit 0 = trace-ID field present; all other
+//	              bits must be 0 (this byte was "reserved, must be 0"
+//	              before flags existed, so old peers interoperate)
 //	8       4     payload length, big-endian
-//	12      4     CRC-32 over bytes 0..11 (etherlink polynomial)
+//	12      4     CRC-32 over bytes 0..11 (etherlink polynomial),
+//	              so the flags byte is integrity-checked
+//
+// when flag bit 0 is set, obs.TraceIDLen (16) bytes of ASCII trace ID
+// follow the header. Responses carry the server-assigned request trace
+// ID here; requests normally send no trace field.
 //
 // frames follow, ceil(len/MaxChunk) of them (an empty payload is one
 // empty frame, exactly as etherlink.Segment encodes a 0-byte block):
@@ -62,6 +70,10 @@ const (
 	OpDecompress = 2
 	OpResponse   = 3
 )
+
+// flagTraceID in header byte 7 announces the fixed-width trace-ID field
+// between the header and the first frame.
+const flagTraceID = 0x01
 
 // Response status codes (header byte 6).
 const (
@@ -95,6 +107,10 @@ type Message struct {
 	Op      byte
 	Status  byte
 	Payload []byte
+	// TraceID is the request's trace ID (empty = no trace field on the
+	// wire). Non-empty IDs must be exactly obs.TraceIDLen bytes; the
+	// server stamps every response with the ID it assigned the request.
+	TraceID string
 }
 
 // AppendMessage encodes m onto dst and returns the extended slice.
@@ -102,14 +118,25 @@ func AppendMessage(dst []byte, m *Message) ([]byte, error) {
 	if len(m.Payload) > int(^uint32(0)) {
 		return nil, fmt.Errorf("server: %d-byte payload overflows the length field", len(m.Payload))
 	}
+	var flags byte
+	if m.TraceID != "" {
+		if len(m.TraceID) != obs.TraceIDLen {
+			return nil, fmt.Errorf("server: trace ID must be %d bytes, got %d", obs.TraceIDLen, len(m.TraceID))
+		}
+		flags |= flagTraceID
+	}
 	var hdr [headerLen]byte
 	copy(hdr[0:4], protocolMagic)
 	hdr[4] = protocolVer
 	hdr[5] = m.Op
 	hdr[6] = m.Status
+	hdr[7] = flags
 	binary.BigEndian.PutUint32(hdr[8:12], uint32(len(m.Payload)))
 	binary.BigEndian.PutUint32(hdr[12:16], etherlink.CRC32Update(0, hdr[0:12]))
 	dst = append(dst, hdr[:]...)
+	if flags&flagTraceID != 0 {
+		dst = append(dst, m.TraceID...)
+	}
 	frames, err := etherlink.Segment(m.Payload)
 	if err != nil {
 		return nil, err
@@ -163,8 +190,9 @@ func ReadMessage(r io.Reader, maxPayload int) (*Message, error) {
 	if op != OpCompress && op != OpDecompress && op != OpResponse {
 		return nil, corruptf("unknown op %d", op)
 	}
-	if hdr[7] != 0 {
-		return nil, corruptf("reserved header byte %d is set", hdr[7])
+	flags := hdr[7]
+	if flags&^byte(flagTraceID) != 0 {
+		return nil, corruptf("unknown header flags %#02x", flags)
 	}
 	total := binary.BigEndian.Uint32(hdr[8:12])
 	if want, got := etherlink.CRC32Update(0, hdr[0:12]), binary.BigEndian.Uint32(hdr[12:16]); want != got {
@@ -172,6 +200,14 @@ func ReadMessage(r io.Reader, maxPayload int) (*Message, error) {
 	}
 	if maxPayload >= 0 && uint64(total) > uint64(maxPayload) {
 		return nil, fmt.Errorf("%w: %w: %d-byte payload over the %d cap", ErrCorrupt, ErrTooLarge, total, maxPayload)
+	}
+	var traceID string
+	if flags&flagTraceID != 0 {
+		var tb [obs.TraceIDLen]byte
+		if _, err := io.ReadFull(r, tb[:]); err != nil {
+			return nil, fmt.Errorf("%w: truncated trace ID: %w", ErrCorrupt, io.ErrUnexpectedEOF)
+		}
+		traceID = string(tb[:])
 	}
 	nFrames := (int(total) + etherlink.MaxChunk - 1) / etherlink.MaxChunk
 	if nFrames == 0 {
@@ -206,7 +242,7 @@ func ReadMessage(r io.Reader, maxPayload int) (*Message, error) {
 	if err != nil {
 		return nil, fmt.Errorf("%w: %w", ErrCorrupt, err)
 	}
-	return &Message{Op: op, Status: hdr[6], Payload: payload}, nil
+	return &Message{Op: op, Status: hdr[6], Payload: payload, TraceID: traceID}, nil
 }
 
 // ParseMessage decodes one message from a byte slice (the fuzz entry

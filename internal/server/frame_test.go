@@ -37,13 +37,15 @@ func TestMessageRoundTrip(t *testing.T) {
 	}
 	for i, p := range payloads {
 		for _, op := range []byte{OpCompress, OpDecompress, OpResponse} {
-			m := &Message{Op: op, Status: StatusOK, Payload: p}
-			got, err := ParseMessage(encode(t, m), 1<<20)
-			if err != nil {
-				t.Fatalf("payload %d op %d: %v", i, op, err)
-			}
-			if got.Op != op || !bytes.Equal(got.Payload, p) {
-				t.Fatalf("payload %d op %d: round trip mismatch", i, op)
+			for _, traceID := range []string{"", "00f00dd00d5ca1ab"} {
+				m := &Message{Op: op, Status: StatusOK, Payload: p, TraceID: traceID}
+				got, err := ParseMessage(encode(t, m), 1<<20)
+				if err != nil {
+					t.Fatalf("payload %d op %d: %v", i, op, err)
+				}
+				if got.Op != op || !bytes.Equal(got.Payload, p) || got.TraceID != traceID {
+					t.Fatalf("payload %d op %d: round trip mismatch", i, op)
+				}
 			}
 		}
 	}
@@ -75,10 +77,22 @@ func TestParseMessageRejections(t *testing.T) {
 		{name: "bad magic", data: corrupt(func(b []byte) []byte { b[0] = 'X'; return b }), cap: 1 << 20},
 		{name: "bad version", data: corrupt(func(b []byte) []byte { b[4] = 9; return b }), cap: 1 << 20},
 		{name: "unknown op", data: corrupt(func(b []byte) []byte { b[5] = 77; return b }), cap: 1 << 20},
-		{name: "reserved byte set", data: corrupt(func(b []byte) []byte { b[7] = 1; return b }), cap: 1 << 20},
+		// Flag bit set without re-stamping the CRC: the CRC covers the
+		// flags byte, so tampering is caught even before the missing
+		// trace-ID field would be.
+		{name: "flag set without CRC", data: corrupt(func(b []byte) []byte { b[7] = 1; return b }), cap: 1 << 20},
+		{name: "unknown flag bit", data: corrupt(func(b []byte) []byte {
+			b[7] = 2
+			binary.BigEndian.PutUint32(b[12:16], etherlink.CRC32Update(0, b[0:12]))
+			return b
+		}), cap: 1 << 20},
 		{name: "header CRC mismatch", data: corrupt(func(b []byte) []byte { b[12] ^= 0xFF; return b }), cap: 1 << 20},
 		{name: "oversize length", data: big, cap: 1024, tooLarge: true},
 		{name: "truncated frame", data: valid[:len(valid)-2], cap: 1 << 20},
+		{name: "truncated trace ID", data: func() []byte {
+			b := encode(t, &Message{Op: OpResponse, Payload: []byte("traced"), TraceID: "00f00dd00d5ca1ab"})
+			return b[:headerLen+5] // cut mid trace-ID field
+		}(), cap: 1 << 20},
 		{name: "flipped frame byte", data: corrupt(func(b []byte) []byte { b[headerLen+frameHdrLen] ^= 0x01; return b }), cap: 1 << 20},
 	}
 	// Structural frame attacks need hand-built frame sections on a
@@ -210,6 +224,8 @@ func FuzzFrameParser(f *testing.F) {
 	f.Add(valid)
 	empty, _ := AppendMessage(nil, &Message{Op: OpResponse, Status: StatusBusy})
 	f.Add(empty)
+	traced, _ := AppendMessage(nil, &Message{Op: OpResponse, Payload: []byte("ok"), TraceID: "0123456789abcdef"})
+	f.Add(traced)
 	two, _ := AppendMessage(nil, &Message{Op: OpDecompress, Payload: bytes.Repeat([]byte{7}, etherlink.MaxChunk+3)})
 	f.Add(two)
 	f.Add(valid[:headerLen-1])
@@ -234,7 +250,7 @@ func FuzzFrameParser(f *testing.F) {
 		if err != nil {
 			t.Fatalf("re-parsing re-encoded message: %v", err)
 		}
-		if m2.Op != m.Op || m2.Status != m.Status || !bytes.Equal(m2.Payload, m.Payload) {
+		if m2.Op != m.Op || m2.Status != m.Status || !bytes.Equal(m2.Payload, m.Payload) || m2.TraceID != m.TraceID {
 			t.Fatal("re-encoded message decoded differently")
 		}
 	})

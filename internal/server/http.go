@@ -5,7 +5,15 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"time"
+
+	"lzssfpga/internal/obs"
 )
+
+// TraceIDHeader carries the server-assigned request trace ID on every
+// HTTP response that entered service (the same ID the TCP front carries
+// in its header trace field, and the key into /debug/requests).
+const TraceIDHeader = "X-Lzss-Trace-Id"
 
 // HTTPHandler returns the HTTP front:
 //
@@ -36,9 +44,12 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 
 // gate runs the checks shared by both POST endpoints and reads the
 // whole (cap-bounded) request body. On failure the response has been
-// written and ok is false. The engine slot is held on success; the
-// caller must release it.
-func (s *Server) gate(w http.ResponseWriter, r *http.Request) (body []byte, ok bool) {
+// written and ok is false. On success the engine slot is held (the
+// caller must release it), the trace has its slot-wait stamped and its
+// input size set, and the request is registered with the inspector —
+// requests bounced before acquiring a slot never entered service and
+// are not traced.
+func (s *Server) gate(w http.ResponseWriter, r *http.Request, rt *obs.RequestTrace) (body []byte, ok bool) {
 	if r.Method != http.MethodPost {
 		http.Error(w, "POST only", http.StatusMethodNotAllowed)
 		return nil, false
@@ -52,6 +63,7 @@ func (s *Server) gate(w http.ResponseWriter, r *http.Request) (body []byte, ok b
 		http.Error(w, ErrBusy.Error(), http.StatusTooManyRequests)
 		return nil, false
 	}
+	rt.SlotAcquired()
 	// Stage the whole request first, the way the paper's testbench
 	// stages a block in DDR2 before streaming it through the
 	// compressor. The cap turns a hostile Content-Length or an endless
@@ -73,57 +85,96 @@ func (s *Server) gate(w http.ResponseWriter, r *http.Request) (body []byte, ok b
 	if k := srvObs.Load(); k != nil {
 		k.requestBytes.Observe(int64(len(body)))
 	}
+	rt.InBytes = int64(len(body))
+	w.Header().Set(TraceIDHeader, rt.ID)
+	beginRequest(rt)
 	return body, true
 }
 
+// timedWriter accumulates each Write's wall time into the trace's
+// response_write stage. It wraps the ResponseWriter on the streaming
+// compress path, where response bytes go out from inside the engine
+// call.
+type timedWriter struct {
+	w  io.Writer
+	rt *obs.RequestTrace
+}
+
+func (t *timedWriter) Write(p []byte) (int, error) {
+	start := time.Now()
+	n, err := t.w.Write(p)
+	t.rt.AddWrite(time.Since(start))
+	return n, err
+}
+
 func (s *Server) handleCompress(w http.ResponseWriter, r *http.Request) {
-	body, ok := s.gate(w, r)
+	rt := obs.NewRequestTrace("http", "compress")
+	body, ok := s.gate(w, r, rt)
 	if !ok {
 		return
 	}
 	defer s.release()
 	w.Header().Set("Content-Type", "application/zlib")
+	ctx := obs.ContextWithRequest(r.Context(), rt)
+	svcStart := time.Now()
 	var written int64
+	var svcErr error
 	if s.cfg.Resilient {
-		out, _, err := deflateResilient(r.Context(), body, s.cfg)
+		out, _, err := deflateResilient(ctx, body, s.cfg)
 		if err != nil {
 			// Only cancellation errors here — the client is gone, there
 			// is no one to answer.
 			s.countError()
-			return
+			svcErr = err
+		} else {
+			wStart := time.Now()
+			n, werr := w.Write(out)
+			rt.AddWrite(time.Since(wStart))
+			written = int64(n)
+			svcErr = werr
 		}
-		n, _ := w.Write(out)
-		written = int64(n)
 	} else {
-		var err error
-		written, err = deflateTo(r.Context(), w, body, s.cfg)
-		if err != nil {
+		written, svcErr = deflateTo(ctx, &timedWriter{w: w, rt: rt}, body, s.cfg)
+		if svcErr != nil {
 			// Mid-stream failure: the status line is already out, so the
 			// only honest signal is an aborted response body.
 			s.countError()
-			return
 		}
 	}
-	if k := srvObs.Load(); k != nil {
-		k.responseBytes.Observe(written)
+	if svcErr == nil {
+		if k := srvObs.Load(); k != nil {
+			k.responseBytes.Observe(written)
+		}
 	}
+	rt.SetErr(svcErr)
+	s.finishRequest(rt, time.Since(svcStart), written)
 }
 
 func (s *Server) handleDecompress(w http.ResponseWriter, r *http.Request) {
-	body, ok := s.gate(w, r)
+	rt := obs.NewRequestTrace("http", "decompress")
+	body, ok := s.gate(w, r, rt)
 	if !ok {
 		return
 	}
 	defer s.release()
+	svcStart := time.Now()
 	out, err := deflateDecode(body, s.cfg.Decode)
+	// The inflate call is this request's "compress" stage (there is no
+	// engine involvement on the decompress path).
+	rt.AddCompress(time.Since(svcStart))
 	if err != nil {
 		s.countError()
+		rt.SetErr(err)
 		http.Error(w, fmt.Sprintf("%v: %v", ErrCorrupt, err), http.StatusBadRequest)
+		s.finishRequest(rt, time.Since(svcStart), 0)
 		return
 	}
 	w.Header().Set("Content-Type", "application/octet-stream")
+	wStart := time.Now()
 	w.Write(out) //nolint:errcheck
+	rt.AddWrite(time.Since(wStart))
 	if k := srvObs.Load(); k != nil {
 		k.responseBytes.Observe(int64(len(out)))
 	}
+	s.finishRequest(rt, time.Since(svcStart), int64(len(out)))
 }

@@ -3,8 +3,10 @@ package server
 import (
 	"context"
 	"errors"
+	"io"
 	"net"
 	"net/http"
+	"os"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -58,6 +60,16 @@ type Config struct {
 	// Decode bounds the /decompress path (zero selects MaxOutputBytes =
 	// 16×MaxRequestBytes capped at 1 GiB, MaxBlocks = 1<<20).
 	Decode deflate.DecodeLimits
+
+	// SlowLog, when positive, enables structured request logging: every
+	// request slower than this threshold — and every failed request —
+	// emits one logfmt line (trace ID, stage breakdown, sizes) to Log.
+	// Zero disables logging entirely.
+	SlowLog time.Duration
+	// Log receives the slow/error lines (nil with SlowLog set selects
+	// os.Stderr). Writes are serialized by the server; the writer itself
+	// need not be concurrency-safe.
+	Log io.Writer
 }
 
 // withDefaults resolves every zero field.
@@ -90,6 +102,9 @@ func (c Config) withDefaults() Config {
 		}
 		c.Decode = deflate.DecodeLimits{MaxOutputBytes: maxOut, MaxBlocks: 1 << 20}
 	}
+	if c.SlowLog > 0 && c.Log == nil {
+		c.Log = os.Stderr
+	}
 	return c
 }
 
@@ -112,6 +127,8 @@ type Server struct {
 
 	mu    sync.Mutex
 	conns map[*tcpConn]struct{}
+
+	logMu sync.Mutex // serializes slow/error log lines onto cfg.Log
 
 	draining atomic.Bool
 	closed   atomic.Bool

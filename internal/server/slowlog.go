@@ -1,0 +1,57 @@
+package server
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"lzssfpga/internal/obs"
+)
+
+// Structured slow-request and error logging: one logfmt line per
+// offending request, written only when Config.SlowLog enables it. The
+// line carries the trace ID, so an operator can go straight from a log
+// line to the matching /debug/requests entry (or grep a client-side
+// log for the same ID).
+
+// logRequest emits a line for rt when it qualifies: slower than the
+// SlowLog threshold, or failed. Disabled (SlowLog <= 0) it is one
+// branch per request.
+func (s *Server) logRequest(rt *obs.RequestTrace) {
+	if s.cfg.SlowLog <= 0 || rt == nil {
+		return
+	}
+	slow := rt.TotalNs >= s.cfg.SlowLog.Nanoseconds()
+	if slow {
+		if k := srvObs.Load(); k != nil {
+			k.slowRequests.Inc()
+		}
+	}
+	if s.cfg.Log == nil || (!slow && rt.Err == "") {
+		return
+	}
+	level := "slow"
+	if rt.Err != "" {
+		level = "error"
+	}
+	line := formatRequestLine(level, rt)
+	s.logMu.Lock()
+	s.cfg.Log.Write([]byte(line)) //nolint:errcheck // logging is best-effort
+	s.logMu.Unlock()
+}
+
+// formatRequestLine renders one logfmt line for a finalized trace.
+func formatRequestLine(level string, rt *obs.RequestTrace) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "lzssd level=%s trace=%s front=%s op=%s total=%s",
+		level, rt.ID, rt.Front, rt.Op, time.Duration(rt.TotalNs))
+	for i, name := range obs.StageNames {
+		fmt.Fprintf(&b, " %s=%s", name, time.Duration(rt.StageNs[i]))
+	}
+	fmt.Fprintf(&b, " segments=%d in=%d out=%d", rt.Segments, rt.InBytes, rt.OutBytes)
+	if rt.Err != "" {
+		fmt.Fprintf(&b, " err=%q", rt.Err)
+	}
+	b.WriteByte('\n')
+	return b.String()
+}

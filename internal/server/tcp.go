@@ -7,6 +7,8 @@ import (
 	"net"
 	"sync"
 	"time"
+
+	"lzssfpga/internal/obs"
 )
 
 // tcpConn wraps one wire-protocol connection with the drain
@@ -86,13 +88,13 @@ func (s *Server) serveConn(tc *tcpConn) {
 		msg, err := ReadMessage(br, s.cfg.MaxRequestBytes)
 		if err != nil {
 			s.countError()
-			s.writeResponse(tc, statusFor(err), []byte(err.Error())) //nolint:errcheck
+			s.writeResponse(tc, nil, statusFor(err), []byte(err.Error())) //nolint:errcheck
 			return
 		}
 		connBytes += int64(len(msg.Payload))
 		if connBytes > s.cfg.MaxConnBytes {
 			s.countError()
-			s.writeResponse(tc, StatusConnLimit, //nolint:errcheck
+			s.writeResponse(tc, nil, StatusConnLimit, //nolint:errcheck
 				[]byte(fmt.Sprintf("connection exceeded its %d-byte budget", s.cfg.MaxConnBytes)))
 			return
 		}
@@ -106,47 +108,79 @@ func (s *Server) serveConn(tc *tcpConn) {
 // response. A non-nil return closes the connection (protocol misuse or
 // a failed response write); protocol-level failures that keep the
 // connection usable (busy, corrupt decompress input) are reported to
-// the client in-band and return nil.
+// the client in-band and return nil. Every response to a well-formed
+// request carries the server-assigned trace ID; requests that acquired
+// an engine slot additionally appear in the /debug/requests inspector.
 func (s *Server) serveMessage(tc *tcpConn, msg *Message) error {
 	if msg.Op != OpCompress && msg.Op != OpDecompress {
 		s.countError()
-		s.writeResponse(tc, StatusCorrupt, []byte("unexpected op: this endpoint serves requests")) //nolint:errcheck
+		s.writeResponse(tc, nil, StatusCorrupt, []byte("unexpected op: this endpoint serves requests")) //nolint:errcheck
 		return fmt.Errorf("unexpected op %d", msg.Op)
 	}
+	op := "compress"
+	if msg.Op == OpDecompress {
+		op = "decompress"
+	}
+	rt := obs.NewRequestTrace("tcp", op)
+	rt.InBytes = int64(len(msg.Payload))
 	if !s.acquire() {
-		return s.writeResponse(tc, StatusBusy, []byte("server at capacity, retry"))
+		return s.writeResponse(tc, rt, StatusBusy, []byte("server at capacity, retry"))
 	}
 	defer s.release()
+	rt.SlotAcquired()
+	beginRequest(rt)
 	if k := srvObs.Load(); k != nil {
 		k.requestBytes.Observe(int64(len(msg.Payload)))
 	}
+	ctx := obs.ContextWithRequest(context.Background(), rt)
+	svcStart := time.Now()
 	var out []byte
 	var err error
 	switch msg.Op {
 	case OpCompress:
-		out, err = s.compress(context.Background(), msg.Payload)
+		out, err = s.compress(ctx, msg.Payload)
 		if err != nil {
 			s.countError()
-			return s.writeResponse(tc, StatusInternal, []byte(err.Error()))
+			rt.SetErr(err)
+			werr := s.writeResponse(tc, rt, StatusInternal, []byte(err.Error()))
+			s.finishRequest(rt, time.Since(svcStart), 0)
+			return werr
 		}
 	case OpDecompress:
+		decStart := time.Now()
 		out, err = s.decompress(msg.Payload)
+		rt.AddCompress(time.Since(decStart))
 		if err != nil {
 			// The client's stream was bad; the connection is fine.
 			s.countError()
-			return s.writeResponse(tc, statusFor(err), []byte(err.Error()))
+			rt.SetErr(err)
+			werr := s.writeResponse(tc, rt, statusFor(err), []byte(err.Error()))
+			s.finishRequest(rt, time.Since(svcStart), 0)
+			return werr
 		}
 	}
-	return s.writeResponse(tc, StatusOK, out)
+	werr := s.writeResponse(tc, rt, StatusOK, out)
+	rt.SetErr(werr)
+	s.finishRequest(rt, time.Since(svcStart), int64(len(out)))
+	return werr
 }
 
-// writeResponse sends one response message under the write deadline.
-func (s *Server) writeResponse(tc *tcpConn, status byte, payload []byte) error {
+// writeResponse sends one response message under the write deadline,
+// stamped with rt's trace ID (rt may be nil for protocol-level errors
+// that never had a request to trace).
+func (s *Server) writeResponse(tc *tcpConn, rt *obs.RequestTrace, status byte, payload []byte) error {
 	tc.c.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout)) //nolint:errcheck
 	if k := srvObs.Load(); k != nil {
 		k.responseBytes.Observe(int64(len(payload)))
 	}
-	if err := WriteMessage(tc.c, &Message{Op: OpResponse, Status: status, Payload: payload}); err != nil {
+	resp := &Message{Op: OpResponse, Status: status, Payload: payload}
+	if rt != nil {
+		resp.TraceID = rt.ID
+	}
+	start := time.Now()
+	err := WriteMessage(tc.c, resp)
+	rt.AddWrite(time.Since(start))
+	if err != nil {
 		s.countError()
 		return err
 	}

@@ -272,6 +272,9 @@ func EnableObservability(reg *MetricsRegistry) {
 	logger.SetObservability(reg)
 	etherlink.SetObservability(reg)
 	server.SetObservability(reg)
+	// Runtime self-telemetry (goroutines, heap, GC pauses) rides along
+	// in the same registry, refreshed at scrape time.
+	obs.RegisterRuntime(reg)
 }
 
 // ServeMetrics starts an HTTP server on addr (":0" picks a free port)
@@ -280,6 +283,30 @@ func EnableObservability(reg *MetricsRegistry) {
 // It returns the server and the bound address.
 func ServeMetrics(reg *MetricsRegistry, addr string) (*http.Server, string, error) {
 	return obs.Serve(reg, addr)
+}
+
+// RequestInspector is the live request inspector behind /debug/requests
+// (see internal/obs): the set of in-flight requests plus rings of the
+// most recent and slowest completed ones, each with its trace ID and
+// five-stage latency breakdown.
+type RequestInspector = obs.Inspector
+
+// NewRequestInspector returns an inspector with default ring sizes
+// (64 recent, 32 slowest). Wire it into the serving layer with
+// SetRequestInspector and expose it with ServeMetricsWith.
+func NewRequestInspector() *RequestInspector { return obs.NewInspector() }
+
+// SetRequestInspector points the serving layer's request tracing at in
+// (nil disables): every request that acquires an engine slot on either
+// front is registered while active and filed into the rings once its
+// response is written.
+func SetRequestInspector(in *RequestInspector) { server.SetInspector(in) }
+
+// ServeMetricsWith is ServeMetrics plus the /debug/requests live
+// request inspector (insp may be nil, which serves the metrics
+// endpoints only).
+func ServeMetricsWith(reg *MetricsRegistry, insp *RequestInspector, addr string) (*http.Server, string, error) {
+	return obs.ServeWith(reg, insp, addr)
 }
 
 // CompressParallelTraced is CompressParallel (carry=false) or

@@ -1,0 +1,102 @@
+package lzssfpga_test
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strconv"
+	"strings"
+	"testing"
+
+	"lzssfpga"
+)
+
+// TestMetricNamesDrift is the names-drift guard (ci.sh runs it as its
+// own gate): every canonical name declared in internal/obs/names.go
+// must be registered — and therefore exposed — by a fully-enabled
+// registry, and the serving-path families (server_*, engine_*,
+// runtime_*) must not expose any metric that names.go does not declare.
+// A new metric registered ad hoc, or a canonical name no code registers
+// anymore, both fail here instead of silently drifting the dashboards.
+func TestMetricNamesDrift(t *testing.T) {
+	canonical := canonicalNames(t)
+	if len(canonical) < 50 {
+		t.Fatalf("parsed only %d canonical names from names.go — parser drifted from the file shape", len(canonical))
+	}
+
+	reg := lzssfpga.NewMetricsRegistry()
+	lzssfpga.EnableObservability(reg)
+	defer lzssfpga.EnableObservability(nil)
+	// Exercise the compression path so lazily-flushed layers (matcher
+	// stats land at block granularity) have reported through their sinks
+	// too; registration itself is eager, this guards the full pipeline.
+	data := []byte(strings.Repeat("names drift guard payload ", 512))
+	z, err := lzssfpga.CompressParallel(data, lzssfpga.HWSpeedParams(), 4<<10, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := lzssfpga.Decompress(z); err != nil {
+		t.Fatal(err)
+	}
+
+	var prom strings.Builder
+	if err := reg.WritePrometheus(&prom); err != nil {
+		t.Fatal(err)
+	}
+	exposed := map[string]bool{}
+	for _, line := range strings.Split(prom.String(), "\n") {
+		fields := strings.Fields(line)
+		if len(fields) == 4 && fields[0] == "#" && fields[1] == "TYPE" {
+			exposed[fields[2]] = true
+		}
+	}
+
+	for name := range canonical {
+		if !exposed[name] {
+			t.Errorf("canonical name %s (names.go) is not registered by EnableObservability", name)
+		}
+	}
+	for name := range exposed {
+		for _, prefix := range []string{"server_", "engine_", "runtime_"} {
+			if strings.HasPrefix(name, prefix) && !canonical[name] {
+				t.Errorf("metric %s is exposed but not declared in internal/obs/names.go", name)
+			}
+		}
+	}
+}
+
+// canonicalNames parses internal/obs/names.go and returns every string
+// constant value declared there.
+func canonicalNames(t *testing.T) map[string]bool {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "internal/obs/names.go", nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := map[string]bool{}
+	for _, decl := range f.Decls {
+		gd, ok := decl.(*ast.GenDecl)
+		if !ok || gd.Tok != token.CONST {
+			continue
+		}
+		for _, spec := range gd.Specs {
+			vs, ok := spec.(*ast.ValueSpec)
+			if !ok {
+				continue
+			}
+			for _, v := range vs.Values {
+				lit, ok := v.(*ast.BasicLit)
+				if !ok || lit.Kind != token.STRING {
+					continue
+				}
+				val, err := strconv.Unquote(lit.Value)
+				if err != nil {
+					t.Fatalf("unquoting %s: %v", lit.Value, err)
+				}
+				names[val] = true
+			}
+		}
+	}
+	return names
+}
