@@ -2,7 +2,8 @@
 # Repository gate: formatting, static checks, the full test suite under
 # the race detector (including the observability stress test, the
 # fault-injection matrix, the engine soak and the engine goroutine-leak
-# check, and the server e2e/drain/soak suite), the metric names-drift
+# check, and the server e2e/drain/soak suite), the cluster kill/drain
+# chaos gate, the metric names-drift
 # guard, a coverage floor on the serving layer, a bounded fuzz pass over
 # the hardened inflate entry points and the wire-frame parser,
 # the observability overhead budget, and a fresh machine-readable
@@ -50,6 +51,13 @@ go test -race -run TestEngineCloseLeavesNoWorkers -count=1 ./internal/engine
 
 echo "== server e2e + drain + soak (race) =="
 go test -race -run 'TestServerE2E|TestServerDrain|TestServerSoak' -count=1 ./internal/server
+
+echo "== cluster chaos gate (race) =="
+# Kill one backend outright and rolling-drain another while a 4-member
+# fleet serves pipelined load: zero failed round trips, byte-exact
+# responses, retries observed, breaker open/close transitions in the
+# scrape (see TestClusterChaos).
+go test -race -run TestClusterChaos -count=1 -timeout 180s ./internal/cluster
 
 echo "== metric names-drift guard =="
 # Every canonical name in internal/obs/names.go must be registered by a

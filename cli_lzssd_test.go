@@ -258,6 +258,150 @@ func TestCLILzssdGracefulDrain(t *testing.T) {
 	}
 }
 
+// startLzssdCluster launches a routing front (-cluster) over the given
+// -backends list and waits for its tcp listener line.
+func startLzssdCluster(t *testing.T, backends string, extraArgs ...string) *lzssdProc {
+	t.Helper()
+	args := append([]string{"-cluster", "-backends", backends, "-tcp", "127.0.0.1:0"}, extraArgs...)
+	cmd := exec.Command(cliBin(t, "lzssd"), args...)
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd.Stderr = cmd.Stdout
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	p := &lzssdProc{cmd: cmd, done: make(chan error, 1), out: &bytes.Buffer{}, outMu: &sync.Mutex{}}
+	addrs := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(stdout)
+		for sc.Scan() {
+			line := sc.Text()
+			p.outMu.Lock()
+			fmt.Fprintln(p.out, line)
+			p.outMu.Unlock()
+			if a, ok := strings.CutPrefix(line, "lzssd: metrics listening on "); ok {
+				p.outMu.Lock()
+				p.metricsAddr = a
+				p.outMu.Unlock()
+			}
+			if a, ok := strings.CutPrefix(line, "lzssd: tcp listening on "); ok {
+				select {
+				case addrs <- a:
+				default:
+				}
+			}
+		}
+		p.done <- cmd.Wait()
+	}()
+	t.Cleanup(func() {
+		cmd.Process.Kill() //nolint:errcheck
+		p.wait()           //nolint:errcheck
+	})
+	select {
+	case a := <-addrs:
+		p.tcpAddr = a
+	case <-time.After(10 * time.Second):
+		t.Fatalf("cluster front did not announce its listener; output:\n%s", p.output())
+	}
+	return p
+}
+
+// TestCLILzssdClusterFront runs the routing tier through the real
+// binaries: two backend daemons, one lzssd -cluster front routing
+// pipelined framed-TCP traffic across them, the cluster_* family on
+// the front's metrics endpoint (scraped raw and as the lzssmon -watch
+// header), and a SIGTERM drain that exits 0 with the drained line.
+func TestCLILzssdClusterFront(t *testing.T) {
+	b1 := startLzssd(t, "-segment", "8192")
+	b2 := startLzssd(t, "-segment", "8192")
+	backends := fmt.Sprintf("%s/%s,%s/%s", b1.tcpAddr, b1.httpAddr, b2.tcpAddr, b2.httpAddr)
+	front := startLzssdCluster(t, backends, "-metrics", "127.0.0.1:0")
+	if !strings.Contains(front.output(), "cluster front routing across 2 backends") {
+		t.Fatalf("missing cluster banner; output:\n%s", front.output())
+	}
+
+	// Pipelined round trips through one multiplexed connection to the
+	// front, every payload byte-exact after a local re-inflate.
+	m, err := client.DialMux(front.tcpAddr, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	lim := deflate.DecodeLimits{MaxOutputBytes: 1 << 30, MaxBlocks: 1 << 20}
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	const clients = 8
+	var wg sync.WaitGroup
+	errc := make(chan error, clients)
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			data := workload.Wiki(24<<10, int64(100+i))
+			z, err := m.Compress(ctx, data)
+			if err != nil {
+				errc <- fmt.Errorf("client %d: %w", i, err)
+				return
+			}
+			got, err := deflate.ZlibDecompressLimited(z, lim)
+			if err != nil || !bytes.Equal(got, data) {
+				errc <- fmt.Errorf("client %d: round trip mismatch: %v", i, err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		if err != nil {
+			t.Fatalf("%v\nfront output:\n%s", err, front.output())
+		}
+	}
+
+	// The cluster_* family is on the front's metrics endpoint.
+	out, err := exec.Command(cliBin(t, "lzssmon"), "-addr", front.metrics(), "-grep", "cluster_").Output()
+	if err != nil {
+		t.Fatalf("lzssmon -grep cluster_: %v\noutput:\n%s", err, out)
+	}
+	text := string(out)
+	for _, want := range []string{"cluster_requests_total", "cluster_backends 2", "cluster_backends_live 2"} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("cluster scrape missing %q:\n%s", want, text)
+		}
+	}
+
+	// lzssmon -watch renders the cluster header line.
+	out, err = exec.Command(cliBin(t, "lzssmon"), "-addr", front.metrics(), "-watch", "100ms", "-count", "1").Output()
+	if err != nil {
+		t.Fatalf("lzssmon -watch: %v\noutput:\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "cluster live=2/2") {
+		t.Fatalf("watch frame missing cluster header:\n%s", out)
+	}
+
+	// SIGTERM drains the front: exit 0, drained line, listener gone.
+	if err := front.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	exited := make(chan error, 1)
+	go func() { exited <- front.wait() }()
+	select {
+	case err := <-exited:
+		if err != nil {
+			t.Fatalf("cluster front exited %v, want 0\noutput:\n%s", err, front.output())
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatalf("cluster front did not exit after SIGTERM\noutput:\n%s", front.output())
+	}
+	if out := front.output(); !strings.Contains(out, "lzssd: drained") {
+		t.Fatalf("missing drained line:\n%s", out)
+	}
+	if _, err := client.DialMux(front.tcpAddr, 0); err == nil {
+		t.Fatal("drained cluster front still accepts connections")
+	}
+}
+
 // waitForInflight polls the daemon's Prometheus endpoint until the
 // server_inflight_requests gauge reaches n.
 func waitForInflight(t *testing.T, p *lzssdProc, n int) {

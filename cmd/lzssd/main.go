@@ -19,6 +19,19 @@
 // requests, bounded by -drain. Exit code 0 means every accepted request
 // was answered; 1 means the drain deadline forced connections closed.
 //
+// Cluster mode (-cluster -backends a:8391/a:8390,b:8391/b:8390,...)
+// turns lzssd into the routing front of a fleet instead of a local
+// engine: the -tcp address serves the same framed protocol, but every
+// request is consistent-hash-routed across the named backends over
+// multiplexed connections, with per-backend circuit breakers, active
+// /healthz probing (the optional /httpaddr half of each backend spec)
+// plus passive busy/draining observation, and automatic
+// retry-on-next-ring-alternate under a capped jittered backoff.
+// SIGINT/SIGTERM drains the front exactly like a backend: stop
+// accepting, finish routed in-flight requests within -drain, exit 0
+// "drained". The cluster_* metric family rides the same -metrics
+// endpoint (lzssmon -watch renders it as a header line).
+//
 // Observability: -metrics ADDR serves the registry (Prometheus text at
 // /metrics, expvar JSON at /debug/vars, pprof at /debug/pprof/, the
 // live request inspector at /debug/requests) — scrape it with lzssmon,
@@ -41,6 +54,7 @@ import (
 	"time"
 
 	"lzssfpga"
+	"lzssfpga/internal/cluster"
 )
 
 var (
@@ -66,6 +80,9 @@ var (
 	faultsArg = flag.String("faults", "", "inject seeded worker faults (e.g. \"stall=0.2,stallms=50,seed=7\"); implies -resilient")
 
 	slowLog = flag.Duration("slowlog", 0, "log requests slower than this (and every failed request) to stderr with trace ID and stage breakdown (0 disables)")
+
+	clusterMode = flag.Bool("cluster", false, "serve -tcp as a routing front across -backends instead of compressing locally")
+	backendsArg = flag.String("backends", "", "cluster mode: comma-separated backends, each tcphost:port[/httphost:port] (the HTTP half enables active health probes)")
 )
 
 func main() {
@@ -74,6 +91,9 @@ func main() {
 }
 
 func realMain() int {
+	if *clusterMode {
+		return clusterMain()
+	}
 	params, err := level()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "lzssd:", err)
@@ -110,19 +130,10 @@ func realMain() int {
 		fmt.Fprintln(os.Stderr, "lzssd:", err)
 		return 1
 	}
-	if *metrics != "" {
-		reg := lzssfpga.NewMetricsRegistry()
-		lzssfpga.EnableObservability(reg)
-		defer lzssfpga.EnableObservability(nil)
-		insp := lzssfpga.NewRequestInspector()
-		lzssfpga.SetRequestInspector(insp)
-		defer lzssfpga.SetRequestInspector(nil)
-		_, bound, err := lzssfpga.ServeMetricsWith(reg, insp, *metrics)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "lzssd:", err)
-			return 1
-		}
-		fmt.Printf("lzssd: metrics listening on %s\n", bound)
+	if stop, ok := startMetrics(); !ok {
+		return 1
+	} else {
+		defer stop()
 	}
 	if *httpAddr != "" {
 		bound, err := srv.ListenHTTP(*httpAddr)
@@ -148,6 +159,81 @@ func realMain() int {
 	ctx, cancel := context.WithTimeout(context.Background(), *drain)
 	defer cancel()
 	if err := srv.Shutdown(ctx); err != nil {
+		fmt.Fprintln(os.Stderr, "lzssd: drain incomplete:", err)
+		return 1
+	}
+	fmt.Println("lzssd: drained")
+	return 0
+}
+
+// startMetrics wires -metrics when set: registry, request inspector
+// and the debug endpoint. ok=false means the address failed to bind
+// (the error is already printed).
+func startMetrics() (stop func(), ok bool) {
+	if *metrics == "" {
+		return func() {}, true
+	}
+	reg := lzssfpga.NewMetricsRegistry()
+	lzssfpga.EnableObservability(reg)
+	insp := lzssfpga.NewRequestInspector()
+	lzssfpga.SetRequestInspector(insp)
+	_, bound, err := lzssfpga.ServeMetricsWith(reg, insp, *metrics)
+	if err != nil {
+		lzssfpga.EnableObservability(nil)
+		lzssfpga.SetRequestInspector(nil)
+		fmt.Fprintln(os.Stderr, "lzssd:", err)
+		return nil, false
+	}
+	fmt.Printf("lzssd: metrics listening on %s\n", bound)
+	return func() {
+		lzssfpga.EnableObservability(nil)
+		lzssfpga.SetRequestInspector(nil)
+	}, true
+}
+
+// clusterMain is the -cluster entrypoint: the same framed front on
+// -tcp, but every request is routed across the -backends fleet.
+func clusterMain() int {
+	if *tcpAddr == "" {
+		fmt.Fprintln(os.Stderr, "lzssd: cluster mode serves the framed protocol: -tcp must be set")
+		return 1
+	}
+	specs, err := cluster.ParseBackends(*backendsArg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lzssd:", err)
+		return 1
+	}
+	stop, ok := startMetrics()
+	if !ok {
+		return 1
+	}
+	defer stop()
+	c, err := cluster.New(cluster.Config{Backends: specs, MaxResp: *maxBody})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lzssd:", err)
+		return 1
+	}
+	defer c.Close()
+	front := cluster.NewFront(c, cluster.FrontConfig{
+		MaxRequestBytes: *maxBody,
+		ReadTimeout:     *readTimeout,
+		WriteTimeout:    *writeTimeout,
+	})
+	bound, err := front.ListenTCP(*tcpAddr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lzssd:", err)
+		return 1
+	}
+	fmt.Printf("lzssd: cluster front routing across %d backends\n", c.Members())
+	fmt.Printf("lzssd: tcp listening on %s\n", bound)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	got := <-sig
+	fmt.Printf("lzssd: %s — draining (budget %s)\n", got, *drain)
+	ctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := front.Shutdown(ctx); err != nil {
 		fmt.Fprintln(os.Stderr, "lzssd: drain incomplete:", err)
 		return 1
 	}

@@ -18,7 +18,10 @@
 // (histograms additionally a delta-average per observation), gauges
 // show their current value, and a header line surfaces the serving
 // SLO quantiles (server_latency_p50/p90/p99), in-flight requests and
-// runtime health when the endpoint exports them. When stdout is a
+// runtime health when the endpoint exports them. Scraping a routing
+// front (lzssd -cluster) adds a cluster header line: live members over
+// configured, the failover (retry) rate, breaker open/close churn and
+// drains — the cluster_* family at a glance. When stdout is a
 // terminal each refresh redraws in place; redirected to a file the
 // frames just append.
 //
@@ -231,6 +234,10 @@ func (s *promSnap) histBase(name string) (string, bool) {
 // endpoint exports the serving metrics, then one row per metric family
 // (filtered by needle) with rates derived from the previous scrape.
 func renderDash(prev, cur *promSnap, needle string) string {
+	var dt float64
+	if prev != nil {
+		dt = cur.at.Sub(prev.at).Seconds()
+	}
 	var b strings.Builder
 	fmt.Fprintf(&b, "lzssmon %s  %s", *addr, cur.at.Format("15:04:05"))
 	if prev != nil {
@@ -246,6 +253,19 @@ func renderDash(prev, cur *promSnap, needle string) string {
 		}
 		b.WriteByte('\n')
 	}
+	if n, ok := cur.vals["cluster_backends"]; ok {
+		// Routing-tier health at a glance: live members over configured,
+		// the failover rate, breaker churn and drains so far.
+		fmt.Fprintf(&b, "cluster live=%.0f/%.0f  retries=%s",
+			cur.vals["cluster_backends_live"], n, trimFloat(cur.vals["cluster_retries_total"]))
+		if prev != nil && dt > 0 {
+			fmt.Fprintf(&b, " (%s/s)", trimFloat((cur.vals["cluster_retries_total"]-prev.vals["cluster_retries_total"])/dt))
+		}
+		fmt.Fprintf(&b, "  breaker open=%.0f close=%.0f  drains=%.0f",
+			cur.vals["cluster_breaker_opens_total"], cur.vals["cluster_breaker_closes_total"],
+			cur.vals["cluster_drains_total"])
+		b.WriteByte('\n')
+	}
 	b.WriteByte('\n')
 
 	names := make([]string, 0, len(cur.vals))
@@ -253,10 +273,6 @@ func renderDash(prev, cur *promSnap, needle string) string {
 		names = append(names, name)
 	}
 	sort.Strings(names)
-	var dt float64
-	if prev != nil {
-		dt = cur.at.Sub(prev.at).Seconds()
-	}
 	histDone := map[string]bool{}
 	for _, name := range names {
 		base, isHist := cur.histBase(name)

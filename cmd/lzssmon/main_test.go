@@ -111,6 +111,49 @@ func TestRenderDash(t *testing.T) {
 	}
 }
 
+const clusterProm = sampleProm + `# TYPE cluster_backends gauge
+cluster_backends 4
+# TYPE cluster_backends_live gauge
+cluster_backends_live 3
+# TYPE cluster_retries_total counter
+cluster_retries_total 10
+# TYPE cluster_breaker_opens_total counter
+cluster_breaker_opens_total 2
+# TYPE cluster_breaker_closes_total counter
+cluster_breaker_closes_total 1
+# TYPE cluster_drains_total counter
+cluster_drains_total 1
+`
+
+func TestRenderDashClusterHeader(t *testing.T) {
+	prev := parseProm([]byte(clusterProm), time.Unix(100, 0))
+	cur := parseProm([]byte(strings.NewReplacer(
+		"cluster_retries_total 10", "cluster_retries_total 14",
+	).Replace(clusterProm)), time.Unix(102, 0))
+
+	frame := renderDash(prev, cur, "")
+	for _, want := range []string{
+		"cluster live=3/4",
+		"retries=14 (2/s)", // 4 retries over 2s
+		"breaker open=2 close=1",
+		"drains=1",
+	} {
+		if !strings.Contains(frame, want) {
+			t.Fatalf("dashboard frame missing %q:\n%s", want, frame)
+		}
+	}
+	// The cluster header survives a grep that filters its rows out.
+	filtered := renderDash(prev, cur, "server_")
+	if !strings.Contains(filtered, "cluster live=3/4") {
+		t.Fatalf("cluster header must survive the grep filter:\n%s", filtered)
+	}
+	// No cluster metrics exported -> no cluster header.
+	plain := renderDash(nil, parseProm([]byte(sampleProm), time.Unix(100, 0)), "")
+	if strings.Contains(plain, "cluster live=") {
+		t.Fatalf("cluster header rendered without cluster metrics:\n%s", plain)
+	}
+}
+
 func TestFilterProm(t *testing.T) {
 	out := string(filterProm([]byte(sampleProm), "server_latency_us"))
 	for _, want := range []string{

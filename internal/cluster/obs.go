@@ -1,0 +1,57 @@
+package cluster
+
+import (
+	"sync/atomic"
+
+	"lzssfpga/internal/obs"
+)
+
+// clusterSink holds the registry handles of the cluster_* family. All
+// updates are per-attempt or per-transition, never per byte.
+type clusterSink struct {
+	requests  *obs.Counter
+	retries   *obs.Counter
+	exhausted *obs.Counter
+
+	breakerOpens  *obs.Counter
+	breakerProbes *obs.Counter
+	breakerCloses *obs.Counter
+
+	probes        *obs.Counter
+	probeFailures *obs.Counter
+
+	drains *obs.Counter
+
+	connsDialed   *obs.Counter
+	connsPoisoned *obs.Counter
+
+	backends     *obs.Gauge
+	backendsLive *obs.Gauge
+}
+
+var cObs atomic.Pointer[clusterSink]
+
+// SetObservability wires the package's cluster_* metrics into reg (nil
+// disables). The backends gauges are updated on membership events
+// (health flips, breaker transitions, ejections), not on a timer.
+func SetObservability(reg *obs.Registry) {
+	if reg == nil {
+		cObs.Store(nil)
+		return
+	}
+	cObs.Store(&clusterSink{
+		requests:      reg.Counter(obs.ClusterRequests),
+		retries:       reg.Counter(obs.ClusterRetries),
+		exhausted:     reg.Counter(obs.ClusterExhausted),
+		breakerOpens:  reg.Counter(obs.ClusterBreakerOpens),
+		breakerProbes: reg.Counter(obs.ClusterBreakerProbes),
+		breakerCloses: reg.Counter(obs.ClusterBreakerCloses),
+		probes:        reg.Counter(obs.ClusterProbes),
+		probeFailures: reg.Counter(obs.ClusterProbeFailures),
+		drains:        reg.Counter(obs.ClusterDrains),
+		connsDialed:   reg.Counter(obs.ClusterConnsDialed),
+		connsPoisoned: reg.Counter(obs.ClusterConnsPoisoned),
+		backends:      reg.Gauge(obs.ClusterBackends),
+		backendsLive:  reg.Gauge(obs.ClusterBackendsLive),
+	})
+}

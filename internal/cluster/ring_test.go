@@ -1,0 +1,83 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestRingOrderCoversAllMembersOnce(t *testing.T) {
+	addrs := []string{"10.0.0.1:1", "10.0.0.2:1", "10.0.0.3:1", "10.0.0.4:1", "10.0.0.5:1"}
+	r := newRing(addrs, 64)
+	for key := uint64(0); key < 1000; key += 13 {
+		order := r.order(key * 0x9E3779B97F4A7C15)
+		if len(order) != len(addrs) {
+			t.Fatalf("key %d: order has %d members, want %d", key, len(order), len(addrs))
+		}
+		seen := map[int]bool{}
+		for _, m := range order {
+			if m < 0 || m >= len(addrs) {
+				t.Fatalf("key %d: member %d out of range", key, m)
+			}
+			if seen[m] {
+				t.Fatalf("key %d: member %d repeated", key, m)
+			}
+			seen[m] = true
+		}
+	}
+}
+
+func TestRingOrderDeterministic(t *testing.T) {
+	addrs := []string{"a:1", "b:1", "c:1"}
+	r1 := newRing(addrs, 32)
+	r2 := newRing(addrs, 32)
+	for key := uint64(0); key < 100; key++ {
+		o1, o2 := r1.order(key<<32), r2.order(key<<32)
+		for i := range o1 {
+			if o1[i] != o2[i] {
+				t.Fatalf("key %d: ring order not deterministic: %v vs %v", key, o1, o2)
+			}
+		}
+	}
+}
+
+// TestRingBalance: with enough vnodes no member owns a wildly outsized
+// share of first-choice routes.
+func TestRingBalance(t *testing.T) {
+	const members = 4
+	addrs := make([]string, members)
+	for i := range addrs {
+		addrs[i] = fmt.Sprintf("10.1.2.%d:8391", i)
+	}
+	r := newRing(addrs, 64)
+	counts := make([]int, members)
+	const keys = 4096
+	for i := 0; i < keys; i++ {
+		counts[r.order(hashKey([]byte(fmt.Sprintf("request payload %d", i))))[0]]++
+	}
+	for i, n := range counts {
+		frac := float64(n) / keys
+		if frac < 0.10 || frac > 0.45 {
+			t.Fatalf("member %d owns %.0f%% of first choices (counts %v) — ring badly unbalanced", i, frac*100, counts)
+		}
+	}
+}
+
+func TestHashKeyStableAndSpread(t *testing.T) {
+	big := make([]byte, 1<<20)
+	for i := range big {
+		big[i] = byte(i)
+	}
+	if hashKey(big) != hashKey(append([]byte(nil), big...)) {
+		t.Fatal("hashKey not deterministic")
+	}
+	// Distinct payloads (including same-length ones differing only in
+	// the middle-of-prefix bytes) should spread.
+	seen := map[uint64]bool{}
+	for i := 0; i < 256; i++ {
+		p := []byte(fmt.Sprintf("payload-%03d and some trailing text", i))
+		seen[hashKey(p)] = true
+	}
+	if len(seen) < 250 {
+		t.Fatalf("only %d distinct keys from 256 payloads", len(seen))
+	}
+}

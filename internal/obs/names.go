@@ -158,6 +158,35 @@ const (
 	// threshold.
 	ServerSlowRequests = "server_slow_requests_total"
 
+	// cluster_* — the routing/balancing tier (internal/cluster): ring
+	// routing, retry-on-alternate, circuit breakers, health probing and
+	// rolling drains across a fleet of lzssd backends.
+	ClusterRequests = "cluster_requests_total"
+	// ClusterRetries counts attempts re-routed to a hash-ring alternate
+	// after a retryable failure (poisoned conn, busy, draining, open
+	// breaker); ClusterExhausted counts requests that failed every
+	// alternate in their budget.
+	ClusterRetries   = "cluster_retries_total"
+	ClusterExhausted = "cluster_exhausted_total"
+	// ClusterBackends is the configured member count; ClusterBackendsLive
+	// the subset currently routable (serving health, breaker not open).
+	ClusterBackends     = "cluster_backends"
+	ClusterBackendsLive = "cluster_backends_live"
+	// Breaker state transitions: closed→open trips, open→half-open
+	// readmission probes, and half-open→closed recoveries.
+	ClusterBreakerOpens  = "cluster_breaker_opens_total"
+	ClusterBreakerProbes = "cluster_breaker_half_open_probes_total"
+	ClusterBreakerCloses = "cluster_breaker_closes_total"
+	// Active health probing and its failures.
+	ClusterProbes        = "cluster_probes_total"
+	ClusterProbeFailures = "cluster_probe_failures_total"
+	// Rolling-drain orchestration: drains started and completed.
+	ClusterDrains = "cluster_drains_total"
+	// Connection churn toward the backends: multiplexed conns dialed and
+	// conns torn down poisoned.
+	ClusterConnsDialed   = "cluster_conns_dialed_total"
+	ClusterConnsPoisoned = "cluster_conns_poisoned_total"
+
 	// logger_* — embedded logging frontend.
 	LoggerRecords  = "logger_records_total"
 	LoggerRawBytes = "logger_raw_bytes_total"

@@ -59,6 +59,27 @@ type Policy struct {
 	Seed int64
 }
 
+// Delay returns the wait before retry round round (0-based): the
+// policy's backoff shape — BaseBackoff doubled each round, capped at
+// MaxBackoff, spread by ±JitterFrac via rng — exported so other
+// recovery loops (the cluster routing tier waits this way between
+// alternate-backend attempts) share one backoff curve instead of
+// growing their own.
+func (p Policy) Delay(rng *rand.Rand, round int) time.Duration {
+	d := p.BaseBackoff
+	for i := 0; i < round; i++ {
+		d *= 2
+		if p.MaxBackoff > 0 && d >= p.MaxBackoff {
+			d = p.MaxBackoff
+			break
+		}
+	}
+	if p.MaxBackoff > 0 && d > p.MaxBackoff {
+		d = p.MaxBackoff
+	}
+	return jitter(rng, d, p.JitterFrac)
+}
+
 // DefaultPolicy tolerates sustained 10% per-frame fault rates with
 // comfortable margin: after 8 selective-repeat rounds the chance of an
 // undelivered frame is ~1e-8 per frame.
@@ -114,7 +135,6 @@ func Transfer(ctx context.Context, data []byte, ch Channel, pol Policy) ([]byte,
 	have := make([]bool, n)
 	missing := n
 	rng := rand.New(rand.NewSource(pol.Seed))
-	backoff := pol.BaseBackoff
 	pending := frames
 	for round := 0; ; round++ {
 		stats.Rounds++
@@ -149,11 +169,8 @@ func Transfer(ctx context.Context, data []byte, ch Channel, pol Policy) ([]byte,
 		pending = resend
 		stats.Retransmits += int64(len(resend))
 		etherlink.AddRetransmits(int64(len(resend)))
-		if err := sleepCtx(ctx, jitter(rng, backoff, pol.JitterFrac)); err != nil {
+		if err := sleepCtx(ctx, pol.Delay(rng, round)); err != nil {
 			return nil, stats, err
-		}
-		if backoff *= 2; backoff > pol.MaxBackoff && pol.MaxBackoff > 0 {
-			backoff = pol.MaxBackoff
 		}
 	}
 	out, err := etherlink.Reassemble(got, len(data))

@@ -1,48 +1,84 @@
 // Package client is the Go client of the lzssd serving layer: a thin
-// HTTP client for the streaming endpoints and a framed-protocol TCP
-// client, both returning the server package's typed errors (ErrBusy,
-// ErrTooLarge, ErrCorrupt, ErrDraining) so callers can branch on the
-// failure class instead of string-matching.
+// HTTP client for the streaming endpoints, a framed-protocol TCP
+// client, and a multiplexing TCP connection (Mux) that pipelines many
+// concurrent requests on one socket. All of them return the server
+// package's typed errors (ErrBusy, ErrTooLarge, ErrCorrupt,
+// ErrDraining) so callers can branch on the failure class instead of
+// string-matching; transport failures additionally poison the
+// connection they happened on, and every call after that fails fast
+// with ErrConnPoisoned — a framing stream that errored mid-message is
+// in an unknown state, and reading on would misparse, not recover.
 package client
 
 import (
 	"bufio"
 	"bytes"
 	"context"
+	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net"
 	"net/http"
+	"strconv"
 	"strings"
 	"time"
 
 	"lzssfpga/internal/server"
 )
 
+// ErrConnPoisoned marks a framed-TCP connection whose transport state
+// is unknown: a send or receive failed partway, so message boundaries
+// are lost. Every subsequent call on the connection fails fast with an
+// error wrapping this sentinel (and, for in-flight multiplexed
+// requests, each pending call gets it too). It is a retryable failure
+// class: the request may be resent on a fresh connection — Redial — or
+// on another backend.
+var ErrConnPoisoned = errors.New("client: connection poisoned")
+
 // HTTP talks to lzssd's HTTP front.
 type HTTP struct {
 	base string
 	c    *http.Client
+
+	// attempts is the total try budget per request (1 = no retries);
+	// maxWait caps one Retry-After sleep.
+	attempts int
+	maxWait  time.Duration
 }
 
-// NewHTTP builds a client for addr ("host:port" or a full URL).
+// NewHTTP builds a client for addr ("host:port" or a full URL). By
+// default it does not retry; see SetRetry.
 func NewHTTP(addr string) *HTTP {
 	if !strings.Contains(addr, "://") {
 		addr = "http://" + addr
 	}
-	return &HTTP{base: strings.TrimRight(addr, "/"), c: &http.Client{}}
+	return &HTTP{base: strings.TrimRight(addr, "/"), c: &http.Client{}, attempts: 1, maxWait: 5 * time.Second}
+}
+
+// SetRetry makes Compress/Decompress honor the server's Retry-After
+// header: a 429 (busy) or 503 (draining) response is retried after the
+// advertised wait (capped at 5s, context-aware), up to attempts total
+// tries. attempts <= 1 disables retrying. It returns h for chaining.
+func (h *HTTP) SetRetry(attempts int) *HTTP {
+	if attempts < 1 {
+		attempts = 1
+	}
+	h.attempts = attempts
+	return h
 }
 
 // Compress round-trips data through POST /compress and returns the
 // zlib stream.
 func (h *HTTP) Compress(ctx context.Context, data []byte) ([]byte, error) {
-	return h.post(ctx, "/compress", bytes.NewReader(data))
+	return h.post(ctx, "/compress", data)
 }
 
 // CompressStream is Compress with a streaming request body (sent
 // chunked): the caller owns closing the returned response stream.
+// Streaming bodies cannot be replayed, so this path never retries.
 func (h *HTTP) CompressStream(ctx context.Context, body io.Reader) (io.ReadCloser, error) {
-	resp, err := h.do(ctx, "/compress", body)
+	resp, _, err := h.do(ctx, "/compress", body)
 	if err != nil {
 		return nil, err
 	}
@@ -52,7 +88,7 @@ func (h *HTTP) CompressStream(ctx context.Context, body io.Reader) (io.ReadClose
 // Decompress round-trips a zlib stream through POST /decompress and
 // returns the raw bytes.
 func (h *HTTP) Decompress(ctx context.Context, z []byte) ([]byte, error) {
-	return h.post(ctx, "/decompress", bytes.NewReader(z))
+	return h.post(ctx, "/decompress", z)
 }
 
 // Healthy probes GET /healthz; it returns nil while the server is
@@ -77,59 +113,140 @@ func (h *HTTP) Healthy(ctx context.Context) error {
 	return nil
 }
 
-func (h *HTTP) post(ctx context.Context, path string, body io.Reader) ([]byte, error) {
-	resp, err := h.do(ctx, path, body)
+// Health is the cluster-membership view of one backend, read from
+// GET /healthz?fmt=json.
+type Health struct {
+	// State is "serving" or "draining".
+	State string `json:"state"`
+	// Inflight is the number of requests currently holding an engine
+	// slot; MaxInflight the backpressure cap. Together they separate
+	// "busy but alive" from "draining".
+	Inflight    int `json:"inflight"`
+	MaxInflight int `json:"max_inflight"`
+}
+
+// Health probes GET /healthz?fmt=json. Unlike Healthy it succeeds on a
+// draining server (State reports it); it errors only when the probe
+// itself fails or the body is not the JSON health document.
+func (h *HTTP) Health(ctx context.Context) (Health, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, h.base+"/healthz?fmt=json", nil)
 	if err != nil {
-		return nil, err
+		return Health{}, err
+	}
+	resp, err := h.c.Do(req)
+	if err != nil {
+		return Health{}, err
 	}
 	defer resp.Body.Close()
-	out, err := io.ReadAll(resp.Body)
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 4096))
 	if err != nil {
-		return nil, fmt.Errorf("reading %s response: %w", path, err)
+		return Health{}, fmt.Errorf("healthz: reading body: %w", err)
 	}
-	return out, nil
+	var st Health
+	if err := json.Unmarshal(body, &st); err != nil {
+		return Health{}, fmt.Errorf("healthz: %s: parsing %q: %w", resp.Status, bytes.TrimSpace(body), err)
+	}
+	if st.State == "" {
+		return Health{}, fmt.Errorf("healthz: %s: no state in %q", resp.Status, bytes.TrimSpace(body))
+	}
+	return st, nil
+}
+
+// post sends one replayable request body under the retry budget.
+func (h *HTTP) post(ctx context.Context, path string, data []byte) ([]byte, error) {
+	for attempt := 1; ; attempt++ {
+		resp, retryAfter, err := h.do(ctx, path, bytes.NewReader(data))
+		if err == nil {
+			defer resp.Body.Close()
+			out, rerr := io.ReadAll(resp.Body)
+			if rerr != nil {
+				return nil, fmt.Errorf("reading %s response: %w", path, rerr)
+			}
+			return out, nil
+		}
+		if attempt >= h.attempts || retryAfter < 0 {
+			return nil, err
+		}
+		if retryAfter > h.maxWait {
+			retryAfter = h.maxWait
+		}
+		if serr := sleepCtx(ctx, retryAfter); serr != nil {
+			return nil, fmt.Errorf("%w (while honoring Retry-After: %v)", serr, err)
+		}
+	}
 }
 
 // do sends the request and maps non-200 statuses onto the typed
 // errors. The response body of a failed request is its error text.
-func (h *HTTP) do(ctx context.Context, path string, body io.Reader) (*http.Response, error) {
+// retryAfter is the server-advertised wait for a retryable rejection
+// (429 busy / 503 draining; zero when the header is absent or
+// unparsable) and -1 for everything else.
+func (h *HTTP) do(ctx context.Context, path string, body io.Reader) (resp *http.Response, retryAfter time.Duration, err error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, h.base+path, body)
 	if err != nil {
-		return nil, err
+		return nil, -1, err
 	}
 	req.Header.Set("Content-Type", "application/octet-stream")
-	resp, err := h.c.Do(req)
+	resp, err = h.c.Do(req)
 	if err != nil {
-		return nil, err
+		return nil, -1, err
 	}
 	if resp.StatusCode == http.StatusOK {
-		return resp, nil
+		return resp, -1, nil
 	}
 	detail, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
 	resp.Body.Close()
 	text := strings.TrimSpace(string(detail))
 	switch resp.StatusCode {
 	case http.StatusTooManyRequests:
-		return nil, fmt.Errorf("%w: %s", server.ErrBusy, text)
-	case http.StatusRequestEntityTooLarge:
-		return nil, fmt.Errorf("%w: %s", server.ErrTooLarge, text)
+		return nil, parseRetryAfter(resp.Header.Get("Retry-After")), fmt.Errorf("%w: %s", server.ErrBusy, text)
 	case http.StatusServiceUnavailable:
-		return nil, fmt.Errorf("%w: %s", server.ErrDraining, text)
+		return nil, parseRetryAfter(resp.Header.Get("Retry-After")), fmt.Errorf("%w: %s", server.ErrDraining, text)
+	case http.StatusRequestEntityTooLarge:
+		return nil, -1, fmt.Errorf("%w: %s", server.ErrTooLarge, text)
 	case http.StatusBadRequest:
-		return nil, fmt.Errorf("%w: %s", server.ErrCorrupt, text)
+		return nil, -1, fmt.Errorf("%w: %s", server.ErrCorrupt, text)
 	default:
-		return nil, fmt.Errorf("%s: %s: %s", path, resp.Status, text)
+		return nil, -1, fmt.Errorf("%s: %s: %s", path, resp.Status, text)
+	}
+}
+
+// parseRetryAfter reads the delay-seconds form of the header ("1",
+// "0"); the HTTP-date form and garbage both come back as 0 (retry
+// immediately rather than guess at clock skew).
+func parseRetryAfter(v string) time.Duration {
+	secs, err := strconv.Atoi(strings.TrimSpace(v))
+	if err != nil || secs < 0 {
+		return 0
+	}
+	return time.Duration(secs) * time.Second
+}
+
+// sleepCtx waits for d or until ctx is done, whichever is first.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
 	}
 }
 
 // TCP talks the framed wire protocol over one connection. Not safe for
-// concurrent use — the protocol is strictly request/response per
-// connection; open one TCP client per concurrent stream.
+// concurrent use — this client is strictly request/response per
+// connection; use Mux (or one TCP client per stream) for concurrency.
 type TCP struct {
-	c       net.Conn
-	br      *bufio.Reader
-	maxResp int
-	lastID  string
+	addr     string
+	c        net.Conn
+	br       *bufio.Reader
+	maxResp  int
+	lastID   string
+	poisoned error // first transport failure; non-nil fails all later calls fast
 }
 
 // DialTCP connects to lzssd's framed TCP front. maxResp caps how large
@@ -142,7 +259,7 @@ func DialTCP(addr string, maxResp int) (*TCP, error) {
 	if maxResp <= 0 {
 		maxResp = 1 << 30
 	}
-	return &TCP{c: c, br: bufio.NewReader(c), maxResp: maxResp}, nil
+	return &TCP{addr: addr, c: c, br: bufio.NewReader(c), maxResp: maxResp}, nil
 }
 
 // Close closes the connection.
@@ -150,6 +267,21 @@ func (t *TCP) Close() error { return t.c.Close() }
 
 // SetDeadline bounds the next round trip.
 func (t *TCP) SetDeadline(d time.Time) error { return t.c.SetDeadline(d) }
+
+// Redial replaces a (typically poisoned) connection with a fresh one
+// to the same address and clears the poison. The old connection is
+// closed; on dial failure the client keeps its previous state.
+func (t *TCP) Redial() error {
+	c, err := net.Dial("tcp", t.addr)
+	if err != nil {
+		return err
+	}
+	t.c.Close()
+	t.c = c
+	t.br = bufio.NewReader(c)
+	t.poisoned = nil
+	return nil
+}
 
 // Compress round-trips data through the wire protocol and returns the
 // zlib stream.
@@ -169,18 +301,29 @@ func (t *TCP) Decompress(z []byte) ([]byte, error) {
 func (t *TCP) LastTraceID() string { return t.lastID }
 
 func (t *TCP) do(op byte, data []byte) ([]byte, error) {
+	if t.poisoned != nil {
+		return nil, fmt.Errorf("%w: %w", ErrConnPoisoned, t.poisoned)
+	}
 	if err := server.WriteMessage(t.c, &server.Message{Op: op, Payload: data}); err != nil {
+		t.poisoned = err
 		return nil, fmt.Errorf("sending request: %w", err)
 	}
 	resp, err := server.ReadMessage(t.br, t.maxResp)
 	if err != nil {
+		// Includes ErrCorrupt rejections: a parser that bailed mid-frame
+		// leaves the stream unframed, so the connection is done either way.
+		t.poisoned = err
 		return nil, fmt.Errorf("reading response: %w", err)
 	}
 	if resp.Op != server.OpResponse {
-		return nil, fmt.Errorf("%w: unexpected op %d in response", server.ErrCorrupt, resp.Op)
+		err := fmt.Errorf("%w: unexpected op %d in response", server.ErrCorrupt, resp.Op)
+		t.poisoned = err
+		return nil, err
 	}
 	t.lastID = resp.TraceID
 	if resp.Status != server.StatusOK {
+		// An in-band protocol error: framing stayed aligned, the
+		// connection remains usable.
 		return nil, server.StatusErr(resp.Status, resp.Payload)
 	}
 	return resp.Payload, nil

@@ -36,16 +36,26 @@ import (
 //	4       1     version (1)
 //	5       1     op: 1=compress 2=decompress 3=response
 //	6       1     status (responses; 0 in requests)
-//	7       1     flags: bit 0 = trace-ID field present; all other
-//	              bits must be 0 (this byte was "reserved, must be 0"
-//	              before flags existed, so old peers interoperate)
+//	7       1     flags: bit 0 = trace-ID field present, bit 1 =
+//	              request-ID field present; all other bits must be 0
+//	              (this byte was "reserved, must be 0" before flags
+//	              existed, so old peers interoperate)
 //	8       4     payload length, big-endian
 //	12      4     CRC-32 over bytes 0..11 (etherlink polynomial),
 //	              so the flags byte is integrity-checked
 //
-// when flag bit 0 is set, obs.TraceIDLen (16) bytes of ASCII trace ID
-// follow the header. Responses carry the server-assigned request trace
-// ID here; requests normally send no trace field.
+// optional fields follow the header in flag-bit order: when flag bit 1
+// is set, a 4-byte big-endian request ID comes first; when flag bit 0
+// is set, obs.TraceIDLen (16) bytes of ASCII trace ID follow it.
+//
+// The request ID is the multiplexing key: a client that pipelines
+// concurrent requests on one connection stamps each with a distinct ID,
+// the server serves them concurrently and echoes the ID on each
+// response, and the client matches responses back to callers by ID —
+// responses may arrive in any order. Requests without the field keep
+// the strict one-at-a-time request/response discipline. Responses carry
+// the server-assigned trace ID in the trace field; requests normally
+// send no trace field.
 //
 // frames follow, ceil(len/MaxChunk) of them (an empty payload is one
 // empty frame, exactly as etherlink.Segment encodes a 0-byte block):
@@ -72,8 +82,12 @@ const (
 )
 
 // flagTraceID in header byte 7 announces the fixed-width trace-ID field
-// between the header and the first frame.
-const flagTraceID = 0x01
+// between the header and the first frame; flagReqID announces the
+// 4-byte request-ID field (the pipelining key) before it.
+const (
+	flagTraceID = 0x01
+	flagReqID   = 0x02
+)
 
 // Response status codes (header byte 6).
 const (
@@ -111,6 +125,11 @@ type Message struct {
 	// wire). Non-empty IDs must be exactly obs.TraceIDLen bytes; the
 	// server stamps every response with the ID it assigned the request.
 	TraceID string
+	// ReqID is the pipelining key, carried when HasReqID is set: a
+	// client-chosen per-request ID the server echoes on the matching
+	// response, so many requests can be in flight on one connection.
+	ReqID    uint32
+	HasReqID bool
 }
 
 // AppendMessage encodes m onto dst and returns the extended slice.
@@ -125,6 +144,9 @@ func AppendMessage(dst []byte, m *Message) ([]byte, error) {
 		}
 		flags |= flagTraceID
 	}
+	if m.HasReqID {
+		flags |= flagReqID
+	}
 	var hdr [headerLen]byte
 	copy(hdr[0:4], protocolMagic)
 	hdr[4] = protocolVer
@@ -134,6 +156,11 @@ func AppendMessage(dst []byte, m *Message) ([]byte, error) {
 	binary.BigEndian.PutUint32(hdr[8:12], uint32(len(m.Payload)))
 	binary.BigEndian.PutUint32(hdr[12:16], etherlink.CRC32Update(0, hdr[0:12]))
 	dst = append(dst, hdr[:]...)
+	if flags&flagReqID != 0 {
+		var rb [4]byte
+		binary.BigEndian.PutUint32(rb[:], m.ReqID)
+		dst = append(dst, rb[:]...)
+	}
 	if flags&flagTraceID != 0 {
 		dst = append(dst, m.TraceID...)
 	}
@@ -191,7 +218,7 @@ func ReadMessage(r io.Reader, maxPayload int) (*Message, error) {
 		return nil, corruptf("unknown op %d", op)
 	}
 	flags := hdr[7]
-	if flags&^byte(flagTraceID) != 0 {
+	if flags&^byte(flagTraceID|flagReqID) != 0 {
 		return nil, corruptf("unknown header flags %#02x", flags)
 	}
 	total := binary.BigEndian.Uint32(hdr[8:12])
@@ -200,6 +227,15 @@ func ReadMessage(r io.Reader, maxPayload int) (*Message, error) {
 	}
 	if maxPayload >= 0 && uint64(total) > uint64(maxPayload) {
 		return nil, fmt.Errorf("%w: %w: %d-byte payload over the %d cap", ErrCorrupt, ErrTooLarge, total, maxPayload)
+	}
+	var reqID uint32
+	hasReqID := flags&flagReqID != 0
+	if hasReqID {
+		var rb [4]byte
+		if _, err := io.ReadFull(r, rb[:]); err != nil {
+			return nil, fmt.Errorf("%w: truncated request ID: %w", ErrCorrupt, io.ErrUnexpectedEOF)
+		}
+		reqID = binary.BigEndian.Uint32(rb[:])
 	}
 	var traceID string
 	if flags&flagTraceID != 0 {
@@ -242,7 +278,7 @@ func ReadMessage(r io.Reader, maxPayload int) (*Message, error) {
 	if err != nil {
 		return nil, fmt.Errorf("%w: %w", ErrCorrupt, err)
 	}
-	return &Message{Op: op, Status: hdr[6], Payload: payload, TraceID: traceID}, nil
+	return &Message{Op: op, Status: hdr[6], Payload: payload, TraceID: traceID, ReqID: reqID, HasReqID: hasReqID}, nil
 }
 
 // ParseMessage decodes one message from a byte slice (the fuzz entry

@@ -38,13 +38,20 @@ func TestMessageRoundTrip(t *testing.T) {
 	for i, p := range payloads {
 		for _, op := range []byte{OpCompress, OpDecompress, OpResponse} {
 			for _, traceID := range []string{"", "00f00dd00d5ca1ab"} {
-				m := &Message{Op: op, Status: StatusOK, Payload: p, TraceID: traceID}
-				got, err := ParseMessage(encode(t, m), 1<<20)
-				if err != nil {
-					t.Fatalf("payload %d op %d: %v", i, op, err)
-				}
-				if got.Op != op || !bytes.Equal(got.Payload, p) || got.TraceID != traceID {
-					t.Fatalf("payload %d op %d: round trip mismatch", i, op)
+				for _, reqID := range []struct {
+					has bool
+					id  uint32
+				}{{false, 0}, {true, 0}, {true, 0xDEADBEEF}} {
+					m := &Message{Op: op, Status: StatusOK, Payload: p, TraceID: traceID,
+						ReqID: reqID.id, HasReqID: reqID.has}
+					got, err := ParseMessage(encode(t, m), 1<<20)
+					if err != nil {
+						t.Fatalf("payload %d op %d: %v", i, op, err)
+					}
+					if got.Op != op || !bytes.Equal(got.Payload, p) || got.TraceID != traceID ||
+						got.HasReqID != reqID.has || got.ReqID != reqID.id {
+						t.Fatalf("payload %d op %d: round trip mismatch", i, op)
+					}
 				}
 			}
 		}
@@ -82,7 +89,7 @@ func TestParseMessageRejections(t *testing.T) {
 		// trace-ID field would be.
 		{name: "flag set without CRC", data: corrupt(func(b []byte) []byte { b[7] = 1; return b }), cap: 1 << 20},
 		{name: "unknown flag bit", data: corrupt(func(b []byte) []byte {
-			b[7] = 2
+			b[7] = 4
 			binary.BigEndian.PutUint32(b[12:16], etherlink.CRC32Update(0, b[0:12]))
 			return b
 		}), cap: 1 << 20},
@@ -92,6 +99,10 @@ func TestParseMessageRejections(t *testing.T) {
 		{name: "truncated trace ID", data: func() []byte {
 			b := encode(t, &Message{Op: OpResponse, Payload: []byte("traced"), TraceID: "00f00dd00d5ca1ab"})
 			return b[:headerLen+5] // cut mid trace-ID field
+		}(), cap: 1 << 20},
+		{name: "truncated request ID", data: func() []byte {
+			b := encode(t, &Message{Op: OpResponse, Payload: []byte("piped"), ReqID: 7, HasReqID: true})
+			return b[:headerLen+2] // cut mid request-ID field
 		}(), cap: 1 << 20},
 		{name: "flipped frame byte", data: corrupt(func(b []byte) []byte { b[headerLen+frameHdrLen] ^= 0x01; return b }), cap: 1 << 20},
 	}
@@ -226,6 +237,8 @@ func FuzzFrameParser(f *testing.F) {
 	f.Add(empty)
 	traced, _ := AppendMessage(nil, &Message{Op: OpResponse, Payload: []byte("ok"), TraceID: "0123456789abcdef"})
 	f.Add(traced)
+	piped, _ := AppendMessage(nil, &Message{Op: OpResponse, Payload: []byte("ok"), TraceID: "0123456789abcdef", ReqID: 0xC0FFEE, HasReqID: true})
+	f.Add(piped)
 	two, _ := AppendMessage(nil, &Message{Op: OpDecompress, Payload: bytes.Repeat([]byte{7}, etherlink.MaxChunk+3)})
 	f.Add(two)
 	f.Add(valid[:headerLen-1])
@@ -250,7 +263,8 @@ func FuzzFrameParser(f *testing.F) {
 		if err != nil {
 			t.Fatalf("re-parsing re-encoded message: %v", err)
 		}
-		if m2.Op != m.Op || m2.Status != m.Status || !bytes.Equal(m2.Payload, m.Payload) || m2.TraceID != m.TraceID {
+		if m2.Op != m.Op || m2.Status != m.Status || !bytes.Equal(m2.Payload, m.Payload) || m2.TraceID != m.TraceID ||
+			m2.ReqID != m.ReqID || m2.HasReqID != m.HasReqID {
 			t.Fatal("re-encoded message decoded differently")
 		}
 	})

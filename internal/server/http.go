@@ -34,7 +34,28 @@ func (s *Server) HTTPHandler() http.Handler {
 	return mux
 }
 
-func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+// handleHealthz answers liveness probes. The plain form is the
+// original two-state contract, byte-identical for existing callers:
+// 200 "ok" while serving, 503 "draining" once the drain has begun.
+// ?fmt=json adds the cluster-membership view — the drain state plus
+// the in-flight gauge against its cap — so a routing tier can tell
+// "busy but alive" (route around softly) from "draining" (eject until
+// the node restarts). The JSON form keeps the same status codes, so a
+// prober that only looks at the code still works.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Query().Get("fmt") == "json" {
+		state := "serving"
+		code := http.StatusOK
+		if s.draining.Load() {
+			state = "draining"
+			code = http.StatusServiceUnavailable
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(code)
+		fmt.Fprintf(w, "{\"state\":%q,\"inflight\":%d,\"max_inflight\":%d}\n",
+			state, s.inflight.Load(), s.cfg.MaxInflight)
+		return
+	}
 	if s.draining.Load() {
 		http.Error(w, "draining", http.StatusServiceUnavailable)
 		return

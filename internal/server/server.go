@@ -40,6 +40,11 @@ type Config struct {
 	// fronts; beyond it requests bounce immediately with HTTP 429 /
 	// StatusBusy rather than queueing (0 selects 2×GOMAXPROCS, floor 4).
 	MaxInflight int
+	// MaxPipelined bounds how many pipelined requests (wire messages
+	// carrying the request-ID field) one TCP connection may hold in
+	// flight; beyond it further pipelined requests on that connection
+	// bounce with StatusBusy (0 selects 32).
+	MaxPipelined int
 
 	// ReadTimeout bounds both the idle wait for a request and the
 	// receive of one full message; WriteTimeout bounds writing one full
@@ -88,6 +93,9 @@ func (c Config) withDefaults() Config {
 		if c.MaxInflight < 4 {
 			c.MaxInflight = 4
 		}
+	}
+	if c.MaxPipelined <= 0 {
+		c.MaxPipelined = 32
 	}
 	if c.ReadTimeout <= 0 {
 		c.ReadTimeout = 30 * time.Second

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"lzssfpga/internal/obs"
@@ -20,6 +21,22 @@ import (
 // could shorten the deadline of a message already half-read.
 type tcpConn struct {
 	c net.Conn
+
+	// wmu serializes response writes: pipelined requests complete
+	// concurrently, and a response message must never interleave with
+	// another one's bytes on the socket.
+	wmu sync.Mutex
+	// reqWG tracks pipelined requests in flight on this connection;
+	// the read loop waits for it before the connection is dropped, so
+	// a drain (or a client that stops sending) never cuts off a
+	// response already being computed. pipelined is the same set as a
+	// count, bounding how many goroutines one connection can hold.
+	reqWG     sync.WaitGroup
+	pipelined atomic.Int64
+	// broken marks the connection poisoned server-side (a response
+	// write failed, or a pipelined request hit protocol misuse): the
+	// read loop stops accepting further requests.
+	broken atomic.Bool
 
 	mu        sync.Mutex
 	receiving bool
@@ -69,34 +86,74 @@ func (tc *tcpConn) poke() {
 // the client closes, an error ends the conversation, the connection's
 // lifetime byte budget runs out, or the drain catches the connection
 // at an idle point.
+//
+// A request carrying the wire request-ID field is pipelined: it is
+// served on its own goroutine while the loop goes straight back to
+// reading, so one connection holds many requests in flight and
+// responses (stamped with the matching ID) go out in completion order.
+// Requests without the field keep the strict serve-then-read sequence,
+// so responses stay in request order for old clients.
 func (s *Server) serveConn(tc *tcpConn) {
 	defer s.connWG.Done()
 	defer s.dropConn(tc)
+	// Flush in-flight pipelined responses before the connection drops
+	// (defers run last-in first-out).
+	defer tc.reqWG.Wait()
 	br := bufio.NewReader(tc.c)
 	var connBytes int64
 	for {
 		if s.draining.Load() && br.Buffered() == 0 {
 			return
 		}
+		if tc.broken.Load() {
+			return
+		}
 		tc.beginIdle(s.cfg.ReadTimeout)
 		if _, err := br.Peek(1); err != nil {
 			// Idle timeout, drain poke, or the client closed — all end
-			// the conversation without a response in flight.
+			// the conversation without a request half-read.
 			return
 		}
 		tc.beginReceive(s.cfg.ReadTimeout)
 		msg, err := ReadMessage(br, s.cfg.MaxRequestBytes)
 		if err != nil {
 			s.countError()
-			s.writeResponse(tc, nil, statusFor(err), []byte(err.Error())) //nolint:errcheck
+			s.writeResponse(tc, nil, nil, statusFor(err), []byte(err.Error())) //nolint:errcheck
 			return
 		}
 		connBytes += int64(len(msg.Payload))
 		if connBytes > s.cfg.MaxConnBytes {
 			s.countError()
-			s.writeResponse(tc, nil, StatusConnLimit, //nolint:errcheck
+			s.writeResponse(tc, nil, msg, StatusConnLimit, //nolint:errcheck
 				[]byte(fmt.Sprintf("connection exceeded its %d-byte budget", s.cfg.MaxConnBytes)))
 			return
+		}
+		if msg.HasReqID {
+			if tc.pipelined.Load() >= int64(s.cfg.MaxPipelined) {
+				// Per-connection pipelining cap: bounce like the global
+				// backpressure gate does — an immediate retryable busy,
+				// not an invisible queue of goroutines.
+				if k := srvObs.Load(); k != nil {
+					k.busyRejects.Inc()
+				}
+				s.writeResponse(tc, nil, msg, StatusBusy, //nolint:errcheck
+					[]byte(fmt.Sprintf("connection exceeded its %d-request pipeline budget", s.cfg.MaxPipelined)))
+				continue
+			}
+			tc.pipelined.Add(1)
+			tc.reqWG.Add(1)
+			go func(m *Message) {
+				defer tc.reqWG.Done()
+				defer tc.pipelined.Add(-1)
+				if err := s.serveMessage(tc, m); err != nil {
+					// The connection is unusable (failed response write
+					// or protocol misuse): stop the read loop and wake it
+					// if it is parked.
+					tc.broken.Store(true)
+					tc.poke()
+				}
+			}(msg)
+			continue
 		}
 		if err := s.serveMessage(tc, msg); err != nil {
 			return
@@ -114,7 +171,7 @@ func (s *Server) serveConn(tc *tcpConn) {
 func (s *Server) serveMessage(tc *tcpConn, msg *Message) error {
 	if msg.Op != OpCompress && msg.Op != OpDecompress {
 		s.countError()
-		s.writeResponse(tc, nil, StatusCorrupt, []byte("unexpected op: this endpoint serves requests")) //nolint:errcheck
+		s.writeResponse(tc, nil, msg, StatusCorrupt, []byte("unexpected op: this endpoint serves requests")) //nolint:errcheck
 		return fmt.Errorf("unexpected op %d", msg.Op)
 	}
 	op := "compress"
@@ -124,7 +181,7 @@ func (s *Server) serveMessage(tc *tcpConn, msg *Message) error {
 	rt := obs.NewRequestTrace("tcp", op)
 	rt.InBytes = int64(len(msg.Payload))
 	if !s.acquire() {
-		return s.writeResponse(tc, rt, StatusBusy, []byte("server at capacity, retry"))
+		return s.writeResponse(tc, rt, msg, StatusBusy, []byte("server at capacity, retry"))
 	}
 	defer s.release()
 	rt.SlotAcquired()
@@ -142,7 +199,7 @@ func (s *Server) serveMessage(tc *tcpConn, msg *Message) error {
 		if err != nil {
 			s.countError()
 			rt.SetErr(err)
-			werr := s.writeResponse(tc, rt, StatusInternal, []byte(err.Error()))
+			werr := s.writeResponse(tc, rt, msg, StatusInternal, []byte(err.Error()))
 			s.finishRequest(rt, time.Since(svcStart), 0)
 			return werr
 		}
@@ -154,12 +211,12 @@ func (s *Server) serveMessage(tc *tcpConn, msg *Message) error {
 			// The client's stream was bad; the connection is fine.
 			s.countError()
 			rt.SetErr(err)
-			werr := s.writeResponse(tc, rt, statusFor(err), []byte(err.Error()))
+			werr := s.writeResponse(tc, rt, msg, statusFor(err), []byte(err.Error()))
 			s.finishRequest(rt, time.Since(svcStart), 0)
 			return werr
 		}
 	}
-	werr := s.writeResponse(tc, rt, StatusOK, out)
+	werr := s.writeResponse(tc, rt, msg, StatusOK, out)
 	rt.SetErr(werr)
 	s.finishRequest(rt, time.Since(svcStart), int64(len(out)))
 	return werr
@@ -167,9 +224,11 @@ func (s *Server) serveMessage(tc *tcpConn, msg *Message) error {
 
 // writeResponse sends one response message under the write deadline,
 // stamped with rt's trace ID (rt may be nil for protocol-level errors
-// that never had a request to trace).
-func (s *Server) writeResponse(tc *tcpConn, rt *obs.RequestTrace, status byte, payload []byte) error {
-	tc.c.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout)) //nolint:errcheck
+// that never had a request to trace) and with req's request ID when
+// the request was pipelined (req may be nil when the header never
+// parsed). The per-connection write lock keeps concurrently completing
+// pipelined responses from interleaving on the socket.
+func (s *Server) writeResponse(tc *tcpConn, rt *obs.RequestTrace, req *Message, status byte, payload []byte) error {
 	if k := srvObs.Load(); k != nil {
 		k.responseBytes.Observe(int64(len(payload)))
 	}
@@ -177,8 +236,15 @@ func (s *Server) writeResponse(tc *tcpConn, rt *obs.RequestTrace, status byte, p
 	if rt != nil {
 		resp.TraceID = rt.ID
 	}
+	if req != nil && req.HasReqID {
+		resp.ReqID = req.ReqID
+		resp.HasReqID = true
+	}
 	start := time.Now()
+	tc.wmu.Lock()
+	tc.c.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout)) //nolint:errcheck
 	err := WriteMessage(tc.c, resp)
+	tc.wmu.Unlock()
 	rt.AddWrite(time.Since(start))
 	if err != nil {
 		s.countError()

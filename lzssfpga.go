@@ -21,6 +21,7 @@ import (
 	"net/http"
 	"sync"
 
+	"lzssfpga/internal/cluster"
 	"lzssfpga/internal/core"
 	"lzssfpga/internal/deflate"
 	"lzssfpga/internal/engine"
@@ -259,7 +260,8 @@ func NewTracer() *Tracer { return obs.NewTracer() }
 
 // EnableObservability points every instrumented layer (lzss matcher,
 // deflate pipeline + streaming writer, compression engine, hardware
-// cycle model, logger, etherlink) at reg. Pass nil to disable again.
+// cycle model, logger, etherlink, serving layer, cluster routing tier)
+// at reg. Pass nil to disable again.
 // Instrumentation is compiled in but batched: hot loops count locally
 // and flush deltas at block/segment granularity, so the enabled
 // overhead on the compression hot path stays under 2%
@@ -272,6 +274,7 @@ func EnableObservability(reg *MetricsRegistry) {
 	logger.SetObservability(reg)
 	etherlink.SetObservability(reg)
 	server.SetObservability(reg)
+	cluster.SetObservability(reg)
 	// Runtime self-telemetry (goroutines, heap, GC pauses) rides along
 	// in the same registry, refreshed at scrape time.
 	obs.RegisterRuntime(reg)

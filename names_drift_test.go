@@ -57,7 +57,7 @@ func TestMetricNamesDrift(t *testing.T) {
 		}
 	}
 	for name := range exposed {
-		for _, prefix := range []string{"server_", "engine_", "runtime_"} {
+		for _, prefix := range []string{"server_", "engine_", "runtime_", "cluster_"} {
 			if strings.HasPrefix(name, prefix) && !canonical[name] {
 				t.Errorf("metric %s is exposed but not declared in internal/obs/names.go", name)
 			}
