@@ -127,6 +127,18 @@ func (b *breaker) success() {
 	}
 }
 
+// cancelProbe releases a half-open probe that ended without a verdict
+// (the caller's context expired mid-flight, so the outcome says nothing
+// about the backend). The probe slot reopens for a later request; no
+// success or failure is counted and no state transition fires. Without
+// this release a cancelled probe would leave probing set forever and
+// the member unroutable until restart.
+func (b *breaker) cancelProbe() {
+	b.mu.Lock()
+	b.probing = false
+	b.mu.Unlock()
+}
+
 // failure reports a failed request: transport errors, busy and
 // draining rejections all count. Threshold consecutive failures trip a
 // closed breaker; a failed half-open probe re-opens immediately with a

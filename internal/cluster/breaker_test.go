@@ -116,6 +116,39 @@ func TestBreakerHalfOpenSingleProbe(t *testing.T) {
 	}
 }
 
+// TestBreakerCancelProbeReleasesSlot: a half-open probe that ends with
+// no verdict (caller context expired) must release the probe slot —
+// otherwise probing stays set forever and the breaker never admits
+// another request (the member would be unroutable until restart).
+func TestBreakerCancelProbeReleasesSlot(t *testing.T) {
+	clk := newFakeClock()
+	var trans []string
+	b := testBreaker(clk, &trans)
+	for i := 0; i < 3; i++ {
+		b.failure()
+	}
+	clk.advance(101 * time.Millisecond)
+	if !b.allow() {
+		t.Fatal("expired open breaker rejected the half-open probe")
+	}
+	// The probe's context expires: no success, no failure.
+	b.cancelProbe()
+	if got := b.State(); got != BreakerHalfOpen {
+		t.Fatalf("cancelled probe changed state to %s, want half-open", got)
+	}
+	if !b.allow() {
+		t.Fatal("breaker wedged: no new probe admitted after a cancelled one")
+	}
+	b.success()
+	if got := b.State(); got != BreakerClosed {
+		t.Fatalf("replacement probe's success: state %s, want closed", got)
+	}
+	want := []string{"closed->open", "open->half-open", "half-open->closed"}
+	if fmt.Sprint(trans) != fmt.Sprint(want) {
+		t.Fatalf("transitions %v, want %v (cancelProbe must not fire one)", trans, want)
+	}
+}
+
 func TestBreakerReopenDoublesIntervalCapped(t *testing.T) {
 	clk := newFakeClock()
 	b := testBreaker(clk, nil)

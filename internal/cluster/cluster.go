@@ -475,7 +475,11 @@ func (c *Cluster) try(ctx context.Context, m *member, op byte, payload []byte) (
 		c.recount()
 		return nil, traceID, err, true
 	case ctx.Err() != nil && errors.Is(err, ctx.Err()):
-		// The caller's deadline, not the backend's fault.
+		// The caller's deadline, not the backend's fault — no breaker
+		// verdict either way. But if this request held the half-open
+		// probe slot it must release it, or the breaker stays wedged
+		// with probing set and the member is unroutable forever.
+		m.br.cancelProbe()
 		return nil, traceID, err, false
 	default:
 		// In-band deterministic rejection (corrupt input, over-cap
@@ -561,10 +565,16 @@ func (c *Cluster) DrainOne(ctx context.Context, i int, drainFn func(ctx context.
 		}
 	}
 	m.closeConn()
+	err := drainFn(ctx, i, m.spec)
 	if m.hc != nil {
+		// Readmission arms only after drainFn returns: a probe that lands
+		// while the drain is still in progress would see the member's
+		// last pre-drain "serving" answer and readmit it before it ever
+		// went down — letting RollingDrain move on with two members out
+		// of rotation at once. probeOnce issues a fresh probe each tick,
+		// so once awaiting is set every serving observation is current.
 		m.awaiting.Store(true)
 	}
-	err := drainFn(ctx, i, m.spec)
 	if m.hc == nil {
 		// No probe path: trust the drain function's completion as the
 		// restart signal.

@@ -323,6 +323,109 @@ func TestDrainOnePassiveReadmit(t *testing.T) {
 	}
 }
 
+// TestHalfOpenProbeCtxExpiryNoWedge: a caller deadline expiring during
+// the half-open probe must release the probe slot. Before the fix the
+// probe never resolved (try's ctx branch skipped the breaker verdict),
+// probing stayed set forever, and the member was unroutable until
+// process restart.
+func TestHalfOpenProbeCtxExpiryNoWedge(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	var hang atomic.Bool
+	stop := make(chan struct{})
+	defer close(stop)
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			if !hang.Load() {
+				conn.Close() // slam: a transport failure trips the breaker
+				continue
+			}
+			go func(c net.Conn) { // hold the conn open, answer nothing
+				defer c.Close()
+				<-stop
+			}(conn)
+		}
+	}()
+
+	c := newTestCluster(t, []BackendSpec{{TCP: ln.Addr().String()}}, func(cfg *Config) {
+		cfg.Retry.MaxRetries = 0
+		cfg.BreakerThreshold = 1
+		cfg.BreakerOpenFor = 20 * time.Millisecond
+	})
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if _, err := c.Compress(ctx, []byte("slammed")); err == nil {
+		t.Fatal("request against the slamming backend succeeded")
+	}
+	if got := c.members[0].br.State(); got != BreakerOpen {
+		t.Fatalf("breaker state %s, want open", got)
+	}
+	hang.Store(true)
+	time.Sleep(25 * time.Millisecond) // let the open interval lapse
+
+	short, scancel := context.WithTimeout(ctx, 100*time.Millisecond)
+	defer scancel()
+	if _, err := c.Compress(short, []byte("probe that will time out")); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("want ctx deadline, got %v", err)
+	}
+	if !c.members[0].br.allow() {
+		t.Fatal("breaker wedged: half-open slot never released after the probe's ctx expired")
+	}
+}
+
+// TestDrainOneNoEarlyReadmission: while drainFn is still running the
+// backend may well still answer probes as "serving" — those probes must
+// NOT readmit the ejected member, or RollingDrain would move on with
+// two members out of rotation at once. Readmission arms only after
+// drainFn returns.
+func TestDrainOneNoEarlyReadmission(t *testing.T) {
+	backs := []*testBackend{newTestBackend(t), newTestBackend(t)}
+	specs := []BackendSpec{backs[0].spec(), backs[1].spec()}
+	c := newTestCluster(t, specs, func(cfg *Config) {
+		cfg.ProbeInterval = 20 * time.Millisecond
+		cfg.ProbeTimeout = 500 * time.Millisecond
+	})
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	proceed := make(chan struct{})
+	done := make(chan error, 1)
+	go func() {
+		done <- c.DrainOne(ctx, 1, func(ctx context.Context, i int, spec BackendSpec) error {
+			<-proceed // hold the drain open while probes land
+			if err := backs[i].current().Shutdown(ctx); err != nil {
+				return err
+			}
+			backs[i].restart()
+			return nil
+		})
+	}()
+	// Several probe ticks observe the still-serving, not-yet-drained
+	// backend; none of them may readmit it.
+	time.Sleep(150 * time.Millisecond)
+	if !c.members[1].ejected.Load() {
+		t.Fatal("probe readmitted the member while its drain was still in progress")
+	}
+	close(proceed)
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(15 * time.Second)
+	for c.members[1].ejected.Load() {
+		if time.Now().After(deadline) {
+			t.Fatal("drained member never readmitted by the probe loop")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
 // TestFrontRoutesPipelined: the cluster front speaks the same framed
 // protocol as lzssd itself — a multiplexed client pipelines concurrent
 // requests through it, each routed across the fleet and answered

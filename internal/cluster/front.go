@@ -197,8 +197,12 @@ func (f *Front) serveConn(nc net.Conn) {
 		}
 		if msg.HasReqID {
 			if fc.pipelined.Load() >= int64(f.cfg.MaxPipelined) {
-				f.writeResponse(fc, msg, server.StatusBusy, //nolint:errcheck
-					[]byte(fmt.Sprintf("connection exceeded its %d-request pipeline budget", f.cfg.MaxPipelined)))
+				// A failed bounce write leaves the outbound stream desynced
+				// mid-message: stop reading, like any failed response write.
+				if err := f.writeResponse(fc, msg, server.StatusBusy,
+					[]byte(fmt.Sprintf("connection exceeded its %d-request pipeline budget", f.cfg.MaxPipelined))); err != nil {
+					return
+				}
 				continue
 			}
 			fc.pipelined.Add(1)

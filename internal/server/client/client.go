@@ -304,21 +304,25 @@ func (t *TCP) do(op byte, data []byte) ([]byte, error) {
 	if t.poisoned != nil {
 		return nil, fmt.Errorf("%w: %w", ErrConnPoisoned, t.poisoned)
 	}
+	// Every poisoning path wraps ErrConnPoisoned on the FIRST failure
+	// too (not just subsequent fail-fast calls), so the failing caller
+	// can classify it as the retryable poisoned-connection class — the
+	// same contract Mux's poisonAll gives its in-flight callers.
 	if err := server.WriteMessage(t.c, &server.Message{Op: op, Payload: data}); err != nil {
 		t.poisoned = err
-		return nil, fmt.Errorf("sending request: %w", err)
+		return nil, fmt.Errorf("%w: sending request: %w", ErrConnPoisoned, err)
 	}
 	resp, err := server.ReadMessage(t.br, t.maxResp)
 	if err != nil {
 		// Includes ErrCorrupt rejections: a parser that bailed mid-frame
 		// leaves the stream unframed, so the connection is done either way.
 		t.poisoned = err
-		return nil, fmt.Errorf("reading response: %w", err)
+		return nil, fmt.Errorf("%w: reading response: %w", ErrConnPoisoned, err)
 	}
 	if resp.Op != server.OpResponse {
 		err := fmt.Errorf("%w: unexpected op %d in response", server.ErrCorrupt, resp.Op)
 		t.poisoned = err
-		return nil, err
+		return nil, fmt.Errorf("%w: %w", ErrConnPoisoned, err)
 	}
 	t.lastID = resp.TraceID
 	if resp.Status != server.StatusOK {

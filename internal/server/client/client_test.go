@@ -114,8 +114,10 @@ func TestTCPPoisonAndRedial(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer c.Close()
-	if _, err := c.Compress([]byte("doomed")); err == nil {
-		t.Fatal("compress against a slammed connection succeeded")
+	// The FIRST failing call already carries the retryable class, like
+	// Mux gives its in-flight callers — not just the fail-fast ones.
+	if _, err := c.Compress([]byte("doomed")); !errors.Is(err, ErrConnPoisoned) {
+		t.Fatalf("first transport failure: want ErrConnPoisoned, got %v", err)
 	}
 	// The connection is now poisoned: calls fail fast without touching
 	// the socket.
@@ -176,6 +178,9 @@ func TestTCPDeadlineMidFrame(t *testing.T) {
 	// either way).
 	if !errors.Is(err, server.ErrCorrupt) {
 		t.Fatalf("want ErrCorrupt-classed truncation, got %v", err)
+	}
+	if !errors.Is(err, ErrConnPoisoned) {
+		t.Fatalf("first mid-frame failure must carry ErrConnPoisoned, got %v", err)
 	}
 	if took := time.Since(start); took > 5*time.Second {
 		t.Fatalf("deadline did not bound the stalled read (took %v)", took)
@@ -415,6 +420,75 @@ func TestMuxContextExpiryLeavesConnUsable(t *testing.T) {
 	}
 	if m.Poisoned() {
 		t.Fatal("late response for an abandoned request poisoned the conn")
+	}
+}
+
+// TestMuxAbandonedRequestReaped: a request abandoned via ctx expiry
+// must leave the pending map immediately — against a server that never
+// answers it, the old entry would leak for the connection's lifetime.
+// Its late response (if one ever comes) is still discarded without
+// poisoning the connection.
+func TestMuxAbandonedRequestReaped(t *testing.T) {
+	gate := make(chan struct{})
+	hold := make(chan struct{})
+	defer close(hold)
+	addr := fakeBackend(t, func(c net.Conn) {
+		br := bufio.NewReader(c)
+		first, err := server.ReadMessage(br, 1<<20)
+		if err != nil {
+			return
+		}
+		<-gate // stay silent until the caller has abandoned the request
+		late := &server.Message{Op: server.OpResponse, Payload: first.Payload, ReqID: first.ReqID, HasReqID: true}
+		if err := server.WriteMessage(c, late); err != nil {
+			return
+		}
+		second, err := server.ReadMessage(br, 1<<20)
+		if err != nil {
+			return
+		}
+		resp := &server.Message{Op: server.OpResponse, Payload: second.Payload, ReqID: second.ReqID, HasReqID: true}
+		if err := server.WriteMessage(c, resp); err != nil {
+			return
+		}
+		<-hold
+	})
+	m, err := DialMux(addr, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+
+	short, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel()
+	if _, _, err := m.Do(short, server.OpCompress, []byte("abandoned")); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("abandoned request: want DeadlineExceeded, got %v", err)
+	}
+	m.mu.Lock()
+	nPending, nAbandoned := len(m.pending), len(m.abandoned)
+	m.mu.Unlock()
+	if nPending != 0 {
+		t.Fatalf("abandoned call leaked in pending (%d entries)", nPending)
+	}
+	if nAbandoned != 1 {
+		t.Fatalf("abandoned set has %d entries, want 1", nAbandoned)
+	}
+
+	close(gate) // the late response arrives now; it must be discarded
+	long, cancel2 := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel2()
+	out, _, err := m.Do(long, server.OpCompress, []byte("after"))
+	if err != nil || !bytes.Equal(out, []byte("after")) {
+		t.Fatalf("conn unusable after reaping an abandoned call: %v", err)
+	}
+	if m.Poisoned() {
+		t.Fatal("late response for an abandoned request poisoned the conn")
+	}
+	m.mu.Lock()
+	nAbandoned = len(m.abandoned)
+	m.mu.Unlock()
+	if nAbandoned != 0 {
+		t.Fatalf("late response did not consume the abandoned entry (%d left)", nAbandoned)
 	}
 }
 

@@ -36,17 +36,25 @@ type Mux struct {
 	nextID  uint32
 	pending map[uint32]*muxCall
 	poison  error // non-nil once poisoned; wraps ErrConnPoisoned
+	// abandoned remembers request IDs whose callers gave up (context
+	// expired) so a late response is recognized and discarded instead of
+	// poisoning the connection as unknown. The set is bounded (FIFO
+	// eviction via abandonedQ) so a server that silently drops requests
+	// cannot grow it without limit; a response arriving after its ID was
+	// evicted poisons the connection like any other unknown ID.
+	abandoned  map[uint32]struct{}
+	abandonedQ []uint32
 
 	readerDone chan struct{}
 }
 
+// maxAbandoned caps how many abandoned request IDs a Mux remembers.
+const maxAbandoned = 1024
+
 // muxCall is one in-flight request: a buffered slot the reader (or the
-// poisoner) delivers into exactly once. A call abandoned by its caller
-// (context expired) stays registered so a late response is recognized
-// and discarded instead of poisoning the connection as unknown.
+// poisoner) delivers into exactly once.
 type muxCall struct {
-	ch        chan muxResult
-	abandoned bool
+	ch chan muxResult
 }
 
 type muxResult struct {
@@ -75,6 +83,7 @@ func DialMuxTimeout(addr string, maxResp int, timeout time.Duration) (*Mux, erro
 		maxResp:    maxResp,
 		c:          c,
 		pending:    make(map[uint32]*muxCall),
+		abandoned:  make(map[uint32]struct{}),
 		readerDone: make(chan struct{}),
 	}
 	go m.reader()
@@ -162,12 +171,27 @@ func (m *Mux) Do(ctx context.Context, op byte, payload []byte) ([]byte, string, 
 		return resp.Payload, resp.TraceID, nil
 	case <-ctx.Done():
 		m.mu.Lock()
-		if c, ok := m.pending[id]; ok {
-			c.abandoned = true
+		if _, ok := m.pending[id]; ok {
+			// Still unanswered: move the entry from pending (so it does
+			// not leak for the connection's lifetime if the server never
+			// answers) to the bounded abandoned set.
+			delete(m.pending, id)
+			m.noteAbandoned(id)
 		}
 		m.mu.Unlock()
 		return nil, "", ctx.Err()
 	}
+}
+
+// noteAbandoned records an abandoned request ID, evicting the oldest
+// one once the set is full. Caller holds m.mu.
+func (m *Mux) noteAbandoned(id uint32) {
+	if len(m.abandonedQ) >= maxAbandoned {
+		delete(m.abandoned, m.abandonedQ[0])
+		m.abandonedQ = m.abandonedQ[1:]
+	}
+	m.abandoned[id] = struct{}{}
+	m.abandonedQ = append(m.abandonedQ, id)
 }
 
 // reader is the demultiplexer: one goroutine owns the receive side,
@@ -194,16 +218,20 @@ func (m *Mux) reader() {
 		if ok {
 			delete(m.pending, resp.ReqID)
 		}
+		_, wasAbandoned := m.abandoned[resp.ReqID]
+		if wasAbandoned {
+			delete(m.abandoned, resp.ReqID)
+		}
 		m.mu.Unlock()
+		if wasAbandoned {
+			continue // its caller gave up on ctx; drop the late response
+		}
 		if !ok {
 			// A response for a request this connection never made:
 			// either the server misrouted or the stream slipped. Both
 			// mean the demultiplexing contract is broken.
 			m.poisonAll(fmt.Errorf("%w: response for unknown request ID %d", server.ErrCorrupt, resp.ReqID))
 			return
-		}
-		if call.abandoned {
-			continue // its caller gave up on ctx; drop the late response
 		}
 		call.ch <- muxResult{msg: resp}
 	}
@@ -221,10 +249,10 @@ func (m *Mux) poisonAll(cause error) {
 	calls := make([]*muxCall, 0, len(m.pending))
 	for id, c := range m.pending {
 		delete(m.pending, id)
-		if !c.abandoned {
-			calls = append(calls, c)
-		}
+		calls = append(calls, c)
 	}
+	clear(m.abandoned)
+	m.abandonedQ = nil
 	m.mu.Unlock()
 	m.c.Close()
 	for _, c := range calls {

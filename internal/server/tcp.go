@@ -136,8 +136,12 @@ func (s *Server) serveConn(tc *tcpConn) {
 				if k := srvObs.Load(); k != nil {
 					k.busyRejects.Inc()
 				}
-				s.writeResponse(tc, nil, msg, StatusBusy, //nolint:errcheck
-					[]byte(fmt.Sprintf("connection exceeded its %d-request pipeline budget", s.cfg.MaxPipelined)))
+				// A failed bounce write leaves the outbound stream desynced
+				// mid-message: stop reading, like any failed response write.
+				if err := s.writeResponse(tc, nil, msg, StatusBusy,
+					[]byte(fmt.Sprintf("connection exceeded its %d-request pipeline budget", s.cfg.MaxPipelined))); err != nil {
+					return
+				}
 				continue
 			}
 			tc.pipelined.Add(1)
