@@ -2,7 +2,8 @@
 # Repository gate: formatting, static checks, the full test suite under
 # the race detector (including the observability stress test, the
 # fault-injection matrix, the engine soak and the engine goroutine-leak
-# check, and the server e2e/drain/soak suite), the cluster kill/drain
+# check, and the server e2e/drain/soak suite), the cache stampede soak
+# and the preset-dictionary round-trip gate, the cluster kill/drain
 # chaos gate, the metric names-drift
 # guard, a coverage floor on the serving layer, a bounded fuzz pass over
 # the hardened inflate entry points and the wire-frame parser,
@@ -52,6 +53,19 @@ go test -race -run TestEngineCloseLeavesNoWorkers -count=1 ./internal/engine
 echo "== server e2e + drain + soak (race) =="
 go test -race -run 'TestServerE2E|TestServerDrain|TestServerSoak' -count=1 ./internal/server
 
+echo "== cache stampede soak (race) =="
+# 64 concurrent clients request the same hot block through real sockets;
+# the engine must compress it exactly once — every other request hits
+# the stored entry or coalesces onto the in-flight computation. The
+# front-side variant drives the same shape through the routing tier.
+go test -race -run 'TestServerCacheStampedeE2E|TestCacheStampede|TestFrontCacheStampede' -count=1 ./internal/cache ./internal/server ./internal/cluster
+
+echo "== dict round-trip gate (race) =="
+# Preset-dictionary serving: byte-exact round trips over HTTP and
+# framed TCP, including through a cluster front, and the unknown-dict
+# in-band rejection on both fronts.
+go test -race -run 'TestServerDictRoundTripBothFronts|TestServerUnknownDict|TestFrontDictRoundTripAndCache' -count=1 ./internal/server ./internal/cluster
+
 echo "== cluster chaos gate (race) =="
 # Kill one backend outright and rolling-drain another while a 4-member
 # fleet serves pipelined load: zero failed round trips, byte-exact
@@ -82,16 +96,25 @@ go test -run '^$' -fuzz FuzzFrameParser -fuzztime 10s ./internal/server
 echo "== observability overhead budget =="
 go test -run '^$' -bench ObsOverhead -benchtime 5x -count=1 .
 
-echo "== benchmark report (scaling sweep, gated vs BENCH_pr4.json) =="
-go run ./cmd/lzssbench -json BENCH_pr6.json -sweep -compare BENCH_pr4.json
-cat BENCH_pr6.json
+echo "== benchmark report (scaling sweep, gated vs BENCH_pr6.json) =="
+# Also runs the hot-block serving gate: cached_hot_wiki must beat
+# uncached_zlib_wiki by >= 10x or the report run fails.
+go run ./cmd/lzssbench -json BENCH_pr9.json -sweep -compare BENCH_pr6.json
+cat BENCH_pr9.json
 
 echo "== sweep completeness guard (p4 row present) =="
 # The scaling story depends on the GOMAXPROCS=4 sweep point existing in
 # the committed trajectory; a sweep that silently skipped it (or a
 # refactor that dropped the sweep) must fail CI, not ship a hole.
-if ! grep -q '"gomaxprocs": 4' BENCH_pr6.json; then
-	echo "BENCH_pr6.json sweep section is missing the GOMAXPROCS=4 row" >&2
+if ! grep -q '"gomaxprocs": 4' BENCH_pr9.json; then
+	echo "BENCH_pr9.json sweep section is missing the GOMAXPROCS=4 row" >&2
+	exit 1
+fi
+
+echo "== cached serving row guard =="
+# The hot-block trajectory rows must land in the committed report.
+if ! grep -q '"cached_hot_wiki"' BENCH_pr9.json || ! grep -q '"uncached_zlib_wiki"' BENCH_pr9.json; then
+	echo "BENCH_pr9.json is missing the cached/uncached hot-block rows" >&2
 	exit 1
 fi
 

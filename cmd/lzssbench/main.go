@@ -12,7 +12,10 @@
 // Prometheus scrape of -metrics ADDR sees are the same counters read
 // the same way. -compare OLD.json gates the freshly measured results
 // against an earlier report: any benchmark more than 10% slower in
-// MB/s fails the run (the CI regression gate).
+// MB/s fails the run (the CI regression gate). The report also
+// measures hot-block serving — cached_hot_wiki (a content-addressed
+// cache hit, SHA-256 key included) against uncached_zlib_wiki on the
+// same bytes — and fails unless the hit is at least 10x faster.
 //
 // -cpuprofile / -memprofile write pprof profiles of whichever mode ran.
 package main

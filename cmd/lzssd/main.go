@@ -19,6 +19,19 @@
 // requests, bounded by -drain. Exit code 0 means every accepted request
 // was answered; 1 means the drain deadline forced connections closed.
 //
+// Hot-object serving: -cache-bytes N puts a content-addressed result
+// cache in front of the engine — repeated compressions of one payload
+// (same parameters, same dictionary) are answered from memory, and
+// concurrent misses on a hot key coalesce onto a single engine pass
+// (-cache-verify re-inflates every hit first, a burn-in tripwire).
+// -dicts wiki,can,json (or "all") registers the built-in preset
+// dictionaries, negotiated per request via the X-Lzss-Dict header /
+// the wire dict field and listed at GET /dicts; a stream compressed
+// against a dictionary carries its DICTID and decodes on any node
+// holding the same registry. In cluster mode -cache-bytes moves the
+// cache to the routing front, so a repeated hot block never touches a
+// backend.
+//
 // Cluster mode (-cluster -backends a:8391/a:8390,b:8391/b:8390,...)
 // turns lzssd into the routing front of a fleet instead of a local
 // engine: the -tcp address serves the same framed protocol, but every
@@ -50,6 +63,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -80,6 +94,10 @@ var (
 	faultsArg = flag.String("faults", "", "inject seeded worker faults (e.g. \"stall=0.2,stallms=50,seed=7\"); implies -resilient")
 
 	slowLog = flag.Duration("slowlog", 0, "log requests slower than this (and every failed request) to stderr with trace ID and stage breakdown (0 disables)")
+
+	cacheBytes  = flag.Int64("cache-bytes", 0, "content-addressed result cache budget in bytes (0 disables); in cluster mode the cache sits at the routing front")
+	cacheVerify = flag.Bool("cache-verify", false, "paranoid cache mode: re-inflate every hit and compare before serving (burn-in tripwire)")
+	dictsArg    = flag.String("dicts", "", "register built-in preset dictionaries: comma-separated classes (wiki,can,json) or \"all\"; negotiated per request via X-Lzss-Dict / the wire dict field")
 
 	clusterMode = flag.Bool("cluster", false, "serve -tcp as a routing front across -backends instead of compressing locally")
 	backendsArg = flag.String("backends", "", "cluster mode: comma-separated backends, each tcphost:port[/httphost:port] (the HTTP half enables active health probes)")
@@ -114,6 +132,16 @@ func realMain() int {
 		WriteTimeout:    *writeTimeout,
 		Resilient:       *resilient,
 		SlowLog:         *slowLog,
+		CacheBytes:      *cacheBytes,
+		CacheVerify:     *cacheVerify,
+	}
+	if *dictsArg != "" {
+		reg, err := dictRegistry()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "lzssd:", err)
+			return 1
+		}
+		cfg.Dicts = reg
 	}
 	if *faultsArg != "" {
 		spec, err := lzssfpga.ParseFaultSpec(*faultsArg)
@@ -218,6 +246,7 @@ func clusterMain() int {
 		MaxRequestBytes: *maxBody,
 		ReadTimeout:     *readTimeout,
 		WriteTimeout:    *writeTimeout,
+		CacheBytes:      *cacheBytes,
 	})
 	bound, err := front.ListenTCP(*tcpAddr)
 	if err != nil {
@@ -239,6 +268,25 @@ func clusterMain() int {
 	}
 	fmt.Println("lzssd: drained")
 	return 0
+}
+
+// dictRegistry builds the -dicts registry: built-in class names,
+// comma-separated, or "all".
+func dictRegistry() (*lzssfpga.DictRegistry, error) {
+	if *dictsArg == "all" {
+		return lzssfpga.NewBuiltinDictRegistry()
+	}
+	var classes []string
+	for _, c := range strings.Split(*dictsArg, ",") {
+		if c = strings.TrimSpace(c); c != "" {
+			classes = append(classes, c)
+		}
+	}
+	if len(classes) == 0 {
+		return nil, fmt.Errorf("-dicts: no classes named (want e.g. %q or \"all\")",
+			strings.Join(lzssfpga.DictBuiltinClasses(), ","))
+	}
+	return lzssfpga.NewBuiltinDictRegistry(classes...)
 }
 
 // level maps -level/-window/-hash onto matcher parameters, mirroring

@@ -21,7 +21,11 @@
 // runtime health when the endpoint exports them. Scraping a routing
 // front (lzssd -cluster) adds a cluster header line: live members over
 // configured, the failover (retry) rate, breaker open/close churn and
-// drains — the cluster_* family at a glance. When stdout is a
+// drains — the cluster_* family at a glance. An endpoint serving with
+// a result cache (-cache-bytes) adds a cache line — hit rate,
+// coalesced stampede waiters, byte/entry occupancy and the verify
+// tripwire — and one with preset dictionaries (-dicts) a dicts line
+// with negotiation counts (engine_cache_* and dict_*). When stdout is a
 // terminal each refresh redraws in place; redirected to a file the
 // frames just append.
 //
@@ -264,6 +268,34 @@ func renderDash(prev, cur *promSnap, needle string) string {
 		fmt.Fprintf(&b, "  breaker open=%.0f close=%.0f  drains=%.0f",
 			cur.vals["cluster_breaker_opens_total"], cur.vals["cluster_breaker_closes_total"],
 			cur.vals["cluster_drains_total"])
+		b.WriteByte('\n')
+	}
+	if hits, ok := cur.vals["engine_cache_hits_total"]; ok {
+		// Hot-block cache at a glance: the hit rate over everything the
+		// cache has answered, coalesced stampede waiters, occupancy, and
+		// the verify tripwire (any non-zero value is a bug).
+		misses := cur.vals["engine_cache_misses_total"]
+		total := hits + misses
+		rate := 0.0
+		if total > 0 {
+			rate = 100 * hits / total
+		}
+		fmt.Fprintf(&b, "cache hit=%s/%s (%.1f%%)  coalesced=%s  bytes=%s entries=%.0f",
+			trimFloat(hits), trimFloat(total), rate,
+			trimFloat(cur.vals["engine_cache_coalesced_total"]),
+			mib(cur.vals["engine_cache_bytes"]), cur.vals["engine_cache_entries"])
+		if vf := cur.vals["engine_cache_verify_failures_total"]; vf > 0 {
+			fmt.Fprintf(&b, "  VERIFY-FAIL=%.0f", vf)
+		}
+		b.WriteByte('\n')
+	}
+	if reqs, ok := cur.vals["dict_requests_total"]; ok && reqs > 0 {
+		fmt.Fprintf(&b, "dicts registered=%.0f  negotiated=%s  unknown=%s",
+			cur.vals["dict_registered"], trimFloat(cur.vals["dict_hits_total"]),
+			trimFloat(cur.vals["dict_unknown_total"]))
+		if prev != nil && dt > 0 {
+			fmt.Fprintf(&b, "  (%s/s)", trimFloat((reqs-prev.vals["dict_requests_total"])/dt))
+		}
 		b.WriteByte('\n')
 	}
 	b.WriteByte('\n')

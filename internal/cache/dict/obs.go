@@ -1,0 +1,41 @@
+package dict
+
+import (
+	"sync/atomic"
+
+	"lzssfpga/internal/obs"
+)
+
+// dictSink holds the registry handles of the dict_* family: aggregate
+// negotiation counters (per-dictionary hit counts are in the /dicts
+// listing instead — the metric namespace stays fixed-cardinality).
+type dictSink struct {
+	requests *obs.Counter
+	hits     *obs.Counter
+	unknown  *obs.Counter
+}
+
+var dictObs atomic.Pointer[dictSink]
+
+// registered counts dictionaries across every Registry in the process,
+// feeding the dict_registered gauge at scrape time.
+var registered atomic.Int64
+
+// SetObservability wires the package's dict_* metrics into reg (nil
+// disables).
+func SetObservability(reg *obs.Registry) {
+	if reg == nil {
+		dictObs.Store(nil)
+		return
+	}
+	k := &dictSink{
+		requests: reg.Counter(obs.DictRequests),
+		hits:     reg.Counter(obs.DictHits),
+		unknown:  reg.Counter(obs.DictUnknown),
+	}
+	regG := reg.Gauge(obs.DictRegistered)
+	reg.OnScrape("dict_registered", func() {
+		regG.Set(float64(registered.Load()))
+	})
+	dictObs.Store(k)
+}

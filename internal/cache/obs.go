@@ -1,0 +1,52 @@
+package cache
+
+import (
+	"sync/atomic"
+
+	"lzssfpga/internal/obs"
+)
+
+// cacheSink holds the registry handles of the engine_cache_* family.
+// Counters are bumped live on the serving path; the bytes/entries
+// gauges are refreshed from the package-wide occupancy atomics at
+// scrape time (summed across every Cache in the process, matching the
+// family's process-wide semantics).
+type cacheSink struct {
+	hits           *obs.Counter
+	misses         *obs.Counter
+	coalesced      *obs.Counter
+	evictions      *obs.Counter
+	verifyFailures *obs.Counter
+}
+
+var cacheObs atomic.Pointer[cacheSink]
+
+// liveBytes/liveEntries aggregate occupancy across all Cache instances
+// (a process can hold one per server plus one per cluster front).
+var (
+	liveBytes   atomic.Int64
+	liveEntries atomic.Int64
+)
+
+// SetObservability wires the package's engine_cache_* metrics into reg
+// (nil disables).
+func SetObservability(reg *obs.Registry) {
+	if reg == nil {
+		cacheObs.Store(nil)
+		return
+	}
+	k := &cacheSink{
+		hits:           reg.Counter(obs.EngineCacheHits),
+		misses:         reg.Counter(obs.EngineCacheMisses),
+		coalesced:      reg.Counter(obs.EngineCacheCoalesced),
+		evictions:      reg.Counter(obs.EngineCacheEvictions),
+		verifyFailures: reg.Counter(obs.EngineCacheVerifyFailures),
+	}
+	bytesG := reg.Gauge(obs.EngineCacheBytes)
+	entriesG := reg.Gauge(obs.EngineCacheEntries)
+	reg.OnScrape("cache_occupancy", func() {
+		bytesG.Set(float64(liveBytes.Load()))
+		entriesG.Set(float64(liveEntries.Load()))
+	})
+	cacheObs.Store(k)
+}

@@ -337,10 +337,25 @@ func (c *Cluster) Compress(ctx context.Context, data []byte) ([]byte, error) {
 	return c.Do(ctx, server.OpCompress, data)
 }
 
+// CompressDict is Compress negotiating the named preset dictionary on
+// whichever backend serves the request (built-in dictionaries are
+// byte-identical fleet-wide, so any member resolves the same bytes).
+func (c *Cluster) CompressDict(ctx context.Context, data []byte, dictID string) ([]byte, error) {
+	out, _, err := c.DoTracedDict(ctx, server.OpCompress, data, dictID)
+	return out, err
+}
+
 // Decompress round-trips a zlib stream through the fleet and returns
 // the raw bytes.
 func (c *Cluster) Decompress(ctx context.Context, z []byte) ([]byte, error) {
 	return c.Do(ctx, server.OpDecompress, z)
+}
+
+// DecompressDict is Decompress for a stream compressed against the
+// named preset dictionary.
+func (c *Cluster) DecompressDict(ctx context.Context, z []byte, dictID string) ([]byte, error) {
+	out, _, err := c.DoTracedDict(ctx, server.OpDecompress, z, dictID)
+	return out, err
 }
 
 // Do routes one request: the ring's preference order for the payload's
@@ -359,10 +374,22 @@ func (c *Cluster) Do(ctx context.Context, op byte, payload []byte) ([]byte, erro
 // the winning attempt ("" when no attempt got far enough to be
 // traced).
 func (c *Cluster) DoTraced(ctx context.Context, op byte, payload []byte) ([]byte, string, error) {
+	return c.DoTracedDict(ctx, op, payload, "")
+}
+
+// DoTracedDict is DoTraced carrying a dictionary negotiation. The
+// dictionary ID is folded into the routing key: the same (payload,
+// dictionary) pair prefers the same backend, so per-backend result
+// caches see each dictionary variant consistently.
+func (c *Cluster) DoTracedDict(ctx context.Context, op byte, payload []byte, dictID string) ([]byte, string, error) {
 	if k := cObs.Load(); k != nil {
 		k.requests.Inc()
 	}
-	order := c.ring.order(hashKey(payload))
+	key := hashKey(payload)
+	for i := 0; i < len(dictID); i++ {
+		key = key*1099511628211 ^ uint64(dictID[i])
+	}
+	order := c.ring.order(key)
 	attempts := c.cfg.Retry.MaxRetries + 1
 	cursor := 0
 	var lastErr error
@@ -380,7 +407,7 @@ func (c *Cluster) DoTraced(ctx context.Context, op byte, payload []byte) ([]byte
 			lastErr = fmt.Errorf("%w (%d members)", ErrNoBackends, len(c.members))
 			continue
 		}
-		out, traceID, err, retryable := c.try(ctx, m, op, payload)
+		out, traceID, err, retryable := c.try(ctx, m, op, payload, dictID)
 		if err == nil {
 			return out, traceID, nil
 		}
@@ -426,7 +453,7 @@ func (c *Cluster) delay(round int) time.Duration {
 // try runs one attempt against m and classifies the outcome: breaker
 // vote, passive health observation, and whether the failure is worth
 // an alternate.
-func (c *Cluster) try(ctx context.Context, m *member, op byte, payload []byte) (out []byte, traceID string, err error, retryable bool) {
+func (c *Cluster) try(ctx context.Context, m *member, op byte, payload []byte, dictID string) (out []byte, traceID string, err error, retryable bool) {
 	conn, err := m.getConn(&c.cfg)
 	if err != nil {
 		// Can't even dial: down until a probe says otherwise. A member
@@ -441,7 +468,7 @@ func (c *Cluster) try(ctx context.Context, m *member, op byte, payload []byte) (
 	}
 	m.inflight.Add(1)
 	defer m.inflight.Add(-1)
-	out, traceID, err = conn.Do(ctx, op, payload)
+	out, traceID, err = conn.DoDict(ctx, op, payload, dictID)
 	switch {
 	case err == nil:
 		m.br.success()

@@ -10,6 +10,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"lzssfpga/internal/cache"
 	"lzssfpga/internal/resilience"
 	"lzssfpga/internal/server"
 	"lzssfpga/internal/server/client"
@@ -31,6 +32,15 @@ type FrontConfig struct {
 	// MaxPipelined bounds pipelined in-flight requests per inbound
 	// connection (0 selects 32), mirroring the backend's budget.
 	MaxPipelined int
+	// CacheBytes, when positive, puts a content-addressed result cache
+	// in front of routing: a repeated compress request is answered at
+	// the routing tier without touching a backend, and concurrent
+	// misses on one key coalesce onto a single routed request. The
+	// cache key carries the request's dictionary ID; the fleet behind
+	// the front is assumed configuration-homogeneous (all backends
+	// compress identically), which is also what makes retry-on-
+	// alternate transparent.
+	CacheBytes int64
 }
 
 func (c FrontConfig) withDefaults() FrontConfig {
@@ -62,6 +72,9 @@ type Front struct {
 	c   *Cluster
 	cfg FrontConfig
 
+	// cache is the routing-tier result cache (nil when disabled).
+	cache *cache.Cache
+
 	ln net.Listener
 	wg sync.WaitGroup
 
@@ -74,7 +87,28 @@ type Front struct {
 
 // NewFront wraps c in a framed-TCP front.
 func NewFront(c *Cluster, cfg FrontConfig) *Front {
-	return &Front{c: c, cfg: cfg.withDefaults(), conns: make(map[net.Conn]struct{})}
+	f := &Front{c: c, cfg: cfg.withDefaults(), conns: make(map[net.Conn]struct{})}
+	if f.cfg.CacheBytes > 0 {
+		f.cache = cache.New(cache.Config{MaxBytes: f.cfg.CacheBytes})
+	}
+	return f
+}
+
+// frontFingerprint is the Params component of every cache key the
+// routing tier builds. The front does not know the backends' engine
+// configuration, so the fingerprint is a fleet-level constant — valid
+// exactly as long as the homogeneity assumption above holds. Operators
+// mixing differently-configured fleets behind one front must disable
+// the front cache.
+const frontFingerprint = 0x66726f6e742d7631 // "front-v1"
+
+// CacheStats snapshots the routing-tier cache (zero Stats when no
+// cache is configured).
+func (f *Front) CacheStats() cache.Stats {
+	if f.cache == nil {
+		return cache.Stats{}
+	}
+	return f.cache.Stats()
 }
 
 // ListenTCP binds addr (":0" picks a free port), serves the front on
@@ -232,14 +266,35 @@ func (f *Front) serveMessage(fc *frontConn, msg *server.Message) error {
 		return fmt.Errorf("unexpected op %d", msg.Op)
 	}
 	ctx, cancel := context.WithTimeout(context.Background(), f.cfg.RequestTimeout)
-	out, traceID, err := f.c.DoTraced(ctx, msg.Op, msg.Payload)
+	out, traceID, err := f.route(ctx, msg)
 	cancel()
 	if err != nil {
 		resp := &server.Message{Op: server.OpResponse, Status: statusOf(err), Payload: []byte(err.Error()), TraceID: traceID}
 		return f.writeMsg(fc, resp, msg)
 	}
 	resp := &server.Message{Op: server.OpResponse, Status: server.StatusOK, Payload: out, TraceID: traceID}
+	if msg.DictID != "" {
+		resp.DictID = msg.DictID
+	}
 	return f.writeMsg(fc, resp, msg)
+}
+
+// route answers one request, consulting the routing-tier cache before
+// the fleet. Only compress results are cached (a decompress is cheap
+// relative to the routed hop, and its payloads rarely repeat); a hit
+// never leaves the front, and coalesced concurrent misses share the
+// computing request's backend trace ID.
+func (f *Front) route(ctx context.Context, msg *server.Message) (out []byte, traceID string, err error) {
+	if f.cache == nil || msg.Op != server.OpCompress {
+		return f.c.DoTracedDict(ctx, msg.Op, msg.Payload, msg.DictID)
+	}
+	key := cache.KeyFor(msg.Payload, frontFingerprint, msg.DictID)
+	out, _, err = f.cache.GetOrCompute(ctx, key, func() ([]byte, error) {
+		var cerr error
+		out, traceID, cerr = f.c.DoTracedDict(ctx, server.OpCompress, msg.Payload, msg.DictID)
+		return out, cerr
+	}, nil)
+	return out, traceID, err
 }
 
 func (f *Front) writeResponse(fc *frontConn, req *server.Message, status byte, payload []byte) error {
@@ -272,6 +327,8 @@ func statusOf(err error) byte {
 		return server.StatusBusy
 	case errors.Is(err, server.ErrDraining):
 		return server.StatusDraining
+	case errors.Is(err, server.ErrUnknownDict):
+		return server.StatusUnknownDict
 	case errors.Is(err, server.ErrCorrupt):
 		return server.StatusCorrupt
 	default:

@@ -237,6 +237,26 @@ func ZlibCompress(cmds []token.Command, src []byte, window int) ([]byte, error) 
 	return buf.Bytes(), nil
 }
 
+// zlibDictHeader returns the six-byte FDICT variant of the RFC 1950
+// header (§2.2): CMF as usual, FLG with FDICT set and FCHECK
+// recomputed, then the four-byte DICTID. Shared by the serial and
+// parallel preset-dictionary encoders so the two emit byte-identical
+// containers.
+func zlibDictHeader(window int, dictID uint32) ([6]byte, error) {
+	hdr, err := ZlibHeader(window)
+	if err != nil {
+		return [6]byte{}, err
+	}
+	cmf, flg := hdr[0], hdr[1]|0x20 // set FDICT
+	// Recompute FCHECK for the new FLG.
+	flg &^= 0x1F
+	if rem := (uint32(cmf)*256 + uint32(flg)) % 31; rem != 0 {
+		flg += byte(31 - rem)
+	}
+	return [6]byte{cmf, flg,
+		byte(dictID >> 24), byte(dictID >> 16), byte(dictID >> 8), byte(dictID)}, nil
+}
+
 // ZlibCompressDict is ZlibCompress with a preset dictionary: the header
 // carries the FDICT flag and the dictionary's Adler-32 as DICTID
 // (RFC 1950 §2.2), so any zlib implementation given the same dictionary
@@ -250,20 +270,12 @@ func ZlibCompressDict(data, dict []byte, p lzss.Params) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
-	hdr, err := ZlibHeader(p.Window)
+	hdr, err := zlibDictHeader(p.Window, AdlerChecksum(dict))
 	if err != nil {
 		return nil, err
 	}
-	cmf, flg := hdr[0], hdr[1]&^0x20|0x20 // set FDICT
-	// Recompute FCHECK for the new FLG.
-	flg &^= 0x1F
-	if rem := (uint32(cmf)*256 + uint32(flg)) % 31; rem != 0 {
-		flg += byte(31 - rem)
-	}
-	dictID := AdlerChecksum(dict)
 	out := make([]byte, 0, len(body)+10)
-	out = append(out, cmf, flg,
-		byte(dictID>>24), byte(dictID>>16), byte(dictID>>8), byte(dictID))
+	out = append(out, hdr[:]...)
 	out = append(out, body...)
 	sum := AdlerChecksum(data)
 	return append(out, byte(sum>>24), byte(sum>>16), byte(sum>>8), byte(sum)), nil

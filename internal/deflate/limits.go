@@ -68,7 +68,14 @@ func InflateLimited(data []byte, lim DecodeLimits) (out []byte, err error) {
 			out, err = nil, fmt.Errorf("%w: panic during decode: %v", ErrCorrupt, r)
 		}
 	}()
-	br := bitio.NewReader(bytes.NewReader(data))
+	return inflateBlocks(bitio.NewReader(bytes.NewReader(data)), nil, lim)
+}
+
+// inflateBlocks is the shared block loop: decode until the final block,
+// appending to out (which may be pre-seeded with preset-dictionary
+// history — the limit accounting and match distances then measure the
+// seeded slice, so callers adjust MaxOutputBytes by the seed length).
+func inflateBlocks(br *bitio.Reader, out []byte, lim DecodeLimits) ([]byte, error) {
 	blocks := 0
 	for {
 		if lim.MaxBlocks > 0 && blocks >= lim.MaxBlocks {
@@ -133,6 +140,58 @@ func ZlibDecompressLimited(data []byte, lim DecodeLimits) (out []byte, err error
 	if err != nil {
 		return nil, err
 	}
+	tr := data[len(data)-4:]
+	want := uint32(tr[0])<<24 | uint32(tr[1])<<16 | uint32(tr[2])<<8 | uint32(tr[3])
+	if got := AdlerChecksum(out); got != want {
+		return nil, fmt.Errorf("%w: adler32 %08x != %08x", ErrCorrupt, got, want)
+	}
+	return out, nil
+}
+
+// ZlibDecompressDictLimited is ZlibDecompressDict under DecodeLimits:
+// the hardened preset-dictionary decode path the serving layer exposes
+// to data straight off the wire. The dictionary's trailing 32 KiB seed
+// the inflater's history (match distances may reach into them), DICTID
+// is verified against dict, and the output cap applies to the produced
+// bytes — the seeded history does not consume limit budget. Same
+// no-panic and error-typing guarantees as ZlibDecompressLimited.
+func ZlibDecompressDictLimited(data, dict []byte, lim DecodeLimits) (out []byte, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			out, err = nil, fmt.Errorf("%w: panic during decode: %v", ErrCorrupt, r)
+		}
+	}()
+	if len(data) < 10 {
+		return nil, fmt.Errorf("%w: dictionary zlib stream too short: %w", ErrCorrupt, io.ErrUnexpectedEOF)
+	}
+	cmf, flg := data[0], data[1]
+	if cmf&0x0F != 8 {
+		return nil, fmt.Errorf("%w: compression method %d", ErrCorrupt, cmf&0x0F)
+	}
+	if (uint32(cmf)*256+uint32(flg))%31 != 0 {
+		return nil, fmt.Errorf("%w: zlib header check", ErrCorrupt)
+	}
+	if flg&0x20 == 0 {
+		return nil, fmt.Errorf("%w: stream has no preset dictionary", ErrCorrupt)
+	}
+	dictID := uint32(data[2])<<24 | uint32(data[3])<<16 | uint32(data[4])<<8 | uint32(data[5])
+	if got := AdlerChecksum(dict); got != dictID {
+		return nil, fmt.Errorf("%w: DICTID %08x does not match dictionary %08x", ErrCorrupt, dictID, got)
+	}
+	hist := dict
+	if len(hist) > 32768 {
+		hist = hist[len(hist)-32768:]
+	}
+	if lim.MaxOutputBytes > 0 {
+		lim.MaxOutputBytes += len(hist)
+	}
+	seed := append(make([]byte, 0, len(hist)+1024), hist...)
+	body := data[6 : len(data)-4]
+	full, err := inflateBlocks(bitio.NewReader(bytes.NewReader(body)), seed, lim)
+	if err != nil {
+		return nil, normEOF(err)
+	}
+	out = full[len(hist):]
 	tr := data[len(data)-4:]
 	want := uint32(tr[0])<<24 | uint32(tr[1])<<16 | uint32(tr[2])<<8 | uint32(tr[3])
 	if got := AdlerChecksum(out); got != want {

@@ -135,8 +135,44 @@ func ParallelCompressTraced(data []byte, p lzss.Params, segment, workers int, ca
 // all recycle through pools and the engine arena).
 func parallelCompress(data []byte, p lzss.Params, segment, workers int, carry bool, tr *obs.Tracer) ([]byte, error) {
 	out := make([]byte, 0, estimateOut(len(data)))
-	err := parallelCompressCore(context.Background(), data, p, segment, workers, carry, tr,
+	err := parallelCompressCore(context.Background(), data, 0, false, 0, p, segment, workers, carry, tr,
 		func(b []byte) error {
+			out = append(out, b...)
+			return nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// ParallelCompressPreset compresses data against a preset dictionary
+// into an RFC 1950 FDICT stream (header flag set, DICTID = the
+// dictionary's Adler-32) on the shared persistent engine. The
+// dictionary's trailing Window-1 bytes are laid down as history in
+// front of the data — exactly the layout lzss.CompressWithDict uses —
+// and every segment runs with dictionary carry-over, so segment 0's
+// matches reach into the preset window and later segments reach their
+// predecessors. Any zlib implementation holding the same dictionary
+// (e.g. ZlibDecompressDict) decodes the result.
+func ParallelCompressPreset(data, dict []byte, p lzss.Params, segment, workers int) ([]byte, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	capped := dict
+	if reach := p.Window - 1; len(capped) > reach {
+		capped = capped[len(capped)-reach:]
+	}
+	// One contiguous buffer: [dictionary tail | data]. The copy is the
+	// price of adjacency (CompressTail needs the history physically in
+	// front of the segment); it is linear and dwarfed by matching.
+	buf := make([]byte, 0, len(capped)+len(data))
+	buf = append(buf, capped...)
+	buf = append(buf, data...)
+	out := make([]byte, 0, estimateOut(len(data))+10)
+	err := parallelCompressCore(context.Background(), buf, len(capped), true, AdlerChecksum(dict),
+		p, segment, workers, true,
+		nil, func(b []byte) error {
 			out = append(out, b...)
 			return nil
 		})
@@ -156,7 +192,7 @@ func parallelCompress(data []byte, p lzss.Params, segment, workers int, carry bo
 // far is incomplete and must be discarded by the consumer.
 func ParallelCompressTo(ctx context.Context, w io.Writer, data []byte, p lzss.Params, segment, workers int) (int64, error) {
 	var n int64
-	err := parallelCompressCore(ctx, data, p, segment, workers, false, nil,
+	err := parallelCompressCore(ctx, data, 0, false, 0, p, segment, workers, false, nil,
 		func(b []byte) error {
 			k, werr := w.Write(b)
 			n += int64(k)
@@ -171,8 +207,14 @@ func ParallelCompressTo(ctx context.Context, w io.Writer, data []byte, p lzss.Pa
 // bodies to write in index order while later segments are still
 // compressing. A write error stops emission (remaining bodies are still
 // drained and recycled) and becomes the call's error.
-func parallelCompressCore(ctx context.Context, data []byte, p lzss.Params, segment, workers int,
-	carry bool, tr *obs.Tracer, write func([]byte) error) error {
+//
+// data[:base] is preset-dictionary history: it is matched against but
+// never emitted, the segment plan covers data[base:] only, and the
+// Adler trailer sums data[base:]. With fdict set the container is the
+// six-byte FDICT header carrying dictID instead of the plain two-byte
+// one. Non-dictionary callers pass (0, false, 0).
+func parallelCompressCore(ctx context.Context, data []byte, base int, fdict bool, dictID uint32,
+	p lzss.Params, segment, workers int, carry bool, tr *obs.Tracer, write func([]byte) error) error {
 	if err := p.Validate(); err != nil {
 		return err
 	}
@@ -187,10 +229,20 @@ func parallelCompressCore(ctx context.Context, data []byte, p lzss.Params, segme
 	k := deflateObs.Load()
 	rt := obs.RequestFromContext(ctx)
 	splitStart := time.Now()
-	plan := planSegments(len(data), segment)
-	hdr, err := ZlibHeader(p.Window)
-	if err != nil {
-		return err
+	plan := planSegments(len(data)-base, segment)
+	var hdr []byte
+	if fdict {
+		h, err := zlibDictHeader(p.Window, dictID)
+		if err != nil {
+			return err
+		}
+		hdr = h[:]
+	} else {
+		h, err := ZlibHeader(p.Window)
+		if err != nil {
+			return err
+		}
+		hdr = h[:]
 	}
 	var written int64
 	var firstErr error
@@ -204,7 +256,7 @@ func parallelCompressCore(ctx context.Context, data []byte, p lzss.Params, segme
 		}
 		written += int64(len(b))
 	}
-	sink(hdr[:])
+	sink(hdr)
 
 	eng := defaultEngine()
 	jobs := getJobs(plan.nSeg)
@@ -225,7 +277,7 @@ func parallelCompressCore(ctx context.Context, data []byte, p lzss.Params, segme
 	submitErr := eng.SubmitAndStream(ctx, plan.nSeg, workers,
 		func(i int, r *engine.Request) engine.Job {
 			j := &(*jobs)[i]
-			lo := i * plan.segment
+			lo := base + i*plan.segment
 			hi := lo + plan.segment
 			if hi > len(data) {
 				hi = len(data)
@@ -246,9 +298,10 @@ func parallelCompressCore(ctx context.Context, data []byte, p lzss.Params, segme
 	if submitErr != nil {
 		return submitErr
 	}
-	// Finalize: Adler-32 trailer onto the streamed body bytes.
+	// Finalize: Adler-32 trailer onto the streamed body bytes (the
+	// preset-history prefix is matched against but never summed).
 	assembleStart := time.Now()
-	sum := AdlerChecksum(data)
+	sum := AdlerChecksum(data[base:])
 	sink([]byte{byte(sum >> 24), byte(sum >> 16), byte(sum >> 8), byte(sum)})
 	if firstErr != nil {
 		return firstErr
@@ -259,10 +312,10 @@ func parallelCompressCore(ctx context.Context, data []byte, p lzss.Params, segme
 	if k != nil {
 		k.parallelRuns.Inc()
 		if written > 0 {
-			k.lastRatio.Set(float64(len(data)) / float64(written))
+			k.lastRatio.Set(float64(len(data)-base) / float64(written))
 		}
 	}
-	observeRatio(float64(len(data)) / float64(written))
+	observeRatio(float64(len(data)-base) / float64(written))
 	return nil
 }
 

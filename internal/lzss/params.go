@@ -152,6 +152,13 @@ func (p *Params) Validate() error {
 // selecting the skip-capable greedy loop.
 func (p Params) gen2() bool { return p.Hash4 || p.SkipTrigger != 0 }
 
+// HasCustomHash reports whether the caller supplied its own Hash
+// policy (as opposed to the ZlibHash a Validate installs). A custom
+// hash changes emitted streams in ways no numeric field captures, so
+// layers that fingerprint Params for content-addressed caching must
+// treat such configurations as uncacheable.
+func (p Params) HasCustomHash() bool { return p.Hash != nil && !p.defaultHash }
+
 // minHash is the number of bytes a position must have left to be
 // hashable (and the shortest match the matcher can find): 4 with Hash4,
 // otherwise the wire format's MinMatch.

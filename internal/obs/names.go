@@ -91,6 +91,32 @@ const (
 	// by the sizer (only moves when adaptive segmentation is in use).
 	EngineSegmentBytes = "engine_segment_bytes"
 
+	// engine_cache_* — the content-addressed result cache in front of
+	// the engine (internal/cache): hit/miss/coalesce accounting for the
+	// hot-object tier, eviction churn, and the bytes/entries currently
+	// held (gauges, refreshed at scrape). Coalesced counts requests that
+	// attached to an in-flight identical compression instead of running
+	// their own (singleflight); verify failures count paranoid-mode hits
+	// whose cached stream no longer re-inflated to a valid body (the
+	// entry is dropped and recomputed).
+	EngineCacheHits           = "engine_cache_hits_total"
+	EngineCacheMisses         = "engine_cache_misses_total"
+	EngineCacheCoalesced      = "engine_cache_coalesced_total"
+	EngineCacheEvictions      = "engine_cache_evictions_total"
+	EngineCacheVerifyFailures = "engine_cache_verify_failures_total"
+	EngineCacheBytes          = "engine_cache_bytes"
+	EngineCacheEntries        = "engine_cache_entries"
+
+	// dict_* — the preset-dictionary registry (internal/cache/dict):
+	// dictionaries registered (gauge), requests that negotiated a
+	// dictionary, negotiations that resolved (hits) and ones naming an
+	// unknown ID (rejected StatusUnknownDict / HTTP 400). Per-dictionary
+	// hit counts live in the /dicts listing, not the metric namespace.
+	DictRegistered = "dict_registered"
+	DictRequests   = "dict_requests_total"
+	DictHits       = "dict_hits_total"
+	DictUnknown    = "dict_unknown_total"
+
 	// core_* — the hardware model's cycle ledger (CycleStats), flushed
 	// once per modeled run. The six cycle counters are the Fig 5 stall
 	// breakdown.

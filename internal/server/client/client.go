@@ -71,14 +71,22 @@ func (h *HTTP) SetRetry(attempts int) *HTTP {
 // Compress round-trips data through POST /compress and returns the
 // zlib stream.
 func (h *HTTP) Compress(ctx context.Context, data []byte) ([]byte, error) {
-	return h.post(ctx, "/compress", data)
+	return h.post(ctx, "/compress", data, "")
+}
+
+// CompressDict is Compress negotiating the named preset dictionary
+// (X-Lzss-Dict): the returned stream carries the dictionary's DICTID
+// and only inflates against the same dictionary bytes. An unregistered
+// name fails with server.ErrUnknownDict.
+func (h *HTTP) CompressDict(ctx context.Context, data []byte, dictID string) ([]byte, error) {
+	return h.post(ctx, "/compress", data, dictID)
 }
 
 // CompressStream is Compress with a streaming request body (sent
 // chunked): the caller owns closing the returned response stream.
 // Streaming bodies cannot be replayed, so this path never retries.
 func (h *HTTP) CompressStream(ctx context.Context, body io.Reader) (io.ReadCloser, error) {
-	resp, _, err := h.do(ctx, "/compress", body)
+	resp, _, err := h.do(ctx, "/compress", body, "")
 	if err != nil {
 		return nil, err
 	}
@@ -88,7 +96,48 @@ func (h *HTTP) CompressStream(ctx context.Context, body io.Reader) (io.ReadClose
 // Decompress round-trips a zlib stream through POST /decompress and
 // returns the raw bytes.
 func (h *HTTP) Decompress(ctx context.Context, z []byte) ([]byte, error) {
-	return h.post(ctx, "/decompress", z)
+	return h.post(ctx, "/decompress", z, "")
+}
+
+// DecompressDict is Decompress for a stream compressed against the
+// named preset dictionary.
+func (h *HTTP) DecompressDict(ctx context.Context, z []byte, dictID string) ([]byte, error) {
+	return h.post(ctx, "/decompress", z, dictID)
+}
+
+// DictInfo is one entry of the server's GET /dicts listing.
+type DictInfo struct {
+	Name  string `json:"name"`
+	Bytes int    `json:"bytes"`
+	// Adler is the dictionary's Adler-32 — the DICTID streams
+	// compressed against it carry.
+	Adler uint32 `json:"adler32"`
+	Hits  int64  `json:"hits"`
+}
+
+// Dicts fetches the server's registered preset dictionaries.
+func (h *HTTP) Dicts(ctx context.Context) ([]DictInfo, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, h.base+"/dicts", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := h.c.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if err != nil {
+		return nil, fmt.Errorf("dicts: reading body: %w", err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("dicts: %s: %s", resp.Status, bytes.TrimSpace(body))
+	}
+	var infos []DictInfo
+	if err := json.Unmarshal(body, &infos); err != nil {
+		return nil, fmt.Errorf("dicts: parsing listing: %w", err)
+	}
+	return infos, nil
 }
 
 // Healthy probes GET /healthz; it returns nil while the server is
@@ -153,9 +202,9 @@ func (h *HTTP) Health(ctx context.Context) (Health, error) {
 }
 
 // post sends one replayable request body under the retry budget.
-func (h *HTTP) post(ctx context.Context, path string, data []byte) ([]byte, error) {
+func (h *HTTP) post(ctx context.Context, path string, data []byte, dictID string) ([]byte, error) {
 	for attempt := 1; ; attempt++ {
-		resp, retryAfter, err := h.do(ctx, path, bytes.NewReader(data))
+		resp, retryAfter, err := h.do(ctx, path, bytes.NewReader(data), dictID)
 		if err == nil {
 			defer resp.Body.Close()
 			out, rerr := io.ReadAll(resp.Body)
@@ -181,12 +230,15 @@ func (h *HTTP) post(ctx context.Context, path string, data []byte) ([]byte, erro
 // retryAfter is the server-advertised wait for a retryable rejection
 // (429 busy / 503 draining; zero when the header is absent or
 // unparsable) and -1 for everything else.
-func (h *HTTP) do(ctx context.Context, path string, body io.Reader) (resp *http.Response, retryAfter time.Duration, err error) {
+func (h *HTTP) do(ctx context.Context, path string, body io.Reader, dictID string) (resp *http.Response, retryAfter time.Duration, err error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, h.base+path, body)
 	if err != nil {
 		return nil, -1, err
 	}
 	req.Header.Set("Content-Type", "application/octet-stream")
+	if dictID != "" {
+		req.Header.Set(server.DictHeader, dictID)
+	}
 	resp, err = h.c.Do(req)
 	if err != nil {
 		return nil, -1, err
@@ -205,6 +257,12 @@ func (h *HTTP) do(ctx context.Context, path string, body io.Reader) (resp *http.
 	case http.StatusRequestEntityTooLarge:
 		return nil, -1, fmt.Errorf("%w: %s", server.ErrTooLarge, text)
 	case http.StatusBadRequest:
+		// An unknown-dictionary rejection keeps its class (the server's
+		// error text leads with the sentinel); everything else a 400
+		// reports is a corrupt-input rejection.
+		if strings.HasPrefix(text, server.ErrUnknownDict.Error()) {
+			return nil, -1, fmt.Errorf("%w: %s", server.ErrUnknownDict, strings.TrimPrefix(text, server.ErrUnknownDict.Error()+": "))
+		}
 		return nil, -1, fmt.Errorf("%w: %s", server.ErrCorrupt, text)
 	default:
 		return nil, -1, fmt.Errorf("%s: %s: %s", path, resp.Status, text)
@@ -246,6 +304,7 @@ type TCP struct {
 	br       *bufio.Reader
 	maxResp  int
 	lastID   string
+	lastDict string
 	poisoned error // first transport failure; non-nil fails all later calls fast
 }
 
@@ -286,12 +345,25 @@ func (t *TCP) Redial() error {
 // Compress round-trips data through the wire protocol and returns the
 // zlib stream.
 func (t *TCP) Compress(data []byte) ([]byte, error) {
-	return t.do(server.OpCompress, data)
+	return t.do(server.OpCompress, data, "")
+}
+
+// CompressDict is Compress negotiating the named preset dictionary via
+// the wire dict field. An unregistered name fails with
+// server.ErrUnknownDict (the connection stays usable).
+func (t *TCP) CompressDict(data []byte, dictID string) ([]byte, error) {
+	return t.do(server.OpCompress, data, dictID)
 }
 
 // Decompress round-trips a zlib stream and returns the raw bytes.
 func (t *TCP) Decompress(z []byte) ([]byte, error) {
-	return t.do(server.OpDecompress, z)
+	return t.do(server.OpDecompress, z, "")
+}
+
+// DecompressDict is Decompress for a stream compressed against the
+// named preset dictionary.
+func (t *TCP) DecompressDict(z []byte, dictID string) ([]byte, error) {
+	return t.do(server.OpDecompress, z, dictID)
 }
 
 // LastTraceID returns the server-assigned trace ID carried by the most
@@ -300,7 +372,11 @@ func (t *TCP) Decompress(z []byte) ([]byte, error) {
 // server's /debug/requests inspector and its slow-request log lines.
 func (t *TCP) LastTraceID() string { return t.lastID }
 
-func (t *TCP) do(op byte, data []byte) ([]byte, error) {
+// LastDictID returns the dictionary ID the most recent response echoed
+// ("" for responses to dictionary-less requests).
+func (t *TCP) LastDictID() string { return t.lastDict }
+
+func (t *TCP) do(op byte, data []byte, dictID string) ([]byte, error) {
 	if t.poisoned != nil {
 		return nil, fmt.Errorf("%w: %w", ErrConnPoisoned, t.poisoned)
 	}
@@ -308,7 +384,7 @@ func (t *TCP) do(op byte, data []byte) ([]byte, error) {
 	// too (not just subsequent fail-fast calls), so the failing caller
 	// can classify it as the retryable poisoned-connection class — the
 	// same contract Mux's poisonAll gives its in-flight callers.
-	if err := server.WriteMessage(t.c, &server.Message{Op: op, Payload: data}); err != nil {
+	if err := server.WriteMessage(t.c, &server.Message{Op: op, Payload: data, DictID: dictID}); err != nil {
 		t.poisoned = err
 		return nil, fmt.Errorf("%w: sending request: %w", ErrConnPoisoned, err)
 	}
@@ -325,6 +401,7 @@ func (t *TCP) do(op byte, data []byte) ([]byte, error) {
 		return nil, fmt.Errorf("%w: %w", ErrConnPoisoned, err)
 	}
 	t.lastID = resp.TraceID
+	t.lastDict = resp.DictID
 	if resp.Status != server.StatusOK {
 		// An in-band protocol error: framing stayed aligned, the
 		// connection remains usable.

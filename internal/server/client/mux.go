@@ -117,9 +117,22 @@ func (m *Mux) Compress(ctx context.Context, data []byte) ([]byte, error) {
 	return out, err
 }
 
+// CompressDict is Compress negotiating the named preset dictionary.
+func (m *Mux) CompressDict(ctx context.Context, data []byte, dictID string) ([]byte, error) {
+	out, _, err := m.DoDict(ctx, server.OpCompress, data, dictID)
+	return out, err
+}
+
 // Decompress round-trips a zlib stream and returns the raw bytes.
 func (m *Mux) Decompress(ctx context.Context, z []byte) ([]byte, error) {
 	out, _, err := m.Do(ctx, server.OpDecompress, z)
+	return out, err
+}
+
+// DecompressDict is Decompress for a stream compressed against the
+// named preset dictionary.
+func (m *Mux) DecompressDict(ctx context.Context, z []byte, dictID string) ([]byte, error) {
+	out, _, err := m.DoDict(ctx, server.OpDecompress, z, dictID)
 	return out, err
 }
 
@@ -130,6 +143,12 @@ func (m *Mux) Decompress(ctx context.Context, z []byte) ([]byte, error) {
 // abandoned — its late response will be discarded — and ctx's error is
 // returned; the connection stays usable.
 func (m *Mux) Do(ctx context.Context, op byte, payload []byte) ([]byte, string, error) {
+	return m.DoDict(ctx, op, payload, "")
+}
+
+// DoDict is Do carrying a dictionary negotiation in the wire dict
+// field ("" sends a plain request).
+func (m *Mux) DoDict(ctx context.Context, op byte, payload []byte, dictID string) ([]byte, string, error) {
 	m.mu.Lock()
 	if m.poison != nil {
 		err := m.poison
@@ -142,7 +161,7 @@ func (m *Mux) Do(ctx context.Context, op byte, payload []byte) ([]byte, string, 
 	m.pending[id] = call
 	m.mu.Unlock()
 
-	msg := &server.Message{Op: op, Payload: payload, ReqID: id, HasReqID: true}
+	msg := &server.Message{Op: op, Payload: payload, ReqID: id, HasReqID: true, DictID: dictID}
 	m.wmu.Lock()
 	if d, ok := ctx.Deadline(); ok {
 		m.c.SetWriteDeadline(d) //nolint:errcheck

@@ -23,6 +23,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"strings"
 
 	"lzssfpga/internal/etherlink"
 	"lzssfpga/internal/obs"
@@ -37,16 +38,24 @@ import (
 //	5       1     op: 1=compress 2=decompress 3=response
 //	6       1     status (responses; 0 in requests)
 //	7       1     flags: bit 0 = trace-ID field present, bit 1 =
-//	              request-ID field present; all other bits must be 0
-//	              (this byte was "reserved, must be 0" before flags
-//	              existed, so old peers interoperate)
+//	              request-ID field present, bit 2 = dictionary-ID
+//	              field present; all other bits must be 0 (this byte
+//	              was "reserved, must be 0" before flags existed, so
+//	              old peers interoperate)
 //	8       4     payload length, big-endian
 //	12      4     CRC-32 over bytes 0..11 (etherlink polynomial),
 //	              so the flags byte is integrity-checked
 //
 // optional fields follow the header in flag-bit order: when flag bit 1
 // is set, a 4-byte big-endian request ID comes first; when flag bit 0
-// is set, obs.TraceIDLen (16) bytes of ASCII trace ID follow it.
+// is set, obs.TraceIDLen (16) bytes of ASCII trace ID follow it; when
+// flag bit 2 is set, the dictionary-ID field comes last — one length
+// byte (1..32) then that many bytes of dictionary name ([a-z0-9-]).
+// On a request the dictionary ID names the preset dictionary to
+// compress (or decompress) against; the server echoes the negotiated
+// ID on the response, and a name the server does not hold is answered
+// with StatusUnknownDict — a deterministic client error, like
+// StatusCorrupt, never retried.
 //
 // The request ID is the multiplexing key: a client that pipelines
 // concurrent requests on one connection stamps each with a distinct ID,
@@ -83,31 +92,43 @@ const (
 
 // flagTraceID in header byte 7 announces the fixed-width trace-ID field
 // between the header and the first frame; flagReqID announces the
-// 4-byte request-ID field (the pipelining key) before it.
+// 4-byte request-ID field (the pipelining key) before it; flagDict
+// announces the variable-width dictionary-ID field after the trace ID
+// (mirroring the reqID flag pattern: flag bit plus optional field).
 const (
 	flagTraceID = 0x01
 	flagReqID   = 0x02
+	flagDict    = 0x04
 )
+
+// maxDictIDLen caps the wire dictionary-ID field, matching
+// dict.MaxNameLen (the registry refuses longer names at registration).
+const maxDictIDLen = 32
 
 // Response status codes (header byte 6).
 const (
-	StatusOK        = 0
-	StatusCorrupt   = 1
-	StatusTooLarge  = 2
-	StatusBusy      = 3
-	StatusDraining  = 4
-	StatusInternal  = 5
-	StatusConnLimit = 6
+	StatusOK          = 0
+	StatusCorrupt     = 1
+	StatusTooLarge    = 2
+	StatusBusy        = 3
+	StatusDraining    = 4
+	StatusInternal    = 5
+	StatusConnLimit   = 6
+	StatusUnknownDict = 7
 )
 
 // Sentinel errors of the serving layer. Every frame-parser rejection
 // wraps ErrCorrupt; cap rejections additionally match ErrTooLarge, and
-// the backpressure gate returns ErrBusy.
+// the backpressure gate returns ErrBusy. ErrUnknownDict reports a
+// request negotiating a dictionary ID the server does not hold — a
+// deterministic client error in the StatusOK-family exchange (the
+// connection stays healthy), never a retryable one.
 var (
-	ErrCorrupt  = errors.New("server: corrupt frame")
-	ErrTooLarge = errors.New("server: message exceeds byte cap")
-	ErrBusy     = errors.New("server: at capacity")
-	ErrDraining = errors.New("server: draining")
+	ErrCorrupt     = errors.New("server: corrupt frame")
+	ErrTooLarge    = errors.New("server: message exceeds byte cap")
+	ErrBusy        = errors.New("server: at capacity")
+	ErrDraining    = errors.New("server: draining")
+	ErrUnknownDict = errors.New("server: unknown dictionary")
 )
 
 func corruptf(format string, args ...any) error {
@@ -130,6 +151,10 @@ type Message struct {
 	// response, so many requests can be in flight on one connection.
 	ReqID    uint32
 	HasReqID bool
+	// DictID is the negotiated preset-dictionary name (empty = no dict
+	// field on the wire): on a request, the dictionary to transform
+	// against; on a response, the ID the server actually used.
+	DictID string
 }
 
 // AppendMessage encodes m onto dst and returns the extended slice.
@@ -147,6 +172,12 @@ func AppendMessage(dst []byte, m *Message) ([]byte, error) {
 	if m.HasReqID {
 		flags |= flagReqID
 	}
+	if m.DictID != "" {
+		if len(m.DictID) > maxDictIDLen {
+			return nil, fmt.Errorf("server: dictionary ID %q over the %d-byte field cap", m.DictID, maxDictIDLen)
+		}
+		flags |= flagDict
+	}
 	var hdr [headerLen]byte
 	copy(hdr[0:4], protocolMagic)
 	hdr[4] = protocolVer
@@ -163,6 +194,10 @@ func AppendMessage(dst []byte, m *Message) ([]byte, error) {
 	}
 	if flags&flagTraceID != 0 {
 		dst = append(dst, m.TraceID...)
+	}
+	if flags&flagDict != 0 {
+		dst = append(dst, byte(len(m.DictID)))
+		dst = append(dst, m.DictID...)
 	}
 	frames, err := etherlink.Segment(m.Payload)
 	if err != nil {
@@ -218,7 +253,7 @@ func ReadMessage(r io.Reader, maxPayload int) (*Message, error) {
 		return nil, corruptf("unknown op %d", op)
 	}
 	flags := hdr[7]
-	if flags&^byte(flagTraceID|flagReqID) != 0 {
+	if flags&^byte(flagTraceID|flagReqID|flagDict) != 0 {
 		return nil, corruptf("unknown header flags %#02x", flags)
 	}
 	total := binary.BigEndian.Uint32(hdr[8:12])
@@ -244,6 +279,22 @@ func ReadMessage(r io.Reader, maxPayload int) (*Message, error) {
 			return nil, fmt.Errorf("%w: truncated trace ID: %w", ErrCorrupt, io.ErrUnexpectedEOF)
 		}
 		traceID = string(tb[:])
+	}
+	var dictID string
+	if flags&flagDict != 0 {
+		var lb [1]byte
+		if _, err := io.ReadFull(r, lb[:]); err != nil {
+			return nil, fmt.Errorf("%w: truncated dictionary-ID length: %w", ErrCorrupt, io.ErrUnexpectedEOF)
+		}
+		n := int(lb[0])
+		if n == 0 || n > maxDictIDLen {
+			return nil, corruptf("dictionary-ID length %d out of [1,%d]", n, maxDictIDLen)
+		}
+		db := make([]byte, n)
+		if _, err := io.ReadFull(r, db); err != nil {
+			return nil, fmt.Errorf("%w: truncated dictionary ID: %w", ErrCorrupt, io.ErrUnexpectedEOF)
+		}
+		dictID = string(db)
 	}
 	nFrames := (int(total) + etherlink.MaxChunk - 1) / etherlink.MaxChunk
 	if nFrames == 0 {
@@ -278,7 +329,7 @@ func ReadMessage(r io.Reader, maxPayload int) (*Message, error) {
 	if err != nil {
 		return nil, fmt.Errorf("%w: %w", ErrCorrupt, err)
 	}
-	return &Message{Op: op, Status: hdr[6], Payload: payload, TraceID: traceID, ReqID: reqID, HasReqID: hasReqID}, nil
+	return &Message{Op: op, Status: hdr[6], Payload: payload, TraceID: traceID, ReqID: reqID, HasReqID: hasReqID, DictID: dictID}, nil
 }
 
 // ParseMessage decodes one message from a byte slice (the fuzz entry
@@ -306,6 +357,8 @@ func statusFor(err error) byte {
 		return StatusBusy
 	case errors.Is(err, ErrDraining):
 		return StatusDraining
+	case errors.Is(err, ErrUnknownDict):
+		return StatusUnknownDict
 	default:
 		return StatusInternal
 	}
@@ -313,21 +366,29 @@ func statusFor(err error) byte {
 
 // StatusErr maps a response status byte back onto the package's typed
 // errors (the client side of statusFor). detail is the response
-// payload, carried as error text.
+// payload, carried as error text; a leading copy of the sentinel's own
+// message is trimmed so the text doesn't stack a prefix per tier when
+// an error round-trips through a routing front.
 func StatusErr(status byte, detail []byte) error {
+	wrap := func(sentinel error) error {
+		text := strings.TrimPrefix(string(detail), sentinel.Error()+": ")
+		return fmt.Errorf("%w: %s", sentinel, text)
+	}
 	switch status {
 	case StatusOK:
 		return nil
 	case StatusCorrupt:
-		return fmt.Errorf("%w: %s", ErrCorrupt, detail)
+		return wrap(ErrCorrupt)
 	case StatusTooLarge:
-		return fmt.Errorf("%w: %s", ErrTooLarge, detail)
+		return wrap(ErrTooLarge)
 	case StatusBusy:
-		return fmt.Errorf("%w: %s", ErrBusy, detail)
+		return wrap(ErrBusy)
 	case StatusDraining:
-		return fmt.Errorf("%w: %s", ErrDraining, detail)
+		return wrap(ErrDraining)
 	case StatusConnLimit:
 		return fmt.Errorf("%w: connection byte cap: %s", ErrTooLarge, detail)
+	case StatusUnknownDict:
+		return wrap(ErrUnknownDict)
 	default:
 		return fmt.Errorf("server: remote error (status %d): %s", status, detail)
 	}

@@ -42,15 +42,17 @@ func TestMessageRoundTrip(t *testing.T) {
 					has bool
 					id  uint32
 				}{{false, 0}, {true, 0}, {true, 0xDEADBEEF}} {
-					m := &Message{Op: op, Status: StatusOK, Payload: p, TraceID: traceID,
-						ReqID: reqID.id, HasReqID: reqID.has}
-					got, err := ParseMessage(encode(t, m), 1<<20)
-					if err != nil {
-						t.Fatalf("payload %d op %d: %v", i, op, err)
-					}
-					if got.Op != op || !bytes.Equal(got.Payload, p) || got.TraceID != traceID ||
-						got.HasReqID != reqID.has || got.ReqID != reqID.id {
-						t.Fatalf("payload %d op %d: round trip mismatch", i, op)
+					for _, dictID := range []string{"", "wiki", "abcdefghijklmnopqrstuvwxyz-01234"} {
+						m := &Message{Op: op, Status: StatusOK, Payload: p, TraceID: traceID,
+							ReqID: reqID.id, HasReqID: reqID.has, DictID: dictID}
+						got, err := ParseMessage(encode(t, m), 1<<20)
+						if err != nil {
+							t.Fatalf("payload %d op %d: %v", i, op, err)
+						}
+						if got.Op != op || !bytes.Equal(got.Payload, p) || got.TraceID != traceID ||
+							got.HasReqID != reqID.has || got.ReqID != reqID.id || got.DictID != dictID {
+							t.Fatalf("payload %d op %d: round trip mismatch", i, op)
+						}
 					}
 				}
 			}
@@ -89,10 +91,31 @@ func TestParseMessageRejections(t *testing.T) {
 		// trace-ID field would be.
 		{name: "flag set without CRC", data: corrupt(func(b []byte) []byte { b[7] = 1; return b }), cap: 1 << 20},
 		{name: "unknown flag bit", data: corrupt(func(b []byte) []byte {
+			b[7] = 8
+			binary.BigEndian.PutUint32(b[12:16], etherlink.CRC32Update(0, b[0:12]))
+			return b
+		}), cap: 1 << 20},
+		// The dict flag with no dict field present: the parser reads the
+		// first payload byte as the ID length ('h' = 104 > 32) and must
+		// reject rather than swallow payload bytes as a name.
+		{name: "dict flag without field", data: corrupt(func(b []byte) []byte {
 			b[7] = 4
 			binary.BigEndian.PutUint32(b[12:16], etherlink.CRC32Update(0, b[0:12]))
 			return b
 		}), cap: 1 << 20},
+		{name: "truncated dict ID length", data: func() []byte {
+			b := encode(t, &Message{Op: OpCompress, Payload: []byte("negotiated"), DictID: "wiki"})
+			return b[:headerLen] // header announces the field, nothing follows
+		}(), cap: 1 << 20},
+		{name: "truncated dict ID body", data: func() []byte {
+			b := encode(t, &Message{Op: OpCompress, Payload: []byte("negotiated"), DictID: "wiki"})
+			return b[:headerLen+2] // length byte + 1 of 4 name bytes
+		}(), cap: 1 << 20},
+		{name: "zero dict ID length", data: func() []byte {
+			b := encode(t, &Message{Op: OpCompress, Payload: []byte("negotiated"), DictID: "w"})
+			b[headerLen] = 0 // the field, once announced, must carry a name
+			return b
+		}(), cap: 1 << 20},
 		{name: "header CRC mismatch", data: corrupt(func(b []byte) []byte { b[12] ^= 0xFF; return b }), cap: 1 << 20},
 		{name: "oversize length", data: big, cap: 1024, tooLarge: true},
 		{name: "truncated frame", data: valid[:len(valid)-2], cap: 1 << 20},
@@ -239,6 +262,8 @@ func FuzzFrameParser(f *testing.F) {
 	f.Add(traced)
 	piped, _ := AppendMessage(nil, &Message{Op: OpResponse, Payload: []byte("ok"), TraceID: "0123456789abcdef", ReqID: 0xC0FFEE, HasReqID: true})
 	f.Add(piped)
+	dicted, _ := AppendMessage(nil, &Message{Op: OpCompress, Payload: []byte("ok"), DictID: "wiki", ReqID: 1, HasReqID: true})
+	f.Add(dicted)
 	two, _ := AppendMessage(nil, &Message{Op: OpDecompress, Payload: bytes.Repeat([]byte{7}, etherlink.MaxChunk+3)})
 	f.Add(two)
 	f.Add(valid[:headerLen-1])
@@ -264,7 +289,7 @@ func FuzzFrameParser(f *testing.F) {
 			t.Fatalf("re-parsing re-encoded message: %v", err)
 		}
 		if m2.Op != m.Op || m2.Status != m.Status || !bytes.Equal(m2.Payload, m.Payload) || m2.TraceID != m.TraceID ||
-			m2.ReqID != m.ReqID || m2.HasReqID != m.HasReqID {
+			m2.ReqID != m.ReqID || m2.HasReqID != m.HasReqID || m2.DictID != m.DictID {
 			t.Fatal("re-encoded message decoded differently")
 		}
 	})

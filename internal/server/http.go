@@ -1,12 +1,14 @@
 package server
 
 import (
+	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
 	"net/http"
 	"time"
 
+	"lzssfpga/internal/cache/dict"
 	"lzssfpga/internal/obs"
 )
 
@@ -15,23 +17,48 @@ import (
 // in its header trace field, and the key into /debug/requests).
 const TraceIDHeader = "X-Lzss-Trace-Id"
 
+// DictHeader negotiates a preset dictionary: a request naming a
+// registered dictionary is compressed (or decompressed) against it,
+// and the response echoes the negotiated ID back in the same header.
+// An unknown ID is a deterministic 400 — never a retryable error.
+const DictHeader = "X-Lzss-Dict"
+
 // HTTPHandler returns the HTTP front:
 //
 //	POST /compress    request body in (chunked or sized), zlib stream
-//	                  out — streamed while later segments compress
+//	                  out — streamed while later segments compress;
+//	                  X-Lzss-Dict selects a preset dictionary
 //	POST /decompress  zlib stream in, raw bytes out, via the hardened
-//	                  limited decoder
+//	                  limited decoder (X-Lzss-Dict seeds the window)
+//	GET  /dicts       JSON listing of the registered dictionaries
 //	GET  /healthz     200 "ok" while serving, 503 "draining" after
 //
-// Error mapping: oversize body → 413, malformed body or corrupt
-// decompress input → 400, at capacity → 429 (Retry-After: 1),
-// draining → 503, wrong method → 405.
+// Error mapping: oversize body → 413, malformed body, corrupt
+// decompress input or unknown dictionary → 400, at capacity → 429
+// (Retry-After: 1), draining → 503, wrong method → 405.
 func (s *Server) HTTPHandler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/compress", s.handleCompress)
 	mux.HandleFunc("/decompress", s.handleDecompress)
+	mux.HandleFunc("/dicts", s.handleDicts)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	return mux
+}
+
+// handleDicts serves the dictionary listing: name, size, Adler-32
+// (the DICTID streams compressed against it carry) and live hit count
+// for every registered dictionary. An empty registry lists as [].
+func (s *Server) handleDicts(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "GET only", http.StatusMethodNotAllowed)
+		return
+	}
+	infos := []dict.Info{}
+	if s.cfg.Dicts != nil {
+		infos = s.cfg.Dicts.List()
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(infos) //nolint:errcheck
 }
 
 // handleHealthz answers liveness probes. The plain form is the
@@ -135,12 +162,45 @@ func (s *Server) handleCompress(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer s.release()
-	w.Header().Set("Content-Type", "application/zlib")
-	ctx := obs.ContextWithRequest(r.Context(), rt)
 	svcStart := time.Now()
+	dictID := r.Header.Get(DictHeader)
+	dictBytes, derr := s.resolveDict(dictID)
+	if derr != nil {
+		s.countError()
+		rt.SetErr(derr)
+		http.Error(w, derr.Error(), http.StatusBadRequest)
+		s.finishRequest(rt, time.Since(svcStart), 0)
+		return
+	}
+	w.Header().Set("Content-Type", "application/zlib")
+	// The body is an exact zlib artifact: an intermediary re-encoding
+	// it would break the Adler/DICTID framing byte-for-byte clients
+	// (and the content-addressed cache) depend on.
+	w.Header().Set("Cache-Control", "no-transform")
+	if dictID != "" {
+		w.Header().Set(DictHeader, dictID)
+	}
+	ctx := obs.ContextWithRequest(r.Context(), rt)
 	var written int64
 	var svcErr error
-	if s.cfg.Resilient {
+	if s.cache != nil || dictBytes != nil {
+		// Cache-fronted (or preset-dictionary) path: the response is a
+		// whole stored-or-computed artifact, written in one piece.
+		out, err := s.compressCached(ctx, body, dictID, dictBytes)
+		if err != nil {
+			s.countError()
+			svcErr = err
+			if ctx.Err() == nil {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+			}
+		} else {
+			wStart := time.Now()
+			n, werr := w.Write(out)
+			rt.AddWrite(time.Since(wStart))
+			written = int64(n)
+			svcErr = werr
+		}
+	} else if s.cfg.Resilient {
 		out, _, err := deflateResilient(ctx, body, s.cfg)
 		if err != nil {
 			// Only cancellation errors here — the client is gone, there
@@ -179,18 +239,31 @@ func (s *Server) handleDecompress(w http.ResponseWriter, r *http.Request) {
 	}
 	defer s.release()
 	svcStart := time.Now()
-	out, err := deflateDecode(body, s.cfg.Decode)
+	dictID := r.Header.Get(DictHeader)
+	dictBytes, derr := s.resolveDict(dictID)
+	if derr != nil {
+		s.countError()
+		rt.SetErr(derr)
+		http.Error(w, derr.Error(), http.StatusBadRequest)
+		s.finishRequest(rt, time.Since(svcStart), 0)
+		return
+	}
+	out, err := s.decompressDict(body, dictBytes)
 	// The inflate call is this request's "compress" stage (there is no
 	// engine involvement on the decompress path).
 	rt.AddCompress(time.Since(svcStart))
 	if err != nil {
 		s.countError()
 		rt.SetErr(err)
-		http.Error(w, fmt.Sprintf("%v: %v", ErrCorrupt, err), http.StatusBadRequest)
+		http.Error(w, err.Error(), http.StatusBadRequest)
 		s.finishRequest(rt, time.Since(svcStart), 0)
 		return
 	}
 	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Cache-Control", "no-transform")
+	if dictID != "" {
+		w.Header().Set(DictHeader, dictID)
+	}
 	wStart := time.Now()
 	w.Write(out) //nolint:errcheck
 	rt.AddWrite(time.Since(wStart))

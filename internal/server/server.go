@@ -12,6 +12,8 @@ import (
 	"sync/atomic"
 	"time"
 
+	"lzssfpga/internal/cache"
+	"lzssfpga/internal/cache/dict"
 	"lzssfpga/internal/deflate"
 	"lzssfpga/internal/lzss"
 )
@@ -65,6 +67,24 @@ type Config struct {
 	// Decode bounds the /decompress path (zero selects MaxOutputBytes =
 	// 16×MaxRequestBytes capped at 1 GiB, MaxBlocks = 1<<20).
 	Decode deflate.DecodeLimits
+
+	// CacheBytes, when positive, puts the content-addressed result
+	// cache in front of the engine: compress responses are cached under
+	// (payload hash, config fingerprint, dictionary ID) within this
+	// byte budget, and concurrent misses on one key coalesce onto a
+	// single engine pass. A custom Params.Hash silently disables the
+	// cache — its effect on emitted bytes cannot be fingerprinted.
+	CacheBytes int64
+	// CacheVerify enables the cache's paranoid mode: every hit is
+	// re-inflated and compared against the request payload before being
+	// served (a corruption tripwire for burn-in, not a production
+	// default).
+	CacheVerify bool
+	// Dicts is the preset-dictionary registry consulted by per-request
+	// negotiation (HTTP X-Lzss-Dict, wire dict field). Nil rejects
+	// every negotiation as unknown; dictionary-less requests are
+	// unaffected.
+	Dicts *dict.Registry
 
 	// SlowLog, when positive, enables structured request logging: every
 	// request slower than this threshold — and every failed request —
@@ -126,6 +146,12 @@ type Server struct {
 	// whole service time; an empty channel means at capacity.
 	slots chan struct{}
 
+	// cache is the content-addressed result cache (nil when disabled);
+	// fp is this configuration's fingerprint — the Params component of
+	// every cache key this server builds.
+	cache *cache.Cache
+	fp    uint64
+
 	httpSrv *http.Server
 	httpLn  net.Listener
 	tcpLn   net.Listener
@@ -152,11 +178,16 @@ func New(cfg Config) (*Server, error) {
 	if err := cfg.Params.Validate(); err != nil {
 		return nil, err
 	}
-	return &Server{
+	s := &Server{
 		cfg:   cfg,
 		slots: make(chan struct{}, cfg.MaxInflight),
 		conns: make(map[*tcpConn]struct{}),
-	}, nil
+	}
+	s.fp = configFingerprint(cfg)
+	if cfg.CacheBytes > 0 && !cfg.Params.HasCustomHash() {
+		s.cache = cache.New(cache.Config{MaxBytes: cfg.CacheBytes, Verify: cfg.CacheVerify})
+	}
+	return s, nil
 }
 
 // Config returns the resolved configuration (defaults applied).

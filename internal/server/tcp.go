@@ -184,6 +184,15 @@ func (s *Server) serveMessage(tc *tcpConn, msg *Message) error {
 	}
 	rt := obs.NewRequestTrace("tcp", op)
 	rt.InBytes = int64(len(msg.Payload))
+	// Resolve the dictionary negotiation before taking an engine slot:
+	// an unknown ID is a deterministic client error that should not
+	// consume capacity.
+	dictBytes, derr := s.resolveDict(msg.DictID)
+	if derr != nil {
+		s.countError()
+		rt.SetErr(derr)
+		return s.writeResponse(tc, rt, msg, StatusUnknownDict, []byte(derr.Error()))
+	}
 	if !s.acquire() {
 		return s.writeResponse(tc, rt, msg, StatusBusy, []byte("server at capacity, retry"))
 	}
@@ -199,7 +208,7 @@ func (s *Server) serveMessage(tc *tcpConn, msg *Message) error {
 	var err error
 	switch msg.Op {
 	case OpCompress:
-		out, err = s.compress(ctx, msg.Payload)
+		out, err = s.compressCached(ctx, msg.Payload, msg.DictID, dictBytes)
 		if err != nil {
 			s.countError()
 			rt.SetErr(err)
@@ -209,7 +218,7 @@ func (s *Server) serveMessage(tc *tcpConn, msg *Message) error {
 		}
 	case OpDecompress:
 		decStart := time.Now()
-		out, err = s.decompress(msg.Payload)
+		out, err = s.decompressDict(msg.Payload, dictBytes)
 		rt.AddCompress(time.Since(decStart))
 		if err != nil {
 			// The client's stream was bad; the connection is fine.
@@ -243,6 +252,11 @@ func (s *Server) writeResponse(tc *tcpConn, rt *obs.RequestTrace, req *Message, 
 	if req != nil && req.HasReqID {
 		resp.ReqID = req.ReqID
 		resp.HasReqID = true
+	}
+	// Echo the negotiated dictionary ID on success, mirroring the HTTP
+	// front's X-Lzss-Dict response header.
+	if req != nil && req.DictID != "" && status == StatusOK {
+		resp.DictID = req.DictID
 	}
 	start := time.Now()
 	tc.wmu.Lock()

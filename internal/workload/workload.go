@@ -40,8 +40,10 @@ func ByName(name string) (Generator, error) {
 		return Bitstream, nil
 	case "mixed":
 		return Mixed, nil
+	case "json", "jsonish", "JSON":
+		return JSONish, nil
 	default:
-		return nil, fmt.Errorf("workload: unknown corpus %q (want wiki, x2e, bitstream, random or zeros)", name)
+		return nil, fmt.Errorf("workload: unknown corpus %q (want wiki, x2e, json, bitstream, random or zeros)", name)
 	}
 }
 
@@ -233,6 +235,82 @@ func CAN(n int, seed int64) []byte {
 			rec[8+b] = m.val[b]
 		}
 		out = append(out, rec[:]...)
+	}
+	return out[:n]
+}
+
+// Value vocabularies for the JSONish generator: API telemetry streams
+// repeat the same key schema and a small value set in every record,
+// which is exactly the redundancy a preset dictionary captures.
+var jsonServices = []string{
+	"compress-api", "ingest-gw", "edge-cache", "billing", "auth", "search",
+}
+
+var jsonPaths = []string{
+	"/v1/compress", "/v1/decompress", "/v1/dicts", "/healthz", "/metrics",
+	"/v2/objects", "/v2/objects/hot",
+}
+
+// JSONish returns n bytes of newline-delimited JSON-like telemetry
+// records: a fixed key schema, a small value vocabulary and
+// monotonically drifting numerics — the repetitive short-record class
+// where preset-dictionary compression wins hardest (the dictionary
+// carries the schema so even a single record compresses well).
+func JSONish(n int, seed int64) []byte {
+	rng := rand.New(rand.NewSource(seed ^ 0x150B5E55))
+	out := make([]byte, 0, n+512)
+	ts := int64(1700000000000) + rng.Int63n(1<<30)
+	appendKV := func(key, val string, quote bool) {
+		out = append(out, '"')
+		out = append(out, key...)
+		out = append(out, `":`...)
+		if quote {
+			out = append(out, '"')
+			out = append(out, val...)
+			out = append(out, '"')
+		} else {
+			out = append(out, val...)
+		}
+	}
+	for len(out) < n {
+		ts += int64(1 + rng.Intn(900))
+		out = append(out, '{')
+		appendKV("timestamp", fmt.Sprintf("%d", ts), false)
+		out = append(out, ',')
+		lvl := "info"
+		if rng.Intn(20) == 0 {
+			lvl = "error"
+		} else if rng.Intn(8) == 0 {
+			lvl = "warn"
+		}
+		appendKV("level", lvl, true)
+		out = append(out, ',')
+		appendKV("service", jsonServices[rng.Intn(len(jsonServices))], true)
+		out = append(out, ',')
+		appendKV("host", fmt.Sprintf("node-%02d", rng.Intn(24)), true)
+		out = append(out, ',')
+		appendKV("method", []string{"GET", "POST", "PUT"}[rng.Intn(3)], true)
+		out = append(out, ',')
+		appendKV("path", jsonPaths[rng.Intn(len(jsonPaths))], true)
+		out = append(out, ',')
+		appendKV("status", []string{"200", "200", "200", "204", "404", "429", "500"}[rng.Intn(7)], false)
+		out = append(out, ',')
+		appendKV("latency_ms", fmt.Sprintf("%d.%03d", rng.Intn(40), rng.Intn(1000)), false)
+		out = append(out, ',')
+		appendKV("bytes_out", fmt.Sprintf("%d", 64+rng.Intn(1<<16)), false)
+		out = append(out, ',')
+		appendKV("trace_id", fmt.Sprintf("%016x", rng.Uint64()), true)
+		if rng.Intn(6) == 0 {
+			out = append(out, ',')
+			appendKV("cache", []string{"hit", "miss", "coalesced"}[rng.Intn(3)], true)
+		}
+		if lvl == "error" {
+			out = append(out, ',')
+			appendKV("error", "upstream timeout exceeded", true)
+			out = append(out, ',')
+			appendKV("retries", fmt.Sprintf("%d", rng.Intn(4)), false)
+		}
+		out = append(out, "}\n"...)
 	}
 	return out[:n]
 }

@@ -179,3 +179,37 @@ func TestBitstreamByName(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestJSONishStructureAndRatio(t *testing.T) {
+	data := JSONish(100000, 9)
+	if !bytes.Equal(data, JSONish(100000, 9)) {
+		t.Fatal("not deterministic")
+	}
+	if len(data) != 100000 {
+		t.Fatalf("size %d", len(data))
+	}
+	// Records are newline-delimited objects over a fixed key schema.
+	lines := bytes.Split(data, []byte("\n"))
+	complete := 0
+	for _, ln := range lines {
+		if len(ln) == 0 {
+			continue
+		}
+		if ln[0] == '{' && ln[len(ln)-1] == '}' {
+			complete++
+			if !bytes.Contains(ln, []byte(`"timestamp":`)) || !bytes.Contains(ln, []byte(`"service":`)) {
+				t.Fatalf("record missing schema keys: %q", ln)
+			}
+		}
+	}
+	if complete < 100 {
+		t.Fatalf("only %d complete records", complete)
+	}
+	// The repeated schema makes it compress well even at fast settings.
+	if r := ratioAt(t, data, lzss.HWSpeedParams()); r < 2.0 {
+		t.Fatalf("json ratio %.2f, want >= 2", r)
+	}
+	if _, err := ByName("json"); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -21,6 +21,8 @@ import (
 	"net/http"
 	"sync"
 
+	"lzssfpga/internal/cache"
+	"lzssfpga/internal/cache/dict"
 	"lzssfpga/internal/cluster"
 	"lzssfpga/internal/core"
 	"lzssfpga/internal/deflate"
@@ -260,8 +262,9 @@ func NewTracer() *Tracer { return obs.NewTracer() }
 
 // EnableObservability points every instrumented layer (lzss matcher,
 // deflate pipeline + streaming writer, compression engine, hardware
-// cycle model, logger, etherlink, serving layer, cluster routing tier)
-// at reg. Pass nil to disable again.
+// cycle model, logger, etherlink, serving layer, cluster routing tier,
+// result cache, dictionary registry) at reg. Pass nil to disable
+// again.
 // Instrumentation is compiled in but batched: hot loops count locally
 // and flush deltas at block/segment granularity, so the enabled
 // overhead on the compression hot path stays under 2%
@@ -275,6 +278,8 @@ func EnableObservability(reg *MetricsRegistry) {
 	etherlink.SetObservability(reg)
 	server.SetObservability(reg)
 	cluster.SetObservability(reg)
+	cache.SetObservability(reg)
+	dict.SetObservability(reg)
 	// Runtime self-telemetry (goroutines, heap, GC pauses) rides along
 	// in the same registry, refreshed at scrape time.
 	obs.RegisterRuntime(reg)
@@ -390,11 +395,37 @@ func NewServer(cfg ServerConfig) (*Server, error) { return server.New(cfg) }
 
 // Typed serving-layer errors: ErrServerBusy is the backpressure
 // rejection (HTTP 429 / wire StatusBusy), ErrServerDraining the
-// drain-time refusal (HTTP 503 / wire StatusDraining).
+// drain-time refusal (HTTP 503 / wire StatusDraining),
+// ErrUnknownDict the deterministic rejection of a dictionary
+// negotiation naming an unregistered ID (HTTP 400 / wire
+// StatusUnknownDict).
 var (
 	ErrServerBusy     = server.ErrBusy
 	ErrServerDraining = server.ErrDraining
+	ErrUnknownDict    = server.ErrUnknownDict
 )
+
+// DictRegistry holds the named preset dictionaries a Server negotiates
+// per request (ServerConfig.Dicts): HTTP X-Lzss-Dict header, framed
+// TCP dict field, listed at GET /dicts.
+type DictRegistry = dict.Registry
+
+// NewDictRegistry returns an empty dictionary registry; register
+// dictionaries with Add before serving.
+func NewDictRegistry() *DictRegistry { return dict.NewRegistry() }
+
+// NewBuiltinDictRegistry builds a registry holding the named built-in
+// content-class dictionaries ("wiki", "can", "json"; empty selects
+// all). Built-ins are trained deterministically from the workload
+// generators, so every process resolves a class to byte-identical
+// dictionary content — streams compressed on one node decode on any
+// other.
+func NewBuiltinDictRegistry(classes ...string) (*DictRegistry, error) {
+	return dict.NewBuiltinRegistry(classes...)
+}
+
+// DictBuiltinClasses lists the built-in content-class names.
+func DictBuiltinClasses() []string { return dict.BuiltinClasses() }
 
 // ParseFaultSpec parses the -faults syntax: comma-separated key=value,
 // e.g. "drop=0.05,flip=0.01,panic=0.1,seed=7". Keys: drop, dup,

@@ -14,8 +14,9 @@ import (
 // TestMetricNamesDrift is the names-drift guard (ci.sh runs it as its
 // own gate): every canonical name declared in internal/obs/names.go
 // must be registered — and therefore exposed — by a fully-enabled
-// registry, and the serving-path families (server_*, engine_*,
-// runtime_*) must not expose any metric that names.go does not declare.
+// registry, and the serving-path families (server_*, engine_* — which
+// covers engine_cache_* — runtime_*, cluster_*, dict_*) must not
+// expose any metric that names.go does not declare.
 // A new metric registered ad hoc, or a canonical name no code registers
 // anymore, both fail here instead of silently drifting the dashboards.
 func TestMetricNamesDrift(t *testing.T) {
@@ -38,6 +39,19 @@ func TestMetricNamesDrift(t *testing.T) {
 	if _, err := lzssfpga.Decompress(z); err != nil {
 		t.Fatal(err)
 	}
+	// Exercise the dictionary registry too: a resolve (hit) and a miss
+	// flow through the dict_* sinks, and the built-ins feed the
+	// registered-count gauge at scrape time.
+	dicts, err := lzssfpga.NewBuiltinDictRegistry()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dicts.Resolve("wiki"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dicts.Resolve("no-such-dict"); err == nil {
+		t.Fatal("bogus dictionary resolved")
+	}
 
 	var prom strings.Builder
 	if err := reg.WritePrometheus(&prom); err != nil {
@@ -57,7 +71,7 @@ func TestMetricNamesDrift(t *testing.T) {
 		}
 	}
 	for name := range exposed {
-		for _, prefix := range []string{"server_", "engine_", "runtime_", "cluster_"} {
+		for _, prefix := range []string{"server_", "engine_", "runtime_", "cluster_", "dict_"} {
 			if strings.HasPrefix(name, prefix) && !canonical[name] {
 				t.Errorf("metric %s is exposed but not declared in internal/obs/names.go", name)
 			}
