@@ -5,10 +5,14 @@
 # check, and the server e2e/drain/soak suite), the cache stampede soak
 # and the preset-dictionary round-trip gate, the cluster kill/drain
 # chaos gate, the metric names-drift
-# guard, a coverage floor on the serving layer, a bounded fuzz pass over
-# the hardened inflate entry points and the wire-frame parser,
+# guard, coverage floors on the serving and matching layers, the
+# suffix-array differential battery (cross-matcher round trips, the
+# cache-key aliasing regression, the SA cluster front), a bounded fuzz
+# pass over the hardened inflate entry points, the wire-frame parser
+# and the all-levels round-trip differential,
 # the observability overhead budget, and a fresh machine-readable
-# benchmark point — including the GOMAXPROCS scaling sweep — gated
+# benchmark point — including the GOMAXPROCS scaling sweep and the
+# level-dial ratio table with its SA-beats-level-9 gate — gated
 # against the committed previous-PR baseline (the BENCH_*.json
 # trajectory format; see README "Performance & profiling").
 set -eu
@@ -73,6 +77,19 @@ echo "== cluster chaos gate (race) =="
 # scrape (see TestClusterChaos).
 go test -race -run TestClusterChaos -count=1 -timeout 180s ./internal/cluster
 
+echo "== suffix-array differential battery (race) =="
+# The high-ratio tier's proof obligations: command streams verified by
+# a naive replayer and decoded byte-exact on every gen2 corpus at all
+# three SA levels, SA output never larger than greedy level-6 zlib
+# bytes, the parallel pipeline serving the tier per-segment, the
+# level-9/level-10 cache-key aliasing regression, and byte-exact
+# round trips through a 3-backend SA cluster front. (The server e2e SA
+# round trip rides the TestServerE2E gate above.)
+go test -race -run 'TestSACrossMatcher|TestSAMatchesNoShorterThanGreedy|TestSAConfigSurface|TestSAGreedyTail' -count=1 ./internal/lzss
+go test -race -run 'TestSARatioMonotonic|TestSAParallelPipeline' -count=1 ./internal/deflate
+go test -race -run 'TestConfigFingerprintLevelAliasing|TestCacheNeverAliasesAcrossLevels' -count=1 ./internal/server
+go test -race -run 'TestFrontSALevelRoundTrip' -count=1 ./internal/cluster
+
 echo "== metric names-drift guard =="
 # Every canonical name in internal/obs/names.go must be registered by a
 # fully-enabled registry, and the serving-path families must expose no
@@ -87,34 +104,60 @@ if [ -z "$cover" ] || ! awk "BEGIN { exit !($cover >= 80.0) }"; then
 	exit 1
 fi
 
+echo "== matcher coverage gates (>= 80%) =="
+for pkg in ./internal/lzss ./internal/lzss/sa; do
+	cover=$(go test -cover -count=1 "$pkg" | awk '/coverage:/ { sub("%", "", $5); print $5 }')
+	echo "$pkg statement coverage: ${cover}%"
+	if [ -z "$cover" ] || ! awk "BEGIN { exit !($cover >= 80.0) }"; then
+		echo "$pkg coverage ${cover}% is below the 80% gate" >&2
+		exit 1
+	fi
+done
+
 echo "== inflate fuzz (10s) =="
 go test -run '^$' -fuzz FuzzInflate -fuzztime 10s ./internal/deflate
 
 echo "== frame parser fuzz (10s) =="
 go test -run '^$' -fuzz FuzzFrameParser -fuzztime 10s ./internal/server
 
+echo "== all-levels round-trip fuzz (10s) =="
+# The cross-matcher differential oracle: every level of the dial —
+# gen2 greedy, chain-lazy, suffix-array optimal — must round-trip any
+# input through BOTH the stdlib inflater and the hardened one.
+go test -run '^$' -fuzz FuzzRoundTripAllLevels -fuzztime 10s ./internal/deflate
+
 echo "== observability overhead budget =="
 go test -run '^$' -bench ObsOverhead -benchtime 5x -count=1 .
 
-echo "== benchmark report (scaling sweep, gated vs BENCH_pr6.json) =="
-# Also runs the hot-block serving gate: cached_hot_wiki must beat
-# uncached_zlib_wiki by >= 10x or the report run fails.
-go run ./cmd/lzssbench -json BENCH_pr9.json -sweep -compare BENCH_pr6.json
-cat BENCH_pr9.json
+echo "== benchmark report (scaling sweep, gated vs BENCH_pr9.json) =="
+# Also runs the hot-block serving gate (cached_hot_wiki must beat
+# uncached_zlib_wiki by >= 10x) and the level-dial ratio gate (every
+# suffix-array level must strictly beat level 9's ratio on wiki).
+go run ./cmd/lzssbench -json BENCH_pr10.json -sweep -compare BENCH_pr9.json
+cat BENCH_pr10.json
 
 echo "== sweep completeness guard (p4 row present) =="
 # The scaling story depends on the GOMAXPROCS=4 sweep point existing in
 # the committed trajectory; a sweep that silently skipped it (or a
 # refactor that dropped the sweep) must fail CI, not ship a hole.
-if ! grep -q '"gomaxprocs": 4' BENCH_pr9.json; then
-	echo "BENCH_pr9.json sweep section is missing the GOMAXPROCS=4 row" >&2
+if ! grep -q '"gomaxprocs": 4' BENCH_pr10.json; then
+	echo "BENCH_pr10.json sweep section is missing the GOMAXPROCS=4 row" >&2
 	exit 1
 fi
 
 echo "== cached serving row guard =="
 # The hot-block trajectory rows must land in the committed report.
-if ! grep -q '"cached_hot_wiki"' BENCH_pr9.json || ! grep -q '"uncached_zlib_wiki"' BENCH_pr9.json; then
-	echo "BENCH_pr9.json is missing the cached/uncached hot-block rows" >&2
+if ! grep -q '"cached_hot_wiki"' BENCH_pr10.json || ! grep -q '"uncached_zlib_wiki"' BENCH_pr10.json; then
+	echo "BENCH_pr10.json is missing the cached/uncached hot-block rows" >&2
+	exit 1
+fi
+
+echo "== level table row guard =="
+# The ratio/throughput trade-off table must land in the committed
+# report, SA endpoints included (the in-run gate already proved the
+# ratios; this guards the rows' presence in the trajectory).
+if ! grep -q '"serial_wiki_l9"' BENCH_pr10.json || ! grep -q '"serial_wiki_l12"' BENCH_pr10.json; then
+	echo "BENCH_pr10.json is missing the level-dial ratio table rows" >&2
 	exit 1
 fi
 

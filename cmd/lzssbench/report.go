@@ -198,6 +198,47 @@ func benchCacheServing(data []byte, iters int) ([]benchEntry, error) {
 	return []benchEntry{uncached, cached}, nil
 }
 
+// levelTableLevels spans the dial for the ratio/throughput trade-off
+// table: generation-two greedy (1, 3), chain-lazy (6, 9), and the
+// suffix-array high-ratio tier (10-12).
+var levelTableLevels = []lzssfpga.Level{1, 3, 6, 9, 10, 11, 12}
+
+// benchLevelTable measures serial compression at each point of the
+// level dial on a wiki slice — the serial_wiki_l<N> trajectory rows —
+// and gates the suffix-array tier's reason to exist: every SA level's
+// ratio must STRICTLY beat the level-9 chain matcher on the same
+// bytes, or the report run fails. The slice is capped at 1 MiB because
+// the SA tier trades throughput for ratio (~2.5 MB/s); the ratio is
+// size-stable and the row exists for the trade-off curve, not for
+// corpus-scaling behaviour.
+func benchLevelTable(data []byte, iters int) ([]benchEntry, error) {
+	if len(data) > 1<<20 {
+		data = data[:1<<20]
+	}
+	var out []benchEntry
+	var chainRatio float64 // level 9: best chain-matcher ratio
+	for _, lvl := range levelTableLevels {
+		lvl := lvl
+		p := lzssfpga.LevelParams(lvl, 32768, 15)
+		e, err := benchOne(fmt.Sprintf("serial_wiki_l%d", lvl), data, iters, func() ([]byte, error) {
+			return lzssfpga.Compress(data, p)
+		})
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, e)
+		fmt.Printf("level table: l%-2d %8.2f MB/s  ratio %.3f  (%s)\n", lvl, e.MBPerS, e.Ratio, p.Tier())
+		if lvl == 9 {
+			chainRatio = e.Ratio
+		}
+		if lvl >= lzssfpga.LevelSAMin && e.Ratio <= chainRatio {
+			return nil, fmt.Errorf("SA gate: level %d ratio %.3f does not beat level-9 ratio %.3f on wiki",
+				lvl, e.Ratio, chainRatio)
+		}
+	}
+	return out, nil
+}
+
 // cpuModel returns the host CPU model name, best-effort: the first
 // "model name" line of /proc/cpuinfo, empty on any failure (non-Linux
 // hosts, locked-down containers).
@@ -278,6 +319,15 @@ func writeJSONReport(path string, bytes int, seed int64, sweep bool, reg *lzssfp
 		cacheRows[i].GOMAXPROCS = rep.GOMAXPROCS
 	}
 	rep.Results = append(rep.Results, cacheRows...)
+	// Level-dial trade-off table, with the SA-beats-chain ratio gate.
+	levelRows, err := benchLevelTable(data, iters)
+	if err != nil {
+		return nil, err
+	}
+	for i := range levelRows {
+		levelRows[i].GOMAXPROCS = rep.GOMAXPROCS
+	}
+	rep.Results = append(rep.Results, levelRows...)
 	if sweep {
 		entries, err := sweepParallel(data, p, iters)
 		if err != nil {
@@ -378,8 +428,22 @@ func compareReports(cur *benchReport, oldPath string) error {
 	scale := 1.0
 	if cur.CalibMBPerS > 0 && old.CalibMBPerS > 0 {
 		scale = cur.CalibMBPerS / old.CalibMBPerS
-		fmt.Printf("compare: machine calibration %.2f MB/s now vs %.2f then: scaling baselines by %.3f\n",
-			cur.CalibMBPerS, old.CalibMBPerS, scale)
+		if scale > 1 {
+			// One-sided scaling: the calibration exists so a slower CI box
+			// doesn't read as a code regression. In the other direction it
+			// is not trustworthy — the proxy (Adler-32) is memory-bandwidth
+			// bound while compression is branch-bound, and on shared
+			// containers the proxy has been observed to move 78% between
+			// runs while compression moved 17%. Raising floors above what
+			// any previous run actually measured manufactures fake
+			// regressions, so a faster-looking box gates on raw baselines.
+			fmt.Printf("compare: calibration %.2f MB/s now vs %.2f then reads faster; clamping scale %.3f -> 1.000 (floors stay at raw baselines)\n",
+				cur.CalibMBPerS, old.CalibMBPerS, scale)
+			scale = 1.0
+		} else {
+			fmt.Printf("compare: machine calibration %.2f MB/s now vs %.2f then: scaling baselines by %.3f\n",
+				cur.CalibMBPerS, old.CalibMBPerS, scale)
+		}
 	}
 	var regressions []string
 	for _, e := range cur.Results {

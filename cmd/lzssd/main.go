@@ -63,6 +63,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"strconv"
 	"strings"
 	"syscall"
 	"time"
@@ -76,7 +77,7 @@ var (
 	tcpAddr  = flag.String("tcp", ":8391", "framed TCP front address (empty disables)")
 	metrics  = flag.String("metrics", "", "serve /metrics, /debug/vars and /debug/pprof/ on this address")
 
-	levelArg = flag.String("level", "min", "compression level: min, default, max")
+	levelArg = flag.String("level", "min", "compression level: min, default, max, or 1..12 (10-12 select the suffix-array high-ratio tier)")
 	window   = flag.Int("window", 4096, "dictionary size (power of two, <= 32768)")
 	hashBits = flag.Uint("hash", 15, "hash bit count")
 	segment  = flag.Int("segment", 0, "parallel segment size in bytes (0 = 256 KiB, -1 = adaptive)")
@@ -123,6 +124,7 @@ func realMain() int {
 	}
 	cfg := lzssfpga.ServerConfig{
 		Params:          params,
+		LevelName:       *levelArg,
 		Segment:         *segment,
 		Workers:         *workers,
 		MaxRequestBytes: *maxBody,
@@ -291,7 +293,9 @@ func dictRegistry() (*lzssfpga.DictRegistry, error) {
 
 // level maps -level/-window/-hash onto matcher parameters, mirroring
 // lzsszip's mapping ("min" is the paper's speed point when the window
-// is left at its 4 KiB default).
+// is left at its 4 KiB default; numeric 10-12 select the suffix-array
+// high-ratio tier, at the full 32 KiB window when -window/-hash are
+// left at their defaults).
 func level() (lzssfpga.Params, error) {
 	switch *levelArg {
 	case "min":
@@ -304,6 +308,14 @@ func level() (lzssfpga.Params, error) {
 	case "max":
 		return lzssfpga.LevelParams(lzssfpga.LevelMax, *window, *hashBits), nil
 	default:
-		return lzssfpga.Params{}, fmt.Errorf("unknown level %q (want min, default or max)", *levelArg)
+		n, err := strconv.Atoi(*levelArg)
+		if err != nil || n < int(lzssfpga.LevelMin) || n > int(lzssfpga.LevelSAMax) {
+			return lzssfpga.Params{}, fmt.Errorf("unknown level %q (want min, default, max or 1..12)", *levelArg)
+		}
+		lvl := lzssfpga.Level(n)
+		if lvl >= lzssfpga.LevelSAMin && *window == 4096 && *hashBits == 15 {
+			return lzssfpga.SARatioParams(lvl), nil
+		}
+		return lzssfpga.LevelParams(lvl, *window, *hashBits), nil
 	}
 }

@@ -26,6 +26,7 @@ import (
 	"path/filepath"
 	"runtime"
 	"runtime/pprof"
+	"strconv"
 	"strings"
 	"time"
 
@@ -37,7 +38,7 @@ var (
 	decompress = flag.Bool("d", false, "decompress")
 	test       = flag.Bool("t", false, "test integrity of a compressed file")
 	out        = flag.String("o", "", "output path (default: input + .zz / stripped)")
-	levelArg   = flag.String("level", "min", "compression level: min, default, max")
+	levelArg   = flag.String("level", "min", "compression level: min, default, max, or 1..12 (10-12 = suffix-array high-ratio tier)")
 	window     = flag.Int("window", 32768, "dictionary size (power of two, <= 32768)")
 	hashBits   = flag.Uint("hash", 15, "hash bit count")
 	best       = flag.Bool("best", false, "pick stored/fixed/dynamic per block (smaller output)")
@@ -182,7 +183,11 @@ func levelParams() (lzssfpga.Params, error) {
 	case "max":
 		lvl = lzssfpga.LevelMax
 	default:
-		return lzssfpga.Params{}, fmt.Errorf("unknown level %q", *levelArg)
+		n, err := strconv.Atoi(*levelArg)
+		if err != nil || n < int(lzssfpga.LevelMin) || n > int(lzssfpga.LevelSAMax) {
+			return lzssfpga.Params{}, fmt.Errorf("unknown level %q (want min, default, max or 1..12)", *levelArg)
+		}
+		lvl = lzssfpga.Level(n)
 	}
 	return lzssfpga.LevelParams(lvl, *window, *hashBits), nil
 }

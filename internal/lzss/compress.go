@@ -1,6 +1,8 @@
 package lzss
 
 import (
+	"math/bits"
+
 	"lzssfpga/internal/token"
 )
 
@@ -31,7 +33,9 @@ func CompressAppend(dst []token.Command, src []byte, p Params) ([]token.Command,
 		copy(grown, dst)
 		dst = grown
 	}
-	if p.Lazy {
+	if p.SA && p.Lazy {
+		dst = compressSAOptimal(m, src, dst)
+	} else if p.Lazy {
 		dst = compressLazy(m, src, dst)
 	} else {
 		dst = compressGreedy(m, src, dst)
@@ -48,7 +52,9 @@ func CompressAppend(dst []token.Command, src []byte, p Params) ([]token.Command,
 func CompressReuse(dst []token.Command, m *Matcher, src []byte) []token.Command {
 	m.Reset(src)
 	m.stats.InputBytes += int64(len(src))
-	if m.p.Lazy {
+	if m.p.SA && m.p.Lazy {
+		dst = compressSAOptimal(m, src, dst)
+	} else if m.p.Lazy {
 		dst = compressLazy(m, src, dst)
 	} else {
 		dst = compressGreedy(m, src, dst)
@@ -265,6 +271,117 @@ func compressLazy(m *Matcher, src []byte, cmds []token.Command) []token.Command 
 		cmds = emitLit(cmds, m, src[len(src)-1])
 	}
 	return cmds
+}
+
+// ---- Suffix-array tier: cost-model optimal parse ----
+
+// litFixedBits is the fixed-Huffman cost of a literal (RFC 1951 §3.2.6:
+// 8 bits for 0-143, 9 for 144-255).
+func litFixedBits(b byte) int32 {
+	if b < 144 {
+		return 8
+	}
+	return 9
+}
+
+// copyFixedBits is the fixed-Huffman cost of a (length, distance)
+// command: length-code bits (7 for codes 257-279, 8 for 280-285) plus
+// length extra bits, plus the 5-bit distance code and its extra bits.
+// The final stream is usually dynamic-Huffman, so this is a proxy cost —
+// but a monotone, distance-aware one, which is all the parse needs.
+func copyFixedBits(length int, dist int32) int32 {
+	var c int32
+	switch {
+	case length <= 10:
+		c = 7
+	case length <= 18:
+		c = 7 + 1
+	case length <= 34:
+		c = 7 + 2
+	case length <= 66:
+		c = 7 + 3
+	case length <= 114:
+		c = 7 + 4
+	case length <= 130:
+		c = 8 + 4
+	case length <= 257:
+		c = 8 + 5
+	default: // 258, code 285
+		c = 8
+	}
+	c += 5 // fixed distance code
+	if dist > 4 {
+		// Distance slots 4.. carry floor(log2(d-1))-1 extra bits.
+		c += int32(bits.Len32(uint32(dist-1)) - 2)
+	}
+	return c
+}
+
+// compressSAOptimal is the suffix-array tier's parse: a backward
+// shortest-path over the exact longest-match table (ROADMAP item 3's
+// "optimal parse"). Three passes:
+//
+//  1. forward, query the longest match (and its distance) at every
+//     position — the monotone probe order the sliding index needs;
+//  2. backward DP: cost[i] = min bits to encode src[i:] under the
+//     fixed-Huffman cost model, choosing a literal or any length
+//     3..L(i) of the match at i (every prefix of a match is a match);
+//  3. forward replay of the chosen commands.
+//
+// Unlike greedy/lazy, this weighs a long match at i against literals
+// or shorter matches that set up an even longer match inside it, and
+// prices distance extra bits instead of using the tooFar cliff.
+func compressSAOptimal(m *Matcher, src []byte, cmds []token.Command) []token.Command {
+	n := len(src)
+	if n == 0 {
+		return cmds
+	}
+	mLen := growInt32(&m.saMLen, n)
+	mDist := growInt32(&m.saMDist, n)
+	cost := growInt32(&m.saCost, n+1)
+	pick := growInt32(&m.saPick, n)
+
+	for pos := 0; pos <= n-token.MinMatch; pos++ {
+		m.stats.LazyEvals++
+		l, d := m.saFind(pos)
+		mLen[pos], mDist[pos] = int32(l), int32(d)
+	}
+	for pos := n - token.MinMatch + 1; pos >= 0 && pos < n; pos++ {
+		mLen[pos] = 0
+	}
+
+	cost[n] = 0
+	for i := n - 1; i >= 0; i-- {
+		best := cost[i+1] + litFixedBits(src[i])
+		sel := int32(0)
+		if L := int(mLen[i]); L >= token.MinMatch {
+			d := mDist[i]
+			for l := token.MinMatch; l <= L; l++ {
+				if c := cost[i+l] + copyFixedBits(l, d); c < best {
+					best, sel = c, int32(l)
+				}
+			}
+		}
+		cost[i], pick[i] = best, sel
+	}
+
+	for i := 0; i < n; {
+		if l := int(pick[i]); l != 0 {
+			cmds = emitCopy(cmds, m, int(mDist[i]), l)
+			i += l
+		} else {
+			cmds = emitLit(cmds, m, src[i])
+			i++
+		}
+	}
+	return cmds
+}
+
+func growInt32(buf *[]int32, n int) []int32 {
+	if cap(*buf) < n {
+		*buf = make([]int32, n)
+	}
+	return (*buf)[:n]
 }
 
 // Decompress replays a command stream back into the original bytes.

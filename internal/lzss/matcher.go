@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"math/bits"
 
+	"lzssfpga/internal/lzss/sa"
 	"lzssfpga/internal/token"
 )
 
@@ -29,6 +30,22 @@ type Matcher struct {
 	// h4shift is the right shift of the 4-byte multiplicative hash,
 	// 32 - HashBits, valid only when p.Hash4 is set.
 	h4shift uint32
+	// sam is the suffix-array index of the high-ratio tier (Params.SA).
+	// When set, the chain tables are not allocated: FindMatch queries
+	// the index, and Insert/InsertRange are no-ops (the indexed region
+	// already covers every position it spans). The index slides: it
+	// covers src[saBase:saBase+len], rebuilt whenever the probe position
+	// reaches saNext (see saRebuild) so that the admissible window
+	// [pos-Window+1, pos) always lies inside the indexed region and
+	// out-of-window suffixes never crowd the rank-neighbour scan.
+	sam    *sa.Index
+	saBase int // absolute position of the indexed region's start
+	saNext int // absolute position at which the index must be rebuilt
+	// Optimal-parse scratch (compressSAOptimal), reused across blocks.
+	saMLen  []int32 // longest match length at each position
+	saMDist []int32 // its distance
+	saCost  []int32 // DP: minimal bits to encode src[i:]
+	saPick  []int32 // DP: chosen command at i (0 = literal, else length)
 	// Local observability state: fixed histogram arrays updated with
 	// plain increments on the hot path, and the last-flushed Stats
 	// snapshot. FlushObs publishes the deltas into the wired registry
@@ -46,6 +63,9 @@ func NewMatcher(src []byte, p Params, stats *Stats) (*Matcher, error) {
 	}
 	if stats == nil {
 		stats = &Stats{}
+	}
+	if p.SA {
+		return &Matcher{p: p, src: src, stats: stats, sam: sa.New()}, nil
 	}
 	m := &Matcher{
 		p:     p,
@@ -93,6 +113,12 @@ func (m *Matcher) Params() Params { return m.p }
 // ring safe against intra-block aliasing.
 func (m *Matcher) Reset(src []byte) {
 	m.src = src
+	if m.sam != nil {
+		// Lazily rebuilt on the first probe (saFind); Reset just
+		// invalidates the previous block's region.
+		m.saBase, m.saNext = 0, 0
+		return
+	}
 	for i := range m.head {
 		m.head[i] = -1
 	}
@@ -107,8 +133,12 @@ func (m *Matcher) hashAt(pos int) uint32 {
 }
 
 // Insert adds the string at pos to the hash chains. pos must leave at
-// least minHash bytes of source.
+// least minHash bytes of source. A no-op for the suffix-array matcher,
+// whose index already covers every position.
 func (m *Matcher) Insert(pos int) {
+	if m.sam != nil {
+		return
+	}
 	h := m.hashAt(pos)
 	m.insertHashed(pos, h)
 }
@@ -124,7 +154,7 @@ func (m *Matcher) insertHashed(pos int, h uint32) {
 // a short match uses. With Hash4 the 4-byte head hash is used; callers
 // must bound to with insertEnd so every position has a full hash window.
 func (m *Matcher) InsertRange(from, to int) {
-	if to <= from {
+	if to <= from || m.sam != nil {
 		return
 	}
 	head, prev, src := m.head, m.prev, m.src
@@ -174,6 +204,9 @@ func (m *Matcher) InsertRange(from, to int) {
 // Stats are accumulated in locals and flushed once per call; the final
 // counter values are identical to charging each operation as it happens.
 func (m *Matcher) FindMatch(pos int) (length, distance int) {
+	if m.sam != nil {
+		return m.saFind(pos)
+	}
 	src, prev := m.src, m.prev
 	var h uint32
 	if shift := m.zshift; shift != 0 {
@@ -222,6 +255,58 @@ func (m *Matcher) FindMatch(pos int) (length, distance int) {
 		return 0, 0
 	}
 	return bestLen, bestDist
+}
+
+// saRebuild re-indexes the sliding region around pos: one window of
+// history (so every admissible start is indexed), one window of
+// lookahead to probe before the next rebuild, and MaxMatch beyond that
+// so matches found just before the rebuild boundary can still extend
+// fully. Bounding the region to ~2 windows is what makes the bounded
+// rank-neighbour scan effective — indexing a whole multi-window block
+// would flood each position's suffix-order neighbourhood with
+// out-of-window occurrences that burn scan budget without ever being
+// admissible. Amortized cost stays O(n log w): one O(w log w) build
+// per window of progress.
+func (m *Matcher) saRebuild(pos int) {
+	base := pos - (m.p.Window - 1)
+	if base < 0 {
+		base = 0
+	}
+	m.saBase = base
+	m.saNext = pos + m.p.Window
+	end := m.saNext + token.MaxMatch
+	if end > len(m.src) {
+		end = len(m.src)
+	}
+	m.sam.Reset(m.src[base:end])
+}
+
+// saFind answers FindMatch from the suffix-array index: an exact
+// longest-previous-occurrence query bounded by MaxChain rank-neighbour
+// steps per direction, with Nice keeping its early-exit meaning. The
+// query reads the precomputed LCP edges instead of comparing bytes, so
+// it charges HeadReads (one rank lookup) and ChainSteps (candidates
+// examined) but no HashComputes/CompareBytes/Inserts — indexing cost
+// is paid wholesale at saRebuild, not per probe.
+func (m *Matcher) saFind(pos int) (length, distance int) {
+	if pos >= m.saNext {
+		m.saRebuild(pos)
+	}
+	maxLen := len(m.src) - pos
+	if maxLen > token.MaxMatch {
+		maxLen = token.MaxMatch
+	}
+	minPos := pos - (m.p.Window - 1)
+	if minPos < 0 {
+		minPos = 0
+	}
+	base := m.saBase
+	l, d, steps := m.sam.Find(pos-base, minPos-base, maxLen, token.MinMatch, m.p.Nice, m.p.MaxChain)
+	s := m.stats
+	s.HeadReads++
+	s.ChainSteps += int64(steps)
+	m.cdHist[chainDepthBucket(int64(steps))]++
+	return l, d
 }
 
 // FlushObs publishes the matcher's operation counters and histograms

@@ -89,6 +89,18 @@ type Params struct {
 	// configuration) keep the 3-byte hash and their exact output. Greedy
 	// only, and incompatible with a custom Hash policy.
 	Hash4 bool
+	// SA selects the suffix-array matcher (internal/lzss/sa) instead of
+	// hash chains: the block is indexed up front (suffix array + LCP,
+	// O(n log n)) and every match attempt scans outward from the
+	// position's rank, so the longest previous occurrence is found
+	// exactly rather than approximated by bounded chain walks. MaxChain
+	// bounds the per-direction rank-neighbour scan and Nice keeps its
+	// early-exit meaning; HashBits, InsertLimit and the hash-policy
+	// fields are ignored. This is the high-ratio tier behind levels
+	// 10-12 (SARatioParams); block-oriented, so incompatible with
+	// StreamCompressor, and incompatible with the generation-two greedy
+	// features (Hash4, SkipTrigger) and custom Hash policies.
+	SA bool
 	// SkipTrigger, when non-zero, enables match-skip acceleration in the
 	// greedy loop: after a run of R consecutive failed probes the
 	// probe/insert stride grows to 1 + R>>SkipTrigger (capped at
@@ -136,6 +148,14 @@ func (p *Params) Validate() error {
 			return fmt.Errorf("lzss: skip trigger %d out of [0,16]", p.SkipTrigger)
 		}
 	}
+	if p.SA {
+		if p.Hash4 || p.SkipTrigger != 0 {
+			return fmt.Errorf("lzss: the suffix-array matcher is incompatible with hash4/skip (chain-table features)")
+		}
+		if p.Hash != nil && !p.defaultHash {
+			return fmt.Errorf("lzss: the suffix-array matcher does not hash; leave Hash nil")
+		}
+	}
 	// A Hash installed by a previous Validate (defaultHash) is not a
 	// caller policy choice and re-validates cleanly.
 	if p.Hash4 && p.Hash != nil && !p.defaultHash {
@@ -179,8 +199,25 @@ func (p Params) SameConfig(q Params) bool {
 		p.Window == q.Window && p.HashBits == q.HashBits &&
 		p.MaxChain == q.MaxChain && p.Nice == q.Nice &&
 		p.InsertLimit == q.InsertLimit && p.Lazy == q.Lazy &&
-		p.MaxLazy == q.MaxLazy &&
+		p.MaxLazy == q.MaxLazy && p.SA == q.SA &&
 		p.Hash4 == q.Hash4 && p.SkipTrigger == q.SkipTrigger
+}
+
+// Tier names the matcher family and parse policy a Params selects —
+// an informational label for traces and logs, not a config key.
+func (p Params) Tier() string {
+	switch {
+	case p.SA && p.Lazy:
+		return "sa-optimal"
+	case p.SA:
+		return "sa-greedy"
+	case p.gen2():
+		return "chain-gen2"
+	case p.Lazy:
+		return "chain-lazy"
+	default:
+		return "chain-greedy"
+	}
 }
 
 // WindowBits returns log2(Window).
@@ -198,6 +235,12 @@ const (
 	LevelDefault Level = 6
 	// LevelMax mirrors ZLib level 9: longest chains, lazy matching.
 	LevelMax Level = 9
+	// LevelSAMin..LevelSAMax (10-12) select the suffix-array high-ratio
+	// tier: exact longest-match search over a fully indexed block, lazy
+	// parsing, widening scan budgets. Same zlib output format as every
+	// other level; see SARatioParams.
+	LevelSAMin Level = 10
+	LevelSAMax Level = 12
 )
 
 // LevelParams returns the preset for level with the given geometry.
@@ -213,10 +256,43 @@ func LevelParams(level Level, window int, hashBits uint) Params {
 		p.Hash4, p.SkipTrigger = true, 6
 	case level <= 6:
 		p.MaxChain, p.Nice, p.InsertLimit, p.Lazy, p.MaxLazy = 128, 128, 16, true, 16
-	default:
+	case level <= 9:
 		p.MaxChain, p.Nice, p.InsertLimit, p.Lazy, p.MaxLazy = 4096, token.MaxMatch, 32, true, token.MaxMatch
+	default:
+		// Suffix-array tier: exact longest-match table + cost-model
+		// optimal parse (Lazy selects the non-greedy parse, which for SA
+		// is compressSAOptimal). MaxChain is the per-direction
+		// rank-neighbour scan budget; with the sliding region fully
+		// indexed even small budgets see the true longest match almost
+		// always, so the levels widen the budget for the tail cases
+		// (dense rank neighbourhoods on low-entropy data) and the
+		// equal-length smallest-distance sweep.
+		p.SA, p.Lazy, p.MaxLazy = true, true, token.MaxMatch
+		p.Nice, p.InsertLimit = token.MaxMatch, token.MinMatch
+		switch {
+		case level <= 10:
+			p.MaxChain = 32
+		case level <= 11:
+			p.MaxChain = 128
+		default:
+			p.MaxChain = 512
+		}
 	}
 	return p
+}
+
+// SARatioParams returns the suffix-array high-ratio preset for level
+// (clamped to 10..12) at the full 32 KiB zlib window — the
+// cold-storage complement of HWSpeedParams' realtime design point.
+// Output is still plain RFC 1950/1951; only the match search differs.
+func SARatioParams(level Level) Params {
+	if level < LevelSAMin {
+		level = LevelSAMin
+	}
+	if level > LevelSAMax {
+		level = LevelSAMax
+	}
+	return LevelParams(level, token.MaxDistance, 15)
 }
 
 // HWSpeedParams returns the hardware configuration the paper optimizes

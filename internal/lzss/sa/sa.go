@@ -1,0 +1,274 @@
+// Package sa implements the suffix-array longest-match index behind
+// the high-ratio LZSS tier (compression levels 10-12): a suffix array
+// built by prefix doubling with radix sort, its inverse (rank) array,
+// and the adjacent-suffix LCP array via Kasai's algorithm, per
+// Ferreira, Oliveira and Figueiredo ("Time and Memory Efficient LZ
+// Compression Using Suffix Arrays", arXiv:0912.5449, and "On the Use
+// of Suffix Arrays for Memory-Efficient Lempel-Ziv Data Compression",
+// arXiv:0903.4251).
+//
+// Where the hash-chain matcher walks bounded collision chains and can
+// miss the longest match (chains are truncated by MaxChain, and
+// positions inside long matches are never inserted when the match
+// exceeds InsertLimit), the suffix array indexes every position of the
+// block: the longest previous occurrence of the string at pos is
+// always adjacent to rank[pos] in suffix order, reachable by a short
+// scan whose per-candidate LCP is the running minimum of the lcp
+// edges crossed. That scan is the package's only query primitive
+// (Find); the greedy/lazy parse policy stays in internal/lzss so both
+// matcher families emit the same command-stream shape.
+//
+// The index is block-oriented: Reset rebuilds it in O(n log n) for a
+// new source block, reusing every allocation, which is exactly the
+// per-segment lifecycle of the parallel pipeline's pooled workers.
+package sa
+
+// Index is a suffix array + LCP longest-match index over one source
+// block. The zero value is unusable; get one from New and bind it to a
+// block with Reset. An Index is not safe for concurrent use.
+type Index struct {
+	src  []byte
+	sa   []int32 // sa[r] = start of the rank-r suffix, ascending order
+	rank []int32 // rank[pos] = r such that sa[r] == pos
+	lcp  []int32 // lcp[r] = LCP(src[sa[r-1]:], src[sa[r]:]); lcp[0] = 0
+	tmp  []int32 // doubling scratch (next-generation ranks, 2nd-key order)
+	cnt  []int32 // counting-sort buckets
+}
+
+// New returns an empty Index; Reset binds it to a source block.
+func New() *Index { return &Index{} }
+
+// Len is the length of the currently indexed block.
+func (x *Index) Len() int { return len(x.src) }
+
+// Reset rebuilds the index over src (which may be nil/empty), reusing
+// the previous allocations when they are large enough. The caller must
+// keep src immutable for the lifetime of the binding.
+func (x *Index) Reset(src []byte) {
+	x.src = src
+	n := len(src)
+	x.sa = grow(x.sa, n)
+	x.rank = grow(x.rank, n)
+	x.lcp = grow(x.lcp, n)
+	x.tmp = grow(x.tmp, n)
+	if n == 0 {
+		return
+	}
+	x.build()
+	x.kasai()
+}
+
+func grow(s []int32, n int) []int32 {
+	if cap(s) < n {
+		return make([]int32, n)
+	}
+	return s[:n]
+}
+
+// buckets returns the counting-sort scratch with at least n zeroed
+// slots.
+func (x *Index) buckets(n int) []int32 {
+	if cap(x.cnt) < n {
+		x.cnt = make([]int32, n)
+	}
+	c := x.cnt[:n]
+	for i := range c {
+		c[i] = 0
+	}
+	return c
+}
+
+// build fills sa and rank by prefix doubling: suffixes are sorted by
+// their first 2^k characters per round, each round a stable two-key
+// radix sort (second key by construction order, first key by counting
+// sort over the previous round's ranks). O(n log n) time, O(n) extra
+// space, fully deterministic.
+func (x *Index) build() {
+	src := x.src
+	n := len(src)
+	sa, rank, tmp := x.sa, x.rank, x.tmp
+
+	// Round 0: counting sort by first byte.
+	c := x.buckets(257)
+	for _, b := range src {
+		c[int(b)+1]++
+	}
+	for i := 1; i < 257; i++ {
+		c[i] += c[i-1]
+	}
+	for i := 0; i < n; i++ {
+		b := src[i]
+		sa[c[b]] = int32(i)
+		c[b]++
+	}
+	rank[sa[0]] = 0
+	for i := 1; i < n; i++ {
+		r := rank[sa[i-1]]
+		if src[sa[i]] != src[sa[i-1]] {
+			r++
+		}
+		rank[sa[i]] = r
+	}
+
+	for k := 1; k < n && int(rank[sa[n-1]]) != n-1; k <<= 1 {
+		// Second-key order: suffixes whose second half is empty
+		// (i >= n-k) sort first; the rest follow in the previous round's
+		// order, shifted left by k (sa[j]-k enumerates the suffixes that
+		// HAVE a second half, in ascending second-half rank).
+		idx := 0
+		for i := n - k; i < n; i++ {
+			tmp[idx] = int32(i)
+			idx++
+		}
+		for _, p := range sa {
+			if int(p) >= k {
+				tmp[idx] = p - int32(k)
+				idx++
+			}
+		}
+		// Stable counting sort of tmp by first-key rank into sa.
+		hi := int(rank[sa[n-1]]) + 1
+		c := x.buckets(hi)
+		for i := 0; i < n; i++ {
+			c[rank[i]]++
+		}
+		sum := int32(0)
+		for r := 0; r < hi; r++ {
+			cr := c[r]
+			c[r] = sum
+			sum += cr
+		}
+		for _, p := range tmp[:n] {
+			r := rank[p]
+			sa[c[r]] = p
+			c[r]++
+		}
+		// Next-generation ranks into tmp, then swap the arrays.
+		tmp[sa[0]] = 0
+		for i := 1; i < n; i++ {
+			a, b := sa[i-1], sa[i]
+			r := tmp[a]
+			if rank[a] != rank[b] || secondKey(rank, a, k, n) != secondKey(rank, b, k, n) {
+				r++
+			}
+			tmp[b] = r
+		}
+		rank, tmp = tmp, rank
+	}
+	x.rank, x.tmp = rank, tmp
+}
+
+// secondKey is the rank of the suffix k positions after p, or -1 when
+// that suffix is empty (the smallest possible key).
+func secondKey(rank []int32, p int32, k, n int) int32 {
+	if int(p)+k < n {
+		return rank[int(p)+k]
+	}
+	return -1
+}
+
+// kasai fills lcp in O(n): walking positions in text order, the LCP
+// with the rank-predecessor shrinks by at most one per step, so the
+// total re-extension work is linear.
+func (x *Index) kasai() {
+	src, sa, rank, lcp := x.src, x.sa, x.rank, x.lcp
+	n := len(src)
+	lcp[0] = 0
+	h := 0
+	for i := 0; i < n; i++ {
+		r := int(rank[i])
+		if r == 0 {
+			h = 0
+			continue
+		}
+		j := int(sa[r-1])
+		for i+h < n && j+h < n && src[i+h] == src[j+h] {
+			h++
+		}
+		lcp[r] = int32(h)
+		if h > 0 {
+			h--
+		}
+	}
+}
+
+// Find returns the longest match for the string starting at pos
+// against any suffix starting in [minPos, pos) — the sliding-window
+// admissibility constraint — capped at maxLen bytes. A match shorter
+// than minLen is not reported (length 0). dist is pos minus the match
+// start.
+//
+// The scan walks outward from rank[pos] in both suffix-order
+// directions, maintaining the running minimum of the crossed lcp
+// edges, which IS the match length against each visited candidate. The
+// minimum is non-increasing, so each direction stops as soon as it
+// falls below the best length already found (continuing exactly on a
+// tie, where a nearer occurrence still shrinks the emitted distance),
+// and the whole query stops once a match of nice bytes is found.
+// maxScan bounds the candidates examined per direction (the SA tier's
+// MaxChain equivalent); steps reports how many were examined in total.
+//
+// Policy, mirrored from the chain matcher: strictly longer matches
+// win, equal-length matches keep the smallest distance.
+func (x *Index) Find(pos, minPos, maxLen, minLen, nice, maxScan int) (length, dist, steps int) {
+	n := len(x.src)
+	if pos < 0 || pos >= n || maxLen <= 0 {
+		return 0, 0, 0
+	}
+	if minPos < 0 {
+		minPos = 0
+	}
+	if maxLen > n-pos {
+		maxLen = n - pos
+	}
+	sa, rank, lcp := x.sa, x.rank, x.lcp
+	r := int(rank[pos])
+	bestLen, bestDist := 0, 0
+
+	// Up: candidates sa[q-1], crossing edge lcp[q].
+	cur := maxLen
+	for q, used := r, 0; q > 0 && used < maxScan; q, used = q-1, used+1 {
+		if l := int(lcp[q]); l < cur {
+			cur = l
+		}
+		if cur < minLen || cur < bestLen || (cur == bestLen && bestLen > 0 && bestDist == 1) {
+			break
+		}
+		steps++
+		j := int(sa[q-1])
+		if j >= minPos && j < pos {
+			d := pos - j
+			if cur > bestLen || (cur == bestLen && d < bestDist) || bestLen == 0 {
+				bestLen, bestDist = cur, d
+			}
+			if bestLen >= nice || bestLen == maxLen {
+				return bestLen, bestDist, steps
+			}
+		}
+	}
+	// Down: candidates sa[q], crossing edge lcp[q].
+	cur = maxLen
+	for q, used := r+1, 0; q < n && used < maxScan; q, used = q+1, used+1 {
+		if l := int(lcp[q]); l < cur {
+			cur = l
+		}
+		if cur < minLen || cur < bestLen || (cur == bestLen && bestLen > 0 && bestDist == 1) {
+			break
+		}
+		steps++
+		j := int(sa[q])
+		if j >= minPos && j < pos {
+			d := pos - j
+			if cur > bestLen || (cur == bestLen && d < bestDist) || bestLen == 0 {
+				bestLen, bestDist = cur, d
+			}
+			if bestLen >= nice || bestLen == maxLen {
+				return bestLen, bestDist, steps
+			}
+		}
+	}
+	if bestLen < minLen {
+		return 0, 0, steps
+	}
+	return bestLen, bestDist, steps
+}

@@ -1,0 +1,275 @@
+package sa
+
+import (
+	"bytes"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// naiveSA sorts all suffixes of src with the generic sort — the oracle
+// for the prefix-doubling builder.
+func naiveSA(src []byte) []int32 {
+	n := len(src)
+	out := make([]int32, n)
+	for i := range out {
+		out[i] = int32(i)
+	}
+	sort.Slice(out, func(a, b int) bool {
+		return bytes.Compare(src[out[a]:], src[out[b]:]) < 0
+	})
+	return out
+}
+
+// naiveLCP computes the common-prefix length of two suffixes directly.
+func naiveLCP(src []byte, i, j int32) int32 {
+	var l int32
+	for int(i+l) < len(src) && int(j+l) < len(src) && src[i+l] == src[j+l] {
+		l++
+	}
+	return l
+}
+
+// testInputs is the degenerate-through-random spread every structural
+// test runs over.
+func testInputs(t *testing.T) map[string][]byte {
+	t.Helper()
+	rng := rand.New(rand.NewSource(42))
+	random := make([]byte, 2000)
+	rng.Read(random)
+	binaryish := make([]byte, 1500)
+	for i := range binaryish {
+		binaryish[i] = byte(rng.Intn(4))
+	}
+	fib := []byte("a")
+	prev := []byte("b")
+	for len(fib) < 1000 {
+		fib, prev = append(append([]byte{}, fib...), prev...), fib
+	}
+	return map[string][]byte{
+		"empty":     nil,
+		"one":       {7},
+		"two_eq":    {9, 9},
+		"two_ne":    {2, 1},
+		"zeros":     make([]byte, 1024),
+		"period1":   bytes.Repeat([]byte{'a'}, 777),
+		"period3":   bytes.Repeat([]byte("abc"), 300),
+		"period8":   bytes.Repeat([]byte("abcdefgh"), 100),
+		"banana":    []byte("banana"),
+		"fibword":   fib,
+		"random":    random,
+		"binaryish": binaryish,
+		"text":      bytes.Repeat([]byte("the quick brown fox jumps over the lazy dog. "), 40),
+	}
+}
+
+func TestSuffixArrayMatchesNaiveSort(t *testing.T) {
+	x := New()
+	for name, src := range testInputs(t) {
+		x.Reset(src)
+		if x.Len() != len(src) {
+			t.Fatalf("%s: Len = %d, want %d", name, x.Len(), len(src))
+		}
+		want := naiveSA(src)
+		for r := range want {
+			if x.sa[r] != want[r] {
+				t.Fatalf("%s: sa[%d] = %d, want %d", name, r, x.sa[r], want[r])
+			}
+			if x.rank[x.sa[r]] != int32(r) {
+				t.Fatalf("%s: rank[sa[%d]] = %d, want %d", name, r, x.rank[x.sa[r]], r)
+			}
+		}
+	}
+}
+
+func TestLCPMatchesNaive(t *testing.T) {
+	x := New()
+	for name, src := range testInputs(t) {
+		x.Reset(src)
+		for r := 1; r < len(src); r++ {
+			want := naiveLCP(src, x.sa[r-1], x.sa[r])
+			if x.lcp[r] != want {
+				t.Fatalf("%s: lcp[%d] = %d, want %d (suffixes %d, %d)",
+					name, r, x.lcp[r], want, x.sa[r-1], x.sa[r])
+			}
+		}
+	}
+}
+
+// TestResetReuse rebinds one Index across shrinking and growing blocks
+// (the pooled-worker lifecycle) and re-checks correctness each time.
+func TestResetReuse(t *testing.T) {
+	x := New()
+	rng := rand.New(rand.NewSource(11))
+	sizes := []int{500, 2000, 1, 0, 64, 3000, 10}
+	for _, n := range sizes {
+		src := make([]byte, n)
+		for i := range src {
+			src[i] = byte(rng.Intn(8))
+		}
+		x.Reset(src)
+		want := naiveSA(src)
+		for r := range want {
+			if x.sa[r] != want[r] {
+				t.Fatalf("n=%d: sa[%d] = %d, want %d", n, r, x.sa[r], want[r])
+			}
+		}
+	}
+}
+
+// naiveFind is the brute-force oracle for Find: try every admissible
+// start, extend directly, prefer longer then nearer.
+func naiveFind(src []byte, pos, minPos, maxLen, minLen int) (length, dist int) {
+	if maxLen > len(src)-pos {
+		maxLen = len(src) - pos
+	}
+	for j := pos - 1; j >= minPos && j >= 0; j-- {
+		l := 0
+		for l < maxLen && src[j+l] == src[pos+l] {
+			l++
+		}
+		if l > length {
+			length, dist = l, pos-j
+		}
+	}
+	if length < minLen {
+		return 0, 0
+	}
+	return length, dist
+}
+
+func TestFindMatchesBruteForce(t *testing.T) {
+	const minLen = 3
+	x := New()
+	for name, src := range testInputs(t) {
+		x.Reset(src)
+		for pos := 0; pos < len(src); pos += 1 + pos/37 {
+			minPos := pos - 200
+			if minPos < 0 {
+				minPos = 0
+			}
+			wantLen, wantDist := naiveFind(src, pos, minPos, 258, minLen)
+			// An unbounded scan (maxScan = n, nice = maxLen) must find the
+			// exact longest match at the smallest distance.
+			gotLen, gotDist, steps := x.Find(pos, minPos, 258, minLen, 258, len(src))
+			if gotLen != wantLen {
+				t.Fatalf("%s pos=%d: len = %d, want %d", name, pos, gotLen, wantLen)
+			}
+			if gotLen > 0 && gotDist != wantDist {
+				t.Fatalf("%s pos=%d: dist = %d, want %d (len %d)", name, pos, gotDist, wantDist, gotLen)
+			}
+			if gotLen > 0 && steps == 0 {
+				t.Fatalf("%s pos=%d: found a match in zero steps", name, pos)
+			}
+		}
+	}
+}
+
+// TestFindBounded checks the truncated-scan contract: any match
+// reported under a tight maxScan budget must still be real (verifiable
+// byte-for-byte) and admissible, even if shorter than the optimum.
+func TestFindBounded(t *testing.T) {
+	const minLen = 3
+	x := New()
+	for name, src := range testInputs(t) {
+		x.Reset(src)
+		for _, maxScan := range []int{1, 2, 8} {
+			for pos := 0; pos < len(src); pos += 3 {
+				minPos := pos - 512
+				if minPos < 0 {
+					minPos = 0
+				}
+				l, d, _ := x.Find(pos, minPos, 258, minLen, 64, maxScan)
+				if l == 0 {
+					continue
+				}
+				if l < minLen {
+					t.Fatalf("%s pos=%d scan=%d: reported len %d < minLen", name, pos, maxScan, l)
+				}
+				j := pos - d
+				if j < minPos || j >= pos {
+					t.Fatalf("%s pos=%d scan=%d: match start %d outside [%d,%d)", name, pos, maxScan, j, minPos, pos)
+				}
+				for i := 0; i < l; i++ {
+					if src[j+i] != src[pos+i] {
+						t.Fatalf("%s pos=%d scan=%d: byte %d of reported match differs", name, pos, maxScan, i)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestFindNiceStopsEarly: with a small nice threshold the scan may
+// settle for any match >= nice, and must never exceed maxLen.
+func TestFindNiceStopsEarly(t *testing.T) {
+	src := bytes.Repeat([]byte("abcdefgh"), 64)
+	x := New()
+	x.Reset(src)
+	l, d, _ := x.Find(400, 0, 32, 3, 8, len(src))
+	if l < 8 || l > 32 {
+		t.Fatalf("len = %d, want within [8,32]", l)
+	}
+	if d%8 != 0 {
+		t.Fatalf("dist = %d, want a multiple of the period", d)
+	}
+}
+
+func TestFindEdgeCases(t *testing.T) {
+	x := New()
+	x.Reset([]byte("abcabc"))
+	if l, d, s := x.Find(-1, 0, 258, 3, 258, 64); l != 0 || d != 0 || s != 0 {
+		t.Fatalf("negative pos: got (%d,%d,%d)", l, d, s)
+	}
+	if l, d, s := x.Find(99, 0, 258, 3, 258, 64); l != 0 || d != 0 || s != 0 {
+		t.Fatalf("pos past end: got (%d,%d,%d)", l, d, s)
+	}
+	if l, _, _ := x.Find(3, 0, 0, 3, 258, 64); l != 0 {
+		t.Fatalf("maxLen 0: got len %d", l)
+	}
+	if l, _, _ := x.Find(0, 0, 258, 3, 258, 64); l != 0 {
+		t.Fatalf("pos 0 has no previous occurrence: got len %d", l)
+	}
+	// minPos below zero is clamped, not an error.
+	if l, d, _ := x.Find(3, -100, 258, 3, 258, 64); l != 3 || d != 3 {
+		t.Fatalf("clamped minPos: got (%d,%d), want (3,3)", l, d)
+	}
+	// Window exclusion: with minPos == pos the earlier copy is
+	// inadmissible.
+	if l, _, _ := x.Find(3, 3, 258, 3, 258, 64); l != 0 {
+		t.Fatalf("minPos == pos: got len %d, want 0", l)
+	}
+	// Empty index.
+	x.Reset(nil)
+	if l, _, _ := x.Find(0, 0, 258, 3, 258, 64); l != 0 {
+		t.Fatalf("empty src: got len %d", l)
+	}
+}
+
+// TestFindMaxLenCap: matches longer than maxLen are truncated to it.
+func TestFindMaxLenCap(t *testing.T) {
+	src := make([]byte, 4096)
+	x := New()
+	x.Reset(src)
+	l, d, _ := x.Find(2048, 0, 258, 3, 258, len(src))
+	if l != 258 {
+		t.Fatalf("len = %d, want the 258 cap", l)
+	}
+	if d < 1 || d > 2048 {
+		t.Fatalf("dist = %d out of range", d)
+	}
+}
+
+func BenchmarkReset64K(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	src := make([]byte, 64<<10)
+	for i := range src {
+		src[i] = byte(rng.Intn(64))
+	}
+	x := New()
+	b.SetBytes(int64(len(src)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		x.Reset(src)
+	}
+}

@@ -1,0 +1,226 @@
+package lzss
+
+import (
+	"bytes"
+	"testing"
+
+	"lzssfpga/internal/token"
+)
+
+// verifyCommands is the naive command-stream verifier of the
+// cross-matcher battery: it replays cmds against the input, checking
+// every structural invariant the wire format requires — lengths in
+// [MinMatch, MaxMatch], distances in [1, window-1], no reach before
+// the start of history (out-of-window/overlapping-the-future matches),
+// every copied byte equal to the input byte it claims to repeat, and
+// total expansion exactly the input.
+func verifyCommands(t *testing.T, cmds []token.Command, input []byte, window int) {
+	t.Helper()
+	pos := 0
+	for ci, c := range cmds {
+		if c.K == token.Literal {
+			if pos >= len(input) {
+				t.Fatalf("cmd %d: literal past end of input", ci)
+			}
+			if c.Lit != input[pos] {
+				t.Fatalf("cmd %d: literal %#x != input[%d] %#x", ci, c.Lit, pos, input[pos])
+			}
+			pos++
+			continue
+		}
+		d, l := c.Distance, c.Length
+		if l < token.MinMatch || l > token.MaxMatch {
+			t.Fatalf("cmd %d: length %d outside [%d,%d]", ci, l, token.MinMatch, token.MaxMatch)
+		}
+		if d < 1 || d > window-1 {
+			t.Fatalf("cmd %d: distance %d outside [1,%d]", ci, d, window-1)
+		}
+		if d > pos {
+			t.Fatalf("cmd %d: distance %d reaches before the start (pos %d)", ci, d, pos)
+		}
+		if pos+l > len(input) {
+			t.Fatalf("cmd %d: match of %d overruns the input at pos %d", ci, l, pos)
+		}
+		// Byte-honesty, including self-referential overlap semantics.
+		for i := 0; i < l; i++ {
+			if input[pos+i] != input[pos-d+i] {
+				t.Fatalf("cmd %d: byte %d of match (pos %d, dist %d) differs", ci, i, pos, d)
+			}
+		}
+		pos += l
+	}
+	if pos != len(input) {
+		t.Fatalf("commands expand to %d bytes, input is %d", pos, len(input))
+	}
+}
+
+// TestSACrossMatcherRoundTrip runs the suffix-array tier over every
+// corpus in the gen2 table at all three SA levels: the command stream
+// must pass the naive verifier, decode byte-exact, and satisfy the
+// Stats accounting identities.
+func TestSACrossMatcherRoundTrip(t *testing.T) {
+	inputs := gen2TestInputs(t)
+	for _, lvl := range []Level{10, 11, 12} {
+		p := SARatioParams(lvl)
+		for name, input := range inputs {
+			cmds, stats, err := Compress(input, p)
+			if err != nil {
+				t.Fatalf("level %d/%s: %v", lvl, name, err)
+			}
+			verifyCommands(t, cmds, input, p.Window)
+			out, err := Decompress(cmds)
+			if err != nil {
+				t.Fatalf("level %d/%s: decompress: %v", lvl, name, err)
+			}
+			if !bytes.Equal(out, input) {
+				t.Fatalf("level %d/%s: round trip mismatch", lvl, name)
+			}
+			if stats.Literals+stats.MatchedBytes != int64(len(input)) {
+				t.Fatalf("level %d/%s: literals %d + matched %d != input %d",
+					lvl, name, stats.Literals, stats.MatchedBytes, len(input))
+			}
+			var matches, matched int64
+			for _, c := range cmds {
+				if c.K != token.Literal {
+					matches++
+					matched += int64(c.Length)
+				}
+			}
+			if matches != stats.Matches || matched != stats.MatchedBytes {
+				t.Fatalf("level %d/%s: stats (%d matches, %d bytes) disagree with stream (%d, %d)",
+					lvl, name, stats.Matches, stats.MatchedBytes, matches, matched)
+			}
+		}
+	}
+}
+
+// TestSAMatchesNoShorterThanGreedy: command-level ratio sanity — the
+// SA optimal parse must never emit more commands than the weakest
+// chain level on any gen2 corpus (the byte-level ≤ level-6 guarantee
+// is asserted against real zlib output in internal/deflate).
+func TestSAMatchesNoShorterThanGreedy(t *testing.T) {
+	inputs := gen2TestInputs(t)
+	g := LevelParams(LevelMin, token.MaxDistance, 15)
+	for name, input := range inputs {
+		gc, _, err := Compress(input, g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sc, _, err := Compress(input, SARatioParams(LevelSAMax))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(sc) > len(gc) {
+			t.Fatalf("%s: SA emitted %d commands, greedy min level %d", name, len(sc), len(gc))
+		}
+	}
+}
+
+// TestSAConfigSurface pins the tier's parameter-surface contract:
+// validation rejections, SameConfig separation, preset clamping, tier
+// labels, and the streaming rejection.
+func TestSAConfigSurface(t *testing.T) {
+	p := SARatioParams(11)
+	if err := p.Validate(); err != nil {
+		t.Fatalf("SARatioParams(11) invalid: %v", err)
+	}
+	if !p.SA || !p.Lazy || p.Window != token.MaxDistance {
+		t.Fatalf("unexpected preset: %+v", p)
+	}
+	if got := SARatioParams(0).MaxChain; got != SARatioParams(LevelSAMin).MaxChain {
+		t.Fatalf("low clamp: MaxChain %d", got)
+	}
+	if got := SARatioParams(99); !got.SA || got.MaxChain != SARatioParams(LevelSAMax).MaxChain {
+		t.Fatalf("high clamp: %+v", got)
+	}
+
+	bad := SARatioParams(12)
+	bad.Hash4 = true
+	if err := bad.Validate(); err == nil {
+		t.Fatal("SA+Hash4 validated")
+	}
+	bad = SARatioParams(12)
+	bad.SkipTrigger = 5
+	if err := bad.Validate(); err == nil {
+		t.Fatal("SA+SkipTrigger validated")
+	}
+	bad = SARatioParams(12)
+	bad.Hash = MultiplicativeHash(15)
+	if err := bad.Validate(); err == nil {
+		t.Fatal("SA+custom hash validated")
+	}
+
+	// SameConfig must separate the matcher families even when every
+	// numeric field coincides.
+	a := SARatioParams(12)
+	b := a
+	b.SA = false
+	if err := a.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if a.SameConfig(b) || b.SameConfig(a) {
+		t.Fatal("SameConfig aliases SA and chain matchers")
+	}
+	if !a.SameConfig(a) {
+		t.Fatal("SameConfig not reflexive")
+	}
+
+	if got := SARatioParams(10).Tier(); got != "sa-optimal" {
+		t.Fatalf("Tier = %q", got)
+	}
+	g := SARatioParams(10)
+	g.Lazy, g.MaxLazy = false, 0
+	if got := g.Tier(); got != "sa-greedy" {
+		t.Fatalf("greedy Tier = %q", got)
+	}
+
+	if _, err := NewStreamCompressor(SARatioParams(11)); err == nil {
+		t.Fatal("StreamCompressor accepted the block-oriented SA matcher")
+	}
+}
+
+// TestSAGreedyTail: the dict carry-over path (CompressTail) runs the
+// SA matcher greedily over the tail with the prefix as history;
+// distances may legally reach into the prefix.
+func TestSAGreedyTail(t *testing.T) {
+	prefix := bytes.Repeat([]byte("suffix array history "), 100)
+	tail := bytes.Repeat([]byte("suffix array history "), 50)
+	buf := append(append([]byte{}, prefix...), tail...)
+
+	p := SARatioParams(12)
+	m, err := NewMatcher(nil, p, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmds := CompressTail(nil, m, buf, len(prefix))
+	pos := len(prefix)
+	reachedBack := false
+	for ci, c := range cmds {
+		if c.K == token.Literal {
+			pos++
+			continue
+		}
+		d, l := c.Distance, c.Length
+		if d > pos {
+			t.Fatalf("cmd %d: distance %d reaches before the buffer start", ci, d)
+		}
+		if pos-d < len(prefix) {
+			reachedBack = true
+		}
+		for i := 0; i < l; i++ {
+			if buf[pos+i] != buf[pos-d+i] {
+				t.Fatalf("cmd %d: dishonest match byte", ci)
+			}
+		}
+		pos += l
+	}
+	if pos != len(buf) {
+		t.Fatalf("commands cover %d bytes, want %d", pos-len(prefix), len(tail))
+	}
+	if !reachedBack {
+		t.Fatal("no match reached into the preset history")
+	}
+}

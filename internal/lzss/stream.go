@@ -2,6 +2,7 @@ package lzss
 
 import (
 	"encoding/binary"
+	"fmt"
 
 	"lzssfpga/internal/token"
 )
@@ -47,6 +48,9 @@ const streamLookahead = token.MaxMatch + token.MinMatch + 1
 func NewStreamCompressor(p Params) (*StreamCompressor, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
+	}
+	if p.SA {
+		return nil, fmt.Errorf("lzss: the suffix-array matcher is block-oriented; streaming requires a chain-matcher level")
 	}
 	head := make([]int32, 1<<p.HashBits)
 	for i := range head {

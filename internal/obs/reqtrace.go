@@ -94,6 +94,10 @@ type RequestTrace struct {
 	ID    string
 	Front string // "http" or "tcp"
 	Op    string // "compress" or "decompress"
+	// Level labels the compression tier serving the request (the
+	// server's configured level name, e.g. "11" or "max"). Set by the
+	// front at trace creation; informational only.
+	Level string
 	Start time.Time
 
 	// InBytes is the request payload size, set by the front before the
@@ -243,6 +247,7 @@ func (rt *RequestTrace) MarshalJSON() ([]byte, error) {
 		ID       string           `json:"id"`
 		Front    string           `json:"front"`
 		Op       string           `json:"op"`
+		Level    string           `json:"level,omitempty"`
 		Start    time.Time        `json:"start"`
 		InBytes  int64            `json:"in_bytes"`
 		OutBytes int64            `json:"out_bytes"`
@@ -250,7 +255,7 @@ func (rt *RequestTrace) MarshalJSON() ([]byte, error) {
 		TotalNs  int64            `json:"total_ns"`
 		StageNs  map[string]int64 `json:"stage_ns"`
 		Err      string           `json:"err,omitempty"`
-	}{rt.ID, rt.Front, rt.Op, rt.Start, rt.InBytes, rt.OutBytes,
+	}{rt.ID, rt.Front, rt.Op, rt.Level, rt.Start, rt.InBytes, rt.OutBytes,
 		rt.Segments, rt.TotalNs, stages, rt.Err})
 }
 

@@ -23,9 +23,9 @@ import (
 func configFingerprint(cfg Config) uint64 {
 	p := cfg.Params
 	h := fnv.New64a()
-	fmt.Fprintf(h, "w=%d hb=%d mc=%d nice=%d il=%d lazy=%t ml=%d h4=%t skip=%d seg=%d res=%t",
+	fmt.Fprintf(h, "w=%d hb=%d mc=%d nice=%d il=%d lazy=%t ml=%d h4=%t skip=%d sa=%t seg=%d res=%t",
 		p.Window, p.HashBits, p.MaxChain, p.Nice, p.InsertLimit,
-		p.Lazy, p.MaxLazy, p.Hash4, p.SkipTrigger, cfg.Segment, cfg.Resilient)
+		p.Lazy, p.MaxLazy, p.Hash4, p.SkipTrigger, p.SA, cfg.Segment, cfg.Resilient)
 	return h.Sum64()
 }
 

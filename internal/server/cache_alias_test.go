@@ -1,0 +1,101 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"lzssfpga/internal/cache"
+	"lzssfpga/internal/lzss"
+)
+
+// TestConfigFingerprintLevelAliasing is the cache-key aliasing
+// regression for the suffix-array tier: level 9 (chain-lazy) and level
+// 10 (SA optimal) can coincide on every numeric field that predates
+// the SA flag, so the fingerprint must fold the matcher family in or a
+// shared cache would serve one level's bytes for the other's requests.
+func TestConfigFingerprintLevelAliasing(t *testing.T) {
+	fpAt := func(lvl lzss.Level) uint64 {
+		return configFingerprint(Config{Params: lzss.LevelParams(lvl, 32768, 15), Segment: 128 << 10})
+	}
+
+	if fp9, fp10 := fpAt(9), fpAt(10); fp9 == fp10 {
+		t.Fatalf("levels 9 and 10 share fingerprint %#x", fp9)
+	}
+
+	// Pairwise across the whole dial: any collision means two levels
+	// whose output bytes can differ would alias in the cache.
+	seen := map[uint64]lzss.Level{}
+	for lvl := lzss.LevelMin; lvl <= lzss.LevelSAMax; lvl++ {
+		fp := fpAt(lvl)
+		if prev, dup := seen[fp]; dup {
+			// Identical Params legitimately share a fingerprint (the
+			// dial maps ranges of levels onto one preset) — only flag
+			// pairs whose parameters actually differ. SameConfig wants
+			// validated Params (Validate installs the default hash).
+			pp, qq := lzss.LevelParams(prev, 32768, 15), lzss.LevelParams(lvl, 32768, 15)
+			if err := pp.Validate(); err != nil {
+				t.Fatal(err)
+			}
+			if err := qq.Validate(); err != nil {
+				t.Fatal(err)
+			}
+			if !pp.SameConfig(qq) {
+				t.Fatalf("levels %d and %d alias to fingerprint %#x", prev, lvl, fp)
+			}
+			continue
+		}
+		seen[fp] = lvl
+	}
+
+	// The SA flag alone must separate otherwise-identical configs.
+	a := lzss.SARatioParams(12)
+	b := a
+	b.SA = false
+	if configFingerprint(Config{Params: a}) == configFingerprint(Config{Params: b}) {
+		t.Fatal("fingerprint ignores the SA flag")
+	}
+}
+
+// TestCacheNeverAliasesAcrossLevels drives a real cache with the same
+// payload under level-9 and level-10 fingerprints: the keys must
+// differ, and each key must get its own compute — an entry stored for
+// one level is never returned for the other.
+func TestCacheNeverAliasesAcrossLevels(t *testing.T) {
+	payload := []byte("the same payload served at two different levels")
+	fp9 := configFingerprint(Config{Params: lzss.LevelParams(9, 32768, 15)})
+	fp10 := configFingerprint(Config{Params: lzss.LevelParams(10, 32768, 15)})
+
+	k9 := cache.KeyFor(payload, fp9, "")
+	k10 := cache.KeyFor(payload, fp10, "")
+	if k9 == k10 {
+		t.Fatal("KeyFor collapsed level-9 and level-10 keys for one payload")
+	}
+
+	c := cache.New(cache.Config{MaxBytes: 1 << 20})
+	ctx := context.Background()
+	store := func(k cache.Key, val string) {
+		if _, cached, err := c.GetOrCompute(ctx, k, func() ([]byte, error) {
+			return []byte(val), nil
+		}, nil); err != nil || cached {
+			t.Fatalf("seeding %q: cached=%v err=%v", val, cached, err)
+		}
+	}
+	store(k9, "level-9 bytes")
+	store(k10, "level-10 bytes")
+
+	for _, tc := range []struct {
+		key  cache.Key
+		want string
+	}{{k9, "level-9 bytes"}, {k10, "level-10 bytes"}} {
+		got, cached, err := c.GetOrCompute(ctx, tc.key, func() ([]byte, error) {
+			return nil, fmt.Errorf("unexpected compute: entry for %q should be cached", tc.want)
+		}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !cached || string(got) != tc.want {
+			t.Fatalf("key for %q returned %q (cached=%v)", tc.want, got, cached)
+		}
+	}
+}

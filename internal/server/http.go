@@ -157,6 +157,7 @@ func (t *timedWriter) Write(p []byte) (int, error) {
 
 func (s *Server) handleCompress(w http.ResponseWriter, r *http.Request) {
 	rt := obs.NewRequestTrace("http", "compress")
+	rt.Level = s.cfg.LevelName
 	body, ok := s.gate(w, r, rt)
 	if !ok {
 		return
@@ -233,6 +234,7 @@ func (s *Server) handleCompress(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleDecompress(w http.ResponseWriter, r *http.Request) {
 	rt := obs.NewRequestTrace("http", "decompress")
+	rt.Level = s.cfg.LevelName
 	body, ok := s.gate(w, r, rt)
 	if !ok {
 		return

@@ -24,6 +24,12 @@ type Config struct {
 	// Params are the LZSS matching parameters (zero selects the paper's
 	// speed-optimized HWSpeedParams).
 	Params lzss.Params
+	// LevelName labels the configured compression tier in request
+	// traces and the /debug/requests inspector (lzssd sets it from
+	// -level, e.g. "11" or "max"). Informational only: it does not
+	// affect compression, nor the cache fingerprint. Empty selects
+	// Params.Tier()'s matcher-family label.
+	LevelName string
 	// Segment is the parallel cut size (0 selects 256 KiB,
 	// deflate.SegmentAdaptive enables the engine's online sizer);
 	// Workers caps each request's in-flight segments on the shared
@@ -101,6 +107,9 @@ type Config struct {
 func (c Config) withDefaults() Config {
 	if c.Params.Window == 0 {
 		c.Params = lzss.HWSpeedParams()
+	}
+	if c.LevelName == "" {
+		c.LevelName = c.Params.Tier()
 	}
 	if c.MaxRequestBytes <= 0 {
 		c.MaxRequestBytes = 64 << 20

@@ -183,6 +183,7 @@ func (s *Server) serveMessage(tc *tcpConn, msg *Message) error {
 		op = "decompress"
 	}
 	rt := obs.NewRequestTrace("tcp", op)
+	rt.Level = s.cfg.LevelName
 	rt.InBytes = int64(len(msg.Payload))
 	// Resolve the dictionary negotiation before taking an engine slot:
 	// an unknown ID is a deterministic client error that should not

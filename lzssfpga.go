@@ -43,11 +43,14 @@ type Params = lzss.Params
 // Level selects a software compression preset.
 type Level = lzss.Level
 
-// Software compression levels, mirroring ZLib's.
+// Software compression levels, mirroring ZLib's 1-9, plus the
+// suffix-array high-ratio tier at 10-12 (same zlib output format).
 const (
 	LevelMin     = lzss.LevelMin
 	LevelDefault = lzss.LevelDefault
 	LevelMax     = lzss.LevelMax
+	LevelSAMin   = lzss.LevelSAMin
+	LevelSAMax   = lzss.LevelSAMax
 )
 
 // LevelParams returns the matching parameters of a preset level.
@@ -64,6 +67,13 @@ func HWSpeedParams() Params { return lzss.HWSpeedParams() }
 // prefetch): the throughput design point for hosts that do not need the
 // hardware model's bit-identical output.
 func SWFastParams() Params { return lzss.SWFastParams() }
+
+// SARatioParams is the suffix-array high-ratio preset for levels 10-12
+// (clamped) at the full 32 KiB window: exact longest-match search over
+// a sliding suffix-array index plus a cost-model optimal parse. The
+// cold-storage complement of HWSpeedParams — slower, better ratio,
+// same RFC 1950 zlib output.
+func SARatioParams(level Level) Params { return lzss.SARatioParams(level) }
 
 // Command is one LZSS decompressor command (literal or copy).
 type Command = token.Command
